@@ -1,0 +1,47 @@
+//! Benchmarks for embedding training and link-prediction scoring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kg::synth::{freebase_like, FreebaseLikeConfig};
+use kgembed::data::TripleSet;
+use kgembed::model::{KgeModel, TransE};
+use kgembed::train::{train, TrainConfig};
+
+fn bench_embedding(c: &mut Criterion) {
+    let cfg = FreebaseLikeConfig {
+        n_entities: 300,
+        n_relations: 10,
+        n_triples: 2_000,
+        zipf_exponent: 1.0,
+    };
+    let kg = freebase_like(3, &cfg).expect("valid config");
+    let data = TripleSet::from_graph(&kg.graph, 1, TripleSet::default_keep);
+
+    c.bench_function("embed/transe_epoch", |b| {
+        b.iter(|| {
+            let mut m = TransE::new(1, data.n_entities(), data.n_relations(), 32);
+            train(
+                &mut m,
+                &data,
+                &TrainConfig { epochs: 1, ..Default::default() },
+            );
+            black_box(m.score(0, 0, 1))
+        })
+    });
+
+    let mut trained = TransE::new(1, data.n_entities(), data.n_relations(), 32);
+    train(&mut trained, &data, &TrainConfig { epochs: 10, ..Default::default() });
+    c.bench_function("embed/score_all_tails", |b| {
+        b.iter(|| {
+            let mut best = f32::NEG_INFINITY;
+            for t in 0..data.n_entities() {
+                best = best.max(trained.score(0, 0, t));
+            }
+            black_box(best)
+        })
+    });
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

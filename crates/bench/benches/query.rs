@@ -1,0 +1,40 @@
+//! Macrobenchmarks for the SPARQL engine: BGP joins, property paths,
+//! filters, and the Cypher front-end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use kg::synth::{movies, Scale};
+use kgquery::{execute_cypher, execute_sparql};
+
+fn bench_query(c: &mut Criterion) {
+    let kg = movies(11, Scale::medium());
+    let g = kg.graph;
+
+    let two_hop = "PREFIX v: <http://llmkg.dev/vocab/> \
+                   SELECT ?a ?d WHERE { ?f v:starring ?a . ?f v:directedBy ?d }";
+    c.bench_function("query/bgp_join", |b| {
+        b.iter(|| black_box(execute_sparql(&g, two_hop).expect("runs")))
+    });
+
+    let path = "PREFIX v: <http://llmkg.dev/vocab/> \
+                SELECT ?x WHERE { ?f v:directedBy/v:spouse ?x }";
+    c.bench_function("query/property_path", |b| {
+        b.iter(|| black_box(execute_sparql(&g, path).expect("runs")))
+    });
+
+    let filtered = "PREFIX v: <http://llmkg.dev/vocab/> \
+                    SELECT ?f ?y WHERE { ?f v:releaseYear ?y FILTER(?y > 2000) } \
+                    ORDER BY DESC(?y) LIMIT 10";
+    c.bench_function("query/filter_order_limit", |b| {
+        b.iter(|| black_box(execute_sparql(&g, filtered).expect("runs")))
+    });
+
+    let cypher = r#"MATCH (f:Film)-[:directedBy]->(d) RETURN f, d LIMIT 25"#;
+    c.bench_function("query/cypher_match", |b| {
+        b.iter(|| black_box(execute_cypher(&g, cypher).expect("runs")))
+    });
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

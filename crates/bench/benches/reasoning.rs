@@ -1,0 +1,43 @@
+//! Benchmarks for rule materialization and FOL query answering.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use kg::synth::{geo, movies, Scale};
+use kgreason::rules::materialize;
+
+fn bench_reasoning(c: &mut Criterion) {
+    let kg = geo(5, Scale::medium());
+
+    c.bench_function("reason/materialize_geo", |b| {
+        b.iter_batched(
+            || kg.graph.clone(),
+            |mut g| black_box(materialize(&mut g, &kg.ontology)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mkg = movies(5, Scale::medium());
+    let g = &mkg.graph;
+    let relations: Vec<_> = g
+        .predicates()
+        .into_iter()
+        .map(|(p, _)| p)
+        .filter(|&p| {
+            g.resolve(p)
+                .as_iri()
+                .is_some_and(|i| i.starts_with(kg::namespace::SYNTH_VOCAB))
+        })
+        .collect();
+    let queries = kgreason::fol::generate_queries(g, &relations, 3, 5);
+    c.bench_function("reason/fol_symbolic", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(q.answers(g));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_reasoning);
+criterion_main!(benches);

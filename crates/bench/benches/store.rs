@@ -1,0 +1,61 @@
+//! Microbenchmarks for the triple store: insertion, pattern matching,
+//! k-hop retrieval.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use kg::synth::{freebase_like, FreebaseLikeConfig};
+use kg::{Graph, TriplePattern};
+
+fn build_graph() -> Graph {
+    let cfg = FreebaseLikeConfig {
+        n_entities: 1_000,
+        n_relations: 20,
+        n_triples: 10_000,
+        zipf_exponent: 1.0,
+    };
+    freebase_like(7, &cfg).expect("valid config").graph
+}
+
+fn bench_store(c: &mut Criterion) {
+    let graph = build_graph();
+    let hub = graph.entities()[0];
+    let (pred, _) = graph.predicates()[5];
+
+    c.bench_function("store/insert_10k", |b| {
+        b.iter_batched(
+            Graph::new,
+            |mut g| {
+                for i in 0..10_000u32 {
+                    let s = g.intern_iri(format!("http://e/{}", i % 500));
+                    let p = g.intern_iri(format!("http://p/{}", i % 20));
+                    let o = g.intern_iri(format!("http://e/{}", (i * 7) % 500));
+                    g.insert(s, p, o);
+                }
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("store/match_by_predicate", |b| {
+        b.iter(|| {
+            black_box(graph.match_pattern(TriplePattern {
+                s: None,
+                p: Some(pred),
+                o: None,
+            }))
+        })
+    });
+
+    c.bench_function("store/star_query", |b| {
+        b.iter(|| black_box(graph.outgoing(hub)))
+    });
+
+    c.bench_function("store/khop2", |b| {
+        b.iter(|| black_box(kg::analysis::khop_subgraph(&graph, hub, 2)))
+    });
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! **E4** — KG-to-text generation evaluation (paper §2.2, RQ1).
+
+use kg::synth::{movies, Scale};
+use kgextract::testgen::{corpus_sentences, entity_surface_forms};
+use kgtext::dataset::build_dataset;
+use kgtext::generate::{describe_entity, Demonstration, GenMethod};
+use kgtext::linearize::flat_linearize;
+use kgtext::metrics::{bleu4, fact_coverage, hallucination_rate, rouge_l};
+use llmkg_bench::EXP_SEED;
+use slm::Slm;
+
+fn main() {
+    let kg = movies(EXP_SEED, Scale::medium());
+    let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+    let names = entity_surface_forms(&kg.graph);
+    let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+    let pairs = build_dataset(&kg, 3);
+    let (demos, test) = pairs.split_at(pairs.len() / 5);
+    let demonstrations: Vec<Demonstration> = demos
+        .iter()
+        .map(|p| Demonstration {
+            linearized: flat_linearize(&kg.graph, &p.triples).text,
+            text: p.reference.clone(),
+        })
+        .collect();
+
+    llmkg_bench::header("E4 — KG-to-text generation (§2.2): method comparison");
+    println!(
+        "{:16} {:>8} {:>8} {:>10} {:>14}",
+        "method", "BLEU-4", "ROUGE-L", "coverage", "hallucination"
+    );
+    let mut report = serde_json::Map::new();
+    for method in GenMethod::all() {
+        let (mut bleu, mut rouge, mut cov, mut hall) = (0.0, 0.0, 0.0, 0.0);
+        for p in test {
+            let text = describe_entity(
+                &kg.graph,
+                &kg.ontology,
+                &slm,
+                method,
+                p.subject,
+                &demonstrations,
+            );
+            bleu += bleu4(&text, &p.reference);
+            rouge += rouge_l(&text, &p.reference);
+            let object_triples: Vec<_> = p
+                .triples
+                .iter()
+                .filter(|t| kg.graph.resolve(t.o).is_iri())
+                .copied()
+                .collect();
+            cov += fact_coverage(&kg.graph, &object_triples, &text);
+            hall += hallucination_rate(&kg.graph, &p.triples, &names, &text);
+        }
+        let n = test.len() as f64;
+        println!(
+            "{:16} {:>8.3} {:>8.3} {:>10.3} {:>14.3}",
+            method.name(),
+            bleu / n,
+            rouge / n,
+            cov / n,
+            hall / n
+        );
+        report.insert(
+            method.name().to_string(),
+            serde_json::json!({
+                "bleu4": bleu / n, "rouge_l": rouge / n,
+                "fact_coverage": cov / n, "hallucination": hall / n
+            }),
+        );
+    }
+    println!("\nShape check: template = reference generator (ceiling); LM methods trade");
+    println!("fluency for coverage; hallucination stays near zero for all (grounded input).");
+    llmkg_bench::write_report("E4", &serde_json::Value::Object(report));
+}

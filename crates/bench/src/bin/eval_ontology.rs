@@ -1,0 +1,49 @@
+//! **E3** — Ontology learning and alignment evaluation (paper §2.1.1, RQ2).
+
+use kg::synth::{biomed, movies, Scale};
+use kgonto::align::align_ontologies;
+use kgonto::corpusgen::schema_corpus;
+use kgonto::learn::{evaluate_ontology, learn_ontology};
+use llmkg_bench::EXP_SEED;
+use slm::Slm;
+
+fn main() {
+    llmkg_bench::header("E3 — Ontology learning from text (LLMs4OL-style pipeline)");
+    for (name, kg) in [
+        ("movies", movies(EXP_SEED, Scale::medium())),
+        ("biomed (COVID-style)", biomed(EXP_SEED, Scale::medium())),
+    ] {
+        let corpus = schema_corpus(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let learned = learn_ontology(&slm, &corpus, 2);
+        let scores = evaluate_ontology(&learned.ontology, &kg.ontology);
+        println!(
+            "{name:24} classes F1 {:.3}  subsumption F1 {:.3}  properties F1 {:.3}  \
+             ({} concepts learned)",
+            scores.class_f1,
+            scores.subsumption_f1,
+            scores.property_f1,
+            learned.concepts.len()
+        );
+        llmkg_bench::write_report(
+            &format!("E3-{}", name.split(' ').next().unwrap_or(name)),
+            &serde_json::json!({
+                "class_f1": scores.class_f1,
+                "subsumption_f1": scores.subsumption_f1,
+                "property_f1": scores.property_f1,
+            }),
+        );
+    }
+
+    llmkg_bench::header("E3b — Ontology alignment across variants");
+    let a = movies(EXP_SEED, Scale::medium()).ontology;
+    let b = movies(EXP_SEED + 1, Scale::medium()).ontology; // same schema, fresh build
+    let matches = align_ontologies(&a, &b, 0.7);
+    let total = a.class_count() + a.property_count();
+    println!(
+        "self-schema alignment: {} matches over {} declarations ({:.1}%)",
+        matches.len(),
+        total,
+        100.0 * matches.len() as f64 / total as f64
+    );
+}

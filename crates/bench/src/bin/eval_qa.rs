@@ -1,0 +1,114 @@
+//! **E11 + E12 + E15** — LLM-KG cooperation: multi-hop QA per hop count,
+//! multi-hop question generation quality, and chatbot session evaluation
+//! (paper §4.1.1, §4.1.2, §4.1.5).
+
+use kg::synth::{academic, Scale};
+use kgextract::testgen::{corpus_sentences, entity_surface_forms};
+use kgqa::chatbot::{ChatBot, RouterDecision};
+use kgqa::datasets::generate_dataset;
+use kgqa::multihop::{evaluate, QaMethod};
+use kgqa::qgen::{assess, generate_questions};
+use llmkg_bench::EXP_SEED;
+use slm::Slm;
+
+fn main() {
+    let kg = academic(EXP_SEED, Scale::medium());
+    let g = &kg.graph;
+    let corpus = corpus_sentences(g, &kg.ontology);
+    let slm = Slm::builder()
+        .corpus(corpus.iter().map(String::as_str))
+        .entity_names(entity_surface_forms(g).iter().map(String::as_str))
+        .build();
+    let items = generate_dataset(g, EXP_SEED, 15, 3);
+
+    llmkg_bench::header("E11 — Multi-hop QA: Hits@1 per method per hop count (§4.1.2)");
+    println!("{:12} {:>8} {:>8} {:>8} {:>8}", "method", "1-hop", "2-hop", "3-hop", "all");
+    let mut report = serde_json::Map::new();
+    for method in QaMethod::all() {
+        let mut row = format!("{:12}", method.name());
+        let mut per_hop = Vec::new();
+        for h in 1..=3usize {
+            let subset: Vec<_> = items.iter().filter(|i| i.hops == h).cloned().collect();
+            let acc = evaluate(g, &slm, method, &subset);
+            row.push_str(&format!(" {acc:>8.3}"));
+            per_hop.push(acc);
+        }
+        let all = evaluate(g, &slm, method, &items);
+        row.push_str(&format!(" {all:>8.3}"));
+        println!("{row}");
+        report.insert(
+            method.name().to_string(),
+            serde_json::json!({"per_hop": per_hop, "all": all}),
+        );
+    }
+    println!("\nShape check: cooperation (relmkg/ensemble) ≥ llm-only; accuracy falls with hops.");
+
+    llmkg_bench::header("E12 — Multi-hop question generation quality (§4.1.1)");
+    let generated = generate_questions(g, &slm, EXP_SEED ^ 3, 12, 3);
+    let quality = assess(g, &generated);
+    println!(
+        "generated {} questions: answerability {:.3}, hop fidelity {:.3}, \
+         diversity {:.3}, mean fluency {:.2}",
+        generated.len(),
+        quality.answerability,
+        quality.hop_fidelity,
+        quality.diversity,
+        quality.mean_fluency
+    );
+    report.insert(
+        "qgen".into(),
+        serde_json::json!({
+            "n": generated.len(),
+            "answerability": quality.answerability,
+            "hop_fidelity": quality.hop_fidelity,
+            "diversity": quality.diversity
+        }),
+    );
+
+    llmkg_bench::header("E15 — KG chatbot scripted sessions (§4.1.5)");
+    let mut bot = ChatBot::new(g, &slm);
+    let mut kg_turns = 0usize;
+    let mut llm_turns = 0usize;
+    let mut correct = 0usize;
+    let scripted: Vec<(String, Option<String>)> = {
+        let mut v: Vec<(String, Option<String>)> =
+            vec![("hello!".to_string(), None)];
+        for item in items.iter().filter(|i| i.hops == 1).take(10) {
+            let gold = g.display_name(item.answers[0]);
+            v.push((item.question.clone(), Some(gold)));
+        }
+        v.push(("thanks, goodbye".to_string(), None));
+        v
+    };
+    for (utterance, gold) in &scripted {
+        let reply = bot.handle(utterance);
+        match reply.decision {
+            RouterDecision::KgQuery => kg_turns += 1,
+            RouterDecision::LlmChat => llm_turns += 1,
+        }
+        if let Some(gold) = gold {
+            if reply.text.contains(gold) {
+                correct += 1;
+            }
+        }
+    }
+    let answerable = scripted.iter().filter(|(_, g)| g.is_some()).count();
+    println!(
+        "{} turns: {} routed to KG, {} to LLM; {}/{} entity questions answered correctly",
+        scripted.len(),
+        kg_turns,
+        llm_turns,
+        correct,
+        answerable
+    );
+    report.insert(
+        "chatbot".into(),
+        serde_json::json!({
+            "kg_turns": kg_turns,
+            "llm_turns": llm_turns,
+            "correct": correct,
+            "answerable": answerable
+        }),
+    );
+    llmkg_bench::write_report("E11-E12-E15", &serde_json::Value::Object(report));
+}

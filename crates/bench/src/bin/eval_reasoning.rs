@@ -1,0 +1,117 @@
+//! **E7** — KG reasoning evaluation (paper §2.3): FOL query benchmark
+//! comparing the symbolic evaluator (ground truth / baseline), LARK-sim,
+//! RoG-sim, and KG-GPT-sim.
+
+use kg::synth::{movies, Scale};
+use kg::term::Sym;
+use kgextract::testgen::{annotate_graph, corpus_sentences, entity_surface_forms};
+use kgreason::fol::{generate_queries, LarkReasoner};
+use kgreason::kggpt::KgGpt;
+use kgreason::rog::RogReasoner;
+use kgreason::rules::materialize;
+use llmkg_bench::EXP_SEED;
+use slm::task::VerdictLabel;
+use slm::Slm;
+
+fn main() {
+    let kg = movies(EXP_SEED, Scale::medium());
+    let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+    let slm = Slm::builder()
+        .corpus(corpus.iter().map(String::as_str))
+        .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
+        .build();
+    let g = &kg.graph;
+    let relations: Vec<Sym> = g
+        .predicates()
+        .into_iter()
+        .map(|(p, _)| p)
+        .filter(|&p| {
+            g.resolve(p)
+                .as_iri()
+                .is_some_and(|i| i.starts_with(kg::namespace::SYNTH_VOCAB))
+        })
+        .collect();
+
+    llmkg_bench::header("E7 — FOL query answering per query shape (LARK-style)");
+    let queries = generate_queries(g, &relations, EXP_SEED, 8);
+    let lark = LarkReasoner::new(g, &slm);
+    let mut by_shape: std::collections::BTreeMap<String, (usize, usize)> = Default::default();
+    for q in &queries {
+        let truth = q.answers(g);
+        let predicted = lark.answer(q);
+        let hit = !predicted.is_empty() && !predicted.is_disjoint(&truth);
+        let e = by_shape.entry(q.shape()).or_insert((0, 0));
+        e.1 += 1;
+        if hit {
+            e.0 += 1;
+        }
+    }
+    println!("{:8} {:>8} {:>8}", "shape", "hit@any", "queries");
+    let mut report = serde_json::Map::new();
+    for (shape, (hits, total)) in &by_shape {
+        println!("{:8} {:>8.3} {:>8}", shape, *hits as f64 / *total as f64, total);
+        report.insert(
+            format!("lark/{shape}"),
+            serde_json::json!({"hit_rate": *hits as f64 / *total as f64}),
+        );
+    }
+
+    llmkg_bench::header("E7b — RoG: planning–retrieval–reasoning with faithful paths");
+    let rog = RogReasoner::new(g, &slm);
+    let film_class = g
+        .pool()
+        .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+        .expect("Film class");
+    let films = g.instances_of(film_class);
+    let directed = g
+        .pool()
+        .get_iri(&format!("{}directedBy", kg::namespace::SYNTH_VOCAB))
+        .expect("directedBy");
+    let mut hits = 0usize;
+    let mut faithful = 0usize;
+    let sample: Vec<_> = films.iter().take(25).collect();
+    for &&film in &sample {
+        let answers = rog.answer("who directed this film", film);
+        let truth = g.objects(film, directed);
+        if answers.first().is_some_and(|a| truth.contains(&a.answer)) {
+            hits += 1;
+        }
+        if answers.iter().all(|a| rog.is_faithful(film, a)) {
+            faithful += 1;
+        }
+    }
+    println!(
+        "RoG hit@1 {:.3}, faithful-path rate {:.3} over {} questions",
+        hits as f64 / sample.len() as f64,
+        faithful as f64 / sample.len() as f64,
+        sample.len()
+    );
+    report.insert(
+        "rog".into(),
+        serde_json::json!({
+            "hit1": hits as f64 / sample.len() as f64,
+            "faithful": faithful as f64 / sample.len() as f64
+        }),
+    );
+
+    llmkg_bench::header("E7c — KG-GPT claim verification");
+    let gpt = KgGpt::new(g, &slm);
+    let anns = annotate_graph(g, &kg.ontology);
+    let mut sup = 0usize;
+    let n = 30.min(anns.len());
+    for a in anns.iter().take(n) {
+        if gpt.verify(&a.text).label == VerdictLabel::Supported {
+            sup += 1;
+        }
+    }
+    println!("KG-GPT supports {:.3} of true claims (n={n})", sup as f64 / n as f64);
+    report.insert("kggpt/true_support".into(), serde_json::json!(sup as f64 / n as f64));
+
+    llmkg_bench::header("E7d — symbolic baseline: ontology materialization");
+    let mut g2 = g.clone();
+    let derived = materialize(&mut g2, &kg.ontology);
+    println!("forward chaining derived {derived} new triples (types, symmetry, transitivity)");
+    report.insert("materialized".into(), serde_json::json!(derived));
+
+    llmkg_bench::write_report("E7", &serde_json::Value::Object(report));
+}

@@ -1,0 +1,123 @@
+//! **E8 + E9** — KG validation (paper §2.6, RQ3+RQ4): fact-checking
+//! method sweep against injected misinformation, and inconsistency
+//! detection against injected constraint violations.
+
+use kg::corrupt::{corrupt, CorruptionPlan, DefectKind};
+use kg::synth::{movies, Scale};
+use kgextract::testgen::{corpus_sentences, entity_surface_forms};
+use kgvalidate::factcheck::{evaluate_method, FactCheckMethod, FactChecker};
+use kgvalidate::inconsistency::{detect_violations, mine_rules, ViolationKind};
+use kgvalidate::quality;
+use llmkg_bench::EXP_SEED;
+use slm::Slm;
+
+fn main() {
+    let kg = movies(EXP_SEED, Scale::medium());
+    let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+    let slm = Slm::builder()
+        .corpus(corpus.iter().map(String::as_str))
+        .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
+        .build();
+
+    // ── E8: fact checking ──────────────────────────────────────────
+    llmkg_bench::header("E8 — Fact checking against injected misinformation (RQ4)");
+    let mut corrupted = kg.graph.clone();
+    let plan = CorruptionPlan {
+        seed: EXP_SEED,
+        misinformation: 25,
+        functional: 0,
+        range: 0,
+        domain: 0,
+        disjoint: 0,
+        irreflexive: 0,
+    };
+    let defects = corrupt(&mut corrupted, &kg.ontology, &plan);
+    let mis: Vec<_> = defects
+        .iter()
+        .filter(|d| d.kind == DefectKind::Misinformation)
+        .map(|d| d.triple)
+        .collect();
+    println!("injected {} misinformation triples\n", mis.len());
+    let checker = FactChecker::new(&slm, &kg.ontology)
+        .with_trusted_corpus(corpus.iter().map(String::as_str))
+        .with_reference(&kg.graph);
+    println!("{:24} {:>10} {:>8}", "method", "accuracy", "F1");
+    let mut report = serde_json::Map::new();
+    for method in FactCheckMethod::all() {
+        let stats = evaluate_method(&checker, method, &corrupted, &mis, 50);
+        println!("{:24} {:>10.3} {:>8.3}", method.name(), stats.accuracy(), stats.f1());
+        report.insert(
+            format!("factcheck/{}", method.name()),
+            serde_json::json!({"accuracy": stats.accuracy(), "f1": stats.f1()}),
+        );
+    }
+    println!("\nShape check: knowledge/tool augmentation ≥ parametric verbalize+LLM.");
+
+    // quality: accuracy vs consistency
+    let q = quality::report(&corrupted, &kg.graph, &kg.ontology);
+    println!(
+        "\naccuracy {:.3} vs consistency {:.3} — misinformation hurts accuracy only \
+         (the paper's §2.6.2 distinction)",
+        q.accuracy, q.consistency
+    );
+    report.insert(
+        "quality".into(),
+        serde_json::json!({"accuracy": q.accuracy, "consistency": q.consistency}),
+    );
+
+    // ── E9: inconsistency detection ────────────────────────────────
+    llmkg_bench::header("E9 — Inconsistency detection per violation type (RQ3)");
+    let mut inconsistent = kg.graph.clone();
+    let plan = CorruptionPlan {
+        seed: EXP_SEED ^ 5,
+        misinformation: 0,
+        functional: 8,
+        range: 8,
+        domain: 8,
+        disjoint: 4,
+        irreflexive: 4,
+    };
+    let defects = corrupt(&mut inconsistent, &kg.ontology, &plan);
+    let violations = detect_violations(&inconsistent, &kg.ontology);
+    println!("{:22} {:>10} {:>10}", "violation kind", "injected", "detected");
+    for (dk, vk) in [
+        (DefectKind::FunctionalViolation, ViolationKind::Functional),
+        (DefectKind::RangeViolation, ViolationKind::Range),
+        (DefectKind::DomainViolation, ViolationKind::Domain),
+        (DefectKind::DisjointTypes, ViolationKind::Disjoint),
+        (DefectKind::IrreflexiveViolation, ViolationKind::Irreflexive),
+    ] {
+        let injected = defects.iter().filter(|d| d.kind == dk).count();
+        let detected = violations.iter().filter(|v| v.kind == vk).count();
+        println!("{:22} {:>10} {:>10}", vk.name(), injected, detected);
+        report.insert(
+            format!("inconsistency/{}", vk.name()),
+            serde_json::json!({"injected": injected, "detected": detected}),
+        );
+    }
+    // recall on injected defects
+    let caught = defects
+        .iter()
+        .filter(|d| {
+            violations.iter().any(|v| {
+                v.triples.contains(&d.triple)
+                    || (d.kind == DefectKind::DisjointTypes
+                        && v.kind == ViolationKind::Disjoint)
+            })
+        })
+        .count();
+    println!(
+        "\ndetector recall on injected defects: {:.3}",
+        caught as f64 / defects.len().max(1) as f64
+    );
+
+    llmkg_bench::header("E9b — ChatRule-style rule mining (semantic + structural)");
+    let rules = mine_rules(&kg.graph, &slm, 5);
+    for r in rules.iter().take(8) {
+        println!(
+            "{:14} conf {:.2}  support {:4}  sem {:.2}  {}",
+            r.kind, r.confidence, r.support, r.semantic_score, r.text
+        );
+    }
+    llmkg_bench::write_report("E8-E9", &serde_json::Value::Object(report));
+}

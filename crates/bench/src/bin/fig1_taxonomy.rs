@@ -1,0 +1,18 @@
+//! Regenerates **Figure 1**: the taxonomy of the LLM ⟷ KG interplay,
+//! with research-question markers and "new in this survey" stars.
+
+use corpus::taxonomy::{render_tree, taxonomy};
+
+fn main() {
+    llmkg_bench::header("Figure 1 — Categorization of the interplay between LLMs and KGs");
+    print!("{}", render_tree());
+    println!("\nLegend: [RQn] = research question n; ★ = not addressed by prior surveys");
+    println!("\nImplementation map:");
+    for node in taxonomy() {
+        println!("  {:45} → {}", node.name, node.implemented_by);
+    }
+    llmkg_bench::write_report(
+        "F1",
+        &serde_json::json!({ "nodes": taxonomy().len() }),
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates **Figure 2**: statistics of LLM and KG usage in the cited
+//! approach papers, per category.
+
+use corpus::stats::usage_stats;
+
+fn main() {
+    let stats = usage_stats();
+    llmkg_bench::header("Figure 2 — Statistics of the usage of LLMs and KGs in cited papers");
+    print!("{}", stats.render());
+    println!("\nPer-category breakdown:");
+    print!("{}", stats.render_by_family());
+    // the paper's headline findings, checked at regeneration time
+    let top_kg = stats.top_kgs()[0].0.to_string();
+    let top_llms: Vec<String> =
+        stats.top_llms().iter().take(2).map(|(n, _)| n.to_string()).collect();
+    println!("\nHeadline check:");
+    println!("  most-used KG:       {top_kg}  (paper: Freebase)");
+    println!("  top-2 LLM families: {}  (paper: BERT and GPT-3)", top_llms.join(", "));
+    assert_eq!(top_kg, "Freebase", "Figure 2 headline (KG) must reproduce");
+    assert!(
+        top_llms.contains(&"BERT".to_string()) && top_llms.contains(&"GPT-3".to_string()),
+        "Figure 2 headline (LLMs) must reproduce: {top_llms:?}"
+    );
+    llmkg_bench::write_report(
+        "F2",
+        &serde_json::json!({
+            "n_approaches": stats.n_approaches,
+            "llm_counts": stats.llm_counts,
+            "kg_counts": stats.kg_counts,
+        }),
+    );
+}

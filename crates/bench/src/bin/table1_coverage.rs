@@ -1,0 +1,21 @@
+//! Regenerates **Table 1** of the paper: the survey-coverage matrix.
+
+use corpus::coverage::{coverage_counts, render_table, SURVEYS};
+
+fn main() {
+    llmkg_bench::header("Table 1 — Categorizations addressed by previous survey papers");
+    print!("{}", render_table());
+    let counts = coverage_counts();
+    println!("\nSubcategories covered per survey:");
+    for (name, n) in SURVEYS.iter().zip(counts) {
+        println!("  {name:10} {n:2}");
+    }
+    llmkg_bench::write_report(
+        "T1",
+        &serde_json::json!({
+            "surveys": SURVEYS,
+            "covered_counts": counts,
+            "rows": corpus::coverage::coverage_matrix().len(),
+        }),
+    );
+}

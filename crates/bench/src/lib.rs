@@ -1,0 +1,51 @@
+//! Shared support for the benchmark / regeneration binaries.
+//!
+//! Every `eval_*` binary prints its tables to stdout *and* appends a JSON
+//! record to `reports/<name>.json` (relative to the workspace root when
+//! run via `cargo run`), so EXPERIMENTS.md numbers can be regenerated and
+//! diffed mechanically.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde_json::Value;
+
+/// Standard seed used by all experiment binaries.
+pub const EXP_SEED: u64 = 2024;
+
+/// Where JSON reports land.
+pub fn reports_dir() -> PathBuf {
+    PathBuf::from("reports")
+}
+
+/// Write a JSON report for an experiment id (e.g. `"E5"`).
+pub fn write_report(experiment: &str, value: &Value) {
+    let dir = reports_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return; // reports are best-effort; stdout is the primary artifact
+    }
+    let path = dir.join(format!("{experiment}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = fs::write(path, s);
+    }
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n{}", "═".repeat(72));
+    println!("{title}");
+    println!("{}", "═".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_are_writable() {
+        write_report("selftest", &serde_json::json!({"ok": true}));
+        let p = reports_dir().join("selftest.json");
+        assert!(p.exists());
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,203 @@
+//! Triple classification: is a given (h, r, t) true?
+
+use kgembed::data::{DenseTriple, TripleSet};
+use kgembed::model::KgeModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::link::KgBertSim;
+
+/// Which classification method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyMethod {
+    /// Structural embedding score with a validation-calibrated threshold.
+    EmbeddingThreshold,
+    /// KG-BERT-sim textual support with a fixed threshold.
+    KgBertSim,
+    /// Both must agree positive (the multi-task intuition of \[47\]).
+    Ensemble,
+}
+
+impl ClassifyMethod {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifyMethod::EmbeddingThreshold => "embedding-threshold",
+            ClassifyMethod::KgBertSim => "kg-bert-sim",
+            ClassifyMethod::Ensemble => "ensemble",
+        }
+    }
+
+    /// All methods.
+    pub fn all() -> [ClassifyMethod; 3] {
+        [
+            ClassifyMethod::EmbeddingThreshold,
+            ClassifyMethod::KgBertSim,
+            ClassifyMethod::Ensemble,
+        ]
+    }
+}
+
+/// A calibrated triple classifier.
+pub struct TripleClassifier<'a, M: KgeModel> {
+    model: &'a M,
+    text: &'a KgBertSim,
+    /// Embedding-score threshold (calibrated).
+    pub threshold: f32,
+    /// Textual-support threshold.
+    pub text_threshold: f32,
+}
+
+impl<'a, M: KgeModel> TripleClassifier<'a, M> {
+    /// Calibrate the embedding threshold on the validation split: pick the
+    /// midpoint threshold maximizing accuracy on valid-positives vs
+    /// random corruptions.
+    pub fn calibrate(model: &'a M, text: &'a KgBertSim, data: &TripleSet, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos_scores: Vec<f32> = Vec::new();
+        let mut neg_scores: Vec<f32> = Vec::new();
+        // tiny datasets may have an empty validation split: calibrate on
+        // training positives instead of degenerating to -inf
+        let calibration: &[DenseTriple] =
+            if data.valid.is_empty() { &data.train } else { &data.valid };
+        for &t in calibration.iter().take(100) {
+            pos_scores.push(model.score(t.h, t.r, t.t));
+            let neg = corrupt(&mut rng, data, t);
+            neg_scores.push(model.score(neg.h, neg.r, neg.t));
+        }
+        let threshold = best_threshold(&pos_scores, &neg_scores);
+        TripleClassifier { model, text, threshold, text_threshold: 0.7 }
+    }
+
+    /// Classify one triple.
+    pub fn classify(&self, method: ClassifyMethod, t: DenseTriple) -> bool {
+        let structural = self.model.score(t.h, t.r, t.t) >= self.threshold;
+        let textual = self.text.score(t.h, t.r, t.t) >= self.text_threshold;
+        match method {
+            ClassifyMethod::EmbeddingThreshold => structural,
+            ClassifyMethod::KgBertSim => textual,
+            ClassifyMethod::Ensemble => structural && textual,
+        }
+    }
+
+    /// Accuracy over test positives + equally many random corruptions.
+    pub fn evaluate(&self, method: ClassifyMethod, data: &TripleSet, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for &t in &data.test {
+            if self.classify(method, t) {
+                correct += 1;
+            }
+            total += 1;
+            let neg = corrupt(&mut rng, data, t);
+            if !self.classify(method, neg) {
+                correct += 1;
+            }
+            total += 1;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+fn corrupt(rng: &mut StdRng, data: &TripleSet, t: DenseTriple) -> DenseTriple {
+    for _ in 0..20 {
+        let cand = DenseTriple { t: rng.gen_range(0..data.n_entities()), ..t };
+        if !data.is_true(cand) {
+            return cand;
+        }
+    }
+    DenseTriple { t: (t.t + 1) % data.n_entities(), ..t }
+}
+
+/// Midpoint threshold maximizing balanced accuracy.
+fn best_threshold(pos: &[f32], neg: &[f32]) -> f32 {
+    if pos.is_empty() && neg.is_empty() {
+        return 0.0;
+    }
+    let mut candidates: Vec<f32> = pos.iter().chain(neg).copied().collect();
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup();
+    let mut best = (f32::NEG_INFINITY, 0.0f64);
+    for &c in &candidates {
+        let tp = pos.iter().filter(|&&s| s >= c).count() as f64;
+        let tn = neg.iter().filter(|&&s| s < c).count() as f64;
+        let acc = (tp / pos.len().max(1) as f64 + tn / neg.len().max(1) as f64) / 2.0;
+        if acc > best.1 {
+            best = (c, acc);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgembed::model::TransE;
+    use kgembed::train::{train, TrainConfig};
+    use kg::synth::{movies, Scale};
+    use kgextract::testgen::entity_surface_forms;
+    use slm::Slm;
+
+    fn fixture() -> (kg::Graph, TripleSet, Slm) {
+        let kg = movies(111, Scale::default());
+        let data = TripleSet::from_graph(&kg.graph, 13, TripleSet::default_keep);
+        let sentences: Vec<String> = data
+            .train
+            .iter()
+            .chain(&data.valid)
+            .chain(&data.test)
+            .map(|t| {
+                format!(
+                    "{} is {} {}",
+                    kg.graph.display_name(data.entities[t.h]),
+                    kg::namespace::humanize(kg.graph.label(data.relations[t.r])),
+                    kg.graph.display_name(data.entities[t.t])
+                )
+            })
+            .collect();
+        let slm = Slm::builder()
+            .corpus(sentences.iter().map(String::as_str))
+            .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
+            .build();
+        (kg.graph, data, slm)
+    }
+
+    #[test]
+    fn all_methods_beat_chance() {
+        let (graph, data, slm) = fixture();
+        let kb = KgBertSim::new(&graph, &data, &slm);
+        let mut te = TransE::new(3, data.n_entities(), data.n_relations(), 16);
+        train(&mut te, &data, &TrainConfig { epochs: 30, ..Default::default() });
+        let clf = TripleClassifier::calibrate(&te, &kb, &data, 7);
+        for method in ClassifyMethod::all() {
+            let acc = clf.evaluate(method, &data, 9);
+            assert!(acc > 0.55, "{} accuracy {acc}", method.name());
+        }
+    }
+
+    #[test]
+    fn kgbert_sim_is_near_perfect_when_lm_knows_all_facts() {
+        // here the LM corpus covers all splits, so textual classification
+        // reduces to knowledge lookup — a ceiling check
+        let (graph, data, slm) = fixture();
+        let kb = KgBertSim::new(&graph, &data, &slm);
+        let mut te = TransE::new(3, data.n_entities(), data.n_relations(), 8);
+        train(&mut te, &data, &TrainConfig { epochs: 5, ..Default::default() });
+        let clf = TripleClassifier::calibrate(&te, &kb, &data, 7);
+        let acc = clf.evaluate(ClassifyMethod::KgBertSim, &data, 9);
+        assert!(acc > 0.9, "textual ceiling {acc}");
+    }
+
+    #[test]
+    fn threshold_calibration_separates_scores() {
+        let pos = [1.0f32, 0.9, 0.8];
+        let neg = [0.1f32, 0.2, 0.3];
+        let th = best_threshold(&pos, &neg);
+        assert!(th > 0.3 && th <= 0.8, "{th}");
+    }
+}

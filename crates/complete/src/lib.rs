@@ -1,0 +1,22 @@
+//! # kgcomplete — KG completion (paper §2.4)
+//!
+//! The three completion tasks the survey enumerates, each with structural
+//! and text-based (LM) methods:
+//!
+//! * [`classify`] — triple classification: embedding-threshold (calibrated
+//!   on the validation split), KG-BERT-sim \[92\] textual scoring, and
+//!   their ensemble (the MTL recipe of \[47\]);
+//! * [`link`] — link prediction: KG-BERT-sim and SimKGC-style text
+//!   scorers, StAR-sim \[80\] (self-adaptive ensemble of text and
+//!   structure), and KICGPT-sim \[86\] (training-free LLM reranking of a
+//!   structural retriever's candidates);
+//! * [`typing`] — entity classification: structure-based (neighbor-type
+//!   voting) and text-based (label embedding vs class anchors).
+
+pub mod classify;
+pub mod link;
+pub mod typing;
+
+pub use classify::{ClassifyMethod, TripleClassifier};
+pub use link::{KgBertSim, KicGptSim, StarSim};
+pub use typing::{predict_type, TypingMethod};

@@ -1,0 +1,48 @@
+//! # llmkg — the LLM ⟷ KG interplay framework
+//!
+//! Umbrella crate for the VLDB'24 *"Research Trends for the Interplay
+//! between Large Language Models and Knowledge Graphs"* reproduction. It
+//! re-exports every subsystem and provides [`Workbench`], a one-stop
+//! facade that wires a knowledge graph, a simulated LLM trained on its
+//! verbalization, and all three interplay families of the paper's
+//! Figure 1 taxonomy:
+//!
+//! * **LLM for KG** (§2): construction ([`kgextract`], [`kgonto`]),
+//!   KG-to-text ([`kgtext`]), reasoning ([`kgreason`]), completion
+//!   ([`kgcomplete`], [`kgembed`]), validation ([`kgvalidate`]);
+//! * **KG-enhanced LLM** (§3): knowledge injection and the RAG ladder up
+//!   to Graph RAG ([`kgrag`]);
+//! * **LLM-KG Cooperation** (§4): multi-hop QA, question generation,
+//!   text-to-SPARQL/Cypher, hybrid LLM-SPARQL execution, and chatbots
+//!   ([`kgqa`], [`kgquery`]).
+//!
+//! The paper's own artifacts (Figure 1, Table 1, Figure 2) live in
+//! [`corpus`].
+//!
+//! ```
+//! use llmkg::{Workbench, WorkbenchConfig};
+//!
+//! let wb = Workbench::build(&WorkbenchConfig::default());
+//! let films = wb.sparql(
+//!     "PREFIX v: <http://llmkg.dev/vocab/> SELECT ?f WHERE { ?f a v:Film }",
+//! ).unwrap();
+//! assert!(!films.is_empty());
+//! ```
+
+pub use corpus;
+pub use kg;
+pub use kgcomplete;
+pub use kgembed;
+pub use kgextract;
+pub use kgonto;
+pub use kgqa;
+pub use kgquery;
+pub use kgrag;
+pub use kgreason;
+pub use kgtext;
+pub use kgvalidate;
+pub use slm;
+
+pub mod workbench;
+
+pub use workbench::{Workbench, WorkbenchConfig, Domain};

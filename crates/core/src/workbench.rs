@@ -1,0 +1,256 @@
+//! The [`Workbench`]: one object wiring a KG, a simulated LLM trained on
+//! its verbalization, and every interplay engine of the paper.
+
+use kg::synth::{academic, biomed, geo, movies, Scale, SynthKg};
+use kg::Graph;
+use kgqa::chatbot::ChatBot;
+use kgqa::text2sparql::TextToSparql;
+use kgquery::{execute_sparql, QueryError, ResultSet};
+use kgrag::GraphRag;
+use slm::Slm;
+
+/// Which synthetic domain to load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Films / actors / directors (the classic KGQA domain).
+    Movies,
+    /// Universities / researchers / papers.
+    Academic,
+    /// Countries / cities / rivers.
+    Geo,
+    /// Diseases / drugs / genes.
+    Biomed,
+}
+
+impl Domain {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::Movies => "movies",
+            Domain::Academic => "academic",
+            Domain::Geo => "geo",
+            Domain::Biomed => "biomed",
+        }
+    }
+}
+
+/// Workbench configuration.
+#[derive(Debug, Clone)]
+pub struct WorkbenchConfig {
+    /// The synthetic domain.
+    pub domain: Domain,
+    /// Seed for KG generation and all downstream stochastic components.
+    pub seed: u64,
+    /// KG scale (entities per class).
+    pub entities_per_class: usize,
+    /// Whether the LM fabricates answers without evidence.
+    pub hallucinate: bool,
+}
+
+impl Default for WorkbenchConfig {
+    fn default() -> Self {
+        WorkbenchConfig {
+            domain: Domain::Movies,
+            seed: 42,
+            entities_per_class: 40,
+            hallucinate: false,
+        }
+    }
+}
+
+/// The assembled interplay workbench.
+pub struct Workbench {
+    /// The knowledge graph + its ontology.
+    pub kg: SynthKg,
+    /// The simulated LLM, trained on the KG's verbalized triples.
+    pub slm: Slm,
+    /// The verbalized corpus the LM was trained on.
+    pub corpus: Vec<String>,
+}
+
+impl Workbench {
+    /// Build: generate the KG, verbalize it, train the LM on the
+    /// verbalization, register all entity names.
+    pub fn build(config: &WorkbenchConfig) -> Self {
+        let scale = Scale { entities_per_class: config.entities_per_class };
+        let kg = match config.domain {
+            Domain::Movies => movies(config.seed, scale),
+            Domain::Academic => academic(config.seed, scale),
+            Domain::Geo => geo(config.seed, scale),
+            Domain::Biomed => biomed(config.seed, scale),
+        };
+        let corpus = kgextract::testgen::corpus_sentences(&kg.graph, &kg.ontology);
+        let names = kgextract::testgen::entity_surface_forms(&kg.graph);
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .entity_names(names.iter().map(String::as_str))
+            .hallucinate(config.hallucinate)
+            .seed(config.seed)
+            .build();
+        Workbench { kg, slm, corpus }
+    }
+
+    /// The instance graph.
+    pub fn graph(&self) -> &Graph {
+        &self.kg.graph
+    }
+
+    /// Run a SPARQL query.
+    pub fn sparql(&self, query: &str) -> Result<ResultSet, QueryError> {
+        execute_sparql(&self.kg.graph, query)
+    }
+
+    /// Run a Cypher-lite query.
+    pub fn cypher(&self, query: &str) -> Result<ResultSet, QueryError> {
+        kgquery::execute_cypher(&self.kg.graph, query)
+    }
+
+    /// Answer a natural-language question via text-to-SPARQL + execution
+    /// (the cooperation pipeline); falls back to LM answering.
+    pub fn ask(&self, question: &str) -> String {
+        let t2s = TextToSparql::new(&self.kg.graph, &self.slm);
+        if let Some(q) = t2s.generate(kgqa::Text2SparqlMethod::SgptSim, question) {
+            if let Ok(rs) = self.sparql(&q) {
+                let names: Vec<String> = rs
+                    .values("answer")
+                    .iter()
+                    .map(|t| match t {
+                        kg::Term::Iri(iri) => self
+                            .kg
+                            .graph
+                            .pool()
+                            .get_iri(iri)
+                            .map(|s| self.kg.graph.display_name(s))
+                            .unwrap_or_else(|| {
+                                kg::namespace::humanize(kg::namespace::local_name(iri))
+                            }),
+                        kg::Term::Literal(l) => l.lexical.clone(),
+                        kg::Term::Blank(b) => b.clone(),
+                    })
+                    .collect();
+                if !names.is_empty() {
+                    return names.join(", ");
+                }
+            }
+        }
+        let a = self.slm.answer(question, &[]);
+        if a.is_answered() {
+            a.text
+        } else {
+            "unknown".to_string()
+        }
+    }
+
+    /// Verify a claim against the LM's knowledge (fact-checking surface).
+    pub fn verify(&self, claim: &str) -> slm::VerdictLabel {
+        self.slm.verify(claim, &[]).label
+    }
+
+    /// Describe an entity by name (KG-to-text surface).
+    pub fn describe(&self, entity_name: &str) -> Option<String> {
+        let g = &self.kg.graph;
+        let entity = g.entities().into_iter().find(|&e| {
+            g.display_name(e).eq_ignore_ascii_case(entity_name)
+        })?;
+        Some(kgtext::generate::describe_entity(
+            g,
+            &self.kg.ontology,
+            &self.slm,
+            kgtext::GenMethod::Template,
+            entity,
+            &[],
+        ))
+    }
+
+    /// Start a chatbot session over this workbench.
+    pub fn chatbot(&self) -> ChatBot<'_> {
+        ChatBot::new(&self.kg.graph, &self.slm)
+    }
+
+    /// Build the Graph RAG engine over this KG.
+    pub fn graph_rag(&self) -> GraphRag<'_> {
+        GraphRag::build(&self.kg.graph, &self.slm)
+    }
+
+    /// Validate the KG against its own ontology (inconsistency surface).
+    pub fn validate(&self) -> Vec<kgvalidate::Violation> {
+        kgvalidate::detect_violations(&self.kg.graph, &self.kg.ontology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb() -> Workbench {
+        Workbench::build(&WorkbenchConfig {
+            entities_per_class: 10,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn workbench_builds_all_parts() {
+        let w = wb();
+        assert!(w.graph().len() > 50);
+        assert!(!w.corpus.is_empty());
+        assert!(w.slm.knowledge().len() == w.corpus.len());
+    }
+
+    #[test]
+    fn sparql_and_cypher_work() {
+        let w = wb();
+        let rs = w
+            .sparql("PREFIX v: <http://llmkg.dev/vocab/> SELECT ?f WHERE { ?f a v:Film }")
+            .unwrap();
+        assert!(!rs.is_empty());
+        let rc = w.cypher("MATCH (f:Film) RETURN f").unwrap();
+        assert_eq!(rs.len(), rc.len());
+    }
+
+    #[test]
+    fn ask_answers_entity_questions() {
+        let w = wb();
+        let g = w.graph();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let directed = g
+            .pool()
+            .get_iri(&format!("{}directedBy", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let director = g.objects(film, directed)[0];
+        let answer = w.ask(&format!("What is {} directed by?", g.display_name(film)));
+        assert!(answer.contains(&g.display_name(director)), "{answer}");
+    }
+
+    #[test]
+    fn verify_and_describe_and_validate() {
+        let w = wb();
+        assert_eq!(w.verify(&w.corpus[0]), slm::VerdictLabel::Supported);
+        let g = w.graph();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let desc = w.describe(&g.display_name(film)).expect("describable");
+        assert!(desc.contains("directed by"));
+        assert!(w.validate().is_empty(), "clean KG validates clean");
+        assert!(w.describe("no such entity zzz").is_none());
+    }
+
+    #[test]
+    fn all_domains_build() {
+        for domain in [Domain::Movies, Domain::Academic, Domain::Geo, Domain::Biomed] {
+            let w = Workbench::build(&WorkbenchConfig {
+                domain,
+                entities_per_class: 8,
+                ..Default::default()
+            });
+            assert!(w.graph().len() > 30, "{}", domain.name());
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The open challenges registry (paper §5.2).
+
+use serde::Serialize;
+
+/// One open challenge the survey identifies.
+#[derive(Debug, Clone, Serialize)]
+pub struct Challenge {
+    /// Short identifier.
+    pub id: &'static str,
+    /// Challenge statement, paraphrasing §5.2.
+    pub statement: &'static str,
+    /// Which workspace experiment (if any) probes the challenge.
+    pub probed_by: Option<&'static str>,
+}
+
+/// All open challenges of §5.2.
+pub fn challenges() -> Vec<Challenge> {
+    vec![
+        Challenge {
+            id: "reliable-knowledge-injection",
+            statement: "Incorporate knowledge from KGs reliably into LLM answers \
+                        instead of storing facts in model parameters.",
+            probed_by: Some("E10 (RAG ablation: retrieval vs parametric answers)"),
+        },
+        Challenge {
+            id: "smaller-models",
+            statement: "Shrink LLMs without losing reasoning capability by excluding \
+                        KG-stored facts from training data.",
+            probed_by: Some("E10 (closed-book vs retrieval-augmented accuracy)"),
+        },
+        Challenge {
+            id: "core-language-fragments",
+            statement: "Train on core fragments of query languages (coreSPARQL, XPath \
+                        without redundant constructs) to reduce parameter needs.",
+            probed_by: Some("E13 (grammar-constrained SPARQL generation)"),
+        },
+        Challenge {
+            id: "satisfiable-queries-only",
+            statement: "Prefer satisfiable queries in training data — queries that can \
+                        return results.",
+            probed_by: Some("E13 (execution-accuracy metric rejects unsatisfiable queries)"),
+        },
+        Challenge {
+            id: "knowledge-language-separation",
+            statement: "Separate knowledge (KGs) from language understanding (minimal \
+                        high-quality training set), making domain fine-tuning obsolete.",
+            probed_by: Some("slm design: enumerable knowledge + generic language layer"),
+        },
+        Challenge {
+            id: "personal-kg-llms",
+            statement: "Personal-KG-enhanced LLMs imitating an individual's style with \
+                        private knowledge.",
+            probed_by: None,
+        },
+        Challenge {
+            id: "agi-architectures",
+            statement: "Brain-inspired architectures where LLMs only verbalize and KGs \
+                        administrate knowledge.",
+            probed_by: None,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_challenges_registered() {
+        assert_eq!(challenges().len(), 7);
+    }
+
+    #[test]
+    fn most_challenges_are_probed_by_experiments() {
+        let probed = challenges().iter().filter(|c| c.probed_by.is_some()).count();
+        assert!(probed >= 5);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = challenges().iter().map(|c| c.id).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+}

@@ -1,0 +1,138 @@
+//! Table 1: the survey-coverage matrix, transcribed from the paper.
+
+use serde::Serialize;
+
+/// The five columns of Table 1, in paper order: the four prior surveys
+/// (`[68]` Pan et al. roadmap, `[67]` Pan et al. opportunities, `[41]` Hu
+/// et al., `[90]` Yang et al.) and this survey.
+pub const SURVEYS: [&str; 5] = ["[68]", "[67]", "[41]", "[90]", "Our Survey"];
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoverageRow {
+    /// Main category (left column).
+    pub main: &'static str,
+    /// Subcategory.
+    pub sub: &'static str,
+    /// Coverage flags aligned with [`SURVEYS`].
+    pub covered: [bool; 5],
+}
+
+const T: bool = true;
+const F: bool = false;
+
+/// The full Table 1 as printed in the paper.
+pub fn coverage_matrix() -> Vec<CoverageRow> {
+    let row = |main, sub, covered| CoverageRow { main, sub, covered };
+    vec![
+        row("KG Construction", "Relation and Attribute Extraction", [T, T, F, F, T]),
+        row("KG Construction", "Entity Extraction and Alignment", [T, T, F, F, T]),
+        row("KG Construction", "Event Detection or Extraction", [F, F, F, F, F]),
+        row("KG Construction", "Ontology Creation", [F, T, F, F, T]),
+        row("KG-to-Text Generation", "KG-to-Text Generation", [T, F, F, F, T]),
+        row("KG Reasoning", "KG Reasoning", [T, T, F, F, T]),
+        row("KG Completion", "Entity, Relation and Triple Classification", [T, T, F, F, T]),
+        row("KG Completion", "Entity Prediction", [T, T, F, F, T]),
+        row("KG Completion", "Relation Prediction", [F, T, F, F, T]),
+        row("KG Embedding", "KG Embedding", [T, F, F, F, T]),
+        row("KG-enhanced LLM", "KG-enhanced LLM", [T, T, T, T, T]),
+        row("KG Validation", "Fact Checking", [F, F, F, F, T]),
+        row("KG Validation", "Inconsistency Detection", [F, F, F, F, T]),
+        row("KG Question Answering", "Complex Question Answering", [F, F, F, F, T]),
+        row("KG Question Answering", "Multi-Hop Question Generation", [F, F, F, F, T]),
+        row("KG Question Answering", "Knowledge Graph Chatbots", [F, F, F, F, T]),
+        row("KG Question Answering", "Query Generation from natural text", [F, F, F, F, T]),
+        row("KG Question Answering", "Querying Large Language Models with SPARQL", [F, F, F, F, T]),
+    ]
+}
+
+/// Per-survey coverage counts (how many subcategories each survey covers).
+pub fn coverage_counts() -> [usize; 5] {
+    let mut counts = [0usize; 5];
+    for r in coverage_matrix() {
+        for (i, &c) in r.covered.iter().enumerate() {
+            if c {
+                counts[i] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Render Table 1 as an aligned text table (the Table 1 regenerator).
+pub fn render_table() -> String {
+    let rows = coverage_matrix();
+    let main_w = rows.iter().map(|r| r.main.len()).max().unwrap_or(0);
+    let sub_w = rows.iter().map(|r| r.sub.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:main_w$}  {:sub_w$}  {:>5} {:>5} {:>5} {:>5} {:>10}\n",
+        "Main Category", "Subcategory", SURVEYS[0], SURVEYS[1], SURVEYS[2], SURVEYS[3], SURVEYS[4],
+    ));
+    let mut last_main = "";
+    for r in &rows {
+        let main = if r.main == last_main { "" } else { r.main };
+        last_main = r.main;
+        let flags: Vec<&str> = r.covered.iter().map(|&c| if c { "✓" } else { "✗" }).collect();
+        out.push_str(&format!(
+            "{:main_w$}  {:sub_w$}  {:>5} {:>5} {:>5} {:>5} {:>10}\n",
+            main, r.sub, flags[0], flags[1], flags[2], flags[3], flags[4],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_rows_as_in_the_paper() {
+        assert_eq!(coverage_matrix().len(), 18);
+    }
+
+    #[test]
+    fn our_survey_dominates_every_prior_survey() {
+        for r in coverage_matrix() {
+            for prior in 0..4 {
+                if r.covered[prior] {
+                    assert!(
+                        r.covered[4],
+                        "our survey must cover everything priors cover: {}",
+                        r.sub
+                    );
+                }
+            }
+        }
+        let counts = coverage_counts();
+        for prior in 0..4 {
+            assert!(counts[4] > counts[prior]);
+        }
+    }
+
+    #[test]
+    fn our_survey_covers_all_but_event_detection() {
+        for r in coverage_matrix() {
+            let expect = r.sub != "Event Detection or Extraction";
+            assert_eq!(r.covered[4], expect, "{}", r.sub);
+        }
+    }
+
+    #[test]
+    fn kg_enhanced_llm_is_the_only_universally_covered_row() {
+        let universal: Vec<String> = coverage_matrix()
+            .into_iter()
+            .filter(|r| r.covered.iter().all(|&c| c))
+            .map(|r| r.sub.to_string())
+            .collect();
+        assert_eq!(universal, vec!["KG-enhanced LLM"]);
+    }
+
+    #[test]
+    fn render_contains_headers_and_marks() {
+        let t = render_table();
+        assert!(t.contains("Our Survey"));
+        assert!(t.contains('✓') && t.contains('✗'));
+        assert!(t.contains("Inconsistency Detection"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # corpus — the survey's own analysis artifacts, as data + code
+//!
+//! The paper's quantitative content is (a) the Figure 1 taxonomy of the
+//! LLM⟷KG interplay, (b) the Table 1 coverage matrix comparing four prior
+//! surveys with this one, and (c) the Figure 2 bibliometric statistics of
+//! which LLMs and KGs the cited approach papers use. This crate encodes
+//! all three as structured data with the analysis code that regenerates
+//! them, so the `llmkg-bench` binaries can print the paper's exact
+//! artifacts and diff them against expectations.
+
+pub mod taxonomy;
+pub mod bibliography;
+pub mod coverage;
+pub mod stats;
+pub mod challenges;
+
+pub use bibliography::{Reference, RefKind, REFERENCES};
+pub use coverage::{coverage_matrix, CoverageRow, SURVEYS};
+pub use stats::{UsageStats, usage_stats};
+pub use taxonomy::{taxonomy, Family, TaxonomyNode};

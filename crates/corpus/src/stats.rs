@@ -1,0 +1,209 @@
+//! Figure 2: statistics of LLM and KG usage in the cited approach papers.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::bibliography::approaches;
+use crate::taxonomy::{node, Family};
+
+/// Normalize an LLM name to the family Figure 2 charts: the survey counts
+/// the GPT-3 model line (GPT-3, GPT-3.5, ChatGPT) as one series.
+pub fn normalize_llm(name: &str) -> &str {
+    match name {
+        "GPT-3.5" | "ChatGPT" => "GPT-3",
+        other => other,
+    }
+}
+
+/// Aggregated usage statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct UsageStats {
+    /// LLM → number of approach papers using it (after normalization).
+    pub llm_counts: BTreeMap<String, usize>,
+    /// KG → number of approach papers using it.
+    pub kg_counts: BTreeMap<String, usize>,
+    /// (family, LLM) → count, for the per-category breakdown.
+    pub llm_by_family: BTreeMap<(String, String), usize>,
+    /// (family, KG) → count.
+    pub kg_by_family: BTreeMap<(String, String), usize>,
+    /// Number of approach papers considered.
+    pub n_approaches: usize,
+}
+
+/// Compute the Figure 2 statistics from the bibliography.
+pub fn usage_stats() -> UsageStats {
+    let mut llm_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut kg_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut llm_by_family: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut kg_by_family: BTreeMap<(String, String), usize> = BTreeMap::new();
+    let mut n = 0usize;
+    for r in approaches() {
+        n += 1;
+        let family: Option<Family> =
+            r.category.and_then(node).map(|t| t.family);
+        let fam_name = family.map(|f| f.name().to_string()).unwrap_or_default();
+        // count each model family once per paper
+        let mut seen: Vec<&str> = Vec::new();
+        for llm in r.llms {
+            let norm = normalize_llm(llm);
+            if seen.contains(&norm) {
+                continue;
+            }
+            seen.push(norm);
+            *llm_counts.entry(norm.to_string()).or_insert(0) += 1;
+            *llm_by_family
+                .entry((fam_name.clone(), norm.to_string()))
+                .or_insert(0) += 1;
+        }
+        for kg in r.kgs {
+            *kg_counts.entry((*kg).to_string()).or_insert(0) += 1;
+            *kg_by_family
+                .entry((fam_name.clone(), (*kg).to_string()))
+                .or_insert(0) += 1;
+        }
+    }
+    UsageStats { llm_counts, kg_counts, llm_by_family, kg_by_family, n_approaches: n }
+}
+
+impl UsageStats {
+    /// Names sorted by descending count (ties alphabetical).
+    fn ranked(counts: &BTreeMap<String, usize>) -> Vec<(&str, usize)> {
+        let mut v: Vec<(&str, usize)> =
+            counts.iter().map(|(k, &c)| (k.as_str(), c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// LLMs ranked by usage.
+    pub fn top_llms(&self) -> Vec<(&str, usize)> {
+        Self::ranked(&self.llm_counts)
+    }
+
+    /// KGs ranked by usage.
+    pub fn top_kgs(&self) -> Vec<(&str, usize)> {
+        Self::ranked(&self.kg_counts)
+    }
+
+    /// Render the Figure 2 regeneration as two text bar charts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Figure 2 — LLM/KG usage across {} cited approach papers\n\n",
+            self.n_approaches
+        ));
+        out.push_str("LLMs:\n");
+        for (name, count) in self.top_llms() {
+            out.push_str(&format!("  {name:10} {:3} {}\n", count, "█".repeat(count)));
+        }
+        out.push_str("\nKGs:\n");
+        for (name, count) in self.top_kgs() {
+            out.push_str(&format!("  {name:10} {:3} {}\n", count, "█".repeat(count)));
+        }
+        out
+    }
+
+    /// Render the per-family breakdown (the "per category" aspect of
+    /// Figure 2's x-axis grouping).
+    pub fn render_by_family(&self) -> String {
+        let mut out = String::new();
+        let mut families: Vec<&str> = self
+            .llm_by_family
+            .keys()
+            .map(|(f, _)| f.as_str())
+            .collect();
+        families.sort_unstable();
+        families.dedup();
+        for fam in families {
+            out.push_str(&format!("{fam}\n"));
+            out.push_str("  LLMs: ");
+            let mut entries: Vec<(&str, usize)> = self
+                .llm_by_family
+                .iter()
+                .filter(|((f, _), _)| f == fam)
+                .map(|((_, l), &c)| (l.as_str(), c))
+                .collect();
+            entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            out.push_str(
+                &entries
+                    .iter()
+                    .map(|(l, c)| format!("{l}×{c}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            );
+            out.push('\n');
+            let mut kgs: Vec<(&str, usize)> = self
+                .kg_by_family
+                .iter()
+                .filter(|((f, _), _)| f == fam)
+                .map(|((_, k), &c)| (k.as_str(), c))
+                .collect();
+            kgs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+            out.push_str("  KGs:  ");
+            out.push_str(
+                &kgs.iter().map(|(k, c)| format!("{k}×{c}")).collect::<Vec<_>>().join(", "),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freebase_is_the_most_used_kg() {
+        // the paper's headline finding
+        let s = usage_stats();
+        let top = s.top_kgs();
+        assert_eq!(top[0].0, "Freebase", "{top:?}");
+    }
+
+    #[test]
+    fn bert_and_gpt3_are_the_top_llms() {
+        // the paper's second headline finding
+        let s = usage_stats();
+        let top = s.top_llms();
+        let first_two: Vec<&str> = top.iter().take(2).map(|(n, _)| *n).collect();
+        assert!(first_two.contains(&"BERT"), "{top:?}");
+        assert!(first_two.contains(&"GPT-3"), "{top:?}");
+    }
+
+    #[test]
+    fn normalization_folds_the_gpt3_family() {
+        assert_eq!(normalize_llm("ChatGPT"), "GPT-3");
+        assert_eq!(normalize_llm("GPT-3.5"), "GPT-3");
+        assert_eq!(normalize_llm("GPT-4"), "GPT-4");
+        assert_eq!(normalize_llm("BERT"), "BERT");
+    }
+
+    #[test]
+    fn counts_are_per_paper_not_per_mention() {
+        // ref 46 lists GPT-3 and ChatGPT; after normalization that's one
+        // GPT-3 usage, not two — so GPT-3 count must not exceed the number
+        // of approach papers
+        let s = usage_stats();
+        let gpt3 = s.llm_counts.get("GPT-3").copied().unwrap_or(0);
+        assert!(gpt3 <= s.n_approaches);
+        assert!(gpt3 >= 10, "expected double-digit GPT-3 family usage, got {gpt3}");
+    }
+
+    #[test]
+    fn per_family_breakdown_covers_all_families() {
+        let s = usage_stats();
+        let fams: Vec<&String> = s.llm_by_family.keys().map(|(f, _)| f).collect();
+        assert!(fams.iter().any(|f| f.as_str() == "LLM for KG"));
+        assert!(fams.iter().any(|f| f.as_str() == "LLM-KG Cooperation"));
+    }
+
+    #[test]
+    fn renders_are_non_empty_and_mention_winners() {
+        let s = usage_stats();
+        let r = s.render();
+        assert!(r.contains("Freebase"));
+        assert!(r.contains("BERT"));
+        assert!(!s.render_by_family().is_empty());
+    }
+}

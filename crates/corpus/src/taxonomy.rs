@@ -1,0 +1,307 @@
+//! The Figure 1 taxonomy, as the single source of truth.
+//!
+//! Every node records its family, its research-question number (the pink
+//! highlight in Figure 1), whether it is *new in this survey* (the star
+//! markers), and which workspace crate implements it — so drift between
+//! the paper's taxonomy and the codebase is visible in one place.
+
+use serde::Serialize;
+
+/// The three top-level interplay families of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Family {
+    /// LLMs used to build / refine KGs (paper §2).
+    LlmForKg,
+    /// KGs used to improve LLMs (paper §3).
+    KgEnhancedLlm,
+    /// Collaborative use of both (paper §4).
+    Cooperation,
+}
+
+impl Family {
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::LlmForKg => "LLM for KG",
+            Family::KgEnhancedLlm => "KG-enhanced LLM",
+            Family::Cooperation => "LLM-KG Cooperation",
+        }
+    }
+}
+
+/// One node of the taxonomy.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaxonomyNode {
+    /// Family this node belongs to.
+    pub family: Family,
+    /// Parent category name (`None` for category roots).
+    pub parent: Option<&'static str>,
+    /// Node name as printed in Figure 1 / Table 1.
+    pub name: &'static str,
+    /// Research question number (1–6) if this node is one of the paper's
+    /// formulated research questions.
+    pub research_question: Option<u8>,
+    /// Starred in Figure 1: not addressed by previous survey papers.
+    pub new_in_survey: bool,
+    /// The workspace crate (and module) implementing this node.
+    pub implemented_by: &'static str,
+    /// Paper section covering the node.
+    pub section: &'static str,
+}
+
+/// The full Figure 1 taxonomy.
+pub fn taxonomy() -> Vec<TaxonomyNode> {
+    use Family::*;
+    let n = |family,
+             parent,
+             name,
+             research_question,
+             new_in_survey,
+             implemented_by,
+             section| TaxonomyNode {
+        family,
+        parent,
+        name,
+        research_question,
+        new_in_survey,
+        implemented_by,
+        section,
+    };
+    vec![
+        // ── LLM for KG ────────────────────────────────────────────────
+        n(LlmForKg, None, "KG Construction", None, false, "kgextract", "§2.1"),
+        n(
+            LlmForKg,
+            Some("KG Construction"),
+            "Ontology Creation",
+            Some(2),
+            false,
+            "kgonto",
+            "§2.1.1",
+        ),
+        n(
+            LlmForKg,
+            Some("KG Construction"),
+            "Entity Extraction and Alignment",
+            None,
+            false,
+            "kgextract::ner, kgextract::align",
+            "§2.1.2",
+        ),
+        n(
+            LlmForKg,
+            Some("KG Construction"),
+            "Relation Extraction",
+            None,
+            false,
+            "kgextract::relation",
+            "§2.1.3",
+        ),
+        n(LlmForKg, None, "KG-to-Text Generation", Some(1), false, "kgtext", "§2.2"),
+        n(LlmForKg, None, "KG Reasoning", None, false, "kgreason", "§2.3"),
+        n(LlmForKg, None, "KG Completion", None, false, "kgcomplete", "§2.4"),
+        n(
+            LlmForKg,
+            Some("KG Completion"),
+            "Entity, Relation and Triple Classification",
+            None,
+            false,
+            "kgcomplete::classify",
+            "§2.4",
+        ),
+        n(
+            LlmForKg,
+            Some("KG Completion"),
+            "Entity Prediction",
+            None,
+            false,
+            "kgcomplete::link",
+            "§2.4",
+        ),
+        n(
+            LlmForKg,
+            Some("KG Completion"),
+            "Relation Prediction",
+            None,
+            false,
+            "kgcomplete::link",
+            "§2.4",
+        ),
+        n(LlmForKg, None, "KG Embedding", None, false, "kgembed", "§2.5"),
+        n(LlmForKg, None, "KG Validation", None, true, "kgvalidate", "§2.6"),
+        n(
+            LlmForKg,
+            Some("KG Validation"),
+            "Fact Checking",
+            Some(4),
+            true,
+            "kgvalidate::factcheck",
+            "§2.6.1",
+        ),
+        n(
+            LlmForKg,
+            Some("KG Validation"),
+            "Inconsistency Detection",
+            Some(3),
+            true,
+            "kgvalidate::inconsistency",
+            "§2.6.2",
+        ),
+        // ── KG-enhanced LLM ──────────────────────────────────────────
+        n(KgEnhancedLlm, None, "KG-enhanced LLM", None, false, "kgrag", "§3"),
+        // ── LLM-KG Cooperation ───────────────────────────────────────
+        n(Cooperation, None, "KG Question Answering", None, false, "kgqa", "§4.1"),
+        n(
+            Cooperation,
+            Some("KG Question Answering"),
+            "Multi-Hop Question Generation",
+            None,
+            true,
+            "kgqa::qgen",
+            "§4.1.1",
+        ),
+        n(
+            Cooperation,
+            Some("KG Question Answering"),
+            "Complex Question Answering",
+            Some(5),
+            true,
+            "kgqa::multihop",
+            "§4.1.2",
+        ),
+        n(
+            Cooperation,
+            Some("KG Question Answering"),
+            "Query Generation from natural text",
+            Some(6),
+            true,
+            "kgqa::text2sparql",
+            "§4.1.3",
+        ),
+        n(
+            Cooperation,
+            Some("KG Question Answering"),
+            "Querying LLMs with SPARQL",
+            None,
+            true,
+            "kgqa::hybrid",
+            "§4.1.4",
+        ),
+        n(
+            Cooperation,
+            Some("KG Question Answering"),
+            "Knowledge Graph Chatbots",
+            None,
+            true,
+            "kgqa::chatbot",
+            "§4.1.5",
+        ),
+    ]
+}
+
+/// Look up a taxonomy node by name.
+pub fn node(name: &str) -> Option<TaxonomyNode> {
+    taxonomy().into_iter().find(|n| n.name == name)
+}
+
+/// Render the taxonomy as an indented text tree (the Figure 1 regenerator).
+pub fn render_tree() -> String {
+    let nodes = taxonomy();
+    let mut out = String::new();
+    for family in [Family::LlmForKg, Family::KgEnhancedLlm, Family::Cooperation] {
+        out.push_str(family.name());
+        out.push('\n');
+        for root in nodes.iter().filter(|n| n.family == family && n.parent.is_none()) {
+            out.push_str(&format!("├── {}{}\n", root.name, markers(root)));
+            let children: Vec<&TaxonomyNode> = nodes
+                .iter()
+                .filter(|n| n.parent == Some(root.name))
+                .collect();
+            for child in &children {
+                out.push_str(&format!("│   ├── {}{}\n", child.name, markers(child)));
+            }
+        }
+    }
+    out
+}
+
+fn markers(n: &TaxonomyNode) -> String {
+    let mut m = String::new();
+    if let Some(rq) = n.research_question {
+        m.push_str(&format!(" [RQ{rq}]"));
+    }
+    if n.new_in_survey {
+        m.push_str(" ★");
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_has_three_families() {
+        let t = taxonomy();
+        for f in [Family::LlmForKg, Family::KgEnhancedLlm, Family::Cooperation] {
+            assert!(t.iter().any(|n| n.family == f), "{:?} missing", f);
+        }
+    }
+
+    #[test]
+    fn all_six_research_questions_present_exactly_once_each() {
+        let t = taxonomy();
+        for rq in 1..=6u8 {
+            let hits: Vec<_> = t.iter().filter(|n| n.research_question == Some(rq)).collect();
+            assert_eq!(hits.len(), 1, "RQ{rq} must map to exactly one node: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn starred_nodes_match_paper() {
+        // the paper stars KG Validation (both children) and the new KGQA
+        // subcategories
+        let t = taxonomy();
+        let starred: Vec<&str> =
+            t.iter().filter(|n| n.new_in_survey).map(|n| n.name).collect();
+        assert!(starred.contains(&"Fact Checking"));
+        assert!(starred.contains(&"Inconsistency Detection"));
+        assert!(starred.contains(&"Multi-Hop Question Generation"));
+        assert!(starred.contains(&"Querying LLMs with SPARQL"));
+        assert!(starred.contains(&"Knowledge Graph Chatbots"));
+        assert!(!starred.contains(&"KG Embedding"));
+    }
+
+    #[test]
+    fn every_node_is_implemented_somewhere() {
+        for n in taxonomy() {
+            assert!(!n.implemented_by.is_empty(), "{} unimplemented", n.name);
+        }
+    }
+
+    #[test]
+    fn parents_resolve() {
+        let t = taxonomy();
+        for n in &t {
+            if let Some(p) = n.parent {
+                assert!(t.iter().any(|m| m.name == p), "missing parent {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_renders_all_families_and_stars() {
+        let tree = render_tree();
+        assert!(tree.contains("LLM for KG"));
+        assert!(tree.contains("KG-enhanced LLM"));
+        assert!(tree.contains("LLM-KG Cooperation"));
+        assert!(tree.contains('★'));
+        assert!(tree.contains("[RQ6]"));
+    }
+
+    #[test]
+    fn node_lookup() {
+        assert!(node("KG Embedding").is_some());
+        assert!(node("Nonexistent").is_none());
+    }
+}

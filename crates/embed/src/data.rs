@@ -1,0 +1,166 @@
+//! Dense-id triple sets for embedding training.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use kg::namespace as ns;
+use kg::term::Sym;
+use kg::Graph;
+
+/// A triple over dense entity/relation ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DenseTriple {
+    /// Head entity id.
+    pub h: usize,
+    /// Relation id.
+    pub r: usize,
+    /// Tail entity id.
+    pub t: usize,
+}
+
+/// A set of relation triples with dense id maps and a train/valid/test
+/// split, extracted from a graph.
+#[derive(Debug, Clone)]
+pub struct TripleSet {
+    /// Entity `Sym`s indexed by dense id.
+    pub entities: Vec<Sym>,
+    /// Relation `Sym`s indexed by dense id.
+    pub relations: Vec<Sym>,
+    /// Training triples.
+    pub train: Vec<DenseTriple>,
+    /// Validation triples.
+    pub valid: Vec<DenseTriple>,
+    /// Test triples.
+    pub test: Vec<DenseTriple>,
+    /// All known true triples (for filtered ranking).
+    pub all: BTreeSet<DenseTriple>,
+}
+
+impl TripleSet {
+    /// Extract relation triples from a graph, keeping only IRI→IRI edges
+    /// whose predicate passes `keep` (use it to drop `rdf:type` /
+    /// `rdfs:label`), and split into train/valid/test by `(0.8, 0.1, 0.1)`
+    /// under `seed`.
+    pub fn from_graph(graph: &Graph, seed: u64, keep: impl Fn(&str) -> bool) -> Self {
+        let mut ent_ids: BTreeMap<Sym, usize> = BTreeMap::new();
+        let mut rel_ids: BTreeMap<Sym, usize> = BTreeMap::new();
+        let mut entities = Vec::new();
+        let mut relations = Vec::new();
+        let mut triples = Vec::new();
+        for t in graph.iter() {
+            let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+            if !keep(p_iri) {
+                continue;
+            }
+            if !graph.resolve(t.s).is_iri() || !graph.resolve(t.o).is_iri() {
+                continue;
+            }
+            let h = *ent_ids.entry(t.s).or_insert_with(|| {
+                entities.push(t.s);
+                entities.len() - 1
+            });
+            let r = *rel_ids.entry(t.p).or_insert_with(|| {
+                relations.push(t.p);
+                relations.len() - 1
+            });
+            let tt = *ent_ids.entry(t.o).or_insert_with(|| {
+                entities.push(t.o);
+                entities.len() - 1
+            });
+            triples.push(DenseTriple { h, r, t: tt });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        triples.shuffle(&mut rng);
+        let n = triples.len();
+        let n_test = n / 10;
+        let n_valid = n / 10;
+        let test = triples.split_off(n - n_test);
+        let valid = triples.split_off(n.saturating_sub(n_test + n_valid));
+        let train = triples;
+        let all: BTreeSet<DenseTriple> =
+            train.iter().chain(&valid).chain(&test).copied().collect();
+        TripleSet { entities, relations, train, valid, test, all }
+    }
+
+    /// The default predicate filter: keep synthetic-vocabulary relations,
+    /// drop `rdf:` / `rdfs:` / `owl:` machinery.
+    pub fn default_keep(p_iri: &str) -> bool {
+        !p_iri.starts_with(ns::RDF)
+            && !p_iri.starts_with(ns::RDFS)
+            && !p_iri.starts_with(ns::OWL)
+    }
+
+    /// Number of entities.
+    pub fn n_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of relations.
+    pub fn n_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is a triple known to be true (any split)?
+    pub fn is_true(&self, t: DenseTriple) -> bool {
+        self.all.contains(&t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synth::{movies, Scale};
+
+    fn set() -> TripleSet {
+        let kg = movies(4, Scale::default());
+        TripleSet::from_graph(&kg.graph, 7, TripleSet::default_keep)
+    }
+
+    #[test]
+    fn split_is_8_1_1_ish() {
+        let s = set();
+        let n = s.train.len() + s.valid.len() + s.test.len();
+        assert!(n > 50);
+        assert!(s.test.len() >= n / 12);
+        assert!(s.train.len() >= n * 7 / 10);
+        assert_eq!(s.all.len(), n); // generators do not produce duplicates
+    }
+
+    #[test]
+    fn ids_are_dense_and_consistent() {
+        let s = set();
+        for t in s.train.iter().chain(&s.valid).chain(&s.test) {
+            assert!(t.h < s.n_entities());
+            assert!(t.t < s.n_entities());
+            assert!(t.r < s.n_relations());
+        }
+    }
+
+    #[test]
+    fn default_keep_drops_schema_predicates() {
+        assert!(!TripleSet::default_keep(ns::RDF_TYPE));
+        assert!(!TripleSet::default_keep(ns::RDFS_LABEL));
+        assert!(TripleSet::default_keep("http://llmkg.dev/vocab/directedBy"));
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let kg = movies(4, Scale::tiny());
+        let a = TripleSet::from_graph(&kg.graph, 7, TripleSet::default_keep);
+        let b = TripleSet::from_graph(&kg.graph, 7, TripleSet::default_keep);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = TripleSet::from_graph(&kg.graph, 8, TripleSet::default_keep);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn is_true_sees_all_splits() {
+        let s = set();
+        assert!(s.is_true(s.test[0]));
+        assert!(s.is_true(s.train[0]));
+    }
+}

@@ -1,0 +1,257 @@
+//! Filtered link-prediction evaluation (the FB15k protocol).
+
+use crate::data::{DenseTriple, TripleSet};
+use crate::model::KgeModel;
+
+/// Ranking metrics over a test split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankMetrics {
+    /// Mean rank (1 = perfect).
+    pub mr: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Fraction of test cases ranked first.
+    pub hits1: f64,
+    /// Fraction ranked in the top 3.
+    pub hits3: f64,
+    /// Fraction ranked in the top 10.
+    pub hits10: f64,
+    /// Number of ranking tasks evaluated (2 × test triples).
+    pub count: usize,
+}
+
+impl RankMetrics {
+    /// The metrics of an empty evaluation.
+    pub fn empty() -> Self {
+        RankMetrics { mr: 0.0, mrr: 0.0, hits1: 0.0, hits3: 0.0, hits10: 0.0, count: 0 }
+    }
+
+    /// One-line report.
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "{name:12} MR {:7.1}  MRR {:.3}  Hits@1 {:.3}  Hits@3 {:.3}  Hits@10 {:.3}",
+            self.mr, self.mrr, self.hits1, self.hits3, self.hits10
+        )
+    }
+}
+
+/// Score a model on the test split with the *filtered* protocol: when
+/// ranking the true head/tail against all entities, other known-true
+/// triples are excluded from the candidate list. Both head and tail
+/// prediction count.
+pub fn evaluate<M: KgeModel>(model: &M, data: &TripleSet) -> RankMetrics {
+    evaluate_scored(
+        |h, r, t| model.score(h, r, t),
+        data,
+    )
+}
+
+/// Like [`evaluate`] but for any scoring function — used by the text-based
+/// completion methods that are not `KgeModel`s.
+pub fn evaluate_scored(score: impl Fn(usize, usize, usize) -> f32, data: &TripleSet) -> RankMetrics {
+    evaluate_slice(&score, data, &data.test)
+}
+
+/// Parallel evaluation: splits the test triples across `threads` crossbeam
+/// scoped workers and merges their partial metrics. Produces exactly the
+/// same numbers as [`evaluate_scored`] (metric sums are associative).
+pub fn evaluate_scored_parallel<F>(score: F, data: &TripleSet, threads: usize) -> RankMetrics
+where
+    F: Fn(usize, usize, usize) -> f32 + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || data.test.len() < threads * 2 {
+        return evaluate_scored(score, data);
+    }
+    let chunk = data.test.len().div_ceil(threads);
+    let partials: Vec<RankMetrics> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = data
+            .test
+            .chunks(chunk)
+            .map(|slice| s.spawn(|_| evaluate_slice(&score, data, slice)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope");
+    merge(&partials)
+}
+
+fn merge(parts: &[RankMetrics]) -> RankMetrics {
+    let count: usize = parts.iter().map(|m| m.count).sum();
+    if count == 0 {
+        return RankMetrics::empty();
+    }
+    let weighted = |f: fn(&RankMetrics) -> f64| {
+        parts.iter().map(|m| f(m) * m.count as f64).sum::<f64>() / count as f64
+    };
+    RankMetrics {
+        mr: weighted(|m| m.mr),
+        mrr: weighted(|m| m.mrr),
+        hits1: weighted(|m| m.hits1),
+        hits3: weighted(|m| m.hits3),
+        hits10: weighted(|m| m.hits10),
+        count,
+    }
+}
+
+fn evaluate_slice(
+    score: &(impl Fn(usize, usize, usize) -> f32 + ?Sized),
+    data: &TripleSet,
+    test: &[DenseTriple],
+) -> RankMetrics {
+    let n_ent = data.n_entities();
+    let mut mr = 0.0f64;
+    let mut mrr = 0.0f64;
+    let mut hits = [0usize; 3]; // @1, @3, @10
+    let mut count = 0usize;
+    for &t in test {
+        // tail prediction
+        let true_score = score(t.h, t.r, t.t);
+        let mut rank = 1usize;
+        for cand in 0..n_ent {
+            if cand == t.t {
+                continue;
+            }
+            let candidate = DenseTriple { t: cand, ..t };
+            if data.is_true(candidate) {
+                continue; // filtered setting
+            }
+            if score(t.h, t.r, cand) > true_score {
+                rank += 1;
+            }
+        }
+        tally(rank, &mut mr, &mut mrr, &mut hits);
+        count += 1;
+        // head prediction
+        let mut rank = 1usize;
+        for cand in 0..n_ent {
+            if cand == t.h {
+                continue;
+            }
+            let candidate = DenseTriple { h: cand, ..t };
+            if data.is_true(candidate) {
+                continue;
+            }
+            if score(cand, t.r, t.t) > true_score {
+                rank += 1;
+            }
+        }
+        tally(rank, &mut mr, &mut mrr, &mut hits);
+        count += 1;
+    }
+    if count == 0 {
+        return RankMetrics::empty();
+    }
+    RankMetrics {
+        mr: mr / count as f64,
+        mrr: mrr / count as f64,
+        hits1: hits[0] as f64 / count as f64,
+        hits3: hits[1] as f64 / count as f64,
+        hits10: hits[2] as f64 / count as f64,
+        count,
+    }
+}
+
+fn tally(rank: usize, mr: &mut f64, mrr: &mut f64, hits: &mut [usize; 3]) {
+    *mr += rank as f64;
+    *mrr += 1.0 / rank as f64;
+    if rank <= 1 {
+        hits[0] += 1;
+    }
+    if rank <= 3 {
+        hits[1] += 1;
+    }
+    if rank <= 10 {
+        hits[2] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TransE;
+    use crate::train::{train, TrainConfig};
+    use kg::synth::{freebase_like, FreebaseLikeConfig};
+
+    fn dataset() -> TripleSet {
+        let cfg = FreebaseLikeConfig {
+            n_entities: 60,
+            n_relations: 4,
+            n_triples: 500,
+            zipf_exponent: 0.8,
+        };
+        let kg = freebase_like(2, &cfg).expect("valid config");
+        TripleSet::from_graph(&kg.graph, 5, TripleSet::default_keep)
+    }
+
+    #[test]
+    fn trained_model_beats_untrained() {
+        let data = dataset();
+        let untrained = TransE::new(3, data.n_entities(), data.n_relations(), 24);
+        let base = evaluate(&untrained, &data);
+        let mut model = TransE::new(3, data.n_entities(), data.n_relations(), 24);
+        train(
+            &mut model,
+            &data,
+            &TrainConfig { epochs: 60, lr: 0.05, margin: 1.0, negatives: 2, seed: 1 },
+        );
+        let trained = evaluate(&model, &data);
+        assert!(
+            trained.mrr > base.mrr,
+            "training must improve MRR: {} → {}",
+            base.mrr,
+            trained.mrr
+        );
+        assert!(trained.hits10 >= base.hits10);
+    }
+
+    #[test]
+    fn perfect_oracle_ranks_first() {
+        let data = dataset();
+        let oracle =
+            |h: usize, r: usize, t: usize| {
+                if data.is_true(DenseTriple { h, r, t }) {
+                    1.0
+                } else {
+                    0.0
+                }
+            };
+        let m = evaluate_scored(oracle, &data);
+        assert!((m.mrr - 1.0).abs() < 1e-9, "oracle must be perfect, got {}", m.mrr);
+        assert_eq!(m.hits1, 1.0);
+        assert_eq!(m.mr, 1.0);
+    }
+
+    #[test]
+    fn empty_test_split_is_empty_metrics() {
+        let mut data = dataset();
+        data.test.clear();
+        let model = TransE::new(0, data.n_entities(), data.n_relations(), 4);
+        let m = evaluate(&model, &data);
+        assert_eq!(m.count, 0);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let data = dataset();
+        let mut model = TransE::new(3, data.n_entities(), data.n_relations(), 16);
+        train(
+            &mut model,
+            &data,
+            &TrainConfig { epochs: 10, ..Default::default() },
+        );
+        let serial = evaluate(&model, &data);
+        let parallel = evaluate_scored_parallel(|h, r, t| model.score(h, r, t), &data, 4);
+        assert_eq!(serial.count, parallel.count);
+        assert!((serial.mrr - parallel.mrr).abs() < 1e-12);
+        assert!((serial.mr - parallel.mr).abs() < 1e-9);
+        assert_eq!(serial.hits1, parallel.hits1);
+    }
+
+    #[test]
+    fn report_contains_metrics() {
+        let m = RankMetrics { mr: 5.0, mrr: 0.5, hits1: 0.3, hits3: 0.5, hits10: 0.9, count: 10 };
+        let r = m.report("TransE");
+        assert!(r.contains("TransE") && r.contains("0.500"));
+    }
+}

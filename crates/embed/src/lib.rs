@@ -1,0 +1,26 @@
+//! # kgembed — knowledge-graph embedding (paper §2.4–2.5)
+//!
+//! From-scratch implementations of the classic triple-based embedding
+//! models the survey cites as the structural baseline for KG completion —
+//! TransE \[9\], TransR-lite \[58\], DistMult, ComplEx \[77\], RotatE —
+//! plus the text-based SimKGC-style bi-encoder that scores triples with
+//! the simulated LM's text embeddings.
+//!
+//! * [`data`] — dense-id triple sets extracted from a [`kg::Graph`] with
+//!   seeded train/valid/test splits,
+//! * [`model`] — the scoring models with analytic margin-loss gradients,
+//! * [`mod@train`] — the SGD training loop with uniform negative sampling,
+//! * [`eval`] — filtered link-prediction metrics (MR, MRR, Hits@k),
+//! * [`lm_adapter`] — SimKGC-style textual bi-encoder over `slm`
+//!   embeddings (no training needed).
+
+pub mod data;
+pub mod model;
+pub mod train;
+pub mod eval;
+pub mod lm_adapter;
+
+pub use data::{DenseTriple, TripleSet};
+pub use eval::{evaluate, RankMetrics};
+pub use model::{ComplEx, DistMult, KgeModel, RotatE, TransE, TransR};
+pub use train::{train, TrainConfig};

@@ -1,0 +1,505 @@
+//! Embedding models with analytic margin-loss gradients.
+//!
+//! All models expose the same interface: a plausibility [`KgeModel::score`]
+//! (higher = more plausible) and one SGD [`KgeModel::step`] on a
+//! (positive, negative) triple pair under hinge loss
+//! `max(0, margin + s(neg) − s(pos))` (distance models equivalently use
+//! `margin + d(pos) − d(neg)`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::DenseTriple;
+
+/// Common interface of all embedding models.
+pub trait KgeModel {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+    /// Plausibility score (higher = better).
+    fn score(&self, h: usize, r: usize, t: usize) -> f32;
+    /// One SGD step on a positive/negative pair.
+    fn step(&mut self, pos: DenseTriple, neg: DenseTriple, lr: f32, margin: f32) -> f32;
+    /// Number of entities.
+    fn n_entities(&self) -> usize;
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+}
+
+fn init_vec(rng: &mut StdRng, n: usize, dim: usize) -> Vec<f32> {
+    let bound = 6.0 / (dim as f32).sqrt();
+    (0..n * dim).map(|_| rng.gen_range(-bound..bound)).collect()
+}
+
+fn normalize_row(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+// ───────────────────────────── TransE ─────────────────────────────
+
+/// TransE \[Bordes et al. 2013\]: `h + r ≈ t`, distance `‖h+r−t‖²`.
+#[derive(Debug, Clone)]
+pub struct TransE {
+    ent: Vec<f32>,
+    rel: Vec<f32>,
+    n_ent: usize,
+    dim: usize,
+}
+
+impl TransE {
+    /// Fresh random model.
+    pub fn new(seed: u64, n_ent: usize, n_rel: usize, dim: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TransE { ent: init_vec(&mut rng, n_ent, dim), rel: init_vec(&mut rng, n_rel, dim), n_ent, dim }
+    }
+
+    fn dist(&self, h: usize, r: usize, t: usize) -> f32 {
+        let (d, eh, er, et) = (self.dim, h * self.dim, r * self.dim, t * self.dim);
+        let mut s = 0.0;
+        for i in 0..d {
+            let u = self.ent[eh + i] + self.rel[er + i] - self.ent[et + i];
+            s += u * u;
+        }
+        s
+    }
+}
+
+impl KgeModel for TransE {
+    fn name(&self) -> &'static str {
+        "TransE"
+    }
+
+    fn score(&self, h: usize, r: usize, t: usize) -> f32 {
+        -self.dist(h, r, t)
+    }
+
+    fn step(&mut self, pos: DenseTriple, neg: DenseTriple, lr: f32, margin: f32) -> f32 {
+        let loss = margin + self.dist(pos.h, pos.r, pos.t) - self.dist(neg.h, neg.r, neg.t);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        let d = self.dim;
+        // positive: descend distance; negative: ascend
+        for (triple, sign) in [(pos, 1.0f32), (neg, -1.0)] {
+            let (eh, er, et) = (triple.h * d, triple.r * d, triple.t * d);
+            for i in 0..d {
+                let u = 2.0 * (self.ent[eh + i] + self.rel[er + i] - self.ent[et + i]);
+                self.ent[eh + i] -= sign * lr * u;
+                self.rel[er + i] -= sign * lr * u;
+                self.ent[et + i] += sign * lr * u;
+            }
+        }
+        for &e in &[pos.h, pos.t, neg.h, neg.t] {
+            normalize_row(&mut self.ent[e * d..(e + 1) * d]);
+        }
+        loss
+    }
+
+    fn n_entities(&self) -> usize {
+        self.n_ent
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+// ───────────────────────────── TransR-lite ─────────────────────────
+
+/// TransR-lite \[after Lin et al. 2015\]: relation-specific *diagonal*
+/// projection `w_r ∘ h + r ≈ w_r ∘ t` (the full matrix projection of
+/// TransR collapsed to a vector, keeping per-relation spaces affordable).
+#[derive(Debug, Clone)]
+pub struct TransR {
+    ent: Vec<f32>,
+    rel: Vec<f32>,
+    proj: Vec<f32>,
+    n_ent: usize,
+    dim: usize,
+}
+
+impl TransR {
+    /// Fresh random model.
+    pub fn new(seed: u64, n_ent: usize, n_rel: usize, dim: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7A);
+        TransR {
+            ent: init_vec(&mut rng, n_ent, dim),
+            rel: init_vec(&mut rng, n_rel, dim),
+            proj: (0..n_rel * dim).map(|_| 1.0 + rng.gen_range(-0.1..0.1)).collect(),
+            n_ent,
+            dim,
+        }
+    }
+
+    fn dist(&self, h: usize, r: usize, t: usize) -> f32 {
+        let (d, eh, er, et) = (self.dim, h * self.dim, r * self.dim, t * self.dim);
+        let mut s = 0.0;
+        for i in 0..d {
+            let w = self.proj[er + i];
+            let u = w * self.ent[eh + i] + self.rel[er + i] - w * self.ent[et + i];
+            s += u * u;
+        }
+        s
+    }
+}
+
+impl KgeModel for TransR {
+    fn name(&self) -> &'static str {
+        "TransR-lite"
+    }
+
+    fn score(&self, h: usize, r: usize, t: usize) -> f32 {
+        -self.dist(h, r, t)
+    }
+
+    fn step(&mut self, pos: DenseTriple, neg: DenseTriple, lr: f32, margin: f32) -> f32 {
+        let loss = margin + self.dist(pos.h, pos.r, pos.t) - self.dist(neg.h, neg.r, neg.t);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        let d = self.dim;
+        for (triple, sign) in [(pos, 1.0f32), (neg, -1.0)] {
+            let (eh, er, et) = (triple.h * d, triple.r * d, triple.t * d);
+            for i in 0..d {
+                let w = self.proj[er + i];
+                let u = 2.0 * (w * self.ent[eh + i] + self.rel[er + i] - w * self.ent[et + i]);
+                let dh = u * w;
+                let dt = -u * w;
+                let dw = u * (self.ent[eh + i] - self.ent[et + i]);
+                self.ent[eh + i] -= sign * lr * dh;
+                self.ent[et + i] -= sign * lr * dt;
+                self.rel[er + i] -= sign * lr * u;
+                self.proj[er + i] -= sign * lr * dw;
+            }
+        }
+        for &e in &[pos.h, pos.t, neg.h, neg.t] {
+            normalize_row(&mut self.ent[e * d..(e + 1) * d]);
+        }
+        loss
+    }
+
+    fn n_entities(&self) -> usize {
+        self.n_ent
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+// ───────────────────────────── DistMult ─────────────────────────────
+
+/// DistMult: bilinear-diagonal score `Σ h∘r∘t`.
+#[derive(Debug, Clone)]
+pub struct DistMult {
+    ent: Vec<f32>,
+    rel: Vec<f32>,
+    n_ent: usize,
+    dim: usize,
+}
+
+impl DistMult {
+    /// Fresh random model.
+    pub fn new(seed: u64, n_ent: usize, n_rel: usize, dim: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1);
+        DistMult { ent: init_vec(&mut rng, n_ent, dim), rel: init_vec(&mut rng, n_rel, dim), n_ent, dim }
+    }
+}
+
+impl KgeModel for DistMult {
+    fn name(&self) -> &'static str {
+        "DistMult"
+    }
+
+    fn score(&self, h: usize, r: usize, t: usize) -> f32 {
+        let (d, eh, er, et) = (self.dim, h * self.dim, r * self.dim, t * self.dim);
+        (0..d).map(|i| self.ent[eh + i] * self.rel[er + i] * self.ent[et + i]).sum()
+    }
+
+    fn step(&mut self, pos: DenseTriple, neg: DenseTriple, lr: f32, margin: f32) -> f32 {
+        let loss = margin + self.score(neg.h, neg.r, neg.t) - self.score(pos.h, pos.r, pos.t);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        let d = self.dim;
+        for (triple, sign) in [(pos, 1.0f32), (neg, -1.0)] {
+            let (eh, er, et) = (triple.h * d, triple.r * d, triple.t * d);
+            for i in 0..d {
+                let (hv, rv, tv) = (self.ent[eh + i], self.rel[er + i], self.ent[et + i]);
+                // ascend score on positive, descend on negative
+                self.ent[eh + i] += sign * lr * rv * tv;
+                self.rel[er + i] += sign * lr * hv * tv;
+                self.ent[et + i] += sign * lr * hv * rv;
+            }
+        }
+        for &e in &[pos.h, pos.t, neg.h, neg.t] {
+            normalize_row(&mut self.ent[e * d..(e + 1) * d]);
+        }
+        loss
+    }
+
+    fn n_entities(&self) -> usize {
+        self.n_ent
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+// ───────────────────────────── ComplEx ─────────────────────────────
+
+/// ComplEx \[Trouillon et al. 2016\]: `Re(Σ h ∘ r ∘ conj(t))` over complex
+/// embeddings, able to model asymmetric relations.
+#[derive(Debug, Clone)]
+pub struct ComplEx {
+    ent_re: Vec<f32>,
+    ent_im: Vec<f32>,
+    rel_re: Vec<f32>,
+    rel_im: Vec<f32>,
+    n_ent: usize,
+    dim: usize,
+}
+
+impl ComplEx {
+    /// Fresh random model.
+    pub fn new(seed: u64, n_ent: usize, n_rel: usize, dim: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0);
+        ComplEx {
+            ent_re: init_vec(&mut rng, n_ent, dim),
+            ent_im: init_vec(&mut rng, n_ent, dim),
+            rel_re: init_vec(&mut rng, n_rel, dim),
+            rel_im: init_vec(&mut rng, n_rel, dim),
+            n_ent,
+            dim,
+        }
+    }
+}
+
+impl KgeModel for ComplEx {
+    fn name(&self) -> &'static str {
+        "ComplEx"
+    }
+
+    fn score(&self, h: usize, r: usize, t: usize) -> f32 {
+        let (d, eh, er, et) = (self.dim, h * self.dim, r * self.dim, t * self.dim);
+        let mut s = 0.0;
+        for i in 0..d {
+            let (hre, him) = (self.ent_re[eh + i], self.ent_im[eh + i]);
+            let (rre, rim) = (self.rel_re[er + i], self.rel_im[er + i]);
+            let (tre, tim) = (self.ent_re[et + i], self.ent_im[et + i]);
+            s += hre * rre * tre + him * rre * tim + hre * rim * tim - him * rim * tre;
+        }
+        s
+    }
+
+    fn step(&mut self, pos: DenseTriple, neg: DenseTriple, lr: f32, margin: f32) -> f32 {
+        let loss = margin + self.score(neg.h, neg.r, neg.t) - self.score(pos.h, pos.r, pos.t);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        let d = self.dim;
+        for (triple, sign) in [(pos, 1.0f32), (neg, -1.0)] {
+            let (eh, er, et) = (triple.h * d, triple.r * d, triple.t * d);
+            for i in 0..d {
+                let (hre, him) = (self.ent_re[eh + i], self.ent_im[eh + i]);
+                let (rre, rim) = (self.rel_re[er + i], self.rel_im[er + i]);
+                let (tre, tim) = (self.ent_re[et + i], self.ent_im[et + i]);
+                let g = sign * lr;
+                self.ent_re[eh + i] += g * (rre * tre + rim * tim);
+                self.ent_im[eh + i] += g * (rre * tim - rim * tre);
+                self.ent_re[et + i] += g * (rre * hre - rim * him);
+                self.ent_im[et + i] += g * (rre * him + rim * hre);
+                self.rel_re[er + i] += g * (hre * tre + him * tim);
+                self.rel_im[er + i] += g * (hre * tim - him * tre);
+            }
+        }
+        for &e in &[pos.h, pos.t, neg.h, neg.t] {
+            normalize_row(&mut self.ent_re[e * d..(e + 1) * d]);
+            normalize_row(&mut self.ent_im[e * d..(e + 1) * d]);
+        }
+        loss
+    }
+
+    fn n_entities(&self) -> usize {
+        self.n_ent
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+// ───────────────────────────── RotatE ─────────────────────────────
+
+/// RotatE: relations are rotations in the complex plane, distance
+/// `‖h ∘ e^{iθ_r} − t‖²`.
+#[derive(Debug, Clone)]
+pub struct RotatE {
+    ent_re: Vec<f32>,
+    ent_im: Vec<f32>,
+    phase: Vec<f32>,
+    n_ent: usize,
+    dim: usize,
+}
+
+impl RotatE {
+    /// Fresh random model.
+    pub fn new(seed: u64, n_ent: usize, n_rel: usize, dim: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x40);
+        RotatE {
+            ent_re: init_vec(&mut rng, n_ent, dim),
+            ent_im: init_vec(&mut rng, n_ent, dim),
+            phase: (0..n_rel * dim)
+                .map(|_| rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI))
+                .collect(),
+            n_ent,
+            dim,
+        }
+    }
+
+    fn dist(&self, h: usize, r: usize, t: usize) -> f32 {
+        let (d, eh, er, et) = (self.dim, h * self.dim, r * self.dim, t * self.dim);
+        let mut s = 0.0;
+        for i in 0..d {
+            let (c, sn) = (self.phase[er + i].cos(), self.phase[er + i].sin());
+            let (hre, him) = (self.ent_re[eh + i], self.ent_im[eh + i]);
+            let ure = hre * c - him * sn - self.ent_re[et + i];
+            let uim = hre * sn + him * c - self.ent_im[et + i];
+            s += ure * ure + uim * uim;
+        }
+        s
+    }
+}
+
+impl KgeModel for RotatE {
+    fn name(&self) -> &'static str {
+        "RotatE"
+    }
+
+    fn score(&self, h: usize, r: usize, t: usize) -> f32 {
+        -self.dist(h, r, t)
+    }
+
+    fn step(&mut self, pos: DenseTriple, neg: DenseTriple, lr: f32, margin: f32) -> f32 {
+        let loss = margin + self.dist(pos.h, pos.r, pos.t) - self.dist(neg.h, neg.r, neg.t);
+        if loss <= 0.0 {
+            return 0.0;
+        }
+        let d = self.dim;
+        for (triple, sign) in [(pos, 1.0f32), (neg, -1.0)] {
+            let (eh, er, et) = (triple.h * d, triple.r * d, triple.t * d);
+            for i in 0..d {
+                let (c, sn) = (self.phase[er + i].cos(), self.phase[er + i].sin());
+                let (hre, him) = (self.ent_re[eh + i], self.ent_im[eh + i]);
+                let ure = hre * c - him * sn - self.ent_re[et + i];
+                let uim = hre * sn + him * c - self.ent_im[et + i];
+                let g = sign * lr;
+                self.ent_re[eh + i] -= g * 2.0 * (ure * c + uim * sn);
+                self.ent_im[eh + i] -= g * 2.0 * (-ure * sn + uim * c);
+                self.ent_re[et + i] += g * 2.0 * ure;
+                self.ent_im[et + i] += g * 2.0 * uim;
+                self.phase[er + i] -=
+                    g * 2.0 * (ure * (-hre * sn - him * c) + uim * (hre * c - him * sn));
+            }
+        }
+        for &e in &[pos.h, pos.t, neg.h, neg.t] {
+            normalize_row(&mut self.ent_re[e * d..(e + 1) * d]);
+            normalize_row(&mut self.ent_im[e * d..(e + 1) * d]);
+        }
+        loss
+    }
+
+    fn n_entities(&self) -> usize {
+        self.n_ent
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_pair() -> (DenseTriple, DenseTriple) {
+        (DenseTriple { h: 0, r: 0, t: 1 }, DenseTriple { h: 0, r: 0, t: 2 })
+    }
+
+    fn check_learning<M: KgeModel>(mut m: M) {
+        let (pos, neg) = tiny_pair();
+        let before = m.score(pos.h, pos.r, pos.t) - m.score(neg.h, neg.r, neg.t);
+        for _ in 0..200 {
+            m.step(pos, neg, 0.05, 1.0);
+        }
+        let after = m.score(pos.h, pos.r, pos.t) - m.score(neg.h, neg.r, neg.t);
+        assert!(
+            after > before || after > 0.5,
+            "{}: margin did not improve ({before} → {after})",
+            m.name()
+        );
+    }
+
+    #[test]
+    fn transe_learns_to_separate() {
+        check_learning(TransE::new(1, 4, 2, 8));
+    }
+
+    #[test]
+    fn transr_learns_to_separate() {
+        check_learning(TransR::new(1, 4, 2, 8));
+    }
+
+    #[test]
+    fn distmult_learns_to_separate() {
+        check_learning(DistMult::new(1, 4, 2, 8));
+    }
+
+    #[test]
+    fn complex_learns_to_separate() {
+        check_learning(ComplEx::new(1, 4, 2, 8));
+    }
+
+    #[test]
+    fn rotate_learns_to_separate() {
+        check_learning(RotatE::new(1, 4, 2, 8));
+    }
+
+    #[test]
+    fn satisfied_margin_gives_zero_loss_and_no_update() {
+        let mut m = TransE::new(2, 4, 2, 8);
+        let (pos, neg) = tiny_pair();
+        // train hard first so margin is satisfied
+        for _ in 0..500 {
+            m.step(pos, neg, 0.05, 1.0);
+        }
+        let loss = m.step(pos, neg, 0.05, 0.01);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn complex_models_asymmetry() {
+        // ComplEx can score (h,r,t) differently from (t,r,h)
+        let m = ComplEx::new(5, 4, 2, 8);
+        let fwd = m.score(0, 0, 1);
+        let bwd = m.score(1, 0, 0);
+        assert!((fwd - bwd).abs() > 1e-6);
+        // DistMult cannot (symmetric by construction)
+        let dm = DistMult::new(5, 4, 2, 8);
+        assert!((dm.score(0, 0, 1) - dm.score(1, 0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn models_are_deterministic_per_seed() {
+        let a = TransE::new(9, 4, 2, 8);
+        let b = TransE::new(9, 4, 2, 8);
+        assert_eq!(a.score(0, 0, 1), b.score(0, 0, 1));
+        let c = TransE::new(10, 4, 2, 8);
+        assert_ne!(a.score(0, 0, 1), c.score(0, 0, 1));
+    }
+}

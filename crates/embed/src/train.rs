@@ -1,0 +1,126 @@
+//! SGD training loop with uniform negative sampling.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::data::{DenseTriple, TripleSet};
+use crate::model::KgeModel;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Hinge margin.
+    pub margin: f32,
+    /// Negative samples per positive.
+    pub negatives: usize,
+    /// Seed for shuffling and negative sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 50, lr: 0.05, margin: 1.0, negatives: 2, seed: 0 }
+    }
+}
+
+/// Train a model in place; returns the mean hinge loss per epoch.
+pub fn train<M: KgeModel>(model: &mut M, data: &TripleSet, config: &TrainConfig) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n_ent = data.n_entities();
+    let mut order: Vec<usize> = (0..data.train.len()).collect();
+    let mut history = Vec::with_capacity(config.epochs);
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let mut total = 0.0f32;
+        let mut steps = 0usize;
+        for &i in &order {
+            let pos = data.train[i];
+            for _ in 0..config.negatives {
+                let neg = sample_negative(&mut rng, data, pos, n_ent);
+                total += model.step(pos, neg, config.lr, config.margin);
+                steps += 1;
+            }
+        }
+        history.push(if steps == 0 { 0.0 } else { total / steps as f32 });
+    }
+    history
+}
+
+/// Corrupt the head or tail uniformly, retrying a few times to avoid
+/// accidentally sampling a known-true triple.
+fn sample_negative(
+    rng: &mut StdRng,
+    data: &TripleSet,
+    pos: DenseTriple,
+    n_ent: usize,
+) -> DenseTriple {
+    for _ in 0..10 {
+        let corrupt_head = rng.gen_bool(0.5);
+        let e = rng.gen_range(0..n_ent);
+        let cand = if corrupt_head {
+            DenseTriple { h: e, ..pos }
+        } else {
+            DenseTriple { t: e, ..pos }
+        };
+        if !data.is_true(cand) && cand != pos {
+            return cand;
+        }
+    }
+    // fall back to a possibly-true corruption (rare on sparse graphs)
+    DenseTriple { t: (pos.t + 1) % n_ent, ..pos }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TransE;
+    use kg::synth::{movies, Scale};
+
+    fn dataset() -> TripleSet {
+        let kg = movies(8, Scale::tiny());
+        TripleSet::from_graph(&kg.graph, 3, TripleSet::default_keep)
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let data = dataset();
+        let mut model = TransE::new(1, data.n_entities(), data.n_relations(), 16);
+        let cfg = TrainConfig { epochs: 30, ..Default::default() };
+        let history = train(&mut model, &data, &cfg);
+        assert_eq!(history.len(), 30);
+        let early: f32 = history[..5].iter().sum::<f32>() / 5.0;
+        let late: f32 = history[history.len() - 5..].iter().sum::<f32>() / 5.0;
+        assert!(late < early, "loss should fall: {early} → {late}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = dataset();
+        let cfg = TrainConfig { epochs: 5, ..Default::default() };
+        let mut m1 = TransE::new(1, data.n_entities(), data.n_relations(), 8);
+        let h1 = train(&mut m1, &data, &cfg);
+        let mut m2 = TransE::new(1, data.n_entities(), data.n_relations(), 8);
+        let h2 = train(&mut m2, &data, &cfg);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn negatives_avoid_known_truths_mostly() {
+        let data = dataset();
+        let mut rng = StdRng::seed_from_u64(9);
+        let pos = data.train[0];
+        let mut true_hits = 0;
+        for _ in 0..100 {
+            let neg = sample_negative(&mut rng, &data, pos, data.n_entities());
+            if data.is_true(neg) {
+                true_hits += 1;
+            }
+        }
+        assert!(true_hits <= 2, "negative sampler leaked {true_hits} true triples");
+    }
+}

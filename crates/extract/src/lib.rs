@@ -1,0 +1,33 @@
+//! # kgextract — KG construction from text (paper §2.1.2–2.1.3)
+//!
+//! Implements the survey's KG-construction toolchain against the simulated
+//! LM substrate:
+//!
+//! * [`testgen`] — gold-annotated sentence generation from a synthetic KG
+//!   (the evaluation corpus: every sentence knows its entity spans and the
+//!   relation it verbalizes),
+//! * [`ner`] — four entity-extraction methods: gazetteer lookup, pattern
+//!   (capitalization) heuristics, PromptNER-style few-shot prompting \[3\],
+//!   and a UniversalNER-style distilled combination \[96\],
+//! * [`relation`] — relation extraction under the survey's three learning
+//!   paradigms: supervised fine-tuning (connector-phrase classifier),
+//!   few-shot in-context learning \[89\], and zero-shot verbalizer matching
+//!   \[54, 94\],
+//! * [`align`] — entity linking against a KG and cross-KG entity alignment
+//!   (label + neighborhood evidence, à la \[59\]),
+//! * [`pipeline`] — the end-to-end text → triples → [`kg::Graph`]
+//!   assembly.
+
+pub mod testgen;
+pub mod ner;
+pub mod relation;
+pub mod align;
+pub mod pipeline;
+pub mod metrics;
+
+pub use align::{EntityLinker, LinkedMention};
+pub use metrics::Prf;
+pub use ner::{NerMethod, NerSystem};
+pub use pipeline::ExtractionPipeline;
+pub use relation::{Paradigm, RelationExtractor};
+pub use testgen::{AnnotatedSentence, annotate_graph};

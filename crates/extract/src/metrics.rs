@@ -1,0 +1,103 @@
+//! Precision / recall / F1 over sets of predictions.
+
+/// Precision, recall, F1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Precision in `[0,1]`.
+    pub precision: f64,
+    /// Recall in `[0,1]`.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Prf {
+    /// Compute from counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf { precision, recall, f1, tp, fp, fn_ }
+    }
+
+    /// Compute by set comparison (predictions vs gold), deduplicating.
+    pub fn from_sets<T: PartialEq>(predicted: &[T], gold: &[T]) -> Self {
+        let mut tp = 0;
+        let mut seen: Vec<&T> = Vec::new();
+        for p in predicted {
+            if seen.contains(&p) {
+                continue;
+            }
+            seen.push(p);
+            if gold.contains(p) {
+                tp += 1;
+            }
+        }
+        let distinct_pred = seen.len();
+        let mut gold_seen: Vec<&T> = Vec::new();
+        for g in gold {
+            if !gold_seen.contains(&g) {
+                gold_seen.push(g);
+            }
+        }
+        let fp = distinct_pred - tp;
+        let fn_ = gold_seen.len() - tp;
+        Prf::from_counts(tp, fp, fn_)
+    }
+
+    /// One-line report.
+    pub fn report(&self, name: &str) -> String {
+        format!(
+            "{name:24} P {:.3}  R {:.3}  F1 {:.3}  (tp {} fp {} fn {})",
+            self.precision, self.recall, self.f1, self.tp, self.fp, self.fn_
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let p = Prf::from_sets(&["a", "b"], &["a", "b"]);
+        assert_eq!(p.f1, 1.0);
+        assert_eq!(p.tp, 2);
+    }
+
+    #[test]
+    fn partial_prediction() {
+        let p = Prf::from_sets(&["a", "x"], &["a", "b"]);
+        assert_eq!(p.tp, 1);
+        assert_eq!(p.fp, 1);
+        assert_eq!(p.fn_, 1);
+        assert!((p.precision - 0.5).abs() < 1e-9);
+        assert!((p.recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cases_do_not_divide_by_zero() {
+        let p = Prf::from_sets::<&str>(&[], &[]);
+        assert_eq!(p.f1, 0.0);
+        let q = Prf::from_sets(&["a"], &[]);
+        assert_eq!(q.precision, 0.0);
+    }
+
+    #[test]
+    fn duplicates_count_once() {
+        let p = Prf::from_sets(&["a", "a", "b"], &["a", "b", "b"]);
+        assert_eq!(p.tp, 2);
+        assert_eq!(p.fp, 0);
+        assert_eq!(p.fn_, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Gold-annotated sentence generation from a KG.
+//!
+//! Each relation triple of a generated KG is verbalized into a sentence
+//! whose entity spans and relation are known exactly — the ground truth
+//! that the NER / RE evaluations (E1, E2) score against. This mirrors the
+//! distant-supervision setup the surveyed RE papers use, but with perfect
+//! alignment because we control the verbalizer.
+
+use kg::namespace as ns;
+use kg::ontology::Ontology;
+use kg::term::Sym;
+use kg::Graph;
+
+/// One gold-annotated sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedSentence {
+    /// The sentence text.
+    pub text: String,
+    /// Entity mentions: `(surface form, KG entity)` in order of appearance.
+    pub entities: Vec<(String, Sym)>,
+    /// The relation the sentence expresses: `(subject, relation IRI, object)`.
+    pub relation: (Sym, String, Sym),
+}
+
+/// Prefix a relation phrase with a copula unless it already starts with a
+/// finite verb ("has genre", "cites", "works at" — first word ending in
+/// `s`), so verbalizations read "is directed by" but "has genre".
+pub fn copula(phrase: &str) -> String {
+    let first = phrase.split_whitespace().next().unwrap_or("");
+    if first.ends_with('s') && first != "is" {
+        phrase.to_string()
+    } else {
+        format!("is {phrase}")
+    }
+}
+
+/// Verbalize one triple with the ontology's relation label
+/// (`"The Big Chill is directed by Bob Lee"`, `"Rex disease has symptom
+/// Fever"`).
+pub fn verbalize_triple(graph: &Graph, onto: &Ontology, s: Sym, p_iri: &str, o: Sym) -> String {
+    let s_label = graph.display_name(s);
+    let o_label = graph.display_name(o);
+    let phrase = onto
+        .property(p_iri)
+        .and_then(|d| d.label.clone())
+        .unwrap_or_else(|| ns::humanize(ns::local_name(p_iri)));
+    format!("{s_label} {} {o_label}", copula(&phrase))
+}
+
+/// Annotate all object-valued relation triples of a graph. Predicates
+/// outside the synthetic vocabulary namespace (types, labels) are skipped.
+pub fn annotate_graph(graph: &Graph, onto: &Ontology) -> Vec<AnnotatedSentence> {
+    let mut out = Vec::new();
+    for t in graph.iter() {
+        let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+        if !p_iri.starts_with(ns::SYNTH_VOCAB) {
+            continue;
+        }
+        if !graph.resolve(t.o).is_iri() {
+            continue;
+        }
+        let text = verbalize_triple(graph, onto, t.s, p_iri, t.o);
+        out.push(AnnotatedSentence {
+            text,
+            entities: vec![
+                (graph.display_name(t.s), t.s),
+                (graph.display_name(t.o), t.o),
+            ],
+            relation: (t.s, p_iri.to_string(), t.o),
+        });
+    }
+    out
+}
+
+/// Connector templates used by the varied verbalizer (`%p` = property
+/// label). Lexical variety is what separates the RE learning paradigms in
+/// experiment E2: supervised models see all variants, few-shot models only
+/// `k` of them.
+pub const CONNECTOR_VARIANTS: [&str; 4] =
+    ["is %p", "was %p", "has always been %p", "remains %p"];
+
+/// Synonym paraphrases for relation phrases. Sentences using a synonym
+/// never contain the canonical label, so zero-shot verbalizer matching
+/// (which only knows canonical labels) degrades on them — the lexical gap
+/// that separates the learning paradigms.
+pub const PHRASE_SYNONYMS: &[(&str, &str)] = &[
+    ("directed by", "helmed by"),
+    ("starring", "featuring"),
+    ("has genre", "classified under"),
+    ("produced by", "made by"),
+    ("released in", "premiered in"),
+    ("spouse of", "married to"),
+    ("advised by", "mentored by"),
+    ("works at", "employed by"),
+    ("author of", "writer of"),
+    ("cites", "references"),
+    ("published in", "appearing in"),
+];
+
+/// Like [`annotate_graph`] but with seeded lexical variation in the
+/// connector phrase, for the relation-extraction paradigm sweep.
+pub fn annotate_graph_varied(graph: &Graph, onto: &Ontology, seed: u64) -> Vec<AnnotatedSentence> {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for t in graph.iter() {
+        let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+        if !p_iri.starts_with(ns::SYNTH_VOCAB) || !graph.resolve(t.o).is_iri() {
+            continue;
+        }
+        let s_label = graph.display_name(t.s);
+        let o_label = graph.display_name(t.o);
+        let mut phrase = onto
+            .property(p_iri)
+            .and_then(|d| d.label.clone())
+            .unwrap_or_else(|| ns::humanize(ns::local_name(p_iri)));
+        // 40% of sentences paraphrase the relation with a synonym the
+        // canonical label never mentions
+        if rng.gen_bool(0.4) {
+            if let Some((_, syn)) = PHRASE_SYNONYMS.iter().find(|(c, _)| *c == phrase) {
+                phrase = (*syn).to_string();
+            }
+        }
+        let template = CONNECTOR_VARIANTS.choose(&mut rng).expect("non-empty");
+        let connector = template.replace("%p", &phrase);
+        out.push(AnnotatedSentence {
+            text: format!("{s_label} {connector} {o_label}"),
+            entities: vec![(s_label, t.s), (o_label, t.o)],
+            relation: (t.s, p_iri.to_string(), t.o),
+        });
+    }
+    out
+}
+
+/// The corpus of all verbalized sentences (text only) — what the simulated
+/// LM trains on to "know" this KG.
+pub fn corpus_sentences(graph: &Graph, onto: &Ontology) -> Vec<String> {
+    annotate_graph(graph, onto).into_iter().map(|a| a.text).collect()
+}
+
+/// All distinct entity surface forms of a graph (for gazetteers and the
+/// LM's entity-name registry).
+pub fn entity_surface_forms(graph: &Graph) -> Vec<String> {
+    let mut names: Vec<String> = graph
+        .entities()
+        .into_iter()
+        .filter(|&e| {
+            graph
+                .resolve(e)
+                .as_iri()
+                .is_some_and(|i| i.starts_with(ns::SYNTH_ENTITY))
+        })
+        .map(|e| graph.display_name(e))
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synth::{movies, Scale};
+
+    #[test]
+    fn annotations_cover_all_relation_triples() {
+        let kg = movies(3, Scale::tiny());
+        let anns = annotate_graph(&kg.graph, &kg.ontology);
+        assert!(!anns.is_empty());
+        for a in &anns {
+            // the surface forms occur in the text
+            for (surface, _) in &a.entities {
+                assert!(a.text.contains(surface), "{} not in {:?}", surface, a.text);
+            }
+        }
+    }
+
+    #[test]
+    fn verbalizer_uses_ontology_labels() {
+        let kg = movies(3, Scale::tiny());
+        let anns = annotate_graph(&kg.graph, &kg.ontology);
+        let directed: Vec<_> = anns
+            .iter()
+            .filter(|a| a.relation.1.ends_with("directedBy"))
+            .collect();
+        assert!(!directed.is_empty());
+        assert!(directed[0].text.contains("directed by"), "{}", directed[0].text);
+    }
+
+    #[test]
+    fn surface_forms_are_sorted_unique() {
+        let kg = movies(3, Scale::tiny());
+        let names = entity_surface_forms(&kg.graph);
+        assert!(names.len() > 10);
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn corpus_matches_annotations() {
+        let kg = movies(3, Scale::tiny());
+        assert_eq!(
+            corpus_sentences(&kg.graph, &kg.ontology).len(),
+            annotate_graph(&kg.graph, &kg.ontology).len()
+        );
+    }
+}

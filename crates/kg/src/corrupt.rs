@@ -1,0 +1,365 @@
+//! Error injection for validation experiments.
+//!
+//! The fact-checking and inconsistency-detection experiments (paper §2.6)
+//! need KGs with *known* defects: we take a clean generated KG and inject a
+//! controlled mix of misinformation and constraint violations, returning the
+//! ground-truth list so detectors can be scored.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::namespace as ns;
+use crate::ontology::Ontology;
+use crate::store::{Graph, Triple, TriplePattern};
+use crate::term::Sym;
+
+/// The kind of defect injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DefectKind {
+    /// A factually wrong but schema-conforming triple (misinformation):
+    /// the object of a true triple was swapped for another same-class entity.
+    Misinformation,
+    /// A second object for a functional property.
+    FunctionalViolation,
+    /// A triple whose object violates the property's declared range.
+    RangeViolation,
+    /// A triple whose subject violates the property's declared domain.
+    DomainViolation,
+    /// An entity typed with two disjoint classes.
+    DisjointTypes,
+    /// A reflexive edge on an irreflexive property.
+    IrreflexiveViolation,
+}
+
+impl DefectKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectKind::Misinformation => "misinformation",
+            DefectKind::FunctionalViolation => "functional",
+            DefectKind::RangeViolation => "range",
+            DefectKind::DomainViolation => "domain",
+            DefectKind::DisjointTypes => "disjoint-types",
+            DefectKind::IrreflexiveViolation => "irreflexive",
+        }
+    }
+}
+
+/// One injected defect: the triple that was added (and, for misinformation,
+/// the true triple it displaced).
+#[derive(Debug, Clone)]
+pub struct InjectedDefect {
+    /// What kind of defect this is.
+    pub kind: DefectKind,
+    /// The defective triple now present in the graph.
+    pub triple: Triple,
+    /// For [`DefectKind::Misinformation`]: the original, removed triple.
+    pub displaced: Option<Triple>,
+}
+
+/// Mix of defects to inject.
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptionPlan {
+    /// Seed for all random choices.
+    pub seed: u64,
+    /// Number of misinformation swaps.
+    pub misinformation: usize,
+    /// Number of functional-property violations.
+    pub functional: usize,
+    /// Number of range violations.
+    pub range: usize,
+    /// Number of domain violations.
+    pub domain: usize,
+    /// Number of disjoint-type injections.
+    pub disjoint: usize,
+    /// Number of irreflexive violations.
+    pub irreflexive: usize,
+}
+
+impl Default for CorruptionPlan {
+    fn default() -> Self {
+        CorruptionPlan {
+            seed: 0,
+            misinformation: 10,
+            functional: 5,
+            range: 5,
+            domain: 5,
+            disjoint: 3,
+            irreflexive: 3,
+        }
+    }
+}
+
+/// Apply a corruption plan to `graph` (mutating it), returning the ground
+/// truth. Counts are best-effort: if the graph lacks suitable targets for a
+/// defect type, fewer defects of that type are injected.
+pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) -> Vec<InjectedDefect> {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut out = Vec::new();
+
+    let rdf_type = graph.intern_iri(ns::RDF_TYPE);
+
+    // collect object-valued relation triples (skip rdf:type / rdfs:label)
+    let relation_triples: Vec<Triple> = graph
+        .iter()
+        .filter(|t| {
+            let p = graph.resolve(t.p).as_iri().unwrap_or("");
+            p.starts_with(ns::SYNTH_VOCAB)
+                && graph.resolve(t.o).is_iri()
+        })
+        .collect();
+
+    // class → instances map for same-class swaps
+    let class_of = |g: &Graph, e: Sym| -> Option<Sym> { g.types_of(e).first().copied() };
+
+    // misinformation: swap object within the same class
+    let mut candidates = relation_triples.clone();
+    candidates.shuffle(&mut rng);
+    let mut injected_mis = 0;
+    for t in candidates {
+        if injected_mis >= plan.misinformation {
+            break;
+        }
+        let Some(class) = class_of(graph, t.o) else { continue };
+        let peers: Vec<Sym> = graph
+            .instances_of(class)
+            .into_iter()
+            .filter(|&e| e != t.o && e != t.s && !graph.contains(t.s, t.p, e))
+            .collect();
+        let Some(&new_o) = peers.choose(&mut rng) else { continue };
+        graph.remove(t.s, t.p, t.o);
+        graph.insert(t.s, t.p, new_o);
+        out.push(InjectedDefect {
+            kind: DefectKind::Misinformation,
+            triple: Triple::new(t.s, t.p, new_o),
+            displaced: Some(t),
+        });
+        injected_mis += 1;
+    }
+
+    // functional violations: add a second object to a functional property
+    let functional_props: Vec<String> = ontology
+        .properties()
+        .filter(|(_, d)| d.traits.functional && !d.literal_valued)
+        .map(|(p, _)| p.to_string())
+        .collect();
+    let mut injected = 0;
+    'outer: for prop in functional_props.iter().cycle().take(functional_props.len() * 4) {
+        if injected >= plan.functional {
+            break;
+        }
+        let Some(p) = graph.pool().get_iri(prop) else { continue };
+        let mut subjects: Vec<Triple> =
+            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        subjects.shuffle(&mut rng);
+        for t in subjects {
+            let Some(class) = class_of(graph, t.o) else { continue };
+            let peers: Vec<Sym> = graph
+                .instances_of(class)
+                .into_iter()
+                .filter(|&e| e != t.o && !graph.contains(t.s, t.p, e))
+                .collect();
+            if let Some(&extra) = peers.choose(&mut rng) {
+                graph.insert(t.s, p, extra);
+                out.push(InjectedDefect {
+                    kind: DefectKind::FunctionalViolation,
+                    triple: Triple::new(t.s, p, extra),
+                    displaced: None,
+                });
+                injected += 1;
+                if injected >= plan.functional {
+                    break 'outer;
+                }
+                break;
+            }
+        }
+    }
+
+    // range violations: point a ranged property at a wrong-class entity
+    let ranged: Vec<(String, String)> = ontology
+        .properties()
+        .filter_map(|(p, d)| d.range.clone().map(|r| (p.to_string(), r)))
+        .collect();
+    let mut injected = 0;
+    for (prop, range) in ranged.iter().cycle().take(ranged.len().max(1) * 6) {
+        if injected >= plan.range || ranged.is_empty() {
+            break;
+        }
+        let Some(p) = graph.pool().get_iri(prop) else { continue };
+        let existing: Vec<Triple> =
+            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let Some(&t) = existing.as_slice().choose(&mut rng) else { continue };
+        // pick an entity of a class NOT subsumed by the range
+        let wrong: Vec<Sym> = graph
+            .entities()
+            .into_iter()
+            .filter(|&e| {
+                graph.types_of(e).iter().any(|&c| {
+                    graph
+                        .resolve(c)
+                        .as_iri()
+                        .is_some_and(|ci| !ontology.is_subclass_of(ci, range) && ci != range)
+                }) && !graph.contains(t.s, p, e)
+            })
+            .collect();
+        if let Some(&w) = wrong.as_slice().choose(&mut rng) {
+            graph.insert(t.s, p, w);
+            out.push(InjectedDefect {
+                kind: DefectKind::RangeViolation,
+                triple: Triple::new(t.s, p, w),
+                displaced: None,
+            });
+            injected += 1;
+        }
+    }
+
+    // domain violations: give a domained property a wrong-class subject
+    let domained: Vec<(String, String)> = ontology
+        .properties()
+        .filter_map(|(p, d)| d.domain.clone().map(|dm| (p.to_string(), dm)))
+        .collect();
+    let mut injected = 0;
+    for (prop, dom) in domained.iter().cycle().take(domained.len().max(1) * 6) {
+        if injected >= plan.domain || domained.is_empty() {
+            break;
+        }
+        let Some(p) = graph.pool().get_iri(prop) else { continue };
+        let existing: Vec<Triple> =
+            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let Some(&t) = existing.as_slice().choose(&mut rng) else { continue };
+        let wrong: Vec<Sym> = graph
+            .entities()
+            .into_iter()
+            .filter(|&e| {
+                !graph.types_of(e).is_empty()
+                    && graph.types_of(e).iter().all(|&c| {
+                        graph
+                            .resolve(c)
+                            .as_iri()
+                            .is_some_and(|ci| !ontology.is_subclass_of(ci, dom))
+                    })
+                    && !graph.contains(e, p, t.o)
+            })
+            .collect();
+        if let Some(&w) = wrong.as_slice().choose(&mut rng) {
+            graph.insert(w, p, t.o);
+            out.push(InjectedDefect {
+                kind: DefectKind::DomainViolation,
+                triple: Triple::new(w, p, t.o),
+                displaced: None,
+            });
+            injected += 1;
+        }
+    }
+
+    // disjoint types: type an entity with a class disjoint from its own
+    let disjoint_pairs: Vec<(String, String)> = ontology
+        .disjoint_pairs()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+    let mut injected = 0;
+    for (a, bcls) in disjoint_pairs.iter().cycle().take(disjoint_pairs.len().max(1) * 6) {
+        if injected >= plan.disjoint || disjoint_pairs.is_empty() {
+            break;
+        }
+        let Some(ca) = graph.pool().get_iri(a) else { continue };
+        let instances = graph.instances_of(ca);
+        let Some(&e) = instances.as_slice().choose(&mut rng) else { continue };
+        let cb = graph.intern_iri(bcls.clone());
+        if graph.insert(e, rdf_type, cb) {
+            out.push(InjectedDefect {
+                kind: DefectKind::DisjointTypes,
+                triple: Triple::new(e, rdf_type, cb),
+                displaced: None,
+            });
+            injected += 1;
+        }
+    }
+
+    // irreflexive violations: add self-loops on irreflexive properties
+    let irreflexive_props: Vec<String> = ontology
+        .properties()
+        .filter(|(_, d)| d.traits.irreflexive)
+        .map(|(p, _)| p.to_string())
+        .collect();
+    let mut injected = 0;
+    for prop in irreflexive_props.iter().cycle().take(irreflexive_props.len().max(1) * 6) {
+        if injected >= plan.irreflexive || irreflexive_props.is_empty() {
+            break;
+        }
+        let Some(p) = graph.pool().get_iri(prop) else { continue };
+        let existing: Vec<Triple> =
+            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let Some(&t) = existing.as_slice().choose(&mut rng) else { continue };
+        if graph.insert(t.s, p, t.s) {
+            out.push(InjectedDefect {
+                kind: DefectKind::IrreflexiveViolation,
+                triple: Triple::new(t.s, p, t.s),
+                displaced: None,
+            });
+            injected += 1;
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{movies, Scale};
+
+    #[test]
+    fn corrupt_injects_requested_defects() {
+        let kg = movies(11, Scale::default());
+        let mut g = kg.graph.clone();
+        let before = g.len();
+        let plan = CorruptionPlan { seed: 1, ..Default::default() };
+        let defects = corrupt(&mut g, &kg.ontology, &plan);
+        assert!(!defects.is_empty());
+        // every reported defective triple is actually in the graph
+        for d in &defects {
+            assert!(g.contains(d.triple.s, d.triple.p, d.triple.o), "{:?}", d.kind);
+        }
+        // misinformation removes one and adds one; others only add
+        let mis = defects.iter().filter(|d| d.kind == DefectKind::Misinformation).count();
+        assert_eq!(g.len(), before + defects.len() - mis);
+    }
+
+    #[test]
+    fn corrupt_is_deterministic() {
+        let kg = movies(11, Scale::tiny());
+        let plan = CorruptionPlan { seed: 7, ..Default::default() };
+        let mut g1 = kg.graph.clone();
+        let d1 = corrupt(&mut g1, &kg.ontology, &plan);
+        let mut g2 = kg.graph.clone();
+        let d2 = corrupt(&mut g2, &kg.ontology, &plan);
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.triple, b.triple);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn misinformation_displaces_a_true_triple() {
+        let kg = movies(3, Scale::default());
+        let mut g = kg.graph.clone();
+        let plan = CorruptionPlan {
+            seed: 2,
+            misinformation: 5,
+            functional: 0,
+            range: 0,
+            domain: 0,
+            disjoint: 0,
+            irreflexive: 0,
+        };
+        let defects = corrupt(&mut g, &kg.ontology, &plan);
+        for d in &defects {
+            let old = d.displaced.expect("misinformation records the displaced triple");
+            assert!(!g.contains(old.s, old.p, old.o));
+            assert!(kg.graph.contains(old.s, old.p, old.o));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Error taxonomy for the `kg` crate.
+
+use std::fmt;
+
+/// Errors produced by KG parsing, storage, and generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KgError {
+    /// A syntax error while parsing Turtle / N-Triples input.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A term id that does not belong to the pool it was resolved against.
+    UnknownSym(u32),
+    /// An IRI that is not well formed under our (pragmatic) IRI rules.
+    InvalidIri(String),
+    /// A literal whose lexical form does not match its datatype.
+    InvalidLiteral {
+        /// The lexical form that failed to parse.
+        lexical: String,
+        /// The datatype IRI it was checked against.
+        datatype: String,
+    },
+    /// Generator configuration that cannot produce a valid KG.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::Parse { line, column, message } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+            KgError::UnknownSym(id) => write!(f, "unknown term id {id}"),
+            KgError::InvalidIri(iri) => write!(f, "invalid IRI: {iri}"),
+            KgError::InvalidLiteral { lexical, datatype } => {
+                write!(f, "literal {lexical:?} is not a valid {datatype}")
+            }
+            KgError::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, KgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error_mentions_position() {
+        let e = KgError::Parse { line: 3, column: 14, message: "expected '.'".into() };
+        let s = e.to_string();
+        assert!(s.contains("3:14"), "{s}");
+        assert!(s.contains("expected '.'"), "{s}");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert!(KgError::UnknownSym(7).to_string().contains('7'));
+        assert!(KgError::InvalidIri("x y".into()).to_string().contains("x y"));
+        let lit = KgError::InvalidLiteral { lexical: "abc".into(), datatype: "xsd:integer".into() };
+        assert!(lit.to_string().contains("abc"));
+        assert!(KgError::InvalidConfig("n=0".into()).to_string().contains("n=0"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(KgError::UnknownSym(1));
+        assert!(!e.to_string().is_empty());
+    }
+}

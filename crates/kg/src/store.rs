@@ -1,0 +1,503 @@
+//! The indexed in-memory triple store.
+//!
+//! [`Graph`] owns a [`TermPool`] and three sorted indexes (SPO, POS, OSP) so
+//! that every binding shape of a triple pattern is answered by a range scan.
+//! All mutation goes through interning, keeping the hot representation at
+//! three `u32`s per triple.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::namespace;
+use crate::term::{Sym, Term, TermPool};
+
+/// A triple of interned term ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    /// Subject id.
+    pub s: Sym,
+    /// Predicate id.
+    pub p: Sym,
+    /// Object id.
+    pub o: Sym,
+}
+
+impl Triple {
+    /// Construct from parts.
+    pub fn new(s: Sym, p: Sym, o: Sym) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+/// A triple pattern: `None` positions are wildcards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject constraint.
+    pub s: Option<Sym>,
+    /// Predicate constraint.
+    pub p: Option<Sym>,
+    /// Object constraint.
+    pub o: Option<Sym>,
+}
+
+impl TriplePattern {
+    /// The fully unconstrained pattern.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Does a concrete triple match this pattern?
+    #[inline]
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+/// An indexed, interning triple store.
+///
+/// Iteration order of all query methods is deterministic (sorted by id).
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    pool: TermPool,
+    spo: BTreeSet<(Sym, Sym, Sym)>,
+    pos: BTreeSet<(Sym, Sym, Sym)>,
+    osp: BTreeSet<(Sym, Sym, Sym)>,
+    /// Count of triples per predicate, maintained incrementally for
+    /// selectivity estimation in the query optimizer.
+    pred_counts: BTreeMap<Sym, usize>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Immutable access to the term pool.
+    pub fn pool(&self) -> &TermPool {
+        &self.pool
+    }
+
+    /// Mutable access to the term pool (for callers that need to intern
+    /// query constants against this graph's id space).
+    pub fn pool_mut(&mut self) -> &mut TermPool {
+        &mut self.pool
+    }
+
+    /// Intern a term in this graph's pool.
+    pub fn intern(&mut self, term: Term) -> Sym {
+        self.pool.intern(term)
+    }
+
+    /// Intern an IRI in this graph's pool.
+    pub fn intern_iri(&mut self, iri: impl Into<String>) -> Sym {
+        self.pool.intern_iri(iri)
+    }
+
+    /// Resolve an id back to its term.
+    pub fn resolve(&self, sym: Sym) -> &Term {
+        self.pool.resolve(sym)
+    }
+
+    /// Human-readable label for an id.
+    pub fn label(&self, sym: Sym) -> &str {
+        self.pool.label(sym)
+    }
+
+    /// Insert a triple of already-interned ids. Returns `true` if new.
+    pub fn insert(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
+        if self.spo.insert((s, p, o)) {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+            *self.pred_counts.entry(p).or_insert(0) += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Intern three terms and insert the triple.
+    pub fn insert_terms(&mut self, s: Term, p: Term, o: Term) -> Triple {
+        let t = Triple {
+            s: self.pool.intern(s),
+            p: self.pool.intern(p),
+            o: self.pool.intern(o),
+        };
+        self.insert(t.s, t.p, t.o);
+        t
+    }
+
+    /// Convenience: insert `(<s>, <p>, <o>)` as IRIs.
+    pub fn insert_iri(&mut self, s: &str, p: &str, o: &str) -> Triple {
+        self.insert_terms(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// Remove a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
+        if self.spo.remove(&(s, p, o)) {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+            if let Some(c) = self.pred_counts.get_mut(&p) {
+                *c -= 1;
+                if *c == 0 {
+                    self.pred_counts.remove(&p);
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: Sym, p: Sym, o: Sym) -> bool {
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Iterate all triples in (s, p, o) order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })
+    }
+
+    /// Match a pattern, choosing the best index for the bound positions.
+    ///
+    /// Returned triples are in a deterministic order (sorted under the
+    /// chosen index).
+    pub fn match_pattern(&self, pat: TriplePattern) -> Vec<Triple> {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains(s, p, o) {
+                    vec![Triple { s, p, o }]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, Sym(0))..=(s, p, Sym(u32::MAX)))
+                .map(|&(s, p, o)| Triple { s, p, o })
+                .collect(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, Sym(0), Sym(0))..=(s, Sym(u32::MAX), Sym(u32::MAX)))
+                .map(|&(s, p, o)| Triple { s, p, o })
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p, o, Sym(0))..=(p, o, Sym(u32::MAX)))
+                .map(|&(p, o, s)| Triple { s, p, o })
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, Sym(0), Sym(0))..=(p, Sym(u32::MAX), Sym(u32::MAX)))
+                .map(|&(p, o, s)| Triple { s, p, o })
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, Sym(0), Sym(0))..=(o, Sym(u32::MAX), Sym(u32::MAX)))
+                .map(|&(o, s, p)| Triple { s, p, o })
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o, s, Sym(0))..=(o, s, Sym(u32::MAX)))
+                .map(|&(o, s, p)| Triple { s, p, o })
+                .collect(),
+            (None, None, None) => self.iter().collect(),
+        }
+    }
+
+    /// Estimated number of matches for a pattern, used for join ordering.
+    ///
+    /// Exact for the fully-bound / fully-free / predicate-bound shapes;
+    /// a cheap heuristic elsewhere.
+    pub fn estimate(&self, pat: TriplePattern) -> usize {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.contains(s, p, o)),
+            (None, None, None) => self.len(),
+            (None, Some(p), None) => self.pred_counts.get(&p).copied().unwrap_or(0),
+            (Some(s), Some(p), None) | (None, Some(p), Some(s)) => {
+                // bounded by both the star size and the predicate count
+                let pc = self.pred_counts.get(&p).copied().unwrap_or(0);
+                pc.min(self.degree(s)).max(usize::from(pc > 0))
+            }
+            (Some(s), None, None) => self.out_degree(s),
+            (None, None, Some(o)) => self.in_degree(o),
+            (Some(s), None, Some(o)) => self.out_degree(s).min(self.in_degree(o)),
+        }
+    }
+
+    /// Objects `o` such that `(s, p, o)` holds.
+    pub fn objects(&self, s: Sym, p: Sym) -> Vec<Sym> {
+        self.spo
+            .range((s, p, Sym(0))..=(s, p, Sym(u32::MAX)))
+            .map(|&(_, _, o)| o)
+            .collect()
+    }
+
+    /// Subjects `s` such that `(s, p, o)` holds.
+    pub fn subjects(&self, p: Sym, o: Sym) -> Vec<Sym> {
+        self.pos
+            .range((p, o, Sym(0))..=(p, o, Sym(u32::MAX)))
+            .map(|&(_, _, s)| s)
+            .collect()
+    }
+
+    /// All outgoing edges `(p, o)` of a subject.
+    pub fn outgoing(&self, s: Sym) -> Vec<(Sym, Sym)> {
+        self.spo
+            .range((s, Sym(0), Sym(0))..=(s, Sym(u32::MAX), Sym(u32::MAX)))
+            .map(|&(_, p, o)| (p, o))
+            .collect()
+    }
+
+    /// All incoming edges `(s, p)` of an object.
+    pub fn incoming(&self, o: Sym) -> Vec<(Sym, Sym)> {
+        self.osp
+            .range((o, Sym(0), Sym(0))..=(o, Sym(u32::MAX), Sym(u32::MAX)))
+            .map(|&(_, s, p)| (s, p))
+            .collect()
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, s: Sym) -> usize {
+        self.spo
+            .range((s, Sym(0), Sym(0))..=(s, Sym(u32::MAX), Sym(u32::MAX)))
+            .count()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, o: Sym) -> usize {
+        self.osp
+            .range((o, Sym(0), Sym(0))..=(o, Sym(u32::MAX), Sym(u32::MAX)))
+            .count()
+    }
+
+    /// Total degree (in + out) of a node.
+    pub fn degree(&self, n: Sym) -> usize {
+        self.out_degree(n) + self.in_degree(n)
+    }
+
+    /// Distinct predicates, sorted, with their triple counts.
+    pub fn predicates(&self) -> Vec<(Sym, usize)> {
+        self.pred_counts.iter().map(|(&p, &c)| (p, c)).collect()
+    }
+
+    /// Distinct subjects and objects that are IRIs (entities), sorted.
+    pub fn entities(&self) -> Vec<Sym> {
+        let mut set = BTreeSet::new();
+        for &(s, _, o) in &self.spo {
+            if self.pool.resolve(s).is_iri() {
+                set.insert(s);
+            }
+            if self.pool.resolve(o).is_iri() {
+                set.insert(o);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Entities having an `rdf:type` edge to `class`.
+    pub fn instances_of(&self, class: Sym) -> Vec<Sym> {
+        match self.pool.get_iri(namespace::RDF_TYPE) {
+            Some(ty) => self.subjects(ty, class),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `rdf:type` objects of an entity.
+    pub fn types_of(&self, entity: Sym) -> Vec<Sym> {
+        match self.pool.get_iri(namespace::RDF_TYPE) {
+            Some(ty) => self.objects(entity, ty),
+            None => Vec::new(),
+        }
+    }
+
+    /// The first `rdfs:label` literal of an entity, if any, else the
+    /// humanized local name.
+    pub fn display_name(&self, entity: Sym) -> String {
+        if let Some(lp) = self.pool.get_iri(namespace::RDFS_LABEL) {
+            if let Some(&o) = self.objects(entity, lp).first() {
+                if let Term::Literal(l) = self.pool.resolve(o) {
+                    return l.lexical.clone();
+                }
+            }
+        }
+        namespace::humanize(self.pool.label(entity))
+    }
+
+    /// Merge all triples of `other` into `self`, translating ids across
+    /// pools. Returns the number of triples newly inserted.
+    pub fn merge(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for t in other.iter() {
+            let s = self.pool.intern(other.resolve(t.s).clone());
+            let p = self.pool.intern(other.resolve(t.p).clone());
+            let o = self.pool.intern(other.resolve(t.o).clone());
+            if self.insert(s, p, o) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+impl Extend<(Term, Term, Term)> for Graph {
+    fn extend<I: IntoIterator<Item = (Term, Term, Term)>>(&mut self, iter: I) {
+        for (s, p, o) in iter {
+            self.insert_terms(s, p, o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        let mut g = Graph::new();
+        g.insert_iri("http://e/alice", "http://v/knows", "http://e/bob");
+        g.insert_iri("http://e/alice", "http://v/knows", "http://e/carol");
+        g.insert_iri("http://e/bob", "http://v/knows", "http://e/carol");
+        g.insert_iri("http://e/alice", "http://v/age", "http://e/unused");
+        g
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_indexed() {
+        let mut g = Graph::new();
+        let t = g.insert_iri("http://e/a", "http://v/p", "http://e/b");
+        assert_eq!(g.len(), 1);
+        g.insert(t.s, t.p, t.o);
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(t.s, t.p, t.o));
+    }
+
+    #[test]
+    fn remove_updates_all_indexes() {
+        let mut g = tiny();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        let bob = g.pool().get_iri("http://e/bob").unwrap();
+        assert!(g.remove(alice, knows, bob));
+        assert!(!g.remove(alice, knows, bob));
+        assert!(!g.contains(alice, knows, bob));
+        assert_eq!(g.match_pattern(TriplePattern { s: None, p: Some(knows), o: None }).len(), 2);
+        assert_eq!(g.objects(alice, knows).len(), 1);
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes() {
+        let g = tiny();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        let carol = g.pool().get_iri("http://e/carol").unwrap();
+        let m = |s, p, o| g.match_pattern(TriplePattern { s, p, o }).len();
+        assert_eq!(m(None, None, None), 4);
+        assert_eq!(m(Some(alice), None, None), 3);
+        assert_eq!(m(None, Some(knows), None), 3);
+        assert_eq!(m(None, None, Some(carol)), 2);
+        assert_eq!(m(Some(alice), Some(knows), None), 2);
+        assert_eq!(m(Some(alice), None, Some(carol)), 1);
+        assert_eq!(m(None, Some(knows), Some(carol)), 2);
+        assert_eq!(m(Some(alice), Some(knows), Some(carol)), 1);
+    }
+
+    #[test]
+    fn pattern_results_agree_with_naive_filter() {
+        let g = tiny();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        for pat in [
+            TriplePattern { s: Some(alice), p: None, o: None },
+            TriplePattern { s: None, p: Some(knows), o: None },
+            TriplePattern::any(),
+        ] {
+            let fast: Vec<_> = g.match_pattern(pat);
+            let slow: Vec<_> = g.iter().filter(|t| pat.matches(t)).collect();
+            assert_eq!(fast.len(), slow.len());
+            for t in &fast {
+                assert!(slow.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_and_predicates() {
+        let g = tiny();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let carol = g.pool().get_iri("http://e/carol").unwrap();
+        assert_eq!(g.out_degree(alice), 3);
+        assert_eq!(g.in_degree(carol), 2);
+        assert_eq!(g.degree(carol), 2); // two incoming `knows` edges, no outgoing
+        let preds = g.predicates();
+        assert_eq!(preds.len(), 2);
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        assert!(preds.contains(&(knows, 3)));
+    }
+
+    #[test]
+    fn estimate_matches_reality_for_exact_shapes() {
+        let g = tiny();
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        assert_eq!(g.estimate(TriplePattern::any()), 4);
+        assert_eq!(g.estimate(TriplePattern { s: None, p: Some(knows), o: None }), 3);
+    }
+
+    #[test]
+    fn types_and_instances() {
+        let mut g = Graph::new();
+        g.insert_iri("http://e/alice", namespace::RDF_TYPE, "http://v/Person");
+        g.insert_iri("http://e/bob", namespace::RDF_TYPE, "http://v/Person");
+        let person = g.pool().get_iri("http://v/Person").unwrap();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        assert_eq!(g.instances_of(person).len(), 2);
+        assert_eq!(g.types_of(alice), vec![person]);
+    }
+
+    #[test]
+    fn display_name_prefers_label() {
+        let mut g = Graph::new();
+        let a = g.intern_iri("http://e/alice_smith");
+        let lbl = g.intern_iri(namespace::RDFS_LABEL);
+        let lit = g.intern(Term::lit("Alice Smith"));
+        assert_eq!(g.display_name(a), "alice smith");
+        g.insert(a, lbl, lit);
+        assert_eq!(g.display_name(a), "Alice Smith");
+    }
+
+    #[test]
+    fn merge_translates_ids() {
+        let mut g1 = Graph::new();
+        g1.insert_iri("http://e/x", "http://v/p", "http://e/y");
+        let mut g2 = Graph::new();
+        g2.insert_iri("http://e/z", "http://v/p", "http://e/x");
+        g2.insert_iri("http://e/x", "http://v/p", "http://e/y");
+        let added = g1.merge(&g2);
+        assert_eq!(added, 1);
+        assert_eq!(g1.len(), 2);
+        let x = g1.pool().get_iri("http://e/x").unwrap();
+        let p = g1.pool().get_iri("http://v/p").unwrap();
+        let z = g1.pool().get_iri("http://e/z").unwrap();
+        assert!(g1.contains(z, p, x));
+    }
+
+    #[test]
+    fn entities_excludes_literals() {
+        let mut g = Graph::new();
+        g.insert_terms(Term::iri("http://e/a"), Term::iri("http://v/name"), Term::lit("A"));
+        g.insert_iri("http://e/a", "http://v/knows", "http://e/b");
+        // literals never count as entities; only IRI subjects/objects do
+        assert_eq!(g.entities().len(), 2);
+    }
+}

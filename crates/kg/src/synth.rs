@@ -1,0 +1,885 @@
+//! Seeded synthetic knowledge-graph generators.
+//!
+//! These stand in for the Freebase / Wikidata / DBpedia dumps used by the
+//! surveyed papers: each generator produces a typed KG with a realistic
+//! schema (functional properties, disjoint classes, literal attributes),
+//! multi-hop structure, and `rdfs:label`s suitable for verbalization — at a
+//! laptop scale, fully deterministic under a seed.
+//!
+//! Domains provided:
+//! * [`movies`] — films / actors / directors / genres / studios (the classic
+//!   KGQA domain, analogous to Freebase film),
+//! * [`academic`] — universities / researchers / papers (LUBM-flavoured),
+//! * [`geo`] — countries / cities / rivers with transitive containment,
+//! * [`biomed`] — diseases / symptoms / drugs / genes (the COVID-19-style
+//!   domain the survey's ontology-construction discussion motivates),
+//! * [`freebase_like`] — a generic scale-free multi-relational graph with a
+//!   Zipf degree distribution for embedding / completion benchmarks.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{KgError, Result};
+use crate::namespace as ns;
+use crate::ontology::{CardinalityRestriction, Ontology, PropertyDecl, PropertyTraits};
+use crate::store::Graph;
+use crate::term::{Sym, Term};
+
+/// A generated KG bundle: instance graph plus the schema it conforms to.
+#[derive(Debug, Clone)]
+pub struct SynthKg {
+    /// Instance triples (plus labels and types).
+    pub graph: Graph,
+    /// The schema the instances conform to.
+    pub ontology: Ontology,
+    /// Name of the domain ("movies", "academic", …).
+    pub domain: &'static str,
+}
+
+/// Scale knob shared by the domain generators.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Rough number of entities per major class.
+    pub entities_per_class: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale { entities_per_class: 40 }
+    }
+}
+
+impl Scale {
+    /// A small scale for unit tests.
+    pub fn tiny() -> Self {
+        Scale { entities_per_class: 8 }
+    }
+
+    /// A medium scale for evaluation harnesses.
+    pub fn medium() -> Self {
+        Scale { entities_per_class: 120 }
+    }
+}
+
+/// Deterministic pseudo-name generator (syllable chains).
+pub struct NameGen {
+    rng: StdRng,
+}
+
+const ONSETS: &[&str] = &[
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "r",
+    "s", "st", "t", "th", "v", "w", "z",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"];
+const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "nd", "rt", "x"];
+
+impl NameGen {
+    /// A fresh generator with its own seed.
+    pub fn new(seed: u64) -> Self {
+        NameGen { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// One capitalized pseudo-word of 2–3 syllables.
+    pub fn word(&mut self) -> String {
+        let syllables = self.rng.gen_range(2..=3);
+        let mut w = String::new();
+        for _ in 0..syllables {
+            w.push_str(ONSETS.choose(&mut self.rng).expect("non-empty"));
+            w.push_str(NUCLEI.choose(&mut self.rng).expect("non-empty"));
+            w.push_str(CODAS.choose(&mut self.rng).expect("non-empty"));
+        }
+        let mut c = w.chars();
+        match c.next() {
+            Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+            None => w,
+        }
+    }
+
+    /// A two-word person-style name.
+    pub fn person(&mut self) -> String {
+        format!("{} {}", self.word(), self.word())
+    }
+
+    /// A title-like phrase of `n` words.
+    pub fn title(&mut self, n: usize) -> String {
+        let mut parts = Vec::with_capacity(n);
+        for _ in 0..n {
+            parts.push(self.word());
+        }
+        parts.join(" ")
+    }
+}
+
+/// Helper that owns a graph under construction and registers entities.
+struct Builder {
+    graph: Graph,
+    ty: Sym,
+    label: Sym,
+}
+
+impl Builder {
+    fn new() -> Self {
+        let mut graph = Graph::new();
+        let ty = graph.intern_iri(ns::RDF_TYPE);
+        let label = graph.intern_iri(ns::RDFS_LABEL);
+        Builder { graph, ty, label }
+    }
+
+    fn entity(&mut self, class_iri: &str, name: &str) -> Sym {
+        let iri = format!("{}{}", ns::SYNTH_ENTITY, ns::slug(name));
+        let e = self.graph.intern_iri(iri);
+        let c = self.graph.intern_iri(class_iri);
+        self.graph.insert(e, self.ty, c);
+        let l = self.graph.intern(Term::lit(name));
+        self.graph.insert(e, self.label, l);
+        e
+    }
+
+    fn edge(&mut self, s: Sym, prop_iri: &str, o: Sym) {
+        let p = self.graph.intern_iri(prop_iri);
+        self.graph.insert(s, p, o);
+    }
+
+    fn attr_int(&mut self, s: Sym, prop_iri: &str, v: i64) {
+        let p = self.graph.intern_iri(prop_iri);
+        let o = self.graph.intern(Term::int(v));
+        self.graph.insert(s, p, o);
+    }
+}
+
+fn vocab(name: &str) -> String {
+    format!("{}{}", ns::SYNTH_VOCAB, name)
+}
+
+/// Generate the movies domain.
+pub fn movies(seed: u64, scale: Scale) -> SynthKg {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut names = NameGen::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let mut b = Builder::new();
+
+    let film_c = vocab("Film");
+    let actor_c = vocab("Actor");
+    let director_c = vocab("Director");
+    let genre_c = vocab("Genre");
+    let studio_c = vocab("Studio");
+    let person_c = vocab("Person");
+
+    let mut onto = Ontology::new();
+    for (c, l) in [
+        (&film_c, "Film"),
+        (&actor_c, "Actor"),
+        (&director_c, "Director"),
+        (&genre_c, "Genre"),
+        (&studio_c, "Studio"),
+        (&person_c, "Person"),
+    ] {
+        onto.add_labeled_class(c.clone(), l);
+    }
+    onto.add_subclass(actor_c.clone(), person_c.clone());
+    onto.add_subclass(director_c.clone(), person_c.clone());
+    onto.add_disjoint(person_c.clone(), film_c.clone());
+    onto.add_disjoint(person_c.clone(), studio_c.clone());
+    onto.add_disjoint(film_c.clone(), genre_c.clone());
+
+    let directed_by = vocab("directedBy");
+    let starring = vocab("starring");
+    let has_genre = vocab("hasGenre");
+    let produced_by = vocab("producedBy");
+    let release_year = vocab("releaseYear");
+    let spouse = vocab("spouse");
+
+    onto.add_property(
+        directed_by.clone(),
+        PropertyDecl {
+            domain: Some(film_c.clone()),
+            range: Some(director_c.clone()),
+            traits: PropertyTraits { functional: true, ..Default::default() },
+            label: Some("directed by".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        starring.clone(),
+        PropertyDecl {
+            domain: Some(film_c.clone()),
+            range: Some(actor_c.clone()),
+            label: Some("starring".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        has_genre.clone(),
+        PropertyDecl {
+            domain: Some(film_c.clone()),
+            range: Some(genre_c.clone()),
+            label: Some("has genre".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        produced_by.clone(),
+        PropertyDecl {
+            domain: Some(film_c.clone()),
+            range: Some(studio_c.clone()),
+            traits: PropertyTraits { functional: true, ..Default::default() },
+            label: Some("produced by".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        release_year.clone(),
+        PropertyDecl {
+            domain: Some(film_c.clone()),
+            literal_valued: true,
+            traits: PropertyTraits { functional: true, ..Default::default() },
+            label: Some("released in".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        spouse.clone(),
+        PropertyDecl {
+            domain: Some(person_c.clone()),
+            range: Some(person_c.clone()),
+            traits: PropertyTraits {
+                symmetric: true,
+                irreflexive: true,
+                ..Default::default()
+            },
+            label: Some("spouse of".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_cardinality(CardinalityRestriction {
+        class: film_c.clone(),
+        property: has_genre.clone(),
+        max: 3,
+    });
+
+    let n = scale.entities_per_class;
+    let genres: Vec<Sym> = ["Drama", "Comedy", "Thriller", "SciFi", "Romance", "Horror", "Noir"]
+        .iter()
+        .map(|g| b.entity(&genre_c, g))
+        .collect();
+    let studios: Vec<Sym> =
+        (0..(n / 6).max(2)).map(|_| b.entity(&studio_c, &format!("{} Studios", names.word()))).collect();
+    let directors: Vec<Sym> =
+        (0..(n / 3).max(3)).map(|_| b.entity(&director_c, &names.person())).collect();
+    let actors: Vec<Sym> = (0..n).map(|_| b.entity(&actor_c, &names.person())).collect();
+
+    for _ in 0..n {
+        let film = b.entity(&film_c, &format!("The {}", names.title(2)));
+        let d = *directors.choose(&mut rng).expect("non-empty");
+        b.edge(film, &directed_by, d);
+        let cast = rng.gen_range(2..=4).min(actors.len());
+        let mut chosen = actors.clone();
+        chosen.shuffle(&mut rng);
+        for &a in chosen.iter().take(cast) {
+            b.edge(film, &starring, a);
+        }
+        let n_genres = rng.gen_range(1..=2);
+        for &g in genres.as_slice().choose_multiple(&mut rng, n_genres) {
+            b.edge(film, &has_genre, g);
+        }
+        let s = *studios.choose(&mut rng).expect("non-empty");
+        b.edge(film, &produced_by, s);
+        b.attr_int(film, &release_year, rng.gen_range(1950..=2024));
+    }
+    // a few spouse edges among people (kept symmetric)
+    let mut people: Vec<Sym> = actors.iter().chain(directors.iter()).copied().collect();
+    people.shuffle(&mut rng);
+    for pair in people.chunks(2).take(n / 5) {
+        if let [a, bb] = pair {
+            b.edge(*a, &spouse, *bb);
+            b.edge(*bb, &spouse, *a);
+        }
+    }
+
+    SynthKg { graph: b.graph, ontology: onto, domain: "movies" }
+}
+
+/// Generate the academic domain.
+pub fn academic(seed: u64, scale: Scale) -> SynthKg {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xACAD);
+    let mut names = NameGen::new(seed.wrapping_add(17));
+    let mut b = Builder::new();
+
+    let person_c = vocab("Person");
+    let prof_c = vocab("Professor");
+    let student_c = vocab("Student");
+    let uni_c = vocab("University");
+    let paper_c = vocab("Paper");
+    let venue_c = vocab("Venue");
+
+    let mut onto = Ontology::new();
+    for (c, l) in [
+        (&person_c, "Person"),
+        (&prof_c, "Professor"),
+        (&student_c, "Student"),
+        (&uni_c, "University"),
+        (&paper_c, "Paper"),
+        (&venue_c, "Venue"),
+    ] {
+        onto.add_labeled_class(c.clone(), l);
+    }
+    onto.add_subclass(prof_c.clone(), person_c.clone());
+    onto.add_subclass(student_c.clone(), person_c.clone());
+    onto.add_disjoint(person_c.clone(), paper_c.clone());
+    onto.add_disjoint(uni_c.clone(), person_c.clone());
+
+    let advisor = vocab("advisor");
+    let works_at = vocab("worksAt");
+    let author_of = vocab("authorOf");
+    let cites = vocab("cites");
+    let published_in = vocab("publishedIn");
+
+    onto.add_property(
+        advisor.clone(),
+        PropertyDecl {
+            domain: Some(student_c.clone()),
+            range: Some(prof_c.clone()),
+            traits: PropertyTraits { functional: true, ..Default::default() },
+            label: Some("advised by".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        works_at.clone(),
+        PropertyDecl {
+            domain: Some(person_c.clone()),
+            range: Some(uni_c.clone()),
+            label: Some("works at".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        author_of.clone(),
+        PropertyDecl {
+            domain: Some(person_c.clone()),
+            range: Some(paper_c.clone()),
+            label: Some("author of".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        cites.clone(),
+        PropertyDecl {
+            domain: Some(paper_c.clone()),
+            range: Some(paper_c.clone()),
+            traits: PropertyTraits { irreflexive: true, ..Default::default() },
+            label: Some("cites".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        published_in.clone(),
+        PropertyDecl {
+            domain: Some(paper_c.clone()),
+            range: Some(venue_c.clone()),
+            traits: PropertyTraits { functional: true, ..Default::default() },
+            label: Some("published in".into()),
+            ..Default::default()
+        },
+    );
+
+    let n = scale.entities_per_class;
+    let unis: Vec<Sym> =
+        (0..(n / 8).max(2)).map(|_| b.entity(&uni_c, &format!("University of {}", names.word()))).collect();
+    let venues: Vec<Sym> =
+        (0..(n / 10).max(2)).map(|_| b.entity(&venue_c, &format!("{} Conference", names.word()))).collect();
+    let profs: Vec<Sym> =
+        (0..(n / 3).max(3)).map(|_| b.entity(&prof_c, &names.person())).collect();
+    let students: Vec<Sym> = (0..n).map(|_| b.entity(&student_c, &names.person())).collect();
+
+    for &p in &profs {
+        let u = *unis.choose(&mut rng).expect("non-empty");
+        b.edge(p, &works_at, u);
+    }
+    for &s in &students {
+        b.edge(s, &advisor, *profs.choose(&mut rng).expect("non-empty"));
+        b.edge(s, &works_at, *unis.choose(&mut rng).expect("non-empty"));
+    }
+    let mut papers = Vec::new();
+    for _ in 0..n {
+        let paper = b.entity(&paper_c, &format!("On {}", names.title(3)));
+        b.edge(paper, &published_in, *venues.choose(&mut rng).expect("non-empty"));
+        let nauth = rng.gen_range(1..=3);
+        for _ in 0..nauth {
+            let who = if rng.gen_bool(0.5) {
+                *profs.choose(&mut rng).expect("non-empty")
+            } else {
+                *students.choose(&mut rng).expect("non-empty")
+            };
+            b.edge(who, &author_of, paper);
+        }
+        papers.push(paper);
+    }
+    for &paper in &papers {
+        for _ in 0..rng.gen_range(0..3usize) {
+            let target = *papers.choose(&mut rng).expect("non-empty");
+            if target != paper {
+                b.edge(paper, &cites, target);
+            }
+        }
+    }
+
+    SynthKg { graph: b.graph, ontology: onto, domain: "academic" }
+}
+
+/// Generate the geography domain.
+pub fn geo(seed: u64, scale: Scale) -> SynthKg {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6E0);
+    let mut names = NameGen::new(seed.wrapping_add(99));
+    let mut b = Builder::new();
+
+    let country_c = vocab("Country");
+    let city_c = vocab("City");
+    let region_c = vocab("Region");
+    let river_c = vocab("River");
+
+    let mut onto = Ontology::new();
+    for (c, l) in [
+        (&country_c, "Country"),
+        (&city_c, "City"),
+        (&region_c, "Region"),
+        (&river_c, "River"),
+    ] {
+        onto.add_labeled_class(c.clone(), l);
+    }
+    onto.add_disjoint(country_c.clone(), city_c.clone());
+    onto.add_disjoint(city_c.clone(), river_c.clone());
+
+    let capital_of = vocab("capitalOf");
+    let located_in = vocab("locatedIn");
+    let flows_through = vocab("flowsThrough");
+    let borders = vocab("borders");
+    let population = vocab("population");
+
+    onto.add_property(
+        capital_of.clone(),
+        PropertyDecl {
+            domain: Some(city_c.clone()),
+            range: Some(country_c.clone()),
+            traits: PropertyTraits {
+                functional: true,
+                inverse_functional: true,
+                ..Default::default()
+            },
+            label: Some("capital of".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        located_in.clone(),
+        PropertyDecl {
+            range: Some(region_c.clone()),
+            traits: PropertyTraits { transitive: true, ..Default::default() },
+            label: Some("located in".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        flows_through.clone(),
+        PropertyDecl {
+            domain: Some(river_c.clone()),
+            range: Some(country_c.clone()),
+            label: Some("flows through".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        borders.clone(),
+        PropertyDecl {
+            domain: Some(country_c.clone()),
+            range: Some(country_c.clone()),
+            traits: PropertyTraits {
+                symmetric: true,
+                irreflexive: true,
+                ..Default::default()
+            },
+            label: Some("borders".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        population.clone(),
+        PropertyDecl {
+            literal_valued: true,
+            traits: PropertyTraits { functional: true, ..Default::default() },
+            label: Some("has population".into()),
+            ..Default::default()
+        },
+    );
+
+    let n = scale.entities_per_class;
+    let regions: Vec<Sym> =
+        (0..(n / 8).max(2)).map(|_| b.entity(&region_c, &format!("{} Region", names.word()))).collect();
+    let countries: Vec<Sym> =
+        (0..(n / 2).max(3)).map(|_| b.entity(&country_c, &names.word())).collect();
+    for (i, &c) in countries.iter().enumerate() {
+        b.edge(c, &located_in, regions[i % regions.len()]);
+        b.attr_int(c, &population, rng.gen_range(100_000..200_000_000));
+        // capital
+        let cap = b.entity(&city_c, &format!("{} City", names.word()));
+        b.edge(cap, &capital_of, c);
+        b.edge(cap, &located_in, c);
+        b.attr_int(cap, &population, rng.gen_range(10_000..20_000_000));
+    }
+    for _ in 0..n {
+        let city = b.entity(&city_c, &names.word());
+        let c = *countries.choose(&mut rng).expect("non-empty");
+        b.edge(city, &located_in, c);
+        b.attr_int(city, &population, rng.gen_range(1_000..5_000_000));
+    }
+    for _ in 0..(n / 2) {
+        let river = b.entity(&river_c, &format!("River {}", names.word()));
+        let n_through = rng.gen_range(1..=3);
+        for &c in countries.as_slice().choose_multiple(&mut rng, n_through) {
+            b.edge(river, &flows_through, c);
+        }
+    }
+    // symmetric borders
+    for i in 0..countries.len() {
+        let j = (i + 1) % countries.len();
+        if i != j {
+            b.edge(countries[i], &borders, countries[j]);
+            b.edge(countries[j], &borders, countries[i]);
+        }
+    }
+
+    SynthKg { graph: b.graph, ontology: onto, domain: "geo" }
+}
+
+/// Generate the biomedical (COVID-19-style) domain.
+pub fn biomed(seed: u64, scale: Scale) -> SynthKg {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB10);
+    let mut names = NameGen::new(seed.wrapping_add(7_777));
+    let mut b = Builder::new();
+
+    let disease_c = vocab("Disease");
+    let symptom_c = vocab("Symptom");
+    let drug_c = vocab("Drug");
+    let gene_c = vocab("Gene");
+    let pathogen_c = vocab("Pathogen");
+
+    let mut onto = Ontology::new();
+    for (c, l) in [
+        (&disease_c, "Disease"),
+        (&symptom_c, "Symptom"),
+        (&drug_c, "Drug"),
+        (&gene_c, "Gene"),
+        (&pathogen_c, "Pathogen"),
+    ] {
+        onto.add_labeled_class(c.clone(), l);
+    }
+    onto.add_disjoint(disease_c.clone(), drug_c.clone());
+    onto.add_disjoint(symptom_c.clone(), drug_c.clone());
+
+    let has_symptom = vocab("hasSymptom");
+    let treats = vocab("treats");
+    let targets = vocab("targets");
+    let caused_by = vocab("causedBy");
+    let interacts_with = vocab("interactsWith");
+
+    onto.add_property(
+        has_symptom.clone(),
+        PropertyDecl {
+            domain: Some(disease_c.clone()),
+            range: Some(symptom_c.clone()),
+            label: Some("has symptom".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        treats.clone(),
+        PropertyDecl {
+            domain: Some(drug_c.clone()),
+            range: Some(disease_c.clone()),
+            label: Some("treats".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        targets.clone(),
+        PropertyDecl {
+            domain: Some(drug_c.clone()),
+            range: Some(gene_c.clone()),
+            label: Some("targets".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        caused_by.clone(),
+        PropertyDecl {
+            domain: Some(disease_c.clone()),
+            range: Some(pathogen_c.clone()),
+            traits: PropertyTraits { functional: true, ..Default::default() },
+            label: Some("caused by".into()),
+            ..Default::default()
+        },
+    );
+    onto.add_property(
+        interacts_with.clone(),
+        PropertyDecl {
+            domain: Some(drug_c.clone()),
+            range: Some(drug_c.clone()),
+            traits: PropertyTraits {
+                symmetric: true,
+                irreflexive: true,
+                ..Default::default()
+            },
+            label: Some("interacts with".into()),
+            ..Default::default()
+        },
+    );
+
+    let n = scale.entities_per_class;
+    let symptoms: Vec<Sym> = ["Fever", "Cough", "Fatigue", "Headache", "Nausea", "Rash", "Chills"]
+        .iter()
+        .map(|s| b.entity(&symptom_c, s))
+        .collect();
+    let pathogens: Vec<Sym> =
+        (0..(n / 6).max(2)).map(|_| b.entity(&pathogen_c, &format!("{} virus", names.word()))).collect();
+    let genes: Vec<Sym> =
+        (0..(n / 3).max(3)).map(|i| b.entity(&gene_c, &format!("GEN{i:03}"))).collect();
+    let diseases: Vec<Sym> =
+        (0..n).map(|_| b.entity(&disease_c, &format!("{} disease", names.word()))).collect();
+    for &d in &diseases {
+        let n_sym = rng.gen_range(2..=4);
+        for &s in symptoms.as_slice().choose_multiple(&mut rng, n_sym) {
+            b.edge(d, &has_symptom, s);
+        }
+        b.edge(d, &caused_by, *pathogens.choose(&mut rng).expect("non-empty"));
+    }
+    let drugs: Vec<Sym> =
+        (0..n).map(|_| b.entity(&drug_c, &format!("{}ol", names.word()))).collect();
+    for &dr in &drugs {
+        let n_treats = rng.gen_range(1..=2);
+        for &d in diseases.as_slice().choose_multiple(&mut rng, n_treats) {
+            b.edge(dr, &treats, d);
+        }
+        let n_targets = rng.gen_range(1..=2);
+        for &g in genes.as_slice().choose_multiple(&mut rng, n_targets) {
+            b.edge(dr, &targets, g);
+        }
+    }
+    for pair in drugs.chunks(2).take(n / 4) {
+        if let [a, c] = pair {
+            b.edge(*a, &interacts_with, *c);
+            b.edge(*c, &interacts_with, *a);
+        }
+    }
+
+    SynthKg { graph: b.graph, ontology: onto, domain: "biomed" }
+}
+
+/// Configuration for the generic scale-free generator.
+#[derive(Debug, Clone)]
+pub struct FreebaseLikeConfig {
+    /// Number of entities.
+    pub n_entities: usize,
+    /// Number of distinct relations.
+    pub n_relations: usize,
+    /// Number of triples to generate (duplicates are retried).
+    pub n_triples: usize,
+    /// Zipf-like skew exponent for entity popularity (0 = uniform).
+    pub zipf_exponent: f64,
+}
+
+impl Default for FreebaseLikeConfig {
+    fn default() -> Self {
+        FreebaseLikeConfig {
+            n_entities: 500,
+            n_relations: 20,
+            n_triples: 3_000,
+            zipf_exponent: 1.0,
+        }
+    }
+}
+
+/// Generate a generic scale-free multi-relational KG (the shape used by
+/// link-prediction benchmarks such as FB15k): entity popularity follows an
+/// approximate Zipf law, so a few hub entities participate in many triples.
+pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> {
+    if config.n_entities < 2 || config.n_relations == 0 || config.n_triples == 0 {
+        return Err(KgError::InvalidConfig(format!(
+            "need ≥2 entities, ≥1 relation, ≥1 triple; got {config:?}"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF8EE);
+    let mut b = Builder::new();
+    let class = vocab("Entity");
+    let mut onto = Ontology::new();
+    onto.add_labeled_class(class.clone(), "Entity");
+
+    let entities: Vec<Sym> = (0..config.n_entities)
+        .map(|i| b.entity(&class, &format!("E{i:05}")))
+        .collect();
+    let relations: Vec<String> =
+        (0..config.n_relations).map(|i| vocab(&format!("rel{i:03}"))).collect();
+    for r in &relations {
+        onto.add_property(
+            r.clone(),
+            PropertyDecl {
+                domain: Some(class.clone()),
+                range: Some(class.clone()),
+                label: Some(ns::humanize(ns::local_name(r))),
+                ..Default::default()
+            },
+        );
+    }
+
+    // cumulative Zipf weights over entity ranks
+    let weights: Vec<f64> = (1..=config.n_entities)
+        .map(|r| 1.0 / (r as f64).powf(config.zipf_exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let pick = |rng: &mut StdRng| -> Sym {
+        let x: f64 = rng.gen();
+        let idx = cumulative.partition_point(|&c| c < x).min(config.n_entities - 1);
+        entities[idx]
+    };
+
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = config.n_triples * 20;
+    while inserted < config.n_triples && attempts < max_attempts {
+        attempts += 1;
+        let s = pick(&mut rng);
+        let o = pick(&mut rng);
+        if s == o {
+            continue;
+        }
+        let r = relations.choose(&mut rng).expect("non-empty");
+        let p = b.graph.intern_iri(r.clone());
+        if b.graph.insert(s, p, o) {
+            inserted += 1;
+        }
+    }
+
+    Ok(SynthKg { graph: b.graph, ontology: onto, domain: "freebase-like" })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turtle::to_ntriples;
+
+    #[test]
+    fn movies_is_deterministic() {
+        let a = movies(42, Scale::tiny());
+        let b = movies(42, Scale::tiny());
+        assert_eq!(to_ntriples(&a.graph), to_ntriples(&b.graph));
+        let c = movies(43, Scale::tiny());
+        assert_ne!(to_ntriples(&a.graph), to_ntriples(&c.graph));
+    }
+
+    #[test]
+    fn movies_respects_functional_directed_by() {
+        let kg = movies(1, Scale::tiny());
+        let g = &kg.graph;
+        let db = g.pool().get_iri(&vocab("directedBy")).unwrap();
+        let film_class = g.pool().get_iri(&vocab("Film")).unwrap();
+        for film in g.instances_of(film_class) {
+            assert_eq!(g.objects(film, db).len(), 1, "directedBy must be functional");
+        }
+    }
+
+    #[test]
+    fn all_domains_nonempty_and_typed() {
+        for kg in [
+            movies(5, Scale::tiny()),
+            academic(5, Scale::tiny()),
+            geo(5, Scale::tiny()),
+            biomed(5, Scale::tiny()),
+        ] {
+            assert!(kg.graph.len() > 20, "{} too small", kg.domain);
+            assert!(kg.ontology.class_count() >= 4);
+            // every entity has a type and a label
+            let ty = kg.graph.pool().get_iri(ns::RDF_TYPE).unwrap();
+            let lbl = kg.graph.pool().get_iri(ns::RDFS_LABEL).unwrap();
+            for e in kg.graph.entities() {
+                let iri = kg.graph.resolve(e).as_iri().unwrap();
+                if iri.starts_with(ns::SYNTH_ENTITY) {
+                    assert!(!kg.graph.objects(e, ty).is_empty(), "untyped {iri}");
+                    assert!(!kg.graph.objects(e, lbl).is_empty(), "unlabeled {iri}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geo_borders_are_symmetric() {
+        let kg = geo(9, Scale::tiny());
+        let g = &kg.graph;
+        let borders = g.pool().get_iri(&vocab("borders")).unwrap();
+        for t in g.match_pattern(crate::store::TriplePattern { s: None, p: Some(borders), o: None })
+        {
+            assert!(g.contains(t.o, t.p, t.s), "borders must be symmetric");
+        }
+    }
+
+    #[test]
+    fn freebase_like_hits_target_size() {
+        let cfg = FreebaseLikeConfig {
+            n_entities: 100,
+            n_relations: 5,
+            n_triples: 400,
+            zipf_exponent: 1.0,
+        };
+        let kg = freebase_like(3, &cfg).unwrap();
+        // types+labels for 100 entities plus the requested relation triples
+        let rel_triples = kg
+            .graph
+            .predicates()
+            .iter()
+            .filter(|(p, _)| {
+                kg.graph.resolve(*p).as_iri().is_some_and(|i| i.contains("rel"))
+            })
+            .map(|(_, c)| *c)
+            .sum::<usize>();
+        assert_eq!(rel_triples, 400);
+    }
+
+    #[test]
+    fn freebase_like_zipf_skews_degrees() {
+        let cfg = FreebaseLikeConfig {
+            n_entities: 200,
+            n_relations: 5,
+            n_triples: 1_000,
+            zipf_exponent: 1.2,
+        };
+        let kg = freebase_like(7, &cfg).unwrap();
+        let g = &kg.graph;
+        let e0 = g.pool().get_iri(&format!("{}E00000", ns::SYNTH_ENTITY)).unwrap();
+        let elast = g.pool().get_iri(&format!("{}E00199", ns::SYNTH_ENTITY)).unwrap();
+        // labels+types contribute 2 everywhere, relation edges dominate on hubs
+        assert!(
+            g.degree(e0) > g.degree(elast),
+            "rank-0 entity should be a hub: {} vs {}",
+            g.degree(e0),
+            g.degree(elast)
+        );
+    }
+
+    #[test]
+    fn freebase_like_rejects_bad_config() {
+        let bad = FreebaseLikeConfig { n_entities: 1, ..Default::default() };
+        assert!(freebase_like(0, &bad).is_err());
+    }
+
+    #[test]
+    fn namegen_is_deterministic() {
+        let mut a = NameGen::new(5);
+        let mut b = NameGen::new(5);
+        assert_eq!(a.person(), b.person());
+        assert_eq!(a.title(3), b.title(3));
+    }
+}

@@ -1,0 +1,560 @@
+//! Turtle-subset and N-Triples parsing and serialization.
+//!
+//! Supported Turtle subset: `@prefix` directives, IRIs in angle brackets,
+//! prefixed names, the `a` keyword, string literals with `^^` datatypes and
+//! `@lang` tags, bare integer / decimal / boolean literals, blank node
+//! labels, `;` and `,` continuations, and `#` comments. This covers the
+//! fixtures and generated KGs of the workspace; full Turtle (collections,
+//! anonymous blank nodes, multi-line strings) is intentionally out of scope.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::{KgError, Result};
+use crate::namespace as ns;
+use crate::store::Graph;
+use crate::term::{Literal, Term};
+
+/// Parse a Turtle document into a fresh graph.
+pub fn parse_turtle(input: &str) -> Result<Graph> {
+    let mut g = Graph::new();
+    parse_turtle_into(input, &mut g)?;
+    Ok(g)
+}
+
+/// Parse a Turtle document, inserting into an existing graph.
+pub fn parse_turtle_into(input: &str, graph: &mut Graph) -> Result<()> {
+    Parser::new(input).run(graph)
+}
+
+/// Parse N-Triples (a strict line-oriented subset of our Turtle parser).
+pub fn parse_ntriples(input: &str) -> Result<Graph> {
+    parse_turtle(input)
+}
+
+/// Serialize a graph as N-Triples, one triple per line, sorted.
+pub fn to_ntriples(g: &Graph) -> String {
+    let mut out = String::new();
+    for t in g.iter() {
+        let _ = writeln!(
+            out,
+            "{} {} {} .",
+            g.resolve(t.s),
+            g.resolve(t.p),
+            g.resolve(t.o)
+        );
+    }
+    out
+}
+
+/// Serialize a graph as Turtle with the given prefix map
+/// (`prefix → namespace`), grouping triples by subject.
+pub fn to_turtle(g: &Graph, prefixes: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (p, nsiri) in prefixes {
+        let _ = writeln!(out, "@prefix {p}: <{nsiri}> .");
+    }
+    if !prefixes.is_empty() {
+        out.push('\n');
+    }
+    let shorten = |iri: &str| -> String {
+        for (p, nsiri) in prefixes {
+            if let Some(rest) = iri.strip_prefix(nsiri) {
+                if !rest.is_empty() && rest.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    return format!("{p}:{rest}");
+                }
+            }
+        }
+        format!("<{iri}>")
+    };
+    let fmt_term = |t: &Term| -> String {
+        match t {
+            Term::Iri(i) if i == ns::RDF_TYPE => "a".to_string(),
+            Term::Iri(i) => shorten(i),
+            Term::Literal(l) => {
+                let mut s = format!("{:?}", l.lexical);
+                if let Some(dt) = &l.datatype {
+                    s.push_str("^^");
+                    s.push_str(&shorten(dt));
+                } else if let Some(tag) = &l.language {
+                    s.push('@');
+                    s.push_str(tag);
+                }
+                s
+            }
+            Term::Blank(b) => format!("_:{b}"),
+        }
+    };
+    let mut last_subject: Option<crate::term::Sym> = None;
+    for t in g.iter() {
+        if last_subject == Some(t.s) {
+            // continuation of the same subject
+            let _ = write!(
+                out,
+                " ;\n    {} {}",
+                fmt_term(g.resolve(t.p)),
+                fmt_term(g.resolve(t.o))
+            );
+        } else {
+            if last_subject.is_some() {
+                out.push_str(" .\n");
+            }
+            let subj = match g.resolve(t.s) {
+                Term::Iri(i) => shorten(i),
+                other => other.to_string(),
+            };
+            let _ = write!(
+                out,
+                "{subj} {} {}",
+                fmt_term(g.resolve(t.p)),
+                fmt_term(g.resolve(t.o))
+            );
+            last_subject = Some(t.s);
+        }
+    }
+    if last_subject.is_some() {
+        out.push_str(" .\n");
+    }
+    out
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    prefixes: HashMap<String, String>,
+    _input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            prefixes: HashMap::new(),
+            _input: input,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> KgError {
+        KgError::Parse { line: self.line, column: self.col, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(self.err(format!("expected '{c}', found '{got}'"))),
+            None => Err(self.err(format!("expected '{c}', found end of input"))),
+        }
+    }
+
+    fn run(&mut self, graph: &mut Graph) -> Result<()> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => return Ok(()),
+                Some('@') => self.parse_prefix()?,
+                _ => self.parse_statement(graph)?,
+            }
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<()> {
+        // @prefix name: <iri> .
+        for expected in "@prefix".chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                _ => return Err(self.err("malformed @prefix directive")),
+            }
+        }
+        self.skip_ws();
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return Err(self.err("prefix name must end with ':'"));
+            }
+            name.push(c);
+            self.bump();
+        }
+        self.expect(':')?;
+        self.skip_ws();
+        let iri = self.parse_angle_iri()?;
+        self.expect('.')?;
+        self.prefixes.insert(name, iri);
+        Ok(())
+    }
+
+    fn parse_angle_iri(&mut self) -> Result<String> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some('\n') => return Err(self.err("newline inside IRI")),
+                Some(c) => iri.push(c),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+        if !ns::is_valid_iri(&iri) {
+            return Err(self.err(format!("invalid IRI <{iri}>")));
+        }
+        Ok(iri)
+    }
+
+    fn parse_statement(&mut self, graph: &mut Graph) -> Result<()> {
+        let subject = self.parse_term(true)?;
+        loop {
+            // predicate-object list
+            self.skip_ws();
+            let predicate = self.parse_predicate()?;
+            loop {
+                let object = self.parse_term(false)?;
+                graph.insert_terms(subject.clone(), predicate.clone(), object);
+                self.skip_ws();
+                match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            self.skip_ws();
+            match self.bump() {
+                Some(';') => {
+                    self.skip_ws();
+                    // allow trailing ';' before '.'
+                    if self.peek() == Some('.') {
+                        self.bump();
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Some('.') => return Ok(()),
+                Some(c) => return Err(self.err(format!("expected ';' or '.', found '{c}'"))),
+                None => return Err(self.err("unexpected end of statement")),
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Term> {
+        self.skip_ws();
+        if self.peek() == Some('a') {
+            // `a` keyword only if followed by whitespace
+            if self.chars.get(self.pos + 1).is_some_and(|c| c.is_whitespace()) {
+                self.bump();
+                return Ok(Term::iri(ns::RDF_TYPE));
+            }
+        }
+        self.parse_term(true)
+    }
+
+    fn parse_term(&mut self, subject_position: bool) -> Result<Term> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_angle_iri()?)),
+            Some('"') => {
+                if subject_position {
+                    return Err(self.err("literal not allowed here"));
+                }
+                self.parse_literal()
+            }
+            Some('_') => {
+                self.bump();
+                self.expect(':')?;
+                let label = self.parse_name()?;
+                Ok(Term::Blank(label))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                if subject_position {
+                    return Err(self.err("numeric literal not allowed here"));
+                }
+                self.parse_number()
+            }
+            Some(c) if c.is_alphabetic() => {
+                // boolean shorthand or prefixed name
+                let word_start = self.pos;
+                let name = self.parse_name()?;
+                if self.peek() == Some(':') {
+                    self.bump();
+                    let local = self.parse_name()?;
+                    let nsiri = self
+                        .prefixes
+                        .get(&name)
+                        .ok_or_else(|| self.err(format!("unknown prefix '{name}:'")))?;
+                    return Ok(Term::Iri(format!("{nsiri}{local}")));
+                }
+                if !subject_position && (name == "true" || name == "false") {
+                    return Ok(Term::Literal(Literal::boolean(name == "true")));
+                }
+                self.pos = word_start;
+                Err(self.err(format!("unexpected token '{name}'")))
+            }
+            Some(c) => Err(self.err(format!("unexpected character '{c}'"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(self.err("expected a name"));
+        }
+        Ok(name)
+    }
+
+    fn parse_literal(&mut self) -> Result<Term> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some(c) => return Err(self.err(format!("unknown escape '\\{c}'"))),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+        // datatype or language tag
+        match self.peek() {
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                self.skip_ws();
+                let dt = if self.peek() == Some('<') {
+                    self.parse_angle_iri()?
+                } else {
+                    let prefix = self.parse_name()?;
+                    self.expect(':')?;
+                    let local = self.parse_name()?;
+                    let nsiri = self
+                        .prefixes
+                        .get(&prefix)
+                        .ok_or_else(|| self.err(format!("unknown prefix '{prefix}:'")))?;
+                    format!("{nsiri}{local}")
+                };
+                Ok(Term::Literal(Literal { lexical: s, datatype: Some(dt), language: None }))
+            }
+            Some('@') => {
+                self.bump();
+                let tag = self.parse_name()?;
+                Ok(Term::Literal(Literal { lexical: s, datatype: None, language: Some(tag) }))
+            }
+            _ => Ok(Term::Literal(Literal::string(s))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Term> {
+        let mut num = String::new();
+        if matches!(self.peek(), Some('-') | Some('+')) {
+            num.push(self.bump().expect("peeked"));
+        }
+        let mut is_double = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                num.push(c);
+                self.bump();
+            } else if c == '.' {
+                // a '.' is part of the number only if followed by a digit
+                if self.chars.get(self.pos + 1).is_some_and(char::is_ascii_digit) {
+                    is_double = true;
+                    num.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else if c == 'e' || c == 'E' {
+                is_double = true;
+                num.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if is_double {
+            let v: f64 = num
+                .parse()
+                .map_err(|_| self.err(format!("invalid double literal '{num}'")))?;
+            Ok(Term::Literal(Literal::double(v)))
+        } else {
+            let v: i64 = num
+                .parse()
+                .map_err(|_| self.err(format!("invalid integer literal '{num}'")))?;
+            Ok(Term::Literal(Literal::integer(v)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_statement() {
+        let g = parse_turtle("<http://e/a> <http://v/p> <http://e/b> .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parses_prefixes_and_a_keyword() {
+        let src = r#"
+            @prefix ex: <http://e/> .
+            @prefix v: <http://v/> .
+            ex:alice a v:Person ;
+                v:knows ex:bob, ex:carol ;
+                v:age 34 .
+        "#;
+        let g = parse_turtle(src).unwrap();
+        assert_eq!(g.len(), 4); // type + 2×knows + age
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let ty = g.pool().get_iri(ns::RDF_TYPE).unwrap();
+        let person = g.pool().get_iri("http://v/Person").unwrap();
+        assert!(g.contains(alice, ty, person));
+        let age = g.pool().get_iri("http://v/age").unwrap();
+        let objs = g.objects(alice, age);
+        assert_eq!(objs.len(), 1);
+        assert_eq!(g.resolve(objs[0]).as_literal().unwrap().as_integer(), Some(34));
+    }
+
+    #[test]
+    fn parses_typed_and_tagged_literals() {
+        let src = r#"
+            @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+            <http://e/a> <http://v/name> "Alice"@en .
+            <http://e/a> <http://v/score> "3.5"^^xsd:double .
+            <http://e/a> <http://v/active> true .
+            <http://e/a> <http://v/height> 1.75 .
+        "#;
+        let g = parse_turtle(src).unwrap();
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn parses_blank_nodes_and_comments() {
+        let src = "# a comment\n_:b0 <http://v/p> _:b1 . # trailing\n";
+        let g = parse_turtle(src).unwrap();
+        assert_eq!(g.len(), 1);
+        let t = g.iter().next().unwrap();
+        assert!(matches!(g.resolve(t.s), Term::Blank(b) if b == "b0"));
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let g = parse_turtle(r#"<http://e/a> <http://v/p> "line\nbreak \"q\"" ."#).unwrap();
+        let t = g.iter().next().unwrap();
+        let l = g.resolve(t.o).as_literal().unwrap();
+        assert_eq!(l.lexical, "line\nbreak \"q\"");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_turtle("<http://e/a> <http://v/p>\n ??? .").unwrap_err();
+        match err {
+            KgError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        let err = parse_turtle("zz:a <http://v/p> <http://e/b> .").unwrap_err();
+        assert!(err.to_string().contains("unknown prefix"), "{err}");
+    }
+
+    #[test]
+    fn literal_in_subject_position_is_an_error() {
+        assert!(parse_turtle("\"x\" <http://v/p> <http://e/b> .").is_err());
+        assert!(parse_turtle("42 <http://v/p> <http://e/b> .").is_err());
+    }
+
+    #[test]
+    fn ntriples_round_trip() {
+        let src = r#"
+            @prefix ex: <http://e/> .
+            ex:a ex:p ex:b .
+            ex:a ex:q "lit"^^<http://www.w3.org/2001/XMLSchema#integer> .
+        "#;
+        let g = parse_turtle(src).unwrap();
+        let nt = to_ntriples(&g);
+        let g2 = parse_ntriples(&nt).unwrap();
+        assert_eq!(g2.len(), g.len());
+        for t in g.iter() {
+            let s = g2.pool().get(g.resolve(t.s)).unwrap();
+            let p = g2.pool().get(g.resolve(t.p)).unwrap();
+            let o = g2.pool().get(g.resolve(t.o)).unwrap();
+            assert!(g2.contains(s, p, o));
+        }
+    }
+
+    #[test]
+    fn turtle_round_trip_with_prefixes() {
+        let mut g = Graph::new();
+        g.insert_iri("http://e/a", ns::RDF_TYPE, "http://v/Person");
+        g.insert_terms(Term::iri("http://e/a"), Term::iri("http://v/name"), Term::lit("A"));
+        let ttl = to_turtle(&g, &[("ex", "http://e/"), ("v", "http://v/")]);
+        assert!(ttl.contains("ex:a a v:Person"), "{ttl}");
+        let g2 = parse_turtle(&ttl).unwrap();
+        assert_eq!(g2.len(), 2);
+    }
+
+    #[test]
+    fn number_followed_by_statement_dot() {
+        // the '.' terminating the statement must not be eaten by the number
+        let g = parse_turtle("<http://e/a> <http://v/age> 7 .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

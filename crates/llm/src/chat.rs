@@ -1,0 +1,120 @@
+//! Chat message types and session state.
+
+/// Who authored a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// System instruction.
+    System,
+    /// The human user.
+    User,
+    /// The model.
+    Assistant,
+}
+
+impl Role {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::System => "system",
+            Role::User => "user",
+            Role::Assistant => "assistant",
+        }
+    }
+}
+
+/// One chat message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Author role.
+    pub role: Role,
+    /// Message text.
+    pub content: String,
+}
+
+impl Message {
+    /// A system message.
+    pub fn system(content: impl Into<String>) -> Self {
+        Message { role: Role::System, content: content.into() }
+    }
+
+    /// A user message.
+    pub fn user(content: impl Into<String>) -> Self {
+        Message { role: Role::User, content: content.into() }
+    }
+
+    /// An assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        Message { role: Role::Assistant, content: content.into() }
+    }
+}
+
+/// A growing conversation transcript.
+#[derive(Debug, Default, Clone)]
+pub struct ChatSession {
+    messages: Vec<Message>,
+}
+
+impl ChatSession {
+    /// An empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A session seeded with a system prompt.
+    pub fn with_system(prompt: impl Into<String>) -> Self {
+        ChatSession { messages: vec![Message::system(prompt)] }
+    }
+
+    /// Append a message.
+    pub fn push(&mut self, message: Message) {
+        self.messages.push(message);
+    }
+
+    /// The transcript so far.
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// The latest user message, if any.
+    pub fn last_user(&self) -> Option<&Message> {
+        self.messages.iter().rev().find(|m| m.role == Role::User)
+    }
+
+    /// Render the transcript as a single prompt string
+    /// (`role: content` lines, ending with `assistant:`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for m in &self.messages {
+            out.push_str(m.role.name());
+            out.push_str(": ");
+            out.push_str(&m.content);
+            out.push('\n');
+        }
+        out.push_str("assistant:");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_tracks_messages() {
+        let mut s = ChatSession::with_system("Be helpful.");
+        s.push(Message::user("Hi"));
+        s.push(Message::assistant("Hello"));
+        s.push(Message::user("Who is Alice?"));
+        assert_eq!(s.messages().len(), 4);
+        assert_eq!(s.last_user().unwrap().content, "Who is Alice?");
+    }
+
+    #[test]
+    fn render_has_role_prefixes() {
+        let mut s = ChatSession::new();
+        s.push(Message::user("Hi"));
+        let r = s.render();
+        assert!(r.contains("user: Hi"));
+        assert!(r.ends_with("assistant:"));
+    }
+}

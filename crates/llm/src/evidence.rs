@@ -1,0 +1,238 @@
+//! The evidence index — the simulated LM's enumerable knowledge.
+//!
+//! Sentences (typically verbalized KG triples) are indexed with an inverted
+//! word index and scored against queries by IDF-weighted word overlap. The
+//! index answers two questions the task layer needs:
+//!
+//! * *retrieval*: which known sentences are most relevant to this query?
+//! * *support*: how strongly does the known corpus support this claim?
+
+use std::collections::HashMap;
+
+use crate::tokenizer::{stem, stemmed_content_words, tokenize_words};
+
+/// A retrieval hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieved {
+    /// Index of the sentence in the store.
+    pub id: usize,
+    /// The sentence text.
+    pub text: String,
+    /// IDF-weighted overlap score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// An inverted-index over sentences with IDF-weighted overlap scoring.
+#[derive(Debug, Default, Clone)]
+pub struct EvidenceIndex {
+    sentences: Vec<String>,
+    tokenized: Vec<Vec<String>>,
+    inverted: HashMap<String, Vec<usize>>,
+    doc_freq: HashMap<String, u32>,
+}
+
+impl EvidenceIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of sentences.
+    pub fn from_sentences<'a>(sentences: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut idx = Self::new();
+        for s in sentences {
+            idx.add(s);
+        }
+        idx
+    }
+
+    /// Add one sentence.
+    pub fn add(&mut self, sentence: &str) -> usize {
+        let id = self.sentences.len();
+        let words: Vec<String> = tokenize_words(sentence).iter().map(|w| stem(w)).collect();
+        let mut seen: Vec<&str> = Vec::new();
+        for w in &words {
+            self.inverted.entry(w.clone()).or_default().push(id);
+            if !seen.contains(&w.as_str()) {
+                seen.push(w);
+                *self.doc_freq.entry(w.clone()).or_insert(0) += 1;
+            }
+        }
+        self.sentences.push(sentence.to_string());
+        self.tokenized.push(words);
+        id
+    }
+
+    /// Number of indexed sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// The sentence with a given id.
+    pub fn sentence(&self, id: usize) -> Option<&str> {
+        self.sentences.get(id).map(String::as_str)
+    }
+
+    /// All sentences.
+    pub fn sentences(&self) -> &[String] {
+        &self.sentences
+    }
+
+    fn idf(&self, word: &str) -> f64 {
+        let n = self.sentences.len() as f64;
+        match self.doc_freq.get(word) {
+            Some(&df) => ((1.0 + n) / (1.0 + f64::from(df))).ln() + 1.0,
+            None => ((1.0 + n) / 1.0).ln() + 1.0,
+        }
+    }
+
+    /// Score a candidate sentence against query content words:
+    /// IDF-weighted recall of the query words in the sentence, in `[0,1]`.
+    fn overlap_score(&self, query_words: &[String], sentence_id: usize) -> f64 {
+        if query_words.is_empty() {
+            return 0.0;
+        }
+        let sent = &self.tokenized[sentence_id];
+        let mut hit = 0.0;
+        let mut total = 0.0;
+        for qw in query_words {
+            let w = self.idf(qw);
+            total += w;
+            if sent.contains(qw) {
+                hit += w;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            hit / total
+        }
+    }
+
+    /// Retrieve the top-`k` sentences for a query, sorted by descending
+    /// score then ascending id (deterministic).
+    pub fn retrieve(&self, query: &str, k: usize) -> Vec<Retrieved> {
+        let qwords = {
+            let cw = stemmed_content_words(query);
+            if cw.is_empty() {
+                tokenize_words(query).iter().map(|w| stem(w)).collect()
+            } else {
+                cw
+            }
+        };
+        // candidate set: sentences sharing at least one query word
+        let mut candidates: Vec<usize> = Vec::new();
+        for w in &qwords {
+            if let Some(ids) = self.inverted.get(w) {
+                candidates.extend_from_slice(ids);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut scored: Vec<Retrieved> = candidates
+            .into_iter()
+            .map(|id| Retrieved {
+                id,
+                text: self.sentences[id].clone(),
+                score: self.overlap_score(&qwords, id),
+            })
+            .filter(|r| r.score > 0.0)
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// How strongly the corpus supports a claim: the best single-sentence
+    /// overlap score for the claim's content words, in `[0,1]`.
+    pub fn support(&self, claim: &str) -> f64 {
+        self.retrieve(claim, 1).first().map_or(0.0, |r| r.score)
+    }
+
+    /// The best supporting sentence for a claim, if any scores above zero.
+    pub fn best_evidence(&self, claim: &str) -> Option<Retrieved> {
+        self.retrieve(claim, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> EvidenceIndex {
+        EvidenceIndex::from_sentences([
+            "Alice knows Bob",
+            "Alice works at Acme",
+            "Bob works at Initech",
+            "Carol directed The Big Film",
+            "The Big Film stars Bob",
+        ])
+    }
+
+    #[test]
+    fn retrieve_finds_most_relevant() {
+        let idx = index();
+        let hits = idx.retrieve("where does Alice work", 2);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].text, "Alice works at Acme");
+    }
+
+    #[test]
+    fn exact_claim_has_full_support() {
+        let idx = index();
+        assert!((idx.support("Alice knows Bob") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_claim_has_partial_support() {
+        let idx = index();
+        let s = idx.support("Alice knows Carol");
+        assert!(s < 1.0 && s > 0.0, "{s}");
+    }
+
+    #[test]
+    fn unknown_topic_has_zero_support() {
+        let idx = index();
+        assert_eq!(idx.support("quantum flux reactors overheat"), 0.0);
+        assert!(idx.best_evidence("quantum flux reactors overheat").is_none());
+    }
+
+    #[test]
+    fn retrieval_is_deterministic_and_ranked() {
+        let idx = index();
+        let a = idx.retrieve("Bob", 5);
+        let b = idx.retrieve("Bob", 5);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn rare_words_weigh_more_than_common() {
+        let mut idx = EvidenceIndex::new();
+        idx.add("the cat sat on the mat");
+        idx.add("the dog sat on the rug");
+        idx.add("the cat chased the dog");
+        // "mat" is rarer than "sat": a query with "mat" should prefer s0
+        let hits = idx.retrieve("mat sat", 3);
+        assert_eq!(hits[0].id, 0);
+    }
+
+    #[test]
+    fn empty_index_supports_nothing() {
+        let idx = EvidenceIndex::new();
+        assert_eq!(idx.support("anything"), 0.0);
+        assert!(idx.retrieve("anything", 3).is_empty());
+    }
+}

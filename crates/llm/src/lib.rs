@@ -1,0 +1,44 @@
+//! # slm — a deterministic **simulated language model**
+//!
+//! Every technique surveyed in the paper consumes an LLM through a handful
+//! of narrow interfaces: *complete a prompt*, *score a text*, *embed a
+//! text*, *chat*. This crate provides those interfaces backed by fully
+//! deterministic, laptop-scale machinery:
+//!
+//! * a word-level tokenizer with subword fallback ([`tokenizer`]),
+//! * an interpolated n-gram language model for fluency scoring and free
+//!   generation ([`ngram`]),
+//! * hashed-projection + co-occurrence text embeddings ([`embedding`]),
+//! * an IDF-weighted sentence evidence index — the model's *enumerable
+//!   knowledge* ([`evidence`]),
+//! * a prompt / chat / in-context-learning layer that turns instruction
+//!   prompts into structured behaviour ([`prompt`], [`chat`], [`task`]).
+//!
+//! ## Why a simulation is the right substitute
+//!
+//! The experiments in this workspace need to *measure* claims like "RAG
+//! mitigates hallucination" or "few-shot ICL approaches supervised
+//! performance". That requires an LM whose knowledge is enumerable: the
+//! [`Slm`] verifiably knows exactly the sentences of its training corpus
+//! (typically verbalized KG triples) and nothing else, so answering a
+//! question about an out-of-corpus fact *must* either abstain or
+//! hallucinate — both observable. Determinism (explicit seeds everywhere)
+//! makes every downstream experiment reproducible bit-for-bit.
+
+pub mod tokenizer;
+pub mod ngram;
+pub mod embedding;
+pub mod evidence;
+pub mod generate;
+pub mod prompt;
+pub mod chat;
+pub mod task;
+pub mod model;
+
+pub use chat::{ChatSession, Message, Role};
+pub use embedding::Embedder;
+pub use evidence::{EvidenceIndex, Retrieved};
+pub use generate::GenParams;
+pub use model::{Slm, SlmBuilder};
+pub use prompt::PromptTemplate;
+pub use task::{Answer, Verdict, VerdictLabel};

@@ -1,0 +1,309 @@
+//! Interpolated n-gram language model.
+//!
+//! Orders 1–3 with Jelinek–Mercer interpolation and add-k smoothing at the
+//! unigram level. Provides pseudo-log-likelihood scoring (the simulated
+//! analogue of an LLM's sequence score) and seeded sampling for free-text
+//! generation.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tokenizer::{tokenize, Token};
+
+/// Sentence-boundary marker token.
+pub const BOS: &str = "<s>";
+/// End-of-sentence marker token.
+pub const EOS: &str = "</s>";
+
+/// Interpolation weights for orders (1, 2, 3); must sum to 1.
+const LAMBDAS: [f64; 3] = [0.1, 0.3, 0.6];
+/// Add-k mass for unseen unigrams.
+const ADD_K: f64 = 0.5;
+
+/// An interpolated trigram language model.
+#[derive(Debug, Default, Clone)]
+pub struct NgramLm {
+    unigrams: HashMap<Token, u64>,
+    bigrams: HashMap<(Token, Token), u64>,
+    trigrams: HashMap<(Token, Token, Token), u64>,
+    /// successor table for generation: context → (next, count)
+    successors: HashMap<(Token, Token), Vec<(Token, u64)>>,
+    total_unigrams: u64,
+    vocab_size: usize,
+}
+
+impl NgramLm {
+    /// An empty (untrained) model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Train on one sentence (appends counts).
+    pub fn observe(&mut self, sentence: &str) {
+        let mut toks = vec![BOS.to_string(), BOS.to_string()];
+        toks.extend(tokenize(sentence));
+        toks.push(EOS.to_string());
+        for w in &toks {
+            *self.unigrams.entry(w.clone()).or_insert(0) += 1;
+            self.total_unigrams += 1;
+        }
+        for w in toks.windows(2) {
+            *self.bigrams.entry((w[0].clone(), w[1].clone())).or_insert(0) += 1;
+        }
+        for w in toks.windows(3) {
+            *self
+                .trigrams
+                .entry((w[0].clone(), w[1].clone(), w[2].clone()))
+                .or_insert(0) += 1;
+            let entry = self
+                .successors
+                .entry((w[0].clone(), w[1].clone()))
+                .or_default();
+            match entry.iter_mut().find(|(t, _)| t == &w[2]) {
+                Some((_, c)) => *c += 1,
+                None => entry.push((w[2].clone(), 1)),
+            }
+        }
+        self.vocab_size = self.unigrams.len();
+    }
+
+    /// Train on many sentences.
+    pub fn observe_all<'a>(&mut self, sentences: impl IntoIterator<Item = &'a str>) {
+        for s in sentences {
+            self.observe(s);
+        }
+    }
+
+    /// Number of distinct word types seen.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Total tokens observed (including boundary markers).
+    pub fn token_count(&self) -> u64 {
+        self.total_unigrams
+    }
+
+    fn p_unigram(&self, w: &str) -> f64 {
+        let c = self.unigrams.get(w).copied().unwrap_or(0) as f64;
+        let v = self.vocab_size.max(1) as f64;
+        (c + ADD_K) / (self.total_unigrams as f64 + ADD_K * (v + 1.0))
+    }
+
+    fn p_bigram(&self, w1: &str, w2: &str) -> f64 {
+        let ctx = self.unigrams.get(w1).copied().unwrap_or(0);
+        if ctx == 0 {
+            return 0.0;
+        }
+        let c = self
+            .bigrams
+            .get(&(w1.to_string(), w2.to_string()))
+            .copied()
+            .unwrap_or(0);
+        c as f64 / ctx as f64
+    }
+
+    fn p_trigram(&self, w1: &str, w2: &str, w3: &str) -> f64 {
+        let ctx = self
+            .bigrams
+            .get(&(w1.to_string(), w2.to_string()))
+            .copied()
+            .unwrap_or(0);
+        if ctx == 0 {
+            return 0.0;
+        }
+        let c = self
+            .trigrams
+            .get(&(w1.to_string(), w2.to_string(), w3.to_string()))
+            .copied()
+            .unwrap_or(0);
+        c as f64 / ctx as f64
+    }
+
+    /// Interpolated probability of `w3` after context `(w1, w2)`.
+    pub fn prob(&self, w1: &str, w2: &str, w3: &str) -> f64 {
+        LAMBDAS[0] * self.p_unigram(w3)
+            + LAMBDAS[1] * self.p_bigram(w2, w3)
+            + LAMBDAS[2] * self.p_trigram(w1, w2, w3)
+    }
+
+    /// Average per-token log2 probability of a text (higher = more fluent
+    /// under the model). Empty text scores `f64::NEG_INFINITY`.
+    pub fn log_likelihood(&self, text: &str) -> f64 {
+        let mut toks = vec![BOS.to_string(), BOS.to_string()];
+        toks.extend(tokenize(text));
+        toks.push(EOS.to_string());
+        if toks.len() <= 3 {
+            return f64::NEG_INFINITY;
+        }
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for w in toks.windows(3) {
+            total += self.prob(&w[0], &w[1], &w[2]).max(1e-12).log2();
+            n += 1;
+        }
+        total / n as f64
+    }
+
+    /// Perplexity of a text under the model.
+    pub fn perplexity(&self, text: &str) -> f64 {
+        2f64.powf(-self.log_likelihood(text))
+    }
+
+    /// Sample a continuation of up to `max_tokens` word tokens after the
+    /// given prompt, with softmax temperature and top-k truncation over the
+    /// successor table. Deterministic under `seed`. Stops at [`EOS`].
+    pub fn generate(
+        &self,
+        prompt: &str,
+        max_tokens: usize,
+        temperature: f64,
+        top_k: usize,
+        seed: u64,
+    ) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut context: Vec<Token> = vec![BOS.to_string(), BOS.to_string()];
+        context.extend(tokenize(prompt));
+        let mut out: Vec<Token> = Vec::new();
+        for _ in 0..max_tokens {
+            let n = context.len();
+            let key = (context[n - 2].clone(), context[n - 1].clone());
+            let mut cands: Vec<(Token, f64)> = match self.successors.get(&key) {
+                Some(succ) => succ
+                    .iter()
+                    .map(|(t, c)| (t.clone(), *c as f64))
+                    .collect(),
+                None => {
+                    // back off to bigram successors of the last token
+                    let mut v: Vec<(Token, f64)> = self
+                        .bigrams
+                        .iter()
+                        .filter(|((a, _), _)| a == &key.1)
+                        .map(|((_, b), c)| (b.clone(), *c as f64))
+                        .collect();
+                    v.sort_by(|a, b| a.0.cmp(&b.0));
+                    v
+                }
+            };
+            if cands.is_empty() {
+                break;
+            }
+            // top-k by count, ties broken lexicographically for determinism
+            cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+            cands.truncate(top_k.max(1));
+            let t = temperature.max(0.01);
+            let weights: Vec<f64> = cands.iter().map(|(_, c)| (c.ln() / t).exp()).collect();
+            let total: f64 = weights.iter().sum();
+            let mut x: f64 = rng.gen::<f64>() * total;
+            let mut chosen = cands.len() - 1;
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    chosen = i;
+                    break;
+                }
+                x -= w;
+            }
+            let next = cands[chosen].0.clone();
+            if next == EOS {
+                break;
+            }
+            context.push(next.clone());
+            out.push(next);
+        }
+        detokenize(&out)
+    }
+}
+
+/// Join tokens back into a readable string (no space before punctuation).
+pub fn detokenize(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        let is_punct = t.chars().all(|c| !c.is_alphanumeric());
+        if !out.is_empty() && !is_punct {
+            out.push(' ');
+        }
+        out.push_str(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> NgramLm {
+        let mut lm = NgramLm::new();
+        lm.observe_all([
+            "alice knows bob",
+            "alice knows carol",
+            "bob knows carol",
+            "carol works at the lab",
+            "bob works at the lab",
+        ]);
+        lm
+    }
+
+    #[test]
+    fn seen_text_scores_higher_than_garbage() {
+        let lm = trained();
+        let good = lm.log_likelihood("alice knows bob");
+        let bad = lm.log_likelihood("zebra quantum flux");
+        assert!(good > bad, "{good} vs {bad}");
+    }
+
+    #[test]
+    fn perplexity_is_finite_and_positive() {
+        let lm = trained();
+        let p = lm.perplexity("bob works at the lab");
+        assert!(p.is_finite() && p > 1.0);
+    }
+
+    #[test]
+    fn probabilities_are_normalized_enough() {
+        let lm = trained();
+        // probability of observed trigram continuation should dominate
+        let p_seen = lm.prob("alice", "knows", "bob");
+        let p_unseen = lm.prob("alice", "knows", "lab");
+        assert!(p_seen > p_unseen);
+        assert!(p_seen <= 1.0 && p_seen > 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let lm = trained();
+        let a = lm.generate("alice", 8, 0.7, 5, 42);
+        let b = lm.generate("alice", 8, 0.7, 5, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_uses_training_vocabulary() {
+        let lm = trained();
+        let text = lm.generate("alice knows", 6, 0.5, 3, 7);
+        assert!(!text.is_empty());
+        for w in crate::tokenizer::tokenize_words(&text) {
+            assert!(lm.unigrams.contains_key(&w), "generated OOV token {w}");
+        }
+    }
+
+    #[test]
+    fn empty_model_generates_nothing() {
+        let lm = NgramLm::new();
+        assert_eq!(lm.generate("hello", 5, 1.0, 5, 0), "");
+    }
+
+    #[test]
+    fn detokenize_handles_punctuation() {
+        let toks: Vec<Token> = vec!["alice".into(), ",".into(), "hi".into(), ".".into()];
+        assert_eq!(detokenize(&toks), "alice, hi.");
+    }
+
+    #[test]
+    fn vocab_and_token_counts_grow() {
+        let lm = trained();
+        assert!(lm.vocab_size() >= 8);
+        assert!(lm.token_count() > 20);
+    }
+}

@@ -1,0 +1,307 @@
+//! Prompt templates and the structured prompt convention.
+//!
+//! [`PromptTemplate`] is a `{slot}`-substitution template. The workspace's
+//! prompt convention — which [`crate::Slm::complete`] recognizes — uses
+//! line-oriented directives:
+//!
+//! ```text
+//! Context:
+//! <zero or more evidence sentences, one per line>
+//! Question: <question>
+//! Answer:
+//! ```
+//!
+//! ```text
+//! Claim: <claim sentence>
+//! Verdict:
+//! ```
+//!
+//! Few-shot examples are `Input:` / `Output:` line pairs preceding the
+//! final `Input:` line. This mirrors how real LLM applications structure
+//! prompts while staying deterministic to parse.
+
+use std::collections::BTreeMap;
+
+/// A `{slot}` substitution template.
+#[derive(Debug, Clone)]
+pub struct PromptTemplate {
+    template: String,
+}
+
+impl PromptTemplate {
+    /// Wrap a template string containing `{slot}` placeholders.
+    pub fn new(template: impl Into<String>) -> Self {
+        PromptTemplate { template: template.into() }
+    }
+
+    /// The raw template text.
+    pub fn raw(&self) -> &str {
+        &self.template
+    }
+
+    /// Names of all `{slots}` in order of first appearance.
+    pub fn slots(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut rest = self.template.as_str();
+        while let Some(start) = rest.find('{') {
+            if let Some(end) = rest[start..].find('}') {
+                let name = &rest[start + 1..start + end];
+                if !name.is_empty()
+                    && name.chars().all(|c| c.is_alphanumeric() || c == '_')
+                    && !out.contains(&name.to_string())
+                {
+                    out.push(name.to_string());
+                }
+                rest = &rest[start + end + 1..];
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Substitute slots. Missing slots are left verbatim so callers can
+    /// chain fills.
+    pub fn fill(&self, values: &BTreeMap<&str, String>) -> String {
+        let mut out = self.template.clone();
+        for (k, v) in values {
+            out = out.replace(&format!("{{{k}}}"), v);
+        }
+        out
+    }
+
+    /// Substitute a single slot.
+    pub fn fill_one(&self, slot: &str, value: &str) -> String {
+        self.template.replace(&format!("{{{slot}}}"), value)
+    }
+}
+
+/// Build a question-answering prompt following the workspace convention.
+pub fn qa_prompt(context: &[String], question: &str) -> String {
+    let mut out = String::new();
+    if !context.is_empty() {
+        out.push_str("Context:\n");
+        for c in context {
+            out.push_str(c);
+            out.push('\n');
+        }
+    }
+    out.push_str("Question: ");
+    out.push_str(question);
+    out.push_str("\nAnswer:");
+    out
+}
+
+/// Build a claim-verification prompt following the workspace convention.
+pub fn verify_prompt(context: &[String], claim: &str) -> String {
+    let mut out = String::new();
+    if !context.is_empty() {
+        out.push_str("Context:\n");
+        for c in context {
+            out.push_str(c);
+            out.push('\n');
+        }
+    }
+    out.push_str("Claim: ");
+    out.push_str(claim);
+    out.push_str("\nVerdict:");
+    out
+}
+
+/// Build a few-shot instruction prompt: instruction, `Input:`/`Output:`
+/// example pairs, then the final input awaiting an output.
+pub fn fewshot_prompt(instruction: &str, examples: &[(String, String)], input: &str) -> String {
+    let mut out = String::new();
+    out.push_str(instruction);
+    out.push('\n');
+    for (i, o) in examples {
+        out.push_str("Input: ");
+        out.push_str(i);
+        out.push_str("\nOutput: ");
+        out.push_str(o);
+        out.push('\n');
+    }
+    out.push_str("Input: ");
+    out.push_str(input);
+    out.push_str("\nOutput:");
+    out
+}
+
+/// The parsed form of a structured prompt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParsedPrompt {
+    /// QA convention: context sentences + question.
+    Question {
+        /// Evidence lines from the `Context:` block.
+        context: Vec<String>,
+        /// The question text.
+        question: String,
+    },
+    /// Verification convention: context sentences + claim.
+    Claim {
+        /// Evidence lines from the `Context:` block.
+        context: Vec<String>,
+        /// The claim text.
+        claim: String,
+    },
+    /// Few-shot convention: instruction + examples + final input.
+    FewShot {
+        /// The instruction header (everything before the first example).
+        instruction: String,
+        /// `(input, output)` demonstration pairs.
+        examples: Vec<(String, String)>,
+        /// The final input awaiting an output.
+        input: String,
+    },
+    /// Anything else: treated as a plain continuation prompt.
+    Free(String),
+}
+
+/// Parse a prompt according to the workspace convention.
+pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
+    let lines: Vec<&str> = prompt.lines().collect();
+    let mut context = Vec::new();
+    let mut in_context = false;
+    let mut question = None;
+    let mut claim = None;
+    let mut examples: Vec<(String, String)> = Vec::new();
+    let mut pending_input: Option<String> = None;
+    let mut instruction = String::new();
+    let mut saw_io = false;
+
+    for line in &lines {
+        let trimmed = line.trim();
+        if trimmed.eq_ignore_ascii_case("context:") {
+            in_context = true;
+        } else if let Some(q) = strip_directive(trimmed, "Question:") {
+            in_context = false;
+            question = Some(q.to_string());
+        } else if let Some(c) = strip_directive(trimmed, "Claim:") {
+            in_context = false;
+            claim = Some(c.to_string());
+        } else if let Some(i) = strip_directive(trimmed, "Input:") {
+            in_context = false;
+            saw_io = true;
+            pending_input = Some(i.to_string());
+        } else if let Some(o) = strip_directive(trimmed, "Output:") {
+            if let Some(i) = pending_input.take() {
+                if !o.is_empty() {
+                    examples.push((i, o.to_string()));
+                } else {
+                    // trailing "Output:" — i is the final input
+                    pending_input = Some(i);
+                }
+            }
+        } else if trimmed.eq_ignore_ascii_case("answer:")
+            || trimmed.eq_ignore_ascii_case("verdict:")
+        {
+            // terminal cue lines
+        } else if in_context {
+            if !trimmed.is_empty() {
+                context.push(trimmed.to_string());
+            }
+        } else if !saw_io && question.is_none() && claim.is_none() && !trimmed.is_empty() {
+            if !instruction.is_empty() {
+                instruction.push(' ');
+            }
+            instruction.push_str(trimmed);
+        }
+    }
+
+    if let Some(q) = question {
+        ParsedPrompt::Question { context, question: q }
+    } else if let Some(c) = claim {
+        ParsedPrompt::Claim { context, claim: c }
+    } else if saw_io {
+        ParsedPrompt::FewShot {
+            instruction,
+            examples,
+            input: pending_input.unwrap_or_default(),
+        }
+    } else {
+        ParsedPrompt::Free(prompt.to_string())
+    }
+}
+
+fn strip_directive<'a>(line: &'a str, directive: &str) -> Option<&'a str> {
+    if line.len() >= directive.len() && line[..directive.len()].eq_ignore_ascii_case(directive) {
+        Some(line[directive.len()..].trim())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_slots_and_fill() {
+        let t = PromptTemplate::new("Describe {entity} in {style} style about {entity}.");
+        assert_eq!(t.slots(), vec!["entity", "style"]);
+        let mut vals = BTreeMap::new();
+        vals.insert("entity", "Alice".to_string());
+        vals.insert("style", "formal".to_string());
+        assert_eq!(t.fill(&vals), "Describe Alice in formal style about Alice.");
+        assert_eq!(t.fill_one("entity", "Bob"), "Describe Bob in {style} style about Bob.");
+    }
+
+    #[test]
+    fn qa_prompt_parses_back() {
+        let p = qa_prompt(&["Alice works at Acme".into()], "Where does Alice work?");
+        match parse_prompt(&p) {
+            ParsedPrompt::Question { context, question } => {
+                assert_eq!(context, vec!["Alice works at Acme"]);
+                assert_eq!(question, "Where does Alice work?");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn qa_prompt_without_context() {
+        let p = qa_prompt(&[], "Who is Alice?");
+        match parse_prompt(&p) {
+            ParsedPrompt::Question { context, question } => {
+                assert!(context.is_empty());
+                assert_eq!(question, "Who is Alice?");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_prompt_parses_back() {
+        let p = verify_prompt(&[], "Alice knows Bob");
+        match parse_prompt(&p) {
+            ParsedPrompt::Claim { claim, .. } => assert_eq!(claim, "Alice knows Bob"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fewshot_prompt_parses_back() {
+        let p = fewshot_prompt(
+            "Extract person names.",
+            &[("Bob met Carol".into(), "Bob, Carol".into())],
+            "Dana saw Erin",
+        );
+        match parse_prompt(&p) {
+            ParsedPrompt::FewShot { instruction, examples, input } => {
+                assert_eq!(instruction, "Extract person names.");
+                assert_eq!(examples.len(), 1);
+                assert_eq!(examples[0].1, "Bob, Carol");
+                assert_eq!(input, "Dana saw Erin");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_text_is_free() {
+        assert_eq!(
+            parse_prompt("Once upon a time"),
+            ParsedPrompt::Free("Once upon a time".into())
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Structured task outputs and the in-context-learning span extractor.
+
+use crate::tokenizer::{is_stopword, tokenize_words};
+
+/// A question-answering result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// The answer phrase.
+    pub text: String,
+    /// Confidence in `[0, 1]` — the evidence score that produced it.
+    pub confidence: f64,
+    /// The evidence sentence the answer was read off, if any.
+    pub evidence: Option<String>,
+    /// `true` when the model answered *without* sufficient evidence
+    /// (i.e. this is a measurable hallucination).
+    pub hallucinated: bool,
+}
+
+impl Answer {
+    /// An explicit abstention.
+    pub fn unknown() -> Self {
+        Answer { text: String::new(), confidence: 0.0, evidence: None, hallucinated: false }
+    }
+
+    /// Did the model produce any answer text?
+    pub fn is_answered(&self) -> bool {
+        !self.text.is_empty()
+    }
+}
+
+/// Verdict labels for claim verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictLabel {
+    /// The claim matches known evidence.
+    Supported,
+    /// Known evidence contradicts the claim.
+    Refuted,
+    /// No sufficient evidence either way.
+    Unknown,
+}
+
+impl VerdictLabel {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerdictLabel::Supported => "supported",
+            VerdictLabel::Refuted => "refuted",
+            VerdictLabel::Unknown => "unknown",
+        }
+    }
+}
+
+/// A claim-verification result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The label.
+    pub label: VerdictLabel,
+    /// Evidence score backing the decision, in `[0, 1]`.
+    pub score: f64,
+    /// The decisive evidence sentence, if any.
+    pub evidence: Option<String>,
+}
+
+/// Pronouns that should never open an entity span at sentence start.
+const PRONOUNS: &[&str] = &["she", "he", "they", "we", "i", "you", "it", "her", "his", "their"];
+
+/// Extract candidate entity spans from text: maximal runs of capitalized
+/// words (with lowercase connectors like "of"/"the" allowed inside a run),
+/// skipping capitalized sentence-initial stopwords and pronouns.
+pub fn capitalized_spans(text: &str) -> Vec<String> {
+    let mut spans: Vec<String> = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    let mut pending_connectors: Vec<&str> = Vec::new();
+    let mut at_sentence_start = true;
+
+    let flush =
+        |current: &mut Vec<&str>, spans: &mut Vec<String>, pending: &mut Vec<&str>| {
+            if !current.is_empty() {
+                spans.push(current.join(" "));
+                current.clear();
+            }
+            pending.clear();
+        };
+
+    for raw in text.split_whitespace() {
+        let word = raw.trim_matches(|c: char| !c.is_alphanumeric());
+        if word.is_empty() {
+            flush(&mut current, &mut spans, &mut pending_connectors);
+            at_sentence_start = true;
+            continue;
+        }
+        let capitalized = word.chars().next().is_some_and(char::is_uppercase);
+        let lower = word.to_lowercase();
+        if capitalized && !(at_sentence_start && (is_stopword(&lower) || PRONOUNS.contains(&lower.as_str()))) {
+            if !current.is_empty() && !pending_connectors.is_empty() {
+                current.append(&mut pending_connectors);
+            }
+            current.push(word);
+        } else if !current.is_empty() && matches!(lower.as_str(), "of" | "the" | "de" | "van") {
+            // potential internal connector ("University of Lübeck")
+            pending_connectors.push(word);
+        } else {
+            flush(&mut current, &mut spans, &mut pending_connectors);
+        }
+        let ends_sentence = raw.ends_with(['.', '!', '?']);
+        if ends_sentence {
+            flush(&mut current, &mut spans, &mut pending_connectors);
+        }
+        at_sentence_start = ends_sentence;
+    }
+    flush(&mut current, &mut spans, &mut pending_connectors);
+    spans
+}
+
+/// Induce a span-extraction rule from few-shot `Input:`/`Output:` examples
+/// and apply it to `input`.
+///
+/// The induced rule is which *fraction of candidate spans* the examples
+/// keep and whether outputs ever contain spans that are not capitalized
+/// candidates (then fall back to returning all candidates). This mirrors
+/// how PromptNER-style prompting constrains an LLM's output space.
+pub fn icl_extract_spans(examples: &[(String, String)], input: &str) -> Vec<String> {
+    let candidates = capitalized_spans(input);
+    if examples.is_empty() {
+        return candidates;
+    }
+    // learn which candidate spans the examples keep: build a keep-filter on
+    // span length (in words) observed in example outputs
+    let mut kept_lengths: Vec<usize> = Vec::new();
+    for (ex_in, ex_out) in examples {
+        let ex_cands = capitalized_spans(ex_in);
+        let outputs: Vec<String> = ex_out
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        for o in &outputs {
+            if ex_cands.iter().any(|c| c == o) {
+                kept_lengths.push(tokenize_words(o).len());
+            }
+        }
+    }
+    if kept_lengths.is_empty() {
+        return candidates;
+    }
+    let min_len = *kept_lengths.iter().min().expect("non-empty");
+    let max_len = *kept_lengths.iter().max().expect("non-empty");
+    candidates
+        .into_iter()
+        .filter(|c| {
+            let l = tokenize_words(c).len();
+            l >= min_len && l <= max_len
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capitalized_spans_merge_runs() {
+        assert_eq!(
+            capitalized_spans("Alice Smith met Bob near Lake Como."),
+            vec!["Alice Smith", "Bob", "Lake Como"]
+        );
+    }
+
+    #[test]
+    fn sentence_initial_stopword_is_skipped() {
+        assert_eq!(capitalized_spans("The film stars Bob."), vec!["Bob"]);
+    }
+
+    #[test]
+    fn connectors_join_spans() {
+        assert_eq!(
+            capitalized_spans("She joined University of Lübeck yesterday"),
+            vec!["University of Lübeck"]
+        );
+    }
+
+    #[test]
+    fn connector_without_following_capital_is_dropped() {
+        assert_eq!(capitalized_spans("Bank of the river"), vec!["Bank"]);
+    }
+
+    #[test]
+    fn icl_no_examples_returns_candidates() {
+        let spans = icl_extract_spans(&[], "Dana saw Erin Blake");
+        assert_eq!(spans, vec!["Dana", "Erin Blake"]);
+    }
+
+    #[test]
+    fn icl_learns_span_length_filter() {
+        // examples keep only two-word names
+        let examples = vec![
+            ("Anna Lee met Bob".to_string(), "Anna Lee".to_string()),
+            ("Carl Diaz left Rome".to_string(), "Carl Diaz".to_string()),
+        ];
+        let spans = icl_extract_spans(&examples, "Dana Fox greeted Gus");
+        assert_eq!(spans, vec!["Dana Fox"]);
+    }
+
+    #[test]
+    fn answer_and_verdict_basics() {
+        let a = Answer::unknown();
+        assert!(!a.is_answered());
+        assert_eq!(VerdictLabel::Supported.name(), "supported");
+        assert_eq!(VerdictLabel::Refuted.name(), "refuted");
+        assert_eq!(VerdictLabel::Unknown.name(), "unknown");
+    }
+}

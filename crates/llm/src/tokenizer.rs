@@ -1,0 +1,129 @@
+//! Word-level tokenization with punctuation splitting.
+//!
+//! The simulated LM operates on lowercased word tokens; punctuation marks
+//! are their own tokens so sentence structure survives tokenization. A
+//! small set of stopwords is exposed for the retrieval layers.
+
+/// A token: lowercased word or single punctuation mark.
+pub type Token = String;
+
+/// Split text into tokens: alphanumeric runs (lowercased, keeping internal
+/// apostrophes out) and individual punctuation characters.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut word = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            word.extend(c.to_lowercase());
+        } else {
+            if !word.is_empty() {
+                out.push(std::mem::take(&mut word));
+            }
+            if !c.is_whitespace() {
+                out.push(c.to_string());
+            }
+        }
+    }
+    if !word.is_empty() {
+        out.push(word);
+    }
+    out
+}
+
+/// Tokenize and drop punctuation tokens.
+pub fn tokenize_words(text: &str) -> Vec<Token> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.chars().next().is_some_and(char::is_alphanumeric))
+        .collect()
+}
+
+/// Split text into sentences on `.`, `!`, `?`, and newlines, trimming
+/// whitespace and dropping empties.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    text.split(['.', '!', '?', '\n'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// English stopwords used for IDF-style weighting and span extraction.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "is", "are", "was", "were", "be", "been", "of", "in", "on", "at", "to",
+    "by", "for", "with", "and", "or", "not", "no", "it", "its", "this", "that", "these",
+    "those", "as", "from", "has", "have", "had", "who", "whom", "which", "what", "when",
+    "where", "why", "how", "does", "do", "did", "s", "t",
+];
+
+/// Is this token a stopword?
+pub fn is_stopword(token: &str) -> bool {
+    STOPWORDS.contains(&token)
+}
+
+/// Content words of a text: tokens that are neither punctuation nor
+/// stopwords.
+pub fn content_words(text: &str) -> Vec<Token> {
+    tokenize_words(text).into_iter().filter(|t| !is_stopword(t)).collect()
+}
+
+/// Very light stemming: strip a possessive `'s` remnant and a plural `s`
+/// (but not `ss`) from words longer than three characters. Enough to make
+/// "works" match "work" in overlap scoring without a full stemmer.
+pub fn stem(word: &str) -> String {
+    let w = word.strip_suffix("'s").unwrap_or(word);
+    if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+        w[..w.len() - 1].to_string()
+    } else {
+        w.to_string()
+    }
+}
+
+/// Stemmed content words of a text.
+pub fn stemmed_content_words(text: &str) -> Vec<Token> {
+    content_words(text).iter().map(|w| stem(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits_punct() {
+        assert_eq!(
+            tokenize("Alice knows Bob."),
+            vec!["alice", "knows", "bob", "."]
+        );
+        assert_eq!(tokenize("x-y z"), vec!["x", "-", "y", "z"]);
+    }
+
+    #[test]
+    fn tokenize_words_drops_punct() {
+        assert_eq!(tokenize_words("Hi, there!"), vec!["hi", "there"]);
+    }
+
+    #[test]
+    fn empty_input_gives_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  \t ").is_empty());
+    }
+
+    #[test]
+    fn sentences_split_on_terminators() {
+        let s = split_sentences("One. Two! Three?\nFour");
+        assert_eq!(s, vec!["One", "Two", "Three", "Four"]);
+    }
+
+    #[test]
+    fn content_words_drop_stopwords() {
+        assert_eq!(
+            content_words("The film was directed by Nolan"),
+            vec!["film", "directed", "nolan"]
+        );
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        assert_eq!(tokenize_words("Łódź café"), vec!["łódź", "café"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ontology alignment (§2.1.1, \[6\]): match classes and properties
+//! across two schemas by lexical + structural evidence.
+
+use kg::ontology::Ontology;
+use kgextract::align::string_similarity;
+
+/// One proposed correspondence between two ontologies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OntologyMatch {
+    /// IRI in the left ontology.
+    pub left: String,
+    /// IRI in the right ontology.
+    pub right: String,
+    /// Combined score in `[0,1]`.
+    pub score: f64,
+    /// `"class"` or `"property"`.
+    pub kind: &'static str,
+}
+
+/// Align two ontologies. For classes, the score blends label similarity
+/// with superclass-context similarity (classes whose parents also match
+/// get a boost — the "domain orientation" signal of neurosymbolic
+/// alignment). For properties, label similarity blends with domain/range
+/// label similarity. Greedy one-to-one matching above `threshold`.
+pub fn align_ontologies(left: &Ontology, right: &Ontology, threshold: f64) -> Vec<OntologyMatch> {
+    let mut candidates: Vec<OntologyMatch> = Vec::new();
+
+    let label_of = |o: &Ontology, iri: &str| crate::corpusgen::class_label(o, iri);
+
+    for (lc, _) in left.classes() {
+        for (rc, _) in right.classes() {
+            let label_sim = string_similarity(&label_of(left, lc), &label_of(right, rc));
+            if label_sim < 0.4 {
+                continue;
+            }
+            let lparents = left.direct_superclasses(lc);
+            let rparents = right.direct_superclasses(rc);
+            let parent_sim = if lparents.is_empty() && rparents.is_empty() {
+                label_sim // no structure: fall back to label signal
+            } else {
+                best_pairwise(&lparents, &rparents, |a, b| {
+                    string_similarity(&label_of(left, a), &label_of(right, b))
+                })
+            };
+            candidates.push(OntologyMatch {
+                left: lc.to_string(),
+                right: rc.to_string(),
+                score: 0.75 * label_sim + 0.25 * parent_sim,
+                kind: "class",
+            });
+        }
+    }
+
+    let prop_label = |o: &Ontology, iri: &str| {
+        o.property(iri)
+            .and_then(|p| p.label.clone())
+            .unwrap_or_else(|| kg::namespace::humanize(kg::namespace::local_name(iri)))
+    };
+    for (lp, ld) in left.properties() {
+        for (rp, rd) in right.properties() {
+            let label_sim = string_similarity(&prop_label(left, lp), &prop_label(right, rp));
+            if label_sim < 0.4 {
+                continue;
+            }
+            let dom_sim = match (&ld.domain, &rd.domain) {
+                (Some(a), Some(b)) => string_similarity(&label_of(left, a), &label_of(right, b)),
+                (None, None) => label_sim,
+                _ => 0.0,
+            };
+            candidates.push(OntologyMatch {
+                left: lp.to_string(),
+                right: rp.to_string(),
+                score: 0.75 * label_sim + 0.25 * dom_sim,
+                kind: "property",
+            });
+        }
+    }
+
+    // greedy one-to-one selection
+    candidates.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.left.cmp(&b.left))
+            .then(a.right.cmp(&b.right))
+    });
+    let mut used_left: Vec<&str> = Vec::new();
+    let mut used_right: Vec<&str> = Vec::new();
+    let mut out = Vec::new();
+    for c in &candidates {
+        if c.score < threshold {
+            break;
+        }
+        if used_left.contains(&c.left.as_str()) || used_right.contains(&c.right.as_str()) {
+            continue;
+        }
+        used_left.push(&c.left);
+        used_right.push(&c.right);
+        out.push(c.clone());
+    }
+    out
+}
+
+fn best_pairwise<T: AsRef<str>>(
+    left: &[T],
+    right: &[T],
+    sim: impl Fn(&str, &str) -> f64,
+) -> f64 {
+    let mut best = 0.0f64;
+    for l in left {
+        for r in right {
+            best = best.max(sim(l.as_ref(), r.as_ref()));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::ontology::PropertyDecl;
+
+    fn left() -> Ontology {
+        let mut o = Ontology::new();
+        o.add_labeled_class("http://a/Film", "Film");
+        o.add_labeled_class("http://a/Person", "Person");
+        o.add_subclass("http://a/Actor", "http://a/Person");
+        o.add_labeled_class("http://a/Actor", "Actor");
+        o.add_property(
+            "http://a/directedBy",
+            PropertyDecl {
+                domain: Some("http://a/Film".into()),
+                label: Some("directed by".into()),
+                ..Default::default()
+            },
+        );
+        o
+    }
+
+    fn right_variant() -> Ontology {
+        let mut o = Ontology::new();
+        o.add_labeled_class("http://b/Movie", "Film");
+        o.add_labeled_class("http://b/Human", "Person");
+        o.add_subclass("http://b/Performer", "http://b/Human");
+        o.add_labeled_class("http://b/Performer", "Actors"); // near-variant label
+        o.add_property(
+            "http://b/director",
+            PropertyDecl {
+                domain: Some("http://b/Movie".into()),
+                label: Some("directed by".into()),
+                ..Default::default()
+            },
+        );
+        o
+    }
+
+    #[test]
+    fn identical_labels_align_perfectly() {
+        let l = left();
+        let matches = align_ontologies(&l, &l, 0.9);
+        assert!(matches.iter().any(|m| m.left.ends_with("Film") && m.right.ends_with("Film")));
+        assert!(matches.iter().any(|m| m.kind == "property"));
+    }
+
+    #[test]
+    fn variant_labels_still_align() {
+        let matches = align_ontologies(&left(), &right_variant(), 0.6);
+        // Film ↔ Movie (same label "Film"), Actor ↔ Performer ("Actors")
+        assert!(
+            matches
+                .iter()
+                .any(|m| m.left == "http://a/Film" && m.right == "http://b/Movie"),
+            "{matches:?}"
+        );
+        assert!(
+            matches
+                .iter()
+                .any(|m| m.left == "http://a/Actor" && m.right == "http://b/Performer"),
+            "{matches:?}"
+        );
+    }
+
+    #[test]
+    fn matching_is_one_to_one() {
+        let matches = align_ontologies(&left(), &right_variant(), 0.5);
+        let mut lefts: Vec<&str> = matches.iter().map(|m| m.left.as_str()).collect();
+        let before = lefts.len();
+        lefts.sort_unstable();
+        lefts.dedup();
+        assert_eq!(lefts.len(), before, "left side must be unique");
+    }
+
+    #[test]
+    fn threshold_prunes_weak_matches() {
+        let strict = align_ontologies(&left(), &right_variant(), 0.95);
+        let lax = align_ontologies(&left(), &right_variant(), 0.5);
+        assert!(strict.len() <= lax.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! Concept extraction from text (§2.1.1 "Concept and Relation Extraction").
+//!
+//! Mines `<instance> is a <Concept>` copula patterns from a corpus and
+//! groups surface variants of the same concept by LM-embedding similarity
+//! (the "semantic term variation accumulation" of OLAF \[73\]).
+
+use std::collections::BTreeMap;
+
+use slm::Slm;
+
+/// An extracted concept with its instance evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Concept {
+    /// Canonical (most frequent) surface form.
+    pub label: String,
+    /// Surface variants folded into this concept.
+    pub variants: Vec<String>,
+    /// Instances observed for the concept.
+    pub instances: Vec<String>,
+    /// Number of supporting sentences.
+    pub support: usize,
+}
+
+/// Extract concepts from corpus sentences. `min_support` drops concepts
+/// seen fewer times (noise control). Variants whose embedding similarity
+/// exceeds 0.92 are merged.
+pub fn extract_concepts(slm: &Slm, corpus: &[String], min_support: usize) -> Vec<Concept> {
+    // harvest "<instance> is a <concept>" patterns
+    let mut raw: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for sentence in corpus {
+        if let Some((instance, concept)) = split_copula(sentence) {
+            raw.entry(concept).or_default().push(instance);
+        }
+    }
+    // fold near-duplicate surface forms (highest-support form wins)
+    let mut entries: Vec<(String, Vec<String>)> = raw.into_iter().collect();
+    entries.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+    let mut concepts: Vec<Concept> = Vec::new();
+    for (label, instances) in entries {
+        let mut merged = false;
+        for c in &mut concepts {
+            if c.label.eq_ignore_ascii_case(&label)
+                || slm.similarity(&c.label, &label) > 0.92
+            {
+                c.variants.push(label.clone());
+                c.support += instances.len();
+                c.instances.extend(instances.iter().cloned());
+                merged = true;
+                break;
+            }
+        }
+        if !merged {
+            concepts.push(Concept {
+                support: instances.len(),
+                label,
+                variants: Vec::new(),
+                instances,
+            });
+        }
+    }
+    concepts.retain(|c| c.support >= min_support);
+    for c in &mut concepts {
+        c.instances.sort();
+        c.instances.dedup();
+    }
+    concepts.sort_by(|a, b| b.support.cmp(&a.support).then(a.label.cmp(&b.label)));
+    concepts
+}
+
+/// Split `"<instance> is a <concept>"`, rejecting quantified sentences
+/// ("every X is a Y") which express subsumption, not typing.
+pub fn split_copula(sentence: &str) -> Option<(String, String)> {
+    let lower = sentence.to_lowercase();
+    if lower.starts_with("every ") || lower.starts_with("no ") {
+        return None;
+    }
+    let idx = lower.find(" is a ")?;
+    let instance = sentence[..idx].trim();
+    let concept = sentence[idx + 6..].trim().trim_end_matches('.');
+    if instance.is_empty() || concept.is_empty() {
+        return None;
+    }
+    Some((instance.to_string(), concept.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpusgen::schema_corpus;
+    use kg::synth::{movies, Scale};
+
+    fn fixture() -> (Vec<String>, Slm) {
+        let kg = movies(17, Scale::tiny());
+        let corpus = schema_corpus(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        (corpus, slm)
+    }
+
+    #[test]
+    fn recovers_the_domain_concepts() {
+        let (corpus, slm) = fixture();
+        let concepts = extract_concepts(&slm, &corpus, 2);
+        let labels: Vec<&str> = concepts.iter().map(|c| c.label.as_str()).collect();
+        for expected in ["Film", "Actor", "Director", "Studio"] {
+            assert!(labels.contains(&expected), "missing {expected}: {labels:?}");
+        }
+    }
+
+    #[test]
+    fn concepts_carry_instances() {
+        let (corpus, slm) = fixture();
+        let concepts = extract_concepts(&slm, &corpus, 2);
+        let film = concepts.iter().find(|c| c.label == "Film").expect("Film");
+        assert!(film.instances.len() >= 4);
+        assert!(film.support >= film.instances.len());
+    }
+
+    #[test]
+    fn min_support_filters_noise() {
+        let (mut corpus, slm) = fixture();
+        corpus.push("Oddity is a Hapax".to_string());
+        let concepts = extract_concepts(&slm, &corpus, 2);
+        assert!(!concepts.iter().any(|c| c.label == "Hapax"));
+        let with_noise = extract_concepts(&slm, &corpus, 1);
+        assert!(with_noise.iter().any(|c| c.label == "Hapax"));
+    }
+
+    #[test]
+    fn quantified_sentences_are_not_typing_evidence() {
+        assert_eq!(split_copula("every Actor is a Person"), None);
+        assert_eq!(split_copula("no Person is a Film"), None);
+        assert_eq!(
+            split_copula("Lana Brook is a Actor"),
+            Some(("Lana Brook".into(), "Actor".into()))
+        );
+    }
+}

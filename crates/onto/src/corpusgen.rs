@@ -1,0 +1,84 @@
+//! Schema-bearing corpus generation.
+//!
+//! Produces the natural-language sentences an ontology learner would mine
+//! from a domain corpus: instance typing ("Alice Vale is a Actor"),
+//! quantified subsumption ("every Actor is a Person"), disjointness
+//! ("no Person is a Film"), and relational usage sentences (reusing the
+//! relation verbalizer from `kgextract`).
+
+use kg::namespace as ns;
+use kg::ontology::Ontology;
+use kg::Graph;
+
+/// All schema-bearing sentences for a KG + ontology.
+pub fn schema_corpus(graph: &Graph, onto: &Ontology) -> Vec<String> {
+    let mut out = Vec::new();
+    // instance typing sentences
+    if let Some(ty) = graph.pool().get_iri(ns::RDF_TYPE) {
+        for t in graph.iter() {
+            if t.p != ty {
+                continue;
+            }
+            let Some(class_iri) = graph.resolve(t.o).as_iri() else { continue };
+            if !class_iri.starts_with(ns::SYNTH_VOCAB) {
+                continue;
+            }
+            let inst = graph.display_name(t.s);
+            let class = class_label(onto, class_iri);
+            out.push(format!("{inst} is a {class}"));
+        }
+    }
+    // quantified subsumption sentences
+    for (class, _) in onto.classes() {
+        for parent in onto.direct_superclasses(class) {
+            out.push(format!(
+                "every {} is a {}",
+                class_label(onto, class),
+                class_label(onto, parent)
+            ));
+        }
+    }
+    // disjointness sentences
+    for (a, b) in onto.disjoint_pairs() {
+        out.push(format!(
+            "no {} is a {}",
+            class_label(onto, a),
+            class_label(onto, b)
+        ));
+    }
+    // relation usage sentences
+    out.extend(kgextract::testgen::corpus_sentences(graph, onto));
+    out
+}
+
+/// The human label of a class IRI under an ontology.
+pub fn class_label(onto: &Ontology, iri: &str) -> String {
+    onto.class(iri)
+        .and_then(|c| c.label.clone())
+        .unwrap_or_else(|| ns::humanize(ns::local_name(iri)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synth::{movies, Scale};
+
+    #[test]
+    fn corpus_contains_all_sentence_kinds() {
+        let kg = movies(3, Scale::tiny());
+        let corpus = schema_corpus(&kg.graph, &kg.ontology);
+        assert!(corpus.iter().any(|s| s.contains(" is a Film")), "typing sentences");
+        assert!(
+            corpus.iter().any(|s| s.starts_with("every Actor is a Person")),
+            "subsumption sentences"
+        );
+        assert!(corpus.iter().any(|s| s.starts_with("no ")), "disjointness sentences");
+        assert!(corpus.iter().any(|s| s.contains("directed by")), "relation sentences");
+    }
+
+    #[test]
+    fn class_label_falls_back_to_local_name() {
+        let onto = Ontology::new();
+        assert_eq!(class_label(&onto, "http://v/CamelCase"), "Camel case");
+    }
+}

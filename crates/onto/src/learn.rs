@@ -1,0 +1,166 @@
+//! The LLMs4OL-style end-to-end ontology learning pipeline (§2.1.1, \[4\]):
+//! corpus → concepts → taxonomy → properties → [`kg::Ontology`], with
+//! evaluation against a gold schema.
+
+use kg::namespace as ns;
+use kg::ontology::{Ontology, PropertyDecl};
+use slm::Slm;
+
+use crate::concept::{extract_concepts, Concept};
+use crate::property::identify_properties;
+use crate::taxonomy::induce_taxonomy;
+
+/// The result of ontology learning.
+#[derive(Debug)]
+pub struct LearnedOntology {
+    /// The induced schema.
+    pub ontology: Ontology,
+    /// The concepts it was built from (with instance evidence).
+    pub concepts: Vec<Concept>,
+}
+
+/// Learn an ontology from corpus sentences.
+pub fn learn_ontology(slm: &Slm, corpus: &[String], min_support: usize) -> LearnedOntology {
+    let concepts = extract_concepts(slm, corpus, min_support);
+    let edges = induce_taxonomy(&concepts, corpus, 0.8);
+    let properties = identify_properties(slm, corpus, min_support);
+
+    let mut onto = Ontology::new();
+    let iri_of = |label: &str| format!("{}{}", ns::SYNTH_VOCAB, ns::slug(label));
+    for c in &concepts {
+        onto.add_labeled_class(iri_of(&c.label), c.label.clone());
+    }
+    for e in &edges {
+        onto.add_subclass(iri_of(&e.child), iri_of(&e.parent));
+    }
+    for p in &properties {
+        let iri = format!("{}{}", ns::SYNTH_VOCAB, camel(&p.phrase));
+        onto.add_property(
+            iri,
+            PropertyDecl { label: Some(p.phrase.clone()), ..Default::default() },
+        );
+    }
+    LearnedOntology { ontology: onto, concepts }
+}
+
+/// Scores comparing a learned ontology against a gold one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OntologyScores {
+    /// F1 on class labels.
+    pub class_f1: f64,
+    /// F1 on subclass edges (by label pairs).
+    pub subsumption_f1: f64,
+    /// F1 on property labels.
+    pub property_f1: f64,
+}
+
+/// Evaluate a learned ontology against gold (label-level comparison, so
+/// IRI minting differences don't matter).
+pub fn evaluate_ontology(learned: &Ontology, gold: &Ontology) -> OntologyScores {
+    let classes = |o: &Ontology| -> Vec<String> {
+        o.classes().map(|(iri, d)| label_or_local(d.label.as_deref(), iri)).collect()
+    };
+    let subs = |o: &Ontology| -> Vec<(String, String)> {
+        let mut v = Vec::new();
+        for (iri, d) in o.classes() {
+            let child = label_or_local(d.label.as_deref(), iri);
+            for p in o.direct_superclasses(iri) {
+                let plabel = label_or_local(o.class(p).and_then(|c| c.label.as_deref()), p);
+                v.push((child.clone(), plabel));
+            }
+        }
+        v
+    };
+    let props = |o: &Ontology| -> Vec<String> {
+        o.properties()
+            .map(|(iri, d)| label_or_local(d.label.as_deref(), iri))
+            .collect()
+    };
+    // empty-vs-empty comparisons are perfect agreement, not failure
+    let f1 = |pred: Vec<String>, gold: Vec<String>| {
+        if pred.is_empty() && gold.is_empty() {
+            1.0
+        } else {
+            kgextract::metrics::Prf::from_sets(&pred, &gold).f1
+        }
+    };
+    let sub_f1 = {
+        let (p, g) = (subs(learned), subs(gold));
+        if p.is_empty() && g.is_empty() {
+            1.0
+        } else {
+            kgextract::metrics::Prf::from_sets(&p, &g).f1
+        }
+    };
+    OntologyScores {
+        class_f1: f1(classes(learned), classes(gold)),
+        subsumption_f1: sub_f1,
+        property_f1: f1(props(learned), props(gold)),
+    }
+}
+
+fn label_or_local(label: Option<&str>, iri: &str) -> String {
+    label
+        .map(str::to_string)
+        .unwrap_or_else(|| ns::humanize(ns::local_name(iri)))
+}
+
+fn camel(phrase: &str) -> String {
+    let mut out = String::new();
+    for (i, w) in phrase.split_whitespace().enumerate() {
+        if i == 0 {
+            out.push_str(w);
+        } else {
+            let mut c = w.chars();
+            if let Some(f) = c.next() {
+                out.extend(f.to_uppercase());
+                out.push_str(c.as_str());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpusgen::schema_corpus;
+    use kg::synth::{movies, Scale};
+
+    #[test]
+    fn learned_ontology_recovers_most_of_gold() {
+        let kg = movies(37, Scale::default());
+        let corpus = schema_corpus(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let learned = learn_ontology(&slm, &corpus, 2);
+        let scores = evaluate_ontology(&learned.ontology, &kg.ontology);
+        assert!(scores.class_f1 > 0.8, "class F1 {}", scores.class_f1);
+        assert!(scores.subsumption_f1 > 0.6, "subsumption F1 {}", scores.subsumption_f1);
+        assert!(scores.property_f1 > 0.5, "property F1 {}", scores.property_f1);
+    }
+
+    #[test]
+    fn learning_is_deterministic() {
+        let kg = movies(37, Scale::tiny());
+        let corpus = schema_corpus(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let a = learn_ontology(&slm, &corpus, 2);
+        let b = learn_ontology(&slm, &corpus, 2);
+        assert_eq!(a.ontology.class_count(), b.ontology.class_count());
+        assert_eq!(a.concepts.len(), b.concepts.len());
+    }
+
+    #[test]
+    fn camel_casing() {
+        assert_eq!(camel("directed by"), "directedBy");
+        assert_eq!(camel("has always been near"), "hasAlwaysBeenNear");
+        assert_eq!(camel("single"), "single");
+    }
+
+    #[test]
+    fn empty_corpus_learns_empty_ontology() {
+        let slm = Slm::builder().build();
+        let learned = learn_ontology(&slm, &[], 1);
+        assert_eq!(learned.ontology.class_count(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # kgonto — ontology generation with (simulated) LLMs (paper §2.1.1)
+//!
+//! The survey's Research Question 2 asks how LLMs can be employed in
+//! ontology generation. This crate implements the six activities the
+//! paper enumerates, all against the `slm` substrate:
+//!
+//! * [`corpusgen`] — schema-bearing corpus generation ("X is a Film",
+//!   "every Student is a Person") from a gold KG, the input to learning,
+//! * [`concept`] — concept extraction: instance→class harvesting from
+//!   copula patterns, with LM-embedding sense grouping \[73\],
+//! * [`taxonomy`] — taxonomy induction via quantified-subsumption patterns
+//!   and instance-set containment (the BERT-subsumption recipe of \[16\]),
+//! * [`property`] — property identification with LM pre-annotation
+//!   ranking \[76\],
+//! * [`align`] — ontology alignment: lexical + structural matching of two
+//!   schemas \[6\],
+//! * [`mapping`] — text-to-ontology mapping: route a text snippet to its
+//!   best class \[50\],
+//! * [`learn`] — the LLMs4OL-style end-to-end pipeline \[4\]: corpus →
+//!   concepts → taxonomy → properties → [`kg::Ontology`], evaluated
+//!   against the gold schema.
+
+pub mod corpusgen;
+pub mod concept;
+pub mod taxonomy;
+pub mod property;
+pub mod align;
+pub mod mapping;
+pub mod learn;
+
+pub use align::{align_ontologies, OntologyMatch};
+pub use concept::{extract_concepts, Concept};
+pub use learn::{learn_ontology, LearnedOntology};
+pub use mapping::TextToOntologyMapper;
+pub use property::{identify_properties, PropertyCandidate};
+pub use taxonomy::induce_taxonomy;

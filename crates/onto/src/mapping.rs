@@ -1,0 +1,116 @@
+//! Text-to-ontology mapping (§2.1.1, \[50\]): route a text snippet to the
+//! most relevant ontology class.
+
+use kg::ontology::Ontology;
+use slm::Slm;
+
+/// A trained text→class router.
+pub struct TextToOntologyMapper<'a> {
+    slm: &'a Slm,
+    /// `(class IRI, anchor text)` — label plus comment plus known
+    /// instance names, the "document" representing the class.
+    anchors: Vec<(String, String)>,
+}
+
+impl<'a> TextToOntologyMapper<'a> {
+    /// Build from an ontology; optionally enrich class anchors with
+    /// instance names via `instances(class_iri) -> names`.
+    pub fn new(
+        slm: &'a Slm,
+        onto: &Ontology,
+        instances: impl Fn(&str) -> Vec<String>,
+    ) -> Self {
+        let anchors = onto
+            .classes()
+            .map(|(iri, decl)| {
+                let mut anchor = decl
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| kg::namespace::humanize(kg::namespace::local_name(iri)));
+                if let Some(c) = &decl.comment {
+                    anchor.push(' ');
+                    anchor.push_str(c);
+                }
+                for i in instances(iri).into_iter().take(10) {
+                    anchor.push(' ');
+                    anchor.push_str(&i);
+                }
+                (iri.to_string(), anchor)
+            })
+            .collect();
+        TextToOntologyMapper { slm, anchors }
+    }
+
+    /// Map a snippet to the best class with its score; `None` if the
+    /// ontology is empty.
+    pub fn map(&self, text: &str) -> Option<(String, f32)> {
+        self.anchors
+            .iter()
+            .map(|(iri, anchor)| (iri.clone(), self.slm.similarity(text, anchor)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Rank all classes for a snippet (descending).
+    pub fn rank(&self, text: &str) -> Vec<(String, f32)> {
+        let mut v: Vec<(String, f32)> = self
+            .anchors
+            .iter()
+            .map(|(iri, anchor)| (iri.clone(), self.slm.similarity(text, anchor)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpusgen::schema_corpus;
+    use kg::synth::{movies, Scale};
+
+    #[test]
+    fn maps_snippets_to_the_right_class() {
+        let kg = movies(29, Scale::tiny());
+        let corpus = schema_corpus(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let graph = &kg.graph;
+        let mapper = TextToOntologyMapper::new(&slm, &kg.ontology, |class_iri| {
+            graph
+                .pool()
+                .get_iri(class_iri)
+                .map(|c| {
+                    graph
+                        .instances_of(c)
+                        .into_iter()
+                        .map(|e| graph.display_name(e))
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
+        // a film instance name should map to the Film class
+        let film_class = graph.pool().get_iri("http://llmkg.dev/vocab/Film").unwrap();
+        let film_name = graph.display_name(graph.instances_of(film_class)[0]);
+        let (mapped, score) = mapper.map(&film_name).expect("non-empty ontology");
+        assert!(mapped.ends_with("Film"), "{film_name} → {mapped} ({score})");
+    }
+
+    #[test]
+    fn rank_is_sorted_and_complete() {
+        let kg = movies(29, Scale::tiny());
+        let slm = Slm::builder().build();
+        let mapper = TextToOntologyMapper::new(&slm, &kg.ontology, |_| Vec::new());
+        let ranked = mapper.rank("a thrilling drama film");
+        assert_eq!(ranked.len(), kg.ontology.class_count());
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_ontology_maps_to_none() {
+        let slm = Slm::builder().build();
+        let onto = Ontology::new();
+        let mapper = TextToOntologyMapper::new(&slm, &onto, |_| Vec::new());
+        assert!(mapper.map("anything").is_none());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property identification with LM pre-annotation (§2.1.1, \[76\]).
+//!
+//! Mines candidate property phrases from relational sentences (the
+//! connector between two entity mentions), then ranks candidates with the
+//! LM the way fine-tuned-LLM pre-annotation would: annotators see the
+//! highest-confidence suggestions first.
+
+use std::collections::BTreeMap;
+
+use slm::Slm;
+
+/// A mined property candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyCandidate {
+    /// Normalized property phrase (e.g. `"directed by"`).
+    pub phrase: String,
+    /// Occurrence count in the corpus.
+    pub support: usize,
+    /// LM pre-annotation confidence (corpus-fluency score, higher first).
+    pub lm_score: f64,
+}
+
+/// Identify candidate properties from relational sentences of the shape
+/// `"<Subject> is <phrase> <Object>"` / `"<Subject> was <phrase> <Object>"`.
+/// Candidates are ranked by `(lm_score, support)` descending.
+pub fn identify_properties(slm: &Slm, corpus: &[String], min_support: usize) -> Vec<PropertyCandidate> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for sentence in corpus {
+        if let Some(phrase) = connector_phrase(sentence) {
+            *counts.entry(phrase).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<PropertyCandidate> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_support)
+        .map(|(phrase, support)| {
+            let lm_score = slm.score(&phrase);
+            PropertyCandidate { phrase, support, lm_score }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.lm_score
+            .partial_cmp(&a.lm_score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.support.cmp(&a.support))
+            .then(a.phrase.cmp(&b.phrase))
+    });
+    out
+}
+
+/// Extract the middle phrase from `"<X> is/was <phrase> <Y>"` sentences:
+/// the words between the copula and the final capitalized mention.
+fn connector_phrase(sentence: &str) -> Option<String> {
+    let words: Vec<&str> = sentence.split_whitespace().collect();
+    let cop = words.iter().position(|w| *w == "is" || *w == "was")?;
+    // skip typing sentences ("is a Film")
+    if words.get(cop + 1) == Some(&"a") {
+        return None;
+    }
+    // the trailing entity mention: trailing run of capitalized words
+    let mut end = words.len();
+    while end > cop + 1
+        && words[end - 1]
+            .chars()
+            .next()
+            .is_some_and(char::is_uppercase)
+    {
+        end -= 1;
+    }
+    if end <= cop + 1 || end == words.len() {
+        return None;
+    }
+    let phrase = words[cop + 1..end].join(" ").trim_end_matches('.').to_string();
+    if phrase.is_empty() {
+        None
+    } else {
+        Some(phrase)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synth::{movies, Scale};
+    use kgextract::testgen::corpus_sentences;
+
+    #[test]
+    fn finds_the_domain_properties() {
+        let kg = movies(23, Scale::tiny());
+        let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let props = identify_properties(&slm, &corpus, 2);
+        let phrases: Vec<&str> = props.iter().map(|p| p.phrase.as_str()).collect();
+        assert!(phrases.contains(&"directed by"), "{phrases:?}");
+        assert!(phrases.contains(&"starring"), "{phrases:?}");
+    }
+
+    #[test]
+    fn typing_sentences_are_excluded() {
+        assert_eq!(connector_phrase("Alice is a Actor"), None);
+        assert_eq!(
+            connector_phrase("The Film is directed by Jane Roe"),
+            Some("directed by".to_string())
+        );
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_scored() {
+        let kg = movies(23, Scale::tiny());
+        let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let a = identify_properties(&slm, &corpus, 1);
+        let b = identify_properties(&slm, &corpus, 1);
+        assert_eq!(a, b);
+        for p in &a {
+            assert!(p.lm_score.is_finite());
+            assert!(p.support >= 1);
+        }
+    }
+
+    #[test]
+    fn min_support_prunes() {
+        let corpus = vec![
+            "X is linked to Y".to_string(),
+            "A is linked to B".to_string(),
+            "Q is weirdly near Z".to_string(),
+        ];
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let props = identify_properties(&slm, &corpus, 2);
+        assert_eq!(props.len(), 1);
+        assert_eq!(props[0].phrase, "linked to");
+    }
+}

@@ -1,0 +1,149 @@
+//! Taxonomy induction: subsumption from quantified patterns + instance
+//! containment (the contextual-subsumption recipe of \[16\]).
+
+use crate::concept::Concept;
+
+/// An induced subsumption edge `child ⊑ parent` with its evidence score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsumptionEdge {
+    /// The more specific concept.
+    pub child: String,
+    /// The more general concept.
+    pub parent: String,
+    /// Evidence strength in `[0,1]`.
+    pub score: f64,
+}
+
+/// Induce a taxonomy over extracted concepts.
+///
+/// Two evidence sources, mirroring how LM-based subsumption predictors are
+/// trained:
+/// 1. explicit quantified sentences (`"every X is a Y"`) — score 1.0;
+/// 2. instance containment: if (nearly) all instances of X are also
+///    instances of Y and Y has strictly more, X ⊑ Y with the containment
+///    ratio as score.
+pub fn induce_taxonomy(
+    concepts: &[Concept],
+    corpus: &[String],
+    min_score: f64,
+) -> Vec<SubsumptionEdge> {
+    let mut edges: Vec<SubsumptionEdge> = Vec::new();
+    // pattern evidence
+    for sentence in corpus {
+        let lower = sentence.to_lowercase();
+        if let Some(rest) = lower.strip_prefix("every ") {
+            if let Some(idx) = rest.find(" is a ") {
+                let child = titled(&rest[..idx]);
+                let parent = titled(rest[idx + 6..].trim_end_matches('.'));
+                push_edge(&mut edges, child, parent, 1.0);
+            }
+        }
+    }
+    // instance-containment evidence
+    for x in concepts {
+        for y in concepts {
+            if x.label == y.label || x.instances.is_empty() {
+                continue;
+            }
+            let contained =
+                x.instances.iter().filter(|i| y.instances.contains(i)).count();
+            let ratio = contained as f64 / x.instances.len() as f64;
+            if ratio >= 0.8 && y.instances.len() > x.instances.len() {
+                push_edge(&mut edges, x.label.clone(), y.label.clone(), ratio);
+            }
+        }
+    }
+    edges.retain(|e| e.score >= min_score);
+    edges.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.child.cmp(&b.child))
+            .then(a.parent.cmp(&b.parent))
+    });
+    edges
+}
+
+fn push_edge(edges: &mut Vec<SubsumptionEdge>, child: String, parent: String, score: f64) {
+    if child == parent {
+        return;
+    }
+    if let Some(e) = edges.iter_mut().find(|e| e.child == child && e.parent == parent) {
+        if score > e.score {
+            e.score = score;
+        }
+    } else {
+        edges.push(SubsumptionEdge { child, parent, score });
+    }
+}
+
+fn titled(s: &str) -> String {
+    let s = s.trim();
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => s.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::extract_concepts;
+    use crate::corpusgen::schema_corpus;
+    use kg::synth::{movies, Scale};
+    use slm::Slm;
+
+    #[test]
+    fn recovers_actor_person_subsumption() {
+        let kg = movies(17, Scale::tiny());
+        let corpus = schema_corpus(&kg.graph, &kg.ontology);
+        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let concepts = extract_concepts(&slm, &corpus, 1);
+        let edges = induce_taxonomy(&concepts, &corpus, 0.8);
+        assert!(
+            edges.iter().any(|e| e.child == "Actor" && e.parent == "Person"),
+            "{edges:?}"
+        );
+        assert!(
+            edges.iter().any(|e| e.child == "Director" && e.parent == "Person"),
+            "{edges:?}"
+        );
+        // no inverted edges
+        assert!(!edges.iter().any(|e| e.child == "Person" && e.parent == "Actor"));
+    }
+
+    #[test]
+    fn pattern_evidence_scores_full_confidence() {
+        let corpus = vec!["every Cat is a Animal".to_string()];
+        let edges = induce_taxonomy(&[], &corpus, 0.5);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].score, 1.0);
+        assert_eq!(edges[0].child, "Cat");
+    }
+
+    #[test]
+    fn self_edges_are_rejected() {
+        let corpus = vec!["every Cat is a Cat".to_string()];
+        assert!(induce_taxonomy(&[], &corpus, 0.5).is_empty());
+    }
+
+    #[test]
+    fn containment_requires_strictly_larger_parent() {
+        use crate::concept::Concept;
+        let a = Concept {
+            label: "A".into(),
+            variants: vec![],
+            instances: vec!["x".into(), "y".into()],
+            support: 2,
+        };
+        let b = Concept {
+            label: "B".into(),
+            variants: vec![],
+            instances: vec!["x".into(), "y".into()],
+            support: 2,
+        };
+        // identical instance sets: no direction is justified
+        assert!(induce_taxonomy(&[a, b], &[], 0.5).is_empty());
+    }
+}

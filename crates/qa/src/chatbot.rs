@@ -1,0 +1,267 @@
+//! KG chatbots (§4.1.5, after Omar et al. \[65\]).
+//!
+//! The paper's proposal: merge the reliability of traditional KGQA
+//! systems with the conversational flexibility of LLM chatbots. The
+//! router sends entity questions to the KGQA pipeline (text-to-SPARQL +
+//! execution) and everything else to the LLM, with dialogue state that
+//! tracks a *focus entity* so pronoun follow-ups ("who directed it?")
+//! resolve correctly.
+
+use kg::term::Sym;
+use kg::Graph;
+use kgquery::execute_sparql;
+use slm::{ChatSession, GenParams, Message, Slm};
+
+use crate::text2sparql::{Text2SparqlMethod, TextToSparql};
+
+/// Where the router sent a turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterDecision {
+    /// Answered by text-to-SPARQL + KG execution.
+    KgQuery,
+    /// Answered by the LLM (chitchat / no entity found).
+    LlmChat,
+}
+
+/// One bot reply.
+#[derive(Debug, Clone)]
+pub struct BotReply {
+    /// The reply text.
+    pub text: String,
+    /// How it was produced.
+    pub decision: RouterDecision,
+    /// The SPARQL used, when applicable.
+    pub sparql: Option<String>,
+}
+
+/// A stateful KG chatbot.
+pub struct ChatBot<'a> {
+    graph: &'a Graph,
+    slm: &'a Slm,
+    t2s: TextToSparql<'a>,
+    session: ChatSession,
+    /// The entity the conversation is currently about.
+    pub focus: Option<Sym>,
+}
+
+const PRONOUNS: &[&str] = &["it", "they", "he", "she", "that one", "them"];
+
+impl<'a> ChatBot<'a> {
+    /// Build over a graph and LM.
+    pub fn new(graph: &'a Graph, slm: &'a Slm) -> Self {
+        ChatBot {
+            graph,
+            slm,
+            t2s: TextToSparql::new(graph, slm),
+            session: ChatSession::with_system(
+                "You are a knowledge-graph assistant. Answer from the KG when possible.",
+            ),
+            focus: None,
+        }
+    }
+
+    /// Handle one user turn.
+    pub fn handle(&mut self, utterance: &str) -> BotReply {
+        self.session.push(Message::user(utterance));
+        let resolved = self.resolve_pronouns(utterance);
+        // try the KGQA route
+        if let Some(sparql) = self.t2s.generate(Text2SparqlMethod::SgptSim, &resolved) {
+            if let Ok(rs) = execute_sparql(self.graph, &sparql) {
+                if !rs.is_empty() {
+                    let names: Vec<String> = rs
+                        .values("answer")
+                        .iter()
+                        .map(|t| match t {
+                            kg::Term::Iri(iri) => self
+                                .graph
+                                .pool()
+                                .get_iri(iri)
+                                .map(|s| self.graph.display_name(s))
+                                .unwrap_or_else(|| {
+                                    kg::namespace::humanize(kg::namespace::local_name(iri))
+                                }),
+                            kg::Term::Literal(l) => l.lexical.clone(),
+                            kg::Term::Blank(b) => b.clone(),
+                        })
+                        .collect();
+                    // update focus to the mentioned entity
+                    self.focus = self.find_entity(&resolved).or(self.focus);
+                    let text = names.join(", ");
+                    self.session.push(Message::assistant(text.clone()));
+                    return BotReply {
+                        text,
+                        decision: RouterDecision::KgQuery,
+                        sparql: Some(sparql),
+                    };
+                }
+            }
+        }
+        // LLM fallback
+        let reply = self.slm.chat(&self.session, &GenParams::default());
+        self.session.push(reply.clone());
+        // a successful entity mention still updates focus
+        self.focus = self.find_entity(&resolved).or(self.focus);
+        BotReply { text: reply.content, decision: RouterDecision::LlmChat, sparql: None }
+    }
+
+    /// Replace leading/contained pronouns with the focus entity's name.
+    fn resolve_pronouns(&self, utterance: &str) -> String {
+        let Some(focus) = self.focus else {
+            return utterance.to_string();
+        };
+        let name = self.graph.display_name(focus);
+        let mut out = utterance.to_string();
+        for p in PRONOUNS {
+            // word-boundary-ish replacement, case-insensitive on the pronoun
+            for variant in [p.to_string(), capitalize(p)] {
+                let padded = format!(" {variant} ");
+                out = out.replace(&padded, &format!(" {name} "));
+                // utterance-initial pronoun ("It is produced by?")
+                let leading = format!("{variant} ");
+                if out.starts_with(&leading) {
+                    out = format!("{name} {}", &out[leading.len()..]);
+                }
+                if out.to_lowercase().ends_with(&format!(" {p}?")) {
+                    let cut = out.len() - p.len() - 1;
+                    out = format!("{}{name}?", &out[..cut]);
+                }
+            }
+        }
+        out
+    }
+
+    fn find_entity(&self, text: &str) -> Option<Sym> {
+        let lower = text.to_lowercase();
+        let mut best: Option<(usize, Sym)> = None;
+        for e in self.graph.entities() {
+            let Some(iri) = self.graph.resolve(e).as_iri() else { continue };
+            if !iri.starts_with(kg::namespace::SYNTH_ENTITY) {
+                continue;
+            }
+            let name = self.graph.display_name(e);
+            if name.len() >= 3 && lower.contains(&name.to_lowercase()) {
+                match best {
+                    Some((len, _)) if name.len() <= len => {}
+                    _ => best = Some((name.len(), e)),
+                }
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+
+    /// The transcript so far.
+    pub fn session(&self) -> &ChatSession {
+        &self.session
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synth::{movies, Scale};
+    use kgextract::testgen::{corpus_sentences, entity_surface_forms};
+
+    fn fixture() -> (kg::synth::SynthKg, Slm) {
+        let kg = movies(221, Scale::default());
+        let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
+            .build();
+        (kg, slm)
+    }
+
+    #[test]
+    fn entity_question_routes_to_kg() {
+        let (kg, slm) = fixture();
+        let g = &kg.graph;
+        let mut bot = ChatBot::new(g, &slm);
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let directed = g
+            .pool()
+            .get_iri(&format!("{}directedBy", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let director = g.objects(film, directed)[0];
+        let reply = bot.handle(&format!(
+            "What is {} directed by?",
+            g.display_name(film)
+        ));
+        assert_eq!(reply.decision, RouterDecision::KgQuery);
+        assert!(reply.text.contains(&g.display_name(director)), "{reply:?}");
+        assert!(reply.sparql.is_some());
+        assert_eq!(bot.focus, Some(film));
+    }
+
+    #[test]
+    fn pronoun_followup_uses_focus_entity() {
+        let (kg, slm) = fixture();
+        let g = &kg.graph;
+        let mut bot = ChatBot::new(g, &slm);
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        bot.handle(&format!("What is {} directed by?", g.display_name(film)));
+        // follow-up with a pronoun
+        let produced = g
+            .pool()
+            .get_iri(&format!("{}producedBy", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let studio = g.objects(film, produced)[0];
+        let reply = bot.handle("And what is it produced by?");
+        assert_eq!(reply.decision, RouterDecision::KgQuery, "{reply:?}");
+        assert!(reply.text.contains(&g.display_name(studio)), "{reply:?}");
+    }
+
+    #[test]
+    fn utterance_initial_pronoun_resolves() {
+        let (kg, slm) = fixture();
+        let g = &kg.graph;
+        let mut bot = ChatBot::new(g, &slm);
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        bot.handle(&format!("What is {} directed by?", g.display_name(film)));
+        let produced = g
+            .pool()
+            .get_iri(&format!("{}producedBy", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let studio = g.objects(film, produced)[0];
+        // pronoun as the FIRST word of the utterance
+        let reply = bot.handle("It is produced by what?");
+        assert_eq!(reply.decision, RouterDecision::KgQuery, "{reply:?}");
+        assert!(reply.text.contains(&g.display_name(studio)), "{reply:?}");
+    }
+
+    #[test]
+    fn chitchat_routes_to_llm() {
+        let (kg, slm) = fixture();
+        let mut bot = ChatBot::new(&kg.graph, &slm);
+        let reply = bot.handle("hello there, nice weather");
+        assert_eq!(reply.decision, RouterDecision::LlmChat);
+    }
+
+    #[test]
+    fn transcript_grows() {
+        let (kg, slm) = fixture();
+        let mut bot = ChatBot::new(&kg.graph, &slm);
+        bot.handle("hello");
+        bot.handle("how are you?");
+        assert!(bot.session().messages().len() >= 5); // system + 2×(user+assistant)
+    }
+}

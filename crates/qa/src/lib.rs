@@ -1,0 +1,38 @@
+//! # kgqa — LLM-KG cooperation: KG question answering (paper §4.1)
+//!
+//! The survey's third family, where LLMs and KGs work *together*:
+//!
+//! * [`datasets`] — multi-hop QA dataset generation from a KG: every item
+//!   carries its question, gold SPARQL, gold answers, and reasoning path
+//!   (the ground truth the WebQSP/CWQ-style benchmarks provide),
+//! * [`multihop`] — complex QA (§4.1.2): closed-book LLM, KAPING-style
+//!   fact-retrieval prompting \[5\], ReLMKG-style textualized-graph path
+//!   reasoning \[10\], and the KGQA+LM ensemble of \[74\],
+//! * [`qgen`] — multi-hop question generation (§4.1.1, KGEL \[57\]):
+//!   path-grounded generation with LM fluency reranking, plus the quality
+//!   metrics (answerability, hop fidelity, diversity),
+//! * [`text2sparql`] — query generation from text (§4.1.3, RQ6): SGPT-sim
+//!   grammar-constrained generation \[71\], SPARQLGEN-sim one-shot
+//!   prompting with subgraph context \[51, 69\], evaluated by exact match
+//!   *and* execution accuracy on the `kgquery` engine,
+//! * [`text2cypher`] — the same pipeline emitting Cypher-lite,
+//! * [`hybrid`] — querying LLMs with SPARQL (§4.1.4, after \[72\]):
+//!   a hybrid executor where designated *virtual predicates* are answered
+//!   by the LLM instead of the store, with LLM-call accounting,
+//! * [`chatbot`] — KG chatbots (§4.1.5, \[65\]): dialogue state with
+//!   focus-entity tracking, QAS/LLM hybrid routing, and pronoun follow-ups.
+
+pub mod datasets;
+pub mod multihop;
+pub mod qgen;
+pub mod text2sparql;
+pub mod text2cypher;
+pub mod hybrid;
+pub mod chatbot;
+
+pub use chatbot::{ChatBot, RouterDecision};
+pub use datasets::{generate_dataset, QaItem};
+pub use hybrid::{HybridExecutor, HybridStats};
+pub use multihop::{answer_question, QaMethod};
+pub use qgen::{generate_questions, QgenQuality};
+pub use text2sparql::{Text2SparqlMethod, TextToSparql};

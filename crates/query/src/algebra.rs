@@ -1,0 +1,151 @@
+//! Logical algebra and plan construction.
+//!
+//! A [`GroupPattern`] compiles into a [`Plan`] tree: runs of adjacent
+//! triple patterns become a [`Plan::Bgp`] (whose patterns the executor
+//! reorders greedily by estimated selectivity), `OPTIONAL` becomes a left
+//! join, `UNION` a union, and all `FILTER`s of a group apply to the whole
+//! group, per SPARQL semantics.
+
+use crate::ast::{Expr, GroupPattern, PatternElem, TriplePatternAst};
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// The unit plan: one empty binding.
+    Unit,
+    /// A basic graph pattern (conjunction of triple patterns).
+    Bgp(Vec<TriplePatternAst>),
+    /// Join of consecutive parts (bindings flow left to right).
+    Sequence(Vec<Plan>),
+    /// Left outer join: keep left bindings even when right fails.
+    LeftJoin(Box<Plan>, Box<Plan>),
+    /// Union of two alternatives.
+    Union(Box<Plan>, Box<Plan>),
+    /// Filter over an inner plan.
+    Filter(Expr, Box<Plan>),
+}
+
+/// Compile a group pattern to a plan.
+pub fn compile(group: &GroupPattern) -> Plan {
+    let mut parts: Vec<Plan> = Vec::new();
+    let mut bgp: Vec<TriplePatternAst> = Vec::new();
+    let mut filters: Vec<Expr> = Vec::new();
+
+    let flush_bgp = |bgp: &mut Vec<TriplePatternAst>, parts: &mut Vec<Plan>| {
+        if !bgp.is_empty() {
+            parts.push(Plan::Bgp(std::mem::take(bgp)));
+        }
+    };
+
+    for elem in &group.elems {
+        match elem {
+            PatternElem::Triple(t) => bgp.push(t.clone()),
+            PatternElem::Filter(e) => filters.push(e.clone()),
+            PatternElem::Optional(g) => {
+                flush_bgp(&mut bgp, &mut parts);
+                let left = if parts.is_empty() {
+                    Plan::Unit
+                } else if parts.len() == 1 {
+                    parts.pop().expect("len checked")
+                } else {
+                    Plan::Sequence(std::mem::take(&mut parts))
+                };
+                parts.push(Plan::LeftJoin(Box::new(left), Box::new(compile(g))));
+            }
+            PatternElem::Union(l, r) => {
+                flush_bgp(&mut bgp, &mut parts);
+                parts.push(Plan::Union(Box::new(compile(l)), Box::new(compile(r))));
+            }
+        }
+    }
+    flush_bgp(&mut bgp, &mut parts);
+
+    let mut plan = match parts.len() {
+        0 => Plan::Unit,
+        1 => parts.pop().expect("len checked"),
+        _ => Plan::Sequence(parts),
+    };
+    for f in filters {
+        plan = Plan::Filter(f, Box::new(plan));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{NodeRef, PropPath};
+
+    fn tp(s: &str, p: &str, o: &str) -> PatternElem {
+        PatternElem::Triple(TriplePatternAst {
+            s: NodeRef::var(s),
+            p: PropPath::Iri(p.into()),
+            o: NodeRef::var(o),
+        })
+    }
+
+    #[test]
+    fn adjacent_triples_fuse_into_one_bgp() {
+        let g = GroupPattern { elems: vec![tp("a", "p", "b"), tp("b", "q", "c")] };
+        match compile(&g) {
+            Plan::Bgp(pats) => assert_eq!(pats.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn filters_wrap_the_whole_group() {
+        let g = GroupPattern {
+            elems: vec![
+                PatternElem::Filter(Expr::Bound("a".into())),
+                tp("a", "p", "b"),
+            ],
+        };
+        match compile(&g) {
+            Plan::Filter(_, inner) => assert!(matches!(*inner, Plan::Bgp(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn optional_becomes_left_join_over_prefix() {
+        let g = GroupPattern {
+            elems: vec![
+                tp("a", "p", "b"),
+                PatternElem::Optional(GroupPattern { elems: vec![tp("b", "q", "c")] }),
+            ],
+        };
+        match compile(&g) {
+            Plan::LeftJoin(l, r) => {
+                assert!(matches!(*l, Plan::Bgp(_)));
+                assert!(matches!(*r, Plan::Bgp(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_group_is_unit() {
+        assert_eq!(compile(&GroupPattern::default()), Plan::Unit);
+    }
+
+    #[test]
+    fn union_after_triples_sequences() {
+        let g = GroupPattern {
+            elems: vec![
+                tp("a", "p", "b"),
+                PatternElem::Union(
+                    GroupPattern { elems: vec![tp("b", "q", "c")] },
+                    GroupPattern { elems: vec![tp("b", "r", "c")] },
+                ),
+            ],
+        };
+        match compile(&g) {
+            Plan::Sequence(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Plan::Union(_, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

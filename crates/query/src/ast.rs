@@ -1,0 +1,312 @@
+//! Abstract syntax for the SPARQL subset.
+
+use kg::Term;
+
+/// A variable name (without the leading `?`).
+pub type Var = String;
+
+/// A subject/object position: variable or constant term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeRef {
+    /// `?name`
+    Var(Var),
+    /// A constant IRI / literal.
+    Const(Term),
+}
+
+impl NodeRef {
+    /// Variable shorthand.
+    pub fn var(name: impl Into<String>) -> Self {
+        NodeRef::Var(name.into())
+    }
+
+    /// IRI constant shorthand.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        NodeRef::Const(Term::iri(iri))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            NodeRef::Var(v) => Some(v),
+            NodeRef::Const(_) => None,
+        }
+    }
+}
+
+/// A property path over predicates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropPath {
+    /// A plain predicate IRI.
+    Iri(String),
+    /// A predicate variable `?p` (only allowed as a whole path).
+    Var(Var),
+    /// `^p` — inverse.
+    Inverse(Box<PropPath>),
+    /// `p/q` — sequence.
+    Seq(Box<PropPath>, Box<PropPath>),
+    /// `p|q` — alternative.
+    Alt(Box<PropPath>, Box<PropPath>),
+    /// `p+` — one or more.
+    OneOrMore(Box<PropPath>),
+    /// `p*` — zero or more.
+    ZeroOrMore(Box<PropPath>),
+}
+
+impl PropPath {
+    /// Is this a plain IRI or variable (no operators)?
+    pub fn is_simple(&self) -> bool {
+        matches!(self, PropPath::Iri(_) | PropPath::Var(_))
+    }
+
+    /// Variables mentioned in the path (only possible at the top level).
+    pub fn vars(&self) -> Vec<&str> {
+        match self {
+            PropPath::Var(v) => vec![v],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// One triple pattern with a property path in predicate position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePatternAst {
+    /// Subject position.
+    pub s: NodeRef,
+    /// Predicate path.
+    pub p: PropPath,
+    /// Object position.
+    pub o: NodeRef,
+}
+
+/// A filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(Var),
+    /// A constant term.
+    Const(Term),
+    /// `=`.
+    Eq(Box<Expr>, Box<Expr>),
+    /// `!=`.
+    Ne(Box<Expr>, Box<Expr>),
+    /// `<` (numeric or lexicographic on lexical forms).
+    Lt(Box<Expr>, Box<Expr>),
+    /// `<=`.
+    Le(Box<Expr>, Box<Expr>),
+    /// `>`.
+    Gt(Box<Expr>, Box<Expr>),
+    /// `>=`.
+    Ge(Box<Expr>, Box<Expr>),
+    /// `&&`.
+    And(Box<Expr>, Box<Expr>),
+    /// `||`.
+    Or(Box<Expr>, Box<Expr>),
+    /// `!`.
+    Not(Box<Expr>),
+    /// `BOUND(?v)`.
+    Bound(Var),
+    /// `CONTAINS(STR(?v), "needle")` — substring test on the lexical form.
+    Contains(Box<Expr>, String),
+}
+
+impl Expr {
+    /// All variables mentioned in the expression.
+    pub fn vars(&self) -> Vec<&str> {
+        match self {
+            Expr::Var(v) => vec![v],
+            Expr::Const(_) => Vec::new(),
+            Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                let mut v = a.vars();
+                v.extend(b.vars());
+                v
+            }
+            Expr::Not(a) | Expr::Contains(a, _) => a.vars(),
+            Expr::Bound(v) => vec![v],
+        }
+    }
+}
+
+/// An element of a group graph pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternElem {
+    /// A triple pattern.
+    Triple(TriplePatternAst),
+    /// `FILTER(expr)`.
+    Filter(Expr),
+    /// `OPTIONAL { group }`.
+    Optional(GroupPattern),
+    /// `{ left } UNION { right }`.
+    Union(GroupPattern, GroupPattern),
+}
+
+/// A group graph pattern: a sequence of elements joined together.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GroupPattern {
+    /// The elements in syntactic order.
+    pub elems: Vec<PatternElem>,
+}
+
+impl GroupPattern {
+    /// All variables bound by triple patterns in this group (recursively).
+    pub fn bound_vars(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |v: &str| {
+            if !out.iter().any(|x| x == v) {
+                out.push(v.to_string());
+            }
+        };
+        for e in &self.elems {
+            match e {
+                PatternElem::Triple(t) => {
+                    if let Some(v) = t.s.as_var() {
+                        push(v);
+                    }
+                    for v in t.p.vars() {
+                        push(v);
+                    }
+                    if let Some(v) = t.o.as_var() {
+                        push(v);
+                    }
+                }
+                PatternElem::Optional(g) => {
+                    for v in g.bound_vars() {
+                        push(&v);
+                    }
+                }
+                PatternElem::Union(l, r) => {
+                    for v in l.bound_vars() {
+                        push(&v);
+                    }
+                    for v in r.bound_vars() {
+                        push(&v);
+                    }
+                }
+                PatternElem::Filter(_) => {}
+            }
+        }
+        out
+    }
+}
+
+/// What the query returns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryKind {
+    /// `SELECT [DISTINCT] ?a ?b …` (empty = `SELECT *`).
+    Select {
+        /// Projected variables; empty means all bound variables.
+        vars: Vec<Var>,
+        /// Whether `DISTINCT` was given.
+        distinct: bool,
+    },
+    /// `ASK`.
+    Ask,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A `COUNT` aggregate in the projection:
+/// `SELECT ?g (COUNT(?x) AS ?n) … GROUP BY ?g`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountAgg {
+    /// The counted variable (`None` = `COUNT(*)`, counting solutions).
+    pub var: Option<Var>,
+    /// `COUNT(DISTINCT ?x)`.
+    pub distinct: bool,
+    /// The output variable the count is bound to.
+    pub alias: Var,
+}
+
+/// A full query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projection kind.
+    pub kind: QueryKind,
+    /// The `WHERE` pattern.
+    pub pattern: GroupPattern,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<(Var, Order)>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: usize,
+    /// Optional `COUNT` aggregate over the solutions.
+    pub aggregate: Option<CountAgg>,
+    /// `GROUP BY` keys (only meaningful with an aggregate).
+    pub group_by: Vec<Var>,
+}
+
+impl Query {
+    /// A bare SELECT * query over a pattern.
+    pub fn select_all(pattern: GroupPattern) -> Self {
+        Query {
+            kind: QueryKind::Select { vars: Vec::new(), distinct: false },
+            pattern,
+            order_by: Vec::new(),
+            limit: None,
+            offset: 0,
+            aggregate: None,
+            group_by: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_vars_walks_structure() {
+        let g = GroupPattern {
+            elems: vec![
+                PatternElem::Triple(TriplePatternAst {
+                    s: NodeRef::var("a"),
+                    p: PropPath::Iri("http://v/p".into()),
+                    o: NodeRef::var("b"),
+                }),
+                PatternElem::Optional(GroupPattern {
+                    elems: vec![PatternElem::Triple(TriplePatternAst {
+                        s: NodeRef::var("b"),
+                        p: PropPath::Var("p".into()),
+                        o: NodeRef::var("c"),
+                    })],
+                }),
+            ],
+        };
+        assert_eq!(g.bound_vars(), vec!["a", "b", "p", "c"]);
+    }
+
+    #[test]
+    fn expr_vars_collects_all() {
+        let e = Expr::And(
+            Box::new(Expr::Gt(
+                Box::new(Expr::Var("x".into())),
+                Box::new(Expr::Const(Term::int(3))),
+            )),
+            Box::new(Expr::Bound("y".into())),
+        );
+        assert_eq!(e.vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn noderef_helpers() {
+        assert_eq!(NodeRef::var("a").as_var(), Some("a"));
+        assert_eq!(NodeRef::iri("http://x/a").as_var(), None);
+        assert!(PropPath::Iri("p".into()).is_simple());
+        assert!(!PropPath::OneOrMore(Box::new(PropPath::Iri("p".into()))).is_simple());
+    }
+}

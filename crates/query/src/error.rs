@@ -1,0 +1,48 @@
+//! Query errors.
+
+use std::fmt;
+
+/// Errors from parsing or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Syntax error with position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A projected or filtered variable that never occurs in the pattern.
+    UnboundVariable(String),
+    /// A query feature outside the supported subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { line, column, message } => {
+                write!(f, "query parse error at {line}:{column}: {message}")
+            }
+            QueryError::UnboundVariable(v) => write!(f, "unbound variable ?{v}"),
+            QueryError::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = QueryError::Parse { line: 1, column: 2, message: "x".into() };
+        assert!(e.to_string().contains("1:2"));
+        assert!(QueryError::UnboundVariable("v".into()).to_string().contains("?v"));
+        assert!(QueryError::Unsupported("GRAPH".into()).to_string().contains("GRAPH"));
+    }
+}

@@ -1,0 +1,880 @@
+//! Volcano-style evaluation of query plans over a [`kg::Graph`].
+//!
+//! Bindings are ordered maps `variable → Sym`; evaluation threads a vector
+//! of bindings through the plan. Inside a BGP, triple patterns are
+//! reordered greedily: at each step the pattern with the smallest
+//! estimated cardinality *given the variables already bound* runs next —
+//! the classic selectivity-driven join ordering, using
+//! [`kg::Graph::estimate`] as the cost model.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use kg::store::TriplePattern;
+use kg::term::{Sym, Term};
+use kg::Graph;
+
+use crate::algebra::{compile, Plan};
+use crate::ast::{Expr, NodeRef, Order, PropPath, Query, QueryKind, TriplePatternAst};
+use crate::error::QueryError;
+use crate::results::ResultSet;
+
+/// A solution mapping.
+pub type Binding = BTreeMap<String, Sym>;
+
+/// Execute a parsed query against a graph.
+pub fn execute(graph: &Graph, query: &Query) -> Result<ResultSet, QueryError> {
+    let plan = compile(&query.pattern);
+    let mut solutions = eval(graph, &plan, vec![Binding::new()])?;
+
+    match &query.kind {
+        QueryKind::Ask => Ok(ResultSet::ask(!solutions.is_empty())),
+        QueryKind::Select { vars, distinct } => {
+            if let Some(agg) = &query.aggregate {
+                return aggregate(graph, query, agg, vars, solutions);
+            }
+            let bound = query.pattern.bound_vars();
+            let projected: Vec<String> = if vars.is_empty() {
+                bound.clone()
+            } else {
+                for v in vars {
+                    if !bound.contains(v) {
+                        return Err(QueryError::UnboundVariable(v.clone()));
+                    }
+                }
+                vars.clone()
+            };
+            // ORDER BY
+            for (v, _) in &query.order_by {
+                if !bound.contains(v) {
+                    return Err(QueryError::UnboundVariable(v.clone()));
+                }
+            }
+            if !query.order_by.is_empty() {
+                let keys = query.order_by.clone();
+                solutions.sort_by(|a, b| {
+                    for (v, dir) in &keys {
+                        let ta = a.get(v).map(|&s| graph.resolve(s));
+                        let tb = b.get(v).map(|&s| graph.resolve(s));
+                        let ord = compare_terms(ta, tb);
+                        let ord = match dir {
+                            Order::Asc => ord,
+                            Order::Desc => ord.reverse(),
+                        };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+            }
+            let mut rows: Vec<Vec<Option<Term>>> = solutions
+                .iter()
+                .map(|b| {
+                    projected
+                        .iter()
+                        .map(|v| b.get(v).map(|&s| graph.resolve(s).clone()))
+                        .collect()
+                })
+                .collect();
+            if *distinct {
+                let mut seen: BTreeSet<String> = BTreeSet::new();
+                rows.retain(|r| seen.insert(format!("{r:?}")));
+            }
+            let end = query
+                .limit
+                .map(|l| (query.offset + l).min(rows.len()))
+                .unwrap_or(rows.len());
+            let start = query.offset.min(rows.len());
+            let rows = rows[start..end.max(start)].to_vec();
+            Ok(ResultSet::select(projected, rows))
+        }
+    }
+}
+
+/// Evaluate a `COUNT` aggregate with optional `GROUP BY`.
+fn aggregate(
+    graph: &Graph,
+    query: &Query,
+    agg: &crate::ast::CountAgg,
+    projected: &[String],
+    solutions: Vec<Binding>,
+) -> Result<ResultSet, QueryError> {
+    let bound = query.pattern.bound_vars();
+    for v in query.group_by.iter().chain(agg.var.iter()) {
+        if !bound.contains(v) {
+            return Err(QueryError::UnboundVariable(v.clone()));
+        }
+    }
+    for v in projected {
+        if *v != agg.alias && !query.group_by.contains(v) {
+            return Err(QueryError::Unsupported(format!(
+                "projected variable ?{v} must appear in GROUP BY"
+            )));
+        }
+    }
+    // group solutions by the GROUP BY key
+    let mut groups: BTreeMap<Vec<Option<Sym>>, Vec<&Binding>> = BTreeMap::new();
+    for b in &solutions {
+        let key: Vec<Option<Sym>> =
+            query.group_by.iter().map(|v| b.get(v).copied()).collect();
+        groups.entry(key).or_default().push(b);
+    }
+    if query.group_by.is_empty() && groups.is_empty() {
+        groups.insert(Vec::new(), Vec::new()); // COUNT over zero solutions = 0
+    }
+    let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
+    for (key, members) in &groups {
+        let count = match &agg.var {
+            None => members.len(),
+            Some(v) => {
+                let mut values: Vec<Sym> =
+                    members.iter().filter_map(|b| b.get(v).copied()).collect();
+                if agg.distinct {
+                    values.sort_unstable();
+                    values.dedup();
+                }
+                values.len()
+            }
+        };
+        let row: Vec<Option<Term>> = projected
+            .iter()
+            .map(|v| {
+                if *v == agg.alias {
+                    Some(Term::int(count as i64))
+                } else {
+                    let idx = query.group_by.iter().position(|g| g == v)?;
+                    key[idx].map(|s| graph.resolve(s).clone())
+                }
+            })
+            .collect();
+        rows.push(row);
+    }
+    // ORDER BY over the aggregated rows (keys must be projected)
+    if !query.order_by.is_empty() {
+        for (v, _) in &query.order_by {
+            if !projected.contains(v) {
+                return Err(QueryError::UnboundVariable(v.clone()));
+            }
+        }
+        let keys: Vec<(usize, Order)> = query
+            .order_by
+            .iter()
+            .map(|(v, d)| (projected.iter().position(|p| p == v).expect("checked"), *d))
+            .collect();
+        rows.sort_by(|a, b| {
+            for &(i, dir) in &keys {
+                let ord = compare_terms(a[i].as_ref(), b[i].as_ref());
+                let ord = match dir {
+                    Order::Asc => ord,
+                    Order::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    let end = query.limit.map(|l| (query.offset + l).min(rows.len())).unwrap_or(rows.len());
+    let start = query.offset.min(rows.len());
+    Ok(ResultSet::select(projected.to_vec(), rows[start..end.max(start)].to_vec()))
+}
+
+/// Numeric-aware term comparison for ORDER BY and filters.
+fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => {
+            let nx = x.as_literal().and_then(|l| l.as_double());
+            let ny = y.as_literal().and_then(|l| l.as_double());
+            match (nx, ny) {
+                (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+                _ => term_key(x).cmp(&term_key(y)),
+            }
+        }
+    }
+}
+
+fn term_key(t: &Term) -> String {
+    match t {
+        Term::Iri(i) => format!("i:{i}"),
+        Term::Literal(l) => format!("l:{}", l.lexical),
+        Term::Blank(b) => format!("b:{b}"),
+    }
+}
+
+fn eval(graph: &Graph, plan: &Plan, input: Vec<Binding>) -> Result<Vec<Binding>, QueryError> {
+    match plan {
+        Plan::Unit => Ok(input),
+        Plan::Bgp(patterns) => eval_bgp(graph, patterns, input),
+        Plan::Sequence(parts) => {
+            let mut acc = input;
+            for p in parts {
+                acc = eval(graph, p, acc)?;
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            Ok(acc)
+        }
+        Plan::LeftJoin(left, right) => {
+            let lefts = eval(graph, left, input)?;
+            let mut out = Vec::new();
+            for b in lefts {
+                let rs = eval(graph, right, vec![b.clone()])?;
+                if rs.is_empty() {
+                    out.push(b);
+                } else {
+                    out.extend(rs);
+                }
+            }
+            Ok(out)
+        }
+        Plan::Union(l, r) => {
+            let mut out = eval(graph, l, input.clone())?;
+            out.extend(eval(graph, r, input)?);
+            Ok(out)
+        }
+        Plan::Filter(e, inner) => {
+            let sols = eval(graph, inner, input)?;
+            let mut out = Vec::new();
+            for b in sols {
+                if eval_expr(graph, e, &b)?.unwrap_or(false) {
+                    out.push(b);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Greedy join ordering + nested-loop evaluation of a BGP.
+fn eval_bgp(
+    graph: &Graph,
+    patterns: &[TriplePatternAst],
+    input: Vec<Binding>,
+) -> Result<Vec<Binding>, QueryError> {
+    let mut out = Vec::new();
+    for binding in input {
+        // order patterns greedily per input binding
+        let mut remaining: Vec<&TriplePatternAst> = patterns.iter().collect();
+        let mut bound: BTreeSet<String> =
+            binding.keys().cloned().collect();
+        let mut ordered: Vec<&TriplePatternAst> = Vec::new();
+        while !remaining.is_empty() {
+            let (idx, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, estimate_pattern(graph, t, &bound)))
+                .min_by_key(|&(_, est)| est)
+                .expect("non-empty remaining");
+            let chosen = remaining.remove(idx);
+            for v in pattern_vars(chosen) {
+                bound.insert(v);
+            }
+            ordered.push(chosen);
+        }
+        // nested-loop evaluation
+        let mut current = vec![binding];
+        for pat in ordered {
+            let mut next = Vec::new();
+            for b in &current {
+                extend_with_pattern(graph, pat, b, &mut next)?;
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        out.extend(current);
+    }
+    Ok(out)
+}
+
+fn pattern_vars(t: &TriplePatternAst) -> Vec<String> {
+    let mut v = Vec::new();
+    if let Some(x) = t.s.as_var() {
+        v.push(x.to_string());
+    }
+    for x in t.p.vars() {
+        v.push(x.to_string());
+    }
+    if let Some(x) = t.o.as_var() {
+        v.push(x.to_string());
+    }
+    v
+}
+
+/// Cardinality estimate of a pattern given already-bound variables.
+fn estimate_pattern(graph: &Graph, t: &TriplePatternAst, bound: &BTreeSet<String>) -> usize {
+    let node_known = |n: &NodeRef| match n {
+        NodeRef::Const(_) => true,
+        NodeRef::Var(v) => bound.contains(v),
+    };
+    let s_known = node_known(&t.s);
+    let o_known = node_known(&t.o);
+    let p_known = match &t.p {
+        PropPath::Iri(_) => true,
+        PropPath::Var(v) => bound.contains(v),
+        _ => true, // complex paths: treat predicate as known
+    };
+    // use graph-wide statistics with a representative pattern
+    let p_sym = match &t.p {
+        PropPath::Iri(i) => graph.pool().get_iri(i),
+        _ => None,
+    };
+    let pat = TriplePattern {
+        s: None,
+        p: if p_known { p_sym } else { None },
+        o: None,
+    };
+    let base = graph.estimate(pat).max(1);
+    match (s_known, o_known) {
+        (true, true) => 1,
+        (true, false) | (false, true) => (base / 8).max(1),
+        (false, false) => base,
+    }
+}
+
+/// Extend one binding with all matches of a pattern.
+fn extend_with_pattern(
+    graph: &Graph,
+    t: &TriplePatternAst,
+    binding: &Binding,
+    out: &mut Vec<Binding>,
+) -> Result<(), QueryError> {
+    // resolve endpoints under the binding
+    let resolve_node = |n: &NodeRef| -> Resolved {
+        match n {
+            NodeRef::Var(v) => match binding.get(v) {
+                Some(&s) => Resolved::Known(s),
+                None => Resolved::Free(v.clone()),
+            },
+            NodeRef::Const(term) => match graph.pool().get(term) {
+                Some(s) => Resolved::Known(s),
+                None => Resolved::Impossible,
+            },
+        }
+    };
+    let s = resolve_node(&t.s);
+    let o = resolve_node(&t.o);
+    if matches!(s, Resolved::Impossible) || matches!(o, Resolved::Impossible) {
+        return Ok(());
+    }
+
+    match &t.p {
+        PropPath::Iri(iri) => {
+            let Some(p) = graph.pool().get_iri(iri) else {
+                return Ok(());
+            };
+            let pat = TriplePattern { s: s.known(), p: Some(p), o: o.known() };
+            for m in graph.match_pattern(pat) {
+                let mut b = binding.clone();
+                if let Resolved::Free(v) = &s {
+                    b.insert(v.clone(), m.s);
+                }
+                if let Resolved::Free(v) = &o {
+                    // same-var subject/object (e.g. ?x p ?x) must agree
+                    if let Some(&existing) = b.get(v) {
+                        if existing != m.o {
+                            continue;
+                        }
+                    } else {
+                        b.insert(v.clone(), m.o);
+                    }
+                }
+                out.push(b);
+            }
+        }
+        PropPath::Var(pv) => {
+            let p_sym = binding.get(pv).copied();
+            let pat = TriplePattern { s: s.known(), p: p_sym, o: o.known() };
+            for m in graph.match_pattern(pat) {
+                let mut b = binding.clone();
+                if let Resolved::Free(v) = &s {
+                    b.insert(v.clone(), m.s);
+                }
+                if p_sym.is_none() {
+                    if let Some(&existing) = b.get(pv) {
+                        if existing != m.p {
+                            continue;
+                        }
+                    } else {
+                        b.insert(pv.clone(), m.p);
+                    }
+                }
+                if let Resolved::Free(v) = &o {
+                    if let Some(&existing) = b.get(v) {
+                        if existing != m.o {
+                            continue;
+                        }
+                    } else {
+                        b.insert(v.clone(), m.o);
+                    }
+                }
+                out.push(b);
+            }
+        }
+        path => {
+            for (ms, mo) in eval_path(graph, path, s.known(), o.known()) {
+                let mut b = binding.clone();
+                let mut ok = true;
+                if let Resolved::Free(v) = &s {
+                    match b.get(v) {
+                        Some(&e) if e != ms => ok = false,
+                        _ => {
+                            b.insert(v.clone(), ms);
+                        }
+                    }
+                }
+                if ok {
+                    if let Resolved::Free(v) = &o {
+                        match b.get(v) {
+                            Some(&e) if e != mo => ok = false,
+                            _ => {
+                                b.insert(v.clone(), mo);
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone)]
+enum Resolved {
+    Known(Sym),
+    Free(String),
+    Impossible,
+}
+
+impl Resolved {
+    fn known(&self) -> Option<Sym> {
+        match self {
+            Resolved::Known(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluate a property path, returning `(start, end)` pairs consistent
+/// with the optional endpoint constraints. Deterministic (sorted) order.
+pub fn eval_path(
+    graph: &Graph,
+    path: &PropPath,
+    s: Option<Sym>,
+    o: Option<Sym>,
+) -> Vec<(Sym, Sym)> {
+    match path {
+        PropPath::Iri(iri) => match graph.pool().get_iri(iri) {
+            Some(p) => graph
+                .match_pattern(TriplePattern { s, p: Some(p), o })
+                .into_iter()
+                .map(|t| (t.s, t.o))
+                .collect(),
+            None => Vec::new(),
+        },
+        PropPath::Var(_) => {
+            // a bare predicate variable is handled in extend_with_pattern;
+            // inside a composite path it is unsupported and matches nothing
+            Vec::new()
+        }
+        PropPath::Inverse(inner) => eval_path(graph, inner, o, s)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .collect(),
+        PropPath::Alt(l, r) => {
+            let mut out = eval_path(graph, l, s, o);
+            out.extend(eval_path(graph, r, s, o));
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        PropPath::Seq(l, r) => {
+            let mut out = Vec::new();
+            // drive from the more constrained side
+            if s.is_some() || o.is_none() {
+                for (a, mid) in eval_path(graph, l, s, None) {
+                    for (_, b) in eval_path(graph, r, Some(mid), o) {
+                        out.push((a, b));
+                    }
+                }
+            } else {
+                for (mid, b) in eval_path(graph, r, None, o) {
+                    for (a, _) in eval_path(graph, l, s, Some(mid)) {
+                        out.push((a, b));
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        PropPath::OneOrMore(inner) => closure(graph, inner, s, o, false),
+        PropPath::ZeroOrMore(inner) => closure(graph, inner, s, o, true),
+    }
+}
+
+/// Transitive closure of a path via BFS, optionally reflexive.
+fn closure(
+    graph: &Graph,
+    inner: &PropPath,
+    s: Option<Sym>,
+    o: Option<Sym>,
+    reflexive: bool,
+) -> Vec<(Sym, Sym)> {
+    let starts: Vec<Sym> = match (s, o) {
+        (Some(x), _) => vec![x],
+        (None, _) => {
+            // all nodes with any outgoing inner-path edge; for reflexive
+            // paths additionally every node in the graph
+            let mut set: BTreeSet<Sym> = eval_path(graph, inner, None, None)
+                .into_iter()
+                .map(|(a, _)| a)
+                .collect();
+            if reflexive {
+                for e in graph.entities() {
+                    set.insert(e);
+                }
+            }
+            set.into_iter().collect()
+        }
+    };
+    let mut out: Vec<(Sym, Sym)> = Vec::new();
+    for start in starts {
+        let mut reach: BTreeSet<Sym> = BTreeSet::new();
+        let mut queue = VecDeque::from([start]);
+        let mut visited: BTreeSet<Sym> = BTreeSet::from([start]);
+        while let Some(n) = queue.pop_front() {
+            for (_, next) in eval_path(graph, inner, Some(n), None) {
+                if visited.insert(next) {
+                    queue.push_back(next);
+                }
+                reach.insert(next);
+            }
+        }
+        if reflexive {
+            reach.insert(start);
+        }
+        for r in reach {
+            if o.is_none() || o == Some(r) {
+                out.push((start, r));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Three-valued filter evaluation: `None` = error (treated as false).
+fn eval_expr(graph: &Graph, e: &Expr, b: &Binding) -> Result<Option<bool>, QueryError> {
+    Ok(match e {
+        Expr::And(l, r) => match (eval_expr(graph, l, b)?, eval_expr(graph, r, b)?) {
+            (Some(true), Some(true)) => Some(true),
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            _ => None,
+        },
+        Expr::Or(l, r) => match (eval_expr(graph, l, b)?, eval_expr(graph, r, b)?) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        Expr::Not(i) => eval_expr(graph, i, b)?.map(|v| !v),
+        Expr::Bound(v) => Some(b.contains_key(v)),
+        Expr::Contains(inner, needle) => {
+            let t = eval_term(graph, inner, b);
+            t.map(|term| {
+                let hay = match &term {
+                    Term::Iri(i) => i.as_str(),
+                    Term::Literal(l) => l.lexical.as_str(),
+                    Term::Blank(x) => x.as_str(),
+                };
+                hay.to_lowercase().contains(&needle.to_lowercase())
+            })
+        }
+        Expr::Eq(l, r) => binary_cmp(graph, l, r, b, |o| o == std::cmp::Ordering::Equal),
+        Expr::Ne(l, r) => binary_cmp(graph, l, r, b, |o| o != std::cmp::Ordering::Equal),
+        Expr::Lt(l, r) => binary_cmp(graph, l, r, b, |o| o == std::cmp::Ordering::Less),
+        Expr::Le(l, r) => binary_cmp(graph, l, r, b, |o| o != std::cmp::Ordering::Greater),
+        Expr::Gt(l, r) => binary_cmp(graph, l, r, b, |o| o == std::cmp::Ordering::Greater),
+        Expr::Ge(l, r) => binary_cmp(graph, l, r, b, |o| o != std::cmp::Ordering::Less),
+        Expr::Var(v) => Some(b.contains_key(v)),
+        Expr::Const(t) => t.as_literal().map(|l| l.lexical == "true"),
+    })
+}
+
+fn eval_term(graph: &Graph, e: &Expr, b: &Binding) -> Option<Term> {
+    match e {
+        Expr::Var(v) => b.get(v).map(|&s| graph.resolve(s).clone()),
+        Expr::Const(t) => Some(t.clone()),
+        _ => None,
+    }
+}
+
+fn binary_cmp(
+    graph: &Graph,
+    l: &Expr,
+    r: &Expr,
+    b: &Binding,
+    pred: impl Fn(std::cmp::Ordering) -> bool,
+) -> Option<bool> {
+    let lt = eval_term(graph, l, b)?;
+    let rt = eval_term(graph, r, b)?;
+    Some(pred(compare_terms(Some(&lt), Some(&rt))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn graph() -> Graph {
+        kg::turtle::parse_turtle(
+            r#"
+            @prefix e: <http://e/> .
+            @prefix v: <http://v/> .
+            e:a v:knows e:b . e:b v:knows e:c . e:c v:knows e:d .
+            e:a a v:Person ; v:age 30 ; v:name "Alice" .
+            e:b a v:Person ; v:age 25 .
+            e:c a v:Robot .
+            e:x v:likes e:a .
+            "#,
+        )
+        .expect("fixture parses")
+    }
+
+    fn run(q: &str) -> ResultSet {
+        execute(&graph(), &parse(q).expect("query parses")).expect("query executes")
+    }
+
+    #[test]
+    fn basic_select() {
+        let rs = run("PREFIX v: <http://v/> SELECT ?x ?y WHERE { ?x v:knows ?y }");
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.vars, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn join_two_patterns() {
+        let rs = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:knows ?y . ?y v:knows ?z }");
+        assert_eq!(rs.len(), 2); // a->b->c, b->c->d
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        assert_eq!(run("PREFIX e: <http://e/> PREFIX v: <http://v/> ASK { e:a v:knows e:b }").ask, Some(true));
+        assert_eq!(run("PREFIX e: <http://e/> PREFIX v: <http://v/> ASK { e:b v:knows e:a }").ask, Some(false));
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:age ?a FILTER(?a > 26) }",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(
+            rs.first("x").and_then(|t| t.as_iri()),
+            Some("http://e/a")
+        );
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT ?x ?n WHERE { ?x a v:Person OPTIONAL { ?x v:name ?n } }",
+        );
+        assert_eq!(rs.len(), 2);
+        let bound: Vec<_> = rs.rows.iter().filter(|r| r[1].is_some()).collect();
+        assert_eq!(bound.len(), 1);
+    }
+
+    #[test]
+    fn union_merges() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT ?x WHERE { { ?x a v:Person } UNION { ?x a v:Robot } }",
+        );
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn path_sequence() {
+        let rs = run(
+            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows/v:knows ?z }",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.first("z").and_then(|t| t.as_iri()), Some("http://e/c"));
+    }
+
+    #[test]
+    fn path_one_or_more() {
+        let rs = run(
+            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows+ ?z }",
+        );
+        let mut got: Vec<&str> = rs.values("z").iter().filter_map(|t| t.as_iri()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec!["http://e/b", "http://e/c", "http://e/d"]);
+    }
+
+    #[test]
+    fn path_zero_or_more_includes_self() {
+        let rs = run(
+            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows* ?z }",
+        );
+        assert_eq!(rs.len(), 4); // a, b, c, d
+    }
+
+    #[test]
+    fn path_inverse() {
+        let rs = run(
+            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?x WHERE { e:a ^v:likes ?x }",
+        );
+        assert_eq!(rs.first("x").and_then(|t| t.as_iri()), Some("http://e/x"));
+    }
+
+    #[test]
+    fn path_alternative() {
+        let rs = run(
+            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?y WHERE { ?x v:likes|v:knows ?y }",
+        );
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn predicate_variable() {
+        let rs = run(
+            "PREFIX e: <http://e/> SELECT ?p WHERE { e:a ?p ?o }",
+        );
+        assert!(rs.len() >= 4); // knows, type, age, name
+    }
+
+    #[test]
+    fn order_by_limit_offset() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT ?x ?a WHERE { ?x v:age ?a } ORDER BY DESC(?a) LIMIT 1",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(
+            rs.first("a").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            Some(30)
+        );
+        let rs2 = run(
+            "PREFIX v: <http://v/> SELECT ?x ?a WHERE { ?x v:age ?a } ORDER BY ?a OFFSET 1",
+        );
+        assert_eq!(rs2.len(), 1);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT DISTINCT ?p WHERE { ?s v:knows ?o . ?s ?p ?o }",
+        );
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn projecting_unknown_var_errors() {
+        let g = graph();
+        let q = parse("SELECT ?zzz WHERE { ?x <http://v/knows> ?y }").unwrap();
+        assert!(matches!(execute(&g, &q), Err(QueryError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn unknown_constant_yields_empty() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:knows <http://e/never-seen> }",
+        );
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn contains_filter_on_literal() {
+        let rs = run(
+            r#"PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:name ?n FILTER(CONTAINS(STR(?n), "lic")) }"#,
+        );
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn same_variable_twice_in_pattern() {
+        let mut g = graph();
+        g.insert_iri("http://e/loop", "http://v/knows", "http://e/loop");
+        let q = parse("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:knows ?x }").unwrap();
+        let rs = execute(&g, &q).unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.first("x").and_then(|t| t.as_iri()), Some("http://e/loop"));
+    }
+
+    #[test]
+    fn count_star_counts_solutions() {
+        let rs = run("PREFIX v: <http://v/> SELECT (COUNT(*) AS ?n) WHERE { ?x v:knows ?y }");
+        assert_eq!(rs.vars, vec!["n"]);
+        assert_eq!(
+            rs.first("n").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn count_group_by() {
+        let rs = run(
+            "SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?n)",
+        );
+        assert_eq!(rs.len(), 5); // knows, type, age, name, likes
+        // `knows` has 3 triples and must rank first
+        assert_eq!(
+            rs.rows[0][0].as_ref().and_then(|t| t.as_iri()),
+            Some("http://v/knows")
+        );
+        assert_eq!(
+            rs.rows[0][1].as_ref().and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?s ?p ?o }",
+        );
+        let n = rs.first("n").and_then(|t| t.as_literal()).and_then(|l| l.as_integer());
+        assert_eq!(n, Some(5)); // knows, type, age, name, likes
+    }
+
+    #[test]
+    fn count_over_empty_pattern_is_zero() {
+        let rs = run(
+            "PREFIX v: <http://v/> SELECT (COUNT(*) AS ?n) WHERE { ?x v:never ?y }",
+        );
+        assert_eq!(
+            rs.first("n").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn projecting_non_grouped_var_is_an_error() {
+        let g = graph();
+        let q = parse(
+            "PREFIX v: <http://v/> SELECT ?y (COUNT(*) AS ?n) WHERE { ?x v:knows ?y } GROUP BY ?x",
+        )
+        .unwrap();
+        assert!(matches!(execute(&g, &q), Err(QueryError::Unsupported(_))));
+    }
+
+    #[test]
+    fn filter_eq_on_iri() {
+        let rs = run(
+            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?y WHERE { ?x v:knows ?y FILTER(?x = e:a) }",
+        );
+        assert_eq!(rs.len(), 1);
+    }
+}

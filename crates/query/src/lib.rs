@@ -1,0 +1,46 @@
+//! # kgquery — declarative query substrate (SPARQL subset + Cypher-lite)
+//!
+//! The survey's LLM-KG cooperation tasks (text-to-SPARQL, querying LLMs
+//! with SPARQL, KGQA) need an actual query engine to execute against. This
+//! crate provides one, built DataFusion-style as parser → algebra →
+//! optimizer → volcano executor:
+//!
+//! * [`parser`] — a recursive-descent parser for a practical SPARQL subset:
+//!   `PREFIX`, `SELECT [DISTINCT]` / `ASK`, basic graph patterns, `FILTER`,
+//!   `OPTIONAL`, `UNION`, property paths (`p/q`, `p|q`, `^p`, `p+`, `p*`),
+//!   `ORDER BY`, `LIMIT` / `OFFSET`;
+//! * [`algebra`] — the logical plan plus a greedy selectivity-driven
+//!   reordering of triple patterns (cheapest-first with bound-variable
+//!   propagation);
+//! * [`exec`] — binding-set evaluation over [`kg::Graph`], including BFS
+//!   evaluation of transitive path operators;
+//! * [`cypher`] — a Cypher-lite front-end (`MATCH … WHERE … RETURN`)
+//!   compiled onto the same algebra, covering the survey's "SPARQL or
+//!   Cypher" framing of query generation;
+//! * [`results`] — a tabular result set with deterministic ordering.
+
+pub mod error;
+pub mod ast;
+pub mod parser;
+pub mod algebra;
+pub mod exec;
+pub mod results;
+pub mod cypher;
+
+pub use ast::{Query, QueryKind};
+pub use error::QueryError;
+pub use results::ResultSet;
+
+use kg::Graph;
+
+/// Parse and execute a SPARQL query against a graph.
+pub fn execute_sparql(graph: &Graph, query: &str) -> Result<ResultSet, QueryError> {
+    let q = parser::parse(query)?;
+    exec::execute(graph, &q)
+}
+
+/// Parse and execute a Cypher-lite query against a graph.
+pub fn execute_cypher(graph: &Graph, query: &str) -> Result<ResultSet, QueryError> {
+    let q = cypher::parse(query)?;
+    exec::execute(graph, &q)
+}

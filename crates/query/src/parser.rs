@@ -1,0 +1,884 @@
+//! Recursive-descent parser for the SPARQL subset.
+
+use std::collections::HashMap;
+
+use kg::namespace as ns;
+use kg::term::{Literal, Term};
+
+use crate::ast::*;
+use crate::error::QueryError;
+
+type Result<T> = std::result::Result<T, QueryError>;
+
+/// Parse a SPARQL query string.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Keyword(String), // uppercased
+    Var(String),
+    Iri(String),
+    PrefixedName(String, String),
+    PrefixDecl(String), // "name" from `name:` in PREFIX position handled ad hoc
+    Str(String),
+    Int(i64),
+    Double(f64),
+    Punct(&'static str),
+    A,
+    Star,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "PREFIX", "SELECT", "DISTINCT", "WHERE", "ASK", "FILTER", "OPTIONAL", "UNION", "ORDER",
+    "BY", "ASC", "DESC", "LIMIT", "OFFSET", "BOUND", "CONTAINS", "STR", "TRUE", "FALSE",
+    "COUNT", "AS", "GROUP",
+];
+
+fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let err = |line: usize, col: usize, m: String| QueryError::Parse { line, column: col, message: m };
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line, col })
+        };
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize, chars: &[char]| {
+            for _ in 0..n {
+                if chars[*i] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+                *i += 1;
+            }
+        };
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1, &chars);
+            continue;
+        }
+        if c == '#' {
+            while i < chars.len() && chars[i] != '\n' {
+                advance(&mut i, &mut line, &mut col, 1, &chars);
+            }
+            continue;
+        }
+        match c {
+            '<' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                push!(Tok::Punct("<="));
+                advance(&mut i, &mut line, &mut col, 2, &chars);
+            }
+            '<' => {
+                // IRI or '<'
+                let mut j = i + 1;
+                let mut iri = String::new();
+                let mut ok = false;
+                while j < chars.len() {
+                    if chars[j] == '>' {
+                        ok = true;
+                        break;
+                    }
+                    if chars[j].is_whitespace() {
+                        break;
+                    }
+                    iri.push(chars[j]);
+                    j += 1;
+                }
+                if ok && ns::is_valid_iri(&iri) {
+                    push!(Tok::Iri(iri));
+                    let n = j - i + 1;
+                    advance(&mut i, &mut line, &mut col, n, &chars);
+                } else {
+                    push!(Tok::Punct("<"));
+                    advance(&mut i, &mut line, &mut col, 1, &chars);
+                }
+            }
+            '?' | '$' => {
+                let mut j = i + 1;
+                let mut name = String::new();
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    name.push(chars[j]);
+                    j += 1;
+                }
+                if name.is_empty() {
+                    return Err(err(line, col, "empty variable name".into()));
+                }
+                push!(Tok::Var(name));
+                let n = j - i;
+                advance(&mut i, &mut line, &mut col, n, &chars);
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while j < chars.len() {
+                    match chars[j] {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' if j + 1 < chars.len() => {
+                            let esc = chars[j + 1];
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            j += 2;
+                        }
+                        other => {
+                            s.push(other);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(err(line, col, "unterminated string".into()));
+                }
+                push!(Tok::Str(s));
+                let n = j - i + 1;
+                advance(&mut i, &mut line, &mut col, n, &chars);
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut num = String::new();
+                let mut is_double = false;
+                while j < chars.len() {
+                    let d = chars[j];
+                    if d.is_ascii_digit() {
+                        num.push(d);
+                        j += 1;
+                    } else if d == '.' && j + 1 < chars.len() && chars[j + 1].is_ascii_digit() {
+                        is_double = true;
+                        num.push(d);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if is_double {
+                    let v: f64 = num
+                        .parse()
+                        .map_err(|_| err(line, col, format!("bad number {num}")))?;
+                    push!(Tok::Double(v));
+                } else {
+                    let v: i64 = num
+                        .parse()
+                        .map_err(|_| err(line, col, format!("bad number {num}")))?;
+                    push!(Tok::Int(v));
+                }
+                let n = j - i;
+                advance(&mut i, &mut line, &mut col, n, &chars);
+            }
+            '{' | '}' | '(' | ')' | '.' | ';' | ',' | '/' | '^' | '+' => {
+                let p: &'static str = match c {
+                    '{' => "{",
+                    '}' => "}",
+                    '(' => "(",
+                    ')' => ")",
+                    '.' => ".",
+                    ';' => ";",
+                    ',' => ",",
+                    '/' => "/",
+                    '^' => "^",
+                    _ => "+",
+                };
+                push!(Tok::Punct(p));
+                advance(&mut i, &mut line, &mut col, 1, &chars);
+            }
+            '*' => {
+                push!(Tok::Star);
+                advance(&mut i, &mut line, &mut col, 1, &chars);
+            }
+            '|' if i + 1 < chars.len() && chars[i + 1] == '|' => {
+                push!(Tok::Punct("||"));
+                advance(&mut i, &mut line, &mut col, 2, &chars);
+            }
+            '|' => {
+                push!(Tok::Punct("|"));
+                advance(&mut i, &mut line, &mut col, 1, &chars);
+            }
+            '&' if i + 1 < chars.len() && chars[i + 1] == '&' => {
+                push!(Tok::Punct("&&"));
+                advance(&mut i, &mut line, &mut col, 2, &chars);
+            }
+            '=' => {
+                push!(Tok::Punct("="));
+                advance(&mut i, &mut line, &mut col, 1, &chars);
+            }
+            '!' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                push!(Tok::Punct("!="));
+                advance(&mut i, &mut line, &mut col, 2, &chars);
+            }
+            '!' => {
+                push!(Tok::Punct("!"));
+                advance(&mut i, &mut line, &mut col, 1, &chars);
+            }
+            '>' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                push!(Tok::Punct(">="));
+                advance(&mut i, &mut line, &mut col, 2, &chars);
+            }
+            '>' => {
+                push!(Tok::Punct(">"));
+                advance(&mut i, &mut line, &mut col, 1, &chars);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut word = String::new();
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '-')
+                {
+                    word.push(chars[j]);
+                    j += 1;
+                }
+                // prefixed name?
+                if j < chars.len() && chars[j] == ':' {
+                    let prefix = word;
+                    let mut k = j + 1;
+                    let mut local = String::new();
+                    while k < chars.len() && (chars[k].is_alphanumeric() || chars[k] == '_') {
+                        local.push(chars[k]);
+                        k += 1;
+                    }
+                    if local.is_empty() {
+                        push!(Tok::PrefixDecl(prefix));
+                    } else {
+                        push!(Tok::PrefixedName(prefix, local));
+                    }
+                    let n = k - i;
+                    advance(&mut i, &mut line, &mut col, n, &chars);
+                } else if word == "a" {
+                    push!(Tok::A);
+                    let n = j - i;
+                advance(&mut i, &mut line, &mut col, n, &chars);
+                } else {
+                    let upper = word.to_uppercase();
+                    if KEYWORDS.contains(&upper.as_str()) {
+                        push!(Tok::Keyword(upper));
+                    } else {
+                        return Err(err(line, col, format!("unexpected word '{word}'")));
+                    }
+                    let n = j - i;
+                advance(&mut i, &mut line, &mut col, n, &chars);
+                }
+            }
+            other => return Err(err(line, col, format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((1, 1))
+    }
+
+    fn err(&self, m: impl Into<String>) -> QueryError {
+        let (line, column) = self.here();
+        QueryError::Parse { line, column, message: m.into() }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(x)) if *x == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{p}'")))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Keyword(x)) if x == k) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("trailing tokens after query"))
+        }
+    }
+
+    fn resolve_prefixed(&self, prefix: &str, local: &str) -> Result<String> {
+        match self.prefixes.get(prefix) {
+            Some(nsiri) => Ok(format!("{nsiri}{local}")),
+            None => Err(self.err(format!("unknown prefix '{prefix}:'"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query> {
+        // prologue
+        while self.eat_keyword("PREFIX") {
+            let name = match self.bump() {
+                Some(Tok::PrefixDecl(n)) => n,
+                Some(Tok::PrefixedName(n, l)) if l.is_empty() => n,
+                _ => return Err(self.err("expected prefix name before ':'")),
+            };
+            let iri = match self.bump() {
+                Some(Tok::Iri(i)) => i,
+                _ => return Err(self.err("expected <iri> in PREFIX")),
+            };
+            self.prefixes.insert(name, iri);
+        }
+        let mut aggregate: Option<CountAgg> = None;
+        let kind = if self.eat_keyword("SELECT") {
+            let distinct = self.eat_keyword("DISTINCT");
+            let mut vars = Vec::new();
+            if matches!(self.peek(), Some(Tok::Star)) {
+                self.bump();
+            } else {
+                loop {
+                    match self.peek() {
+                        Some(Tok::Var(_)) => {
+                            if let Some(Tok::Var(v)) = self.bump() {
+                                vars.push(v);
+                            }
+                        }
+                        Some(Tok::Punct("(")) => {
+                            self.bump();
+                            if !self.eat_keyword("COUNT") {
+                                return Err(self.err("expected COUNT in aggregate"));
+                            }
+                            self.expect_punct("(")?;
+                            let agg_distinct = self.eat_keyword("DISTINCT");
+                            let var = match self.peek() {
+                                Some(Tok::Star) => {
+                                    self.bump();
+                                    None
+                                }
+                                Some(Tok::Var(_)) => match self.bump() {
+                                    Some(Tok::Var(v)) => Some(v),
+                                    _ => unreachable!("peeked a var"),
+                                },
+                                _ => return Err(self.err("COUNT expects ?var or *")),
+                            };
+                            self.expect_punct(")")?;
+                            if !self.eat_keyword("AS") {
+                                return Err(self.err("expected AS in aggregate"));
+                            }
+                            let alias = match self.bump() {
+                                Some(Tok::Var(v)) => v,
+                                _ => return Err(self.err("expected ?alias after AS")),
+                            };
+                            self.expect_punct(")")?;
+                            if aggregate.is_some() {
+                                return Err(self.err("only one aggregate is supported"));
+                            }
+                            vars.push(alias.clone());
+                            aggregate = Some(CountAgg { var, distinct: agg_distinct, alias });
+                        }
+                        _ => break,
+                    }
+                }
+                if vars.is_empty() {
+                    return Err(self.err("SELECT needs ?vars, an aggregate, or *"));
+                }
+            }
+            QueryKind::Select { vars, distinct }
+        } else if self.eat_keyword("ASK") {
+            QueryKind::Ask
+        } else {
+            return Err(self.err("expected SELECT or ASK"));
+        };
+        self.eat_keyword("WHERE");
+        let pattern = self.parse_group()?;
+        // modifiers
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            if !self.eat_keyword("BY") {
+                return Err(self.err("expected BY after GROUP"));
+            }
+            while let Some(Tok::Var(_)) = self.peek() {
+                if let Some(Tok::Var(v)) = self.bump() {
+                    group_by.push(v);
+                }
+            }
+            if group_by.is_empty() {
+                return Err(self.err("GROUP BY needs at least one variable"));
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            if !self.eat_keyword("BY") {
+                return Err(self.err("expected BY after ORDER"));
+            }
+            loop {
+                match self.peek() {
+                    Some(Tok::Var(_)) => {
+                        if let Some(Tok::Var(v)) = self.bump() {
+                            order_by.push((v, Order::Asc));
+                        }
+                    }
+                    Some(Tok::Keyword(k)) if k == "ASC" || k == "DESC" => {
+                        let dir = if k == "ASC" { Order::Asc } else { Order::Desc };
+                        self.bump();
+                        self.expect_punct("(")?;
+                        let v = match self.bump() {
+                            Some(Tok::Var(v)) => v,
+                            _ => return Err(self.err("expected variable in ORDER BY")),
+                        };
+                        self.expect_punct(")")?;
+                        order_by.push((v, dir));
+                    }
+                    _ => break,
+                }
+            }
+            if order_by.is_empty() {
+                return Err(self.err("ORDER BY needs at least one key"));
+            }
+        }
+        let mut limit = None;
+        let mut offset = 0;
+        loop {
+            if self.eat_keyword("LIMIT") {
+                match self.bump() {
+                    Some(Tok::Int(n)) if n >= 0 => limit = Some(n as usize),
+                    _ => return Err(self.err("expected non-negative integer after LIMIT")),
+                }
+            } else if self.eat_keyword("OFFSET") {
+                match self.bump() {
+                    Some(Tok::Int(n)) if n >= 0 => offset = n as usize,
+                    _ => return Err(self.err("expected non-negative integer after OFFSET")),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(Query { kind, pattern, order_by, limit, offset, aggregate, group_by })
+    }
+
+    fn parse_group(&mut self) -> Result<GroupPattern> {
+        self.expect_punct("{")?;
+        let mut elems = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Punct("}")) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Keyword(k)) if k == "FILTER" => {
+                    self.bump();
+                    self.expect_punct("(")?;
+                    let e = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    elems.push(PatternElem::Filter(e));
+                    self.eat_punct(".");
+                }
+                Some(Tok::Keyword(k)) if k == "OPTIONAL" => {
+                    self.bump();
+                    let g = self.parse_group()?;
+                    elems.push(PatternElem::Optional(g));
+                    self.eat_punct(".");
+                }
+                Some(Tok::Punct("{")) => {
+                    let left = self.parse_group()?;
+                    if self.eat_keyword("UNION") {
+                        let right = self.parse_group()?;
+                        elems.push(PatternElem::Union(left, right));
+                    } else {
+                        // nested group: flatten
+                        elems.extend(left.elems);
+                    }
+                    self.eat_punct(".");
+                }
+                Some(_) => {
+                    self.parse_triples(&mut elems)?;
+                }
+                None => return Err(self.err("unterminated group pattern")),
+            }
+        }
+        Ok(GroupPattern { elems })
+    }
+
+    fn parse_triples(&mut self, elems: &mut Vec<PatternElem>) -> Result<()> {
+        let s = self.parse_node()?;
+        loop {
+            let p = self.parse_path()?;
+            loop {
+                let o = self.parse_node()?;
+                elems.push(PatternElem::Triple(TriplePatternAst {
+                    s: s.clone(),
+                    p: p.clone(),
+                    o,
+                }));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+            if self.eat_punct(";") {
+                // allow trailing ';' before '.' or '}'
+                if matches!(self.peek(), Some(Tok::Punct(".")) | Some(Tok::Punct("}"))) {
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        self.eat_punct(".");
+        Ok(())
+    }
+
+    fn parse_node(&mut self) -> Result<NodeRef> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(NodeRef::Var(v)),
+            Some(Tok::Iri(i)) => Ok(NodeRef::Const(Term::iri(i))),
+            Some(Tok::PrefixedName(p, l)) => {
+                Ok(NodeRef::Const(Term::iri(self.resolve_prefixed(&p, &l)?)))
+            }
+            Some(Tok::Str(s)) => Ok(NodeRef::Const(Term::lit(s))),
+            Some(Tok::Int(n)) => Ok(NodeRef::Const(Term::int(n))),
+            Some(Tok::Double(d)) => Ok(NodeRef::Const(Term::Literal(Literal::double(d)))),
+            Some(Tok::Keyword(k)) if k == "TRUE" || k == "FALSE" => {
+                Ok(NodeRef::Const(Term::Literal(Literal::boolean(k == "TRUE"))))
+            }
+            _ => Err(self.err("expected a variable, IRI, or literal")),
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<PropPath> {
+        let mut left = self.parse_path_seq()?;
+        while self.eat_punct("|") {
+            let right = self.parse_path_seq()?;
+            left = PropPath::Alt(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_path_seq(&mut self) -> Result<PropPath> {
+        let mut left = self.parse_path_elt()?;
+        while self.eat_punct("/") {
+            let right = self.parse_path_elt()?;
+            left = PropPath::Seq(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_path_elt(&mut self) -> Result<PropPath> {
+        let inverse = self.eat_punct("^");
+        let mut base = match self.bump() {
+            Some(Tok::Iri(i)) => PropPath::Iri(i),
+            Some(Tok::PrefixedName(p, l)) => PropPath::Iri(self.resolve_prefixed(&p, &l)?),
+            Some(Tok::A) => PropPath::Iri(ns::RDF_TYPE.to_string()),
+            Some(Tok::Var(v)) => PropPath::Var(v),
+            Some(Tok::Punct("(")) => {
+                let inner = self.parse_path()?;
+                self.expect_punct(")")?;
+                inner
+            }
+            _ => return Err(self.err("expected a predicate path")),
+        };
+        if self.eat_punct("+") {
+            base = PropPath::OneOrMore(Box::new(base));
+        } else if matches!(self.peek(), Some(Tok::Star)) {
+            self.bump();
+            base = PropPath::ZeroOrMore(Box::new(base));
+        }
+        if inverse {
+            base = PropPath::Inverse(Box::new(base));
+        }
+        Ok(base)
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_punct("||") {
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        while self.eat_punct("&&") {
+            let right = self.parse_unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_punct("!") {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr> {
+        let left = self.parse_primary_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Punct(p @ ("=" | "!=" | "<" | "<=" | ">" | ">="))) => {
+                let p = *p;
+                self.bump();
+                p
+            }
+            _ => return Ok(left),
+        };
+        let right = self.parse_primary_expr()?;
+        Ok(match op {
+            "=" => Expr::Eq(Box::new(left), Box::new(right)),
+            "!=" => Expr::Ne(Box::new(left), Box::new(right)),
+            "<" => Expr::Lt(Box::new(left), Box::new(right)),
+            "<=" => Expr::Le(Box::new(left), Box::new(right)),
+            ">" => Expr::Gt(Box::new(left), Box::new(right)),
+            _ => Expr::Ge(Box::new(left), Box::new(right)),
+        })
+    }
+
+    fn parse_primary_expr(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Tok::Var(v)) => Ok(Expr::Var(v)),
+            Some(Tok::Str(s)) => Ok(Expr::Const(Term::lit(s))),
+            Some(Tok::Int(n)) => Ok(Expr::Const(Term::int(n))),
+            Some(Tok::Double(d)) => Ok(Expr::Const(Term::Literal(Literal::double(d)))),
+            Some(Tok::Iri(i)) => Ok(Expr::Const(Term::iri(i))),
+            Some(Tok::PrefixedName(p, l)) => {
+                Ok(Expr::Const(Term::iri(self.resolve_prefixed(&p, &l)?)))
+            }
+            Some(Tok::Keyword(k)) if k == "BOUND" => {
+                self.expect_punct("(")?;
+                let v = match self.bump() {
+                    Some(Tok::Var(v)) => v,
+                    _ => return Err(self.err("BOUND expects a variable")),
+                };
+                self.expect_punct(")")?;
+                Ok(Expr::Bound(v))
+            }
+            Some(Tok::Keyword(k)) if k == "CONTAINS" => {
+                self.expect_punct("(")?;
+                // allow CONTAINS(STR(?v), "lit") or CONTAINS(?v, "lit")
+                let inner = if self.eat_keyword("STR") {
+                    self.expect_punct("(")?;
+                    let e = self.parse_primary_expr()?;
+                    self.expect_punct(")")?;
+                    e
+                } else {
+                    self.parse_primary_expr()?
+                };
+                self.expect_punct(",")?;
+                let needle = match self.bump() {
+                    Some(Tok::Str(s)) => s,
+                    _ => return Err(self.err("CONTAINS expects a string literal")),
+                };
+                self.expect_punct(")")?;
+                Ok(Expr::Contains(Box::new(inner), needle))
+            }
+            Some(Tok::Keyword(k)) if k == "TRUE" || k == "FALSE" => {
+                Ok(Expr::Const(Term::Literal(Literal::boolean(k == "TRUE"))))
+            }
+            Some(Tok::Punct("(")) => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            _ => Err(self.err("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_select() {
+        let q = parse(
+            "PREFIX v: <http://v/> SELECT ?f ?d WHERE { ?f v:directedBy ?d . } LIMIT 10",
+        )
+        .unwrap();
+        match &q.kind {
+            QueryKind::Select { vars, distinct } => {
+                assert_eq!(vars, &["f", "d"]);
+                assert!(!distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.pattern.elems.len(), 1);
+    }
+
+    #[test]
+    fn parses_select_star_and_distinct() {
+        let q = parse("SELECT DISTINCT * WHERE { ?s ?p ?o }").unwrap();
+        match &q.kind {
+            QueryKind::Select { vars, distinct } => {
+                assert!(vars.is_empty());
+                assert!(*distinct);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_ask() {
+        let q = parse("ASK { <http://e/a> <http://v/p> <http://e/b> }").unwrap();
+        assert_eq!(q.kind, QueryKind::Ask);
+    }
+
+    #[test]
+    fn parses_semicolon_and_comma() {
+        let q = parse(
+            "PREFIX v: <http://v/> SELECT * WHERE { ?f a v:Film ; v:starring ?a, ?b . }",
+        )
+        .unwrap();
+        assert_eq!(q.pattern.elems.len(), 3);
+    }
+
+    #[test]
+    fn parses_filter_and_optional_and_union() {
+        let q = parse(
+            r#"PREFIX v: <http://v/>
+            SELECT ?x WHERE {
+                { ?x v:p ?y } UNION { ?x v:q ?y }
+                OPTIONAL { ?y v:r ?z }
+                FILTER(?y != ?z && BOUND(?z))
+            }"#,
+        )
+        .unwrap();
+        let kinds: Vec<&str> = q
+            .pattern
+            .elems
+            .iter()
+            .map(|e| match e {
+                PatternElem::Triple(_) => "t",
+                PatternElem::Filter(_) => "f",
+                PatternElem::Optional(_) => "o",
+                PatternElem::Union(_, _) => "u",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["u", "o", "f"]);
+    }
+
+    #[test]
+    fn parses_property_paths() {
+        let q = parse(
+            "PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:p/v:q+ ?y . ?y ^v:r ?z . ?z v:a|v:b ?w }",
+        )
+        .unwrap();
+        let paths: Vec<&PropPath> = q
+            .pattern
+            .elems
+            .iter()
+            .filter_map(|e| match e {
+                PatternElem::Triple(t) => Some(&t.p),
+                _ => None,
+            })
+            .collect();
+        assert!(matches!(paths[0], PropPath::Seq(_, _)));
+        assert!(matches!(paths[1], PropPath::Inverse(_)));
+        assert!(matches!(paths[2], PropPath::Alt(_, _)));
+    }
+
+    #[test]
+    fn parses_zero_or_more_star() {
+        let q = parse("SELECT ?x WHERE { ?x <http://v/p>* ?y }").unwrap();
+        match &q.pattern.elems[0] {
+            PatternElem::Triple(t) => assert!(matches!(t.p, PropPath::ZeroOrMore(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_by_and_offset() {
+        let q = parse("SELECT ?x WHERE { ?x <http://v/p> ?y } ORDER BY DESC(?y) ?x OFFSET 5")
+            .unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.order_by[0], ("y".to_string(), Order::Desc));
+        assert_eq!(q.order_by[1], ("x".to_string(), Order::Asc));
+        assert_eq!(q.offset, 5);
+    }
+
+    #[test]
+    fn parses_a_keyword_as_rdf_type() {
+        let q = parse("SELECT ?x WHERE { ?x a <http://v/Film> }").unwrap();
+        match &q.pattern.elems[0] {
+            PatternElem::Triple(t) => {
+                assert_eq!(t.p, PropPath::Iri(ns::RDF_TYPE.to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_unknown_prefix() {
+        let e = parse("SELECT ?x WHERE { ?x zz:p ?y }").unwrap_err();
+        assert!(e.to_string().contains("unknown prefix"), "{e}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse("SELECT ?x WHERE { ?x ??? }").unwrap_err();
+        match e {
+            QueryError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        assert!(parse("ASK { ?s ?p ?o } garbage-trailing <x>").is_err());
+    }
+
+    #[test]
+    fn parses_contains_filter() {
+        let q = parse(r#"SELECT ?x WHERE { ?x <http://v/name> ?n FILTER(CONTAINS(STR(?n), "ali")) }"#)
+            .unwrap();
+        assert!(matches!(
+            q.pattern.elems[1],
+            PatternElem::Filter(Expr::Contains(_, _))
+        ));
+    }
+}

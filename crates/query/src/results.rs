@@ -1,0 +1,137 @@
+//! Tabular query results.
+
+use kg::Term;
+
+/// The result of executing a query: either an ASK boolean or a table of
+/// variable bindings (cells are `None` when a variable is unbound in a
+/// row, e.g. under `OPTIONAL`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Projected variable names (empty for ASK).
+    pub vars: Vec<String>,
+    /// Rows of resolved terms, aligned with `vars`.
+    pub rows: Vec<Vec<Option<Term>>>,
+    /// For ASK queries: the boolean answer.
+    pub ask: Option<bool>,
+}
+
+impl ResultSet {
+    /// An ASK result.
+    pub fn ask(value: bool) -> Self {
+        ResultSet { vars: Vec::new(), rows: Vec::new(), ask: Some(value) }
+    }
+
+    /// A SELECT result.
+    pub fn select(vars: Vec<String>, rows: Vec<Vec<Option<Term>>>) -> Self {
+        ResultSet { vars, rows, ask: None }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows (ASK results count as empty tables).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column index of a variable.
+    pub fn column(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// Iterate the values of one variable across rows (skipping unbound).
+    pub fn values(&self, var: &str) -> Vec<&Term> {
+        match self.column(var) {
+            Some(i) => self.rows.iter().filter_map(|r| r[i].as_ref()).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// First value of a variable, if any row binds it.
+    pub fn first(&self, var: &str) -> Option<&Term> {
+        self.values(var).into_iter().next()
+    }
+
+    /// Render as a simple aligned text table (for examples and debugging).
+    pub fn to_table(&self) -> String {
+        if let Some(b) = self.ask {
+            return format!("ASK → {b}\n");
+        }
+        let mut widths: Vec<usize> = self.vars.iter().map(|v| v.len() + 1).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.as_ref().map(term_short).unwrap_or_default();
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        for (i, v) in self.vars.iter().enumerate() {
+            out.push_str(&format!("{:width$}  ", format!("?{v}"), width = widths[i]));
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                out.push_str(&format!("{:width$}  ", c, width = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn term_short(t: &Term) -> String {
+    match t {
+        Term::Iri(i) => kg::namespace::local_name(i).to_string(),
+        Term::Literal(l) => l.lexical.clone(),
+        Term::Blank(b) => format!("_:{b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_accessors() {
+        let rs = ResultSet::select(
+            vec!["x".into(), "y".into()],
+            vec![
+                vec![Some(Term::iri("http://e/a")), Some(Term::int(1))],
+                vec![Some(Term::iri("http://e/b")), None],
+            ],
+        );
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.column("y"), Some(1));
+        assert_eq!(rs.values("y").len(), 1);
+        assert_eq!(rs.first("x"), Some(&Term::iri("http://e/a")));
+        assert!(rs.first("z").is_none());
+    }
+
+    #[test]
+    fn ask_renders() {
+        let rs = ResultSet::ask(true);
+        assert_eq!(rs.ask, Some(true));
+        assert!(rs.to_table().contains("true"));
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let rs = ResultSet::select(
+            vec!["x".into()],
+            vec![vec![Some(Term::iri("http://e/alpha"))]],
+        );
+        let t = rs.to_table();
+        assert!(t.contains("?x"));
+        assert!(t.contains("alpha"));
+    }
+}

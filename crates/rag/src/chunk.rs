@@ -1,0 +1,75 @@
+//! Sentence-window chunking.
+
+use slm::tokenizer::split_sentences;
+
+/// A chunk of source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Chunk id (position in the chunk stream).
+    pub id: usize,
+    /// The chunk text.
+    pub text: String,
+    /// Index of the first source sentence included.
+    pub start_sentence: usize,
+}
+
+/// Split text into chunks of `window` sentences with `overlap` sentences
+/// shared between consecutive chunks.
+pub fn chunk_sentences(text: &str, window: usize, overlap: usize) -> Vec<Chunk> {
+    let sentences = split_sentences(text);
+    let window = window.max(1);
+    let stride = window.saturating_sub(overlap).max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut id = 0usize;
+    while start < sentences.len() {
+        let end = (start + window).min(sentences.len());
+        out.push(Chunk {
+            id,
+            text: sentences[start..end].join(". "),
+            start_sentence: start,
+        });
+        id += 1;
+        if end == sentences.len() {
+            break;
+        }
+        start += stride;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_sentences() {
+        let text = "One. Two. Three. Four. Five.";
+        let chunks = chunk_sentences(text, 2, 1);
+        assert!(chunks.iter().any(|c| c.text.contains("One")));
+        assert!(chunks.iter().any(|c| c.text.contains("Five")));
+        // overlap: "Two" appears in two chunks
+        let with_two = chunks.iter().filter(|c| c.text.contains("Two")).count();
+        assert_eq!(with_two, 2);
+    }
+
+    #[test]
+    fn degenerate_params_are_clamped() {
+        let chunks = chunk_sentences("A. B. C.", 0, 5);
+        assert!(!chunks.is_empty());
+        assert!(chunks.len() <= 3);
+    }
+
+    #[test]
+    fn empty_text_gives_no_chunks() {
+        assert!(chunk_sentences("", 3, 1).is_empty());
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let chunks = chunk_sentences("A. B. C. D. E. F.", 2, 0);
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.id, i);
+        }
+    }
+}

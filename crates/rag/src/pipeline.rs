@@ -1,0 +1,309 @@
+//! The RAG ladder: closed-book → Naive → Advanced → Modular (paper §3).
+
+use kg::namespace as ns;
+use kg::Graph;
+use slm::Slm;
+
+use crate::chunk::Chunk;
+use crate::vector::VectorIndex;
+
+/// Which rung of the RAG ladder to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RagMode {
+    /// No retrieval: the LM answers from parametric knowledge alone.
+    ClosedBook,
+    /// Index → embed query → top-k chunks → generate \[30\].
+    Naive,
+    /// Naive plus query expansion from a first retrieval round and
+    /// lexical+semantic reranking \[30\].
+    Advanced,
+    /// Router: structured KG lookup (KnowledgeGPT-style search program)
+    /// when the query mentions a KG entity, vector retrieval otherwise
+    /// \[30, 84\].
+    Modular,
+}
+
+impl RagMode {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RagMode::ClosedBook => "closed-book",
+            RagMode::Naive => "naive-rag",
+            RagMode::Advanced => "advanced-rag",
+            RagMode::Modular => "modular-rag",
+        }
+    }
+
+    /// All modes.
+    pub fn all() -> [RagMode; 4] {
+        [RagMode::ClosedBook, RagMode::Naive, RagMode::Advanced, RagMode::Modular]
+    }
+}
+
+/// A RAG answer with provenance.
+#[derive(Debug, Clone)]
+pub struct RagAnswer {
+    /// The answer text (empty = abstained).
+    pub text: String,
+    /// Chunk ids used as context.
+    pub retrieved: Vec<usize>,
+    /// Whether the LM answered without evidence (measurable hallucination).
+    pub hallucinated: bool,
+    /// Evidence confidence.
+    pub confidence: f64,
+    /// Which module produced the answer (`"vector"`, `"kg-lookup"`, `"parametric"`).
+    pub module: &'static str,
+    /// For the modular mode: the generated search program (KnowledgeGPT's
+    /// "search code"), for observability.
+    pub search_program: Option<String>,
+}
+
+/// A configured RAG pipeline over a chunked corpus and (optionally) a KG.
+pub struct RagPipeline<'a> {
+    slm: &'a Slm,
+    chunks: Vec<Chunk>,
+    index: VectorIndex,
+    graph: Option<&'a Graph>,
+    /// Top-k chunks to retrieve.
+    pub k: usize,
+}
+
+impl<'a> RagPipeline<'a> {
+    /// Build: embeds every chunk with the LM's embedder.
+    pub fn new(slm: &'a Slm, chunks: Vec<Chunk>, graph: Option<&'a Graph>) -> Self {
+        let vectors = chunks.iter().map(|c| slm.embed(&c.text)).collect();
+        let index = VectorIndex::build(vectors, 0, 0);
+        RagPipeline { slm, chunks, index, graph, k: 4 }
+    }
+
+    /// Answer a question under a mode.
+    pub fn answer(&self, mode: RagMode, question: &str) -> RagAnswer {
+        match mode {
+            RagMode::ClosedBook => {
+                let a = self.slm.answer(question, &[]);
+                RagAnswer {
+                    text: a.text,
+                    retrieved: Vec::new(),
+                    hallucinated: a.hallucinated,
+                    confidence: a.confidence,
+                    module: "parametric",
+                    search_program: None,
+                }
+            }
+            RagMode::Naive => {
+                let hits = self.index.search_exact(&self.slm.embed(question), self.k);
+                self.answer_with_chunks(question, &hits, "vector", None)
+            }
+            RagMode::Advanced => {
+                // round 1: retrieve, harvest expansion terms
+                let first = self.index.search_exact(&self.slm.embed(question), self.k);
+                let mut expanded = question.to_string();
+                for &(id, _) in first.iter().take(2) {
+                    for span in slm::task::capitalized_spans(&self.chunks[id].text) {
+                        if !expanded.contains(&span) {
+                            expanded.push(' ');
+                            expanded.push_str(&span);
+                        }
+                    }
+                }
+                // round 2: retrieve with the expanded query, then rerank by
+                // blended semantic + lexical score against the ORIGINAL query
+                let candidates =
+                    self.index.search_exact(&self.slm.embed(&expanded), self.k * 2);
+                let lexical = slm::EvidenceIndex::from_sentences(
+                    candidates.iter().map(|&(id, _)| self.chunks[id].text.as_str()),
+                );
+                let mut reranked: Vec<(usize, f32)> = candidates
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &(id, sem))| {
+                        let lex = lexical
+                            .retrieve(question, candidates.len())
+                            .into_iter()
+                            .find(|r| r.id == pos)
+                            .map(|r| r.score as f32)
+                            .unwrap_or(0.0);
+                        (id, 0.5 * sem + 0.5 * lex)
+                    })
+                    .collect();
+                reranked.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                reranked.truncate(self.k);
+                self.answer_with_chunks(question, &reranked, "vector", None)
+            }
+            RagMode::Modular => {
+                // router: does the question mention a KG entity?
+                if let Some(graph) = self.graph {
+                    if let Some(entity) = self.find_mentioned_entity(graph, question) {
+                        let name = graph.display_name(entity);
+                        let program = format!("Search(\"{name}\")");
+                        let mut context = Vec::new();
+                        for (p, o) in graph.outgoing(entity) {
+                            let Some(p_iri) = graph.resolve(p).as_iri() else { continue };
+                            if !p_iri.starts_with(ns::SYNTH_VOCAB) {
+                                continue;
+                            }
+                            let obj = match graph.resolve(o) {
+                                kg::Term::Literal(l) => l.lexical.clone(),
+                                _ => graph.display_name(o),
+                            };
+                            context.push(format!(
+                                "{} {} {}",
+                                name,
+                                ns::humanize(ns::local_name(p_iri)),
+                                obj
+                            ));
+                        }
+                        let a = self.slm.answer(question, &context);
+                        return RagAnswer {
+                            text: a.text,
+                            retrieved: Vec::new(),
+                            hallucinated: a.hallucinated,
+                            confidence: a.confidence,
+                            module: "kg-lookup",
+                            search_program: Some(program),
+                        };
+                    }
+                }
+                let hits = self.index.search_exact(&self.slm.embed(question), self.k);
+                self.answer_with_chunks(question, &hits, "vector", None)
+            }
+        }
+    }
+
+    fn answer_with_chunks(
+        &self,
+        question: &str,
+        hits: &[(usize, f32)],
+        module: &'static str,
+        search_program: Option<String>,
+    ) -> RagAnswer {
+        let context: Vec<String> =
+            hits.iter().map(|&(id, _)| self.chunks[id].text.clone()).collect();
+        let a = self.slm.answer(question, &context);
+        RagAnswer {
+            text: a.text,
+            retrieved: hits.iter().map(|&(id, _)| id).collect(),
+            hallucinated: a.hallucinated,
+            confidence: a.confidence,
+            module,
+            search_program,
+        }
+    }
+
+    fn find_mentioned_entity(&self, graph: &Graph, question: &str) -> Option<kg::Sym> {
+        let lower = question.to_lowercase();
+        let mut best: Option<(usize, kg::Sym)> = None;
+        for e in graph.entities() {
+            let Some(iri) = graph.resolve(e).as_iri() else { continue };
+            if !iri.starts_with(ns::SYNTH_ENTITY) {
+                continue;
+            }
+            let name = graph.display_name(e);
+            if name.len() >= 3 && lower.contains(&name.to_lowercase()) {
+                match best {
+                    Some((len, _)) if name.len() <= len => {}
+                    _ => best = Some((name.len(), e)),
+                }
+            }
+        }
+        best.map(|(_, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::chunk_sentences;
+    use kg::synth::{movies, Scale};
+    use kgextract::testgen::{corpus_sentences, entity_surface_forms};
+
+    struct Fixture {
+        kg: kg::synth::SynthKg,
+        slm: Slm,
+        corpus_text: String,
+        question: String,
+        gold: String,
+    }
+
+    /// The LM's parametric corpus EXCLUDES the documents, so closed-book
+    /// answers about corpus facts must hallucinate or abstain — the
+    /// measurable setup for "RAG mitigates hallucination".
+    fn fixture() -> Fixture {
+        let kg = movies(141, Scale::tiny());
+        let sentences = corpus_sentences(&kg.graph, &kg.ontology);
+        let corpus_text = sentences.join(". ");
+        let slm = Slm::builder()
+            .corpus(["films are a kind of art", "directors make films"]) // generic only
+            .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
+            .hallucinate(true)
+            .build();
+        // gold: a directedBy fact
+        let g = &kg.graph;
+        let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).unwrap();
+        let film = g.instances_of(film_class)[0];
+        let directed = g.pool().get_iri(&format!("{}directedBy", ns::SYNTH_VOCAB)).unwrap();
+        let director = g.objects(film, directed)[0];
+        let question = format!("Who is {} directed by?", g.display_name(film));
+        let gold = g.display_name(director);
+        Fixture { kg, slm, corpus_text, question, gold }
+    }
+
+    #[test]
+    fn closed_book_hallucinates_but_rag_answers_correctly() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
+
+        let closed = rag.answer(RagMode::ClosedBook, &f.question);
+        assert!(
+            closed.hallucinated || !closed.text.contains(&f.gold),
+            "closed book should not know: {closed:?}"
+        );
+
+        for mode in [RagMode::Naive, RagMode::Advanced, RagMode::Modular] {
+            let a = rag.answer(mode, &f.question);
+            assert!(
+                a.text.contains(&f.gold),
+                "{} failed: {:?} (gold {})",
+                mode.name(),
+                a,
+                f.gold
+            );
+            assert!(!a.hallucinated, "{}", mode.name());
+        }
+    }
+
+    #[test]
+    fn modular_routes_entity_questions_to_kg() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
+        let a = rag.answer(RagMode::Modular, &f.question);
+        assert_eq!(a.module, "kg-lookup");
+        assert!(a.search_program.as_deref().unwrap_or("").starts_with("Search("));
+    }
+
+    #[test]
+    fn modular_without_entity_falls_back_to_vector() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
+        let a = rag.answer(RagMode::Modular, "what do directors do?");
+        assert_eq!(a.module, "vector");
+    }
+
+    #[test]
+    fn naive_retrieves_k_chunks() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let n = chunks.len();
+        let rag = RagPipeline::new(&f.slm, chunks, None);
+        let a = rag.answer(RagMode::Naive, &f.question);
+        assert!(a.retrieved.len() <= 4);
+        assert!(a.retrieved.iter().all(|&id| id < n));
+    }
+}

@@ -1,0 +1,202 @@
+//! Vector index: exact brute-force search and an IVF-lite approximate
+//! variant (seeded k-means coarse quantizer, probe-nearest-clusters).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use slm::embedding::cosine;
+
+/// A (document id, score) search hit.
+pub type Hit = (usize, f32);
+
+/// A vector index over document embeddings.
+#[derive(Debug, Clone)]
+pub struct VectorIndex {
+    vectors: Vec<Vec<f32>>,
+    /// IVF state: cluster centroids and per-cluster member lists.
+    centroids: Vec<Vec<f32>>,
+    clusters: Vec<Vec<usize>>,
+}
+
+impl VectorIndex {
+    /// Build from document vectors. `n_clusters = 0` disables IVF (exact
+    /// search only).
+    pub fn build(vectors: Vec<Vec<f32>>, n_clusters: usize, seed: u64) -> Self {
+        let (centroids, clusters) = if n_clusters == 0 || vectors.len() < n_clusters * 2 {
+            (Vec::new(), Vec::new())
+        } else {
+            kmeans(&vectors, n_clusters, seed)
+        };
+        VectorIndex { vectors, centroids, clusters }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Exact top-k by cosine similarity.
+    pub fn search_exact(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, cosine(query, v)))
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Approximate top-k: probe the `n_probe` nearest clusters. Falls back
+    /// to exact search when IVF is disabled.
+    pub fn search_ivf(&self, query: &[f32], k: usize, n_probe: usize) -> Vec<Hit> {
+        if self.centroids.is_empty() {
+            return self.search_exact(query, k);
+        }
+        let mut cluster_scores: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, cosine(query, c)))
+            .collect();
+        sort_hits(&mut cluster_scores);
+        let mut hits: Vec<Hit> = Vec::new();
+        for &(ci, _) in cluster_scores.iter().take(n_probe.max(1)) {
+            for &doc in &self.clusters[ci] {
+                hits.push((doc, cosine(query, &self.vectors[doc])));
+            }
+        }
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+}
+
+fn sort_hits(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+}
+
+/// Seeded Lloyd's k-means (cosine space, 10 iterations).
+fn kmeans(vectors: &[Vec<f32>], k: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<usize>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = vectors[0].len();
+    let mut ids: Vec<usize> = (0..vectors.len()).collect();
+    ids.shuffle(&mut rng);
+    let mut centroids: Vec<Vec<f32>> =
+        ids.iter().take(k).map(|&i| vectors[i].clone()).collect();
+    let mut assignment = vec![0usize; vectors.len()];
+    for _ in 0..10 {
+        // assign
+        for (i, v) in vectors.iter().enumerate() {
+            let mut best = (0usize, f32::NEG_INFINITY);
+            for (ci, c) in centroids.iter().enumerate() {
+                let s = cosine(v, c);
+                if s > best.1 {
+                    best = (ci, s);
+                }
+            }
+            assignment[i] = best.0;
+        }
+        // update
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, v) in vectors.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, x) in sums[c].iter_mut().zip(v) {
+                *s += x;
+            }
+        }
+        for (ci, sum) in sums.into_iter().enumerate() {
+            if counts[ci] > 0 {
+                centroids[ci] = sum.into_iter().map(|x| x / counts[ci] as f32).collect();
+            }
+        }
+    }
+    let mut clusters = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        clusters[c].push(i);
+    }
+    (centroids, clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slm::Embedder;
+
+    fn corpus_index(n_clusters: usize) -> (VectorIndex, Embedder, Vec<String>) {
+        let docs: Vec<String> = (0..40)
+            .map(|i| {
+                if i % 2 == 0 {
+                    format!("film number {i} is a drama about love")
+                } else {
+                    format!("paper number {i} studies databases and queries")
+                }
+            })
+            .collect();
+        let e = Embedder::new();
+        let vectors = docs.iter().map(|d| e.embed(d)).collect();
+        (VectorIndex::build(vectors, n_clusters, 7), e, docs)
+    }
+
+    #[test]
+    fn exact_search_finds_relevant_docs() {
+        let (idx, e, docs) = corpus_index(0);
+        let hits = idx.search_exact(&e.embed("a drama film about love"), 5);
+        assert_eq!(hits.len(), 5);
+        for (id, _) in &hits {
+            assert!(docs[*id].contains("drama"), "{}", docs[*id]);
+        }
+    }
+
+    #[test]
+    fn ivf_recall_overlaps_exact() {
+        let (idx, e, _) = corpus_index(4);
+        let q = e.embed("database query papers");
+        let exact: Vec<usize> = idx.search_exact(&q, 5).into_iter().map(|(i, _)| i).collect();
+        let approx: Vec<usize> =
+            idx.search_ivf(&q, 5, 2).into_iter().map(|(i, _)| i).collect();
+        let overlap = exact.iter().filter(|i| approx.contains(i)).count();
+        assert!(overlap >= 3, "IVF recall too low: {overlap}/5");
+    }
+
+    #[test]
+    fn ivf_probing_more_clusters_cannot_reduce_recall() {
+        let (idx, e, _) = corpus_index(4);
+        let q = e.embed("drama love story");
+        let exact: Vec<usize> = idx.search_exact(&q, 5).into_iter().map(|(i, _)| i).collect();
+        let few: Vec<usize> = idx.search_ivf(&q, 5, 1).into_iter().map(|(i, _)| i).collect();
+        let all: Vec<usize> = idx.search_ivf(&q, 5, 4).into_iter().map(|(i, _)| i).collect();
+        let recall =
+            |v: &[usize]| exact.iter().filter(|i| v.contains(i)).count();
+        assert!(recall(&all) >= recall(&few));
+        assert_eq!(recall(&all), 5, "probing all clusters must equal exact");
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = VectorIndex::build(Vec::new(), 0, 0);
+        assert!(idx.is_empty());
+        assert!(idx.search_exact(&[0.0; 4], 3).is_empty());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let (a, e, _) = corpus_index(4);
+        let (b, _, _) = corpus_index(4);
+        let q = e.embed("drama");
+        assert_eq!(a.search_ivf(&q, 3, 2), b.search_ivf(&q, 3, 2));
+    }
+}

@@ -1,0 +1,166 @@
+//! KG-GPT (\[48\]): sentence segmentation → graph retrieval → inference.
+//!
+//! A general framework for reasoning over a KG about a natural-language
+//! claim: split the claim into clauses, ground each clause in KG triples,
+//! then infer an overall verdict.
+
+use kg::Graph;
+use slm::task::VerdictLabel;
+use slm::Slm;
+
+/// The grounded evidence for one clause.
+#[derive(Debug, Clone)]
+pub struct ClauseEvidence {
+    /// The clause text.
+    pub clause: String,
+    /// The best-matching verbalized triple, if any.
+    pub triple_text: Option<String>,
+    /// Match score.
+    pub score: f64,
+}
+
+/// A KG-GPT verdict for a claim.
+#[derive(Debug, Clone)]
+pub struct KgGptVerdict {
+    /// Overall label.
+    pub label: VerdictLabel,
+    /// Per-clause grounding.
+    pub clauses: Vec<ClauseEvidence>,
+}
+
+/// The three-stage KG-GPT pipeline.
+pub struct KgGpt<'a> {
+    slm: &'a Slm,
+    /// Verbalized triples of the graph (the retrieval corpus).
+    corpus: Vec<String>,
+}
+
+impl<'a> KgGpt<'a> {
+    /// Build from a graph (verbalizing its relation triples) and an LM.
+    pub fn new(graph: &Graph, slm: &'a Slm) -> Self {
+        let mut corpus = Vec::new();
+        for t in graph.iter() {
+            let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+            if !p_iri.starts_with(kg::namespace::SYNTH_VOCAB) || !graph.resolve(t.o).is_iri() {
+                continue;
+            }
+            corpus.push(format!(
+                "{} {} {}",
+                graph.display_name(t.s),
+                kg::namespace::humanize(kg::namespace::local_name(p_iri)),
+                graph.display_name(t.o)
+            ));
+        }
+        KgGpt { slm, corpus }
+    }
+
+    /// Stage 1: segment a claim into clauses (split on conjunctions and
+    /// sentence boundaries).
+    pub fn segment(&self, claim: &str) -> Vec<String> {
+        claim
+            .split([',', ';'])
+            .flat_map(|part| part.split(" and "))
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Stage 2: retrieve the best-matching triple for one clause.
+    pub fn ground(&self, clause: &str) -> ClauseEvidence {
+        let index =
+            slm::EvidenceIndex::from_sentences(self.corpus.iter().map(String::as_str));
+        match index.best_evidence(clause) {
+            Some(hit) => ClauseEvidence {
+                clause: clause.to_string(),
+                score: hit.score,
+                triple_text: Some(hit.text),
+            },
+            None => ClauseEvidence { clause: clause.to_string(), score: 0.0, triple_text: None },
+        }
+    }
+
+    /// Stage 3: infer a verdict for the whole claim: every clause must be
+    /// supported (LM verification against its grounded triple); any
+    /// refuted clause refutes the claim; otherwise unknown.
+    pub fn verify(&self, claim: &str) -> KgGptVerdict {
+        let clauses: Vec<ClauseEvidence> =
+            self.segment(claim).iter().map(|c| self.ground(c)).collect();
+        let mut all_supported = !clauses.is_empty();
+        let mut any_refuted = false;
+        for c in &clauses {
+            let ctx: Vec<String> = c.triple_text.iter().cloned().collect();
+            let v = self.slm.verify(&c.clause, &ctx);
+            match v.label {
+                VerdictLabel::Supported => {}
+                VerdictLabel::Refuted => {
+                    any_refuted = true;
+                    all_supported = false;
+                }
+                VerdictLabel::Unknown => all_supported = false,
+            }
+        }
+        let label = if all_supported {
+            VerdictLabel::Supported
+        } else if any_refuted {
+            VerdictLabel::Refuted
+        } else {
+            VerdictLabel::Unknown
+        };
+        KgGptVerdict { label, clauses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synth::{movies, Scale};
+    use kgextract::testgen::{annotate_graph, corpus_sentences, entity_surface_forms};
+
+    fn fixture() -> (kg::synth::SynthKg, Slm) {
+        let kg = movies(71, Scale::tiny());
+        let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
+            .build();
+        (kg, slm)
+    }
+
+    #[test]
+    fn segmentation_splits_conjunctions() {
+        let (kg, slm) = fixture();
+        let gpt = KgGpt::new(&kg.graph, &slm);
+        let clauses = gpt.segment("A stars B, and C directed D");
+        assert_eq!(clauses.len(), 2);
+    }
+
+    #[test]
+    fn true_claims_are_supported() {
+        let (kg, slm) = fixture();
+        let gpt = KgGpt::new(&kg.graph, &slm);
+        let ann = annotate_graph(&kg.graph, &kg.ontology);
+        // a single true clause (use the 'is X' verbalization itself)
+        let verdict = gpt.verify(&ann[0].text);
+        assert_eq!(verdict.label, VerdictLabel::Supported, "{verdict:?}");
+    }
+
+    #[test]
+    fn compound_true_claims_are_supported() {
+        let (kg, slm) = fixture();
+        let gpt = KgGpt::new(&kg.graph, &slm);
+        let ann = annotate_graph(&kg.graph, &kg.ontology);
+        let compound = format!("{}, and {}", ann[0].text, ann[1].text);
+        let verdict = gpt.verify(&compound);
+        assert_eq!(verdict.label, VerdictLabel::Supported, "{verdict:?}");
+        assert_eq!(verdict.clauses.len(), 2);
+    }
+
+    #[test]
+    fn unknown_claims_are_not_supported() {
+        let (kg, slm) = fixture();
+        let gpt = KgGpt::new(&kg.graph, &slm);
+        let verdict = gpt.verify("the quantum reactor powers the moon base");
+        assert_ne!(verdict.label, VerdictLabel::Supported);
+    }
+}

@@ -1,0 +1,30 @@
+//! # kgreason — KG reasoning (paper §2.3)
+//!
+//! Four reasoning engines over the shared substrates:
+//!
+//! * [`rules`] — a datalog-lite forward-chaining rule engine plus the
+//!   RDFS/OWL-lite entailment rule set derived from a [`kg::Ontology`]
+//!   (subclass/subproperty propagation, domain/range typing, symmetric /
+//!   transitive / inverse closure). This is the symbolic baseline the
+//!   survey's LLM-reasoning systems are compared against.
+//! * [`fol`] — first-order-logic query answering over KGs in the LARK
+//!   \[21\] style: the query shapes (1p/2p/3p chains, intersections,
+//!   unions), an exact symbolic evaluator for ground truth, and an
+//!   LLM-driven chain evaluator that decomposes the query and answers each
+//!   hop from a verbalized subgraph context.
+//! * [`rog`] — Reasoning-on-Graphs \[62\]: planning (relation paths from
+//!   the question), retrieval (faithful path execution on the KG), and
+//!   reasoning (LLM answer selection), returning the reasoning path for
+//!   faithfulness checks.
+//! * [`kggpt`] — KG-GPT \[48\]: sentence segmentation → graph retrieval →
+//!   inference, for claim verification over KGs.
+
+pub mod rules;
+pub mod fol;
+pub mod rog;
+pub mod kggpt;
+
+pub use fol::{FolQuery, LarkReasoner};
+pub use kggpt::KgGpt;
+pub use rog::{RogAnswer, RogReasoner};
+pub use rules::{entailment_rules, forward_chain, Atom, Rule, TermOrVar};

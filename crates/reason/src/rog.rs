@@ -1,0 +1,243 @@
+//! Reasoning on Graphs (RoG, \[62\]): planning – retrieval – reasoning.
+//!
+//! 1. **Planning** — propose relation paths whose labels are similar to
+//!    the question (the "faithful plan" grounded in the KG's schema);
+//! 2. **Retrieval** — execute the plans from the anchor entity, keeping
+//!    only paths that exist in the KG;
+//! 3. **Reasoning** — let the LM choose among the retrieved endpoints,
+//!    with the path retained as the interpretable explanation.
+
+use kg::term::Sym;
+use kg::Graph;
+use slm::Slm;
+
+/// An answer with its faithful reasoning path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RogAnswer {
+    /// The predicted answer entity.
+    pub answer: Sym,
+    /// The relation path that reached it.
+    pub path: Vec<Sym>,
+    /// Verbalized explanation.
+    pub explanation: String,
+    /// Ranking score.
+    pub score: f64,
+}
+
+/// The RoG pipeline.
+pub struct RogReasoner<'a> {
+    graph: &'a Graph,
+    slm: &'a Slm,
+    /// Maximum plan length.
+    pub max_hops: usize,
+    /// Number of plans to keep.
+    pub beam: usize,
+}
+
+impl<'a> RogReasoner<'a> {
+    /// Build over a graph and an LM.
+    pub fn new(graph: &'a Graph, slm: &'a Slm) -> Self {
+        RogReasoner { graph, slm, max_hops: 2, beam: 4 }
+    }
+
+    /// Plan: score every relation (and 2-hop relation pair) against the
+    /// question; return the top `beam` candidate relation paths.
+    pub fn plan(&self, question: &str) -> Vec<Vec<Sym>> {
+        let relations: Vec<Sym> = self
+            .graph
+            .predicates()
+            .into_iter()
+            .map(|(p, _)| p)
+            .filter(|&p| {
+                self.graph
+                    .resolve(p)
+                    .as_iri()
+                    .is_some_and(|i| i.starts_with(kg::namespace::SYNTH_VOCAB))
+            })
+            .collect();
+        let phrase = |r: Sym| {
+            kg::namespace::humanize(kg::namespace::local_name(self.graph.label(r)))
+        };
+        let mut plans: Vec<(f32, Vec<Sym>)> = Vec::new();
+        for &r in &relations {
+            plans.push((self.slm.similarity(question, &phrase(r)), vec![r]));
+        }
+        if self.max_hops >= 2 {
+            for &r1 in &relations {
+                for &r2 in &relations {
+                    let joint = format!("{} {}", phrase(r1), phrase(r2));
+                    let sim = self.slm.similarity(question, &joint);
+                    plans.push((sim * 0.9, vec![r1, r2])); // mild length penalty
+                }
+            }
+        }
+        plans.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        plans.truncate(self.beam);
+        plans.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Retrieve: execute a plan from the anchor, returning `(endpoint,
+    /// grounded path)` pairs that actually exist in the KG.
+    pub fn retrieve(&self, anchor: Sym, plan: &[Sym]) -> Vec<(Sym, Vec<Sym>)> {
+        let mut frontier: Vec<(Sym, Vec<Sym>)> = vec![(anchor, Vec::new())];
+        for &r in plan {
+            let mut next = Vec::new();
+            for (n, path) in &frontier {
+                for o in self.graph.objects(*n, r) {
+                    if self.graph.resolve(o).is_iri() {
+                        let mut p = path.clone();
+                        p.push(r);
+                        next.push((o, p));
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        frontier
+    }
+
+    /// Full pipeline: answer a question about an anchor entity.
+    pub fn answer(&self, question: &str, anchor: Sym) -> Vec<RogAnswer> {
+        let mut out: Vec<RogAnswer> = Vec::new();
+        for plan in self.plan(question) {
+            for (endpoint, path) in self.retrieve(anchor, &plan) {
+                let explanation = self.explain(anchor, &path, endpoint);
+                // reasoning: the LM scores the verbalized path as an answer
+                // to the question
+                let score = f64::from(self.slm.similarity(question, &explanation));
+                if let Some(existing) = out.iter_mut().find(|a| a.answer == endpoint) {
+                    if score > existing.score {
+                        existing.score = score;
+                        existing.path = path;
+                        existing.explanation = explanation;
+                    }
+                } else {
+                    out.push(RogAnswer { answer: endpoint, path, explanation, score });
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.answer.cmp(&b.answer))
+        });
+        out
+    }
+
+    fn explain(&self, anchor: Sym, path: &[Sym], endpoint: Sym) -> String {
+        let mut s = self.graph.display_name(anchor);
+        for &r in path {
+            s.push(' ');
+            s.push_str(&kg::namespace::humanize(kg::namespace::local_name(
+                self.graph.label(r),
+            )));
+        }
+        s.push(' ');
+        s.push_str(&self.graph.display_name(endpoint));
+        s
+    }
+
+    /// Check that an answer's path is *faithful*: every edge exists.
+    pub fn is_faithful(&self, anchor: Sym, answer: &RogAnswer) -> bool {
+        let mut frontier = vec![anchor];
+        for &r in &answer.path {
+            let mut next = Vec::new();
+            for n in &frontier {
+                next.extend(self.graph.objects(*n, r));
+            }
+            if next.is_empty() {
+                return false;
+            }
+            frontier = next;
+        }
+        frontier.contains(&answer.answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::synth::{movies, Scale};
+    use kgextract::testgen::{corpus_sentences, entity_surface_forms};
+
+    fn fixture() -> (kg::synth::SynthKg, Slm) {
+        let kg = movies(61, Scale::tiny());
+        let corpus = corpus_sentences(&kg.graph, &kg.ontology);
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
+            .build();
+        (kg, slm)
+    }
+
+    #[test]
+    fn planning_surfaces_the_relevant_relation() {
+        let (kg, slm) = fixture();
+        let rog = RogReasoner::new(&kg.graph, &slm);
+        let plans = rog.plan("who directed this film");
+        assert!(!plans.is_empty());
+        let has_directed = plans.iter().any(|p| {
+            p.iter().any(|&r| {
+                kg.graph
+                    .resolve(r)
+                    .as_iri()
+                    .is_some_and(|i| i.ends_with("directedBy"))
+            })
+        });
+        assert!(has_directed, "plans: {plans:?}");
+    }
+
+    #[test]
+    fn retrieval_only_returns_existing_paths() {
+        let (kg, slm) = fixture();
+        let g = &kg.graph;
+        let rog = RogReasoner::new(g, &slm);
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let directed = g
+            .pool()
+            .get_iri(&format!("{}directedBy", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let hits = rog.retrieve(film, &[directed]);
+        assert_eq!(hits.len(), 1);
+        assert!(g.contains(film, directed, hits[0].0));
+    }
+
+    #[test]
+    fn answers_are_faithful_and_ranked() {
+        let (kg, slm) = fixture();
+        let g = &kg.graph;
+        let rog = RogReasoner::new(g, &slm);
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let answers = rog.answer("who directed this film", film);
+        assert!(!answers.is_empty());
+        for a in &answers {
+            assert!(rog.is_faithful(film, a), "unfaithful path {a:?}");
+        }
+        for w in answers.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // the true director must be among the answers
+        let directed = g
+            .pool()
+            .get_iri(&format!("{}directedBy", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let truth = g.objects(film, directed)[0];
+        assert!(answers.iter().any(|a| a.answer == truth));
+    }
+}

@@ -1,0 +1,328 @@
+//! Datalog-lite forward chaining and ontology entailment rules.
+
+use std::collections::BTreeMap;
+
+use kg::namespace as ns;
+use kg::ontology::Ontology;
+use kg::store::TriplePattern;
+use kg::term::Sym;
+use kg::Graph;
+
+/// A position in an atom: a variable (by index) or a constant term id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermOrVar {
+    /// Variable, identified by a small index shared across the rule.
+    Var(u8),
+    /// A constant (interned against the target graph).
+    Const(Sym),
+}
+
+/// An atom `(s, p, o)` in a rule body or head. The predicate is constant
+/// (rules over predicate variables are out of scope).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Atom {
+    /// Subject.
+    pub s: TermOrVar,
+    /// Predicate (constant).
+    pub p: Sym,
+    /// Object.
+    pub o: TermOrVar,
+}
+
+/// A Horn rule `head ← body₁ ∧ body₂ ∧ …`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule name for reports (e.g. `"rdfs:subClassOf"`).
+    pub name: String,
+    /// Derived atom.
+    pub head: Atom,
+    /// Conditions.
+    pub body: Vec<Atom>,
+}
+
+type Binding = BTreeMap<u8, Sym>;
+
+fn resolve(t: TermOrVar, b: &Binding) -> Option<Sym> {
+    match t {
+        TermOrVar::Const(s) => Some(s),
+        TermOrVar::Var(v) => b.get(&v).copied(),
+    }
+}
+
+/// Run rules to fixpoint, inserting derived triples into the graph.
+/// Returns the number of new triples derived. Naive evaluation with a
+/// per-round derivation set — adequate for laptop-scale KGs and simple to
+/// verify.
+pub fn forward_chain(graph: &mut Graph, rules: &[Rule]) -> usize {
+    let mut total = 0usize;
+    loop {
+        let mut derived: Vec<(Sym, Sym, Sym)> = Vec::new();
+        for rule in rules {
+            let mut bindings = vec![Binding::new()];
+            for atom in &rule.body {
+                let mut next = Vec::new();
+                for b in &bindings {
+                    let pat = TriplePattern {
+                        s: resolve(atom.s, b),
+                        p: Some(atom.p),
+                        o: resolve(atom.o, b),
+                    };
+                    for m in graph.match_pattern(pat) {
+                        let mut nb = b.clone();
+                        let mut ok = true;
+                        if let TermOrVar::Var(v) = atom.s {
+                            match nb.get(&v) {
+                                Some(&e) if e != m.s => ok = false,
+                                _ => {
+                                    nb.insert(v, m.s);
+                                }
+                            }
+                        }
+                        if ok {
+                            if let TermOrVar::Var(v) = atom.o {
+                                match nb.get(&v) {
+                                    Some(&e) if e != m.o => ok = false,
+                                    _ => {
+                                        nb.insert(v, m.o);
+                                    }
+                                }
+                            }
+                        }
+                        if ok {
+                            next.push(nb);
+                        }
+                    }
+                }
+                bindings = next;
+                if bindings.is_empty() {
+                    break;
+                }
+            }
+            for b in &bindings {
+                let (Some(s), Some(o)) = (resolve(rule.head.s, b), resolve(rule.head.o, b))
+                else {
+                    continue;
+                };
+                if !graph.contains(s, rule.head.p, o) {
+                    derived.push((s, rule.head.p, o));
+                }
+            }
+        }
+        derived.sort_unstable();
+        derived.dedup();
+        if derived.is_empty() {
+            return total;
+        }
+        for (s, p, o) in derived {
+            if graph.insert(s, p, o) {
+                total += 1;
+            }
+        }
+    }
+}
+
+/// Build the RDFS/OWL-lite entailment rule set for an ontology:
+/// * `rdf:type` propagation along `rdfs:subClassOf`,
+/// * predicate propagation along `rdfs:subPropertyOf` (from the ontology's
+///   declared pairs),
+/// * domain / range typing,
+/// * symmetric, transitive, and inverse property closure.
+pub fn entailment_rules(graph: &mut Graph, onto: &Ontology) -> Vec<Rule> {
+    let ty = graph.intern_iri(ns::RDF_TYPE);
+    let mut rules = Vec::new();
+    // subclass: (x type C) → (x type D) for each declared C ⊑ D
+    for (class, _) in onto.classes() {
+        for parent in onto.direct_superclasses(class) {
+            let c = graph.intern_iri(class);
+            let d = graph.intern_iri(parent);
+            rules.push(Rule {
+                name: format!("subClassOf({},{})", ns::local_name(class), ns::local_name(parent)),
+                head: Atom { s: TermOrVar::Var(0), p: ty, o: TermOrVar::Const(d) },
+                body: vec![Atom { s: TermOrVar::Var(0), p: ty, o: TermOrVar::Const(c) }],
+            });
+        }
+    }
+    for (prop, decl) in onto.properties() {
+        let p = graph.intern_iri(prop);
+        // subproperty propagation
+        for sup in onto.superproperties(prop) {
+            let sp = graph.intern_iri(sup.as_str());
+            rules.push(Rule {
+                name: format!("subPropertyOf({})", ns::local_name(prop)),
+                head: Atom { s: TermOrVar::Var(0), p: sp, o: TermOrVar::Var(1) },
+                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+            });
+        }
+        // domain typing
+        if let Some(domain) = &decl.domain {
+            let d = graph.intern_iri(domain.as_str());
+            rules.push(Rule {
+                name: format!("domain({})", ns::local_name(prop)),
+                head: Atom { s: TermOrVar::Var(0), p: ty, o: TermOrVar::Const(d) },
+                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+            });
+        }
+        // range typing (object-valued only)
+        if let (Some(range), false) = (&decl.range, decl.literal_valued) {
+            let r = graph.intern_iri(range.as_str());
+            rules.push(Rule {
+                name: format!("range({})", ns::local_name(prop)),
+                head: Atom { s: TermOrVar::Var(1), p: ty, o: TermOrVar::Const(r) },
+                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+            });
+        }
+        if decl.traits.symmetric {
+            rules.push(Rule {
+                name: format!("symmetric({})", ns::local_name(prop)),
+                head: Atom { s: TermOrVar::Var(1), p, o: TermOrVar::Var(0) },
+                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+            });
+        }
+        if decl.traits.transitive {
+            rules.push(Rule {
+                name: format!("transitive({})", ns::local_name(prop)),
+                head: Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(2) },
+                body: vec![
+                    Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) },
+                    Atom { s: TermOrVar::Var(1), p, o: TermOrVar::Var(2) },
+                ],
+            });
+        }
+        if let Some(inv) = &decl.inverse_of {
+            let ip = graph.intern_iri(inv.as_str());
+            rules.push(Rule {
+                name: format!("inverseOf({})", ns::local_name(prop)),
+                head: Atom { s: TermOrVar::Var(1), p: ip, o: TermOrVar::Var(0) },
+                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+            });
+        }
+    }
+    rules
+}
+
+/// Convenience: materialize all ontology entailments in place; returns the
+/// number of derived triples.
+pub fn materialize(graph: &mut Graph, onto: &Ontology) -> usize {
+    let rules = entailment_rules(graph, onto);
+    forward_chain(graph, &rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::ontology::{PropertyDecl, PropertyTraits};
+
+    fn setup() -> (Graph, Ontology) {
+        let mut g = Graph::new();
+        g.insert_iri("http://e/rex", ns::RDF_TYPE, "http://v/Dog");
+        g.insert_iri("http://e/a", "http://v/ancestorOf", "http://e/b");
+        g.insert_iri("http://e/b", "http://v/ancestorOf", "http://e/c");
+        g.insert_iri("http://e/x", "http://v/marriedTo", "http://e/y");
+        g.insert_iri("http://e/p", "http://v/parentOf", "http://e/q");
+        let mut o = Ontology::new();
+        o.add_subclass("http://v/Dog", "http://v/Animal");
+        o.add_subclass("http://v/Animal", "http://v/LivingThing");
+        o.add_property(
+            "http://v/ancestorOf",
+            PropertyDecl {
+                traits: PropertyTraits { transitive: true, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        o.add_property(
+            "http://v/marriedTo",
+            PropertyDecl {
+                traits: PropertyTraits { symmetric: true, ..Default::default() },
+                domain: Some("http://v/Person".into()),
+                range: Some("http://v/Person".into()),
+                ..Default::default()
+            },
+        );
+        o.add_property(
+            "http://v/parentOf",
+            PropertyDecl {
+                inverse_of: Some("http://v/childOf".into()),
+                ..Default::default()
+            },
+        );
+        (g, o)
+    }
+
+    #[test]
+    fn subclass_chain_propagates_types() {
+        let (mut g, o) = setup();
+        materialize(&mut g, &o);
+        let rex = g.pool().get_iri("http://e/rex").unwrap();
+        let ty = g.pool().get_iri(ns::RDF_TYPE).unwrap();
+        let animal = g.pool().get_iri("http://v/Animal").unwrap();
+        let living = g.pool().get_iri("http://v/LivingThing").unwrap();
+        assert!(g.contains(rex, ty, animal));
+        assert!(g.contains(rex, ty, living));
+    }
+
+    #[test]
+    fn transitive_closure_derived() {
+        let (mut g, o) = setup();
+        materialize(&mut g, &o);
+        let a = g.pool().get_iri("http://e/a").unwrap();
+        let c = g.pool().get_iri("http://e/c").unwrap();
+        let anc = g.pool().get_iri("http://v/ancestorOf").unwrap();
+        assert!(g.contains(a, anc, c));
+    }
+
+    #[test]
+    fn symmetric_and_inverse_derived() {
+        let (mut g, o) = setup();
+        materialize(&mut g, &o);
+        let x = g.pool().get_iri("http://e/x").unwrap();
+        let y = g.pool().get_iri("http://e/y").unwrap();
+        let m = g.pool().get_iri("http://v/marriedTo").unwrap();
+        assert!(g.contains(y, m, x));
+        let q = g.pool().get_iri("http://e/q").unwrap();
+        let p = g.pool().get_iri("http://e/p").unwrap();
+        let child = g.pool().get_iri("http://v/childOf").unwrap();
+        assert!(g.contains(q, child, p));
+    }
+
+    #[test]
+    fn domain_range_typing_derived() {
+        let (mut g, o) = setup();
+        materialize(&mut g, &o);
+        let x = g.pool().get_iri("http://e/x").unwrap();
+        let ty = g.pool().get_iri(ns::RDF_TYPE).unwrap();
+        let person = g.pool().get_iri("http://v/Person").unwrap();
+        assert!(g.contains(x, ty, person));
+    }
+
+    #[test]
+    fn fixpoint_terminates_and_is_idempotent() {
+        let (mut g, o) = setup();
+        let first = materialize(&mut g, &o);
+        assert!(first > 0);
+        let second = materialize(&mut g, &o);
+        assert_eq!(second, 0, "second materialization must derive nothing");
+    }
+
+    #[test]
+    fn custom_rule_with_join_body() {
+        // grandparent(x,z) ← parentOf(x,y) ∧ parentOf(y,z)
+        let mut g = Graph::new();
+        g.insert_iri("http://e/a", "http://v/parentOf", "http://e/b");
+        g.insert_iri("http://e/b", "http://v/parentOf", "http://e/c");
+        let p = g.pool().get_iri("http://v/parentOf").unwrap();
+        let gp = g.intern_iri("http://v/grandparentOf");
+        let rule = Rule {
+            name: "grandparent".into(),
+            head: Atom { s: TermOrVar::Var(0), p: gp, o: TermOrVar::Var(2) },
+            body: vec![
+                Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) },
+                Atom { s: TermOrVar::Var(1), p, o: TermOrVar::Var(2) },
+            ],
+        };
+        let n = forward_chain(&mut g, &[rule]);
+        assert_eq!(n, 1);
+        let a = g.pool().get_iri("http://e/a").unwrap();
+        let c = g.pool().get_iri("http://e/c").unwrap();
+        assert!(g.contains(a, gp, c));
+    }
+}

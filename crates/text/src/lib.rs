@@ -1,0 +1,32 @@
+//! # kgtext — KG-to-text generation (paper §2.2, RQ1)
+//!
+//! Transforms structured subgraphs into natural-language descriptions:
+//!
+//! * [`linearize`] — the two linearization strategies the surveyed systems
+//!   use: flat triple sequences and the relation-biased breadth-first
+//!   entity ordering (RBFS) of few-shot KG-to-text \[56\],
+//! * [`template`] — per-relation template realization with same-subject
+//!   aggregation (the rule-based baseline and the source of reference
+//!   texts),
+//! * [`generate`] — three generators: `Template`, `LinearizedLm` (GAP-sim
+//!   \[22\]: candidate orderings reranked by LM fluency — the "graph
+//!   attention" signal collapsed to neighbor-aware ordering), and
+//!   `FewShot` \[56\] (pick the most similar demonstration subgraph and
+//!   reuse its realization pattern),
+//! * [`metrics`] — BLEU-4, ROUGE-L, fact coverage, and hallucinated-entity
+//!   rate (the generation-quality axes the survey's cited evaluations
+//!   report),
+//! * [`dataset`] — KGTEXT-style \[17\] (subgraph, reference) pair
+//!   construction from a synthetic KG.
+
+pub mod linearize;
+pub mod template;
+pub mod generate;
+pub mod metrics;
+pub mod dataset;
+
+pub use dataset::{build_dataset, KgTextPair};
+pub use generate::{describe_entity, GenMethod};
+pub use linearize::{flat_linearize, rbfs_order, Linearized};
+pub use metrics::{bleu4, fact_coverage, hallucination_rate, rouge_l};
+pub use template::realize_entity;

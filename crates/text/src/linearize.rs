@@ -1,0 +1,157 @@
+//! Graph linearization strategies.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use kg::store::Triple;
+use kg::term::Sym;
+use kg::Graph;
+
+/// A linearized subgraph: token sequence with separators, ready for an LM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linearized {
+    /// The flattened string.
+    pub text: String,
+    /// Entity order used.
+    pub entity_order: Vec<Sym>,
+}
+
+/// Flat triple linearization: `s | p | o ⏐ s | p | o …` in input order.
+pub fn flat_linearize(graph: &Graph, triples: &[Triple]) -> Linearized {
+    let mut parts = Vec::with_capacity(triples.len());
+    let mut order = Vec::new();
+    for t in triples {
+        parts.push(format!(
+            "{} | {} | {}",
+            graph.display_name(t.s),
+            kg::namespace::humanize(kg::namespace::local_name(
+                graph.resolve(t.p).as_iri().unwrap_or("p")
+            )),
+            graph.display_name(t.o)
+        ));
+        for e in [t.s, t.o] {
+            if !order.contains(&e) {
+                order.push(e);
+            }
+        }
+    }
+    Linearized { text: parts.join(" ⏐ "), entity_order: order }
+}
+
+/// Relation-biased BFS entity ordering \[56\]: start from `root`, visit
+/// neighbors grouped by relation (relations sorted by label), breadth
+/// first. Returns the entity visit order restricted to entities present
+/// in `triples`.
+pub fn rbfs_order(graph: &Graph, triples: &[Triple], root: Sym) -> Vec<Sym> {
+    let in_subgraph: BTreeSet<Sym> = triples.iter().flat_map(|t| [t.s, t.o]).collect();
+    let mut order = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::from([root]);
+    seen.insert(root);
+    while let Some(n) = queue.pop_front() {
+        if in_subgraph.contains(&n) {
+            order.push(n);
+        }
+        // neighbors within the subgraph, relation-sorted then id-sorted
+        let mut next: Vec<(String, Sym)> = triples
+            .iter()
+            .filter(|t| t.s == n)
+            .map(|t| (graph.label(t.p).to_string(), t.o))
+            .chain(
+                triples
+                    .iter()
+                    .filter(|t| t.o == n)
+                    .map(|t| (graph.label(t.p).to_string(), t.s)),
+            )
+            .collect();
+        next.sort();
+        for (_, e) in next {
+            if seen.insert(e) {
+                queue.push_back(e);
+            }
+        }
+    }
+    // append any disconnected leftovers deterministically
+    for e in in_subgraph {
+        if !order.contains(&e) {
+            order.push(e);
+        }
+    }
+    order
+}
+
+/// Linearize following an explicit entity order: triples are emitted when
+/// their *both* endpoints have been introduced, keeping related facts
+/// adjacent (the structure-preserving property JointGT's aggregation
+/// module targets).
+pub fn ordered_linearize(graph: &Graph, triples: &[Triple], order: &[Sym]) -> Linearized {
+    let rank = |e: Sym| order.iter().position(|&x| x == e).unwrap_or(usize::MAX);
+    let mut sorted: Vec<&Triple> = triples.iter().collect();
+    sorted.sort_by_key(|t| (rank(t.s).max(rank(t.o)), rank(t.s), rank(t.o)));
+    let owned: Vec<Triple> = sorted.into_iter().copied().collect();
+    let mut lin = flat_linearize(graph, &owned);
+    lin.entity_order = order.to_vec();
+    lin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::analysis::khop_subgraph;
+    use kg::synth::{movies, Scale};
+
+    fn subgraph() -> (kg::Graph, Vec<Triple>, Sym) {
+        let kg = movies(33, Scale::tiny());
+        let g = kg.graph;
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let triples: Vec<Triple> = khop_subgraph(&g, film, 1)
+            .into_iter()
+            .filter(|t| {
+                g.resolve(t.p)
+                    .as_iri()
+                    .is_some_and(|i| i.starts_with(kg::namespace::SYNTH_VOCAB))
+                    && g.resolve(t.o).is_iri()
+            })
+            .collect();
+        (g, triples, film)
+    }
+
+    #[test]
+    fn flat_linearization_mentions_everything() {
+        let (g, triples, _) = subgraph();
+        let lin = flat_linearize(&g, &triples);
+        for t in &triples {
+            assert!(lin.text.contains(&g.display_name(t.s)));
+            assert!(lin.text.contains(&g.display_name(t.o)));
+        }
+        assert_eq!(lin.text.matches('⏐').count(), triples.len() - 1);
+    }
+
+    #[test]
+    fn rbfs_starts_at_root_and_covers_subgraph() {
+        let (g, triples, film) = subgraph();
+        let order = rbfs_order(&g, &triples, film);
+        assert_eq!(order[0], film);
+        let entities: BTreeSet<Sym> = triples.iter().flat_map(|t| [t.s, t.o]).collect();
+        assert_eq!(order.len(), entities.len());
+    }
+
+    #[test]
+    fn ordered_linearize_respects_order() {
+        let (g, triples, film) = subgraph();
+        let order = rbfs_order(&g, &triples, film);
+        let lin = ordered_linearize(&g, &triples, &order);
+        // the first mentioned entity is the root
+        assert!(lin.text.starts_with(&g.display_name(film)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, triples, film) = subgraph();
+        assert_eq!(rbfs_order(&g, &triples, film), rbfs_order(&g, &triples, film));
+        assert_eq!(flat_linearize(&g, &triples), flat_linearize(&g, &triples));
+    }
+}

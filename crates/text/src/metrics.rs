@@ -1,0 +1,195 @@
+//! Generation-quality metrics: BLEU-4, ROUGE-L, fact coverage, and
+//! hallucinated-entity rate.
+
+use slm::tokenizer::tokenize_words;
+
+use kg::store::Triple;
+use kg::Graph;
+
+/// BLEU-4 with uniform n-gram weights and brevity penalty.
+pub fn bleu4(candidate: &str, reference: &str) -> f64 {
+    let c = tokenize_words(candidate);
+    let r = tokenize_words(reference);
+    if c.is_empty() || r.is_empty() {
+        return 0.0;
+    }
+    let mut log_sum = 0.0;
+    for n in 1..=4usize {
+        let p = modified_precision(&c, &r, n);
+        // smoothed: zero counts become a small epsilon
+        log_sum += 0.25 * p.max(1e-9).ln();
+    }
+    let bp = if c.len() >= r.len() {
+        1.0
+    } else {
+        (1.0 - r.len() as f64 / c.len() as f64).exp()
+    };
+    bp * log_sum.exp()
+}
+
+fn modified_precision(c: &[String], r: &[String], n: usize) -> f64 {
+    if c.len() < n {
+        return 0.0;
+    }
+    let cand: Vec<&[String]> = c.windows(n).collect();
+    let mut refs: Vec<&[String]> = r.windows(n).collect();
+    let mut hits = 0usize;
+    for g in &cand {
+        if let Some(pos) = refs.iter().position(|rg| rg == g) {
+            refs.swap_remove(pos); // clip counts
+            hits += 1;
+        }
+    }
+    hits as f64 / cand.len() as f64
+}
+
+/// ROUGE-L F-measure (longest common subsequence).
+pub fn rouge_l(candidate: &str, reference: &str) -> f64 {
+    let c = tokenize_words(candidate);
+    let r = tokenize_words(reference);
+    if c.is_empty() || r.is_empty() {
+        return 0.0;
+    }
+    let l = lcs_len(&c, &r) as f64;
+    let p = l / c.len() as f64;
+    let rec = l / r.len() as f64;
+    if p + rec == 0.0 {
+        0.0
+    } else {
+        2.0 * p * rec / (p + rec)
+    }
+}
+
+fn lcs_len(a: &[String], b: &[String]) -> usize {
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for x in a {
+        for (j, y) in b.iter().enumerate() {
+            cur[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Fraction of input triples whose subject and object names both appear
+/// in the generated text.
+pub fn fact_coverage(graph: &Graph, triples: &[Triple], text: &str) -> f64 {
+    if triples.is_empty() {
+        return 1.0;
+    }
+    let lower = text.to_lowercase();
+    let covered = triples
+        .iter()
+        .filter(|t| {
+            lower.contains(&graph.display_name(t.s).to_lowercase())
+                && lower.contains(&graph.display_name(t.o).to_lowercase())
+        })
+        .count();
+    covered as f64 / triples.len() as f64
+}
+
+/// Fraction of known entity names mentioned in the text that are NOT part
+/// of the input subgraph — hallucinated entities.
+pub fn hallucination_rate(
+    graph: &Graph,
+    triples: &[Triple],
+    all_entity_names: &[String],
+    text: &str,
+) -> f64 {
+    let lower = text.to_lowercase();
+    let in_subgraph: Vec<String> = triples
+        .iter()
+        .flat_map(|t| [graph.display_name(t.s), graph.display_name(t.o)])
+        .map(|n| n.to_lowercase())
+        .collect();
+    let mentioned: Vec<&String> = all_entity_names
+        .iter()
+        .filter(|n| lower.contains(&n.to_lowercase()))
+        .collect();
+    if mentioned.is_empty() {
+        return 0.0;
+    }
+    let hallucinated = mentioned
+        .iter()
+        .filter(|n| !in_subgraph.contains(&n.to_lowercase()))
+        .count();
+    hallucinated as f64 / mentioned.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bleu_identity_is_one() {
+        let s = "the film is directed by ann lee";
+        assert!((bleu4(s, s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bleu_penalizes_divergence() {
+        let r = "the film is directed by ann lee";
+        let close = bleu4("the film is directed by ann ray", r);
+        let far = bleu4("completely unrelated words here now", r);
+        assert!(close > far);
+        assert!(far < 0.05);
+    }
+
+    #[test]
+    fn bleu_brevity_penalty_applies() {
+        let r = "a b c d e f g h";
+        let short = bleu4("a b c d", r);
+        let full = bleu4(r, r);
+        assert!(short < full);
+    }
+
+    #[test]
+    fn rouge_identity_and_order() {
+        let s = "alpha beta gamma delta";
+        assert!((rouge_l(s, s) - 1.0).abs() < 1e-9);
+        assert!(rouge_l("alpha gamma", s) > rouge_l("zeta eta", s));
+    }
+
+    #[test]
+    fn empty_strings_score_zero() {
+        assert_eq!(bleu4("", "x"), 0.0);
+        assert_eq!(rouge_l("x", ""), 0.0);
+    }
+
+    #[test]
+    fn coverage_and_hallucination() {
+        use kg::synth::{movies, Scale};
+        use kg::store::TriplePattern;
+        let kg = movies(55, Scale::tiny());
+        let g = &kg.graph;
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let triples: Vec<_> = g
+            .match_pattern(TriplePattern { s: Some(film), p: None, o: None })
+            .into_iter()
+            .filter(|t| g.resolve(t.o).is_iri())
+            .collect();
+        let names = kgextract::testgen::entity_surface_forms(g);
+        // text mentioning everything
+        let full: String = triples
+            .iter()
+            .flat_map(|t| [g.display_name(t.s), g.display_name(t.o)])
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(fact_coverage(g, &triples, &full), 1.0);
+        assert_eq!(hallucination_rate(g, &triples, &names, &full), 0.0);
+        // text mentioning an unrelated entity
+        let other_film = g.instances_of(film_class)[1];
+        let bad = format!("{} {}", full, g.display_name(other_film));
+        assert!(hallucination_rate(g, &triples, &names, &bad) > 0.0);
+        assert_eq!(fact_coverage(g, &triples, ""), 0.0);
+    }
+}

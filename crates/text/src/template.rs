@@ -1,0 +1,104 @@
+//! Template realization with same-subject aggregation.
+
+use std::collections::BTreeMap;
+
+use kg::ontology::Ontology;
+use kg::store::Triple;
+use kg::term::{Sym, Term};
+use kg::Graph;
+
+/// Realize a set of triples about one subject into a fluent sentence:
+/// `"The Big Chill is directed by Ann Lee, is starring Bob Ray and Cy Dee,
+/// and was released in 1999."`
+pub fn realize_entity(graph: &Graph, onto: &Ontology, subject: Sym, triples: &[Triple]) -> String {
+    let mut by_relation: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for t in triples.iter().filter(|t| t.s == subject) {
+        let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+        if !p_iri.starts_with(kg::namespace::SYNTH_VOCAB) {
+            continue;
+        }
+        let phrase = onto
+            .property(p_iri)
+            .and_then(|d| d.label.clone())
+            .unwrap_or_else(|| kg::namespace::humanize(kg::namespace::local_name(p_iri)));
+        let obj = match graph.resolve(t.o) {
+            Term::Literal(l) => l.lexical.clone(),
+            _ => graph.display_name(t.o),
+        };
+        by_relation.entry(phrase).or_default().push(obj);
+    }
+    if by_relation.is_empty() {
+        return format!("{}.", graph.display_name(subject));
+    }
+    let mut clauses: Vec<String> = Vec::new();
+    for (phrase, mut objects) in by_relation {
+        objects.sort();
+        clauses.push(format!("{} {}", kgextract::testgen::copula(&phrase), join_and(&objects)));
+    }
+    format!("{} {}.", graph.display_name(subject), join_and(&clauses))
+}
+
+/// Join with commas and a final "and".
+pub fn join_and(items: &[String]) -> String {
+    match items.len() {
+        0 => String::new(),
+        1 => items[0].clone(),
+        2 => format!("{} and {}", items[0], items[1]),
+        _ => format!(
+            "{}, and {}",
+            items[..items.len() - 1].join(", "),
+            items[items.len() - 1]
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::store::TriplePattern;
+    use kg::synth::{movies, Scale};
+
+    #[test]
+    fn aggregates_relations_into_one_sentence() {
+        let kg = movies(43, Scale::tiny());
+        let g = &kg.graph;
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let triples: Vec<Triple> =
+            g.match_pattern(TriplePattern { s: Some(film), p: None, o: None });
+        let text = realize_entity(g, &kg.ontology, film, &triples);
+        assert!(text.starts_with(&g.display_name(film)), "{text}");
+        assert!(text.contains("is directed by"), "{text}");
+        assert!(text.contains("is released in"), "{text}");
+        assert!(text.contains("has genre"), "{text}");
+        assert!(!text.contains("is has genre"), "{text}");
+        assert!(text.ends_with('.'));
+        // aggregation: exactly one sentence
+        assert_eq!(text.matches('.').count(), 1, "{text}");
+    }
+
+    #[test]
+    fn join_and_forms() {
+        let v = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert_eq!(join_and(&v(&["a"])), "a");
+        assert_eq!(join_and(&v(&["a", "b"])), "a and b");
+        assert_eq!(join_and(&v(&["a", "b", "c"])), "a, b, and c");
+        assert_eq!(join_and(&[]), "");
+    }
+
+    #[test]
+    fn entity_without_relations_degrades_gracefully() {
+        let kg = movies(43, Scale::tiny());
+        let g = &kg.graph;
+        let genre_class = g
+            .pool()
+            .get_iri(&format!("{}Genre", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let genre = g.instances_of(genre_class)[0];
+        let text = realize_entity(g, &kg.ontology, genre, &[]);
+        assert!(text.ends_with('.'));
+    }
+}

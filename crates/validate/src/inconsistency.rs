@@ -1,0 +1,555 @@
+//! Inconsistency detection (RQ3, §2.6.2).
+//!
+//! Two detector families:
+//!
+//! * **Constraint-based** ([`detect_violations`]): scan instance data
+//!   against the ontology's declared axioms — functional / inverse-
+//!   functional properties, domain/range, class disjointness,
+//!   irreflexivity, asymmetry, and max-cardinality restrictions.
+//! * **ChatRule-style** ([`mine_rules`] + [`apply_rules`]): mine candidate
+//!   logical rules from the KG's structure (inverse-pair and composition
+//!   patterns), score them by structural support/confidence *and* LM
+//!   semantic plausibility (the ChatRule \[61\] recipe), then flag
+//!   instances that violate high-confidence rules.
+
+use std::collections::BTreeMap;
+
+use kg::namespace as ns;
+use kg::ontology::Ontology;
+use kg::store::{Triple, TriplePattern};
+use kg::term::Sym;
+use kg::Graph;
+use slm::Slm;
+
+/// The kind of constraint violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// Two objects for a functional property.
+    Functional,
+    /// Two subjects for an inverse-functional property.
+    InverseFunctional,
+    /// Subject type conflicts with the property's domain.
+    Domain,
+    /// Object type conflicts with the property's range.
+    Range,
+    /// An entity typed with two disjoint classes.
+    Disjoint,
+    /// A self-loop on an irreflexive property.
+    Irreflexive,
+    /// More values than a max-cardinality restriction allows.
+    Cardinality,
+    /// A mined-rule violation (ChatRule).
+    MinedRule,
+}
+
+impl ViolationKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::Functional => "functional",
+            ViolationKind::InverseFunctional => "inverse-functional",
+            ViolationKind::Domain => "domain",
+            ViolationKind::Range => "range",
+            ViolationKind::Disjoint => "disjoint-types",
+            ViolationKind::Irreflexive => "irreflexive",
+            ViolationKind::Cardinality => "cardinality",
+            ViolationKind::MinedRule => "mined-rule",
+        }
+    }
+}
+
+/// One detected violation with the offending triples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// The triples participating in the violation (the later-sorted one
+    /// first for pair violations).
+    pub triples: Vec<Triple>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Scan a graph for constraint violations against an ontology.
+pub fn detect_violations(graph: &Graph, onto: &Ontology) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let ty = graph.pool().get_iri(ns::RDF_TYPE);
+
+    for (prop, decl) in onto.properties() {
+        let Some(p) = graph.pool().get_iri(prop) else { continue };
+        let triples = graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        // functional: group by subject
+        if decl.traits.functional {
+            let mut by_subject: BTreeMap<Sym, Vec<Triple>> = BTreeMap::new();
+            for t in &triples {
+                by_subject.entry(t.s).or_default().push(*t);
+            }
+            for (s, ts) in by_subject {
+                if ts.len() > 1 {
+                    let n = ts.len();
+                    out.push(Violation {
+                        kind: ViolationKind::Functional,
+                        triples: ts,
+                        message: format!(
+                            "{} has {} values for functional {}",
+                            graph.display_name(s),
+                            n,
+                            ns::local_name(prop)
+                        ),
+                    });
+                }
+            }
+        }
+        if decl.traits.inverse_functional {
+            let mut by_object: BTreeMap<Sym, Vec<Triple>> = BTreeMap::new();
+            for t in &triples {
+                by_object.entry(t.o).or_default().push(*t);
+            }
+            for (o, ts) in by_object {
+                if ts.len() > 1 {
+                    out.push(Violation {
+                        kind: ViolationKind::InverseFunctional,
+                        triples: ts,
+                        message: format!(
+                            "{} has multiple subjects for inverse-functional {}",
+                            graph.display_name(o),
+                            ns::local_name(prop)
+                        ),
+                    });
+                }
+            }
+        }
+        if decl.traits.irreflexive {
+            for t in &triples {
+                if t.s == t.o {
+                    out.push(Violation {
+                        kind: ViolationKind::Irreflexive,
+                        triples: vec![*t],
+                        message: format!(
+                            "{} is {} itself",
+                            graph.display_name(t.s),
+                            ns::local_name(prop)
+                        ),
+                    });
+                }
+            }
+        }
+        // domain / range typing checks (an entity violates if it has types
+        // and none of them is subsumed by the declared class)
+        if let Some(domain) = &decl.domain {
+            for t in &triples {
+                if violates_typing(graph, onto, t.s, domain) {
+                    out.push(Violation {
+                        kind: ViolationKind::Domain,
+                        triples: vec![*t],
+                        message: format!(
+                            "subject {} outside domain {} of {}",
+                            graph.display_name(t.s),
+                            ns::local_name(domain),
+                            ns::local_name(prop)
+                        ),
+                    });
+                }
+            }
+        }
+        if let (Some(range), false) = (&decl.range, decl.literal_valued) {
+            for t in &triples {
+                if graph.resolve(t.o).is_iri() && violates_typing(graph, onto, t.o, range) {
+                    out.push(Violation {
+                        kind: ViolationKind::Range,
+                        triples: vec![*t],
+                        message: format!(
+                            "object {} outside range {} of {}",
+                            graph.display_name(t.o),
+                            ns::local_name(range),
+                            ns::local_name(prop)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // disjoint classes
+    if let Some(ty) = ty {
+        for e in graph.entities() {
+            let classes: Vec<String> = graph
+                .objects(e, ty)
+                .into_iter()
+                .filter_map(|c| graph.resolve(c).as_iri().map(str::to_string))
+                .collect();
+            for (i, a) in classes.iter().enumerate() {
+                for b in classes.iter().skip(i + 1) {
+                    if onto.are_disjoint(a, b) {
+                        out.push(Violation {
+                            kind: ViolationKind::Disjoint,
+                            triples: vec![],
+                            message: format!(
+                                "{} typed with disjoint classes {} and {}",
+                                graph.display_name(e),
+                                ns::local_name(a),
+                                ns::local_name(b)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // cardinality restrictions
+    for r in onto.cardinalities() {
+        let (Some(class), Some(p)) =
+            (graph.pool().get_iri(&r.class), graph.pool().get_iri(&r.property))
+        else {
+            continue;
+        };
+        for e in graph.instances_of(class) {
+            let n = graph.objects(e, p).len();
+            if n > r.max {
+                out.push(Violation {
+                    kind: ViolationKind::Cardinality,
+                    triples: graph.match_pattern(TriplePattern {
+                        s: Some(e),
+                        p: Some(p),
+                        o: None,
+                    }),
+                    message: format!(
+                        "{} has {} values of {} (max {})",
+                        graph.display_name(e),
+                        n,
+                        ns::local_name(&r.property),
+                        r.max
+                    ),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+fn violates_typing(graph: &Graph, onto: &Ontology, e: Sym, expected: &str) -> bool {
+    let types: Vec<String> = graph
+        .types_of(e)
+        .into_iter()
+        .filter_map(|c| graph.resolve(c).as_iri().map(str::to_string))
+        .collect();
+    if types.is_empty() {
+        return false; // untyped entities are not violations
+    }
+    !types.iter().any(|t| onto.is_subclass_of(t, expected))
+}
+
+/// A mined logical rule (ChatRule-style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedRule {
+    /// Rule kind: `"symmetry"` (`p(x,y) → p(y,x)`) or `"composition"`
+    /// (`p(x,y) ∧ q(y,z) → r(x,z)`).
+    pub kind: &'static str,
+    /// Participating predicates.
+    pub predicates: Vec<Sym>,
+    /// Fraction of instantiations where the head holds.
+    pub confidence: f64,
+    /// Number of body instantiations observed.
+    pub support: usize,
+    /// LM semantic-plausibility score of the verbalized rule.
+    pub semantic_score: f64,
+    /// Verbalized form (what the LM judged).
+    pub text: String,
+}
+
+/// Mine symmetry and composition rules from a graph, scoring each by
+/// structural confidence and LM plausibility. Rules below `min_support`
+/// body instantiations are dropped.
+pub fn mine_rules(graph: &Graph, slm: &Slm, min_support: usize) -> Vec<MinedRule> {
+    let preds: Vec<Sym> = graph
+        .predicates()
+        .into_iter()
+        .map(|(p, _)| p)
+        .filter(|&p| {
+            graph
+                .resolve(p)
+                .as_iri()
+                .is_some_and(|i| i.starts_with(ns::SYNTH_VOCAB))
+        })
+        .collect();
+    let phrase =
+        |p: Sym| ns::humanize(ns::local_name(graph.label(p)));
+    let mut out = Vec::new();
+    // symmetry: p(x,y) → p(y,x)
+    for &p in &preds {
+        let triples = graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let object_valued: Vec<&Triple> =
+            triples.iter().filter(|t| graph.resolve(t.o).is_iri()).collect();
+        if object_valued.len() < min_support {
+            continue;
+        }
+        let holds = object_valued
+            .iter()
+            .filter(|t| graph.contains(t.o, p, t.s))
+            .count();
+        let confidence = holds as f64 / object_valued.len() as f64;
+        let text = format!("if x {} y then y {} x", phrase(p), phrase(p));
+        let semantic_score = f64::from(slm.similarity(&phrase(p), &phrase(p))); // = 1.0
+        out.push(MinedRule {
+            kind: "symmetry",
+            predicates: vec![p],
+            confidence,
+            support: object_valued.len(),
+            semantic_score,
+            text,
+        });
+    }
+    // composition: p(x,y) ∧ p(y,z) → p(x,z) (transitivity as the common case)
+    for &p in &preds {
+        let triples = graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let mut bodies = 0usize;
+        let mut heads = 0usize;
+        for t in triples.iter().filter(|t| graph.resolve(t.o).is_iri()) {
+            for o2 in graph.objects(t.o, p) {
+                bodies += 1;
+                if graph.contains(t.s, p, o2) {
+                    heads += 1;
+                }
+            }
+        }
+        if bodies >= min_support {
+            let text = format!(
+                "if x {} y and y {} z then x {} z",
+                phrase(p),
+                phrase(p),
+                phrase(p)
+            );
+            out.push(MinedRule {
+                kind: "transitivity",
+                predicates: vec![p],
+                confidence: heads as f64 / bodies as f64,
+                support: bodies,
+                semantic_score: slm.score(&text).exp2().min(1.0),
+                text,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.support.cmp(&a.support))
+            .then(a.text.cmp(&b.text))
+    });
+    out
+}
+
+/// Apply high-confidence mined rules: instances where the body holds but
+/// the head does not are flagged as [`ViolationKind::MinedRule`]
+/// inconsistencies (the ChatRule usage for error detection).
+pub fn apply_rules(graph: &Graph, rules: &[MinedRule], min_confidence: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for rule in rules.iter().filter(|r| r.confidence >= min_confidence && r.confidence < 1.0) {
+        let p = rule.predicates[0];
+        match rule.kind {
+            "symmetry" => {
+                for t in graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None }) {
+                    if graph.resolve(t.o).is_iri() && !graph.contains(t.o, p, t.s) {
+                        out.push(Violation {
+                            kind: ViolationKind::MinedRule,
+                            triples: vec![t],
+                            message: format!(
+                                "missing symmetric counterpart of {} → {} ({})",
+                                graph.display_name(t.s),
+                                graph.display_name(t.o),
+                                rule.text
+                            ),
+                        });
+                    }
+                }
+            }
+            "transitivity" => {
+                for t in graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None }) {
+                    if !graph.resolve(t.o).is_iri() {
+                        continue;
+                    }
+                    for o2 in graph.objects(t.o, p) {
+                        if o2 != t.s && !graph.contains(t.s, p, o2) {
+                            out.push(Violation {
+                                kind: ViolationKind::MinedRule,
+                                triples: vec![t, Triple::new(t.o, p, o2)],
+                                message: format!(
+                                    "missing transitive edge {} → {} ({})",
+                                    graph.display_name(t.s),
+                                    graph.display_name(o2),
+                                    rule.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::corrupt::{corrupt, CorruptionPlan, DefectKind};
+    use kg::synth::{geo, movies, Scale};
+
+    #[test]
+    fn clean_kg_has_no_constraint_violations() {
+        let kg = movies(91, Scale::tiny());
+        let v = detect_violations(&kg.graph, &kg.ontology);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn detector_finds_each_injected_violation_kind() {
+        let kg = movies(91, Scale::default());
+        let mut g = kg.graph.clone();
+        let plan = CorruptionPlan {
+            seed: 5,
+            misinformation: 0,
+            functional: 4,
+            range: 4,
+            domain: 4,
+            disjoint: 2,
+            irreflexive: 2,
+        };
+        let defects = corrupt(&mut g, &kg.ontology, &plan);
+        assert!(!defects.is_empty());
+        let violations = detect_violations(&g, &kg.ontology);
+        let has = |k: ViolationKind| violations.iter().any(|v| v.kind == k);
+        for d in &defects {
+            let expected = match d.kind {
+                DefectKind::FunctionalViolation => ViolationKind::Functional,
+                DefectKind::RangeViolation => ViolationKind::Range,
+                DefectKind::DomainViolation => ViolationKind::Domain,
+                DefectKind::DisjointTypes => ViolationKind::Disjoint,
+                DefectKind::IrreflexiveViolation => ViolationKind::Irreflexive,
+                DefectKind::Misinformation => continue,
+            };
+            assert!(has(expected), "no {expected:?} violation found for {d:?}");
+        }
+    }
+
+    #[test]
+    fn detector_recall_on_injected_defects_is_high() {
+        let kg = movies(92, Scale::default());
+        let mut g = kg.graph.clone();
+        let plan = CorruptionPlan {
+            seed: 6,
+            misinformation: 0,
+            functional: 5,
+            range: 5,
+            domain: 5,
+            disjoint: 3,
+            irreflexive: 3,
+        };
+        let defects = corrupt(&mut g, &kg.ontology, &plan);
+        let violations = detect_violations(&g, &kg.ontology);
+        // every injected defect's triple shows up in some violation
+        let mut caught = 0;
+        for d in &defects {
+            let hit = violations.iter().any(|v| {
+                v.triples.contains(&d.triple)
+                    || matches!(d.kind, DefectKind::DisjointTypes)
+                        && v.kind == ViolationKind::Disjoint
+            });
+            if hit {
+                caught += 1;
+            }
+        }
+        assert!(
+            caught as f64 / defects.len() as f64 > 0.9,
+            "caught {caught}/{}",
+            defects.len()
+        );
+    }
+
+    #[test]
+    fn mined_rules_find_symmetry_in_geo() {
+        let kg = geo(13, Scale::tiny());
+        let slm = Slm::builder().build();
+        let rules = mine_rules(&kg.graph, &slm, 3);
+        let borders = rules
+            .iter()
+            .find(|r| r.kind == "symmetry" && r.text.contains("border"))
+            .expect("borders symmetry rule");
+        assert!(
+            borders.confidence > 0.99,
+            "borders is fully symmetric in the generator: {}",
+            borders.confidence
+        );
+    }
+
+    #[test]
+    fn applied_rules_flag_broken_symmetry() {
+        let kg = geo(13, Scale::tiny());
+        let mut g = kg.graph.clone();
+        let slm = Slm::builder().build();
+        // break one symmetric edge
+        let borders = g
+            .pool()
+            .get_iri(&format!("{}borders", ns::SYNTH_VOCAB))
+            .unwrap();
+        let t = g
+            .match_pattern(TriplePattern { s: None, p: Some(borders), o: None })
+            .into_iter()
+            .next()
+            .unwrap();
+        g.remove(t.o, borders, t.s);
+        let rules = mine_rules(&g, &slm, 3);
+        let violations = apply_rules(&g, &rules, 0.8);
+        assert!(
+            violations.iter().any(|v| v.triples.contains(&t)),
+            "broken symmetry not flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn applied_transitivity_rules_flag_missing_closures() {
+        // a small located-in chain whose transitive closure is mostly
+        // materialized: the one missing edge gets flagged
+        let mut g = kg::Graph::new();
+        let p_iri = format!("{}locatedIn", ns::SYNTH_VOCAB);
+        for (a, b) in [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d"), ("b", "d")] {
+            g.insert_iri(
+                &format!("{}{}", ns::SYNTH_ENTITY, a),
+                &p_iri,
+                &format!("{}{}", ns::SYNTH_ENTITY, b),
+            );
+        }
+        // a→d missing: body a→b, b→d holds but head a→d absent
+        let slm = Slm::builder().build();
+        let rules = mine_rules(&g, &slm, 2);
+        let trans = rules
+            .iter()
+            .find(|r| r.kind == "transitivity")
+            .expect("transitivity mined");
+        assert!(trans.confidence >= 0.5 && trans.confidence < 1.0, "{}", trans.confidence);
+        let violations = apply_rules(&g, &rules, 0.5);
+        assert!(
+            violations.iter().any(|v| v.message.contains("missing transitive edge")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn cardinality_violations_detected() {
+        let kg = movies(93, Scale::tiny());
+        let mut g = kg.graph.clone();
+        // give one film 4 genres (restriction: max 3)
+        let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).unwrap();
+        let has_genre = g.pool().get_iri(&format!("{}hasGenre", ns::SYNTH_VOCAB)).unwrap();
+        let genre_class = g.pool().get_iri(&format!("{}Genre", ns::SYNTH_VOCAB)).unwrap();
+        let film = g.instances_of(film_class)[0];
+        for genre in g.instances_of(genre_class) {
+            g.insert(film, has_genre, genre);
+        }
+        let violations = detect_violations(&g, &kg.ontology);
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::Cardinality));
+    }
+}

@@ -1,0 +1,24 @@
+//! # kgvalidate — KG validation (paper §2.6)
+//!
+//! The survey's starred, previously-unsurveyed category: using LLMs to
+//! keep KGs accurate and consistent.
+//!
+//! * [`factcheck`] — Research Question 4: triple fact-checking by three
+//!   method families — plain verbalize-and-ask \[7, 13\], knowledge-
+//!   augmented checking à la FactLLaMA \[20\], and tool-augmented checking
+//!   à la FacTool \[19\] (the "tool" is structured KG lookup);
+//! * [`inconsistency`] — Research Question 3: constraint-based detection
+//!   (functional / inverse-functional / domain / range / disjointness /
+//!   irreflexive / cardinality) plus ChatRule-style \[61\] rule mining
+//!   that combines structural support with LM semantic plausibility;
+//! * [`quality`] — the accuracy-vs-consistency distinction the paper
+//!   draws (a KG can be consistent yet inaccurate): both metrics,
+//!   computed against a reference graph and an ontology.
+
+pub mod factcheck;
+pub mod inconsistency;
+pub mod quality;
+
+pub use factcheck::{FactChecker, FactCheckMethod};
+pub use inconsistency::{detect_violations, mine_rules, MinedRule, Violation, ViolationKind};
+pub use quality::{accuracy, consistency, QualityReport};

@@ -1,0 +1,141 @@
+//! Accuracy vs consistency (§2.6.2's conceptual distinction, made
+//! measurable).
+//!
+//! The paper: *"A KG might contain outdated yet logically coherent
+//! information, maintaining high consistency even with low accuracy."*
+//! With a reference graph (factual truth) and an ontology (logical
+//! contract) both metrics are computable, and the misinformation-only
+//! corruption demonstrates exactly the high-consistency/low-accuracy
+//! quadrant.
+
+use kg::ontology::Ontology;
+use kg::Graph;
+
+use crate::inconsistency::detect_violations;
+
+/// A quality report for a KG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Fraction of relation triples that are factually correct.
+    pub accuracy: f64,
+    /// `1 − violations / relation-triples`, floored at 0.
+    pub consistency: f64,
+    /// Number of relation triples considered.
+    pub triples: usize,
+    /// Number of constraint violations found.
+    pub violations: usize,
+}
+
+fn relation_triples(g: &Graph) -> Vec<kg::Triple> {
+    g.iter()
+        .filter(|t| {
+            g.resolve(t.p)
+                .as_iri()
+                .is_some_and(|i| i.starts_with(kg::namespace::SYNTH_VOCAB))
+        })
+        .collect()
+}
+
+/// Factual accuracy of `graph` against `reference` (triples are compared
+/// by resolved terms, so differing pools are fine).
+pub fn accuracy(graph: &Graph, reference: &Graph) -> f64 {
+    let triples = relation_triples(graph);
+    if triples.is_empty() {
+        return 1.0;
+    }
+    let correct = triples
+        .iter()
+        .filter(|t| {
+            let (Some(s), Some(p), Some(o)) = (
+                reference.pool().get(graph.resolve(t.s)),
+                reference.pool().get(graph.resolve(t.p)),
+                reference.pool().get(graph.resolve(t.o)),
+            ) else {
+                return false;
+            };
+            reference.contains(s, p, o)
+        })
+        .count();
+    correct as f64 / triples.len() as f64
+}
+
+/// Logical consistency of `graph` under `onto`.
+pub fn consistency(graph: &Graph, onto: &Ontology) -> f64 {
+    let n = relation_triples(graph).len();
+    if n == 0 {
+        return 1.0;
+    }
+    let v = detect_violations(graph, onto).len();
+    (1.0 - v as f64 / n as f64).max(0.0)
+}
+
+/// Full report.
+pub fn report(graph: &Graph, reference: &Graph, onto: &Ontology) -> QualityReport {
+    let triples = relation_triples(graph).len();
+    let violations = detect_violations(graph, onto).len();
+    QualityReport {
+        accuracy: accuracy(graph, reference),
+        consistency: consistency(graph, onto),
+        triples,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kg::corrupt::{corrupt, CorruptionPlan};
+    use kg::synth::{movies, Scale};
+
+    #[test]
+    fn clean_graph_is_accurate_and_consistent() {
+        let kg = movies(95, Scale::tiny());
+        let r = report(&kg.graph, &kg.graph, &kg.ontology);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.consistency, 1.0);
+        assert_eq!(r.violations, 0);
+    }
+
+    #[test]
+    fn misinformation_lowers_accuracy_but_not_consistency() {
+        // the paper's key conceptual point, reproduced
+        let kg = movies(95, Scale::default());
+        let mut g = kg.graph.clone();
+        let plan = CorruptionPlan {
+            seed: 9,
+            misinformation: 15,
+            functional: 0,
+            range: 0,
+            domain: 0,
+            disjoint: 0,
+            irreflexive: 0,
+        };
+        corrupt(&mut g, &kg.ontology, &plan);
+        let r = report(&g, &kg.graph, &kg.ontology);
+        assert!(r.accuracy < 1.0, "accuracy should drop: {}", r.accuracy);
+        assert!(
+            r.consistency > 0.95,
+            "schema-conforming misinformation must stay consistent: {}",
+            r.consistency
+        );
+    }
+
+    #[test]
+    fn constraint_violations_lower_consistency() {
+        let kg = movies(95, Scale::default());
+        let mut g = kg.graph.clone();
+        let plan = CorruptionPlan {
+            seed: 9,
+            misinformation: 0,
+            functional: 8,
+            range: 8,
+            domain: 8,
+            disjoint: 4,
+            irreflexive: 4,
+        };
+        corrupt(&mut g, &kg.ontology, &plan);
+        let r = report(&g, &kg.graph, &kg.ontology);
+        assert!(r.consistency < 1.0, "consistency should drop: {}", r.consistency);
+        assert!(r.violations > 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! KG chatbot (paper §4.1.5): a scripted dialogue showing hybrid routing —
+//! entity questions go to text-to-SPARQL + KG execution, chitchat to the
+//! LLM, and pronoun follow-ups resolve via the focus entity.
+//!
+//! Run with: `cargo run --example kg_chatbot`
+
+use llmkg::kgqa::chatbot::RouterDecision;
+use llmkg::{Workbench, WorkbenchConfig};
+
+fn main() {
+    let wb = Workbench::build(&WorkbenchConfig::default());
+    let g = wb.graph();
+    let film_class = g
+        .pool()
+        .get_iri("http://llmkg.dev/vocab/Film")
+        .expect("Film class");
+    let film = g.instances_of(film_class)[0];
+    let film_name = g.display_name(film);
+
+    let mut bot = wb.chatbot();
+    let script = vec![
+        "hi! can you help me with movie trivia?".to_string(),
+        format!("What is {film_name} directed by?"),
+        "And what is it produced by?".to_string(),
+        format!("What is {film_name} starring?"),
+        "thanks, that's all".to_string(),
+    ];
+
+    for user in script {
+        println!("user: {user}");
+        let reply = bot.handle(&user);
+        let route = match reply.decision {
+            RouterDecision::KgQuery => "KG",
+            RouterDecision::LlmChat => "LLM",
+        };
+        println!("bot [{route}]: {}", reply.text);
+        if let Some(sparql) = &reply.sparql {
+            println!("      (via {sparql})");
+        }
+        println!();
+    }
+    println!(
+        "focus entity at end of session: {:?}",
+        bot.focus.map(|e| g.display_name(e))
+    );
+}

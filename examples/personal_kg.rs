@@ -1,0 +1,65 @@
+//! Personal-KG-enhanced LLM (paper §5.2, open challenge): a small
+//! *private* knowledge graph of one person's life, kept out of the LM's
+//! training corpus and injected only at inference time — the paper's
+//! proposed separation of knowledge (KG) from language understanding
+//! (LM).
+//!
+//! Run with: `cargo run --example personal_kg`
+
+use llmkg::kg::namespace as ns;
+use llmkg::kg::turtle::parse_turtle;
+use llmkg::kgrag::inject::inject_knowledge;
+use llmkg::slm::{GenParams, Slm};
+
+fn main() {
+    // the private personal KG — never part of the LM's corpus
+    let personal = parse_turtle(&format!(
+        r#"
+        @prefix e: <{e}> .
+        @prefix v: <{v}> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        e:Jordan a v:Person ; rdfs:label "Jordan" ;
+             v:worksAt e:Acme_Labs ;
+             v:spouse e:Sam ;
+             v:prefers e:Green_Tea .
+        e:Acme_Labs a v:Organization ; rdfs:label "Acme Labs" .
+        e:Sam a v:Person ; rdfs:label "Sam" .
+        e:Green_Tea a v:Beverage ; rdfs:label "Green Tea" .
+        "#,
+        e = ns::SYNTH_ENTITY,
+        v = ns::SYNTH_VOCAB
+    ))
+    .expect("personal KG parses");
+
+    // a generic LM: language competence only, zero personal knowledge
+    let slm = Slm::builder()
+        .corpus([
+            "people work at organizations",
+            "people prefer beverages",
+            "a spouse is a partner",
+        ])
+        .build();
+
+    let questions = ["Where does Jordan work?", "What does Jordan prefer?", "Who is Jordan spouse?"];
+    for q in questions {
+        // without the personal KG: the LM cannot know
+        let blank = slm.answer(q, &[]);
+        // with K-BERT-style injection from the personal KG
+        let (context, _) = inject_knowledge(&personal, q, 8);
+        let informed = slm.answer(q, &context);
+        println!("Q: {q}");
+        println!(
+            "   without personal KG: {}",
+            if blank.is_answered() { blank.text } else { "(unknown)".into() }
+        );
+        println!("   with personal KG:    {} (evidence: {:?})\n", informed.text, informed.evidence);
+    }
+
+    // the separation the paper argues for: the LM stays small and generic,
+    // knowledge lives in the (private, editable, deletable) KG
+    println!(
+        "LM vocabulary: {} types — unchanged by personal facts.",
+        slm.lm().vocab_size()
+    );
+    let _ = GenParams::default();
+}

@@ -1,0 +1,53 @@
+//! Quickstart: build a workbench (KG + simulated LLM) and exercise each
+//! interplay family in a few lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use llmkg::{Workbench, WorkbenchConfig};
+
+fn main() {
+    // 1. Build: a movies KG, its verbalized corpus, and an LM trained on it.
+    let wb = Workbench::build(&WorkbenchConfig::default());
+    println!(
+        "KG: {} triples, corpus: {} sentences, LM vocab: {} types\n",
+        wb.graph().len(),
+        wb.corpus.len(),
+        wb.slm.lm().vocab_size()
+    );
+
+    // 2. Query the KG declaratively (SPARQL and Cypher front-ends).
+    let films = wb
+        .sparql(
+            "PREFIX v: <http://llmkg.dev/vocab/> \
+             SELECT ?f ?d WHERE { ?f a v:Film ; v:directedBy ?d } LIMIT 3",
+        )
+        .expect("query runs");
+    println!("Some films and their directors:\n{}", films.to_table());
+
+    // 3. Ask in natural language (LLM-KG cooperation: text-to-SPARQL).
+    let g = wb.graph();
+    let film_class = g
+        .pool()
+        .get_iri("http://llmkg.dev/vocab/Film")
+        .expect("Film class");
+    let film = g.instances_of(film_class)[0];
+    let film_name = g.display_name(film);
+    let question = format!("What is {film_name} directed by?");
+    println!("Q: {question}");
+    println!("A: {}\n", wb.ask(&question));
+
+    // 4. Generate a description (KG-to-text, RQ1).
+    println!("Describe {film_name}:");
+    println!("  {}\n", wb.describe(&film_name).expect("entity exists"));
+
+    // 5. Fact-check a claim (KG validation, RQ4).
+    let claim = &wb.corpus[0];
+    println!("Verify {claim:?}: {:?}", wb.verify(claim));
+    println!(
+        "Verify \"the moon is made of cheese\": {:?}",
+        wb.verify("the moon is made of cheese")
+    );
+
+    // 6. Validate the KG against its ontology (RQ3).
+    println!("\nConstraint violations in the clean KG: {}", wb.validate().len());
+}

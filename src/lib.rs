@@ -1,0 +1,7 @@
+//! Integration-test and example host package for the `llmkg` workspace.
+//!
+//! The real library surface lives in the `llmkg` umbrella crate and the
+//! per-task crates; this package exists so that `tests/` and `examples/`
+//! at the repository root can span all of them.
+
+pub use llmkg as framework;

@@ -1,0 +1,121 @@
+//! Consistency checks between the paper's artifacts (as encoded in
+//! `corpus`) and the implementation — the "taxonomy is code" guarantee.
+
+use llmkg::corpus::bibliography::{approaches, REFERENCES};
+use llmkg::corpus::coverage::coverage_matrix;
+use llmkg::corpus::stats::usage_stats;
+use llmkg::corpus::taxonomy::{taxonomy, Family};
+
+/// Every taxonomy node claims an implementing module whose crate actually
+/// exists in this workspace.
+#[test]
+fn every_taxonomy_node_maps_to_a_real_crate() {
+    const CRATES: &[&str] = &[
+        "kg", "kgquery", "slm", "kgextract", "kgonto", "kgembed", "kgcomplete", "kgreason",
+        "kgvalidate", "kgtext", "kgrag", "kgqa", "corpus",
+    ];
+    for node in taxonomy() {
+        let first = node
+            .implemented_by
+            .split([':', ','])
+            .next()
+            .map(str::trim)
+            .unwrap_or("");
+        assert!(
+            CRATES.contains(&first),
+            "{} claims unknown crate {first}",
+            node.name
+        );
+    }
+}
+
+/// Table 1's subcategories and the taxonomy agree: every subcategory our
+/// survey covers (except the explicitly-uncovered event detection) exists
+/// as a taxonomy node or an alias of one.
+#[test]
+fn coverage_rows_align_with_taxonomy() {
+    let names: Vec<&str> = taxonomy().iter().map(|n| n.name).collect();
+    let aliases = [
+        ("Relation and Attribute Extraction", "Relation Extraction"),
+        ("KG-to-Text Generation", "KG-to-Text Generation"),
+        (
+            "Querying Large Language Models with SPARQL",
+            "Querying LLMs with SPARQL",
+        ),
+        ("Entity Prediction", "Entity Prediction"),
+        ("Relation Prediction", "Relation Prediction"),
+    ];
+    for row in coverage_matrix() {
+        if !row.covered[4] {
+            continue; // the one row nobody covers
+        }
+        let target = aliases
+            .iter()
+            .find(|(a, _)| *a == row.sub)
+            .map(|(_, t)| *t)
+            .unwrap_or(row.sub);
+        assert!(
+            names.contains(&target),
+            "Table 1 row {:?} has no taxonomy node",
+            row.sub
+        );
+    }
+}
+
+/// The paper's statistics are computed over exactly the approach papers;
+/// no survey/background reference contributes counts.
+#[test]
+fn figure2_counts_only_approaches() {
+    let stats = usage_stats();
+    assert_eq!(stats.n_approaches, approaches().count());
+    let total_llm_mentions: usize = stats.llm_counts.values().sum();
+    // upper bound: every approach mentions at most a handful of models
+    assert!(total_llm_mentions <= stats.n_approaches * 3);
+    // exact count check for one well-known entry
+    let kgbert = REFERENCES.iter().find(|r| r.name == "KG-BERT").expect("KG-BERT cited");
+    assert!(kgbert.llms.contains(&"BERT"));
+    assert!(stats.llm_counts["BERT"] >= 10);
+}
+
+/// Research questions 1–6 each land in the family the paper assigns them.
+#[test]
+fn research_questions_sit_in_the_right_families() {
+    let t = taxonomy();
+    let family_of = |rq: u8| {
+        t.iter()
+            .find(|n| n.research_question == Some(rq))
+            .map(|n| n.family)
+            .expect("rq exists")
+    };
+    // RQ1–4 are "LLM for KG" activities (§2); RQ5–6 are cooperation (§4)
+    for rq in 1..=4u8 {
+        assert_eq!(family_of(rq), Family::LlmForKg, "RQ{rq}");
+    }
+    for rq in 5..=6u8 {
+        assert_eq!(family_of(rq), Family::Cooperation, "RQ{rq}");
+    }
+}
+
+/// The starred (new-in-this-survey) nodes are exactly the rows of Table 1
+/// that no prior survey covers but ours does — minus complex QA's parent
+/// bookkeeping.
+#[test]
+fn stars_match_uncovered_rows() {
+    let t = taxonomy();
+    for row in coverage_matrix() {
+        let prior_covered = row.covered[..4].iter().any(|&c| c);
+        if prior_covered {
+            // anything a prior survey covers must not be starred
+            if let Some(node) = t.iter().find(|n| n.name == row.sub) {
+                assert!(!node.new_in_survey, "{} wrongly starred", row.sub);
+            }
+        }
+    }
+    // and the paper's flagship new categories are starred
+    for name in ["Fact Checking", "Inconsistency Detection", "Knowledge Graph Chatbots"] {
+        assert!(
+            t.iter().any(|n| n.name == name && n.new_in_survey),
+            "{name} must be starred"
+        );
+    }
+}

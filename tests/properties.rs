@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over core invariants of the substrates.
+
+use proptest::prelude::*;
+
+use llmkg::kg::term::{Literal, Term};
+use llmkg::kg::turtle::{parse_ntriples, to_ntriples};
+use llmkg::kg::{Graph, TriplePattern};
+use llmkg::kgtext::metrics::{bleu4, rouge_l};
+use llmkg::slm::embedding::{cosine, Embedder};
+use llmkg::slm::evidence::EvidenceIndex;
+use llmkg::slm::tokenizer::tokenize;
+
+// a tiny vocabulary keeps triple collisions likely (more interesting graphs)
+fn entity_strategy() -> impl Strategy<Value = String> {
+    (0u8..20).prop_map(|i| format!("http://e/n{i}"))
+}
+
+fn predicate_strategy() -> impl Strategy<Value = String> {
+    (0u8..5).prop_map(|i| format!("http://p/r{i}"))
+}
+
+fn triples_strategy() -> impl Strategy<Value = Vec<(String, String, String)>> {
+    proptest::collection::vec(
+        (entity_strategy(), predicate_strategy(), entity_strategy()),
+        0..60,
+    )
+}
+
+proptest! {
+    /// Every pattern shape agrees with the naive filter over all triples.
+    #[test]
+    fn pattern_matching_agrees_with_naive_filter(triples in triples_strategy()) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_iri(s, p, o);
+        }
+        let all: Vec<_> = g.iter().collect();
+        // build a few patterns from the first triple (if any)
+        let mut patterns = vec![TriplePattern::any()];
+        if let Some(t) = all.first() {
+            patterns.push(TriplePattern { s: Some(t.s), p: None, o: None });
+            patterns.push(TriplePattern { s: None, p: Some(t.p), o: None });
+            patterns.push(TriplePattern { s: None, p: None, o: Some(t.o) });
+            patterns.push(TriplePattern { s: Some(t.s), p: Some(t.p), o: None });
+            patterns.push(TriplePattern { s: Some(t.s), p: Some(t.p), o: Some(t.o) });
+        }
+        for pat in patterns {
+            let fast = g.match_pattern(pat);
+            let slow: Vec<_> = all.iter().filter(|t| pat.matches(t)).copied().collect();
+            prop_assert_eq!(fast.len(), slow.len());
+            for t in &fast {
+                prop_assert!(slow.contains(t));
+            }
+        }
+    }
+
+    /// Insert/remove keeps all indexes consistent: removing everything
+    /// empties the graph.
+    #[test]
+    fn insert_remove_is_clean(triples in triples_strategy()) {
+        let mut g = Graph::new();
+        let mut inserted = Vec::new();
+        for (s, p, o) in &triples {
+            inserted.push(g.insert_iri(s, p, o));
+        }
+        for t in &inserted {
+            g.remove(t.s, t.p, t.o);
+        }
+        prop_assert_eq!(g.len(), 0);
+        prop_assert!(g.predicates().is_empty());
+        prop_assert!(g.match_pattern(TriplePattern::any()).is_empty());
+    }
+
+    /// N-Triples round-trip is lossless for IRI triples and integer /
+    /// string literals.
+    #[test]
+    fn ntriples_round_trip(
+        triples in triples_strategy(),
+        lit_num in -1000i64..1000,
+        lit_str in "[a-zA-Z ]{0,20}",
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_iri(s, p, o);
+        }
+        g.insert_terms(
+            Term::iri("http://e/lit"),
+            Term::iri("http://p/v"),
+            Term::int(lit_num),
+        );
+        g.insert_terms(
+            Term::iri("http://e/lit"),
+            Term::iri("http://p/s"),
+            Term::Literal(Literal::string(lit_str.clone())),
+        );
+        let nt = to_ntriples(&g);
+        let g2 = parse_ntriples(&nt).expect("round trip parses");
+        prop_assert_eq!(g2.len(), g.len());
+        // line order depends on interning order; compare as sorted sets
+        let sorted = |s: &str| {
+            let mut v: Vec<&str> = s.lines().collect();
+            v.sort_unstable();
+            v.join("\n")
+        };
+        prop_assert_eq!(sorted(&to_ntriples(&g2)), sorted(&nt));
+    }
+
+    /// Cosine similarity is bounded and symmetric; embeddings are finite.
+    #[test]
+    fn embedding_cosine_properties(a in "[a-z ]{1,40}", b in "[a-z ]{1,40}") {
+        let e = Embedder::new();
+        let va = e.embed(&a);
+        let vb = e.embed(&b);
+        prop_assert!(va.iter().all(|x| x.is_finite()));
+        let s_ab = cosine(&va, &vb);
+        let s_ba = cosine(&vb, &va);
+        prop_assert!((s_ab - s_ba).abs() < 1e-5);
+        prop_assert!((-1.0001..=1.0001).contains(&s_ab));
+        // self-similarity is 1 (or 0 for empty embedding)
+        let s_aa = cosine(&va, &va);
+        prop_assert!(s_aa == 0.0 || (s_aa - 1.0).abs() < 1e-4);
+    }
+
+    /// Evidence support is bounded in [0,1]; indexed sentences support
+    /// themselves fully.
+    #[test]
+    fn evidence_support_bounds(sentences in proptest::collection::vec("[a-z]{2,8}( [a-z]{2,8}){1,6}", 1..15)) {
+        let idx = EvidenceIndex::from_sentences(sentences.iter().map(String::as_str));
+        for s in &sentences {
+            let sup = idx.support(s);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&sup));
+            prop_assert!(sup > 0.99, "self-support {sup} for {s}");
+        }
+        prop_assert_eq!(idx.support("zzzzqqqq xxxx"), 0.0);
+    }
+
+    /// Text metrics are bounded in [0,1] and identity-maximal.
+    #[test]
+    fn text_metrics_bounds(a in "[a-z]{2,6}( [a-z]{2,6}){0,8}", b in "[a-z]{2,6}( [a-z]{2,6}){0,8}") {
+        for m in [bleu4(&a, &b), rouge_l(&a, &b)] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&m));
+        }
+        prop_assert!(rouge_l(&a, &a) > 0.999);
+        // BLEU-4 identity needs at least one 4-gram to reach 1.0
+        if a.split_whitespace().count() >= 4 {
+            prop_assert!(bleu4(&a, &a) > 0.999);
+        }
+    }
+
+    /// Tokenization never produces empty tokens and covers all
+    /// alphanumerics.
+    #[test]
+    fn tokenizer_invariants(text in ".{0,80}") {
+        let toks = tokenize(&text);
+        for t in &toks {
+            prop_assert!(!t.is_empty());
+        }
+        let alnum_in: usize = text.chars().filter(|c| c.is_alphanumeric()).count();
+        let alnum_out: usize = toks
+            .iter()
+            .flat_map(|t| t.chars())
+            .filter(|c| c.is_alphanumeric())
+            .count();
+        prop_assert_eq!(alnum_in, alnum_out);
+    }
+}
+
+/// SPARQL LIMIT/OFFSET laws on a concrete graph (not fuzzed inputs — the
+/// query text is fixed; the law must hold for any limit/offset).
+#[test]
+fn sparql_limit_offset_laws() {
+    let kg = llmkg::kg::synth::movies(77, llmkg::kg::synth::Scale::tiny());
+    let base = "PREFIX v: <http://llmkg.dev/vocab/> SELECT ?f WHERE { ?f a v:Film } ORDER BY ?f";
+    let all = llmkg::kgquery::execute_sparql(&kg.graph, base).unwrap();
+    let n = all.len();
+    for limit in [0usize, 1, 3, n, n + 5] {
+        for offset in [0usize, 1, n / 2, n, n + 3] {
+            let q = format!("{base} LIMIT {limit} OFFSET {offset}");
+            let rs = llmkg::kgquery::execute_sparql(&kg.graph, &q).unwrap();
+            let expected = n.saturating_sub(offset).min(limit);
+            assert_eq!(rs.len(), expected, "limit {limit} offset {offset}");
+            // the slice agrees with the unmodified query
+            for (i, row) in rs.rows.iter().enumerate() {
+                assert_eq!(row, &all.rows[offset + i]);
+            }
+        }
+    }
+}
