@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` surface this workspace uses:
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! [`BatchSize`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is real (monotonic clock, warm-up then a measured sample pass)
+//! but there is no statistical analysis or HTML report — each benchmark
+//! prints its median-ish mean time per iteration to stdout. Honors
+//! `CRITERION_SAMPLE_MS` to shorten or lengthen the measured window.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How much setup output to batch between timer reads. The stand-in only
+/// uses this to pick a batch count; all variants behave sensibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Benchmark driver. Construct with [`Criterion::default`].
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            warm_up: Duration::from_millis(ms / 3),
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Chainable config hook (accepted and ignored for compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / (b.iters as u32)
+        };
+        println!(
+            "{id:<40} {:>12.1} ns/iter ({} iters)",
+            per_iter.as_nanos() as f64,
+            b.iters
+        );
+        self
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed in the reported figure).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std_black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            std_black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std_black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut timed = Duration::ZERO;
+        let wall_start = Instant::now();
+        while wall_start.elapsed() < self.measure {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+                iters += 1;
+            }
+            timed += t.elapsed();
+        }
+        self.iters = iters;
+        self.elapsed = timed;
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn iter_counts_iterations() {
+        let mut c = tiny();
+        let mut saw = 0u64;
+        c.bench_function("t/iter", |b| {
+            b.iter(|| 1 + 1);
+            saw = b.iters;
+        });
+        assert!(saw > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut c = tiny();
+        let mut saw = 0u64;
+        c.bench_function("t/batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+            saw = b.iters;
+        });
+        assert!(saw > 0);
+    }
+}

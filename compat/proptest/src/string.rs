@@ -1,0 +1,216 @@
+//! Generation-only regex interpreter for string strategies.
+//!
+//! Supports the subset the workspace's string strategies use: literal
+//! characters, `.` (printable ASCII), character classes like `[a-zA-Z ]`
+//! (ranges, single chars, spaces; no negation), parenthesized groups, and
+//! `{m,n}` / `{n}` quantifiers on the preceding atom. Alternation and the
+//! `*`/`+`/`?` quantifiers are translated to bounded repetition.
+
+use crate::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One of these chars, uniformly.
+    Class(Vec<char>),
+    /// A fixed literal char.
+    Lit(char),
+    /// A nested sequence (parenthesized group).
+    Group(Vec<Piece>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generate a string matching `pattern` (within the supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let pieces = parse_seq(&chars, &mut pos, pattern);
+    let mut out = String::new();
+    emit_seq(&pieces, rng, &mut out);
+    out
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ')' {
+        let atom = match chars[*pos] {
+            '[' => {
+                *pos += 1;
+                Atom::Class(parse_class(chars, pos, pattern))
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(chars, pos, pattern);
+                assert!(
+                    matches!(chars.get(*pos), Some(')')),
+                    "unclosed group in strategy regex {pattern:?}"
+                );
+                *pos += 1;
+                Atom::Group(inner)
+            }
+            '.' => {
+                *pos += 1;
+                // printable ASCII
+                Atom::Class((b' '..=b'~').map(char::from).collect())
+            }
+            '\\' => {
+                *pos += 1;
+                let c = chars[*pos];
+                *pos += 1;
+                Atom::Lit(c)
+            }
+            c => {
+                *pos += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = parse_quantifier(chars, pos, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut min_text = String::new();
+            while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                min_text.push(chars[*pos]);
+                *pos += 1;
+            }
+            let min: usize = min_text
+                .parse()
+                .unwrap_or_else(|_| panic!("bad quantifier in strategy regex {pattern:?}"));
+            let max = if matches!(chars.get(*pos), Some(',')) {
+                *pos += 1;
+                let mut max_text = String::new();
+                while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                    max_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                if max_text.is_empty() {
+                    min + 8
+                } else {
+                    max_text.parse().unwrap()
+                }
+            } else {
+                min
+            };
+            assert!(
+                matches!(chars.get(*pos), Some('}')),
+                "unclosed quantifier in strategy regex {pattern:?}"
+            );
+            *pos += 1;
+            (min, max)
+        }
+        Some('*') => {
+            *pos += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            (1, 8)
+        }
+        Some('?') => {
+            *pos += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<char> {
+    let mut members = Vec::new();
+    while *pos < chars.len() && chars[*pos] != ']' {
+        let c = if chars[*pos] == '\\' {
+            *pos += 1;
+            chars[*pos]
+        } else {
+            chars[*pos]
+        };
+        if matches!(chars.get(*pos + 1), Some('-')) && !matches!(chars.get(*pos + 2), Some(']')) {
+            let hi = chars[*pos + 2];
+            members.extend((c..=hi).filter(|ch| ch.is_ascii()));
+            *pos += 3;
+        } else {
+            members.push(c);
+            *pos += 1;
+        }
+    }
+    assert!(
+        matches!(chars.get(*pos), Some(']')),
+        "unclosed class in strategy regex {pattern:?}"
+    );
+    *pos += 1;
+    assert!(
+        !members.is_empty(),
+        "empty class in strategy regex {pattern:?}"
+    );
+    members
+}
+
+fn emit_seq(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let reps = piece.min + rng.below(span) as usize;
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(members) => out.push(members[rng.below(members.len() as u64) as usize]),
+                Atom::Group(inner) => emit_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("string-tests")
+    }
+
+    #[test]
+    fn class_with_range_and_space() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[a-zA-Z ]{0,20}", &mut r);
+            assert!(s.len() <= 20);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_repetition() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[a-z]{2,8}( [a-z]{2,8}){1,6}", &mut r);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((2..=7).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((2..=8).contains(&w.len()), "{s:?}");
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate_matching(".{0,80}", &mut r);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+}

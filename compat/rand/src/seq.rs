@@ -1,0 +1,83 @@
+//! Slice sampling helpers (the `rand::seq` surface used here).
+
+use crate::RngCore;
+
+/// Random selection and shuffling over slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements in random order (fewer if the slice is
+    /// shorter).
+    fn choose_multiple<'a, R: RngCore + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, Self::Item>;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<'a, R: RngCore + ?Sized>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'a, T> {
+        let amount = amount.min(self.len());
+        // partial Fisher–Yates over an index vector
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        let picked = idx[..amount].iter().map(|&i| &self[i]).collect();
+        SliceChooseIter {
+            items: picked,
+            next: 0,
+        }
+    }
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Iterator returned by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    items: Vec<&'a T>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let item = self.items.get(self.next).copied();
+        self.next += 1;
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.items.len() - self.next.min(self.items.len());
+        (rest, Some(rest))
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `serde` serialization surface this workspace
+//! uses: the [`Serialize`] trait plus `#[derive(Serialize)]`.
+//!
+//! Instead of serde's visitor-based data model, serialization produces a
+//! self-describing [`Content`] tree that `serde_json` (the sibling
+//! stand-in) renders. Only serialization is supported — nothing in the
+//! workspace deserializes.
+
+// Let the derive's `::serde::...` paths resolve inside this crate too
+// (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A serialized value: the stand-in's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Ordered map (insertion order preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Render this content as a JSON object key. Structured keys (tuples,
+    /// sequences) are flattened with `/`, mirroring how the workspace's
+    /// report files address composite dimensions.
+    pub fn as_key(&self) -> String {
+        match self {
+            Content::Null => "null".to_string(),
+            Content::Bool(b) => b.to_string(),
+            Content::I64(n) => n.to_string(),
+            Content::U64(n) => n.to_string(),
+            Content::F64(n) => n.to_string(),
+            Content::Str(s) => s.clone(),
+            Content::Seq(items) => items
+                .iter()
+                .map(Content::as_key)
+                .collect::<Vec<_>>()
+                .join("/"),
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_key()))
+                .collect::<Vec<_>>()
+                .join("/"),
+        }
+    }
+}
+
+/// Serialization into the [`Content`] data model.
+pub trait Serialize {
+    /// Produce the serialized form of `self`.
+    fn serialize_content(&self) -> Content;
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        self.as_slice().serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        self.as_slice().serialize_content()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![self.0.serialize_content(), self.1.serialize_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.serialize_content(),
+            self.1.serialize_content(),
+            self.2.serialize_content(),
+        ])
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize_content().as_key(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.serialize_content().as_key(), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Content::Map(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: i32,
+        y: Option<&'static str>,
+    }
+
+    #[derive(Serialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    #[test]
+    fn derive_struct_produces_field_map() {
+        let c = Point {
+            x: 3,
+            y: Some("up"),
+        }
+        .serialize_content();
+        match c {
+            Content::Map(fields) => {
+                assert_eq!(fields[0].0, "x");
+                assert_eq!(fields[0].1, Content::I64(3));
+                assert_eq!(fields[1].1, Content::Str("up".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_unit_enum_is_variant_name() {
+        assert_eq!(
+            Kind::Alpha.serialize_content(),
+            Content::Str("Alpha".into())
+        );
+        assert_eq!(Kind::Beta.serialize_content(), Content::Str("Beta".into()));
+    }
+
+    #[test]
+    fn composite_map_keys_flatten() {
+        let mut m: BTreeMap<(String, String), usize> = BTreeMap::new();
+        m.insert(("a".into(), "b".into()), 1);
+        match m.serialize_content() {
+            Content::Map(entries) => assert_eq!(entries[0].0, "a/b"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Offline stand-in for the `serde_json` surface this workspace uses:
+//! [`Value`], [`Map`], [`json!`], [`to_value`], [`to_string`] and
+//! [`to_string_pretty`]. Only serialization — no parser.
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map<String, Value>),
+}
+
+/// A JSON number (integer or float).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Number {
+    repr: NumberRepr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NumberRepr {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// Construct from a float.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number {
+            repr: NumberRepr::F(v),
+        })
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.repr {
+            NumberRepr::I(v) => write!(f, "{v}"),
+            NumberRepr::U(v) => write!(f, "{v}"),
+            NumberRepr::F(v) if v.is_finite() => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            NumberRepr::F(_) => write!(f, "null"), // non-finite: JSON has no representation
+        }
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty => $variant:ident as $repr:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number { repr: NumberRepr::$variant(v as $repr) })
+            }
+        }
+    )*};
+}
+impl_value_from_int!(
+    i8 => I as i64, i16 => I as i64, i32 => I as i64, i64 => I as i64, isize => I as i64,
+    u8 => U as u64, u16 => U as u64, u32 => U as u64, u64 => U as u64, usize => U as u64
+);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number {
+            repr: NumberRepr::F(v),
+        })
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<Content> for Value {
+    fn from(c: Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::I64(n) => Value::from(n),
+            Content::U64(n) => Value::from(n),
+            Content::F64(n) => Value::from(n),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => Value::Array(items.into_iter().map(Value::from).collect()),
+            Content::Map(entries) => {
+                let mut map = Map::new();
+                for (k, v) in entries {
+                    map.insert(k, Value::from(v));
+                }
+                Value::Object(map)
+            }
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => match n.repr {
+                NumberRepr::I(v) => Content::I64(v),
+                NumberRepr::U(v) => Content::U64(v),
+                NumberRepr::F(v) => Content::F64(v),
+            },
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => {
+                Content::Seq(items.iter().map(Serialize::serialize_content).collect())
+            }
+            Value::Object(map) => Content::Map(
+                map.iter()
+                    .map(|(k, v)| (k.clone(), v.serialize_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (the `serde_json::Map` shape).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<V> Map<String, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert, replacing any existing entry with the same key; returns the
+    /// previous value if present.
+    pub fn insert(&mut self, key: String, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether a key exists.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<V> FromIterator<(String, V)> for Map<String, V> {
+    fn from_iter<I: IntoIterator<Item = (String, V)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// Serialization error (the stand-in serializer is total, so this is only
+/// a type-compatibility shell).
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(Value::from(value.serialize_content()))
+}
+
+/// Infallible conversion used by the [`json!`] macro.
+pub fn value_of<T: Serialize + ?Sized>(value: &T) -> Value {
+    Value::from(value.serialize_content())
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value_of(value), None, 0);
+    Ok(out)
+}
+
+/// Pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value_of(value), Some(2), 0);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        write!(f, "{out}")
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Build a [`Value`] from JSON-shaped syntax. Supports object/array
+/// literals, `null`/`true`/`false`, literals, and arbitrary serializable
+/// expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::json_internal!(@array [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::json_internal!(@object ($crate::Map::new()) () $($tt)*) };
+    ($other:expr) => { $crate::value_of(&$other) };
+}
+
+/// Internal TT muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: accumulate element expressions ----
+    (@array [$($elems:expr),*]) => {
+        $crate::Value::Array(vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] ,) => {
+        $crate::Value::Array(vec![$($elems),*])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems),*] $($rest)*)
+    };
+    (@array [$($elems:expr),*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null] $($rest)*)
+    };
+    (@array [$($elems:expr),*] [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!([ $($inner)* ])] $($rest)*)
+    };
+    (@array [$($elems:expr),*] { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({ $($inner)* })] $($rest)*)
+    };
+    (@array [$($elems:expr),*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::value_of(&$next)] , $($rest)*)
+    };
+    (@array [$($elems:expr),*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::value_of(&$last)])
+    };
+
+    // ---- objects: ($map) (key tts) value tts ----
+    // done
+    (@object ($map:expr) ()) => { $crate::Value::Object($map) };
+    // trailing comma
+    (@object ($map:expr) () ,) => { $crate::Value::Object($map) };
+    (@object ($map:expr) () , $($rest:tt)*) => {
+        $crate::json_internal!(@object ($map) () $($rest)*)
+    };
+    // take the key (a literal or parenthesized expression) up to the colon
+    (@object ($map:expr) () $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@object ($map) ($key) $($rest)*)
+    };
+    (@object ($map:expr) () ( $key:expr ) : $($rest:tt)*) => {
+        $crate::json_internal!(@object ($map) ($key) $($rest)*)
+    };
+    // value is a nested structure or null
+    (@object ($map:expr) ($key:expr) null $($rest:tt)*) => {
+        $crate::json_internal!(@object ({
+            let mut map = $map;
+            map.insert(::std::string::String::from($key), $crate::Value::Null);
+            map
+        }) () $($rest)*)
+    };
+    (@object ($map:expr) ($key:expr) [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal!(@object ({
+            let mut map = $map;
+            map.insert(::std::string::String::from($key), $crate::json!([ $($inner)* ]));
+            map
+        }) () $($rest)*)
+    };
+    (@object ($map:expr) ($key:expr) { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_internal!(@object ({
+            let mut map = $map;
+            map.insert(::std::string::String::from($key), $crate::json!({ $($inner)* }));
+            map
+        }) () $($rest)*)
+    };
+    // value is an expression followed by a comma or the end
+    (@object ($map:expr) ($key:expr) $value:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@object ({
+            let mut map = $map;
+            map.insert(::std::string::String::from($key), $crate::value_of(&$value));
+            map
+        }) () , $($rest)*)
+    };
+    (@object ($map:expr) ($key:expr) $value:expr) => {
+        $crate::json_internal!(@object ({
+            let mut map = $map;
+            map.insert(::std::string::String::from($key), $crate::value_of(&$value));
+            map
+        }) ())
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let count = 3usize;
+        let items = vec!["a", "b"];
+        let v = json!({
+            "count": count,
+            "items": items,
+            "nested": { "ok": true, "none": null },
+            "list": [1, 2, count],
+        });
+        let text = to_string(&v).unwrap();
+        assert_eq!(
+            text,
+            r#"{"count":3,"items":["a","b"],"nested":{"ok":true,"none":null},"list":[1,2,3]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_prints_with_indent() {
+        let v = json!({"a": 1, "b": [true, null]});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": 1"), "{text}");
+        assert!(text.ends_with('}'), "{text}");
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m: Map<String, Value> = Map::new();
+        assert!(m.insert("k".into(), json!(1)).is_none());
+        assert!(m.insert("k".into(), json!(2)).is_some());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&json!(2)));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = json!({"quote": "say \"hi\"\n"});
+        assert_eq!(to_string(&v).unwrap(), r#"{"quote":"say \"hi\"\n"}"#);
+    }
+
+    #[test]
+    fn floats_and_ints_format_distinctly() {
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(2u32)).unwrap(), "2");
+        assert_eq!(to_string(&json!(-5i64)).unwrap(), "-5");
+        assert_eq!(to_string(&json!(0.25)).unwrap(), "0.25");
+    }
+}

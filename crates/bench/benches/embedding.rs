@@ -24,14 +24,24 @@ fn bench_embedding(c: &mut Criterion) {
             train(
                 &mut m,
                 &data,
-                &TrainConfig { epochs: 1, ..Default::default() },
+                &TrainConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
             );
             black_box(m.score(0, 0, 1))
         })
     });
 
     let mut trained = TransE::new(1, data.n_entities(), data.n_relations(), 32);
-    train(&mut trained, &data, &TrainConfig { epochs: 10, ..Default::default() });
+    train(
+        &mut trained,
+        &data,
+        &TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
     c.bench_function("embed/score_all_tails", |b| {
         b.iter(|| {
             let mut best = f32::NEG_INFINITY;

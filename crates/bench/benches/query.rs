@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use kg::synth::{movies, Scale};
-use kgquery::{execute_cypher, execute_sparql};
+use kgquery::{execute_cypher, execute_sparql, parser, reference};
 
 fn bench_query(c: &mut Criterion) {
     let kg = movies(11, Scale::medium());
@@ -15,6 +15,13 @@ fn bench_query(c: &mut Criterion) {
                    SELECT ?a ?d WHERE { ?f v:starring ?a . ?f v:directedBy ?d }";
     c.bench_function("query/bgp_join", |b| {
         b.iter(|| black_box(execute_sparql(&g, two_hop).expect("runs")))
+    });
+
+    // the seed evaluator, kept as the before/after baseline (see also the
+    // `query_bench` binary, which writes reports/query_bench.json)
+    let two_hop_parsed = parser::parse(two_hop).expect("parses");
+    c.bench_function("query/bgp_join_reference", |b| {
+        b.iter(|| black_box(reference::execute(&g, &two_hop_parsed).expect("runs")))
     });
 
     let path = "PREFIX v: <http://llmkg.dev/vocab/> \

@@ -14,7 +14,9 @@ use slm::{EvidenceIndex, Slm};
 fn bench_rag(c: &mut Criterion) {
     let kg = movies(9, Scale::medium());
     let sentences = corpus_sentences(&kg.graph, &kg.ontology);
-    let slm = Slm::builder().corpus(sentences.iter().map(String::as_str)).build();
+    let slm = Slm::builder()
+        .corpus(sentences.iter().map(String::as_str))
+        .build();
 
     let vectors: Vec<Vec<f32>> = sentences.iter().map(|s| slm.embed(s)).collect();
     let exact = VectorIndex::build(vectors.clone(), 0, 0);

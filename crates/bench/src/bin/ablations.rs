@@ -30,7 +30,10 @@ fn main() {
         .entity_names(entity_surface_forms(g).iter().map(String::as_str))
         .hallucinate(true)
         .build();
-    let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).expect("Film");
+    let film_class = g
+        .pool()
+        .get_iri(&format!("{}Film", ns::SYNTH_VOCAB))
+        .expect("Film");
     let directed = g
         .pool()
         .get_iri(&format!("{}directedBy", ns::SYNTH_VOCAB))
@@ -48,8 +51,7 @@ fn main() {
         .collect();
     println!("{:>4} {:>10}", "k", "accuracy");
     for k in [1usize, 2, 4, 8] {
-        let mut rag =
-            RagPipeline::new(&slm, chunk_sentences(&sentences.join(". "), 3, 1), None);
+        let mut rag = RagPipeline::new(&slm, chunk_sentences(&sentences.join(". "), 3, 1), None);
         rag.k = k;
         let correct = questions
             .iter()
@@ -65,18 +67,27 @@ fn main() {
     let vectors: Vec<Vec<f32>> = sentences.iter().map(|s| slm.embed(s)).collect();
     let exact_idx = VectorIndex::build(vectors.clone(), 0, 0);
     let ivf = VectorIndex::build(vectors, 16, EXP_SEED);
-    let probes_queries: Vec<Vec<f32>> =
-        questions.iter().take(10).map(|(q, _)| slm.embed(q)).collect();
+    let probes_queries: Vec<Vec<f32>> = questions
+        .iter()
+        .take(10)
+        .map(|(q, _)| slm.embed(q))
+        .collect();
     println!("{:>7} {:>10}", "probes", "recall@8");
     for n_probe in [1usize, 2, 4, 8, 16] {
         let mut recall = 0.0;
         for q in &probes_queries {
-            let gold: Vec<usize> =
-                exact_idx.search_exact(q, 8).into_iter().map(|(i, _)| i).collect();
-            let got: Vec<usize> =
-                ivf.search_ivf(q, 8, n_probe).into_iter().map(|(i, _)| i).collect();
-            recall += gold.iter().filter(|i| got.contains(i)).count() as f64
-                / gold.len().max(1) as f64;
+            let gold: Vec<usize> = exact_idx
+                .search_exact(q, 8)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let got: Vec<usize> = ivf
+                .search_ivf(q, 8, n_probe)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            recall +=
+                gold.iter().filter(|i| got.contains(i)).count() as f64 / gold.len().max(1) as f64;
         }
         recall /= probes_queries.len() as f64;
         println!("{n_probe:>7} {recall:>10.3}");
@@ -100,7 +111,13 @@ fn main() {
             train(
                 &mut m,
                 &data,
-                &TrainConfig { epochs: 40, lr: 0.05, margin: 1.0, negatives, seed: EXP_SEED },
+                &TrainConfig {
+                    epochs: 40,
+                    lr: 0.05,
+                    margin: 1.0,
+                    negatives,
+                    seed: EXP_SEED,
+                },
             );
             let metrics = evaluate_scored_parallel(|h, r, t| m.score(h, r, t), &data, 4);
             println!("{dim:>5} {negatives:>5} {:>8.3}", metrics.mrr);

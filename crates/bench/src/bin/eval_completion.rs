@@ -41,10 +41,18 @@ fn main() {
             )
         })
         .collect();
-    let slm = Slm::builder().corpus(train_sentences.iter().map(String::as_str)).build();
+    let slm = Slm::builder()
+        .corpus(train_sentences.iter().map(String::as_str))
+        .build();
 
     llmkg_bench::header("E5 — Link prediction leaderboard (filtered MRR / Hits@k)");
-    let tc = TrainConfig { epochs: 60, lr: 0.05, margin: 1.0, negatives: 2, seed: EXP_SEED };
+    let tc = TrainConfig {
+        epochs: 60,
+        lr: 0.05,
+        margin: 1.0,
+        negatives: 2,
+        seed: EXP_SEED,
+    };
     let mut report = serde_json::Map::new();
 
     macro_rules! run_structural {
@@ -61,27 +69,51 @@ fn main() {
         }};
     }
 
-    let te = run_structural!("TransE", TransE::new(1, data.n_entities(), data.n_relations(), 32));
-    run_structural!("TransR-lite", TransR::new(1, data.n_entities(), data.n_relations(), 32));
-    run_structural!("DistMult", DistMult::new(1, data.n_entities(), data.n_relations(), 32));
-    run_structural!("ComplEx", ComplEx::new(1, data.n_entities(), data.n_relations(), 16));
-    run_structural!("RotatE", RotatE::new(1, data.n_entities(), data.n_relations(), 16));
+    let te = run_structural!(
+        "TransE",
+        TransE::new(1, data.n_entities(), data.n_relations(), 32)
+    );
+    run_structural!(
+        "TransR-lite",
+        TransR::new(1, data.n_entities(), data.n_relations(), 32)
+    );
+    run_structural!(
+        "DistMult",
+        DistMult::new(1, data.n_entities(), data.n_relations(), 32)
+    );
+    run_structural!(
+        "ComplEx",
+        ComplEx::new(1, data.n_entities(), data.n_relations(), 16)
+    );
+    run_structural!(
+        "RotatE",
+        RotatE::new(1, data.n_entities(), data.n_relations(), 16)
+    );
 
     // text-based + hybrid methods
     let kb = KgBertSim::new(&kg.graph, &data, &slm);
     let m_kb = evaluate_scored(|h, r, t| kb.score(h, r, t), &data);
     println!("{}", m_kb.report("KG-BERT-sim"));
-    report.insert("KG-BERT-sim".into(), serde_json::json!({"mrr": m_kb.mrr, "hits10": m_kb.hits10}));
+    report.insert(
+        "KG-BERT-sim".into(),
+        serde_json::json!({"mrr": m_kb.mrr, "hits10": m_kb.hits10}),
+    );
 
     let star = StarSim::new(&kb, &te, &data);
     let m_star = evaluate_scored(|h, r, t| star.score(h, r, t), &data);
     println!("{} (alpha={})", m_star.report("StAR-sim"), star.alpha);
-    report.insert("StAR-sim".into(), serde_json::json!({"mrr": m_star.mrr, "hits10": m_star.hits10, "alpha": star.alpha}));
+    report.insert(
+        "StAR-sim".into(),
+        serde_json::json!({"mrr": m_star.mrr, "hits10": m_star.hits10, "alpha": star.alpha}),
+    );
 
     let kic = KicGptSim::new(&te, &kb, 10);
     let m_kic = evaluate_scored(|h, r, t| kic.score(h, r, t), &data);
     println!("{}", m_kic.report("KICGPT-sim"));
-    report.insert("KICGPT-sim".into(), serde_json::json!({"mrr": m_kic.mrr, "hits10": m_kic.hits10}));
+    report.insert(
+        "KICGPT-sim".into(),
+        serde_json::json!({"mrr": m_kic.mrr, "hits10": m_kic.hits10}),
+    );
 
     llmkg_bench::header("E6 — Triple classification accuracy");
     let clf = TripleClassifier::calibrate(&te, &kb, &data, EXP_SEED);

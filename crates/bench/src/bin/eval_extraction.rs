@@ -33,14 +33,19 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
     )];
-    let sys = NerSystem::new(names.clone()).with_slm(&slm).with_examples(examples);
+    let sys = NerSystem::new(names.clone())
+        .with_slm(&slm)
+        .with_examples(examples);
     let mut e1 = BTreeMap::new();
     for method in NerMethod::all() {
         let prf = sys.evaluate(method, &sentences);
         println!("{}", prf.report(method.name()));
-        e1.insert(method.name().to_string(), serde_json::json!({
-            "precision": prf.precision, "recall": prf.recall, "f1": prf.f1
-        }));
+        e1.insert(
+            method.name().to_string(),
+            serde_json::json!({
+                "precision": prf.precision, "recall": prf.recall, "f1": prf.f1
+            }),
+        );
     }
 
     // ── E2: relation extraction paradigm sweep ─────────────────────
@@ -67,9 +72,12 @@ fn main() {
     for p in paradigms {
         let prf = re.evaluate(p, &test);
         println!("{}", prf.report(&p.name()));
-        e2.insert(p.name(), serde_json::json!({
-            "precision": prf.precision, "recall": prf.recall, "f1": prf.f1
-        }));
+        e2.insert(
+            p.name(),
+            serde_json::json!({
+                "precision": prf.precision, "recall": prf.recall, "f1": prf.f1
+            }),
+        );
     }
     println!(
         "\nShape check (survey §2.1.3): supervised ≥ few-shot ≥ zero-shot, \

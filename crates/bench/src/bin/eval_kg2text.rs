@@ -13,7 +13,9 @@ fn main() {
     let kg = movies(EXP_SEED, Scale::medium());
     let corpus = corpus_sentences(&kg.graph, &kg.ontology);
     let names = entity_surface_forms(&kg.graph);
-    let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+    let slm = Slm::builder()
+        .corpus(corpus.iter().map(String::as_str))
+        .build();
     let pairs = build_dataset(&kg, 3);
     let (demos, test) = pairs.split_at(pairs.len() / 5);
     let demonstrations: Vec<Demonstration> = demos

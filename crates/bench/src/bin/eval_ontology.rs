@@ -14,7 +14,9 @@ fn main() {
         ("biomed (COVID-style)", biomed(EXP_SEED, Scale::medium())),
     ] {
         let corpus = schema_corpus(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let learned = learn_ontology(&slm, &corpus, 2);
         let scores = evaluate_ontology(&learned.ontology, &kg.ontology);
         println!(

@@ -22,7 +22,10 @@ fn main() {
     let items = generate_dataset(g, EXP_SEED, 15, 3);
 
     llmkg_bench::header("E11 — Multi-hop QA: Hits@1 per method per hop count (§4.1.2)");
-    println!("{:12} {:>8} {:>8} {:>8} {:>8}", "method", "1-hop", "2-hop", "3-hop", "all");
+    println!(
+        "{:12} {:>8} {:>8} {:>8} {:>8}",
+        "method", "1-hop", "2-hop", "3-hop", "all"
+    );
     let mut report = serde_json::Map::new();
     for method in QaMethod::all() {
         let mut row = format!("{:12}", method.name());
@@ -71,8 +74,7 @@ fn main() {
     let mut llm_turns = 0usize;
     let mut correct = 0usize;
     let scripted: Vec<(String, Option<String>)> = {
-        let mut v: Vec<(String, Option<String>)> =
-            vec![("hello!".to_string(), None)];
+        let mut v: Vec<(String, Option<String>)> = vec![("hello!".to_string(), None)];
         for item in items.iter().filter(|i| i.hops == 1).take(10) {
             let gold = g.display_name(item.answers[0]);
             v.push((item.question.clone(), Some(gold)));

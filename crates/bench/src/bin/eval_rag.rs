@@ -31,11 +31,18 @@ fn main() {
         .hallucinate(true)
         .build();
     let chunks = chunk_sentences(&corpus_text, 3, 1);
-    println!("corpus: {} sentences → {} chunks", sentences.len(), chunks.len());
+    println!(
+        "corpus: {} sentences → {} chunks",
+        sentences.len(),
+        chunks.len()
+    );
     let rag = RagPipeline::new(&slm, chunks, Some(g));
 
     // local questions: who directed film X?
-    let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).expect("Film");
+    let film_class = g
+        .pool()
+        .get_iri(&format!("{}Film", ns::SYNTH_VOCAB))
+        .expect("Film");
     let directed = g
         .pool()
         .get_iri(&format!("{}directedBy", ns::SYNTH_VOCAB))
@@ -92,11 +99,21 @@ fn main() {
 
     llmkg_bench::header("E10b — Global question: Graph RAG vs pointwise retrieval");
     let graph_rag = GraphRag::build(g, &slm);
-    println!("Graph RAG built {} communities", graph_rag.community_count());
+    println!(
+        "Graph RAG built {} communities",
+        graph_rag.community_count()
+    );
     // ground truth: modal genre
-    let has_genre = g.pool().get_iri(&format!("{}hasGenre", ns::SYNTH_VOCAB)).expect("hasGenre");
+    let has_genre = g
+        .pool()
+        .get_iri(&format!("{}hasGenre", ns::SYNTH_VOCAB))
+        .expect("hasGenre");
     let mut truth: BTreeMap<String, usize> = BTreeMap::new();
-    for t in g.match_pattern(kg::TriplePattern { s: None, p: Some(has_genre), o: None }) {
+    for t in g.match_pattern(kg::TriplePattern {
+        s: None,
+        p: Some(has_genre),
+        o: None,
+    }) {
         *truth.entry(g.display_name(t.o)).or_insert(0) += 1;
     }
     let (gold, gold_n) = truth
@@ -108,7 +125,10 @@ fn main() {
     let naive_answer = rag.answer(RagMode::Naive, global_q);
     println!("gold: {gold} ({gold_n} films)");
     println!("Graph RAG: {:?}", gr_answer);
-    println!("Naive RAG: {:?} (pointwise top-k cannot aggregate)", naive_answer.text);
+    println!(
+        "Naive RAG: {:?} (pointwise top-k cannot aggregate)",
+        naive_answer.text
+    );
     let gr_correct = gr_answer.as_ref().is_some_and(|(a, _)| *a == gold);
     let naive_correct = naive_answer.text.contains(&gold) && !naive_answer.hallucinated;
     println!(

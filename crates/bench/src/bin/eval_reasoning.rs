@@ -49,7 +49,12 @@ fn main() {
     println!("{:8} {:>8} {:>8}", "shape", "hit@any", "queries");
     let mut report = serde_json::Map::new();
     for (shape, (hits, total)) in &by_shape {
-        println!("{:8} {:>8.3} {:>8}", shape, *hits as f64 / *total as f64, total);
+        println!(
+            "{:8} {:>8.3} {:>8}",
+            shape,
+            *hits as f64 / *total as f64,
+            total
+        );
         report.insert(
             format!("lark/{shape}"),
             serde_json::json!({"hit_rate": *hits as f64 / *total as f64}),
@@ -104,8 +109,14 @@ fn main() {
             sup += 1;
         }
     }
-    println!("KG-GPT supports {:.3} of true claims (n={n})", sup as f64 / n as f64);
-    report.insert("kggpt/true_support".into(), serde_json::json!(sup as f64 / n as f64));
+    println!(
+        "KG-GPT supports {:.3} of true claims (n={n})",
+        sup as f64 / n as f64
+    );
+    report.insert(
+        "kggpt/true_support".into(),
+        serde_json::json!(sup as f64 / n as f64),
+    );
 
     llmkg_bench::header("E7d — symbolic baseline: ontology materialization");
     let mut g2 = g.clone();

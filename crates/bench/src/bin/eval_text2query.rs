@@ -24,11 +24,8 @@ fn main() {
 
     llmkg_bench::header("E13 — Text-to-SPARQL: exact-match and execution accuracy (RQ6)");
     let example = &items[0];
-    let t2s = TextToSparql::new(g, &slm).with_example(
-        &example.question,
-        &example.sparql,
-        example.hops,
-    );
+    let t2s =
+        TextToSparql::new(g, &slm).with_example(&example.question, &example.sparql, example.hops);
     let test: Vec<_> = items[1..].to_vec();
     println!("{:22} {:>12} {:>12}", "method", "exact-match", "exec-acc");
     let mut report = serde_json::Map::new();
@@ -45,7 +42,10 @@ fn main() {
 
     llmkg_bench::header("E14 — Querying LLMs with SPARQL: hybrid execution (§4.1.4)");
     // the famousFor relation exists only in the LM's world knowledge
-    let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).expect("Film");
+    let film_class = g
+        .pool()
+        .get_iri(&format!("{}Film", ns::SYNTH_VOCAB))
+        .expect("Film");
     let films = g.instances_of(film_class);
     let extra: Vec<String> = films
         .iter()
@@ -72,7 +72,10 @@ fn main() {
     );
     // pure-KG baseline: the same query without the LLM returns nothing
     let pure = kgquery::execute_sparql(g, &q).expect("query parses");
-    println!("pure-KG baseline rows: {} (relation absent from the store)", pure.len());
+    println!(
+        "pure-KG baseline rows: {} (relation absent from the store)",
+        pure.len()
+    );
     println!(
         "\nShape check ([72]): the hybrid plan surfaces {} facts a pure DB plan cannot.",
         rs.len()

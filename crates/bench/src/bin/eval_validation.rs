@@ -45,7 +45,12 @@ fn main() {
     let mut report = serde_json::Map::new();
     for method in FactCheckMethod::all() {
         let stats = evaluate_method(&checker, method, &corrupted, &mis, 50);
-        println!("{:24} {:>10.3} {:>8.3}", method.name(), stats.accuracy(), stats.f1());
+        println!(
+            "{:24} {:>10.3} {:>8.3}",
+            method.name(),
+            stats.accuracy(),
+            stats.f1()
+        );
         report.insert(
             format!("factcheck/{}", method.name()),
             serde_json::json!({"accuracy": stats.accuracy(), "f1": stats.f1()}),
@@ -79,7 +84,10 @@ fn main() {
     };
     let defects = corrupt(&mut inconsistent, &kg.ontology, &plan);
     let violations = detect_violations(&inconsistent, &kg.ontology);
-    println!("{:22} {:>10} {:>10}", "violation kind", "injected", "detected");
+    println!(
+        "{:22} {:>10} {:>10}",
+        "violation kind", "injected", "detected"
+    );
     for (dk, vk) in [
         (DefectKind::FunctionalViolation, ViolationKind::Functional),
         (DefectKind::RangeViolation, ViolationKind::Range),
@@ -101,8 +109,7 @@ fn main() {
         .filter(|d| {
             violations.iter().any(|v| {
                 v.triples.contains(&d.triple)
-                    || (d.kind == DefectKind::DisjointTypes
-                        && v.kind == ViolationKind::Disjoint)
+                    || (d.kind == DefectKind::DisjointTypes && v.kind == ViolationKind::Disjoint)
             })
         })
         .count();

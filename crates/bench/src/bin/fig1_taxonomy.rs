@@ -11,8 +11,5 @@ fn main() {
     for node in taxonomy() {
         println!("  {:45} → {}", node.name, node.implemented_by);
     }
-    llmkg_bench::write_report(
-        "F1",
-        &serde_json::json!({ "nodes": taxonomy().len() }),
-    );
+    llmkg_bench::write_report("F1", &serde_json::json!({ "nodes": taxonomy().len() }));
 }

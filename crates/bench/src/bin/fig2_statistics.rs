@@ -11,11 +11,18 @@ fn main() {
     print!("{}", stats.render_by_family());
     // the paper's headline findings, checked at regeneration time
     let top_kg = stats.top_kgs()[0].0.to_string();
-    let top_llms: Vec<String> =
-        stats.top_llms().iter().take(2).map(|(n, _)| n.to_string()).collect();
+    let top_llms: Vec<String> = stats
+        .top_llms()
+        .iter()
+        .take(2)
+        .map(|(n, _)| n.to_string())
+        .collect();
     println!("\nHeadline check:");
     println!("  most-used KG:       {top_kg}  (paper: Freebase)");
-    println!("  top-2 LLM families: {}  (paper: BERT and GPT-3)", top_llms.join(", "));
+    println!(
+        "  top-2 LLM families: {}  (paper: BERT and GPT-3)",
+        top_llms.join(", ")
+    );
     assert_eq!(top_kg, "Freebase", "Figure 2 headline (KG) must reproduce");
     assert!(
         top_llms.contains(&"BERT".to_string()) && top_llms.contains(&"GPT-3".to_string()),

@@ -58,15 +58,23 @@ impl<'a, M: KgeModel> TripleClassifier<'a, M> {
         let mut neg_scores: Vec<f32> = Vec::new();
         // tiny datasets may have an empty validation split: calibrate on
         // training positives instead of degenerating to -inf
-        let calibration: &[DenseTriple] =
-            if data.valid.is_empty() { &data.train } else { &data.valid };
+        let calibration: &[DenseTriple] = if data.valid.is_empty() {
+            &data.train
+        } else {
+            &data.valid
+        };
         for &t in calibration.iter().take(100) {
             pos_scores.push(model.score(t.h, t.r, t.t));
             let neg = corrupt(&mut rng, data, t);
             neg_scores.push(model.score(neg.h, neg.r, neg.t));
         }
         let threshold = best_threshold(&pos_scores, &neg_scores);
-        TripleClassifier { model, text, threshold, text_threshold: 0.7 }
+        TripleClassifier {
+            model,
+            text,
+            threshold,
+            text_threshold: 0.7,
+        }
     }
 
     /// Classify one triple.
@@ -106,12 +114,18 @@ impl<'a, M: KgeModel> TripleClassifier<'a, M> {
 
 fn corrupt(rng: &mut StdRng, data: &TripleSet, t: DenseTriple) -> DenseTriple {
     for _ in 0..20 {
-        let cand = DenseTriple { t: rng.gen_range(0..data.n_entities()), ..t };
+        let cand = DenseTriple {
+            t: rng.gen_range(0..data.n_entities()),
+            ..t
+        };
         if !data.is_true(cand) {
             return cand;
         }
     }
-    DenseTriple { t: (t.t + 1) % data.n_entities(), ..t }
+    DenseTriple {
+        t: (t.t + 1) % data.n_entities(),
+        ..t
+    }
 }
 
 /// Midpoint threshold maximizing balanced accuracy.
@@ -137,9 +151,9 @@ fn best_threshold(pos: &[f32], neg: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg::synth::{movies, Scale};
     use kgembed::model::TransE;
     use kgembed::train::{train, TrainConfig};
-    use kg::synth::{movies, Scale};
     use kgextract::testgen::entity_surface_forms;
     use slm::Slm;
 
@@ -172,7 +186,14 @@ mod tests {
         let (graph, data, slm) = fixture();
         let kb = KgBertSim::new(&graph, &data, &slm);
         let mut te = TransE::new(3, data.n_entities(), data.n_relations(), 16);
-        train(&mut te, &data, &TrainConfig { epochs: 30, ..Default::default() });
+        train(
+            &mut te,
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
         let clf = TripleClassifier::calibrate(&te, &kb, &data, 7);
         for method in ClassifyMethod::all() {
             let acc = clf.evaluate(method, &data, 9);
@@ -187,7 +208,14 @@ mod tests {
         let (graph, data, slm) = fixture();
         let kb = KgBertSim::new(&graph, &data, &slm);
         let mut te = TransE::new(3, data.n_entities(), data.n_relations(), 8);
-        train(&mut te, &data, &TrainConfig { epochs: 5, ..Default::default() });
+        train(
+            &mut te,
+            &data,
+            &TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let clf = TripleClassifier::calibrate(&te, &kb, &data, 7);
         let acc = clf.evaluate(ClassifyMethod::KgBertSim, &data, 9);
         assert!(acc > 0.9, "textual ceiling {acc}");

@@ -18,6 +18,7 @@ pub struct KgBertSim {
     head_rel: Vec<Vec<String>>,
     tail_labels: Vec<String>,
     support_fn: SupportFn,
+    verified_fn: SupportFn,
 }
 
 type SupportFn = Box<dyn Fn(&str) -> f64 + Send + Sync>;
@@ -26,7 +27,11 @@ impl KgBertSim {
     /// Build from the graph/labels and an LM trained on the KG's
     /// verbalized training split.
     pub fn new(graph: &Graph, data: &TripleSet, slm: &Slm) -> Self {
-        let ent: Vec<String> = data.entities.iter().map(|&e| graph.display_name(e)).collect();
+        let ent: Vec<String> = data
+            .entities
+            .iter()
+            .map(|&e| graph.display_name(e))
+            .collect();
         let rel: Vec<String> = data
             .relations
             .iter()
@@ -37,17 +42,30 @@ impl KgBertSim {
             .map(|h| rel.iter().map(|r| format!("{h} is {r}")).collect())
             .collect();
         let knowledge = slm.knowledge().clone();
+        let verified = knowledge.clone();
         KgBertSim {
             head_rel,
             tail_labels: ent,
             support_fn: Box::new(move |claim| knowledge.support(claim)),
+            verified_fn: Box::new(move |claim| verified.verified_support(claim)),
         }
+    }
+
+    fn claim(&self, h: usize, r: usize, t: usize) -> String {
+        format!("{} {}", self.head_rel[h][r], self.tail_labels[t])
     }
 
     /// Plausibility score.
     pub fn score(&self, h: usize, r: usize, t: usize) -> f32 {
-        let claim = format!("{} {}", self.head_rel[h][r], self.tail_labels[t]);
-        (self.support_fn)(&claim) as f32
+        (self.support_fn)(&self.claim(h, r, t)) as f32
+    }
+
+    /// Does the LM verifiably know this triple's verbalization? Uses
+    /// bidirectional support, so a claim merely word-covered by some
+    /// training sentence (e.g. a head doubling as its own tail) does not
+    /// count.
+    pub fn knows(&self, h: usize, r: usize, t: usize) -> bool {
+        (self.verified_fn)(&self.claim(h, r, t)) >= 0.999
     }
 }
 
@@ -83,7 +101,13 @@ impl<'a, M: KgeModel> StarSim<'a, M> {
         let mut best_alpha = 0.5f32;
         let mut best_mrr = -1.0f64;
         for &alpha in &[0.0f32, 0.25, 0.5, 0.75, 1.0] {
-            let candidate = StarSim { text, structure, alpha, s_min, s_max };
+            let candidate = StarSim {
+                text,
+                structure,
+                alpha,
+                s_min,
+                s_max,
+            };
             // validate on a small slice for speed
             let mut subset = data.clone();
             subset.test = data.valid.iter().copied().take(20).collect();
@@ -93,7 +117,13 @@ impl<'a, M: KgeModel> StarSim<'a, M> {
                 best_alpha = alpha;
             }
         }
-        StarSim { text, structure, alpha: best_alpha, s_min, s_max }
+        StarSim {
+            text,
+            structure,
+            alpha: best_alpha,
+            s_min,
+            s_max,
+        }
     }
 
     /// Blended score.
@@ -134,11 +164,11 @@ impl<'a, M: KgeModel> KicGptSim<'a, M> {
                 }
             }
         }
-        let support = self.text.score(h, r, t);
-        // inside the band: boost only on decisive LM knowledge — weak
-        // partial overlap must not shuffle the retriever's ordering
-        if support >= 0.9 {
-            1_000.0 * support + base
+        // inside the band: boost only on decisive LM knowledge (the
+        // verified-support bar the Slm itself uses for `knows`) — weak
+        // partial word overlap must not shuffle the retriever's ordering
+        if self.text.knows(h, r, t) {
+            1_000.0 * self.text.score(h, r, t) + base
         } else {
             base
         }
@@ -148,11 +178,11 @@ impl<'a, M: KgeModel> KicGptSim<'a, M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kg::synth::{movies, Scale};
     use kgembed::data::TripleSet;
     use kgembed::eval::evaluate_scored;
     use kgembed::model::TransE;
     use kgembed::train::{train, TrainConfig};
-    use kg::synth::{movies, Scale};
     use kgextract::testgen::{corpus_sentences, entity_surface_forms};
 
     struct Fixture {
@@ -182,7 +212,11 @@ mod tests {
             .corpus(train_sentences.iter().map(String::as_str))
             .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
             .build();
-        Fixture { graph: kg.graph, data, slm }
+        Fixture {
+            graph: kg.graph,
+            data,
+            slm,
+        }
     }
 
     #[test]
@@ -193,7 +227,10 @@ mod tests {
         let pos = kb.score(t.h, t.r, t.t);
         let neg = kb.score(t.h, t.r, (t.t + 7) % f.data.n_entities());
         assert!(pos > neg, "{pos} vs {neg}");
-        assert!(pos > 0.9, "training triple should be fully supported: {pos}");
+        assert!(
+            pos > 0.9,
+            "training triple should be fully supported: {pos}"
+        );
     }
 
     #[test]
@@ -204,7 +241,10 @@ mod tests {
         train(
             &mut te,
             &f.data,
-            &TrainConfig { epochs: 25, ..Default::default() },
+            &TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
         );
         let star = StarSim::new(&kb, &te, &f.data);
         assert!((0.0..=1.0).contains(&star.alpha));
@@ -229,7 +269,10 @@ mod tests {
         train(
             &mut te,
             &f.data,
-            &TrainConfig { epochs: 15, ..Default::default() },
+            &TrainConfig {
+                epochs: 15,
+                ..Default::default()
+            },
         );
         let kic = KicGptSim::new(&te, &kb, 10);
         let mut small = f.data.clone();

@@ -30,12 +30,7 @@ impl TypingMethod {
 
 /// Predict the class of `entity`, ignoring its own `rdf:type` edges
 /// (they are the ground truth being predicted).
-pub fn predict_type(
-    graph: &Graph,
-    slm: &Slm,
-    method: TypingMethod,
-    entity: Sym,
-) -> Option<String> {
+pub fn predict_type(graph: &Graph, slm: &Slm, method: TypingMethod, entity: Sym) -> Option<String> {
     let ty = graph.pool().get_iri(ns::RDF_TYPE)?;
     match method {
         TypingMethod::NeighborVote => {
@@ -46,8 +41,11 @@ pub fn predict_type(
                 if p == ty {
                     continue;
                 }
-                for t in graph.match_pattern(kg::TriplePattern { s: None, p: Some(p), o: None })
-                {
+                for t in graph.match_pattern(kg::TriplePattern {
+                    s: None,
+                    p: Some(p),
+                    o: None,
+                }) {
                     if t.s == entity {
                         continue;
                     }
@@ -60,8 +58,11 @@ pub fn predict_type(
             }
             for (s, p) in graph.incoming(entity) {
                 let _ = s;
-                for t in graph.match_pattern(kg::TriplePattern { s: None, p: Some(p), o: None })
-                {
+                for t in graph.match_pattern(kg::TriplePattern {
+                    s: None,
+                    p: Some(p),
+                    o: None,
+                }) {
                     if t.o == entity {
                         continue;
                     }
@@ -80,14 +81,20 @@ pub fn predict_type(
         TypingMethod::TextAnchor => {
             // class anchors: class label + a few instance names
             let mut anchors: BTreeMap<String, String> = BTreeMap::new();
-            for t in graph.match_pattern(kg::TriplePattern { s: None, p: Some(ty), o: None }) {
+            for t in graph.match_pattern(kg::TriplePattern {
+                s: None,
+                p: Some(ty),
+                o: None,
+            }) {
                 if t.s == entity {
                     continue;
                 }
-                let Some(class) = graph.resolve(t.o).as_iri() else { continue };
-                let anchor = anchors.entry(class.to_string()).or_insert_with(|| {
-                    ns::humanize(ns::local_name(class))
-                });
+                let Some(class) = graph.resolve(t.o).as_iri() else {
+                    continue;
+                };
+                let anchor = anchors
+                    .entry(class.to_string())
+                    .or_insert_with(|| ns::humanize(ns::local_name(class)));
                 if anchor.len() < 120 {
                     anchor.push(' ');
                     anchor.push_str(&graph.display_name(t.s));
@@ -108,7 +115,9 @@ pub fn evaluate_typing(graph: &Graph, slm: &Slm, method: TypingMethod, limit: us
     let mut correct = 0usize;
     let mut total = 0usize;
     for e in graph.entities().into_iter().take(limit) {
-        let Some(iri) = graph.resolve(e).as_iri() else { continue };
+        let Some(iri) = graph.resolve(e).as_iri() else {
+            continue;
+        };
         if !iri.starts_with(ns::SYNTH_ENTITY) {
             continue;
         }

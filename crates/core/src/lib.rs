@@ -45,4 +45,4 @@ pub use slm;
 
 pub mod workbench;
 
-pub use workbench::{Workbench, WorkbenchConfig, Domain};
+pub use workbench::{Domain, Workbench, WorkbenchConfig};

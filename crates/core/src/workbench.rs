@@ -72,7 +72,9 @@ impl Workbench {
     /// Build: generate the KG, verbalize it, train the LM on the
     /// verbalization, register all entity names.
     pub fn build(config: &WorkbenchConfig) -> Self {
-        let scale = Scale { entities_per_class: config.entities_per_class };
+        let scale = Scale {
+            entities_per_class: config.entities_per_class,
+        };
         let kg = match config.domain {
             Domain::Movies => movies(config.seed, scale),
             Domain::Academic => academic(config.seed, scale),
@@ -103,6 +105,13 @@ impl Workbench {
     /// Run a Cypher-lite query.
     pub fn cypher(&self, query: &str) -> Result<ResultSet, QueryError> {
         kgquery::execute_cypher(&self.kg.graph, query)
+    }
+
+    /// Run a SPARQL query and return only the executor's work counters
+    /// (patterns scanned, index probes, intermediate bindings) — the
+    /// workbench's lightweight profiling surface.
+    pub fn profile_sparql(&self, query: &str) -> Result<kgquery::ExecStats, QueryError> {
+        Ok(self.sparql(query)?.stats)
     }
 
     /// Answer a natural-language question via text-to-SPARQL + execution
@@ -149,9 +158,10 @@ impl Workbench {
     /// Describe an entity by name (KG-to-text surface).
     pub fn describe(&self, entity_name: &str) -> Option<String> {
         let g = &self.kg.graph;
-        let entity = g.entities().into_iter().find(|&e| {
-            g.display_name(e).eq_ignore_ascii_case(entity_name)
-        })?;
+        let entity = g
+            .entities()
+            .into_iter()
+            .find(|&e| g.display_name(e).eq_ignore_ascii_case(entity_name))?;
         Some(kgtext::generate::describe_entity(
             g,
             &self.kg.ontology,
@@ -209,6 +219,20 @@ mod tests {
     }
 
     #[test]
+    fn profile_reports_executor_work() {
+        let w = wb();
+        let stats = w
+            .profile_sparql(
+                "PREFIX v: <http://llmkg.dev/vocab/> \
+                 SELECT ?f ?d WHERE { ?f a v:Film . ?f v:directedBy ?d }",
+            )
+            .unwrap();
+        assert_eq!(stats.patterns_scanned, 2);
+        assert!(stats.index_probes >= 2, "{stats:?}");
+        assert!(stats.intermediate_bindings > 0, "{stats:?}");
+    }
+
+    #[test]
     fn ask_answers_entity_questions() {
         let w = wb();
         let g = w.graph();
@@ -244,7 +268,12 @@ mod tests {
 
     #[test]
     fn all_domains_build() {
-        for domain in [Domain::Movies, Domain::Academic, Domain::Geo, Domain::Biomed] {
+        for domain in [
+            Domain::Movies,
+            Domain::Academic,
+            Domain::Geo,
+            Domain::Biomed,
+        ] {
             let w = Workbench::build(&WorkbenchConfig {
                 domain,
                 entities_per_class: 8,

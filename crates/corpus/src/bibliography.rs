@@ -51,50 +51,269 @@ const fn approach(
     llms: &'static [&'static str],
     kgs: &'static [&'static str],
 ) -> Reference {
-    Reference { id, key, name, year, kind: RefKind::Approach, category: Some(category), llms, kgs }
+    Reference {
+        id,
+        key,
+        name,
+        year,
+        kind: RefKind::Approach,
+        category: Some(category),
+        llms,
+        kgs,
+    }
 }
 
 const fn background(id: u8, key: &'static str, name: &'static str, year: u16) -> Reference {
-    Reference { id, key, name, year, kind: RefKind::Background, category: None, llms: &[], kgs: &[] }
+    Reference {
+        id,
+        key,
+        name,
+        year,
+        kind: RefKind::Background,
+        category: None,
+        llms: &[],
+        kgs: &[],
+    }
 }
 
 const fn survey(id: u8, key: &'static str, name: &'static str, year: u16) -> Reference {
-    Reference { id, key, name, year, kind: RefKind::Survey, category: None, llms: &[], kgs: &[] }
+    Reference {
+        id,
+        key,
+        name,
+        year,
+        kind: RefKind::Survey,
+        category: None,
+        llms: &[],
+        kgs: &[],
+    }
 }
 
 /// The full reference list.
 pub const REFERENCES: &[Reference] = &[
-    approach(1, "aigo2021", "T5 question generation", 2021, "Multi-Hop Question Generation", &["T5"], &[]),
+    approach(
+        1,
+        "aigo2021",
+        "T5 question generation",
+        2021,
+        "Multi-Hop Question Generation",
+        &["T5"],
+        &[],
+    ),
     background(2, "alam2023", "Semantically enriched embeddings", 2023),
-    approach(3, "ashok2023", "PromptNER", 2023, "Entity Extraction and Alignment", &["GPT-4"], &[]),
-    approach(4, "babaeigiglou2023", "LLMs4OL", 2023, "Ontology Creation", &["BERT", "GPT-3", "GPT-4"], &["WordNet", "GeoNames"]),
-    approach(5, "baek2023", "KAPING", 2023, "Complex Question Answering", &["GPT-3"], &["Freebase", "Wikidata"]),
-    approach(6, "baldazzi2023", "Ontological reasoning fine-tuning", 2023, "Ontology Creation", &["GPT-3"], &[]),
-    approach(7, "bang2023", "ChatGPT multitask evaluation", 2023, "Fact Checking", &["ChatGPT"], &[]),
-    approach(8, "biswas2021", "Contextual LMs for KGC", 2021, "Entity Prediction", &["GPT-2"], &["Wikidata"]),
-    approach(9, "bordes2013", "TransE", 2013, "Entity Prediction", &[], &["Freebase", "WordNet"]),
-    approach(10, "cao2023", "ReLMKG", 2023, "Complex Question Answering", &["GPT-2"], &["Freebase"]),
-    approach(11, "caufield2023", "SPIRES", 2023, "Entity Extraction and Alignment", &["GPT-3"], &[]),
-    approach(12, "chang2023", "Concept-oriented deep learning", 2023, "Ontology Creation", &["GPT-4"], &[]),
-    approach(13, "chen2023detect", "LLM-misinformation detection", 2023, "Fact Checking", &["ChatGPT", "LLaMA"], &[]),
-    approach(14, "chen2023combat", "Combating misinformation", 2023, "Fact Checking", &["ChatGPT"], &[]),
-    approach(15, "chen2022kgs2s", "KG-S2S", 2022, "Entity Prediction", &["T5"], &["Freebase", "WordNet", "NELL"]),
-    approach(16, "chen2023subsumption", "BERT subsumption prediction", 2023, "Ontology Creation", &["BERT"], &[]),
-    approach(17, "chen2020kgpt", "KGPT", 2020, "KG-to-Text Generation", &[], &["Wikidata"]),
+    approach(
+        3,
+        "ashok2023",
+        "PromptNER",
+        2023,
+        "Entity Extraction and Alignment",
+        &["GPT-4"],
+        &[],
+    ),
+    approach(
+        4,
+        "babaeigiglou2023",
+        "LLMs4OL",
+        2023,
+        "Ontology Creation",
+        &["BERT", "GPT-3", "GPT-4"],
+        &["WordNet", "GeoNames"],
+    ),
+    approach(
+        5,
+        "baek2023",
+        "KAPING",
+        2023,
+        "Complex Question Answering",
+        &["GPT-3"],
+        &["Freebase", "Wikidata"],
+    ),
+    approach(
+        6,
+        "baldazzi2023",
+        "Ontological reasoning fine-tuning",
+        2023,
+        "Ontology Creation",
+        &["GPT-3"],
+        &[],
+    ),
+    approach(
+        7,
+        "bang2023",
+        "ChatGPT multitask evaluation",
+        2023,
+        "Fact Checking",
+        &["ChatGPT"],
+        &[],
+    ),
+    approach(
+        8,
+        "biswas2021",
+        "Contextual LMs for KGC",
+        2021,
+        "Entity Prediction",
+        &["GPT-2"],
+        &["Wikidata"],
+    ),
+    approach(
+        9,
+        "bordes2013",
+        "TransE",
+        2013,
+        "Entity Prediction",
+        &[],
+        &["Freebase", "WordNet"],
+    ),
+    approach(
+        10,
+        "cao2023",
+        "ReLMKG",
+        2023,
+        "Complex Question Answering",
+        &["GPT-2"],
+        &["Freebase"],
+    ),
+    approach(
+        11,
+        "caufield2023",
+        "SPIRES",
+        2023,
+        "Entity Extraction and Alignment",
+        &["GPT-3"],
+        &[],
+    ),
+    approach(
+        12,
+        "chang2023",
+        "Concept-oriented deep learning",
+        2023,
+        "Ontology Creation",
+        &["GPT-4"],
+        &[],
+    ),
+    approach(
+        13,
+        "chen2023detect",
+        "LLM-misinformation detection",
+        2023,
+        "Fact Checking",
+        &["ChatGPT", "LLaMA"],
+        &[],
+    ),
+    approach(
+        14,
+        "chen2023combat",
+        "Combating misinformation",
+        2023,
+        "Fact Checking",
+        &["ChatGPT"],
+        &[],
+    ),
+    approach(
+        15,
+        "chen2022kgs2s",
+        "KG-S2S",
+        2022,
+        "Entity Prediction",
+        &["T5"],
+        &["Freebase", "WordNet", "NELL"],
+    ),
+    approach(
+        16,
+        "chen2023subsumption",
+        "BERT subsumption prediction",
+        2023,
+        "Ontology Creation",
+        &["BERT"],
+        &[],
+    ),
+    approach(
+        17,
+        "chen2020kgpt",
+        "KGPT",
+        2020,
+        "KG-to-Text Generation",
+        &[],
+        &["Wikidata"],
+    ),
     background(18, "chen2020review", "KG reasoning review", 2020),
-    approach(19, "chern2023", "FacTool", 2023, "Fact Checking", &["ChatGPT", "GPT-4"], &[]),
-    approach(20, "cheung2023", "FactLLaMA", 2023, "Fact Checking", &["LLaMA"], &[]),
-    approach(21, "choudhary2023", "LARK", 2023, "KG Reasoning", &["LLaMA", "GPT-3.5"], &["Freebase", "NELL"]),
-    approach(22, "colas2022", "GAP", 2022, "KG-to-Text Generation", &["BART", "T5"], &["DBpedia"]),
+    approach(
+        19,
+        "chern2023",
+        "FacTool",
+        2023,
+        "Fact Checking",
+        &["ChatGPT", "GPT-4"],
+        &[],
+    ),
+    approach(
+        20,
+        "cheung2023",
+        "FactLLaMA",
+        2023,
+        "Fact Checking",
+        &["LLaMA"],
+        &[],
+    ),
+    approach(
+        21,
+        "choudhary2023",
+        "LARK",
+        2023,
+        "KG Reasoning",
+        &["LLaMA", "GPT-3.5"],
+        &["Freebase", "NELL"],
+    ),
+    approach(
+        22,
+        "colas2022",
+        "GAP",
+        2022,
+        "KG-to-Text Generation",
+        &["BART", "T5"],
+        &["DBpedia"],
+    ),
     background(23, "droop2007", "XPath to SPARQL translation", 2007),
     background(24, "droop2008a", "XML/RDF world bridging", 2008),
     background(25, "droop2008b", "Embedding XPath into SPARQL", 2008),
-    approach(26, "edge2024", "Graph RAG", 2024, "KG-enhanced LLM", &["GPT-4"], &[]),
+    approach(
+        26,
+        "edge2024",
+        "Graph RAG",
+        2024,
+        "KG-enhanced LLM",
+        &["GPT-4"],
+        &[],
+    ),
     background(27, "etezadi2023", "Complex QA survey", 2023),
-    approach(28, "ezzabady2024", "COVID-19 KG construction", 2024, "Ontology Creation", &["GPT-3.5"], &[]),
-    approach(29, "funk2023", "Ontology construction with LMs", 2023, "Ontology Creation", &["GPT-4"], &[]),
+    approach(
+        28,
+        "ezzabady2024",
+        "COVID-19 KG construction",
+        2024,
+        "Ontology Creation",
+        &["GPT-3.5"],
+        &[],
+    ),
+    approach(
+        29,
+        "funk2023",
+        "Ontology construction with LMs",
+        2023,
+        "Ontology Creation",
+        &["GPT-4"],
+        &[],
+    ),
     background(30, "gao2023", "RAG survey", 2023),
-    approach(31, "gong2020", "KCF-NET", 2020, "KG-enhanced LLM", &["BERT"], &[]),
+    approach(
+        31,
+        "gong2020",
+        "KCF-NET",
+        2020,
+        "KG-enhanced LLM",
+        &["BERT"],
+        &[],
+    ),
     background(32, "groppe2006a", "XPath satisfiability tester", 2006),
     background(33, "groppe2006b", "XPath satisfiability & rewriting", 2006),
     background(34, "groppe2008", "Filtering unsatisfiable XPath", 2008),
@@ -105,61 +324,405 @@ pub const REFERENCES: &[Reference] = &[
     background(39, "groppe2008sparql", "SPARQL in XQuery/XSLT", 2008),
     background(40, "groppe2009swobe", "SWOBE embedding", 2009),
     survey(41, "hu2023", "Knowledge-enhanced PLM survey", 2023),
-    approach(42, "huang2020", "Few-shot NER study", 2020, "Entity Extraction and Alignment", &["BERT", "RoBERTa"], &[]),
-    approach(43, "huguetcabot2021", "REBEL", 2021, "Relation Extraction", &["BART"], &["Wikidata"]),
-    approach(44, "ji2020", "Concept-enhanced pre-training", 2020, "KG-enhanced LLM", &["BERT"], &[]),
-    approach(45, "ke2021", "JointGT", 2021, "KG-to-Text Generation", &["BART", "T5"], &["DBpedia", "Wikidata"]),
-    approach(46, "khorashadizadeh2023", "ICL for KG generation", 2023, "Relation Extraction", &["GPT-3", "ChatGPT"], &[]),
-    approach(47, "kim2020", "Multi-task KGC", 2020, "Entity Prediction", &["BERT"], &["Freebase", "WordNet"]),
-    approach(48, "kim2023", "KG-GPT", 2023, "KG Reasoning", &["GPT-3.5"], &["DBpedia"]),
-    approach(49, "kojima2023", "Zero-shot reasoners", 2023, "Relation Extraction", &["GPT-3"], &[]),
-    approach(50, "korel2023", "Text-to-ontology mapping", 2023, "Ontology Creation", &["BERT"], &[]),
-    approach(51, "kovriguina2023", "SPARQLGEN", 2023, "Query Generation from natural text", &["GPT-3"], &["DBpedia"]),
+    approach(
+        42,
+        "huang2020",
+        "Few-shot NER study",
+        2020,
+        "Entity Extraction and Alignment",
+        &["BERT", "RoBERTa"],
+        &[],
+    ),
+    approach(
+        43,
+        "huguetcabot2021",
+        "REBEL",
+        2021,
+        "Relation Extraction",
+        &["BART"],
+        &["Wikidata"],
+    ),
+    approach(
+        44,
+        "ji2020",
+        "Concept-enhanced pre-training",
+        2020,
+        "KG-enhanced LLM",
+        &["BERT"],
+        &[],
+    ),
+    approach(
+        45,
+        "ke2021",
+        "JointGT",
+        2021,
+        "KG-to-Text Generation",
+        &["BART", "T5"],
+        &["DBpedia", "Wikidata"],
+    ),
+    approach(
+        46,
+        "khorashadizadeh2023",
+        "ICL for KG generation",
+        2023,
+        "Relation Extraction",
+        &["GPT-3", "ChatGPT"],
+        &[],
+    ),
+    approach(
+        47,
+        "kim2020",
+        "Multi-task KGC",
+        2020,
+        "Entity Prediction",
+        &["BERT"],
+        &["Freebase", "WordNet"],
+    ),
+    approach(
+        48,
+        "kim2023",
+        "KG-GPT",
+        2023,
+        "KG Reasoning",
+        &["GPT-3.5"],
+        &["DBpedia"],
+    ),
+    approach(
+        49,
+        "kojima2023",
+        "Zero-shot reasoners",
+        2023,
+        "Relation Extraction",
+        &["GPT-3"],
+        &[],
+    ),
+    approach(
+        50,
+        "korel2023",
+        "Text-to-ontology mapping",
+        2023,
+        "Ontology Creation",
+        &["BERT"],
+        &[],
+    ),
+    approach(
+        51,
+        "kovriguina2023",
+        "SPARQLGEN",
+        2023,
+        "Query Generation from natural text",
+        &["GPT-3"],
+        &["DBpedia"],
+    ),
     background(52, "lan2021", "Complex KBQA survey", 2021),
     background(53, "lewis2020", "BART", 2020),
-    approach(54, "li2023zeroshot", "Zero-shot relation extractors", 2023, "Relation Extraction", &["ChatGPT"], &[]),
-    approach(55, "li2023semiauto", "Distant-supervision doc-level RE", 2023, "Relation Extraction", &["ChatGPT"], &[]),
-    approach(56, "li2021fewshot", "Few-shot KG-to-text", 2021, "KG-to-Text Generation", &["GPT-2"], &["DBpedia"]),
-    approach(57, "li2023kgel", "KGEL", 2023, "Multi-Hop Question Generation", &["GPT-2"], &[]),
-    approach(58, "lin2015", "TransR", 2015, "Entity Prediction", &[], &["Freebase", "WordNet"]),
-    approach(59, "lippolis2023", "Wikidata-ArtGraph alignment", 2023, "Entity Extraction and Alignment", &["GPT-3.5"], &["Wikidata"]),
-    approach(60, "liu2020", "K-BERT", 2020, "KG-enhanced LLM", &["BERT"], &["HowNet", "CN-DBpedia"]),
-    approach(61, "luo2023chatrule", "ChatRule", 2023, "Inconsistency Detection", &["ChatGPT", "GPT-4"], &["Freebase", "WordNet", "YAGO"]),
-    approach(62, "luo2023rog", "RoG", 2023, "KG Reasoning", &["LLaMA", "ChatGPT"], &["Freebase"]),
+    approach(
+        54,
+        "li2023zeroshot",
+        "Zero-shot relation extractors",
+        2023,
+        "Relation Extraction",
+        &["ChatGPT"],
+        &[],
+    ),
+    approach(
+        55,
+        "li2023semiauto",
+        "Distant-supervision doc-level RE",
+        2023,
+        "Relation Extraction",
+        &["ChatGPT"],
+        &[],
+    ),
+    approach(
+        56,
+        "li2021fewshot",
+        "Few-shot KG-to-text",
+        2021,
+        "KG-to-Text Generation",
+        &["GPT-2"],
+        &["DBpedia"],
+    ),
+    approach(
+        57,
+        "li2023kgel",
+        "KGEL",
+        2023,
+        "Multi-Hop Question Generation",
+        &["GPT-2"],
+        &[],
+    ),
+    approach(
+        58,
+        "lin2015",
+        "TransR",
+        2015,
+        "Entity Prediction",
+        &[],
+        &["Freebase", "WordNet"],
+    ),
+    approach(
+        59,
+        "lippolis2023",
+        "Wikidata-ArtGraph alignment",
+        2023,
+        "Entity Extraction and Alignment",
+        &["GPT-3.5"],
+        &["Wikidata"],
+    ),
+    approach(
+        60,
+        "liu2020",
+        "K-BERT",
+        2020,
+        "KG-enhanced LLM",
+        &["BERT"],
+        &["HowNet", "CN-DBpedia"],
+    ),
+    approach(
+        61,
+        "luo2023chatrule",
+        "ChatRule",
+        2023,
+        "Inconsistency Detection",
+        &["ChatGPT", "GPT-4"],
+        &["Freebase", "WordNet", "YAGO"],
+    ),
+    approach(
+        62,
+        "luo2023rog",
+        "RoG",
+        2023,
+        "KG Reasoning",
+        &["LLaMA", "ChatGPT"],
+        &["Freebase"],
+    ),
     background(63, "meng2022", "Locating factual associations", 2022),
     background(64, "neuhaus2023", "Ontologies in the LLM era", 2023),
-    approach(65, "omar2023", "KG chatbot comparison", 2023, "Knowledge Graph Chatbots", &["ChatGPT"], &["DBpedia", "YAGO"]),
+    approach(
+        65,
+        "omar2023",
+        "KG chatbot comparison",
+        2023,
+        "Knowledge Graph Chatbots",
+        &["ChatGPT"],
+        &["DBpedia", "YAGO"],
+    ),
     background(66, "ouyang2022", "InstructGPT", 2022),
     survey(67, "pan2023", "LLM+KG opportunities survey", 2023),
     survey(68, "pan2024", "Unifying LLMs and KGs roadmap", 2024),
-    approach(69, "pliukhin2023", "Improved one-shot SPARQL generation", 2023, "Query Generation from natural text", &["GPT-3"], &["DBpedia"]),
-    approach(70, "ribeiro2020", "PLMs for graph-to-text", 2020, "KG-to-Text Generation", &["BART", "T5"], &["DBpedia"]),
-    approach(71, "rony2022", "SGPT", 2022, "Query Generation from natural text", &["GPT-2"], &["DBpedia", "Wikidata"]),
-    approach(72, "saeed2023", "Querying LLMs with SQL", 2023, "Querying LLMs with SPARQL", &["GPT-3"], &[]),
-    approach(73, "schaeffer2023", "OLAF", 2023, "Ontology Creation", &[], &[]),
-    approach(74, "sen2023", "KG-augmented LM ensemble", 2023, "Complex Question Answering", &["T5"], &["Freebase"]),
+    approach(
+        69,
+        "pliukhin2023",
+        "Improved one-shot SPARQL generation",
+        2023,
+        "Query Generation from natural text",
+        &["GPT-3"],
+        &["DBpedia"],
+    ),
+    approach(
+        70,
+        "ribeiro2020",
+        "PLMs for graph-to-text",
+        2020,
+        "KG-to-Text Generation",
+        &["BART", "T5"],
+        &["DBpedia"],
+    ),
+    approach(
+        71,
+        "rony2022",
+        "SGPT",
+        2022,
+        "Query Generation from natural text",
+        &["GPT-2"],
+        &["DBpedia", "Wikidata"],
+    ),
+    approach(
+        72,
+        "saeed2023",
+        "Querying LLMs with SQL",
+        2023,
+        "Querying LLMs with SPARQL",
+        &["GPT-3"],
+        &[],
+    ),
+    approach(
+        73,
+        "schaeffer2023",
+        "OLAF",
+        2023,
+        "Ontology Creation",
+        &[],
+        &[],
+    ),
+    approach(
+        74,
+        "sen2023",
+        "KG-augmented LM ensemble",
+        2023,
+        "Complex Question Answering",
+        &["T5"],
+        &["Freebase"],
+    ),
     background(75, "shevlin2019", "Limits of machine intelligence", 2019),
-    approach(76, "strakova2023", "Event-type ontology extension", 2023, "Ontology Creation", &["BERT"], &[]),
-    approach(77, "trouillon2016", "ComplEx", 2016, "Entity Prediction", &[], &["Freebase", "WordNet"]),
-    approach(78, "wadhwa2023", "RE in the LLM era", 2023, "Relation Extraction", &["GPT-3", "Flan-T5"], &[]),
-    approach(79, "wan2023", "GPT-RE", 2023, "Relation Extraction", &["GPT-3"], &[]),
-    approach(80, "wang2021star", "StAR", 2021, "Entity Prediction", &["BERT", "RoBERTa"], &["Freebase", "WordNet"]),
-    approach(81, "wang2023deepstruct", "DeepStruct", 2023, "Relation Extraction", &["GLM"], &[]),
-    approach(82, "wang2022simkgc", "SimKGC", 2022, "Entity Prediction", &["BERT"], &["Freebase", "WordNet", "Wikidata"]),
+    approach(
+        76,
+        "strakova2023",
+        "Event-type ontology extension",
+        2023,
+        "Ontology Creation",
+        &["BERT"],
+        &[],
+    ),
+    approach(
+        77,
+        "trouillon2016",
+        "ComplEx",
+        2016,
+        "Entity Prediction",
+        &[],
+        &["Freebase", "WordNet"],
+    ),
+    approach(
+        78,
+        "wadhwa2023",
+        "RE in the LLM era",
+        2023,
+        "Relation Extraction",
+        &["GPT-3", "Flan-T5"],
+        &[],
+    ),
+    approach(
+        79,
+        "wan2023",
+        "GPT-RE",
+        2023,
+        "Relation Extraction",
+        &["GPT-3"],
+        &[],
+    ),
+    approach(
+        80,
+        "wang2021star",
+        "StAR",
+        2021,
+        "Entity Prediction",
+        &["BERT", "RoBERTa"],
+        &["Freebase", "WordNet"],
+    ),
+    approach(
+        81,
+        "wang2023deepstruct",
+        "DeepStruct",
+        2023,
+        "Relation Extraction",
+        &["GLM"],
+        &[],
+    ),
+    approach(
+        82,
+        "wang2022simkgc",
+        "SimKGC",
+        2022,
+        "Entity Prediction",
+        &["BERT"],
+        &["Freebase", "WordNet", "Wikidata"],
+    ),
     background(83, "wang2021quality", "KG quality control survey", 2021),
-    approach(84, "wang2023knowledgegpt", "KnowledgeGPT", 2023, "KG-enhanced LLM", &["GPT-4"], &[]),
-    approach(85, "wei2023chatie", "Zero-shot IE via chatting", 2023, "Relation Extraction", &["ChatGPT"], &[]),
-    approach(86, "wei2023kicgpt", "KICGPT", 2023, "Entity Prediction", &["ChatGPT"], &["Freebase", "WordNet"]),
-    approach(87, "xie2022", "GenKGC", 2022, "Entity Prediction", &["BART"], &["Freebase", "WordNet"]),
-    approach(88, "xu2021", "Sem-K-BERT", 2021, "KG-enhanced LLM", &["BERT"], &["HowNet"]),
-    approach(89, "xu2023", "LLMs for few-shot RE", 2023, "Relation Extraction", &["GPT-3.5"], &[]),
+    approach(
+        84,
+        "wang2023knowledgegpt",
+        "KnowledgeGPT",
+        2023,
+        "KG-enhanced LLM",
+        &["GPT-4"],
+        &[],
+    ),
+    approach(
+        85,
+        "wei2023chatie",
+        "Zero-shot IE via chatting",
+        2023,
+        "Relation Extraction",
+        &["ChatGPT"],
+        &[],
+    ),
+    approach(
+        86,
+        "wei2023kicgpt",
+        "KICGPT",
+        2023,
+        "Entity Prediction",
+        &["ChatGPT"],
+        &["Freebase", "WordNet"],
+    ),
+    approach(
+        87,
+        "xie2022",
+        "GenKGC",
+        2022,
+        "Entity Prediction",
+        &["BART"],
+        &["Freebase", "WordNet"],
+    ),
+    approach(
+        88,
+        "xu2021",
+        "Sem-K-BERT",
+        2021,
+        "KG-enhanced LLM",
+        &["BERT"],
+        &["HowNet"],
+    ),
+    approach(
+        89,
+        "xu2023",
+        "LLMs for few-shot RE",
+        2023,
+        "Relation Extraction",
+        &["GPT-3.5"],
+        &[],
+    ),
     survey(90, "yang2024", "Fact-aware language modeling survey", 2024),
     background(91, "yang2018", "HotpotQA", 2018),
-    approach(92, "yao2019", "KG-BERT", 2019, "Entity, Relation and Triple Classification", &["BERT"], &["Freebase", "WordNet", "UMLS"]),
-    approach(93, "yu2022", "Dict-BERT", 2022, "KG-enhanced LLM", &["BERT"], &[]),
-    approach(94, "yuan2023", "Zero-shot temporal RE", 2023, "Relation Extraction", &["ChatGPT"], &[]),
+    approach(
+        92,
+        "yao2019",
+        "KG-BERT",
+        2019,
+        "Entity, Relation and Triple Classification",
+        &["BERT"],
+        &["Freebase", "WordNet", "UMLS"],
+    ),
+    approach(
+        93,
+        "yu2022",
+        "Dict-BERT",
+        2022,
+        "KG-enhanced LLM",
+        &["BERT"],
+        &[],
+    ),
+    approach(
+        94,
+        "yuan2023",
+        "Zero-shot temporal RE",
+        2023,
+        "Relation Extraction",
+        &["ChatGPT"],
+        &[],
+    ),
     background(95, "zaveri2016", "Linked-data quality survey", 2016),
-    approach(96, "zhou2023", "UniversalNER", 2023, "Entity Extraction and Alignment", &["LLaMA", "ChatGPT"], &[]),
+    approach(
+        96,
+        "zhou2023",
+        "UniversalNER",
+        2023,
+        "Entity Extraction and Alignment",
+        &["LLaMA", "ChatGPT"],
+        &[],
+    ),
 ];
 
 /// All approach references.
@@ -200,7 +763,11 @@ mod tests {
         let names: Vec<&str> = taxonomy().iter().map(|n| n.name).collect();
         for r in approaches() {
             let cat = r.category.expect("approaches must have categories");
-            assert!(names.contains(&cat), "{} cites unknown category {cat}", r.key);
+            assert!(
+                names.contains(&cat),
+                "{} cites unknown category {cat}",
+                r.key
+            );
         }
     }
 

@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn most_challenges_are_probed_by_experiments() {
-        let probed = challenges().iter().filter(|c| c.probed_by.is_some()).count();
+        let probed = challenges()
+            .iter()
+            .filter(|c| c.probed_by.is_some())
+            .count();
         assert!(probed >= 5);
     }
 

@@ -25,24 +25,64 @@ const F: bool = false;
 pub fn coverage_matrix() -> Vec<CoverageRow> {
     let row = |main, sub, covered| CoverageRow { main, sub, covered };
     vec![
-        row("KG Construction", "Relation and Attribute Extraction", [T, T, F, F, T]),
-        row("KG Construction", "Entity Extraction and Alignment", [T, T, F, F, T]),
-        row("KG Construction", "Event Detection or Extraction", [F, F, F, F, F]),
+        row(
+            "KG Construction",
+            "Relation and Attribute Extraction",
+            [T, T, F, F, T],
+        ),
+        row(
+            "KG Construction",
+            "Entity Extraction and Alignment",
+            [T, T, F, F, T],
+        ),
+        row(
+            "KG Construction",
+            "Event Detection or Extraction",
+            [F, F, F, F, F],
+        ),
         row("KG Construction", "Ontology Creation", [F, T, F, F, T]),
-        row("KG-to-Text Generation", "KG-to-Text Generation", [T, F, F, F, T]),
+        row(
+            "KG-to-Text Generation",
+            "KG-to-Text Generation",
+            [T, F, F, F, T],
+        ),
         row("KG Reasoning", "KG Reasoning", [T, T, F, F, T]),
-        row("KG Completion", "Entity, Relation and Triple Classification", [T, T, F, F, T]),
+        row(
+            "KG Completion",
+            "Entity, Relation and Triple Classification",
+            [T, T, F, F, T],
+        ),
         row("KG Completion", "Entity Prediction", [T, T, F, F, T]),
         row("KG Completion", "Relation Prediction", [F, T, F, F, T]),
         row("KG Embedding", "KG Embedding", [T, F, F, F, T]),
         row("KG-enhanced LLM", "KG-enhanced LLM", [T, T, T, T, T]),
         row("KG Validation", "Fact Checking", [F, F, F, F, T]),
         row("KG Validation", "Inconsistency Detection", [F, F, F, F, T]),
-        row("KG Question Answering", "Complex Question Answering", [F, F, F, F, T]),
-        row("KG Question Answering", "Multi-Hop Question Generation", [F, F, F, F, T]),
-        row("KG Question Answering", "Knowledge Graph Chatbots", [F, F, F, F, T]),
-        row("KG Question Answering", "Query Generation from natural text", [F, F, F, F, T]),
-        row("KG Question Answering", "Querying Large Language Models with SPARQL", [F, F, F, F, T]),
+        row(
+            "KG Question Answering",
+            "Complex Question Answering",
+            [F, F, F, F, T],
+        ),
+        row(
+            "KG Question Answering",
+            "Multi-Hop Question Generation",
+            [F, F, F, F, T],
+        ),
+        row(
+            "KG Question Answering",
+            "Knowledge Graph Chatbots",
+            [F, F, F, F, T],
+        ),
+        row(
+            "KG Question Answering",
+            "Query Generation from natural text",
+            [F, F, F, F, T],
+        ),
+        row(
+            "KG Question Answering",
+            "Querying Large Language Models with SPARQL",
+            [F, F, F, F, T],
+        ),
     ]
 }
 
@@ -73,7 +113,11 @@ pub fn render_table() -> String {
     for r in &rows {
         let main = if r.main == last_main { "" } else { r.main };
         last_main = r.main;
-        let flags: Vec<&str> = r.covered.iter().map(|&c| if c { "✓" } else { "✗" }).collect();
+        let flags: Vec<&str> = r
+            .covered
+            .iter()
+            .map(|&c| if c { "✓" } else { "✗" })
+            .collect();
         out.push_str(&format!(
             "{:main_w$}  {:sub_w$}  {:>5} {:>5} {:>5} {:>5} {:>10}\n",
             main, r.sub, flags[0], flags[1], flags[2], flags[3], flags[4],

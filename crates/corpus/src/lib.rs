@@ -8,13 +8,13 @@
 //! them, so the `llmkg-bench` binaries can print the paper's exact
 //! artifacts and diff them against expectations.
 
-pub mod taxonomy;
 pub mod bibliography;
+pub mod challenges;
 pub mod coverage;
 pub mod stats;
-pub mod challenges;
+pub mod taxonomy;
 
-pub use bibliography::{Reference, RefKind, REFERENCES};
+pub use bibliography::{RefKind, Reference, REFERENCES};
 pub use coverage::{coverage_matrix, CoverageRow, SURVEYS};
-pub use stats::{UsageStats, usage_stats};
+pub use stats::{usage_stats, UsageStats};
 pub use taxonomy::{taxonomy, Family, TaxonomyNode};

@@ -40,8 +40,7 @@ pub fn usage_stats() -> UsageStats {
     let mut n = 0usize;
     for r in approaches() {
         n += 1;
-        let family: Option<Family> =
-            r.category.and_then(node).map(|t| t.family);
+        let family: Option<Family> = r.category.and_then(node).map(|t| t.family);
         let fam_name = family.map(|f| f.name().to_string()).unwrap_or_default();
         // count each model family once per paper
         let mut seen: Vec<&str> = Vec::new();
@@ -63,14 +62,19 @@ pub fn usage_stats() -> UsageStats {
                 .or_insert(0) += 1;
         }
     }
-    UsageStats { llm_counts, kg_counts, llm_by_family, kg_by_family, n_approaches: n }
+    UsageStats {
+        llm_counts,
+        kg_counts,
+        llm_by_family,
+        kg_by_family,
+        n_approaches: n,
+    }
 }
 
 impl UsageStats {
     /// Names sorted by descending count (ties alphabetical).
     fn ranked(counts: &BTreeMap<String, usize>) -> Vec<(&str, usize)> {
-        let mut v: Vec<(&str, usize)> =
-            counts.iter().map(|(k, &c)| (k.as_str(), c)).collect();
+        let mut v: Vec<(&str, usize)> = counts.iter().map(|(k, &c)| (k.as_str(), c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
         v
     }
@@ -107,11 +111,7 @@ impl UsageStats {
     /// Figure 2's x-axis grouping).
     pub fn render_by_family(&self) -> String {
         let mut out = String::new();
-        let mut families: Vec<&str> = self
-            .llm_by_family
-            .keys()
-            .map(|(f, _)| f.as_str())
-            .collect();
+        let mut families: Vec<&str> = self.llm_by_family.keys().map(|(f, _)| f.as_str()).collect();
         families.sort_unstable();
         families.dedup();
         for fam in families {
@@ -141,7 +141,10 @@ impl UsageStats {
             kgs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
             out.push_str("  KGs:  ");
             out.push_str(
-                &kgs.iter().map(|(k, c)| format!("{k}×{c}")).collect::<Vec<_>>().join(", "),
+                &kgs.iter()
+                    .map(|(k, c)| format!("{k}×{c}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
             );
             out.push('\n');
         }
@@ -187,7 +190,10 @@ mod tests {
         let s = usage_stats();
         let gpt3 = s.llm_counts.get("GPT-3").copied().unwrap_or(0);
         assert!(gpt3 <= s.n_approaches);
-        assert!(gpt3 >= 10, "expected double-digit GPT-3 family usage, got {gpt3}");
+        assert!(
+            gpt3 >= 10,
+            "expected double-digit GPT-3 family usage, got {gpt3}"
+        );
     }
 
     #[test]

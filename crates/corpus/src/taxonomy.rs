@@ -52,24 +52,28 @@ pub struct TaxonomyNode {
 /// The full Figure 1 taxonomy.
 pub fn taxonomy() -> Vec<TaxonomyNode> {
     use Family::*;
-    let n = |family,
-             parent,
-             name,
-             research_question,
-             new_in_survey,
-             implemented_by,
-             section| TaxonomyNode {
-        family,
-        parent,
-        name,
-        research_question,
-        new_in_survey,
-        implemented_by,
-        section,
+    let n = |family, parent, name, research_question, new_in_survey, implemented_by, section| {
+        TaxonomyNode {
+            family,
+            parent,
+            name,
+            research_question,
+            new_in_survey,
+            implemented_by,
+            section,
+        }
     };
     vec![
         // ── LLM for KG ────────────────────────────────────────────────
-        n(LlmForKg, None, "KG Construction", None, false, "kgextract", "§2.1"),
+        n(
+            LlmForKg,
+            None,
+            "KG Construction",
+            None,
+            false,
+            "kgextract",
+            "§2.1",
+        ),
         n(
             LlmForKg,
             Some("KG Construction"),
@@ -97,9 +101,33 @@ pub fn taxonomy() -> Vec<TaxonomyNode> {
             "kgextract::relation",
             "§2.1.3",
         ),
-        n(LlmForKg, None, "KG-to-Text Generation", Some(1), false, "kgtext", "§2.2"),
-        n(LlmForKg, None, "KG Reasoning", None, false, "kgreason", "§2.3"),
-        n(LlmForKg, None, "KG Completion", None, false, "kgcomplete", "§2.4"),
+        n(
+            LlmForKg,
+            None,
+            "KG-to-Text Generation",
+            Some(1),
+            false,
+            "kgtext",
+            "§2.2",
+        ),
+        n(
+            LlmForKg,
+            None,
+            "KG Reasoning",
+            None,
+            false,
+            "kgreason",
+            "§2.3",
+        ),
+        n(
+            LlmForKg,
+            None,
+            "KG Completion",
+            None,
+            false,
+            "kgcomplete",
+            "§2.4",
+        ),
         n(
             LlmForKg,
             Some("KG Completion"),
@@ -127,8 +155,24 @@ pub fn taxonomy() -> Vec<TaxonomyNode> {
             "kgcomplete::link",
             "§2.4",
         ),
-        n(LlmForKg, None, "KG Embedding", None, false, "kgembed", "§2.5"),
-        n(LlmForKg, None, "KG Validation", None, true, "kgvalidate", "§2.6"),
+        n(
+            LlmForKg,
+            None,
+            "KG Embedding",
+            None,
+            false,
+            "kgembed",
+            "§2.5",
+        ),
+        n(
+            LlmForKg,
+            None,
+            "KG Validation",
+            None,
+            true,
+            "kgvalidate",
+            "§2.6",
+        ),
         n(
             LlmForKg,
             Some("KG Validation"),
@@ -148,9 +192,25 @@ pub fn taxonomy() -> Vec<TaxonomyNode> {
             "§2.6.2",
         ),
         // ── KG-enhanced LLM ──────────────────────────────────────────
-        n(KgEnhancedLlm, None, "KG-enhanced LLM", None, false, "kgrag", "§3"),
+        n(
+            KgEnhancedLlm,
+            None,
+            "KG-enhanced LLM",
+            None,
+            false,
+            "kgrag",
+            "§3",
+        ),
         // ── LLM-KG Cooperation ───────────────────────────────────────
-        n(Cooperation, None, "KG Question Answering", None, false, "kgqa", "§4.1"),
+        n(
+            Cooperation,
+            None,
+            "KG Question Answering",
+            None,
+            false,
+            "kgqa",
+            "§4.1",
+        ),
         n(
             Cooperation,
             Some("KG Question Answering"),
@@ -211,7 +271,10 @@ pub fn render_tree() -> String {
     for family in [Family::LlmForKg, Family::KgEnhancedLlm, Family::Cooperation] {
         out.push_str(family.name());
         out.push('\n');
-        for root in nodes.iter().filter(|n| n.family == family && n.parent.is_none()) {
+        for root in nodes
+            .iter()
+            .filter(|n| n.family == family && n.parent.is_none())
+        {
             out.push_str(&format!("├── {}{}\n", root.name, markers(root)));
             let children: Vec<&TaxonomyNode> = nodes
                 .iter()
@@ -252,8 +315,15 @@ mod tests {
     fn all_six_research_questions_present_exactly_once_each() {
         let t = taxonomy();
         for rq in 1..=6u8 {
-            let hits: Vec<_> = t.iter().filter(|n| n.research_question == Some(rq)).collect();
-            assert_eq!(hits.len(), 1, "RQ{rq} must map to exactly one node: {hits:?}");
+            let hits: Vec<_> = t
+                .iter()
+                .filter(|n| n.research_question == Some(rq))
+                .collect();
+            assert_eq!(
+                hits.len(),
+                1,
+                "RQ{rq} must map to exactly one node: {hits:?}"
+            );
         }
     }
 
@@ -262,8 +332,11 @@ mod tests {
         // the paper stars KG Validation (both children) and the new KGQA
         // subcategories
         let t = taxonomy();
-        let starred: Vec<&str> =
-            t.iter().filter(|n| n.new_in_survey).map(|n| n.name).collect();
+        let starred: Vec<&str> = t
+            .iter()
+            .filter(|n| n.new_in_survey)
+            .map(|n| n.name)
+            .collect();
         assert!(starred.contains(&"Fact Checking"));
         assert!(starred.contains(&"Inconsistency Detection"));
         assert!(starred.contains(&"Multi-Hop Question Generation"));

@@ -51,7 +51,9 @@ impl TripleSet {
         let mut relations = Vec::new();
         let mut triples = Vec::new();
         for t in graph.iter() {
-            let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+            let Some(p_iri) = graph.resolve(t.p).as_iri() else {
+                continue;
+            };
             if !keep(p_iri) {
                 continue;
             }
@@ -80,17 +82,21 @@ impl TripleSet {
         let test = triples.split_off(n - n_test);
         let valid = triples.split_off(n.saturating_sub(n_test + n_valid));
         let train = triples;
-        let all: BTreeSet<DenseTriple> =
-            train.iter().chain(&valid).chain(&test).copied().collect();
-        TripleSet { entities, relations, train, valid, test, all }
+        let all: BTreeSet<DenseTriple> = train.iter().chain(&valid).chain(&test).copied().collect();
+        TripleSet {
+            entities,
+            relations,
+            train,
+            valid,
+            test,
+            all,
+        }
     }
 
     /// The default predicate filter: keep synthetic-vocabulary relations,
     /// drop `rdf:` / `rdfs:` / `owl:` machinery.
     pub fn default_keep(p_iri: &str) -> bool {
-        !p_iri.starts_with(ns::RDF)
-            && !p_iri.starts_with(ns::RDFS)
-            && !p_iri.starts_with(ns::OWL)
+        !p_iri.starts_with(ns::RDF) && !p_iri.starts_with(ns::RDFS) && !p_iri.starts_with(ns::OWL)
     }
 
     /// Number of entities.

@@ -23,7 +23,14 @@ pub struct RankMetrics {
 impl RankMetrics {
     /// The metrics of an empty evaluation.
     pub fn empty() -> Self {
-        RankMetrics { mr: 0.0, mrr: 0.0, hits1: 0.0, hits3: 0.0, hits10: 0.0, count: 0 }
+        RankMetrics {
+            mr: 0.0,
+            mrr: 0.0,
+            hits1: 0.0,
+            hits3: 0.0,
+            hits10: 0.0,
+            count: 0,
+        }
     }
 
     /// One-line report.
@@ -40,15 +47,15 @@ impl RankMetrics {
 /// triples are excluded from the candidate list. Both head and tail
 /// prediction count.
 pub fn evaluate<M: KgeModel>(model: &M, data: &TripleSet) -> RankMetrics {
-    evaluate_scored(
-        |h, r, t| model.score(h, r, t),
-        data,
-    )
+    evaluate_scored(|h, r, t| model.score(h, r, t), data)
 }
 
 /// Like [`evaluate`] but for any scoring function — used by the text-based
 /// completion methods that are not `KgeModel`s.
-pub fn evaluate_scored(score: impl Fn(usize, usize, usize) -> f32, data: &TripleSet) -> RankMetrics {
+pub fn evaluate_scored(
+    score: impl Fn(usize, usize, usize) -> f32,
+    data: &TripleSet,
+) -> RankMetrics {
     evaluate_slice(&score, data, &data.test)
 }
 
@@ -70,7 +77,10 @@ where
             .chunks(chunk)
             .map(|slice| s.spawn(|_| evaluate_slice(&score, data, slice)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope");
     merge(&partials)
@@ -193,7 +203,13 @@ mod tests {
         train(
             &mut model,
             &data,
-            &TrainConfig { epochs: 60, lr: 0.05, margin: 1.0, negatives: 2, seed: 1 },
+            &TrainConfig {
+                epochs: 60,
+                lr: 0.05,
+                margin: 1.0,
+                negatives: 2,
+                seed: 1,
+            },
         );
         let trained = evaluate(&model, &data);
         assert!(
@@ -208,16 +224,19 @@ mod tests {
     #[test]
     fn perfect_oracle_ranks_first() {
         let data = dataset();
-        let oracle =
-            |h: usize, r: usize, t: usize| {
-                if data.is_true(DenseTriple { h, r, t }) {
-                    1.0
-                } else {
-                    0.0
-                }
-            };
+        let oracle = |h: usize, r: usize, t: usize| {
+            if data.is_true(DenseTriple { h, r, t }) {
+                1.0
+            } else {
+                0.0
+            }
+        };
         let m = evaluate_scored(oracle, &data);
-        assert!((m.mrr - 1.0).abs() < 1e-9, "oracle must be perfect, got {}", m.mrr);
+        assert!(
+            (m.mrr - 1.0).abs() < 1e-9,
+            "oracle must be perfect, got {}",
+            m.mrr
+        );
         assert_eq!(m.hits1, 1.0);
         assert_eq!(m.mr, 1.0);
     }
@@ -238,7 +257,10 @@ mod tests {
         train(
             &mut model,
             &data,
-            &TrainConfig { epochs: 10, ..Default::default() },
+            &TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
         );
         let serial = evaluate(&model, &data);
         let parallel = evaluate_scored_parallel(|h, r, t| model.score(h, r, t), &data, 4);
@@ -250,7 +272,14 @@ mod tests {
 
     #[test]
     fn report_contains_metrics() {
-        let m = RankMetrics { mr: 5.0, mrr: 0.5, hits1: 0.3, hits3: 0.5, hits10: 0.9, count: 10 };
+        let m = RankMetrics {
+            mr: 5.0,
+            mrr: 0.5,
+            hits1: 0.3,
+            hits3: 0.5,
+            hits10: 0.9,
+            count: 10,
+        };
         let r = m.report("TransE");
         assert!(r.contains("TransE") && r.contains("0.500"));
     }

@@ -15,10 +15,10 @@
 //!   embeddings (no training needed).
 
 pub mod data;
-pub mod model;
-pub mod train;
 pub mod eval;
 pub mod lm_adapter;
+pub mod model;
+pub mod train;
 
 pub use data::{DenseTriple, TripleSet};
 pub use eval::{evaluate, RankMetrics};

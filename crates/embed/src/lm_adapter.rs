@@ -26,15 +26,23 @@ impl LmBiEncoder {
     /// Build from a graph, a triple set, and a trained embedder
     /// (typically `slm.embedder().clone()`).
     pub fn new(graph: &Graph, data: &TripleSet, embedder: Embedder) -> Self {
-        let entity_labels: Vec<String> =
-            data.entities.iter().map(|&e| graph.display_name(e)).collect();
+        let entity_labels: Vec<String> = data
+            .entities
+            .iter()
+            .map(|&e| graph.display_name(e))
+            .collect();
         let relation_labels: Vec<String> = data
             .relations
             .iter()
             .map(|&r| kg::namespace::humanize(graph.label(r)))
             .collect();
         let tail_vecs = entity_labels.iter().map(|l| embedder.embed(l)).collect();
-        LmBiEncoder { embedder, entity_labels, relation_labels, tail_vecs }
+        LmBiEncoder {
+            embedder,
+            entity_labels,
+            relation_labels,
+            tail_vecs,
+        }
     }
 
     /// Bi-encoder score: cosine( embed(head ⊕ relation), embed(tail) ).
@@ -60,7 +68,9 @@ mod tests {
     fn biencoder_scores_are_finite_and_vary() {
         let kg = movies(6, Scale::tiny());
         let data = TripleSet::from_graph(&kg.graph, 2, TripleSet::default_keep);
-        let slm = Slm::builder().corpus(["films star actors", "directors direct films"]).build();
+        let slm = Slm::builder()
+            .corpus(["films star actors", "directors direct films"])
+            .build();
         let be = LmBiEncoder::new(&kg.graph, &data, slm.embedder().clone());
         let t = data.train[0];
         let s1 = be.score(t.h, t.r, t.t);

@@ -54,7 +54,12 @@ impl TransE {
     /// Fresh random model.
     pub fn new(seed: u64, n_ent: usize, n_rel: usize, dim: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        TransE { ent: init_vec(&mut rng, n_ent, dim), rel: init_vec(&mut rng, n_rel, dim), n_ent, dim }
+        TransE {
+            ent: init_vec(&mut rng, n_ent, dim),
+            rel: init_vec(&mut rng, n_rel, dim),
+            n_ent,
+            dim,
+        }
     }
 
     fn dist(&self, h: usize, r: usize, t: usize) -> f32 {
@@ -129,7 +134,9 @@ impl TransR {
         TransR {
             ent: init_vec(&mut rng, n_ent, dim),
             rel: init_vec(&mut rng, n_rel, dim),
-            proj: (0..n_rel * dim).map(|_| 1.0 + rng.gen_range(-0.1..0.1)).collect(),
+            proj: (0..n_rel * dim)
+                .map(|_| 1.0 + rng.gen_range(-0.1..0.1))
+                .collect(),
             n_ent,
             dim,
         }
@@ -206,7 +213,12 @@ impl DistMult {
     /// Fresh random model.
     pub fn new(seed: u64, n_ent: usize, n_rel: usize, dim: usize) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xD1);
-        DistMult { ent: init_vec(&mut rng, n_ent, dim), rel: init_vec(&mut rng, n_rel, dim), n_ent, dim }
+        DistMult {
+            ent: init_vec(&mut rng, n_ent, dim),
+            rel: init_vec(&mut rng, n_rel, dim),
+            n_ent,
+            dim,
+        }
     }
 }
 
@@ -217,7 +229,9 @@ impl KgeModel for DistMult {
 
     fn score(&self, h: usize, r: usize, t: usize) -> f32 {
         let (d, eh, er, et) = (self.dim, h * self.dim, r * self.dim, t * self.dim);
-        (0..d).map(|i| self.ent[eh + i] * self.rel[er + i] * self.ent[et + i]).sum()
+        (0..d)
+            .map(|i| self.ent[eh + i] * self.rel[er + i] * self.ent[et + i])
+            .sum()
     }
 
     fn step(&mut self, pos: DenseTriple, neg: DenseTriple, lr: f32, margin: f32) -> f32 {
@@ -428,7 +442,10 @@ mod tests {
     use super::*;
 
     fn tiny_pair() -> (DenseTriple, DenseTriple) {
-        (DenseTriple { h: 0, r: 0, t: 1 }, DenseTriple { h: 0, r: 0, t: 2 })
+        (
+            DenseTriple { h: 0, r: 0, t: 1 },
+            DenseTriple { h: 0, r: 0, t: 2 },
+        )
     }
 
     fn check_learning<M: KgeModel>(mut m: M) {

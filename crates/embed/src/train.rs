@@ -24,7 +24,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 50, lr: 0.05, margin: 1.0, negatives: 2, seed: 0 }
+        TrainConfig {
+            epochs: 50,
+            lr: 0.05,
+            margin: 1.0,
+            negatives: 2,
+            seed: 0,
+        }
     }
 }
 
@@ -46,7 +52,11 @@ pub fn train<M: KgeModel>(model: &mut M, data: &TripleSet, config: &TrainConfig)
                 steps += 1;
             }
         }
-        history.push(if steps == 0 { 0.0 } else { total / steps as f32 });
+        history.push(if steps == 0 {
+            0.0
+        } else {
+            total / steps as f32
+        });
     }
     history
 }
@@ -72,7 +82,10 @@ fn sample_negative(
         }
     }
     // fall back to a possibly-true corruption (rare on sparse graphs)
-    DenseTriple { t: (pos.t + 1) % n_ent, ..pos }
+    DenseTriple {
+        t: (pos.t + 1) % n_ent,
+        ..pos
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +103,10 @@ mod tests {
     fn loss_decreases_over_training() {
         let data = dataset();
         let mut model = TransE::new(1, data.n_entities(), data.n_relations(), 16);
-        let cfg = TrainConfig { epochs: 30, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let history = train(&mut model, &data, &cfg);
         assert_eq!(history.len(), 30);
         let early: f32 = history[..5].iter().sum::<f32>() / 5.0;
@@ -101,7 +117,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let data = dataset();
-        let cfg = TrainConfig { epochs: 5, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let mut m1 = TransE::new(1, data.n_entities(), data.n_relations(), 8);
         let h1 = train(&mut m1, &data, &cfg);
         let mut m2 = TransE::new(1, data.n_entities(), data.n_relations(), 8);
@@ -121,6 +140,9 @@ mod tests {
                 true_hits += 1;
             }
         }
-        assert!(true_hits <= 2, "negative sampler leaked {true_hits} true triples");
+        assert!(
+            true_hits <= 2,
+            "negative sampler leaked {true_hits} true triples"
+        );
     }
 }

@@ -72,7 +72,11 @@ impl<'a> EntityLinker<'a> {
             })
             .map(|e| (graph.display_name(e), e))
             .collect();
-        EntityLinker { graph, catalog, slm: None }
+        EntityLinker {
+            graph,
+            catalog,
+            slm: None,
+        }
     }
 
     /// Attach an LM for embedding-assisted disambiguation.
@@ -111,11 +115,12 @@ impl<'a> EntityLinker<'a> {
                 _ => best = Some((score, *e)),
             }
         }
-        best.filter(|&(s, _)| s >= 0.55).map(|(confidence, entity)| LinkedMention {
-            mention: mention.to_string(),
-            entity,
-            confidence,
-        })
+        best.filter(|&(s, _)| s >= 0.55)
+            .map(|(confidence, entity)| LinkedMention {
+                mention: mention.to_string(),
+                entity,
+                confidence,
+            })
     }
 }
 
@@ -153,7 +158,11 @@ pub fn align_graphs(left: &Graph, right: &Graph, threshold: f64) -> Vec<Alignmen
         }
         if let Some((score, re)) = best {
             if score >= threshold {
-                out.push(AlignmentPair { left: *le, right: re, score });
+                out.push(AlignmentPair {
+                    left: *le,
+                    right: re,
+                    score,
+                });
             }
         }
     }
@@ -174,8 +183,16 @@ fn catalog(g: &Graph) -> Vec<(String, Sym)> {
 
 /// Jaccard overlap of neighbor display names.
 fn neighborhood_overlap(lg: &Graph, le: Sym, rg: &Graph, re: Sym) -> f64 {
-    let ln: Vec<String> = lg.outgoing(le).iter().map(|&(_, o)| lg.display_name(o)).collect();
-    let rn: Vec<String> = rg.outgoing(re).iter().map(|&(_, o)| rg.display_name(o)).collect();
+    let ln: Vec<String> = lg
+        .outgoing(le)
+        .iter()
+        .map(|&(_, o)| lg.display_name(o))
+        .collect();
+    let rn: Vec<String> = rg
+        .outgoing(re)
+        .iter()
+        .map(|&(_, o)| rg.display_name(o))
+        .collect();
     if ln.is_empty() && rn.is_empty() {
         return 0.0;
     }

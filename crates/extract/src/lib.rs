@@ -18,16 +18,16 @@
 //! * [`pipeline`] — the end-to-end text → triples → [`kg::Graph`]
 //!   assembly.
 
-pub mod testgen;
-pub mod ner;
-pub mod relation;
 pub mod align;
-pub mod pipeline;
 pub mod metrics;
+pub mod ner;
+pub mod pipeline;
+pub mod relation;
+pub mod testgen;
 
 pub use align::{EntityLinker, LinkedMention};
 pub use metrics::Prf;
 pub use ner::{NerMethod, NerSystem};
 pub use pipeline::ExtractionPipeline;
 pub use relation::{Paradigm, RelationExtractor};
-pub use testgen::{AnnotatedSentence, annotate_graph};
+pub use testgen::{annotate_graph, AnnotatedSentence};

@@ -20,14 +20,29 @@ pub struct Prf {
 impl Prf {
     /// Compute from counts.
     pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Prf { precision, recall, f1, tp, fp, fn_ }
+        Prf {
+            precision,
+            recall,
+            f1,
+            tp,
+            fp,
+            fn_,
+        }
     }
 
     /// Compute by set comparison (predictions vs gold), deduplicating.

@@ -33,7 +33,12 @@ impl NerMethod {
 
     /// All methods, for sweeps.
     pub fn all() -> [NerMethod; 4] {
-        [NerMethod::Gazetteer, NerMethod::Pattern, NerMethod::PromptSim, NerMethod::Distilled]
+        [
+            NerMethod::Gazetteer,
+            NerMethod::Pattern,
+            NerMethod::PromptSim,
+            NerMethod::Distilled,
+        ]
     }
 }
 
@@ -53,7 +58,11 @@ impl<'a> NerSystem<'a> {
     pub fn new(mut gazetteer: Vec<String>) -> Self {
         // longest-first so longer names shadow their substrings
         gazetteer.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
-        NerSystem { gazetteer, slm: None, examples: Vec::new() }
+        NerSystem {
+            gazetteer,
+            slm: None,
+            examples: Vec::new(),
+        }
     }
 
     /// Attach the backbone LM.
@@ -102,7 +111,10 @@ impl<'a> NerSystem<'a> {
                 // word boundaries
                 let boundary_ok = (start == 0
                     || !lower.as_bytes()[start - 1].is_ascii_alphanumeric())
-                    && (end == lower.len() || !lower.as_bytes()[end..].first().is_some_and(|b| b.is_ascii_alphanumeric()));
+                    && (end == lower.len()
+                        || !lower.as_bytes()[end..]
+                            .first()
+                            .is_some_and(|b| b.is_ascii_alphanumeric()));
                 // skip if covered by an earlier (longer) match
                 let covered = found.iter().any(|&(s, e, _)| start >= s && end <= e);
                 if boundary_ok && !covered {
@@ -171,8 +183,13 @@ mod tests {
     #[test]
     fn gazetteer_respects_word_boundaries() {
         let sys = NerSystem::new(vec!["Rome".into()]);
-        assert!(sys.extract(NerMethod::Gazetteer, "The syndrome persisted").is_empty());
-        assert_eq!(sys.extract(NerMethod::Gazetteer, "He left Rome."), vec!["Rome"]);
+        assert!(sys
+            .extract(NerMethod::Gazetteer, "The syndrome persisted")
+            .is_empty());
+        assert_eq!(
+            sys.extract(NerMethod::Gazetteer, "He left Rome."),
+            vec!["Rome"]
+        );
     }
 
     #[test]
@@ -212,7 +229,9 @@ mod tests {
     #[test]
     fn prompt_sim_without_slm_is_empty() {
         let sys = NerSystem::new(Vec::new());
-        assert!(sys.extract(NerMethod::PromptSim, "Alice met Bob").is_empty());
+        assert!(sys
+            .extract(NerMethod::PromptSim, "Alice met Bob")
+            .is_empty());
     }
 
     #[test]

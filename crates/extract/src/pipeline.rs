@@ -47,7 +47,13 @@ impl<'a> ExtractionPipeline<'a> {
         relation: RelationExtractor<'a>,
         paradigm: Paradigm,
     ) -> Self {
-        ExtractionPipeline { ner, ner_method, linker, relation, paradigm }
+        ExtractionPipeline {
+            ner,
+            ner_method,
+            linker,
+            relation,
+            paradigm,
+        }
     }
 
     /// A ready-to-run pipeline for a known KG: gazetteer NER from the KG's
@@ -201,7 +207,11 @@ mod tests {
         let g = pipeline.build_graph(&text);
         assert!(!g.is_empty());
         // subject IRI must be the reference KG's IRI, not a minted one
-        let gold_subj_iri = f.kg.graph.resolve(f.sentences[0].relation.0).as_iri().unwrap();
+        let gold_subj_iri =
+            f.kg.graph
+                .resolve(f.sentences[0].relation.0)
+                .as_iri()
+                .unwrap();
         assert!(
             g.pool().get_iri(gold_subj_iri).is_some(),
             "expected linked IRI {gold_subj_iri}"

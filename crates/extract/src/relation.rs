@@ -44,8 +44,8 @@ pub struct RelationExtractor<'a> {
     relation_labels: BTreeMap<String, String>,
     /// learned connector → relation counts (supervised).
     connector_counts: BTreeMap<String, BTreeMap<String, usize>>,
-    /// few-shot demonstration pool: relation IRI → connectors, insertion
-    /// order = the order demonstrations would appear in a prompt.
+    /// few-shot demonstration pool: relation IRI → distinct connectors
+    /// seen in training (ranked by frequency at selection time).
     demos: BTreeMap<String, Vec<String>>,
 }
 
@@ -65,7 +65,9 @@ impl<'a> RelationExtractor<'a> {
     /// statistics and the few-shot demonstration pool).
     pub fn train(&mut self, sentences: &[AnnotatedSentence]) {
         for s in sentences {
-            let Some(conn) = connector_of(s) else { continue };
+            let Some(conn) = connector_of(s) else {
+                continue;
+            };
             let rel = s.relation.1.clone();
             *self
                 .connector_counts
@@ -96,11 +98,27 @@ impl<'a> RelationExtractor<'a> {
                 self.best_by_similarity(&conn, self.all_training_pairs())
             }
             Paradigm::FewShot(k) => {
+                // k demonstrations per relation, most frequent connector
+                // first — the canonical realizations, not the first k the
+                // training pass happened to see
                 let pairs: Vec<(&str, &str)> = self
                     .demos
                     .iter()
                     .flat_map(|(rel, conns)| {
-                        conns.iter().take(k).map(move |c| (c.as_str(), rel.as_str()))
+                        let mut ranked: Vec<&String> = conns.iter().collect();
+                        ranked.sort_by_key(|c| {
+                            std::cmp::Reverse(
+                                self.connector_counts
+                                    .get(c.as_str())
+                                    .and_then(|m| m.get(rel))
+                                    .copied()
+                                    .unwrap_or(0),
+                            )
+                        });
+                        ranked
+                            .into_iter()
+                            .take(k)
+                            .map(move |c| (c.as_str(), rel.as_str()))
                     })
                     .collect();
                 self.best_by_similarity(&conn, pairs)
@@ -135,7 +153,8 @@ impl<'a> RelationExtractor<'a> {
                 _ => best = Some((sim, rel)),
             }
         }
-        best.filter(|&(s, _)| s > 0.1).map(|(_, rel)| rel.to_string())
+        best.filter(|&(s, _)| s > 0.1)
+            .map(|(_, rel)| rel.to_string())
     }
 
     /// Evaluate a paradigm: micro P/R/F1 over relation predictions
@@ -206,7 +225,12 @@ mod tests {
             )
             .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
             .build();
-        Fixture { train: sentences, test, relations, slm }
+        Fixture {
+            train: sentences,
+            test,
+            relations,
+            slm,
+        }
     }
 
     #[test]

@@ -52,7 +52,9 @@ pub fn verbalize_triple(graph: &Graph, onto: &Ontology, s: Sym, p_iri: &str, o: 
 pub fn annotate_graph(graph: &Graph, onto: &Ontology) -> Vec<AnnotatedSentence> {
     let mut out = Vec::new();
     for t in graph.iter() {
-        let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+        let Some(p_iri) = graph.resolve(t.p).as_iri() else {
+            continue;
+        };
         if !p_iri.starts_with(ns::SYNTH_VOCAB) {
             continue;
         }
@@ -76,8 +78,7 @@ pub fn annotate_graph(graph: &Graph, onto: &Ontology) -> Vec<AnnotatedSentence> 
 /// label). Lexical variety is what separates the RE learning paradigms in
 /// experiment E2: supervised models see all variants, few-shot models only
 /// `k` of them.
-pub const CONNECTOR_VARIANTS: [&str; 4] =
-    ["is %p", "was %p", "has always been %p", "remains %p"];
+pub const CONNECTOR_VARIANTS: [&str; 4] = ["is %p", "was %p", "has always been %p", "remains %p"];
 
 /// Synonym paraphrases for relation phrases. Sentences using a synonym
 /// never contain the canonical label, so zero-shot verbalizer matching
@@ -102,12 +103,14 @@ pub const PHRASE_SYNONYMS: &[(&str, &str)] = &[
 pub fn annotate_graph_varied(graph: &Graph, onto: &Ontology, seed: u64) -> Vec<AnnotatedSentence> {
     use rand::rngs::StdRng;
     use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     use rand::Rng;
+    use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for t in graph.iter() {
-        let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+        let Some(p_iri) = graph.resolve(t.p).as_iri() else {
+            continue;
+        };
         if !p_iri.starts_with(ns::SYNTH_VOCAB) || !graph.resolve(t.o).is_iri() {
             continue;
         }
@@ -138,7 +141,10 @@ pub fn annotate_graph_varied(graph: &Graph, onto: &Ontology, seed: u64) -> Vec<A
 /// The corpus of all verbalized sentences (text only) — what the simulated
 /// LM trains on to "know" this KG.
 pub fn corpus_sentences(graph: &Graph, onto: &Ontology) -> Vec<String> {
-    annotate_graph(graph, onto).into_iter().map(|a| a.text).collect()
+    annotate_graph(graph, onto)
+        .into_iter()
+        .map(|a| a.text)
+        .collect()
 }
 
 /// All distinct entity surface forms of a graph (for gazetteers and the
@@ -187,7 +193,11 @@ mod tests {
             .filter(|a| a.relation.1.ends_with("directedBy"))
             .collect();
         assert!(!directed.is_empty());
-        assert!(directed[0].text.contains("directed by"), "{}", directed[0].text);
+        assert!(
+            directed[0].text.contains("directed by"),
+            "{}",
+            directed[0].text
+        );
     }
 
     #[test]

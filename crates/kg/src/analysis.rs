@@ -43,7 +43,11 @@ pub fn stats(g: &Graph) -> GraphStats {
         entities: entities.len(),
         predicates: g.predicates().len(),
         max_degree,
-        mean_degree: if entities.is_empty() { 0.0 } else { total as f64 / entities.len() as f64 },
+        mean_degree: if entities.is_empty() {
+            0.0
+        } else {
+            total as f64 / entities.len() as f64
+        },
     }
 }
 
@@ -163,7 +167,10 @@ pub fn khop_subgraph(g: &Graph, center: Sym, k: usize) -> Vec<Triple> {
             break;
         }
     }
-    triples.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect()
+    triples
+        .into_iter()
+        .map(|(s, p, o)| Triple::new(s, p, o))
+        .collect()
 }
 
 /// Shortest undirected path between two entities (BFS), as a triple list,

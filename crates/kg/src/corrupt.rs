@@ -94,7 +94,11 @@ impl Default for CorruptionPlan {
 /// Apply a corruption plan to `graph` (mutating it), returning the ground
 /// truth. Counts are best-effort: if the graph lacks suitable targets for a
 /// defect type, fewer defects of that type are injected.
-pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) -> Vec<InjectedDefect> {
+pub fn corrupt(
+    graph: &mut Graph,
+    ontology: &Ontology,
+    plan: &CorruptionPlan,
+) -> Vec<InjectedDefect> {
     let mut rng = StdRng::seed_from_u64(plan.seed);
     let mut out = Vec::new();
 
@@ -105,8 +109,7 @@ pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) ->
         .iter()
         .filter(|t| {
             let p = graph.resolve(t.p).as_iri().unwrap_or("");
-            p.starts_with(ns::SYNTH_VOCAB)
-                && graph.resolve(t.o).is_iri()
+            p.starts_with(ns::SYNTH_VOCAB) && graph.resolve(t.o).is_iri()
         })
         .collect();
 
@@ -121,13 +124,17 @@ pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) ->
         if injected_mis >= plan.misinformation {
             break;
         }
-        let Some(class) = class_of(graph, t.o) else { continue };
+        let Some(class) = class_of(graph, t.o) else {
+            continue;
+        };
         let peers: Vec<Sym> = graph
             .instances_of(class)
             .into_iter()
             .filter(|&e| e != t.o && e != t.s && !graph.contains(t.s, t.p, e))
             .collect();
-        let Some(&new_o) = peers.choose(&mut rng) else { continue };
+        let Some(&new_o) = peers.choose(&mut rng) else {
+            continue;
+        };
         graph.remove(t.s, t.p, t.o);
         graph.insert(t.s, t.p, new_o);
         out.push(InjectedDefect {
@@ -145,16 +152,27 @@ pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) ->
         .map(|(p, _)| p.to_string())
         .collect();
     let mut injected = 0;
-    'outer: for prop in functional_props.iter().cycle().take(functional_props.len() * 4) {
+    'outer: for prop in functional_props
+        .iter()
+        .cycle()
+        .take(functional_props.len() * 4)
+    {
         if injected >= plan.functional {
             break;
         }
-        let Some(p) = graph.pool().get_iri(prop) else { continue };
-        let mut subjects: Vec<Triple> =
-            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let Some(p) = graph.pool().get_iri(prop) else {
+            continue;
+        };
+        let mut subjects: Vec<Triple> = graph.match_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        });
         subjects.shuffle(&mut rng);
         for t in subjects {
-            let Some(class) = class_of(graph, t.o) else { continue };
+            let Some(class) = class_of(graph, t.o) else {
+                continue;
+            };
             let peers: Vec<Sym> = graph
                 .instances_of(class)
                 .into_iter()
@@ -186,10 +204,17 @@ pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) ->
         if injected >= plan.range || ranged.is_empty() {
             break;
         }
-        let Some(p) = graph.pool().get_iri(prop) else { continue };
-        let existing: Vec<Triple> =
-            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
-        let Some(&t) = existing.as_slice().choose(&mut rng) else { continue };
+        let Some(p) = graph.pool().get_iri(prop) else {
+            continue;
+        };
+        let existing: Vec<Triple> = graph.match_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        });
+        let Some(&t) = existing.as_slice().choose(&mut rng) else {
+            continue;
+        };
         // pick an entity of a class NOT subsumed by the range
         let wrong: Vec<Sym> = graph
             .entities()
@@ -224,10 +249,17 @@ pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) ->
         if injected >= plan.domain || domained.is_empty() {
             break;
         }
-        let Some(p) = graph.pool().get_iri(prop) else { continue };
-        let existing: Vec<Triple> =
-            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
-        let Some(&t) = existing.as_slice().choose(&mut rng) else { continue };
+        let Some(p) = graph.pool().get_iri(prop) else {
+            continue;
+        };
+        let existing: Vec<Triple> = graph.match_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        });
+        let Some(&t) = existing.as_slice().choose(&mut rng) else {
+            continue;
+        };
         let wrong: Vec<Sym> = graph
             .entities()
             .into_iter()
@@ -259,13 +291,21 @@ pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) ->
         .map(|(a, b)| (a.to_string(), b.to_string()))
         .collect();
     let mut injected = 0;
-    for (a, bcls) in disjoint_pairs.iter().cycle().take(disjoint_pairs.len().max(1) * 6) {
+    for (a, bcls) in disjoint_pairs
+        .iter()
+        .cycle()
+        .take(disjoint_pairs.len().max(1) * 6)
+    {
         if injected >= plan.disjoint || disjoint_pairs.is_empty() {
             break;
         }
-        let Some(ca) = graph.pool().get_iri(a) else { continue };
+        let Some(ca) = graph.pool().get_iri(a) else {
+            continue;
+        };
         let instances = graph.instances_of(ca);
-        let Some(&e) = instances.as_slice().choose(&mut rng) else { continue };
+        let Some(&e) = instances.as_slice().choose(&mut rng) else {
+            continue;
+        };
         let cb = graph.intern_iri(bcls.clone());
         if graph.insert(e, rdf_type, cb) {
             out.push(InjectedDefect {
@@ -284,14 +324,25 @@ pub fn corrupt(graph: &mut Graph, ontology: &Ontology, plan: &CorruptionPlan) ->
         .map(|(p, _)| p.to_string())
         .collect();
     let mut injected = 0;
-    for prop in irreflexive_props.iter().cycle().take(irreflexive_props.len().max(1) * 6) {
+    for prop in irreflexive_props
+        .iter()
+        .cycle()
+        .take(irreflexive_props.len().max(1) * 6)
+    {
         if injected >= plan.irreflexive || irreflexive_props.is_empty() {
             break;
         }
-        let Some(p) = graph.pool().get_iri(prop) else { continue };
-        let existing: Vec<Triple> =
-            graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
-        let Some(&t) = existing.as_slice().choose(&mut rng) else { continue };
+        let Some(p) = graph.pool().get_iri(prop) else {
+            continue;
+        };
+        let existing: Vec<Triple> = graph.match_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        });
+        let Some(&t) = existing.as_slice().choose(&mut rng) else {
+            continue;
+        };
         if graph.insert(t.s, p, t.s) {
             out.push(InjectedDefect {
                 kind: DefectKind::IrreflexiveViolation,
@@ -315,22 +366,35 @@ mod tests {
         let kg = movies(11, Scale::default());
         let mut g = kg.graph.clone();
         let before = g.len();
-        let plan = CorruptionPlan { seed: 1, ..Default::default() };
+        let plan = CorruptionPlan {
+            seed: 1,
+            ..Default::default()
+        };
         let defects = corrupt(&mut g, &kg.ontology, &plan);
         assert!(!defects.is_empty());
         // every reported defective triple is actually in the graph
         for d in &defects {
-            assert!(g.contains(d.triple.s, d.triple.p, d.triple.o), "{:?}", d.kind);
+            assert!(
+                g.contains(d.triple.s, d.triple.p, d.triple.o),
+                "{:?}",
+                d.kind
+            );
         }
         // misinformation removes one and adds one; others only add
-        let mis = defects.iter().filter(|d| d.kind == DefectKind::Misinformation).count();
+        let mis = defects
+            .iter()
+            .filter(|d| d.kind == DefectKind::Misinformation)
+            .count();
         assert_eq!(g.len(), before + defects.len() - mis);
     }
 
     #[test]
     fn corrupt_is_deterministic() {
         let kg = movies(11, Scale::tiny());
-        let plan = CorruptionPlan { seed: 7, ..Default::default() };
+        let plan = CorruptionPlan {
+            seed: 7,
+            ..Default::default()
+        };
         let mut g1 = kg.graph.clone();
         let d1 = corrupt(&mut g1, &kg.ontology, &plan);
         let mut g2 = kg.graph.clone();
@@ -357,7 +421,9 @@ mod tests {
         };
         let defects = corrupt(&mut g, &kg.ontology, &plan);
         for d in &defects {
-            let old = d.displaced.expect("misinformation records the displaced triple");
+            let old = d
+                .displaced
+                .expect("misinformation records the displaced triple");
             assert!(!g.contains(old.s, old.p, old.o));
             assert!(kg.graph.contains(old.s, old.p, old.o));
         }

@@ -85,9 +85,12 @@ mod tests {
     #[test]
     fn named_graph_lifecycle() {
         let mut ds = Dataset::new();
-        ds.graph_mut("a").insert_iri("http://e/x", "http://v/p", "http://e/y");
-        ds.graph_mut("b").insert_iri("http://e/x", "http://v/p", "http://e/z");
-        ds.default_graph_mut().insert_iri("http://e/q", "http://v/p", "http://e/r");
+        ds.graph_mut("a")
+            .insert_iri("http://e/x", "http://v/p", "http://e/y");
+        ds.graph_mut("b")
+            .insert_iri("http://e/x", "http://v/p", "http://e/z");
+        ds.default_graph_mut()
+            .insert_iri("http://e/q", "http://v/p", "http://e/r");
         assert_eq!(ds.named_count(), 2);
         assert_eq!(ds.total_triples(), 3);
         assert_eq!(ds.graph_names(), vec!["a", "b"]);
@@ -100,8 +103,10 @@ mod tests {
     #[test]
     fn union_merges_and_dedups() {
         let mut ds = Dataset::new();
-        ds.graph_mut("a").insert_iri("http://e/x", "http://v/p", "http://e/y");
-        ds.graph_mut("b").insert_iri("http://e/x", "http://v/p", "http://e/y");
+        ds.graph_mut("a")
+            .insert_iri("http://e/x", "http://v/p", "http://e/y");
+        ds.graph_mut("b")
+            .insert_iri("http://e/x", "http://v/p", "http://e/y");
         let u = ds.union();
         assert_eq!(u.len(), 1);
     }

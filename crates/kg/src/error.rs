@@ -32,7 +32,11 @@ pub enum KgError {
 impl fmt::Display for KgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            KgError::Parse { line, column, message } => {
+            KgError::Parse {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "parse error at {line}:{column}: {message}")
             }
             KgError::UnknownSym(id) => write!(f, "unknown term id {id}"),
@@ -56,7 +60,11 @@ mod tests {
 
     #[test]
     fn display_parse_error_mentions_position() {
-        let e = KgError::Parse { line: 3, column: 14, message: "expected '.'".into() };
+        let e = KgError::Parse {
+            line: 3,
+            column: 14,
+            message: "expected '.'".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("3:14"), "{s}");
         assert!(s.contains("expected '.'"), "{s}");
@@ -65,10 +73,17 @@ mod tests {
     #[test]
     fn display_other_variants() {
         assert!(KgError::UnknownSym(7).to_string().contains('7'));
-        assert!(KgError::InvalidIri("x y".into()).to_string().contains("x y"));
-        let lit = KgError::InvalidLiteral { lexical: "abc".into(), datatype: "xsd:integer".into() };
+        assert!(KgError::InvalidIri("x y".into())
+            .to_string()
+            .contains("x y"));
+        let lit = KgError::InvalidLiteral {
+            lexical: "abc".into(),
+            datatype: "xsd:integer".into(),
+        };
         assert!(lit.to_string().contains("abc"));
-        assert!(KgError::InvalidConfig("n=0".into()).to_string().contains("n=0"));
+        assert!(KgError::InvalidConfig("n=0".into())
+            .to_string()
+            .contains("n=0"));
     }
 
     #[test]

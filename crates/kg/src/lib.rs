@@ -17,16 +17,16 @@
 //! Everything is deterministic: generators take explicit seeds and all
 //! outputs iterate in stable (interning or sorted) order.
 
-pub mod error;
-pub mod term;
-pub mod store;
+pub mod analysis;
+pub mod corrupt;
 pub mod dataset;
+pub mod error;
 pub mod namespace;
 pub mod ontology;
-pub mod turtle;
+pub mod store;
 pub mod synth;
-pub mod corrupt;
-pub mod analysis;
+pub mod term;
+pub mod turtle;
 
 pub use dataset::Dataset;
 pub use error::KgError;

@@ -30,8 +30,7 @@ pub const OWL_DISJOINT_WITH: &str = "http://www.w3.org/2002/07/owl#disjointWith"
 /// `owl:FunctionalProperty`.
 pub const OWL_FUNCTIONAL: &str = "http://www.w3.org/2002/07/owl#FunctionalProperty";
 /// `owl:InverseFunctionalProperty`.
-pub const OWL_INVERSE_FUNCTIONAL: &str =
-    "http://www.w3.org/2002/07/owl#InverseFunctionalProperty";
+pub const OWL_INVERSE_FUNCTIONAL: &str = "http://www.w3.org/2002/07/owl#InverseFunctionalProperty";
 /// `owl:inverseOf`.
 pub const OWL_INVERSE_OF: &str = "http://www.w3.org/2002/07/owl#inverseOf";
 /// `owl:sameAs`.
@@ -81,7 +80,9 @@ pub fn namespace_of(iri: &str) -> &str {
 pub fn is_valid_iri(iri: &str) -> bool {
     !iri.is_empty()
         && iri.contains(':')
-        && !iri.chars().any(|c| c.is_whitespace() || c == '<' || c == '>' || c == '"')
+        && !iri
+            .chars()
+            .any(|c| c.is_whitespace() || c == '<' || c == '>' || c == '"')
 }
 
 /// Turn a human label into an IRI-safe local-name fragment

@@ -243,7 +243,11 @@ impl Ontology {
         ancestors_b.insert(b.to_string());
         for x in &ancestors_a {
             for y in &ancestors_b {
-                let pair = if x <= y { (x.clone(), y.clone()) } else { (y.clone(), x.clone()) };
+                let pair = if x <= y {
+                    (x.clone(), y.clone())
+                } else {
+                    (y.clone(), x.clone())
+                };
                 if x != y && self.disjoint.contains(&pair) {
                     return true;
                 }
@@ -263,10 +267,18 @@ impl Ontology {
         for (iri, decl) in &self.classes {
             g.insert_iri(iri, ns::RDF_TYPE, ns::OWL_CLASS);
             if let Some(l) = &decl.label {
-                g.insert_terms(Term::iri(iri), Term::iri(ns::RDFS_LABEL), Term::lit(l.clone()));
+                g.insert_terms(
+                    Term::iri(iri),
+                    Term::iri(ns::RDFS_LABEL),
+                    Term::lit(l.clone()),
+                );
             }
             if let Some(c) = &decl.comment {
-                g.insert_terms(Term::iri(iri), Term::iri(ns::RDFS_COMMENT), Term::lit(c.clone()));
+                g.insert_terms(
+                    Term::iri(iri),
+                    Term::iri(ns::RDFS_COMMENT),
+                    Term::lit(c.clone()),
+                );
             }
         }
         for (child, parents) in &self.parents {
@@ -287,7 +299,11 @@ impl Ontology {
                 g.insert_iri(iri, ns::RDFS_RANGE, r);
             }
             if let Some(l) = &decl.label {
-                g.insert_terms(Term::iri(iri), Term::iri(ns::RDFS_LABEL), Term::lit(l.clone()));
+                g.insert_terms(
+                    Term::iri(iri),
+                    Term::iri(ns::RDFS_LABEL),
+                    Term::lit(l.clone()),
+                );
             }
             if let Some(inv) = &decl.inverse_of {
                 g.insert_iri(iri, ns::OWL_INVERSE_OF, inv);
@@ -339,8 +355,11 @@ impl Ontology {
                         onto.properties.entry(s_iri).or_default().traits.functional = true;
                     }
                     Some(ns::OWL_INVERSE_FUNCTIONAL) => {
-                        onto.properties.entry(s_iri).or_default().traits.inverse_functional =
-                            true;
+                        onto.properties
+                            .entry(s_iri)
+                            .or_default()
+                            .traits
+                            .inverse_functional = true;
                     }
                     Some(ns::OWL_SYMMETRIC) => {
                         onto.properties.entry(s_iri).or_default().traits.symmetric = true;
@@ -421,7 +440,10 @@ mod tests {
             PropertyDecl {
                 domain: Some("http://v/Student".into()),
                 range: Some("http://v/Professor".into()),
-                traits: PropertyTraits { functional: true, ..Default::default() },
+                traits: PropertyTraits {
+                    functional: true,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );

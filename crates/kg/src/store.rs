@@ -392,7 +392,15 @@ mod tests {
         assert!(g.remove(alice, knows, bob));
         assert!(!g.remove(alice, knows, bob));
         assert!(!g.contains(alice, knows, bob));
-        assert_eq!(g.match_pattern(TriplePattern { s: None, p: Some(knows), o: None }).len(), 2);
+        assert_eq!(
+            g.match_pattern(TriplePattern {
+                s: None,
+                p: Some(knows),
+                o: None
+            })
+            .len(),
+            2
+        );
         assert_eq!(g.objects(alice, knows).len(), 1);
     }
 
@@ -419,8 +427,16 @@ mod tests {
         let alice = g.pool().get_iri("http://e/alice").unwrap();
         let knows = g.pool().get_iri("http://v/knows").unwrap();
         for pat in [
-            TriplePattern { s: Some(alice), p: None, o: None },
-            TriplePattern { s: None, p: Some(knows), o: None },
+            TriplePattern {
+                s: Some(alice),
+                p: None,
+                o: None,
+            },
+            TriplePattern {
+                s: None,
+                p: Some(knows),
+                o: None,
+            },
             TriplePattern::any(),
         ] {
             let fast: Vec<_> = g.match_pattern(pat);
@@ -451,7 +467,14 @@ mod tests {
         let g = tiny();
         let knows = g.pool().get_iri("http://v/knows").unwrap();
         assert_eq!(g.estimate(TriplePattern::any()), 4);
-        assert_eq!(g.estimate(TriplePattern { s: None, p: Some(knows), o: None }), 3);
+        assert_eq!(
+            g.estimate(TriplePattern {
+                s: None,
+                p: Some(knows),
+                o: None
+            }),
+            3
+        );
     }
 
     #[test]
@@ -495,7 +518,11 @@ mod tests {
     #[test]
     fn entities_excludes_literals() {
         let mut g = Graph::new();
-        g.insert_terms(Term::iri("http://e/a"), Term::iri("http://v/name"), Term::lit("A"));
+        g.insert_terms(
+            Term::iri("http://e/a"),
+            Term::iri("http://v/name"),
+            Term::lit("A"),
+        );
         g.insert_iri("http://e/a", "http://v/knows", "http://e/b");
         // literals never count as entities; only IRI subjects/objects do
         assert_eq!(g.entities().len(), 2);

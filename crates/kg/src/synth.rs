@@ -46,19 +46,25 @@ pub struct Scale {
 
 impl Default for Scale {
     fn default() -> Self {
-        Scale { entities_per_class: 40 }
+        Scale {
+            entities_per_class: 40,
+        }
     }
 }
 
 impl Scale {
     /// A small scale for unit tests.
     pub fn tiny() -> Self {
-        Scale { entities_per_class: 8 }
+        Scale {
+            entities_per_class: 8,
+        }
     }
 
     /// A medium scale for evaluation harnesses.
     pub fn medium() -> Self {
-        Scale { entities_per_class: 120 }
+        Scale {
+            entities_per_class: 120,
+        }
     }
 }
 
@@ -68,8 +74,8 @@ pub struct NameGen {
 }
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "r",
-    "s", "st", "t", "th", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "r", "s",
+    "st", "t", "th", "v", "w", "z",
 ];
 const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"];
 const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "nd", "rt", "x"];
@@ -77,7 +83,9 @@ const CODAS: &[&str] = &["", "n", "r", "s", "l", "m", "nd", "rt", "x"];
 impl NameGen {
     /// A fresh generator with its own seed.
     pub fn new(seed: u64) -> Self {
-        NameGen { rng: StdRng::seed_from_u64(seed) }
+        NameGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// One capitalized pseudo-word of 2–3 syllables.
@@ -194,7 +202,10 @@ pub fn movies(seed: u64, scale: Scale) -> SynthKg {
         PropertyDecl {
             domain: Some(film_c.clone()),
             range: Some(director_c.clone()),
-            traits: PropertyTraits { functional: true, ..Default::default() },
+            traits: PropertyTraits {
+                functional: true,
+                ..Default::default()
+            },
             label: Some("directed by".into()),
             ..Default::default()
         },
@@ -222,7 +233,10 @@ pub fn movies(seed: u64, scale: Scale) -> SynthKg {
         PropertyDecl {
             domain: Some(film_c.clone()),
             range: Some(studio_c.clone()),
-            traits: PropertyTraits { functional: true, ..Default::default() },
+            traits: PropertyTraits {
+                functional: true,
+                ..Default::default()
+            },
             label: Some("produced by".into()),
             ..Default::default()
         },
@@ -232,7 +246,10 @@ pub fn movies(seed: u64, scale: Scale) -> SynthKg {
         PropertyDecl {
             domain: Some(film_c.clone()),
             literal_valued: true,
-            traits: PropertyTraits { functional: true, ..Default::default() },
+            traits: PropertyTraits {
+                functional: true,
+                ..Default::default()
+            },
             label: Some("released in".into()),
             ..Default::default()
         },
@@ -258,15 +275,21 @@ pub fn movies(seed: u64, scale: Scale) -> SynthKg {
     });
 
     let n = scale.entities_per_class;
-    let genres: Vec<Sym> = ["Drama", "Comedy", "Thriller", "SciFi", "Romance", "Horror", "Noir"]
-        .iter()
-        .map(|g| b.entity(&genre_c, g))
+    let genres: Vec<Sym> = [
+        "Drama", "Comedy", "Thriller", "SciFi", "Romance", "Horror", "Noir",
+    ]
+    .iter()
+    .map(|g| b.entity(&genre_c, g))
+    .collect();
+    let studios: Vec<Sym> = (0..(n / 6).max(2))
+        .map(|_| b.entity(&studio_c, &format!("{} Studios", names.word())))
         .collect();
-    let studios: Vec<Sym> =
-        (0..(n / 6).max(2)).map(|_| b.entity(&studio_c, &format!("{} Studios", names.word()))).collect();
-    let directors: Vec<Sym> =
-        (0..(n / 3).max(3)).map(|_| b.entity(&director_c, &names.person())).collect();
-    let actors: Vec<Sym> = (0..n).map(|_| b.entity(&actor_c, &names.person())).collect();
+    let directors: Vec<Sym> = (0..(n / 3).max(3))
+        .map(|_| b.entity(&director_c, &names.person()))
+        .collect();
+    let actors: Vec<Sym> = (0..n)
+        .map(|_| b.entity(&actor_c, &names.person()))
+        .collect();
 
     for _ in 0..n {
         let film = b.entity(&film_c, &format!("The {}", names.title(2)));
@@ -296,7 +319,11 @@ pub fn movies(seed: u64, scale: Scale) -> SynthKg {
         }
     }
 
-    SynthKg { graph: b.graph, ontology: onto, domain: "movies" }
+    SynthKg {
+        graph: b.graph,
+        ontology: onto,
+        domain: "movies",
+    }
 }
 
 /// Generate the academic domain.
@@ -339,7 +366,10 @@ pub fn academic(seed: u64, scale: Scale) -> SynthKg {
         PropertyDecl {
             domain: Some(student_c.clone()),
             range: Some(prof_c.clone()),
-            traits: PropertyTraits { functional: true, ..Default::default() },
+            traits: PropertyTraits {
+                functional: true,
+                ..Default::default()
+            },
             label: Some("advised by".into()),
             ..Default::default()
         },
@@ -367,7 +397,10 @@ pub fn academic(seed: u64, scale: Scale) -> SynthKg {
         PropertyDecl {
             domain: Some(paper_c.clone()),
             range: Some(paper_c.clone()),
-            traits: PropertyTraits { irreflexive: true, ..Default::default() },
+            traits: PropertyTraits {
+                irreflexive: true,
+                ..Default::default()
+            },
             label: Some("cites".into()),
             ..Default::default()
         },
@@ -377,20 +410,28 @@ pub fn academic(seed: u64, scale: Scale) -> SynthKg {
         PropertyDecl {
             domain: Some(paper_c.clone()),
             range: Some(venue_c.clone()),
-            traits: PropertyTraits { functional: true, ..Default::default() },
+            traits: PropertyTraits {
+                functional: true,
+                ..Default::default()
+            },
             label: Some("published in".into()),
             ..Default::default()
         },
     );
 
     let n = scale.entities_per_class;
-    let unis: Vec<Sym> =
-        (0..(n / 8).max(2)).map(|_| b.entity(&uni_c, &format!("University of {}", names.word()))).collect();
-    let venues: Vec<Sym> =
-        (0..(n / 10).max(2)).map(|_| b.entity(&venue_c, &format!("{} Conference", names.word()))).collect();
-    let profs: Vec<Sym> =
-        (0..(n / 3).max(3)).map(|_| b.entity(&prof_c, &names.person())).collect();
-    let students: Vec<Sym> = (0..n).map(|_| b.entity(&student_c, &names.person())).collect();
+    let unis: Vec<Sym> = (0..(n / 8).max(2))
+        .map(|_| b.entity(&uni_c, &format!("University of {}", names.word())))
+        .collect();
+    let venues: Vec<Sym> = (0..(n / 10).max(2))
+        .map(|_| b.entity(&venue_c, &format!("{} Conference", names.word())))
+        .collect();
+    let profs: Vec<Sym> = (0..(n / 3).max(3))
+        .map(|_| b.entity(&prof_c, &names.person()))
+        .collect();
+    let students: Vec<Sym> = (0..n)
+        .map(|_| b.entity(&student_c, &names.person()))
+        .collect();
 
     for &p in &profs {
         let u = *unis.choose(&mut rng).expect("non-empty");
@@ -403,7 +444,11 @@ pub fn academic(seed: u64, scale: Scale) -> SynthKg {
     let mut papers = Vec::new();
     for _ in 0..n {
         let paper = b.entity(&paper_c, &format!("On {}", names.title(3)));
-        b.edge(paper, &published_in, *venues.choose(&mut rng).expect("non-empty"));
+        b.edge(
+            paper,
+            &published_in,
+            *venues.choose(&mut rng).expect("non-empty"),
+        );
         let nauth = rng.gen_range(1..=3);
         for _ in 0..nauth {
             let who = if rng.gen_bool(0.5) {
@@ -424,7 +469,11 @@ pub fn academic(seed: u64, scale: Scale) -> SynthKg {
         }
     }
 
-    SynthKg { graph: b.graph, ontology: onto, domain: "academic" }
+    SynthKg {
+        graph: b.graph,
+        ontology: onto,
+        domain: "academic",
+    }
 }
 
 /// Generate the geography domain.
@@ -474,7 +523,10 @@ pub fn geo(seed: u64, scale: Scale) -> SynthKg {
         located_in.clone(),
         PropertyDecl {
             range: Some(region_c.clone()),
-            traits: PropertyTraits { transitive: true, ..Default::default() },
+            traits: PropertyTraits {
+                transitive: true,
+                ..Default::default()
+            },
             label: Some("located in".into()),
             ..Default::default()
         },
@@ -506,17 +558,22 @@ pub fn geo(seed: u64, scale: Scale) -> SynthKg {
         population.clone(),
         PropertyDecl {
             literal_valued: true,
-            traits: PropertyTraits { functional: true, ..Default::default() },
+            traits: PropertyTraits {
+                functional: true,
+                ..Default::default()
+            },
             label: Some("has population".into()),
             ..Default::default()
         },
     );
 
     let n = scale.entities_per_class;
-    let regions: Vec<Sym> =
-        (0..(n / 8).max(2)).map(|_| b.entity(&region_c, &format!("{} Region", names.word()))).collect();
-    let countries: Vec<Sym> =
-        (0..(n / 2).max(3)).map(|_| b.entity(&country_c, &names.word())).collect();
+    let regions: Vec<Sym> = (0..(n / 8).max(2))
+        .map(|_| b.entity(&region_c, &format!("{} Region", names.word())))
+        .collect();
+    let countries: Vec<Sym> = (0..(n / 2).max(3))
+        .map(|_| b.entity(&country_c, &names.word()))
+        .collect();
     for (i, &c) in countries.iter().enumerate() {
         b.edge(c, &located_in, regions[i % regions.len()]);
         b.attr_int(c, &population, rng.gen_range(100_000..200_000_000));
@@ -548,7 +605,11 @@ pub fn geo(seed: u64, scale: Scale) -> SynthKg {
         }
     }
 
-    SynthKg { graph: b.graph, ontology: onto, domain: "geo" }
+    SynthKg {
+        graph: b.graph,
+        ontology: onto,
+        domain: "geo",
+    }
 }
 
 /// Generate the biomedical (COVID-19-style) domain.
@@ -614,7 +675,10 @@ pub fn biomed(seed: u64, scale: Scale) -> SynthKg {
         PropertyDecl {
             domain: Some(disease_c.clone()),
             range: Some(pathogen_c.clone()),
-            traits: PropertyTraits { functional: true, ..Default::default() },
+            traits: PropertyTraits {
+                functional: true,
+                ..Default::default()
+            },
             label: Some("caused by".into()),
             ..Default::default()
         },
@@ -635,25 +699,35 @@ pub fn biomed(seed: u64, scale: Scale) -> SynthKg {
     );
 
     let n = scale.entities_per_class;
-    let symptoms: Vec<Sym> = ["Fever", "Cough", "Fatigue", "Headache", "Nausea", "Rash", "Chills"]
-        .iter()
-        .map(|s| b.entity(&symptom_c, s))
+    let symptoms: Vec<Sym> = [
+        "Fever", "Cough", "Fatigue", "Headache", "Nausea", "Rash", "Chills",
+    ]
+    .iter()
+    .map(|s| b.entity(&symptom_c, s))
+    .collect();
+    let pathogens: Vec<Sym> = (0..(n / 6).max(2))
+        .map(|_| b.entity(&pathogen_c, &format!("{} virus", names.word())))
         .collect();
-    let pathogens: Vec<Sym> =
-        (0..(n / 6).max(2)).map(|_| b.entity(&pathogen_c, &format!("{} virus", names.word()))).collect();
-    let genes: Vec<Sym> =
-        (0..(n / 3).max(3)).map(|i| b.entity(&gene_c, &format!("GEN{i:03}"))).collect();
-    let diseases: Vec<Sym> =
-        (0..n).map(|_| b.entity(&disease_c, &format!("{} disease", names.word()))).collect();
+    let genes: Vec<Sym> = (0..(n / 3).max(3))
+        .map(|i| b.entity(&gene_c, &format!("GEN{i:03}")))
+        .collect();
+    let diseases: Vec<Sym> = (0..n)
+        .map(|_| b.entity(&disease_c, &format!("{} disease", names.word())))
+        .collect();
     for &d in &diseases {
         let n_sym = rng.gen_range(2..=4);
         for &s in symptoms.as_slice().choose_multiple(&mut rng, n_sym) {
             b.edge(d, &has_symptom, s);
         }
-        b.edge(d, &caused_by, *pathogens.choose(&mut rng).expect("non-empty"));
+        b.edge(
+            d,
+            &caused_by,
+            *pathogens.choose(&mut rng).expect("non-empty"),
+        );
     }
-    let drugs: Vec<Sym> =
-        (0..n).map(|_| b.entity(&drug_c, &format!("{}ol", names.word()))).collect();
+    let drugs: Vec<Sym> = (0..n)
+        .map(|_| b.entity(&drug_c, &format!("{}ol", names.word())))
+        .collect();
     for &dr in &drugs {
         let n_treats = rng.gen_range(1..=2);
         for &d in diseases.as_slice().choose_multiple(&mut rng, n_treats) {
@@ -671,7 +745,11 @@ pub fn biomed(seed: u64, scale: Scale) -> SynthKg {
         }
     }
 
-    SynthKg { graph: b.graph, ontology: onto, domain: "biomed" }
+    SynthKg {
+        graph: b.graph,
+        ontology: onto,
+        domain: "biomed",
+    }
 }
 
 /// Configuration for the generic scale-free generator.
@@ -716,8 +794,9 @@ pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> 
     let entities: Vec<Sym> = (0..config.n_entities)
         .map(|i| b.entity(&class, &format!("E{i:05}")))
         .collect();
-    let relations: Vec<String> =
-        (0..config.n_relations).map(|i| vocab(&format!("rel{i:03}"))).collect();
+    let relations: Vec<String> = (0..config.n_relations)
+        .map(|i| vocab(&format!("rel{i:03}")))
+        .collect();
     for r in &relations {
         onto.add_property(
             r.clone(),
@@ -743,7 +822,9 @@ pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> 
     }
     let pick = |rng: &mut StdRng| -> Sym {
         let x: f64 = rng.gen();
-        let idx = cumulative.partition_point(|&c| c < x).min(config.n_entities - 1);
+        let idx = cumulative
+            .partition_point(|&c| c < x)
+            .min(config.n_entities - 1);
         entities[idx]
     };
 
@@ -764,7 +845,11 @@ pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> 
         }
     }
 
-    Ok(SynthKg { graph: b.graph, ontology: onto, domain: "freebase-like" })
+    Ok(SynthKg {
+        graph: b.graph,
+        ontology: onto,
+        domain: "freebase-like",
+    })
 }
 
 #[cfg(test)]
@@ -788,7 +873,11 @@ mod tests {
         let db = g.pool().get_iri(&vocab("directedBy")).unwrap();
         let film_class = g.pool().get_iri(&vocab("Film")).unwrap();
         for film in g.instances_of(film_class) {
-            assert_eq!(g.objects(film, db).len(), 1, "directedBy must be functional");
+            assert_eq!(
+                g.objects(film, db).len(),
+                1,
+                "directedBy must be functional"
+            );
         }
     }
 
@@ -820,8 +909,11 @@ mod tests {
         let kg = geo(9, Scale::tiny());
         let g = &kg.graph;
         let borders = g.pool().get_iri(&vocab("borders")).unwrap();
-        for t in g.match_pattern(crate::store::TriplePattern { s: None, p: Some(borders), o: None })
-        {
+        for t in g.match_pattern(crate::store::TriplePattern {
+            s: None,
+            p: Some(borders),
+            o: None,
+        }) {
             assert!(g.contains(t.o, t.p, t.s), "borders must be symmetric");
         }
     }
@@ -841,7 +933,10 @@ mod tests {
             .predicates()
             .iter()
             .filter(|(p, _)| {
-                kg.graph.resolve(*p).as_iri().is_some_and(|i| i.contains("rel"))
+                kg.graph
+                    .resolve(*p)
+                    .as_iri()
+                    .is_some_and(|i| i.contains("rel"))
             })
             .map(|(_, c)| *c)
             .sum::<usize>();
@@ -858,8 +953,14 @@ mod tests {
         };
         let kg = freebase_like(7, &cfg).unwrap();
         let g = &kg.graph;
-        let e0 = g.pool().get_iri(&format!("{}E00000", ns::SYNTH_ENTITY)).unwrap();
-        let elast = g.pool().get_iri(&format!("{}E00199", ns::SYNTH_ENTITY)).unwrap();
+        let e0 = g
+            .pool()
+            .get_iri(&format!("{}E00000", ns::SYNTH_ENTITY))
+            .unwrap();
+        let elast = g
+            .pool()
+            .get_iri(&format!("{}E00199", ns::SYNTH_ENTITY))
+            .unwrap();
         // labels+types contribute 2 everywhere, relation edges dominate on hubs
         assert!(
             g.degree(e0) > g.degree(elast),
@@ -871,7 +972,10 @@ mod tests {
 
     #[test]
     fn freebase_like_rejects_bad_config() {
-        let bad = FreebaseLikeConfig { n_entities: 1, ..Default::default() };
+        let bad = FreebaseLikeConfig {
+            n_entities: 1,
+            ..Default::default()
+        };
         assert!(freebase_like(0, &bad).is_err());
     }
 

@@ -46,7 +46,11 @@ pub struct Literal {
 impl Literal {
     /// A plain (untyped, untagged) string literal.
     pub fn string(lexical: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), datatype: None, language: None }
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
     }
 
     /// An `xsd:integer` literal.
@@ -78,7 +82,11 @@ impl Literal {
 
     /// A language-tagged string literal.
     pub fn lang(lexical: impl Into<String>, tag: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), datatype: None, language: Some(tag.into()) }
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: Some(tag.into()),
+        }
     }
 
     /// Parse the lexical form as an integer if the datatype says so.
@@ -242,7 +250,9 @@ impl TermPool {
 
     /// Fallible resolution of an id to its term.
     pub fn try_resolve(&self, sym: Sym) -> Result<&Term> {
-        self.terms.get(sym.index()).ok_or(KgError::UnknownSym(sym.0))
+        self.terms
+            .get(sym.index())
+            .ok_or(KgError::UnknownSym(sym.0))
     }
 
     /// Number of distinct terms interned.
@@ -257,7 +267,10 @@ impl TermPool {
 
     /// Iterate `(Sym, &Term)` in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &Term)> {
-        self.terms.iter().enumerate().map(|(i, t)| (Sym(i as u32), t))
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (Sym(i as u32), t))
     }
 
     /// Human-readable label for an id (local name / lexical form).

@@ -140,7 +140,11 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> KgError {
-        KgError::Parse { line: self.line, column: self.col, message: message.into() }
+        KgError::Parse {
+            line: self.line,
+            column: self.col,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -281,7 +285,11 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         if self.peek() == Some('a') {
             // `a` keyword only if followed by whitespace
-            if self.chars.get(self.pos + 1).is_some_and(|c| c.is_whitespace()) {
+            if self
+                .chars
+                .get(self.pos + 1)
+                .is_some_and(|c| c.is_whitespace())
+            {
                 self.bump();
                 return Ok(Term::iri(ns::RDF_TYPE));
             }
@@ -387,12 +395,20 @@ impl<'a> Parser<'a> {
                         .ok_or_else(|| self.err(format!("unknown prefix '{prefix}:'")))?;
                     format!("{nsiri}{local}")
                 };
-                Ok(Term::Literal(Literal { lexical: s, datatype: Some(dt), language: None }))
+                Ok(Term::Literal(Literal {
+                    lexical: s,
+                    datatype: Some(dt),
+                    language: None,
+                }))
             }
             Some('@') => {
                 self.bump();
                 let tag = self.parse_name()?;
-                Ok(Term::Literal(Literal { lexical: s, datatype: None, language: Some(tag) }))
+                Ok(Term::Literal(Literal {
+                    lexical: s,
+                    datatype: None,
+                    language: Some(tag),
+                }))
             }
             _ => Ok(Term::Literal(Literal::string(s))),
         }
@@ -410,7 +426,11 @@ impl<'a> Parser<'a> {
                 self.bump();
             } else if c == '.' {
                 // a '.' is part of the number only if followed by a digit
-                if self.chars.get(self.pos + 1).is_some_and(char::is_ascii_digit) {
+                if self
+                    .chars
+                    .get(self.pos + 1)
+                    .is_some_and(char::is_ascii_digit)
+                {
                     is_double = true;
                     num.push(c);
                     self.bump();
@@ -467,7 +487,10 @@ mod tests {
         let age = g.pool().get_iri("http://v/age").unwrap();
         let objs = g.objects(alice, age);
         assert_eq!(objs.len(), 1);
-        assert_eq!(g.resolve(objs[0]).as_literal().unwrap().as_integer(), Some(34));
+        assert_eq!(
+            g.resolve(objs[0]).as_literal().unwrap().as_integer(),
+            Some(34)
+        );
     }
 
     #[test]
@@ -544,7 +567,11 @@ mod tests {
     fn turtle_round_trip_with_prefixes() {
         let mut g = Graph::new();
         g.insert_iri("http://e/a", ns::RDF_TYPE, "http://v/Person");
-        g.insert_terms(Term::iri("http://e/a"), Term::iri("http://v/name"), Term::lit("A"));
+        g.insert_terms(
+            Term::iri("http://e/a"),
+            Term::iri("http://v/name"),
+            Term::lit("A"),
+        );
         let ttl = to_turtle(&g, &[("ex", "http://e/"), ("v", "http://v/")]);
         assert!(ttl.contains("ex:a a v:Person"), "{ttl}");
         let g2 = parse_turtle(&ttl).unwrap();

@@ -34,17 +34,26 @@ pub struct Message {
 impl Message {
     /// A system message.
     pub fn system(content: impl Into<String>) -> Self {
-        Message { role: Role::System, content: content.into() }
+        Message {
+            role: Role::System,
+            content: content.into(),
+        }
     }
 
     /// A user message.
     pub fn user(content: impl Into<String>) -> Self {
-        Message { role: Role::User, content: content.into() }
+        Message {
+            role: Role::User,
+            content: content.into(),
+        }
     }
 
     /// An assistant message.
     pub fn assistant(content: impl Into<String>) -> Self {
-        Message { role: Role::Assistant, content: content.into() }
+        Message {
+            role: Role::Assistant,
+            content: content.into(),
+        }
     }
 }
 
@@ -62,7 +71,9 @@ impl ChatSession {
 
     /// A session seeded with a system prompt.
     pub fn with_system(prompt: impl Into<String>) -> Self {
-        ChatSession { messages: vec![Message::system(prompt)] }
+        ChatSession {
+            messages: vec![Message::system(prompt)],
+        }
     }
 
     /// Append a message.

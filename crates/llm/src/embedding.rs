@@ -94,7 +94,11 @@ impl Default for Embedder {
 impl Embedder {
     /// An untrained embedder (hash vectors only).
     pub fn new() -> Self {
-        Embedder { context: HashMap::new(), doc_freq: HashMap::new(), docs: 0 }
+        Embedder {
+            context: HashMap::new(),
+            doc_freq: HashMap::new(),
+            docs: 0,
+        }
     }
 
     /// Train on a corpus of sentences: accumulates co-occurrence context
@@ -133,9 +137,7 @@ impl Embedder {
     /// IDF weight of a word (1.0 for unseen words).
     pub fn idf(&self, word: &str) -> f32 {
         match self.doc_freq.get(word) {
-            Some(&df) if self.docs > 0 => {
-                ((1.0 + self.docs as f32) / (1.0 + df as f32)).ln() + 1.0
-            }
+            Some(&df) if self.docs > 0 => ((1.0 + self.docs as f32) / (1.0 + df as f32)).ln() + 1.0,
             _ => 1.0,
         }
     }

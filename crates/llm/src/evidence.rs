@@ -155,8 +155,46 @@ impl EvidenceIndex {
 
     /// How strongly the corpus supports a claim: the best single-sentence
     /// overlap score for the claim's content words, in `[0,1]`.
+    ///
+    /// This is *recall-only*: it asks whether the claim's words appear in
+    /// some sentence, not whether that sentence says the same thing. Use
+    /// [`verified_support`](Self::verified_support) when a near-1.0 score
+    /// must mean "the corpus states this exact fact".
     pub fn support(&self, claim: &str) -> f64 {
         self.retrieve(claim, 1).first().map_or(0.0, |r| r.score)
+    }
+
+    /// Bidirectional support: IDF-weighted harmonic mean of how much of
+    /// the claim the best evidence sentence covers (recall) and how much
+    /// of that sentence the claim explains (precision), in `[0,1]`.
+    ///
+    /// Recall alone saturates on claims whose words are a subset of some
+    /// sentence — e.g. evidence "H directed T" fully "supports" the false
+    /// claim "H directed H". The precision term discounts evidence that
+    /// asserts content the claim does not mention, so only claims that
+    /// restate a known sentence score near 1.0.
+    pub fn verified_support(&self, claim: &str) -> f64 {
+        let Some(best) = self.best_evidence(claim) else {
+            return 0.0;
+        };
+        let claim_words: Vec<String> = tokenize_words(claim).iter().map(|w| stem(w)).collect();
+        let sent = &self.tokenized[best.id];
+        let mut hit = 0.0;
+        let mut total = 0.0;
+        for sw in sent {
+            let w = self.idf(sw);
+            total += w;
+            if claim_words.contains(sw) {
+                hit += w;
+            }
+        }
+        let precision = if total == 0.0 { 0.0 } else { hit / total };
+        let recall = best.score;
+        if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        }
     }
 
     /// The best supporting sentence for a claim, if any scores above zero.
@@ -204,7 +242,9 @@ mod tests {
     fn unknown_topic_has_zero_support() {
         let idx = index();
         assert_eq!(idx.support("quantum flux reactors overheat"), 0.0);
-        assert!(idx.best_evidence("quantum flux reactors overheat").is_none());
+        assert!(idx
+            .best_evidence("quantum flux reactors overheat")
+            .is_none());
     }
 
     #[test]

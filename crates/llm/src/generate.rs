@@ -16,14 +16,24 @@ pub struct GenParams {
 
 impl Default for GenParams {
     fn default() -> Self {
-        GenParams { max_tokens: 32, temperature: 0.7, top_k: 8, seed: 0 }
+        GenParams {
+            max_tokens: 32,
+            temperature: 0.7,
+            top_k: 8,
+            seed: 0,
+        }
     }
 }
 
 impl GenParams {
     /// Greedy decoding (temperature ≈ 0, k = 1).
     pub fn greedy() -> Self {
-        GenParams { max_tokens: 32, temperature: 0.01, top_k: 1, seed: 0 }
+        GenParams {
+            max_tokens: 32,
+            temperature: 0.01,
+            top_k: 1,
+            seed: 0,
+        }
     }
 
     /// Override the seed.
@@ -51,7 +61,10 @@ mod tests {
 
     #[test]
     fn builder_overrides_work() {
-        let p = GenParams::default().with_seed(9).with_max_tokens(5).with_temperature(0.2);
+        let p = GenParams::default()
+            .with_seed(9)
+            .with_max_tokens(5)
+            .with_temperature(0.2);
         assert_eq!(p.seed, 9);
         assert_eq!(p.max_tokens, 5);
         assert_eq!(p.temperature, 0.2);

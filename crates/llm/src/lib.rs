@@ -25,15 +25,15 @@
 //! hallucinate — both observable. Determinism (explicit seeds everywhere)
 //! makes every downstream experiment reproducible bit-for-bit.
 
-pub mod tokenizer;
-pub mod ngram;
+pub mod chat;
 pub mod embedding;
 pub mod evidence;
 pub mod generate;
-pub mod prompt;
-pub mod chat;
-pub mod task;
 pub mod model;
+pub mod ngram;
+pub mod prompt;
+pub mod task;
+pub mod tokenizer;
 
 pub use chat::{ChatSession, Message, Role};
 pub use embedding::Embedder;

@@ -48,7 +48,8 @@ impl SlmBuilder {
 
     /// Add training sentences (the model's parametric knowledge).
     pub fn corpus<'a>(mut self, sentences: impl IntoIterator<Item = &'a str>) -> Self {
-        self.corpus.extend(sentences.into_iter().map(str::to_string));
+        self.corpus
+            .extend(sentences.into_iter().map(str::to_string));
         self
     }
 
@@ -61,7 +62,8 @@ impl SlmBuilder {
     /// Register known entity surface forms (used as hallucination
     /// candidates and for span filtering).
     pub fn entity_names<'a>(mut self, names: impl IntoIterator<Item = &'a str>) -> Self {
-        self.entity_names.extend(names.into_iter().map(str::to_string));
+        self.entity_names
+            .extend(names.into_iter().map(str::to_string));
         self
     }
 
@@ -152,8 +154,10 @@ impl Slm {
     }
 
     /// Does the model verifiably know this sentence (≈ exact support)?
+    /// Uses bidirectional support so a sentence whose words merely appear
+    /// inside some known sentence does not count as known.
     pub fn knows(&self, sentence: &str) -> bool {
-        self.evidence.support(sentence) >= 0.999
+        self.evidence.verified_support(sentence) >= 0.999
     }
 
     /// Complete a prompt. Structured prompts (see [`crate::prompt`]) are
@@ -172,9 +176,9 @@ impl Slm {
             ParsedPrompt::Claim { context, claim } => {
                 self.verify(&claim, &context).label.name().to_string()
             }
-            ParsedPrompt::FewShot { examples, input, .. } => {
-                icl_extract_spans(&examples, &input).join(", ")
-            }
+            ParsedPrompt::FewShot {
+                examples, input, ..
+            } => icl_extract_spans(&examples, &input).join(", "),
             ParsedPrompt::Free(text) => self.lm.generate(
                 &text,
                 params.max_tokens,
@@ -221,7 +225,9 @@ impl Slm {
         let ctx_index = if context.is_empty() {
             None
         } else {
-            Some(EvidenceIndex::from_sentences(context.iter().map(String::as_str)))
+            Some(EvidenceIndex::from_sentences(
+                context.iter().map(String::as_str),
+            ))
         };
         let ctx_best = ctx_index.as_ref().and_then(|i| i.best_evidence(question));
         let par_best = self.evidence.best_evidence(question);
@@ -251,16 +257,19 @@ impl Slm {
                         hallucinated: false,
                     }
                 } else {
-                    Answer { text, confidence: score, evidence: Some(evidence), hallucinated: false }
+                    Answer {
+                        text,
+                        confidence: score,
+                        evidence: Some(evidence),
+                        hallucinated: false,
+                    }
                 }
             }
             _ if self.hallucinate => {
                 // fabricate: the lexically closest entity name, else free text
                 let fabricated = self
                     .closest_entity(question)
-                    .unwrap_or_else(|| {
-                        self.lm.generate(question, 6, 0.9, 8, self.seed)
-                    });
+                    .unwrap_or_else(|| self.lm.generate(question, 6, 0.9, 8, self.seed));
                 Answer {
                     text: fabricated,
                     confidence: 0.05,
@@ -282,7 +291,9 @@ impl Slm {
         let ctx_index = if context.is_empty() {
             None
         } else {
-            Some(EvidenceIndex::from_sentences(context.iter().map(String::as_str)))
+            Some(EvidenceIndex::from_sentences(
+                context.iter().map(String::as_str),
+            ))
         };
         let mut best: Option<crate::evidence::Retrieved> = None;
         if let Some(i) = &ctx_index {
@@ -304,8 +315,16 @@ impl Slm {
                 score: r.score,
                 evidence: Some(r.text),
             },
-            Some(r) => Verdict { label: VerdictLabel::Unknown, score: r.score, evidence: Some(r.text) },
-            None => Verdict { label: VerdictLabel::Unknown, score: 0.0, evidence: None },
+            Some(r) => Verdict {
+                label: VerdictLabel::Unknown,
+                score: r.score,
+                evidence: Some(r.text),
+            },
+            None => Verdict {
+                label: VerdictLabel::Unknown,
+                score: 0.0,
+                evidence: None,
+            },
         }
     }
 
@@ -417,8 +436,14 @@ mod tests {
     #[test]
     fn verify_supported_refuted_unknown() {
         let m = model(false);
-        assert_eq!(m.verify("Alice works at Acme", &[]).label, VerdictLabel::Supported);
-        assert_eq!(m.verify("Alice works at Initech", &[]).label, VerdictLabel::Refuted);
+        assert_eq!(
+            m.verify("Alice works at Acme", &[]).label,
+            VerdictLabel::Supported
+        );
+        assert_eq!(
+            m.verify("Alice works at Initech", &[]).label,
+            VerdictLabel::Refuted
+        );
         assert_eq!(
             m.verify("the zorblax reactor melted", &[]).label,
             VerdictLabel::Unknown

@@ -50,7 +50,10 @@ impl NgramLm {
             self.total_unigrams += 1;
         }
         for w in toks.windows(2) {
-            *self.bigrams.entry((w[0].clone(), w[1].clone())).or_insert(0) += 1;
+            *self
+                .bigrams
+                .entry((w[0].clone(), w[1].clone()))
+                .or_insert(0) += 1;
         }
         for w in toks.windows(3) {
             *self
@@ -171,10 +174,7 @@ impl NgramLm {
             let n = context.len();
             let key = (context[n - 2].clone(), context[n - 1].clone());
             let mut cands: Vec<(Token, f64)> = match self.successors.get(&key) {
-                Some(succ) => succ
-                    .iter()
-                    .map(|(t, c)| (t.clone(), *c as f64))
-                    .collect(),
+                Some(succ) => succ.iter().map(|(t, c)| (t.clone(), *c as f64)).collect(),
                 None => {
                     // back off to bigram successors of the last token
                     let mut v: Vec<(Token, f64)> = self
@@ -191,7 +191,11 @@ impl NgramLm {
                 break;
             }
             // top-k by count, ties broken lexicographically for determinism
-            cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+            cands.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
             cands.truncate(top_k.max(1));
             let t = temperature.max(0.01);
             let weights: Vec<f64> = cands.iter().map(|(_, c)| (c.ln() / t).exp()).collect();

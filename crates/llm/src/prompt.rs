@@ -31,7 +31,9 @@ pub struct PromptTemplate {
 impl PromptTemplate {
     /// Wrap a template string containing `{slot}` placeholders.
     pub fn new(template: impl Into<String>) -> Self {
-        PromptTemplate { template: template.into() }
+        PromptTemplate {
+            template: template.into(),
+        }
     }
 
     /// The raw template text.
@@ -209,7 +211,10 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
     }
 
     if let Some(q) = question {
-        ParsedPrompt::Question { context, question: q }
+        ParsedPrompt::Question {
+            context,
+            question: q,
+        }
     } else if let Some(c) = claim {
         ParsedPrompt::Claim { context, claim: c }
     } else if saw_io {
@@ -243,7 +248,10 @@ mod tests {
         vals.insert("entity", "Alice".to_string());
         vals.insert("style", "formal".to_string());
         assert_eq!(t.fill(&vals), "Describe Alice in formal style about Alice.");
-        assert_eq!(t.fill_one("entity", "Bob"), "Describe Bob in {style} style about Bob.");
+        assert_eq!(
+            t.fill_one("entity", "Bob"),
+            "Describe Bob in {style} style about Bob."
+        );
     }
 
     #[test]
@@ -287,7 +295,11 @@ mod tests {
             "Dana saw Erin",
         );
         match parse_prompt(&p) {
-            ParsedPrompt::FewShot { instruction, examples, input } => {
+            ParsedPrompt::FewShot {
+                instruction,
+                examples,
+                input,
+            } => {
                 assert_eq!(instruction, "Extract person names.");
                 assert_eq!(examples.len(), 1);
                 assert_eq!(examples[0].1, "Bob, Carol");

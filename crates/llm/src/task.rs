@@ -19,7 +19,12 @@ pub struct Answer {
 impl Answer {
     /// An explicit abstention.
     pub fn unknown() -> Self {
-        Answer { text: String::new(), confidence: 0.0, evidence: None, hallucinated: false }
+        Answer {
+            text: String::new(),
+            confidence: 0.0,
+            evidence: None,
+            hallucinated: false,
+        }
     }
 
     /// Did the model produce any answer text?
@@ -62,7 +67,9 @@ pub struct Verdict {
 }
 
 /// Pronouns that should never open an entity span at sentence start.
-const PRONOUNS: &[&str] = &["she", "he", "they", "we", "i", "you", "it", "her", "his", "their"];
+const PRONOUNS: &[&str] = &[
+    "she", "he", "they", "we", "i", "you", "it", "her", "his", "their",
+];
 
 /// Extract candidate entity spans from text: maximal runs of capitalized
 /// words (with lowercase connectors like "of"/"the" allowed inside a run),
@@ -73,14 +80,13 @@ pub fn capitalized_spans(text: &str) -> Vec<String> {
     let mut pending_connectors: Vec<&str> = Vec::new();
     let mut at_sentence_start = true;
 
-    let flush =
-        |current: &mut Vec<&str>, spans: &mut Vec<String>, pending: &mut Vec<&str>| {
-            if !current.is_empty() {
-                spans.push(current.join(" "));
-                current.clear();
-            }
-            pending.clear();
-        };
+    let flush = |current: &mut Vec<&str>, spans: &mut Vec<String>, pending: &mut Vec<&str>| {
+        if !current.is_empty() {
+            spans.push(current.join(" "));
+            current.clear();
+        }
+        pending.clear();
+    };
 
     for raw in text.split_whitespace() {
         let word = raw.trim_matches(|c: char| !c.is_alphanumeric());
@@ -91,7 +97,9 @@ pub fn capitalized_spans(text: &str) -> Vec<String> {
         }
         let capitalized = word.chars().next().is_some_and(char::is_uppercase);
         let lower = word.to_lowercase();
-        if capitalized && !(at_sentence_start && (is_stopword(&lower) || PRONOUNS.contains(&lower.as_str()))) {
+        if capitalized
+            && !(at_sentence_start && (is_stopword(&lower) || PRONOUNS.contains(&lower.as_str())))
+        {
             if !current.is_empty() && !pending_connectors.is_empty() {
                 current.append(&mut pending_connectors);
             }

@@ -50,10 +50,10 @@ pub fn split_sentences(text: &str) -> Vec<String> {
 
 /// English stopwords used for IDF-style weighting and span extraction.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "is", "are", "was", "were", "be", "been", "of", "in", "on", "at", "to",
-    "by", "for", "with", "and", "or", "not", "no", "it", "its", "this", "that", "these",
-    "those", "as", "from", "has", "have", "had", "who", "whom", "which", "what", "when",
-    "where", "why", "how", "does", "do", "did", "s", "t",
+    "a", "an", "the", "is", "are", "was", "were", "be", "been", "of", "in", "on", "at", "to", "by",
+    "for", "with", "and", "or", "not", "no", "it", "its", "this", "that", "these", "those", "as",
+    "from", "has", "have", "had", "who", "whom", "which", "what", "when", "where", "why", "how",
+    "does", "do", "did", "s", "t",
 ];
 
 /// Is this token a stopword?
@@ -64,7 +64,10 @@ pub fn is_stopword(token: &str) -> bool {
 /// Content words of a text: tokens that are neither punctuation nor
 /// stopwords.
 pub fn content_words(text: &str) -> Vec<Token> {
-    tokenize_words(text).into_iter().filter(|t| !is_stopword(t)).collect()
+    tokenize_words(text)
+        .into_iter()
+        .filter(|t| !is_stopword(t))
+        .collect()
 }
 
 /// Very light stemming: strip a possessive `'s` remnant and a plural `s`

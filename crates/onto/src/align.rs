@@ -101,11 +101,7 @@ pub fn align_ontologies(left: &Ontology, right: &Ontology, threshold: f64) -> Ve
     out
 }
 
-fn best_pairwise<T: AsRef<str>>(
-    left: &[T],
-    right: &[T],
-    sim: impl Fn(&str, &str) -> f64,
-) -> f64 {
+fn best_pairwise<T: AsRef<str>>(left: &[T], right: &[T], sim: impl Fn(&str, &str) -> f64) -> f64 {
     let mut best = 0.0f64;
     for l in left {
         for r in right {
@@ -158,7 +154,9 @@ mod tests {
     fn identical_labels_align_perfectly() {
         let l = left();
         let matches = align_ontologies(&l, &l, 0.9);
-        assert!(matches.iter().any(|m| m.left.ends_with("Film") && m.right.ends_with("Film")));
+        assert!(matches
+            .iter()
+            .any(|m| m.left.ends_with("Film") && m.right.ends_with("Film")));
         assert!(matches.iter().any(|m| m.kind == "property"));
     }
 

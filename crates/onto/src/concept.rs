@@ -39,9 +39,7 @@ pub fn extract_concepts(slm: &Slm, corpus: &[String], min_support: usize) -> Vec
     for (label, instances) in entries {
         let mut merged = false;
         for c in &mut concepts {
-            if c.label.eq_ignore_ascii_case(&label)
-                || slm.similarity(&c.label, &label) > 0.92
-            {
+            if c.label.eq_ignore_ascii_case(&label) || slm.similarity(&c.label, &label) > 0.92 {
                 c.variants.push(label.clone());
                 c.support += instances.len();
                 c.instances.extend(instances.iter().cloned());
@@ -92,7 +90,9 @@ mod tests {
     fn fixture() -> (Vec<String>, Slm) {
         let kg = movies(17, Scale::tiny());
         let corpus = schema_corpus(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         (corpus, slm)
     }
 

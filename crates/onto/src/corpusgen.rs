@@ -19,7 +19,9 @@ pub fn schema_corpus(graph: &Graph, onto: &Ontology) -> Vec<String> {
             if t.p != ty {
                 continue;
             }
-            let Some(class_iri) = graph.resolve(t.o).as_iri() else { continue };
+            let Some(class_iri) = graph.resolve(t.o).as_iri() else {
+                continue;
+            };
             if !class_iri.starts_with(ns::SYNTH_VOCAB) {
                 continue;
             }
@@ -67,13 +69,24 @@ mod tests {
     fn corpus_contains_all_sentence_kinds() {
         let kg = movies(3, Scale::tiny());
         let corpus = schema_corpus(&kg.graph, &kg.ontology);
-        assert!(corpus.iter().any(|s| s.contains(" is a Film")), "typing sentences");
         assert!(
-            corpus.iter().any(|s| s.starts_with("every Actor is a Person")),
+            corpus.iter().any(|s| s.contains(" is a Film")),
+            "typing sentences"
+        );
+        assert!(
+            corpus
+                .iter()
+                .any(|s| s.starts_with("every Actor is a Person")),
             "subsumption sentences"
         );
-        assert!(corpus.iter().any(|s| s.starts_with("no ")), "disjointness sentences");
-        assert!(corpus.iter().any(|s| s.contains("directed by")), "relation sentences");
+        assert!(
+            corpus.iter().any(|s| s.starts_with("no ")),
+            "disjointness sentences"
+        );
+        assert!(
+            corpus.iter().any(|s| s.contains("directed by")),
+            "relation sentences"
+        );
     }
 
     #[test]

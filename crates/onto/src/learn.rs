@@ -37,10 +37,16 @@ pub fn learn_ontology(slm: &Slm, corpus: &[String], min_support: usize) -> Learn
         let iri = format!("{}{}", ns::SYNTH_VOCAB, camel(&p.phrase));
         onto.add_property(
             iri,
-            PropertyDecl { label: Some(p.phrase.clone()), ..Default::default() },
+            PropertyDecl {
+                label: Some(p.phrase.clone()),
+                ..Default::default()
+            },
         );
     }
-    LearnedOntology { ontology: onto, concepts }
+    LearnedOntology {
+        ontology: onto,
+        concepts,
+    }
 }
 
 /// Scores comparing a learned ontology against a gold one.
@@ -58,7 +64,9 @@ pub struct OntologyScores {
 /// IRI minting differences don't matter).
 pub fn evaluate_ontology(learned: &Ontology, gold: &Ontology) -> OntologyScores {
     let classes = |o: &Ontology| -> Vec<String> {
-        o.classes().map(|(iri, d)| label_or_local(d.label.as_deref(), iri)).collect()
+        o.classes()
+            .map(|(iri, d)| label_or_local(d.label.as_deref(), iri))
+            .collect()
     };
     let subs = |o: &Ontology| -> Vec<(String, String)> {
         let mut v = Vec::new();
@@ -131,19 +139,31 @@ mod tests {
     fn learned_ontology_recovers_most_of_gold() {
         let kg = movies(37, Scale::default());
         let corpus = schema_corpus(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let learned = learn_ontology(&slm, &corpus, 2);
         let scores = evaluate_ontology(&learned.ontology, &kg.ontology);
         assert!(scores.class_f1 > 0.8, "class F1 {}", scores.class_f1);
-        assert!(scores.subsumption_f1 > 0.6, "subsumption F1 {}", scores.subsumption_f1);
-        assert!(scores.property_f1 > 0.5, "property F1 {}", scores.property_f1);
+        assert!(
+            scores.subsumption_f1 > 0.6,
+            "subsumption F1 {}",
+            scores.subsumption_f1
+        );
+        assert!(
+            scores.property_f1 > 0.5,
+            "property F1 {}",
+            scores.property_f1
+        );
     }
 
     #[test]
     fn learning_is_deterministic() {
         let kg = movies(37, Scale::tiny());
         let corpus = schema_corpus(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let a = learn_ontology(&slm, &corpus, 2);
         let b = learn_ontology(&slm, &corpus, 2);
         assert_eq!(a.ontology.class_count(), b.ontology.class_count());

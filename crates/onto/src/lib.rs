@@ -20,13 +20,13 @@
 //!   concepts → taxonomy → properties → [`kg::Ontology`], evaluated
 //!   against the gold schema.
 
-pub mod corpusgen;
-pub mod concept;
-pub mod taxonomy;
-pub mod property;
 pub mod align;
-pub mod mapping;
+pub mod concept;
+pub mod corpusgen;
 pub mod learn;
+pub mod mapping;
+pub mod property;
+pub mod taxonomy;
 
 pub use align::{align_ontologies, OntologyMatch};
 pub use concept::{extract_concepts, Concept};

@@ -15,11 +15,7 @@ pub struct TextToOntologyMapper<'a> {
 impl<'a> TextToOntologyMapper<'a> {
     /// Build from an ontology; optionally enrich class anchors with
     /// instance names via `instances(class_iri) -> names`.
-    pub fn new(
-        slm: &'a Slm,
-        onto: &Ontology,
-        instances: impl Fn(&str) -> Vec<String>,
-    ) -> Self {
+    pub fn new(slm: &'a Slm, onto: &Ontology, instances: impl Fn(&str) -> Vec<String>) -> Self {
         let anchors = onto
             .classes()
             .map(|(iri, decl)| {
@@ -57,7 +53,11 @@ impl<'a> TextToOntologyMapper<'a> {
             .iter()
             .map(|(iri, anchor)| (iri.clone(), self.slm.similarity(text, anchor)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 }
@@ -72,7 +72,9 @@ mod tests {
     fn maps_snippets_to_the_right_class() {
         let kg = movies(29, Scale::tiny());
         let corpus = schema_corpus(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let graph = &kg.graph;
         let mapper = TextToOntologyMapper::new(&slm, &kg.ontology, |class_iri| {
             graph

@@ -23,7 +23,11 @@ pub struct PropertyCandidate {
 /// Identify candidate properties from relational sentences of the shape
 /// `"<Subject> is <phrase> <Object>"` / `"<Subject> was <phrase> <Object>"`.
 /// Candidates are ranked by `(lm_score, support)` descending.
-pub fn identify_properties(slm: &Slm, corpus: &[String], min_support: usize) -> Vec<PropertyCandidate> {
+pub fn identify_properties(
+    slm: &Slm,
+    corpus: &[String],
+    min_support: usize,
+) -> Vec<PropertyCandidate> {
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
     for sentence in corpus {
         if let Some(phrase) = connector_phrase(sentence) {
@@ -35,7 +39,11 @@ pub fn identify_properties(slm: &Slm, corpus: &[String], min_support: usize) -> 
         .filter(|(_, c)| *c >= min_support)
         .map(|(phrase, support)| {
             let lm_score = slm.score(&phrase);
-            PropertyCandidate { phrase, support, lm_score }
+            PropertyCandidate {
+                phrase,
+                support,
+                lm_score,
+            }
         })
         .collect();
     out.sort_by(|a, b| {
@@ -70,7 +78,10 @@ fn connector_phrase(sentence: &str) -> Option<String> {
     if end <= cop + 1 || end == words.len() {
         return None;
     }
-    let phrase = words[cop + 1..end].join(" ").trim_end_matches('.').to_string();
+    let phrase = words[cop + 1..end]
+        .join(" ")
+        .trim_end_matches('.')
+        .to_string();
     if phrase.is_empty() {
         None
     } else {
@@ -88,7 +99,9 @@ mod tests {
     fn finds_the_domain_properties() {
         let kg = movies(23, Scale::tiny());
         let corpus = corpus_sentences(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let props = identify_properties(&slm, &corpus, 2);
         let phrases: Vec<&str> = props.iter().map(|p| p.phrase.as_str()).collect();
         assert!(phrases.contains(&"directed by"), "{phrases:?}");
@@ -108,7 +121,9 @@ mod tests {
     fn ranking_is_deterministic_and_scored() {
         let kg = movies(23, Scale::tiny());
         let corpus = corpus_sentences(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let a = identify_properties(&slm, &corpus, 1);
         let b = identify_properties(&slm, &corpus, 1);
         assert_eq!(a, b);
@@ -125,7 +140,9 @@ mod tests {
             "A is linked to B".to_string(),
             "Q is weirdly near Z".to_string(),
         ];
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let props = identify_properties(&slm, &corpus, 2);
         assert_eq!(props.len(), 1);
         assert_eq!(props[0].phrase, "linked to");

@@ -45,8 +45,11 @@ pub fn induce_taxonomy(
             if x.label == y.label || x.instances.is_empty() {
                 continue;
             }
-            let contained =
-                x.instances.iter().filter(|i| y.instances.contains(i)).count();
+            let contained = x
+                .instances
+                .iter()
+                .filter(|i| y.instances.contains(i))
+                .count();
             let ratio = contained as f64 / x.instances.len() as f64;
             if ratio >= 0.8 && y.instances.len() > x.instances.len() {
                 push_edge(&mut edges, x.label.clone(), y.label.clone(), ratio);
@@ -68,12 +71,19 @@ fn push_edge(edges: &mut Vec<SubsumptionEdge>, child: String, parent: String, sc
     if child == parent {
         return;
     }
-    if let Some(e) = edges.iter_mut().find(|e| e.child == child && e.parent == parent) {
+    if let Some(e) = edges
+        .iter_mut()
+        .find(|e| e.child == child && e.parent == parent)
+    {
         if score > e.score {
             e.score = score;
         }
     } else {
-        edges.push(SubsumptionEdge { child, parent, score });
+        edges.push(SubsumptionEdge {
+            child,
+            parent,
+            score,
+        });
     }
 }
 
@@ -98,19 +108,27 @@ mod tests {
     fn recovers_actor_person_subsumption() {
         let kg = movies(17, Scale::tiny());
         let corpus = schema_corpus(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let concepts = extract_concepts(&slm, &corpus, 1);
         let edges = induce_taxonomy(&concepts, &corpus, 0.8);
         assert!(
-            edges.iter().any(|e| e.child == "Actor" && e.parent == "Person"),
+            edges
+                .iter()
+                .any(|e| e.child == "Actor" && e.parent == "Person"),
             "{edges:?}"
         );
         assert!(
-            edges.iter().any(|e| e.child == "Director" && e.parent == "Person"),
+            edges
+                .iter()
+                .any(|e| e.child == "Director" && e.parent == "Person"),
             "{edges:?}"
         );
         // no inverted edges
-        assert!(!edges.iter().any(|e| e.child == "Person" && e.parent == "Actor"));
+        assert!(!edges
+            .iter()
+            .any(|e| e.child == "Person" && e.parent == "Actor"));
     }
 
     #[test]

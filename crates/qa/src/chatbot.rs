@@ -101,7 +101,11 @@ impl<'a> ChatBot<'a> {
         self.session.push(reply.clone());
         // a successful entity mention still updates focus
         self.focus = self.find_entity(&resolved).or(self.focus);
-        BotReply { text: reply.content, decision: RouterDecision::LlmChat, sparql: None }
+        BotReply {
+            text: reply.content,
+            decision: RouterDecision::LlmChat,
+            sparql: None,
+        }
     }
 
     /// Replace leading/contained pronouns with the focus entity's name.
@@ -134,7 +138,9 @@ impl<'a> ChatBot<'a> {
         let lower = text.to_lowercase();
         let mut best: Option<(usize, Sym)> = None;
         for e in self.graph.entities() {
-            let Some(iri) = self.graph.resolve(e).as_iri() else { continue };
+            let Some(iri) = self.graph.resolve(e).as_iri() else {
+                continue;
+            };
             if !iri.starts_with(kg::namespace::SYNTH_ENTITY) {
                 continue;
             }
@@ -194,10 +200,7 @@ mod tests {
             .get_iri(&format!("{}directedBy", kg::namespace::SYNTH_VOCAB))
             .unwrap();
         let director = g.objects(film, directed)[0];
-        let reply = bot.handle(&format!(
-            "What is {} directed by?",
-            g.display_name(film)
-        ));
+        let reply = bot.handle(&format!("What is {} directed by?", g.display_name(film)));
         assert_eq!(reply.decision, RouterDecision::KgQuery);
         assert!(reply.text.contains(&g.display_name(director)), "{reply:?}");
         assert!(reply.sparql.is_some());

@@ -47,7 +47,10 @@ pub fn generate_dataset(graph: &Graph, seed: u64, per_hop: usize, max_hops: usiz
                 let mut next = Vec::new();
                 for &n in &frontier {
                     next.extend(
-                        graph.objects(n, r).into_iter().filter(|&o| graph.resolve(o).is_iri()),
+                        graph
+                            .objects(n, r)
+                            .into_iter()
+                            .filter(|&o| graph.resolve(o).is_iri()),
                     );
                 }
                 next.sort();
@@ -133,8 +136,11 @@ mod tests {
         let items = generate_dataset(&kg.graph, 5, 4, 2);
         for item in &items {
             let rs = execute_sparql(&kg.graph, &item.sparql).expect("gold SPARQL runs");
-            let mut got: Vec<&str> =
-                rs.values("answer").iter().filter_map(|t| t.as_iri()).collect();
+            let mut got: Vec<&str> = rs
+                .values("answer")
+                .iter()
+                .filter_map(|t| t.as_iri())
+                .collect();
             got.sort_unstable();
             got.dedup();
             let mut expected: Vec<String> = item
@@ -143,7 +149,13 @@ mod tests {
                 .filter_map(|&a| kg.graph.resolve(a).as_iri().map(str::to_string))
                 .collect();
             expected.sort();
-            assert_eq!(got.len(), expected.len(), "{} / {}", item.question, item.sparql);
+            assert_eq!(
+                got.len(),
+                expected.len(),
+                "{} / {}",
+                item.question,
+                item.sparql
+            );
         }
     }
 

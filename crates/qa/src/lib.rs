@@ -22,13 +22,13 @@
 //! * [`chatbot`] — KG chatbots (§4.1.5, \[65\]): dialogue state with
 //!   focus-entity tracking, QAS/LLM hybrid routing, and pronoun follow-ups.
 
+pub mod chatbot;
 pub mod datasets;
+pub mod hybrid;
 pub mod multihop;
 pub mod qgen;
-pub mod text2sparql;
 pub mod text2cypher;
-pub mod hybrid;
-pub mod chatbot;
+pub mod text2sparql;
 
 pub use chatbot::{ChatBot, RouterDecision};
 pub use datasets::{generate_dataset, QaItem};

@@ -40,17 +40,17 @@ impl QaMethod {
 
     /// All methods.
     pub fn all() -> [QaMethod; 4] {
-        [QaMethod::LlmOnly, QaMethod::Kaping, QaMethod::RelmkgSim, QaMethod::Ensemble]
+        [
+            QaMethod::LlmOnly,
+            QaMethod::Kaping,
+            QaMethod::RelmkgSim,
+            QaMethod::Ensemble,
+        ]
     }
 }
 
 /// Answer a QA item, returning predicted entities (possibly empty).
-pub fn answer_question(
-    graph: &Graph,
-    slm: &Slm,
-    method: QaMethod,
-    item: &QaItem,
-) -> BTreeSet<Sym> {
+pub fn answer_question(graph: &Graph, slm: &Slm, method: QaMethod, item: &QaItem) -> BTreeSet<Sym> {
     match method {
         QaMethod::LlmOnly => {
             let a = slm.answer(&item.question, &[]);
@@ -84,6 +84,17 @@ pub fn answer_question(
 /// relation whose phrase best matches the question, following it, for the
 /// item's hop count.
 fn relmkg_walk(graph: &Graph, slm: &Slm, item: &QaItem) -> BTreeSet<Sym> {
+    let question_words = slm::tokenizer::stemmed_content_words(&item.question);
+    // lexical grounding: how much of the relation phrase the question
+    // actually mentions — the primary signal; dense similarity only
+    // breaks ties between equally-mentioned relations
+    let grounding = |r: Sym| -> f32 {
+        let words = slm::tokenizer::stemmed_content_words(&rel_phrase(graph, r));
+        if words.is_empty() {
+            return 0.0;
+        }
+        words.iter().filter(|w| question_words.contains(w)).count() as f32 / words.len() as f32
+    };
     let mut frontier = BTreeSet::from([item.anchor]);
     for _ in 0..item.hops {
         // candidate relations = outgoing relations of the frontier
@@ -101,11 +112,17 @@ fn relmkg_walk(graph: &Graph, slm: &Slm, item: &QaItem) -> BTreeSet<Sym> {
             }
         }
         let best = rels.into_iter().max_by(|&a, &b| {
+            let (ga, gb) = (grounding(a), grounding(b));
             let sa = slm.similarity(&item.question, &rel_phrase(graph, a));
             let sb = slm.similarity(&item.question, &rel_phrase(graph, b));
-            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(b.cmp(&a))
+            ga.partial_cmp(&gb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal))
+                .then(b.cmp(&a))
         });
-        let Some(r) = best else { return BTreeSet::new() };
+        let Some(r) = best else {
+            return BTreeSet::new();
+        };
         let mut next = BTreeSet::new();
         for &n in &frontier {
             for o in graph.objects(n, r) {
@@ -148,7 +165,9 @@ fn link_names(graph: &Graph, text: &str) -> BTreeSet<Sym> {
         return out;
     }
     for e in graph.entities() {
-        let Some(iri) = graph.resolve(e).as_iri() else { continue };
+        let Some(iri) = graph.resolve(e).as_iri() else {
+            continue;
+        };
         if !iri.starts_with(kg::namespace::SYNTH_ENTITY) {
             continue;
         }
@@ -164,12 +183,7 @@ fn link_names(graph: &Graph, text: &str) -> BTreeSet<Sym> {
 /// set is non-empty and its best element is a gold answer (we treat the
 /// whole set as tied-top, so: correct ⇔ any predicted ∈ gold ∧ |pred| ≤
 /// |gold| × 2 — over-broad predictions don't get credit).
-pub fn evaluate(
-    graph: &Graph,
-    slm: &Slm,
-    method: QaMethod,
-    items: &[QaItem],
-) -> f64 {
+pub fn evaluate(graph: &Graph, slm: &Slm, method: QaMethod, items: &[QaItem]) -> f64 {
     if items.is_empty() {
         return 0.0;
     }
@@ -177,10 +191,7 @@ pub fn evaluate(
     for item in items {
         let pred = answer_question(graph, slm, method, item);
         let gold: BTreeSet<Sym> = item.answers.iter().copied().collect();
-        if !pred.is_empty()
-            && !pred.is_disjoint(&gold)
-            && pred.len() <= gold.len().max(1) * 2
-        {
+        if !pred.is_empty() && !pred.is_disjoint(&gold) && pred.len() <= gold.len().max(1) * 2 {
             correct += 1;
         }
     }
@@ -208,8 +219,7 @@ mod tests {
     #[test]
     fn relmkg_walk_answers_one_hop_exactly() {
         let (kg, slm, items) = fixture();
-        let one_hop: Vec<QaItem> =
-            items.iter().filter(|i| i.hops == 1).cloned().collect();
+        let one_hop: Vec<QaItem> = items.iter().filter(|i| i.hops == 1).cloned().collect();
         let acc = evaluate(&kg.graph, &slm, QaMethod::RelmkgSim, &one_hop);
         assert!(acc > 0.6, "1-hop RelmKG accuracy {acc}");
     }
@@ -233,8 +243,7 @@ mod tests {
         let (kg, slm, items) = fixture();
         let acc_by_hop: Vec<f64> = (1..=3)
             .map(|h| {
-                let subset: Vec<QaItem> =
-                    items.iter().filter(|i| i.hops == h).cloned().collect();
+                let subset: Vec<QaItem> = items.iter().filter(|i| i.hops == h).cloned().collect();
                 evaluate(&kg.graph, &slm, QaMethod::RelmkgSim, &subset)
             })
             .collect();

@@ -145,7 +145,9 @@ mod tests {
     fn fixture() -> (kg::synth::SynthKg, Slm) {
         let kg = movies(181, Scale::default());
         let corpus = corpus_sentences(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         (kg, slm)
     }
 

@@ -63,8 +63,7 @@ mod tests {
             let Some(cypher) = generate_cypher(&t2s, &kg.graph, &item.question) else {
                 continue;
             };
-            let Some(sparql) = t2s.generate(Text2SparqlMethod::SgptSim, &item.question)
-            else {
+            let Some(sparql) = t2s.generate(Text2SparqlMethod::SgptSim, &item.question) else {
                 continue;
             };
             let c = execute_cypher(&kg.graph, &cypher).expect("cypher runs");

@@ -108,7 +108,9 @@ impl<'a> TextToSparql<'a> {
             .map(|&r| format!("<{}>", self.graph.resolve(r).as_iri().unwrap_or_default()))
             .collect::<Vec<_>>()
             .join("/");
-        Some(format!("SELECT ?answer WHERE {{ <{anchor_iri}> {path} ?answer }}"))
+        Some(format!(
+            "SELECT ?answer WHERE {{ <{anchor_iri}> {path} ?answer }}"
+        ))
     }
 
     fn link_anchor(&self, question: &str) -> Option<Sym> {
@@ -175,10 +177,7 @@ impl<'a> TextToSparql<'a> {
                     for &n in &frontier {
                         for (p, o) in self.graph.outgoing(n) {
                             if self.graph.resolve(o).is_iri()
-                                && self
-                                    .relations
-                                    .iter()
-                                    .any(|(r, _)| *r == p)
+                                && self.relations.iter().any(|(r, _)| *r == p)
                                 && !reachable.iter().any(|&(r, _)| r == p)
                             {
                                 let phrase = self
@@ -193,12 +192,18 @@ impl<'a> TextToSparql<'a> {
                     }
                     reachable
                 }
-                _ => self.relations.iter().map(|(r, s)| (*r, s.as_str())).collect(),
+                _ => self
+                    .relations
+                    .iter()
+                    .map(|(r, s)| (*r, s.as_str()))
+                    .collect(),
             };
             let best = candidates.into_iter().max_by(|a, b| {
                 let sa = self.slm.similarity(question, a.1);
                 let sb = self.slm.similarity(question, b.1);
-                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal).then(b.0.cmp(&a.0))
+                sa.partial_cmp(&sb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.0.cmp(&a.0))
             });
             let Some((r, _)) = best else { break };
             chain.push(r);
@@ -228,15 +233,14 @@ pub fn exact_match(a: &str, b: &str) -> bool {
 
 /// Execution accuracy: both queries run and return identical answer sets.
 pub fn execution_match(graph: &Graph, generated: &str, gold: &str) -> bool {
-    let (Ok(a), Ok(b)) = (execute_sparql(graph, generated), execute_sparql(graph, gold)) else {
+    let (Ok(a), Ok(b)) = (
+        execute_sparql(graph, generated),
+        execute_sparql(graph, gold),
+    ) else {
         return false;
     };
     let answers = |rs: &kgquery::ResultSet| -> Vec<String> {
-        let mut v: Vec<String> = rs
-            .values("answer")
-            .iter()
-            .map(|t| format!("{t}"))
-            .collect();
+        let mut v: Vec<String> = rs.values("answer").iter().map(|t| format!("{t}")).collect();
         v.sort();
         v.dedup();
         v
@@ -267,7 +271,10 @@ pub fn evaluate(
             }
         }
     }
-    (exact as f64 / items.len() as f64, exec as f64 / items.len() as f64)
+    (
+        exact as f64 / items.len() as f64,
+        exec as f64 / items.len() as f64,
+    )
 }
 
 #[cfg(test)]
@@ -309,10 +316,8 @@ mod tests {
             example.hops,
         );
         let test: Vec<QaItem> = items[1..].to_vec();
-        let (_, exec_blind) =
-            evaluate(&t2s, &kg.graph, Text2SparqlMethod::SparqlGenSim, &test);
-        let (_, exec_ctx) =
-            evaluate(&t2s, &kg.graph, Text2SparqlMethod::RetrievalEnhanced, &test);
+        let (_, exec_blind) = evaluate(&t2s, &kg.graph, Text2SparqlMethod::SparqlGenSim, &test);
+        let (_, exec_ctx) = evaluate(&t2s, &kg.graph, Text2SparqlMethod::RetrievalEnhanced, &test);
         assert!(
             exec_ctx >= exec_blind,
             "subgraph context should help: {exec_ctx} vs {exec_blind}"
@@ -330,8 +335,14 @@ mod tests {
 
     #[test]
     fn exact_match_normalizes_whitespace() {
-        assert!(exact_match("SELECT ?a  WHERE { ?s ?p ?a }", "SELECT ?a WHERE { ?s ?p ?a }"));
-        assert!(!exact_match("SELECT ?a WHERE { ?s ?p ?a }", "SELECT ?b WHERE { ?s ?p ?b }"));
+        assert!(exact_match(
+            "SELECT ?a  WHERE { ?s ?p ?a }",
+            "SELECT ?a WHERE { ?s ?p ?a }"
+        ));
+        assert!(!exact_match(
+            "SELECT ?a WHERE { ?s ?p ?a }",
+            "SELECT ?b WHERE { ?s ?p ?b }"
+        ));
     }
 
     #[test]

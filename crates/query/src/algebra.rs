@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn adjacent_triples_fuse_into_one_bgp() {
-        let g = GroupPattern { elems: vec![tp("a", "p", "b"), tp("b", "q", "c")] };
+        let g = GroupPattern {
+            elems: vec![tp("a", "p", "b"), tp("b", "q", "c")],
+        };
         match compile(&g) {
             Plan::Bgp(pats) => assert_eq!(pats.len(), 2),
             other => panic!("{other:?}"),
@@ -112,7 +114,9 @@ mod tests {
         let g = GroupPattern {
             elems: vec![
                 tp("a", "p", "b"),
-                PatternElem::Optional(GroupPattern { elems: vec![tp("b", "q", "c")] }),
+                PatternElem::Optional(GroupPattern {
+                    elems: vec![tp("b", "q", "c")],
+                }),
             ],
         };
         match compile(&g) {
@@ -135,8 +139,12 @@ mod tests {
             elems: vec![
                 tp("a", "p", "b"),
                 PatternElem::Union(
-                    GroupPattern { elems: vec![tp("b", "q", "c")] },
-                    GroupPattern { elems: vec![tp("b", "r", "c")] },
+                    GroupPattern {
+                        elems: vec![tp("b", "q", "c")],
+                    },
+                    GroupPattern {
+                        elems: vec![tp("b", "r", "c")],
+                    },
                 ),
             ],
         };

@@ -254,7 +254,10 @@ impl Query {
     /// A bare SELECT * query over a pattern.
     pub fn select_all(pattern: GroupPattern) -> Self {
         Query {
-            kind: QueryKind::Select { vars: Vec::new(), distinct: false },
+            kind: QueryKind::Select {
+                vars: Vec::new(),
+                distinct: false,
+            },
             pattern,
             order_by: Vec::new(),
             limit: None,

@@ -32,7 +32,9 @@ pub struct CypherConfig {
 
 impl Default for CypherConfig {
     fn default() -> Self {
-        CypherConfig { vocab_ns: ns::SYNTH_VOCAB.to_string() }
+        CypherConfig {
+            vocab_ns: ns::SYNTH_VOCAB.to_string(),
+        }
     }
 }
 
@@ -69,7 +71,11 @@ struct CypherParser {
 
 impl CypherParser {
     fn err(&self, m: impl Into<String>) -> QueryError {
-        QueryError::Parse { line: self.line, column: self.col, message: m.into() }
+        QueryError::Parse {
+            line: self.line,
+            column: self.col,
+            message: m.into(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -215,8 +221,13 @@ impl CypherParser {
             return Err(self.err("trailing input after query"));
         }
         Ok(Query {
-            kind: QueryKind::Select { vars: self.projections.clone(), distinct: false },
-            pattern: GroupPattern { elems: std::mem::take(&mut self.elems) },
+            kind: QueryKind::Select {
+                vars: self.projections.clone(),
+                distinct: false,
+            },
+            pattern: GroupPattern {
+                elems: std::mem::take(&mut self.elems),
+            },
             order_by: Vec::new(),
             limit,
             offset: 0,
@@ -353,12 +364,14 @@ impl CypherParser {
                     }
                 }
                 if is_double {
-                    let v: f64 =
-                        num.parse().map_err(|_| self.err(format!("bad number {num}")))?;
+                    let v: f64 = num
+                        .parse()
+                        .map_err(|_| self.err(format!("bad number {num}")))?;
                     Ok(Term::Literal(Literal::double(v)))
                 } else {
-                    let v: i64 =
-                        num.parse().map_err(|_| self.err(format!("bad number {num}")))?;
+                    let v: i64 = num
+                        .parse()
+                        .map_err(|_| self.err(format!("bad number {num}")))?;
                     Ok(Term::int(v))
                 }
             }
@@ -453,13 +466,27 @@ mod tests {
     }
 
     #[test]
+    fn cypher_rides_the_compiled_executor() {
+        // the front-end compiles onto the same slot-based executor, so
+        // Cypher results carry the same work counters as SPARQL ones
+        let q = parse("MATCH (f:Film)-[:directedBy]->(d) RETURN f, d").unwrap();
+        let rs = execute(&graph(), &q).unwrap();
+        assert_eq!(rs.stats.patterns_scanned, 2); // type triple + edge
+        assert!(rs.stats.index_probes >= 2, "{:?}", rs.stats);
+        assert!(rs.stats.intermediate_bindings >= rs.len(), "{:?}", rs.stats);
+    }
+
+    #[test]
     fn property_map_filters() {
         let q = parse(r#"MATCH (f:Film {name: "Inception"})-[:directedBy]->(d) RETURN d.name"#)
             .unwrap();
         let rs = execute(&graph(), &q).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(
-            rs.rows[0][0].as_ref().and_then(|t| t.as_literal()).map(|l| l.lexical.as_str()),
+            rs.rows[0][0]
+                .as_ref()
+                .and_then(|t| t.as_literal())
+                .map(|l| l.lexical.as_str()),
             Some("Nolan")
         );
     }
@@ -511,10 +538,9 @@ mod tests {
 
     #[test]
     fn where_and_conjunction() {
-        let q = parse(
-            r#"MATCH (f:Film) WHERE f.releaseYear > 1990 AND f.releaseYear < 2000 RETURN f"#,
-        )
-        .unwrap();
+        let q =
+            parse(r#"MATCH (f:Film) WHERE f.releaseYear > 1990 AND f.releaseYear < 2000 RETURN f"#)
+                .unwrap();
         let rs = execute(&graph(), &q).unwrap();
         assert_eq!(rs.len(), 1);
     }

@@ -23,7 +23,11 @@ pub enum QueryError {
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QueryError::Parse { line, column, message } => {
+            QueryError::Parse {
+                line,
+                column,
+                message,
+            } => {
                 write!(f, "query parse error at {line}:{column}: {message}")
             }
             QueryError::UnboundVariable(v) => write!(f, "unbound variable ?{v}"),
@@ -40,9 +44,17 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = QueryError::Parse { line: 1, column: 2, message: "x".into() };
+        let e = QueryError::Parse {
+            line: 1,
+            column: 2,
+            message: "x".into(),
+        };
         assert!(e.to_string().contains("1:2"));
-        assert!(QueryError::UnboundVariable("v".into()).to_string().contains("?v"));
-        assert!(QueryError::Unsupported("GRAPH".into()).to_string().contains("GRAPH"));
+        assert!(QueryError::UnboundVariable("v".into())
+            .to_string()
+            .contains("?v"));
+        assert!(QueryError::Unsupported("GRAPH".into())
+            .to_string()
+            .contains("GRAPH"));
     }
 }

@@ -1,12 +1,28 @@
-//! Volcano-style evaluation of query plans over a [`kg::Graph`].
+//! Compiled, slot-based evaluation of query plans over a [`kg::Graph`].
 //!
-//! Bindings are ordered maps `variable → Sym`; evaluation threads a vector
-//! of bindings through the plan. Inside a BGP, triple patterns are
-//! reordered greedily: at each step the pattern with the smallest
-//! estimated cardinality *given the variables already bound* runs next —
-//! the classic selectivity-driven join ordering, using
-//! [`kg::Graph::estimate`] as the cost model.
+//! The executor compiles each query once before touching any data:
+//!
+//! * every variable name is interned into a `usize` slot, so a solution
+//!   is a flat `Vec<Option<Sym>>` instead of an ordered map keyed by
+//!   strings;
+//! * constant terms and predicate IRIs are resolved against the graph's
+//!   term pool up front (an unknown constant makes its pattern statically
+//!   impossible);
+//! * triple patterns inside each BGP are join-ordered **once**, greedily,
+//!   cheapest-first under [`kg::Graph::estimate`], propagating which
+//!   slots are bound statically — the seed executor re-derived the order
+//!   for every intermediate binding.
+//!
+//! Evaluation then threads a vector of slot bindings through the compiled
+//! plan. Extending a binding with the matches of a pattern clones it only
+//! for all but the last match; the last match takes ownership. Work
+//! counters ([`ExecStats`]) are threaded through evaluation and surface
+//! on the returned [`ResultSet`].
+//!
+//! The seed map-based evaluator is preserved as [`crate::reference`] and
+//! serves as the differential-testing oracle and benchmark baseline.
 
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use kg::store::TriplePattern;
@@ -16,32 +32,39 @@ use kg::Graph;
 use crate::algebra::{compile, Plan};
 use crate::ast::{Expr, NodeRef, Order, PropPath, Query, QueryKind, TriplePatternAst};
 use crate::error::QueryError;
-use crate::results::ResultSet;
+use crate::results::{ExecStats, ResultSet};
 
-/// A solution mapping.
-pub type Binding = BTreeMap<String, Sym>;
+/// A solution mapping: one cell per compiled variable slot.
+pub type Binding = Vec<Option<Sym>>;
 
 /// Execute a parsed query against a graph.
 pub fn execute(graph: &Graph, query: &Query) -> Result<ResultSet, QueryError> {
     let plan = compile(&query.pattern);
-    let mut solutions = eval(graph, &plan, vec![Binding::new()])?;
+    let mut vars = VarTable::default();
+    let mut bound_slots = BTreeSet::new();
+    let cplan = compile_plan(graph, &plan, &mut vars, &mut bound_slots);
+    let mut stats = ExecStats::default();
+    let mut solutions = eval(graph, &cplan, vec![vec![None; vars.len()]], &mut stats);
 
     match &query.kind {
-        QueryKind::Ask => Ok(ResultSet::ask(!solutions.is_empty())),
-        QueryKind::Select { vars, distinct } => {
+        QueryKind::Ask => Ok(ResultSet::ask(!solutions.is_empty()).with_stats(stats)),
+        QueryKind::Select {
+            vars: sel,
+            distinct,
+        } => {
             if let Some(agg) = &query.aggregate {
-                return aggregate(graph, query, agg, vars, solutions);
+                return aggregate(graph, query, agg, sel, solutions, &vars, stats);
             }
             let bound = query.pattern.bound_vars();
-            let projected: Vec<String> = if vars.is_empty() {
+            let projected: Vec<String> = if sel.is_empty() {
                 bound.clone()
             } else {
-                for v in vars {
+                for v in sel {
                     if !bound.contains(v) {
                         return Err(QueryError::UnboundVariable(v.clone()));
                     }
                 }
-                vars.clone()
+                sel.clone()
             };
             // ORDER BY
             for (v, _) in &query.order_by {
@@ -50,43 +73,55 @@ pub fn execute(graph: &Graph, query: &Query) -> Result<ResultSet, QueryError> {
                 }
             }
             if !query.order_by.is_empty() {
-                let keys = query.order_by.clone();
+                let keys: Vec<(usize, Order)> = query
+                    .order_by
+                    .iter()
+                    .map(|(v, d)| (vars.lookup(v).expect("order key is a pattern var"), *d))
+                    .collect();
                 solutions.sort_by(|a, b| {
-                    for (v, dir) in &keys {
-                        let ta = a.get(v).map(|&s| graph.resolve(s));
-                        let tb = b.get(v).map(|&s| graph.resolve(s));
-                        let ord = compare_terms(ta, tb);
+                    for &(slot, dir) in &keys {
+                        let ta = a[slot].map(|s| graph.resolve(s));
+                        let tb = b[slot].map(|s| graph.resolve(s));
                         let ord = match dir {
-                            Order::Asc => ord,
-                            Order::Desc => ord.reverse(),
+                            Order::Asc => compare_terms(ta, tb),
+                            Order::Desc => compare_terms(ta, tb).reverse(),
                         };
-                        if ord != std::cmp::Ordering::Equal {
+                        if ord != Ordering::Equal {
                             return ord;
                         }
                     }
-                    std::cmp::Ordering::Equal
+                    Ordering::Equal
                 });
             }
-            let mut rows: Vec<Vec<Option<Term>>> = solutions
+            let slots: Vec<usize> = projected
                 .iter()
-                .map(|b| {
-                    projected
-                        .iter()
-                        .map(|v| b.get(v).map(|&s| graph.resolve(s).clone()))
-                        .collect()
-                })
+                .map(|v| vars.lookup(v).expect("projected var is a pattern var"))
+                .collect();
+            let mut sym_rows: Vec<Vec<Option<Sym>>> = solutions
+                .iter()
+                .map(|b| slots.iter().map(|&i| b[i]).collect())
                 .collect();
             if *distinct {
-                let mut seen: BTreeSet<String> = BTreeSet::new();
-                rows.retain(|r| seen.insert(format!("{r:?}")));
+                // structural dedup on interned rows: the pool makes
+                // Sym ↔ Term bijective, so this equals term equality
+                let mut seen: BTreeSet<Vec<Option<Sym>>> = BTreeSet::new();
+                sym_rows.retain(|r| seen.insert(r.clone()));
             }
             let end = query
                 .limit
-                .map(|l| (query.offset + l).min(rows.len()))
-                .unwrap_or(rows.len());
-            let start = query.offset.min(rows.len());
-            let rows = rows[start..end.max(start)].to_vec();
-            Ok(ResultSet::select(projected, rows))
+                .map(|l| (query.offset + l).min(sym_rows.len()))
+                .unwrap_or(sym_rows.len());
+            let start = query.offset.min(sym_rows.len());
+            // resolve only the rows that survive LIMIT/OFFSET
+            let rows: Vec<Vec<Option<Term>>> = sym_rows[start..end.max(start)]
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|c| c.map(|s| graph.resolve(s).clone()))
+                        .collect()
+                })
+                .collect();
+            Ok(ResultSet::select(projected, rows).with_stats(stats))
         }
     }
 }
@@ -98,6 +133,8 @@ fn aggregate(
     agg: &crate::ast::CountAgg,
     projected: &[String],
     solutions: Vec<Binding>,
+    vars: &VarTable,
+    stats: ExecStats,
 ) -> Result<ResultSet, QueryError> {
     let bound = query.pattern.bound_vars();
     for v in query.group_by.iter().chain(agg.var.iter()) {
@@ -112,11 +149,19 @@ fn aggregate(
             )));
         }
     }
+    let group_slots: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|v| vars.lookup(v).expect("group key is a pattern var"))
+        .collect();
+    let agg_slot = agg
+        .var
+        .as_ref()
+        .map(|v| vars.lookup(v).expect("counted var is a pattern var"));
     // group solutions by the GROUP BY key
     let mut groups: BTreeMap<Vec<Option<Sym>>, Vec<&Binding>> = BTreeMap::new();
     for b in &solutions {
-        let key: Vec<Option<Sym>> =
-            query.group_by.iter().map(|v| b.get(v).copied()).collect();
+        let key: Vec<Option<Sym>> = group_slots.iter().map(|&i| b[i]).collect();
         groups.entry(key).or_default().push(b);
     }
     if query.group_by.is_empty() && groups.is_empty() {
@@ -124,11 +169,10 @@ fn aggregate(
     }
     let mut rows: Vec<Vec<Option<Term>>> = Vec::new();
     for (key, members) in &groups {
-        let count = match &agg.var {
+        let count = match agg_slot {
             None => members.len(),
-            Some(v) => {
-                let mut values: Vec<Sym> =
-                    members.iter().filter_map(|b| b.get(v).copied()).collect();
+            Some(slot) => {
+                let mut values: Vec<Sym> = members.iter().filter_map(|b| b[slot]).collect();
                 if agg.distinct {
                     values.sort_unstable();
                     values.dedup();
@@ -163,26 +207,34 @@ fn aggregate(
             .collect();
         rows.sort_by(|a, b| {
             for &(i, dir) in &keys {
-                let ord = compare_terms(a[i].as_ref(), b[i].as_ref());
                 let ord = match dir {
-                    Order::Asc => ord,
-                    Order::Desc => ord.reverse(),
+                    Order::Asc => compare_terms(a[i].as_ref(), b[i].as_ref()),
+                    Order::Desc => compare_terms(a[i].as_ref(), b[i].as_ref()).reverse(),
                 };
-                if ord != std::cmp::Ordering::Equal {
+                if ord != Ordering::Equal {
                     return ord;
                 }
             }
-            std::cmp::Ordering::Equal
+            Ordering::Equal
         });
     }
-    let end = query.limit.map(|l| (query.offset + l).min(rows.len())).unwrap_or(rows.len());
+    let end = query
+        .limit
+        .map(|l| (query.offset + l).min(rows.len()))
+        .unwrap_or(rows.len());
     let start = query.offset.min(rows.len());
-    Ok(ResultSet::select(projected.to_vec(), rows[start..end.max(start)].to_vec()))
+    Ok(
+        ResultSet::select(projected.to_vec(), rows[start..end.max(start)].to_vec())
+            .with_stats(stats),
+    )
 }
 
 /// Numeric-aware term comparison for ORDER BY and filters.
-fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
+///
+/// The order is total: `NaN` compares equal to itself and greater than
+/// every other number, so it sorts deterministically last under `ASC`
+/// (first under `DESC`) instead of making the comparator intransitive.
+pub(crate) fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
     match (a, b) {
         (None, None) => Ordering::Equal,
         (None, Some(_)) => Ordering::Less,
@@ -191,141 +243,302 @@ fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> std::cmp::Ordering {
             let nx = x.as_literal().and_then(|l| l.as_double());
             let ny = y.as_literal().and_then(|l| l.as_double());
             match (nx, ny) {
-                (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
-                _ => term_key(x).cmp(&term_key(y)),
+                (Some(a), Some(b)) => compare_f64_total(a, b),
+                _ => {
+                    let (ra, ka) = term_rank(x);
+                    let (rb, kb) = term_rank(y);
+                    ra.cmp(&rb).then_with(|| ka.cmp(kb))
+                }
             }
         }
     }
 }
 
-fn term_key(t: &Term) -> String {
+/// Total order on doubles: `NaN == NaN`, `NaN > ` any number.
+fn compare_f64_total(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both non-NaN"),
+    }
+}
+
+/// Allocation-free sort key: blanks < IRIs < literals, then the inner
+/// string (the order the seed's `"b:" < "i:" < "l:"` prefix keys gave).
+fn term_rank(t: &Term) -> (u8, &str) {
     match t {
-        Term::Iri(i) => format!("i:{i}"),
-        Term::Literal(l) => format!("l:{}", l.lexical),
-        Term::Blank(b) => format!("b:{b}"),
+        Term::Blank(b) => (0, b.as_str()),
+        Term::Iri(i) => (1, i.as_str()),
+        Term::Literal(l) => (2, l.lexical.as_str()),
     }
 }
 
-fn eval(graph: &Graph, plan: &Plan, input: Vec<Binding>) -> Result<Vec<Binding>, QueryError> {
-    match plan {
-        Plan::Unit => Ok(input),
-        Plan::Bgp(patterns) => eval_bgp(graph, patterns, input),
-        Plan::Sequence(parts) => {
-            let mut acc = input;
-            for p in parts {
-                acc = eval(graph, p, acc)?;
-                if acc.is_empty() {
-                    break;
-                }
+// ---------------------------------------------------------------------------
+// Compilation: names → slots, constants → syms, BGPs → join order
+// ---------------------------------------------------------------------------
+
+/// Interner mapping variable names to dense slot indices.
+#[derive(Debug, Default)]
+struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    fn intern(&mut self, name: &str) -> usize {
+        match self.lookup(name) {
+            Some(i) => i,
+            None => {
+                self.names.push(name.to_string());
+                self.names.len() - 1
             }
-            Ok(acc)
         }
+    }
+
+    fn lookup(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// A subject/object position after compilation.
+#[derive(Debug, Clone, Copy)]
+enum SlotNode {
+    /// A constant, pre-resolved against the term pool (`None` = the term
+    /// is not interned, so the pattern can never match).
+    Const(Option<Sym>),
+    /// A variable slot.
+    Var(usize),
+}
+
+/// A predicate position after compilation.
+#[derive(Debug, Clone)]
+enum SlotPath {
+    /// A plain predicate IRI, pre-resolved (`None` = unknown predicate).
+    Pred(Option<Sym>),
+    /// A predicate variable slot.
+    Var(usize),
+    /// A composite property path, evaluated via [`eval_path`].
+    Path(PropPath),
+}
+
+/// One compiled triple pattern.
+#[derive(Debug, Clone)]
+struct SlotPattern {
+    s: SlotNode,
+    p: SlotPath,
+    o: SlotNode,
+}
+
+/// The compiled plan: mirrors [`Plan`] with BGPs already join-ordered.
+#[derive(Debug, Clone)]
+enum CPlan {
+    Unit,
+    /// Patterns in execution order.
+    Bgp(Vec<SlotPattern>),
+    Sequence(Vec<CPlan>),
+    LeftJoin(Box<CPlan>, Box<CPlan>),
+    Union(Box<CPlan>, Box<CPlan>),
+    Filter(CExpr, Box<CPlan>),
+}
+
+/// A filter expression over slots.
+#[derive(Debug, Clone)]
+enum CExpr {
+    Var(usize),
+    Const(Term),
+    Eq(Box<CExpr>, Box<CExpr>),
+    Ne(Box<CExpr>, Box<CExpr>),
+    Lt(Box<CExpr>, Box<CExpr>),
+    Le(Box<CExpr>, Box<CExpr>),
+    Gt(Box<CExpr>, Box<CExpr>),
+    Ge(Box<CExpr>, Box<CExpr>),
+    And(Box<CExpr>, Box<CExpr>),
+    Or(Box<CExpr>, Box<CExpr>),
+    Not(Box<CExpr>),
+    Bound(usize),
+    Contains(Box<CExpr>, String),
+}
+
+/// Compile a plan, interning variables and join-ordering each BGP once.
+///
+/// `bound` tracks which slots are statically bound when a node runs; it
+/// drives the ordering heuristic only — the evaluator re-checks per
+/// binding, so an optimistic approximation (e.g. counting `OPTIONAL` /
+/// `UNION` vars as bound downstream) can never affect correctness.
+fn compile_plan(
+    graph: &Graph,
+    plan: &Plan,
+    vars: &mut VarTable,
+    bound: &mut BTreeSet<usize>,
+) -> CPlan {
+    match plan {
+        Plan::Unit => CPlan::Unit,
+        Plan::Bgp(patterns) => CPlan::Bgp(order_bgp(graph, patterns, vars, bound)),
+        Plan::Sequence(parts) => CPlan::Sequence(
+            parts
+                .iter()
+                .map(|p| compile_plan(graph, p, vars, bound))
+                .collect(),
+        ),
         Plan::LeftJoin(left, right) => {
-            let lefts = eval(graph, left, input)?;
-            let mut out = Vec::new();
-            for b in lefts {
-                let rs = eval(graph, right, vec![b.clone()])?;
-                if rs.is_empty() {
-                    out.push(b);
-                } else {
-                    out.extend(rs);
-                }
-            }
-            Ok(out)
+            let cl = compile_plan(graph, left, vars, bound);
+            // the right side always starts from a left solution, so left
+            // slots count as bound for its ordering
+            let cr = compile_plan(graph, right, vars, bound);
+            CPlan::LeftJoin(Box::new(cl), Box::new(cr))
         }
         Plan::Union(l, r) => {
-            let mut out = eval(graph, l, input.clone())?;
-            out.extend(eval(graph, r, input)?);
-            Ok(out)
+            let mut bl = bound.clone();
+            let cl = compile_plan(graph, l, vars, &mut bl);
+            let mut br = bound.clone();
+            let cr = compile_plan(graph, r, vars, &mut br);
+            bound.extend(bl);
+            bound.extend(br);
+            CPlan::Union(Box::new(cl), Box::new(cr))
         }
         Plan::Filter(e, inner) => {
-            let sols = eval(graph, inner, input)?;
-            let mut out = Vec::new();
-            for b in sols {
-                if eval_expr(graph, e, &b)?.unwrap_or(false) {
-                    out.push(b);
-                }
-            }
-            Ok(out)
+            let ce = compile_expr(e, vars);
+            let ci = compile_plan(graph, inner, vars, bound);
+            CPlan::Filter(ce, Box::new(ci))
         }
     }
 }
 
-/// Greedy join ordering + nested-loop evaluation of a BGP.
-fn eval_bgp(
+/// Greedy selectivity-driven join ordering, run once per BGP: repeatedly
+/// take the cheapest remaining pattern under the current bound-slot set.
+fn order_bgp(
     graph: &Graph,
     patterns: &[TriplePatternAst],
-    input: Vec<Binding>,
-) -> Result<Vec<Binding>, QueryError> {
-    let mut out = Vec::new();
-    for binding in input {
-        // order patterns greedily per input binding
-        let mut remaining: Vec<&TriplePatternAst> = patterns.iter().collect();
-        let mut bound: BTreeSet<String> =
-            binding.keys().cloned().collect();
-        let mut ordered: Vec<&TriplePatternAst> = Vec::new();
-        while !remaining.is_empty() {
-            let (idx, _) = remaining
-                .iter()
-                .enumerate()
-                .map(|(i, t)| (i, estimate_pattern(graph, t, &bound)))
-                .min_by_key(|&(_, est)| est)
-                .expect("non-empty remaining");
-            let chosen = remaining.remove(idx);
-            for v in pattern_vars(chosen) {
-                bound.insert(v);
-            }
-            ordered.push(chosen);
+    vars: &mut VarTable,
+    bound: &mut BTreeSet<usize>,
+) -> Vec<SlotPattern> {
+    let mut remaining: Vec<SlotPattern> = patterns
+        .iter()
+        .map(|t| compile_pattern(graph, t, vars))
+        .collect();
+    let mut ordered = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, estimate_pattern(graph, p, bound)))
+            .min_by_key(|&(_, est)| est)
+            .expect("non-empty remaining");
+        let chosen = remaining.remove(idx);
+        for slot in pattern_slots(&chosen) {
+            bound.insert(slot);
         }
-        // nested-loop evaluation
-        let mut current = vec![binding];
-        for pat in ordered {
-            let mut next = Vec::new();
-            for b in &current {
-                extend_with_pattern(graph, pat, b, &mut next)?;
-            }
-            current = next;
-            if current.is_empty() {
-                break;
-            }
-        }
-        out.extend(current);
+        ordered.push(chosen);
     }
-    Ok(out)
+    ordered
 }
 
-fn pattern_vars(t: &TriplePatternAst) -> Vec<String> {
-    let mut v = Vec::new();
-    if let Some(x) = t.s.as_var() {
-        v.push(x.to_string());
+fn compile_pattern(graph: &Graph, t: &TriplePatternAst, vars: &mut VarTable) -> SlotPattern {
+    SlotPattern {
+        s: compile_node(graph, &t.s, vars),
+        p: compile_path(graph, &t.p, vars),
+        o: compile_node(graph, &t.o, vars),
     }
-    for x in t.p.vars() {
-        v.push(x.to_string());
-    }
-    if let Some(x) = t.o.as_var() {
-        v.push(x.to_string());
-    }
-    v
 }
 
-/// Cardinality estimate of a pattern given already-bound variables.
-fn estimate_pattern(graph: &Graph, t: &TriplePatternAst, bound: &BTreeSet<String>) -> usize {
-    let node_known = |n: &NodeRef| match n {
-        NodeRef::Const(_) => true,
-        NodeRef::Var(v) => bound.contains(v),
+fn compile_node(graph: &Graph, n: &NodeRef, vars: &mut VarTable) -> SlotNode {
+    match n {
+        NodeRef::Var(v) => SlotNode::Var(vars.intern(v)),
+        NodeRef::Const(term) => SlotNode::Const(graph.pool().get(term)),
+    }
+}
+
+fn compile_path(graph: &Graph, p: &PropPath, vars: &mut VarTable) -> SlotPath {
+    match p {
+        PropPath::Iri(iri) => SlotPath::Pred(graph.pool().get_iri(iri)),
+        PropPath::Var(v) => SlotPath::Var(vars.intern(v)),
+        other => SlotPath::Path(other.clone()),
+    }
+}
+
+fn compile_expr(e: &Expr, vars: &mut VarTable) -> CExpr {
+    let bin = |l: &Expr, r: &Expr, vars: &mut VarTable| {
+        (
+            Box::new(compile_expr(l, vars)),
+            Box::new(compile_expr(r, vars)),
+        )
     };
-    let s_known = node_known(&t.s);
-    let o_known = node_known(&t.o);
-    let p_known = match &t.p {
-        PropPath::Iri(_) => true,
-        PropPath::Var(v) => bound.contains(v),
-        _ => true, // complex paths: treat predicate as known
+    match e {
+        Expr::Var(v) => CExpr::Var(vars.intern(v)),
+        Expr::Const(t) => CExpr::Const(t.clone()),
+        Expr::Eq(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::Eq(l, r)
+        }
+        Expr::Ne(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::Ne(l, r)
+        }
+        Expr::Lt(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::Lt(l, r)
+        }
+        Expr::Le(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::Le(l, r)
+        }
+        Expr::Gt(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::Gt(l, r)
+        }
+        Expr::Ge(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::Ge(l, r)
+        }
+        Expr::And(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::And(l, r)
+        }
+        Expr::Or(l, r) => {
+            let (l, r) = bin(l, r, vars);
+            CExpr::Or(l, r)
+        }
+        Expr::Not(i) => CExpr::Not(Box::new(compile_expr(i, vars))),
+        Expr::Bound(v) => CExpr::Bound(vars.intern(v)),
+        Expr::Contains(i, needle) => {
+            CExpr::Contains(Box::new(compile_expr(i, vars)), needle.clone())
+        }
+    }
+}
+
+/// The variable slots a pattern binds.
+fn pattern_slots(p: &SlotPattern) -> Vec<usize> {
+    let mut out = Vec::new();
+    if let SlotNode::Var(i) = p.s {
+        out.push(i);
+    }
+    if let SlotPath::Var(i) = &p.p {
+        out.push(*i);
+    }
+    if let SlotNode::Var(i) = p.o {
+        out.push(i);
+    }
+    out
+}
+
+/// Cardinality estimate of a compiled pattern given bound slots.
+fn estimate_pattern(graph: &Graph, t: &SlotPattern, bound: &BTreeSet<usize>) -> usize {
+    let node_known = |n: SlotNode| match n {
+        SlotNode::Const(_) => true,
+        SlotNode::Var(i) => bound.contains(&i),
+    };
+    let s_known = node_known(t.s);
+    let o_known = node_known(t.o);
+    let (p_known, p_sym) = match &t.p {
+        SlotPath::Pred(p) => (true, *p),
+        SlotPath::Var(i) => (bound.contains(i), None),
+        SlotPath::Path(_) => (true, None), // complex paths: predicate known
     };
     // use graph-wide statistics with a representative pattern
-    let p_sym = match &t.p {
-        PropPath::Iri(i) => graph.pool().get_iri(i),
-        _ => None,
-    };
     let pat = TriplePattern {
         s: None,
         p: if p_known { p_sym } else { None },
@@ -339,129 +552,198 @@ fn estimate_pattern(graph: &Graph, t: &TriplePatternAst, bound: &BTreeSet<String
     }
 }
 
-/// Extend one binding with all matches of a pattern.
+// ---------------------------------------------------------------------------
+// Evaluation over slot bindings
+// ---------------------------------------------------------------------------
+
+fn eval(graph: &Graph, plan: &CPlan, input: Vec<Binding>, stats: &mut ExecStats) -> Vec<Binding> {
+    match plan {
+        CPlan::Unit => input,
+        CPlan::Bgp(patterns) => eval_bgp(graph, patterns, input, stats),
+        CPlan::Sequence(parts) => {
+            let mut acc = input;
+            for p in parts {
+                acc = eval(graph, p, acc, stats);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            acc
+        }
+        CPlan::LeftJoin(left, right) => {
+            let lefts = eval(graph, left, input, stats);
+            let mut out = Vec::new();
+            for b in lefts {
+                let rs = eval(graph, right, vec![b.clone()], stats);
+                if rs.is_empty() {
+                    out.push(b);
+                } else {
+                    out.extend(rs);
+                }
+            }
+            out
+        }
+        CPlan::Union(l, r) => {
+            let mut out = eval(graph, l, input.clone(), stats);
+            out.extend(eval(graph, r, input, stats));
+            out
+        }
+        CPlan::Filter(e, inner) => {
+            let sols = eval(graph, inner, input, stats);
+            sols.into_iter()
+                .filter(|b| eval_expr(graph, e, b).unwrap_or(false))
+                .collect()
+        }
+    }
+}
+
+/// Nested-loop evaluation of a pre-ordered BGP.
+fn eval_bgp(
+    graph: &Graph,
+    patterns: &[SlotPattern],
+    input: Vec<Binding>,
+    stats: &mut ExecStats,
+) -> Vec<Binding> {
+    let mut current = input;
+    for pat in patterns {
+        if current.is_empty() {
+            break;
+        }
+        stats.patterns_scanned += 1;
+        let mut next = Vec::new();
+        for b in current {
+            extend_with_pattern(graph, pat, b, &mut next, stats);
+        }
+        stats.intermediate_bindings += next.len();
+        current = next;
+    }
+    current
+}
+
+/// A pattern position resolved under one binding.
+#[derive(Debug, Clone, Copy)]
+enum Pos {
+    Known(Sym),
+    Free(usize),
+}
+
+impl Pos {
+    fn known(self) -> Option<Sym> {
+        match self {
+            Pos::Known(s) => Some(s),
+            Pos::Free(_) => None,
+        }
+    }
+}
+
+/// Write `value` into a free slot, or check consistency against what is
+/// already there (`?x p ?x` must see the same value at both positions).
+fn bind_slot(b: &mut Binding, pos: Pos, value: Sym) -> bool {
+    match pos {
+        Pos::Known(_) => true,
+        Pos::Free(i) => match b[i] {
+            Some(existing) => existing == value,
+            None => {
+                b[i] = Some(value);
+                true
+            }
+        },
+    }
+}
+
+/// Extend one binding with all matches of a pattern. The binding is moved
+/// in: the last match receives it, earlier matches clone it.
 fn extend_with_pattern(
     graph: &Graph,
-    t: &TriplePatternAst,
-    binding: &Binding,
+    t: &SlotPattern,
+    binding: Binding,
     out: &mut Vec<Binding>,
-) -> Result<(), QueryError> {
-    // resolve endpoints under the binding
-    let resolve_node = |n: &NodeRef| -> Resolved {
+    stats: &mut ExecStats,
+) {
+    let resolve = |n: SlotNode| -> Option<Pos> {
         match n {
-            NodeRef::Var(v) => match binding.get(v) {
-                Some(&s) => Resolved::Known(s),
-                None => Resolved::Free(v.clone()),
-            },
-            NodeRef::Const(term) => match graph.pool().get(term) {
-                Some(s) => Resolved::Known(s),
-                None => Resolved::Impossible,
-            },
+            SlotNode::Var(i) => Some(match binding[i] {
+                Some(s) => Pos::Known(s),
+                None => Pos::Free(i),
+            }),
+            SlotNode::Const(Some(s)) => Some(Pos::Known(s)),
+            SlotNode::Const(None) => None, // unknown constant: no match
         }
     };
-    let s = resolve_node(&t.s);
-    let o = resolve_node(&t.o);
-    if matches!(s, Resolved::Impossible) || matches!(o, Resolved::Impossible) {
-        return Ok(());
-    }
+    let (Some(s), Some(o)) = (resolve(t.s), resolve(t.o)) else {
+        return;
+    };
 
+    // (subject, object, predicate value to bind into a free p-slot)
+    let mut matches: Vec<(Sym, Sym, Option<Sym>)> = Vec::new();
+    let mut p_slot = None;
     match &t.p {
-        PropPath::Iri(iri) => {
-            let Some(p) = graph.pool().get_iri(iri) else {
-                return Ok(());
+        SlotPath::Pred(p) => {
+            let Some(p) = *p else { return };
+            stats.index_probes += 1;
+            let pat = TriplePattern {
+                s: s.known(),
+                p: Some(p),
+                o: o.known(),
             };
-            let pat = TriplePattern { s: s.known(), p: Some(p), o: o.known() };
-            for m in graph.match_pattern(pat) {
-                let mut b = binding.clone();
-                if let Resolved::Free(v) = &s {
-                    b.insert(v.clone(), m.s);
-                }
-                if let Resolved::Free(v) = &o {
-                    // same-var subject/object (e.g. ?x p ?x) must agree
-                    if let Some(&existing) = b.get(v) {
-                        if existing != m.o {
-                            continue;
-                        }
-                    } else {
-                        b.insert(v.clone(), m.o);
-                    }
-                }
-                out.push(b);
-            }
+            matches.extend(
+                graph
+                    .match_pattern(pat)
+                    .into_iter()
+                    .map(|m| (m.s, m.o, None)),
+            );
         }
-        PropPath::Var(pv) => {
-            let p_sym = binding.get(pv).copied();
-            let pat = TriplePattern { s: s.known(), p: p_sym, o: o.known() };
-            for m in graph.match_pattern(pat) {
-                let mut b = binding.clone();
-                if let Resolved::Free(v) = &s {
-                    b.insert(v.clone(), m.s);
-                }
-                if p_sym.is_none() {
-                    if let Some(&existing) = b.get(pv) {
-                        if existing != m.p {
-                            continue;
-                        }
-                    } else {
-                        b.insert(pv.clone(), m.p);
-                    }
-                }
-                if let Resolved::Free(v) = &o {
-                    if let Some(&existing) = b.get(v) {
-                        if existing != m.o {
-                            continue;
-                        }
-                    } else {
-                        b.insert(v.clone(), m.o);
-                    }
-                }
-                out.push(b);
+        SlotPath::Var(pv) => {
+            let p_bound = binding[*pv];
+            if p_bound.is_none() {
+                p_slot = Some(*pv);
             }
+            stats.index_probes += 1;
+            let pat = TriplePattern {
+                s: s.known(),
+                p: p_bound,
+                o: o.known(),
+            };
+            matches.extend(
+                graph
+                    .match_pattern(pat)
+                    .into_iter()
+                    .map(|m| (m.s, m.o, p_bound.is_none().then_some(m.p))),
+            );
         }
-        path => {
-            for (ms, mo) in eval_path(graph, path, s.known(), o.known()) {
-                let mut b = binding.clone();
-                let mut ok = true;
-                if let Resolved::Free(v) = &s {
-                    match b.get(v) {
-                        Some(&e) if e != ms => ok = false,
-                        _ => {
-                            b.insert(v.clone(), ms);
-                        }
-                    }
-                }
-                if ok {
-                    if let Resolved::Free(v) = &o {
-                        match b.get(v) {
-                            Some(&e) if e != mo => ok = false,
-                            _ => {
-                                b.insert(v.clone(), mo);
-                            }
-                        }
-                    }
-                }
-                if ok {
-                    out.push(b);
-                }
-            }
+        SlotPath::Path(path) => {
+            stats.index_probes += 1;
+            matches.extend(
+                eval_path(graph, path, s.known(), o.known())
+                    .into_iter()
+                    .map(|(ms, mo)| (ms, mo, None)),
+            );
         }
     }
-    Ok(())
-}
 
-#[derive(Debug, Clone)]
-enum Resolved {
-    Known(Sym),
-    Free(String),
-    Impossible,
-}
-
-impl Resolved {
-    fn known(&self) -> Option<Sym> {
-        match self {
-            Resolved::Known(s) => Some(*s),
-            _ => None,
+    let total = matches.len();
+    let mut source = Some(binding);
+    for (i, (ms, mo, mp)) in matches.into_iter().enumerate() {
+        let mut b = if i + 1 == total {
+            source.take().expect("moved once, on the last match")
+        } else {
+            source
+                .as_ref()
+                .expect("still owned before the last match")
+                .clone()
+        };
+        if !bind_slot(&mut b, s, ms) {
+            continue;
         }
+        if let (Some(slot), Some(p_val)) = (p_slot, mp) {
+            if !bind_slot(&mut b, Pos::Free(slot), p_val) {
+                continue;
+            }
+        }
+        if !bind_slot(&mut b, o, mo) {
+            continue;
+        }
+        out.push(b);
     }
 }
 
@@ -576,66 +858,66 @@ fn closure(
 }
 
 /// Three-valued filter evaluation: `None` = error (treated as false).
-fn eval_expr(graph: &Graph, e: &Expr, b: &Binding) -> Result<Option<bool>, QueryError> {
-    Ok(match e {
-        Expr::And(l, r) => match (eval_expr(graph, l, b)?, eval_expr(graph, r, b)?) {
+fn eval_expr(graph: &Graph, e: &CExpr, b: &Binding) -> Option<bool> {
+    match e {
+        CExpr::And(l, r) => match (eval_expr(graph, l, b), eval_expr(graph, r, b)) {
             (Some(true), Some(true)) => Some(true),
             (Some(false), _) | (_, Some(false)) => Some(false),
             _ => None,
         },
-        Expr::Or(l, r) => match (eval_expr(graph, l, b)?, eval_expr(graph, r, b)?) {
+        CExpr::Or(l, r) => match (eval_expr(graph, l, b), eval_expr(graph, r, b)) {
             (Some(true), _) | (_, Some(true)) => Some(true),
             (Some(false), Some(false)) => Some(false),
             _ => None,
         },
-        Expr::Not(i) => eval_expr(graph, i, b)?.map(|v| !v),
-        Expr::Bound(v) => Some(b.contains_key(v)),
-        Expr::Contains(inner, needle) => {
-            let t = eval_term(graph, inner, b);
-            t.map(|term| {
-                let hay = match &term {
-                    Term::Iri(i) => i.as_str(),
-                    Term::Literal(l) => l.lexical.as_str(),
-                    Term::Blank(x) => x.as_str(),
-                };
-                hay.to_lowercase().contains(&needle.to_lowercase())
-            })
-        }
-        Expr::Eq(l, r) => binary_cmp(graph, l, r, b, |o| o == std::cmp::Ordering::Equal),
-        Expr::Ne(l, r) => binary_cmp(graph, l, r, b, |o| o != std::cmp::Ordering::Equal),
-        Expr::Lt(l, r) => binary_cmp(graph, l, r, b, |o| o == std::cmp::Ordering::Less),
-        Expr::Le(l, r) => binary_cmp(graph, l, r, b, |o| o != std::cmp::Ordering::Greater),
-        Expr::Gt(l, r) => binary_cmp(graph, l, r, b, |o| o == std::cmp::Ordering::Greater),
-        Expr::Ge(l, r) => binary_cmp(graph, l, r, b, |o| o != std::cmp::Ordering::Less),
-        Expr::Var(v) => Some(b.contains_key(v)),
-        Expr::Const(t) => t.as_literal().map(|l| l.lexical == "true"),
-    })
+        CExpr::Not(i) => eval_expr(graph, i, b).map(|v| !v),
+        CExpr::Bound(i) => Some(b[*i].is_some()),
+        CExpr::Contains(inner, needle) => eval_term(graph, inner, b).map(|term| {
+            let hay = match term {
+                Term::Iri(i) => i.as_str(),
+                Term::Literal(l) => l.lexical.as_str(),
+                Term::Blank(x) => x.as_str(),
+            };
+            hay.to_lowercase().contains(&needle.to_lowercase())
+        }),
+        CExpr::Eq(l, r) => binary_cmp(graph, l, r, b, |o| o == Ordering::Equal),
+        CExpr::Ne(l, r) => binary_cmp(graph, l, r, b, |o| o != Ordering::Equal),
+        CExpr::Lt(l, r) => binary_cmp(graph, l, r, b, |o| o == Ordering::Less),
+        CExpr::Le(l, r) => binary_cmp(graph, l, r, b, |o| o != Ordering::Greater),
+        CExpr::Gt(l, r) => binary_cmp(graph, l, r, b, |o| o == Ordering::Greater),
+        CExpr::Ge(l, r) => binary_cmp(graph, l, r, b, |o| o != Ordering::Less),
+        CExpr::Var(i) => Some(b[*i].is_some()),
+        CExpr::Const(t) => t.as_literal().map(|l| l.lexical == "true"),
+    }
 }
 
-fn eval_term(graph: &Graph, e: &Expr, b: &Binding) -> Option<Term> {
+/// The term an expression denotes under a binding, borrowed — no clone
+/// per comparison.
+fn eval_term<'a>(graph: &'a Graph, e: &'a CExpr, b: &Binding) -> Option<&'a Term> {
     match e {
-        Expr::Var(v) => b.get(v).map(|&s| graph.resolve(s).clone()),
-        Expr::Const(t) => Some(t.clone()),
+        CExpr::Var(i) => b[*i].map(|s| graph.resolve(s)),
+        CExpr::Const(t) => Some(t),
         _ => None,
     }
 }
 
 fn binary_cmp(
     graph: &Graph,
-    l: &Expr,
-    r: &Expr,
+    l: &CExpr,
+    r: &CExpr,
     b: &Binding,
-    pred: impl Fn(std::cmp::Ordering) -> bool,
+    pred: impl Fn(Ordering) -> bool,
 ) -> Option<bool> {
     let lt = eval_term(graph, l, b)?;
     let rt = eval_term(graph, r, b)?;
-    Some(pred(compare_terms(Some(&lt), Some(&rt))))
+    Some(pred(compare_terms(Some(lt), Some(rt))))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::parse;
+    use kg::term::Literal;
 
     fn graph() -> Graph {
         kg::turtle::parse_turtle(
@@ -671,20 +953,21 @@ mod tests {
 
     #[test]
     fn ask_true_and_false() {
-        assert_eq!(run("PREFIX e: <http://e/> PREFIX v: <http://v/> ASK { e:a v:knows e:b }").ask, Some(true));
-        assert_eq!(run("PREFIX e: <http://e/> PREFIX v: <http://v/> ASK { e:b v:knows e:a }").ask, Some(false));
+        assert_eq!(
+            run("PREFIX e: <http://e/> PREFIX v: <http://v/> ASK { e:a v:knows e:b }").ask,
+            Some(true)
+        );
+        assert_eq!(
+            run("PREFIX e: <http://e/> PREFIX v: <http://v/> ASK { e:b v:knows e:a }").ask,
+            Some(false)
+        );
     }
 
     #[test]
     fn filter_numeric() {
-        let rs = run(
-            "PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:age ?a FILTER(?a > 26) }",
-        );
+        let rs = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:age ?a FILTER(?a > 26) }");
         assert_eq!(rs.len(), 1);
-        assert_eq!(
-            rs.first("x").and_then(|t| t.as_iri()),
-            Some("http://e/a")
-        );
+        assert_eq!(rs.first("x").and_then(|t| t.as_iri()), Some("http://e/a"));
     }
 
     #[test]
@@ -716,9 +999,8 @@ mod tests {
 
     #[test]
     fn path_one_or_more() {
-        let rs = run(
-            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows+ ?z }",
-        );
+        let rs =
+            run("PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows+ ?z }");
         let mut got: Vec<&str> = rs.values("z").iter().filter_map(|t| t.as_iri()).collect();
         got.sort_unstable();
         assert_eq!(got, vec!["http://e/b", "http://e/c", "http://e/d"]);
@@ -726,17 +1008,15 @@ mod tests {
 
     #[test]
     fn path_zero_or_more_includes_self() {
-        let rs = run(
-            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows* ?z }",
-        );
+        let rs =
+            run("PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows* ?z }");
         assert_eq!(rs.len(), 4); // a, b, c, d
     }
 
     #[test]
     fn path_inverse() {
-        let rs = run(
-            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?x WHERE { e:a ^v:likes ?x }",
-        );
+        let rs =
+            run("PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?x WHERE { e:a ^v:likes ?x }");
         assert_eq!(rs.first("x").and_then(|t| t.as_iri()), Some("http://e/x"));
     }
 
@@ -750,9 +1030,7 @@ mod tests {
 
     #[test]
     fn predicate_variable() {
-        let rs = run(
-            "PREFIX e: <http://e/> SELECT ?p WHERE { e:a ?p ?o }",
-        );
+        let rs = run("PREFIX e: <http://e/> SELECT ?p WHERE { e:a ?p ?o }");
         assert!(rs.len() >= 4); // knows, type, age, name
     }
 
@@ -763,35 +1041,54 @@ mod tests {
         );
         assert_eq!(rs.len(), 1);
         assert_eq!(
-            rs.first("a").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            rs.first("a")
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_integer()),
             Some(30)
         );
-        let rs2 = run(
-            "PREFIX v: <http://v/> SELECT ?x ?a WHERE { ?x v:age ?a } ORDER BY ?a OFFSET 1",
-        );
+        let rs2 =
+            run("PREFIX v: <http://v/> SELECT ?x ?a WHERE { ?x v:age ?a } ORDER BY ?a OFFSET 1");
         assert_eq!(rs2.len(), 1);
     }
 
     #[test]
     fn distinct_dedups() {
-        let rs = run(
-            "PREFIX v: <http://v/> SELECT DISTINCT ?p WHERE { ?s v:knows ?o . ?s ?p ?o }",
-        );
+        let rs = run("PREFIX v: <http://v/> SELECT DISTINCT ?p WHERE { ?s v:knows ?o . ?s ?p ?o }");
         assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn distinct_is_structural_not_textual() {
+        // rows that differ only in literal datatype must both survive:
+        // dedup keys are interned term rows, not formatted strings
+        let mut g = Graph::new();
+        g.insert_terms(
+            Term::iri("http://e/a"),
+            Term::iri("http://v/p"),
+            Term::int(1),
+        );
+        g.insert_terms(
+            Term::iri("http://e/b"),
+            Term::iri("http://v/p"),
+            Term::Literal(Literal::string("1")),
+        );
+        let q = parse("SELECT DISTINCT ?v WHERE { ?x <http://v/p> ?v }").unwrap();
+        assert_eq!(execute(&g, &q).unwrap().len(), 2);
     }
 
     #[test]
     fn projecting_unknown_var_errors() {
         let g = graph();
         let q = parse("SELECT ?zzz WHERE { ?x <http://v/knows> ?y }").unwrap();
-        assert!(matches!(execute(&g, &q), Err(QueryError::UnboundVariable(_))));
+        assert!(matches!(
+            execute(&g, &q),
+            Err(QueryError::UnboundVariable(_))
+        ));
     }
 
     #[test]
     fn unknown_constant_yields_empty() {
-        let rs = run(
-            "PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:knows <http://e/never-seen> }",
-        );
+        let rs = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:knows <http://e/never-seen> }");
         assert!(rs.is_empty());
     }
 
@@ -804,13 +1101,26 @@ mod tests {
     }
 
     #[test]
+    fn filter_on_never_bound_var_is_unsatisfied() {
+        // ?zzz appears only in the filter: it gets a slot that is never
+        // written, so comparisons error out (→ false) and BOUND is false
+        let rs = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:age ?a FILTER(?zzz > 1) }");
+        assert!(rs.is_empty());
+        let rs2 = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:age ?a FILTER(!BOUND(?zzz)) }");
+        assert_eq!(rs2.len(), 2);
+    }
+
+    #[test]
     fn same_variable_twice_in_pattern() {
         let mut g = graph();
         g.insert_iri("http://e/loop", "http://v/knows", "http://e/loop");
         let q = parse("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:knows ?x }").unwrap();
         let rs = execute(&g, &q).unwrap();
         assert_eq!(rs.len(), 1);
-        assert_eq!(rs.first("x").and_then(|t| t.as_iri()), Some("http://e/loop"));
+        assert_eq!(
+            rs.first("x").and_then(|t| t.as_iri()),
+            Some("http://e/loop")
+        );
     }
 
     #[test]
@@ -818,44 +1128,48 @@ mod tests {
         let rs = run("PREFIX v: <http://v/> SELECT (COUNT(*) AS ?n) WHERE { ?x v:knows ?y }");
         assert_eq!(rs.vars, vec!["n"]);
         assert_eq!(
-            rs.first("n").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            rs.first("n")
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_integer()),
             Some(3)
         );
     }
 
     #[test]
     fn count_group_by() {
-        let rs = run(
-            "SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?n)",
-        );
+        let rs = run("SELECT ?p (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?p ORDER BY DESC(?n)");
         assert_eq!(rs.len(), 5); // knows, type, age, name, likes
-        // `knows` has 3 triples and must rank first
+                                 // `knows` has 3 triples and must rank first
         assert_eq!(
             rs.rows[0][0].as_ref().and_then(|t| t.as_iri()),
             Some("http://v/knows")
         );
         assert_eq!(
-            rs.rows[0][1].as_ref().and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            rs.rows[0][1]
+                .as_ref()
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_integer()),
             Some(3)
         );
     }
 
     #[test]
     fn count_distinct() {
-        let rs = run(
-            "PREFIX v: <http://v/> SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?s ?p ?o }",
-        );
-        let n = rs.first("n").and_then(|t| t.as_literal()).and_then(|l| l.as_integer());
+        let rs = run("PREFIX v: <http://v/> SELECT (COUNT(DISTINCT ?p) AS ?n) WHERE { ?s ?p ?o }");
+        let n = rs
+            .first("n")
+            .and_then(|t| t.as_literal())
+            .and_then(|l| l.as_integer());
         assert_eq!(n, Some(5)); // knows, type, age, name, likes
     }
 
     #[test]
     fn count_over_empty_pattern_is_zero() {
-        let rs = run(
-            "PREFIX v: <http://v/> SELECT (COUNT(*) AS ?n) WHERE { ?x v:never ?y }",
-        );
+        let rs = run("PREFIX v: <http://v/> SELECT (COUNT(*) AS ?n) WHERE { ?x v:never ?y }");
         assert_eq!(
-            rs.first("n").and_then(|t| t.as_literal()).and_then(|l| l.as_integer()),
+            rs.first("n")
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_integer()),
             Some(0)
         );
     }
@@ -876,5 +1190,74 @@ mod tests {
             "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?y WHERE { ?x v:knows ?y FILTER(?x = e:a) }",
         );
         assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn order_by_nan_sorts_last() {
+        let mut g = Graph::new();
+        let p = Term::iri("http://v/val");
+        g.insert_terms(
+            Term::iri("http://e/a"),
+            p.clone(),
+            Term::Literal(Literal::double(1.5)),
+        );
+        g.insert_terms(
+            Term::iri("http://e/b"),
+            p.clone(),
+            Term::Literal(Literal::double(f64::NAN)),
+        );
+        g.insert_terms(
+            Term::iri("http://e/c"),
+            p,
+            Term::Literal(Literal::double(-2.0)),
+        );
+        let q = parse("SELECT ?x ?v WHERE { ?x <http://v/val> ?v } ORDER BY ?v").unwrap();
+        let rs = execute(&g, &q).unwrap();
+        let xs: Vec<&str> = rs.values("x").iter().filter_map(|t| t.as_iri()).collect();
+        assert_eq!(xs, vec!["http://e/c", "http://e/a", "http://e/b"]);
+        // DESC is the exact reverse — the comparator is total, so NaN has
+        // one deterministic position instead of freezing wherever it sat
+        let qd = parse("SELECT ?x WHERE { ?x <http://v/val> ?v } ORDER BY DESC(?v)").unwrap();
+        let rsd = execute(&g, &qd).unwrap();
+        let xsd: Vec<&str> = rsd.values("x").iter().filter_map(|t| t.as_iri()).collect();
+        assert_eq!(xsd, vec!["http://e/b", "http://e/a", "http://e/c"]);
+    }
+
+    #[test]
+    fn compare_terms_nan_is_total() {
+        let nan = Term::Literal(Literal::double(f64::NAN));
+        let one = Term::Literal(Literal::double(1.0));
+        assert_eq!(compare_terms(Some(&nan), Some(&nan)), Ordering::Equal);
+        assert_eq!(compare_terms(Some(&nan), Some(&one)), Ordering::Greater);
+        assert_eq!(compare_terms(Some(&one), Some(&nan)), Ordering::Less);
+    }
+
+    #[test]
+    fn stats_count_executor_work() {
+        let rs = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:knows ?y . ?y v:knows ?z }");
+        assert_eq!(rs.stats.patterns_scanned, 2);
+        assert!(rs.stats.index_probes >= 2, "{:?}", rs.stats);
+        assert!(rs.stats.intermediate_bindings >= rs.len(), "{:?}", rs.stats);
+        // an unknown predicate short-circuits before probing any index
+        let empty = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:never ?y }");
+        assert_eq!(empty.stats.index_probes, 0);
+        assert_eq!(empty.stats.intermediate_bindings, 0);
+    }
+
+    #[test]
+    fn agrees_with_reference_evaluator() {
+        let g = graph();
+        for q in [
+            "PREFIX v: <http://v/> SELECT ?x ?y WHERE { ?x v:knows ?y . ?y v:knows ?z } ORDER BY ?x ?y",
+            "PREFIX v: <http://v/> SELECT ?x ?n WHERE { ?x a v:Person OPTIONAL { ?x v:name ?n } } ORDER BY ?x",
+            "PREFIX v: <http://v/> SELECT DISTINCT ?p WHERE { ?s ?p ?o } ORDER BY ?p",
+            "PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:age ?a FILTER(?a > 26) }",
+            "PREFIX v: <http://v/> PREFIX e: <http://e/> SELECT ?z WHERE { e:a v:knows+ ?z } ORDER BY ?z",
+        ] {
+            let parsed = parse(q).expect("parses");
+            let fast = execute(&g, &parsed).expect("compiled runs");
+            let slow = crate::reference::execute(&g, &parsed).expect("reference runs");
+            assert_eq!(fast, slow, "divergence on {q}");
+        }
     }
 }

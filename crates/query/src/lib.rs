@@ -12,24 +12,30 @@
 //! * [`algebra`] — the logical plan plus a greedy selectivity-driven
 //!   reordering of triple patterns (cheapest-first with bound-variable
 //!   propagation);
-//! * [`exec`] — binding-set evaluation over [`kg::Graph`], including BFS
-//!   evaluation of transitive path operators;
+//! * [`exec`] — the compiled slot-based executor: variables are interned
+//!   into slots, each BGP is join-ordered once, and evaluation threads
+//!   flat `Vec<Option<Sym>>` bindings over [`kg::Graph`], including BFS
+//!   evaluation of transitive path operators; work counters surface as
+//!   [`ExecStats`] on every result;
+//! * [`reference`] — the seed map-based evaluator, kept as the
+//!   differential-testing oracle and benchmark baseline;
 //! * [`cypher`] — a Cypher-lite front-end (`MATCH … WHERE … RETURN`)
 //!   compiled onto the same algebra, covering the survey's "SPARQL or
 //!   Cypher" framing of query generation;
 //! * [`results`] — a tabular result set with deterministic ordering.
 
-pub mod error;
-pub mod ast;
-pub mod parser;
 pub mod algebra;
-pub mod exec;
-pub mod results;
+pub mod ast;
 pub mod cypher;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod reference;
+pub mod results;
 
 pub use ast::{Query, QueryKind};
 pub use error::QueryError;
-pub use results::ResultSet;
+pub use results::{ExecStats, ResultSet};
 
 use kg::Graph;
 

@@ -13,7 +13,11 @@ type Result<T> = std::result::Result<T, QueryError>;
 /// Parse a SPARQL query string.
 pub fn parse(input: &str) -> Result<Query> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0, prefixes: HashMap::new() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        prefixes: HashMap::new(),
+    };
     let q = p.parse_query()?;
     p.expect_eof()?;
     Ok(q)
@@ -42,9 +46,9 @@ struct Spanned {
 }
 
 const KEYWORDS: &[&str] = &[
-    "PREFIX", "SELECT", "DISTINCT", "WHERE", "ASK", "FILTER", "OPTIONAL", "UNION", "ORDER",
-    "BY", "ASC", "DESC", "LIMIT", "OFFSET", "BOUND", "CONTAINS", "STR", "TRUE", "FALSE",
-    "COUNT", "AS", "GROUP",
+    "PREFIX", "SELECT", "DISTINCT", "WHERE", "ASK", "FILTER", "OPTIONAL", "UNION", "ORDER", "BY",
+    "ASC", "DESC", "LIMIT", "OFFSET", "BOUND", "CONTAINS", "STR", "TRUE", "FALSE", "COUNT", "AS",
+    "GROUP",
 ];
 
 fn lex(input: &str) -> Result<Vec<Spanned>> {
@@ -53,7 +57,11 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
     let mut i = 0;
     let mut line = 1;
     let mut col = 1;
-    let err = |line: usize, col: usize, m: String| QueryError::Parse { line, column: col, message: m };
+    let err = |line: usize, col: usize, m: String| QueryError::Parse {
+        line,
+        column: col,
+        message: m,
+    };
     macro_rules! push {
         ($t:expr) => {
             out.push(Spanned { tok: $t, line, col })
@@ -61,17 +69,18 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
     }
     while i < chars.len() {
         let c = chars[i];
-        let advance = |i: &mut usize, line: &mut usize, col: &mut usize, n: usize, chars: &[char]| {
-            for _ in 0..n {
-                if chars[*i] == '\n' {
-                    *line += 1;
-                    *col = 1;
-                } else {
-                    *col += 1;
+        let advance =
+            |i: &mut usize, line: &mut usize, col: &mut usize, n: usize, chars: &[char]| {
+                for _ in 0..n {
+                    if chars[*i] == '\n' {
+                        *line += 1;
+                        *col = 1;
+                    } else {
+                        *col += 1;
+                    }
+                    *i += 1;
                 }
-                *i += 1;
-            }
-        };
+            };
         if c.is_whitespace() {
             advance(&mut i, &mut line, &mut col, 1, &chars);
             continue;
@@ -244,7 +253,8 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
             c if c.is_alphabetic() || c == '_' => {
                 let mut j = i;
                 let mut word = String::new();
-                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '-')
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '-')
                 {
                     word.push(chars[j]);
                     j += 1;
@@ -268,7 +278,7 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                 } else if word == "a" {
                     push!(Tok::A);
                     let n = j - i;
-                advance(&mut i, &mut line, &mut col, n, &chars);
+                    advance(&mut i, &mut line, &mut col, n, &chars);
                 } else {
                     let upper = word.to_uppercase();
                     if KEYWORDS.contains(&upper.as_str()) {
@@ -277,7 +287,7 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                         return Err(err(line, col, format!("unexpected word '{word}'")));
                     }
                     let n = j - i;
-                advance(&mut i, &mut line, &mut col, n, &chars);
+                    advance(&mut i, &mut line, &mut col, n, &chars);
                 }
             }
             other => return Err(err(line, col, format!("unexpected character '{other}'"))),
@@ -314,7 +324,11 @@ impl Parser {
 
     fn err(&self, m: impl Into<String>) -> QueryError {
         let (line, column) = self.here();
-        QueryError::Parse { line, column, message: m.into() }
+        QueryError::Parse {
+            line,
+            column,
+            message: m.into(),
+        }
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -417,7 +431,11 @@ impl Parser {
                                 return Err(self.err("only one aggregate is supported"));
                             }
                             vars.push(alias.clone());
-                            aggregate = Some(CountAgg { var, distinct: agg_distinct, alias });
+                            aggregate = Some(CountAgg {
+                                var,
+                                distinct: agg_distinct,
+                                alias,
+                            });
                         }
                         _ => break,
                     }
@@ -496,7 +514,15 @@ impl Parser {
                 break;
             }
         }
-        Ok(Query { kind, pattern, order_by, limit, offset, aggregate, group_by })
+        Ok(Query {
+            kind,
+            pattern,
+            order_by,
+            limit,
+            offset,
+            aggregate,
+            group_by,
+        })
     }
 
     fn parse_group(&mut self) -> Result<GroupPattern> {
@@ -735,10 +761,8 @@ mod tests {
 
     #[test]
     fn parses_basic_select() {
-        let q = parse(
-            "PREFIX v: <http://v/> SELECT ?f ?d WHERE { ?f v:directedBy ?d . } LIMIT 10",
-        )
-        .unwrap();
+        let q = parse("PREFIX v: <http://v/> SELECT ?f ?d WHERE { ?f v:directedBy ?d . } LIMIT 10")
+            .unwrap();
         match &q.kind {
             QueryKind::Select { vars, distinct } => {
                 assert_eq!(vars, &["f", "d"]);
@@ -770,10 +794,8 @@ mod tests {
 
     #[test]
     fn parses_semicolon_and_comma() {
-        let q = parse(
-            "PREFIX v: <http://v/> SELECT * WHERE { ?f a v:Film ; v:starring ?a, ?b . }",
-        )
-        .unwrap();
+        let q = parse("PREFIX v: <http://v/> SELECT * WHERE { ?f a v:Film ; v:starring ?a, ?b . }")
+            .unwrap();
         assert_eq!(q.pattern.elems.len(), 3);
     }
 
@@ -833,8 +855,8 @@ mod tests {
 
     #[test]
     fn parses_order_by_and_offset() {
-        let q = parse("SELECT ?x WHERE { ?x <http://v/p> ?y } ORDER BY DESC(?y) ?x OFFSET 5")
-            .unwrap();
+        let q =
+            parse("SELECT ?x WHERE { ?x <http://v/p> ?y } ORDER BY DESC(?y) ?x OFFSET 5").unwrap();
         assert_eq!(q.order_by.len(), 2);
         assert_eq!(q.order_by[0], ("y".to_string(), Order::Desc));
         assert_eq!(q.order_by[1], ("x".to_string(), Order::Asc));
@@ -874,8 +896,9 @@ mod tests {
 
     #[test]
     fn parses_contains_filter() {
-        let q = parse(r#"SELECT ?x WHERE { ?x <http://v/name> ?n FILTER(CONTAINS(STR(?n), "ali")) }"#)
-            .unwrap();
+        let q =
+            parse(r#"SELECT ?x WHERE { ?x <http://v/name> ?n FILTER(CONTAINS(STR(?n), "ali")) }"#)
+                .unwrap();
         assert!(matches!(
             q.pattern.elems[1],
             PatternElem::Filter(Expr::Contains(_, _))

@@ -2,10 +2,29 @@
 
 use kg::Term;
 
+/// Counters describing how much work one query execution performed.
+///
+/// Populated by the compiled executor ([`crate::exec`]) and exposed on
+/// every [`ResultSet`] so callers can profile queries without a separate
+/// EXPLAIN surface. All counters are zero for results not produced by an
+/// executor (e.g. hand-built tables).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Pattern-evaluation stages run (one per triple pattern per BGP
+    /// pass; a BGP re-entered under `OPTIONAL`/`UNION` counts again).
+    pub patterns_scanned: usize,
+    /// Index lookups issued against the graph (`match_pattern` calls and
+    /// property-path evaluations).
+    pub index_probes: usize,
+    /// Intermediate bindings produced across all BGP stages — the size of
+    /// the join frontier the executor actually materialized.
+    pub intermediate_bindings: usize,
+}
+
 /// The result of executing a query: either an ASK boolean or a table of
 /// variable bindings (cells are `None` when a variable is unbound in a
 /// row, e.g. under `OPTIONAL`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ResultSet {
     /// Projected variable names (empty for ASK).
     pub vars: Vec<String>,
@@ -13,17 +32,44 @@ pub struct ResultSet {
     pub rows: Vec<Vec<Option<Term>>>,
     /// For ASK queries: the boolean answer.
     pub ask: Option<bool>,
+    /// Work counters from the execution that produced this result.
+    pub stats: ExecStats,
+}
+
+/// Equality ignores [`ResultSet::stats`]: two result sets are equal when
+/// they hold the same answer, regardless of how much work produced it
+/// (so differential tests can compare executors directly).
+impl PartialEq for ResultSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.vars == other.vars && self.rows == other.rows && self.ask == other.ask
+    }
 }
 
 impl ResultSet {
     /// An ASK result.
     pub fn ask(value: bool) -> Self {
-        ResultSet { vars: Vec::new(), rows: Vec::new(), ask: Some(value) }
+        ResultSet {
+            vars: Vec::new(),
+            rows: Vec::new(),
+            ask: Some(value),
+            stats: ExecStats::default(),
+        }
     }
 
     /// A SELECT result.
     pub fn select(vars: Vec<String>, rows: Vec<Vec<Option<Term>>>) -> Self {
-        ResultSet { vars, rows, ask: None }
+        ResultSet {
+            vars,
+            rows,
+            ask: None,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Attach execution statistics.
+    pub fn with_stats(mut self, stats: ExecStats) -> Self {
+        self.stats = stats;
+        self
     }
 
     /// Number of rows.
@@ -122,6 +168,18 @@ mod tests {
         let rs = ResultSet::ask(true);
         assert_eq!(rs.ask, Some(true));
         assert!(rs.to_table().contains("true"));
+    }
+
+    #[test]
+    fn equality_ignores_stats() {
+        let a = ResultSet::select(vec!["x".into()], vec![vec![Some(Term::int(1))]]);
+        let b = a.clone().with_stats(ExecStats {
+            patterns_scanned: 3,
+            index_probes: 7,
+            intermediate_bindings: 9,
+        });
+        assert_eq!(a, b);
+        assert_ne!(a.stats, b.stats);
     }
 
     #[test]

@@ -87,7 +87,11 @@ impl<'a> GraphRag<'a> {
             .into_values()
             .map(|members| summarize(graph, members))
             .collect();
-        GraphRag { graph, slm, communities }
+        GraphRag {
+            graph,
+            slm,
+            communities,
+        }
     }
 
     /// Answer a *global* aggregate question: `"what is the most common
@@ -186,9 +190,7 @@ fn summarize(graph: &Graph, mut members: Vec<Sym>) -> Community {
             if !is_relation(graph, p) {
                 continue;
             }
-            let rel = ns::humanize(ns::local_name(
-                graph.resolve(p).as_iri().unwrap_or("p"),
-            ));
+            let rel = ns::humanize(ns::local_name(graph.resolve(p).as_iri().unwrap_or("p")));
             let obj = match graph.resolve(o) {
                 kg::Term::Literal(l) => l.lexical.clone(),
                 _ => graph.display_name(o),
@@ -206,8 +208,7 @@ fn summarize(graph: &Graph, mut members: Vec<Sym>) -> Community {
         .map(|&e| (graph.degree(e), graph.display_name(e)))
         .collect();
     hubs.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
-    let hub_names: Vec<String> =
-        hubs.iter().take(5).map(|(_, n)| n.clone()).collect();
+    let hub_names: Vec<String> = hubs.iter().take(5).map(|(_, n)| n.clone()).collect();
     let mut rel_lines = Vec::new();
     for (rel, counts) in &relation_object_counts {
         let total: usize = counts.values().sum();
@@ -224,7 +225,11 @@ fn summarize(graph: &Graph, mut members: Vec<Sym>) -> Community {
         hub_names.join(", "),
         rel_lines.join("; ")
     );
-    Community { members, summary, relation_object_counts }
+    Community {
+        members,
+        summary,
+        relation_object_counts,
+    }
 }
 
 #[cfg(test)]
@@ -270,9 +275,16 @@ mod tests {
             .answer_global("What is the most common has genre value?")
             .expect("aggregate answered");
         // ground truth: modal genre over the whole graph
-        let has_genre = g.pool().get_iri(&format!("{}hasGenre", ns::SYNTH_VOCAB)).unwrap();
+        let has_genre = g
+            .pool()
+            .get_iri(&format!("{}hasGenre", ns::SYNTH_VOCAB))
+            .unwrap();
         let mut truth: BTreeMap<String, usize> = BTreeMap::new();
-        for t in g.match_pattern(kg::TriplePattern { s: None, p: Some(has_genre), o: None }) {
+        for t in g.match_pattern(kg::TriplePattern {
+            s: None,
+            p: Some(has_genre),
+            o: None,
+        }) {
             *truth.entry(g.display_name(t.o)).or_insert(0) += 1;
         }
         let (gold, gold_n) = truth
@@ -287,7 +299,9 @@ mod tests {
     fn unroutable_global_question_is_none() {
         let (kg, slm) = fixture();
         let gr = GraphRag::build(&kg.graph, &slm);
-        assert!(gr.answer_global("what is the airspeed of a swallow?").is_none());
+        assert!(gr
+            .answer_global("what is the airspeed of a swallow?")
+            .is_none());
     }
 
     #[test]
@@ -295,9 +309,15 @@ mod tests {
         let (kg, slm) = fixture();
         let g = &kg.graph;
         let gr = GraphRag::build(g, &slm);
-        let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).unwrap();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", ns::SYNTH_VOCAB))
+            .unwrap();
         let film = g.instances_of(film_class)[0];
-        let directed = g.pool().get_iri(&format!("{}directedBy", ns::SYNTH_VOCAB)).unwrap();
+        let directed = g
+            .pool()
+            .get_iri(&format!("{}directedBy", ns::SYNTH_VOCAB))
+            .unwrap();
         let director = g.objects(film, directed)[0];
         let q = format!("Who is {} directed by?", g.display_name(film));
         let a = gr.answer_local(&q);

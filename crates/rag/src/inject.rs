@@ -19,7 +19,9 @@ pub fn inject_knowledge(
     let mut context = Vec::new();
     let mut found = Vec::new();
     for e in graph.entities() {
-        let Some(iri) = graph.resolve(e).as_iri() else { continue };
+        let Some(iri) = graph.resolve(e).as_iri() else {
+            continue;
+        };
         if !iri.starts_with(ns::SYNTH_ENTITY) {
             continue;
         }
@@ -29,7 +31,9 @@ pub fn inject_knowledge(
         }
         found.push(e);
         for (p, o) in graph.outgoing(e).into_iter().take(max_triples_per_entity) {
-            let Some(p_iri) = graph.resolve(p).as_iri() else { continue };
+            let Some(p_iri) = graph.resolve(p).as_iri() else {
+                continue;
+            };
             if !p_iri.starts_with(ns::SYNTH_VOCAB) {
                 continue;
             }
@@ -51,10 +55,7 @@ pub fn inject_knowledge(
 /// Dict-BERT-sim: definitions for rare terms. A term is "rare" when it
 /// appears in the vocabulary map (class labels → comments) and not in the
 /// common-words list. Returns `term: definition` lines.
-pub fn rare_term_definitions(
-    definitions: &[(String, String)],
-    sentence: &str,
-) -> Vec<String> {
+pub fn rare_term_definitions(definitions: &[(String, String)], sentence: &str) -> Vec<String> {
     let lower = sentence.to_lowercase();
     definitions
         .iter()
@@ -72,7 +73,10 @@ mod tests {
     fn injection_finds_mentions_and_adds_facts() {
         let kg = movies(131, Scale::tiny());
         let g = &kg.graph;
-        let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).unwrap();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", ns::SYNTH_VOCAB))
+            .unwrap();
         let film = g.instances_of(film_class)[0];
         let name = g.display_name(film);
         let sentence = format!("I watched {name} yesterday");
@@ -93,7 +97,10 @@ mod tests {
     #[test]
     fn rare_terms_get_definitions() {
         let defs = vec![
-            ("Ontology".to_string(), "a formal specification of concepts".to_string()),
+            (
+                "Ontology".to_string(),
+                "a formal specification of concepts".to_string(),
+            ),
             ("Zamboni".to_string(), "an ice resurfacer".to_string()),
         ];
         let lines = rare_term_definitions(&defs, "We built an ontology for films");

@@ -19,10 +19,10 @@
 //!   *global* questions that pointwise retrieval cannot serve.
 
 pub mod chunk;
-pub mod vector;
+pub mod graphrag;
 pub mod inject;
 pub mod pipeline;
-pub mod graphrag;
+pub mod vector;
 
 pub use chunk::{chunk_sentences, Chunk};
 pub use graphrag::GraphRag;

@@ -36,7 +36,12 @@ impl RagMode {
 
     /// All modes.
     pub fn all() -> [RagMode; 4] {
-        [RagMode::ClosedBook, RagMode::Naive, RagMode::Advanced, RagMode::Modular]
+        [
+            RagMode::ClosedBook,
+            RagMode::Naive,
+            RagMode::Advanced,
+            RagMode::Modular,
+        ]
     }
 }
 
@@ -73,7 +78,13 @@ impl<'a> RagPipeline<'a> {
     pub fn new(slm: &'a Slm, chunks: Vec<Chunk>, graph: Option<&'a Graph>) -> Self {
         let vectors = chunks.iter().map(|c| slm.embed(&c.text)).collect();
         let index = VectorIndex::build(vectors, 0, 0);
-        RagPipeline { slm, chunks, index, graph, k: 4 }
+        RagPipeline {
+            slm,
+            chunks,
+            index,
+            graph,
+            k: 4,
+        }
     }
 
     /// Answer a question under a mode.
@@ -108,10 +119,13 @@ impl<'a> RagPipeline<'a> {
                 }
                 // round 2: retrieve with the expanded query, then rerank by
                 // blended semantic + lexical score against the ORIGINAL query
-                let candidates =
-                    self.index.search_exact(&self.slm.embed(&expanded), self.k * 2);
+                let candidates = self
+                    .index
+                    .search_exact(&self.slm.embed(&expanded), self.k * 2);
                 let lexical = slm::EvidenceIndex::from_sentences(
-                    candidates.iter().map(|&(id, _)| self.chunks[id].text.as_str()),
+                    candidates
+                        .iter()
+                        .map(|&(id, _)| self.chunks[id].text.as_str()),
                 );
                 let mut reranked: Vec<(usize, f32)> = candidates
                     .iter()
@@ -142,7 +156,9 @@ impl<'a> RagPipeline<'a> {
                         let program = format!("Search(\"{name}\")");
                         let mut context = Vec::new();
                         for (p, o) in graph.outgoing(entity) {
-                            let Some(p_iri) = graph.resolve(p).as_iri() else { continue };
+                            let Some(p_iri) = graph.resolve(p).as_iri() else {
+                                continue;
+                            };
                             if !p_iri.starts_with(ns::SYNTH_VOCAB) {
                                 continue;
                             }
@@ -181,8 +197,10 @@ impl<'a> RagPipeline<'a> {
         module: &'static str,
         search_program: Option<String>,
     ) -> RagAnswer {
-        let context: Vec<String> =
-            hits.iter().map(|&(id, _)| self.chunks[id].text.clone()).collect();
+        let context: Vec<String> = hits
+            .iter()
+            .map(|&(id, _)| self.chunks[id].text.clone())
+            .collect();
         let a = self.slm.answer(question, &context);
         RagAnswer {
             text: a.text,
@@ -198,7 +216,9 @@ impl<'a> RagPipeline<'a> {
         let lower = question.to_lowercase();
         let mut best: Option<(usize, kg::Sym)> = None;
         for e in graph.entities() {
-            let Some(iri) = graph.resolve(e).as_iri() else { continue };
+            let Some(iri) = graph.resolve(e).as_iri() else {
+                continue;
+            };
             if !iri.starts_with(ns::SYNTH_ENTITY) {
                 continue;
             }
@@ -243,13 +263,25 @@ mod tests {
             .build();
         // gold: a directedBy fact
         let g = &kg.graph;
-        let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).unwrap();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", ns::SYNTH_VOCAB))
+            .unwrap();
         let film = g.instances_of(film_class)[0];
-        let directed = g.pool().get_iri(&format!("{}directedBy", ns::SYNTH_VOCAB)).unwrap();
+        let directed = g
+            .pool()
+            .get_iri(&format!("{}directedBy", ns::SYNTH_VOCAB))
+            .unwrap();
         let director = g.objects(film, directed)[0];
         let question = format!("Who is {} directed by?", g.display_name(film));
         let gold = g.display_name(director);
-        Fixture { kg, slm, corpus_text, question, gold }
+        Fixture {
+            kg,
+            slm,
+            corpus_text,
+            question,
+            gold,
+        }
     }
 
     #[test]
@@ -284,7 +316,11 @@ mod tests {
         let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
         let a = rag.answer(RagMode::Modular, &f.question);
         assert_eq!(a.module, "kg-lookup");
-        assert!(a.search_program.as_deref().unwrap_or("").starts_with("Search("));
+        assert!(a
+            .search_program
+            .as_deref()
+            .unwrap_or("")
+            .starts_with("Search("));
     }
 
     #[test]

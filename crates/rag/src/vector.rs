@@ -28,7 +28,11 @@ impl VectorIndex {
         } else {
             kmeans(&vectors, n_clusters, seed)
         };
-        VectorIndex { vectors, centroids, clusters }
+        VectorIndex {
+            vectors,
+            centroids,
+            clusters,
+        }
     }
 
     /// Number of indexed documents.
@@ -93,8 +97,7 @@ fn kmeans(vectors: &[Vec<f32>], k: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<
     let dim = vectors[0].len();
     let mut ids: Vec<usize> = (0..vectors.len()).collect();
     ids.shuffle(&mut rng);
-    let mut centroids: Vec<Vec<f32>> =
-        ids.iter().take(k).map(|&i| vectors[i].clone()).collect();
+    let mut centroids: Vec<Vec<f32>> = ids.iter().take(k).map(|&i| vectors[i].clone()).collect();
     let mut assignment = vec![0usize; vectors.len()];
     for _ in 0..10 {
         // assign
@@ -165,9 +168,16 @@ mod tests {
     fn ivf_recall_overlaps_exact() {
         let (idx, e, _) = corpus_index(4);
         let q = e.embed("database query papers");
-        let exact: Vec<usize> = idx.search_exact(&q, 5).into_iter().map(|(i, _)| i).collect();
-        let approx: Vec<usize> =
-            idx.search_ivf(&q, 5, 2).into_iter().map(|(i, _)| i).collect();
+        let exact: Vec<usize> = idx
+            .search_exact(&q, 5)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let approx: Vec<usize> = idx
+            .search_ivf(&q, 5, 2)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         let overlap = exact.iter().filter(|i| approx.contains(i)).count();
         assert!(overlap >= 3, "IVF recall too low: {overlap}/5");
     }
@@ -176,11 +186,22 @@ mod tests {
     fn ivf_probing_more_clusters_cannot_reduce_recall() {
         let (idx, e, _) = corpus_index(4);
         let q = e.embed("drama love story");
-        let exact: Vec<usize> = idx.search_exact(&q, 5).into_iter().map(|(i, _)| i).collect();
-        let few: Vec<usize> = idx.search_ivf(&q, 5, 1).into_iter().map(|(i, _)| i).collect();
-        let all: Vec<usize> = idx.search_ivf(&q, 5, 4).into_iter().map(|(i, _)| i).collect();
-        let recall =
-            |v: &[usize]| exact.iter().filter(|i| v.contains(i)).count();
+        let exact: Vec<usize> = idx
+            .search_exact(&q, 5)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let few: Vec<usize> = idx
+            .search_ivf(&q, 5, 1)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let all: Vec<usize> = idx
+            .search_ivf(&q, 5, 4)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let recall = |v: &[usize]| exact.iter().filter(|i| v.contains(i)).count();
         assert!(recall(&all) >= recall(&few));
         assert_eq!(recall(&all), 5, "probing all clusters must equal exact");
     }

@@ -100,7 +100,11 @@ pub struct LarkReasoner<'a> {
 impl<'a> LarkReasoner<'a> {
     /// Build over a graph and an LM.
     pub fn new(graph: &'a Graph, slm: &'a Slm) -> Self {
-        LarkReasoner { graph, slm, context_hops: 2 }
+        LarkReasoner {
+            graph,
+            slm,
+            context_hops: 2,
+        }
     }
 
     /// Answer a query via the LLM, returning the predicted answer set
@@ -108,8 +112,7 @@ impl<'a> LarkReasoner<'a> {
     pub fn answer(&self, query: &FolQuery) -> BTreeSet<Sym> {
         let context = self.context_for(query);
         // the retrieval index is constant per query: build it once
-        let index =
-            slm::EvidenceIndex::from_sentences(context.iter().map(String::as_str));
+        let index = slm::EvidenceIndex::from_sentences(context.iter().map(String::as_str));
         self.eval(query, &index)
     }
 
@@ -144,9 +147,8 @@ impl<'a> LarkReasoner<'a> {
             FolQuery::Path { anchor, relations } => {
                 let mut frontier = BTreeSet::from([*anchor]);
                 for &r in relations {
-                    let phrase = kg::namespace::humanize(
-                        kg::namespace::local_name(self.graph.label(r)),
-                    );
+                    let phrase =
+                        kg::namespace::humanize(kg::namespace::local_name(self.graph.label(r)));
                     let mut next = BTreeSet::new();
                     for &n in &frontier {
                         let question = format!(
@@ -260,7 +262,10 @@ pub fn generate_queries(
                 }
             }
             if chain.len() == hops {
-                out.push(FolQuery::Path { anchor, relations: chain });
+                out.push(FolQuery::Path {
+                    anchor,
+                    relations: chain,
+                });
                 found += 1;
             }
         }
@@ -321,9 +326,15 @@ mod tests {
     fn symbolic_path_answers() {
         let (kg, _) = fixture();
         let g = &kg.graph;
-        let film_class = g.pool().get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB)).unwrap();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
         let film = g.instances_of(film_class)[0];
-        let q = FolQuery::Path { anchor: film, relations: vec![rel(g, "directedBy")] };
+        let q = FolQuery::Path {
+            anchor: film,
+            relations: vec![rel(g, "directedBy")],
+        };
         let ans = q.answers(g);
         assert_eq!(ans.len(), 1, "directedBy is functional");
         assert_eq!(q.shape(), "1p");
@@ -333,10 +344,19 @@ mod tests {
     fn intersection_and_union_semantics() {
         let (kg, _) = fixture();
         let g = &kg.graph;
-        let film_class = g.pool().get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB)).unwrap();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
         let film = g.instances_of(film_class)[0];
-        let p1 = FolQuery::Path { anchor: film, relations: vec![rel(g, "starring")] };
-        let p2 = FolQuery::Path { anchor: film, relations: vec![rel(g, "directedBy")] };
+        let p1 = FolQuery::Path {
+            anchor: film,
+            relations: vec![rel(g, "starring")],
+        };
+        let p2 = FolQuery::Path {
+            anchor: film,
+            relations: vec![rel(g, "directedBy")],
+        };
         let and = FolQuery::And(vec![p1.clone(), p2.clone()]).answers(g);
         let or = FolQuery::Or(vec![p1.clone(), p2.clone()]).answers(g);
         let a1 = p1.answers(g);
@@ -373,9 +393,15 @@ mod tests {
     fn lark_answers_one_hop_queries() {
         let (kg, slm) = fixture();
         let g = &kg.graph;
-        let film_class = g.pool().get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB)).unwrap();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
         let film = g.instances_of(film_class)[0];
-        let q = FolQuery::Path { anchor: film, relations: vec![rel(g, "directedBy")] };
+        let q = FolQuery::Path {
+            anchor: film,
+            relations: vec![rel(g, "directedBy")],
+        };
         let truth = q.answers(g);
         let lark = LarkReasoner::new(g, &slm);
         let predicted = lark.answer(&q);

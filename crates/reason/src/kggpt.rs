@@ -40,7 +40,9 @@ impl<'a> KgGpt<'a> {
     pub fn new(graph: &Graph, slm: &'a Slm) -> Self {
         let mut corpus = Vec::new();
         for t in graph.iter() {
-            let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+            let Some(p_iri) = graph.resolve(t.p).as_iri() else {
+                continue;
+            };
             if !p_iri.starts_with(kg::namespace::SYNTH_VOCAB) || !graph.resolve(t.o).is_iri() {
                 continue;
             }
@@ -68,15 +70,18 @@ impl<'a> KgGpt<'a> {
 
     /// Stage 2: retrieve the best-matching triple for one clause.
     pub fn ground(&self, clause: &str) -> ClauseEvidence {
-        let index =
-            slm::EvidenceIndex::from_sentences(self.corpus.iter().map(String::as_str));
+        let index = slm::EvidenceIndex::from_sentences(self.corpus.iter().map(String::as_str));
         match index.best_evidence(clause) {
             Some(hit) => ClauseEvidence {
                 clause: clause.to_string(),
                 score: hit.score,
                 triple_text: Some(hit.text),
             },
-            None => ClauseEvidence { clause: clause.to_string(), score: 0.0, triple_text: None },
+            None => ClauseEvidence {
+                clause: clause.to_string(),
+                score: 0.0,
+                triple_text: None,
+            },
         }
     }
 

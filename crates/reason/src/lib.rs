@@ -19,10 +19,10 @@
 //! * [`kggpt`] — KG-GPT \[48\]: sentence segmentation → graph retrieval →
 //!   inference, for claim verification over KGs.
 
-pub mod rules;
 pub mod fol;
-pub mod rog;
 pub mod kggpt;
+pub mod rog;
+pub mod rules;
 
 pub use fol::{FolQuery, LarkReasoner};
 pub use kggpt::KgGpt;

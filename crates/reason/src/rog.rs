@@ -37,7 +37,12 @@ pub struct RogReasoner<'a> {
 impl<'a> RogReasoner<'a> {
     /// Build over a graph and an LM.
     pub fn new(graph: &'a Graph, slm: &'a Slm) -> Self {
-        RogReasoner { graph, slm, max_hops: 2, beam: 4 }
+        RogReasoner {
+            graph,
+            slm,
+            max_hops: 2,
+            beam: 4,
+        }
     }
 
     /// Plan: score every relation (and 2-hop relation pair) against the
@@ -55,9 +60,8 @@ impl<'a> RogReasoner<'a> {
                     .is_some_and(|i| i.starts_with(kg::namespace::SYNTH_VOCAB))
             })
             .collect();
-        let phrase = |r: Sym| {
-            kg::namespace::humanize(kg::namespace::local_name(self.graph.label(r)))
-        };
+        let phrase =
+            |r: Sym| kg::namespace::humanize(kg::namespace::local_name(self.graph.label(r)));
         let mut plans: Vec<(f32, Vec<Sym>)> = Vec::new();
         for &r in &relations {
             plans.push((self.slm.similarity(question, &phrase(r)), vec![r]));
@@ -119,7 +123,12 @@ impl<'a> RogReasoner<'a> {
                         existing.explanation = explanation;
                     }
                 } else {
-                    out.push(RogAnswer { answer: endpoint, path, explanation, score });
+                    out.push(RogAnswer {
+                        answer: endpoint,
+                        path,
+                        explanation,
+                        score,
+                    });
                 }
             }
         }

@@ -99,8 +99,7 @@ pub fn forward_chain(graph: &mut Graph, rules: &[Rule]) -> usize {
                 }
             }
             for b in &bindings {
-                let (Some(s), Some(o)) = (resolve(rule.head.s, b), resolve(rule.head.o, b))
-                else {
+                let (Some(s), Some(o)) = (resolve(rule.head.s, b), resolve(rule.head.o, b)) else {
                     continue;
                 };
                 if !graph.contains(s, rule.head.p, o) {
@@ -136,9 +135,21 @@ pub fn entailment_rules(graph: &mut Graph, onto: &Ontology) -> Vec<Rule> {
             let c = graph.intern_iri(class);
             let d = graph.intern_iri(parent);
             rules.push(Rule {
-                name: format!("subClassOf({},{})", ns::local_name(class), ns::local_name(parent)),
-                head: Atom { s: TermOrVar::Var(0), p: ty, o: TermOrVar::Const(d) },
-                body: vec![Atom { s: TermOrVar::Var(0), p: ty, o: TermOrVar::Const(c) }],
+                name: format!(
+                    "subClassOf({},{})",
+                    ns::local_name(class),
+                    ns::local_name(parent)
+                ),
+                head: Atom {
+                    s: TermOrVar::Var(0),
+                    p: ty,
+                    o: TermOrVar::Const(d),
+                },
+                body: vec![Atom {
+                    s: TermOrVar::Var(0),
+                    p: ty,
+                    o: TermOrVar::Const(c),
+                }],
             });
         }
     }
@@ -149,8 +160,16 @@ pub fn entailment_rules(graph: &mut Graph, onto: &Ontology) -> Vec<Rule> {
             let sp = graph.intern_iri(sup.as_str());
             rules.push(Rule {
                 name: format!("subPropertyOf({})", ns::local_name(prop)),
-                head: Atom { s: TermOrVar::Var(0), p: sp, o: TermOrVar::Var(1) },
-                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+                head: Atom {
+                    s: TermOrVar::Var(0),
+                    p: sp,
+                    o: TermOrVar::Var(1),
+                },
+                body: vec![Atom {
+                    s: TermOrVar::Var(0),
+                    p,
+                    o: TermOrVar::Var(1),
+                }],
             });
         }
         // domain typing
@@ -158,8 +177,16 @@ pub fn entailment_rules(graph: &mut Graph, onto: &Ontology) -> Vec<Rule> {
             let d = graph.intern_iri(domain.as_str());
             rules.push(Rule {
                 name: format!("domain({})", ns::local_name(prop)),
-                head: Atom { s: TermOrVar::Var(0), p: ty, o: TermOrVar::Const(d) },
-                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+                head: Atom {
+                    s: TermOrVar::Var(0),
+                    p: ty,
+                    o: TermOrVar::Const(d),
+                },
+                body: vec![Atom {
+                    s: TermOrVar::Var(0),
+                    p,
+                    o: TermOrVar::Var(1),
+                }],
             });
         }
         // range typing (object-valued only)
@@ -167,24 +194,52 @@ pub fn entailment_rules(graph: &mut Graph, onto: &Ontology) -> Vec<Rule> {
             let r = graph.intern_iri(range.as_str());
             rules.push(Rule {
                 name: format!("range({})", ns::local_name(prop)),
-                head: Atom { s: TermOrVar::Var(1), p: ty, o: TermOrVar::Const(r) },
-                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+                head: Atom {
+                    s: TermOrVar::Var(1),
+                    p: ty,
+                    o: TermOrVar::Const(r),
+                },
+                body: vec![Atom {
+                    s: TermOrVar::Var(0),
+                    p,
+                    o: TermOrVar::Var(1),
+                }],
             });
         }
         if decl.traits.symmetric {
             rules.push(Rule {
                 name: format!("symmetric({})", ns::local_name(prop)),
-                head: Atom { s: TermOrVar::Var(1), p, o: TermOrVar::Var(0) },
-                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+                head: Atom {
+                    s: TermOrVar::Var(1),
+                    p,
+                    o: TermOrVar::Var(0),
+                },
+                body: vec![Atom {
+                    s: TermOrVar::Var(0),
+                    p,
+                    o: TermOrVar::Var(1),
+                }],
             });
         }
         if decl.traits.transitive {
             rules.push(Rule {
                 name: format!("transitive({})", ns::local_name(prop)),
-                head: Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(2) },
+                head: Atom {
+                    s: TermOrVar::Var(0),
+                    p,
+                    o: TermOrVar::Var(2),
+                },
                 body: vec![
-                    Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) },
-                    Atom { s: TermOrVar::Var(1), p, o: TermOrVar::Var(2) },
+                    Atom {
+                        s: TermOrVar::Var(0),
+                        p,
+                        o: TermOrVar::Var(1),
+                    },
+                    Atom {
+                        s: TermOrVar::Var(1),
+                        p,
+                        o: TermOrVar::Var(2),
+                    },
                 ],
             });
         }
@@ -192,8 +247,16 @@ pub fn entailment_rules(graph: &mut Graph, onto: &Ontology) -> Vec<Rule> {
             let ip = graph.intern_iri(inv.as_str());
             rules.push(Rule {
                 name: format!("inverseOf({})", ns::local_name(prop)),
-                head: Atom { s: TermOrVar::Var(1), p: ip, o: TermOrVar::Var(0) },
-                body: vec![Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) }],
+                head: Atom {
+                    s: TermOrVar::Var(1),
+                    p: ip,
+                    o: TermOrVar::Var(0),
+                },
+                body: vec![Atom {
+                    s: TermOrVar::Var(0),
+                    p,
+                    o: TermOrVar::Var(1),
+                }],
             });
         }
     }
@@ -225,14 +288,20 @@ mod tests {
         o.add_property(
             "http://v/ancestorOf",
             PropertyDecl {
-                traits: PropertyTraits { transitive: true, ..Default::default() },
+                traits: PropertyTraits {
+                    transitive: true,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
         o.add_property(
             "http://v/marriedTo",
             PropertyDecl {
-                traits: PropertyTraits { symmetric: true, ..Default::default() },
+                traits: PropertyTraits {
+                    symmetric: true,
+                    ..Default::default()
+                },
                 domain: Some("http://v/Person".into()),
                 range: Some("http://v/Person".into()),
                 ..Default::default()
@@ -313,10 +382,22 @@ mod tests {
         let gp = g.intern_iri("http://v/grandparentOf");
         let rule = Rule {
             name: "grandparent".into(),
-            head: Atom { s: TermOrVar::Var(0), p: gp, o: TermOrVar::Var(2) },
+            head: Atom {
+                s: TermOrVar::Var(0),
+                p: gp,
+                o: TermOrVar::Var(2),
+            },
             body: vec![
-                Atom { s: TermOrVar::Var(0), p, o: TermOrVar::Var(1) },
-                Atom { s: TermOrVar::Var(1), p, o: TermOrVar::Var(2) },
+                Atom {
+                    s: TermOrVar::Var(0),
+                    p,
+                    o: TermOrVar::Var(1),
+                },
+                Atom {
+                    s: TermOrVar::Var(1),
+                    p,
+                    o: TermOrVar::Var(2),
+                },
             ],
         };
         let n = forward_chain(&mut g, &[rule]);

@@ -24,12 +24,18 @@ pub fn build_dataset(kg: &SynthKg, min_facts: usize) -> Vec<KgTextPair> {
     let g = &kg.graph;
     let mut out = Vec::new();
     for e in g.entities() {
-        let Some(iri) = g.resolve(e).as_iri() else { continue };
+        let Some(iri) = g.resolve(e).as_iri() else {
+            continue;
+        };
         if !iri.starts_with(kg::namespace::SYNTH_ENTITY) {
             continue;
         }
         let triples: Vec<Triple> = g
-            .match_pattern(TriplePattern { s: Some(e), p: None, o: None })
+            .match_pattern(TriplePattern {
+                s: Some(e),
+                p: None,
+                o: None,
+            })
             .into_iter()
             .filter(|t| {
                 g.resolve(t.p)
@@ -41,7 +47,11 @@ pub fn build_dataset(kg: &SynthKg, min_facts: usize) -> Vec<KgTextPair> {
             continue;
         }
         let reference = realize_entity(g, &kg.ontology, e, &triples);
-        out.push(KgTextPair { subject: e, triples, reference });
+        out.push(KgTextPair {
+            subject: e,
+            triples,
+            reference,
+        });
     }
     out
 }

@@ -34,7 +34,11 @@ impl GenMethod {
 
     /// All methods.
     pub fn all() -> [GenMethod; 3] {
-        [GenMethod::Template, GenMethod::LinearizedLm, GenMethod::FewShot]
+        [
+            GenMethod::Template,
+            GenMethod::LinearizedLm,
+            GenMethod::FewShot,
+        ]
     }
 }
 
@@ -57,7 +61,11 @@ pub fn describe_entity(
     demonstrations: &[Demonstration],
 ) -> String {
     let triples: Vec<Triple> = graph
-        .match_pattern(TriplePattern { s: Some(subject), p: None, o: None })
+        .match_pattern(TriplePattern {
+            s: Some(subject),
+            p: None,
+            o: None,
+        })
         .into_iter()
         .filter(|t| {
             graph
@@ -144,7 +152,9 @@ mod tests {
     fn fixture() -> (kg::synth::SynthKg, Slm, Sym) {
         let kg = movies(65, Scale::tiny());
         let corpus = kgextract::testgen::corpus_sentences(&kg.graph, &kg.ontology);
-        let slm = Slm::builder().corpus(corpus.iter().map(String::as_str)).build();
+        let slm = Slm::builder()
+            .corpus(corpus.iter().map(String::as_str))
+            .build();
         let film_class = kg
             .graph
             .pool()
@@ -171,11 +181,21 @@ mod tests {
     #[test]
     fn template_covers_all_facts() {
         let (kg, slm, film) = fixture();
-        let text =
-            describe_entity(&kg.graph, &kg.ontology, &slm, GenMethod::Template, film, &[]);
+        let text = describe_entity(
+            &kg.graph,
+            &kg.ontology,
+            &slm,
+            GenMethod::Template,
+            film,
+            &[],
+        );
         let triples: Vec<Triple> = kg
             .graph
-            .match_pattern(TriplePattern { s: Some(film), p: None, o: None })
+            .match_pattern(TriplePattern {
+                s: Some(film),
+                p: None,
+                o: None,
+            })
             .into_iter()
             .filter(|t| {
                 kg.graph
@@ -192,8 +212,14 @@ mod tests {
     #[test]
     fn few_shot_with_matching_demo_uses_template_quality() {
         let (kg, slm, film) = fixture();
-        let reference =
-            describe_entity(&kg.graph, &kg.ontology, &slm, GenMethod::Template, film, &[]);
+        let reference = describe_entity(
+            &kg.graph,
+            &kg.ontology,
+            &slm,
+            GenMethod::Template,
+            film,
+            &[],
+        );
         // a demo built from another film of the same shape
         let film_class = kg
             .graph
@@ -203,7 +229,11 @@ mod tests {
         let other = kg.graph.instances_of(film_class)[1];
         let other_triples: Vec<Triple> = kg
             .graph
-            .match_pattern(TriplePattern { s: Some(other), p: None, o: None })
+            .match_pattern(TriplePattern {
+                s: Some(other),
+                p: None,
+                o: None,
+            })
             .into_iter()
             .filter(|t| {
                 kg.graph
@@ -216,8 +246,14 @@ mod tests {
             linearized: flat_linearize(&kg.graph, &other_triples).text,
             text: realize_entity(&kg.graph, &kg.ontology, other, &other_triples),
         };
-        let fewshot =
-            describe_entity(&kg.graph, &kg.ontology, &slm, GenMethod::FewShot, film, &[demo]);
+        let fewshot = describe_entity(
+            &kg.graph,
+            &kg.ontology,
+            &slm,
+            GenMethod::FewShot,
+            film,
+            &[demo],
+        );
         // with a same-shaped demo, few-shot should match template quality
         let bleu_with_demo = crate::metrics::bleu4(&fewshot, &reference);
         let bare = describe_entity(&kg.graph, &kg.ontology, &slm, GenMethod::FewShot, film, &[]);
@@ -231,8 +267,22 @@ mod tests {
     #[test]
     fn linearized_lm_is_deterministic() {
         let (kg, slm, film) = fixture();
-        let a = describe_entity(&kg.graph, &kg.ontology, &slm, GenMethod::LinearizedLm, film, &[]);
-        let b = describe_entity(&kg.graph, &kg.ontology, &slm, GenMethod::LinearizedLm, film, &[]);
+        let a = describe_entity(
+            &kg.graph,
+            &kg.ontology,
+            &slm,
+            GenMethod::LinearizedLm,
+            film,
+            &[],
+        );
+        let b = describe_entity(
+            &kg.graph,
+            &kg.ontology,
+            &slm,
+            GenMethod::LinearizedLm,
+            film,
+            &[],
+        );
         assert_eq!(a, b);
     }
 }

@@ -19,11 +19,11 @@
 //! * [`dataset`] — KGTEXT-style \[17\] (subgraph, reference) pair
 //!   construction from a synthetic KG.
 
-pub mod linearize;
-pub mod template;
-pub mod generate;
-pub mod metrics;
 pub mod dataset;
+pub mod generate;
+pub mod linearize;
+pub mod metrics;
+pub mod template;
 
 pub use dataset::{build_dataset, KgTextPair};
 pub use generate::{describe_entity, GenMethod};

@@ -34,7 +34,10 @@ pub fn flat_linearize(graph: &Graph, triples: &[Triple]) -> Linearized {
             }
         }
     }
-    Linearized { text: parts.join(" ⏐ "), entity_order: order }
+    Linearized {
+        text: parts.join(" ⏐ "),
+        entity_order: order,
+    }
 }
 
 /// Relation-biased BFS entity ordering \[56\]: start from `root`, visit
@@ -151,7 +154,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let (g, triples, film) = subgraph();
-        assert_eq!(rbfs_order(&g, &triples, film), rbfs_order(&g, &triples, film));
+        assert_eq!(
+            rbfs_order(&g, &triples, film),
+            rbfs_order(&g, &triples, film)
+        );
         assert_eq!(flat_linearize(&g, &triples), flat_linearize(&g, &triples));
     }
 }

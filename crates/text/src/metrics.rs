@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn coverage_and_hallucination() {
-        use kg::synth::{movies, Scale};
         use kg::store::TriplePattern;
+        use kg::synth::{movies, Scale};
         let kg = movies(55, Scale::tiny());
         let g = &kg.graph;
         let film_class = g
@@ -173,7 +173,11 @@ mod tests {
             .unwrap();
         let film = g.instances_of(film_class)[0];
         let triples: Vec<_> = g
-            .match_pattern(TriplePattern { s: Some(film), p: None, o: None })
+            .match_pattern(TriplePattern {
+                s: Some(film),
+                p: None,
+                o: None,
+            })
             .into_iter()
             .filter(|t| g.resolve(t.o).is_iri())
             .collect();

@@ -13,7 +13,9 @@ use kg::Graph;
 pub fn realize_entity(graph: &Graph, onto: &Ontology, subject: Sym, triples: &[Triple]) -> String {
     let mut by_relation: BTreeMap<String, Vec<String>> = BTreeMap::new();
     for t in triples.iter().filter(|t| t.s == subject) {
-        let Some(p_iri) = graph.resolve(t.p).as_iri() else { continue };
+        let Some(p_iri) = graph.resolve(t.p).as_iri() else {
+            continue;
+        };
         if !p_iri.starts_with(kg::namespace::SYNTH_VOCAB) {
             continue;
         }
@@ -33,7 +35,11 @@ pub fn realize_entity(graph: &Graph, onto: &Ontology, subject: Sym, triples: &[T
     let mut clauses: Vec<String> = Vec::new();
     for (phrase, mut objects) in by_relation {
         objects.sort();
-        clauses.push(format!("{} {}", kgextract::testgen::copula(&phrase), join_and(&objects)));
+        clauses.push(format!(
+            "{} {}",
+            kgextract::testgen::copula(&phrase),
+            join_and(&objects)
+        ));
     }
     format!("{} {}.", graph.display_name(subject), join_and(&clauses))
 }
@@ -67,8 +73,11 @@ mod tests {
             .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
             .unwrap();
         let film = g.instances_of(film_class)[0];
-        let triples: Vec<Triple> =
-            g.match_pattern(TriplePattern { s: Some(film), p: None, o: None });
+        let triples: Vec<Triple> = g.match_pattern(TriplePattern {
+            s: Some(film),
+            p: None,
+            o: None,
+        });
         let text = realize_entity(g, &kg.ontology, film, &triples);
         assert!(text.starts_with(&g.display_name(film)), "{text}");
         assert!(text.contains("is directed by"), "{text}");

@@ -63,14 +63,16 @@ pub struct FactChecker<'a> {
 impl<'a> FactChecker<'a> {
     /// A checker with parametric knowledge only.
     pub fn new(slm: &'a Slm, ontology: &'a Ontology) -> Self {
-        FactChecker { slm, ontology, trusted_corpus: None, reference: None }
+        FactChecker {
+            slm,
+            ontology,
+            trusted_corpus: None,
+            reference: None,
+        }
     }
 
     /// Attach a trusted corpus (for [`FactCheckMethod::KnowledgeAugmented`]).
-    pub fn with_trusted_corpus<'s>(
-        mut self,
-        sentences: impl IntoIterator<Item = &'s str>,
-    ) -> Self {
+    pub fn with_trusted_corpus<'s>(mut self, sentences: impl IntoIterator<Item = &'s str>) -> Self {
         self.trusted_corpus = Some(EvidenceIndex::from_sentences(sentences));
         self
     }
@@ -98,7 +100,12 @@ impl<'a> FactChecker<'a> {
                 let context: Vec<String> = self
                     .trusted_corpus
                     .as_ref()
-                    .map(|idx| idx.retrieve(&claim, 3).into_iter().map(|r| r.text).collect())
+                    .map(|idx| {
+                        idx.retrieve(&claim, 3)
+                            .into_iter()
+                            .map(|r| r.text)
+                            .collect()
+                    })
                     .unwrap_or_default();
                 self.slm.verify(&claim, &context).label == VerdictLabel::Supported
             }
@@ -152,10 +159,8 @@ pub struct CheckStats {
 impl CheckStats {
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives
-            + self.false_positives
-            + self.false_negatives
-            + self.true_negatives;
+        let total =
+            self.true_positives + self.false_positives + self.false_negatives + self.true_negatives;
         if total == 0 {
             return 0.0;
         }
@@ -164,10 +169,10 @@ impl CheckStats {
 
     /// F1 on the "corrupted" class.
     pub fn f1(&self) -> f64 {
-        let p = self.true_positives as f64
-            / (self.true_positives + self.false_positives).max(1) as f64;
-        let r = self.true_positives as f64
-            / (self.true_positives + self.false_negatives).max(1) as f64;
+        let p =
+            self.true_positives as f64 / (self.true_positives + self.false_positives).max(1) as f64;
+        let r =
+            self.true_positives as f64 / (self.true_positives + self.false_negatives).max(1) as f64;
         if p + r == 0.0 {
             0.0
         } else {
@@ -257,7 +262,14 @@ mod tests {
             .corpus(corpus.iter().map(String::as_str))
             .entity_names(entity_surface_forms(&kg.graph).iter().map(String::as_str))
             .build();
-        Fixture { clean: kg.graph, corrupted, onto: kg.ontology, misinformation, slm, corpus }
+        Fixture {
+            clean: kg.graph,
+            corrupted,
+            onto: kg.ontology,
+            misinformation,
+            slm,
+            corpus,
+        }
     }
 
     #[test]

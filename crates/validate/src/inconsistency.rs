@@ -76,8 +76,14 @@ pub fn detect_violations(graph: &Graph, onto: &Ontology) -> Vec<Violation> {
     let ty = graph.pool().get_iri(ns::RDF_TYPE);
 
     for (prop, decl) in onto.properties() {
-        let Some(p) = graph.pool().get_iri(prop) else { continue };
-        let triples = graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let Some(p) = graph.pool().get_iri(prop) else {
+            continue;
+        };
+        let triples = graph.match_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        });
         // functional: group by subject
         if decl.traits.functional {
             let mut by_subject: BTreeMap<Sym, Vec<Triple>> = BTreeMap::new();
@@ -199,9 +205,10 @@ pub fn detect_violations(graph: &Graph, onto: &Ontology) -> Vec<Violation> {
 
     // cardinality restrictions
     for r in onto.cardinalities() {
-        let (Some(class), Some(p)) =
-            (graph.pool().get_iri(&r.class), graph.pool().get_iri(&r.property))
-        else {
+        let (Some(class), Some(p)) = (
+            graph.pool().get_iri(&r.class),
+            graph.pool().get_iri(&r.property),
+        ) else {
             continue;
         };
         for e in graph.instances_of(class) {
@@ -274,14 +281,19 @@ pub fn mine_rules(graph: &Graph, slm: &Slm, min_support: usize) -> Vec<MinedRule
                 .is_some_and(|i| i.starts_with(ns::SYNTH_VOCAB))
         })
         .collect();
-    let phrase =
-        |p: Sym| ns::humanize(ns::local_name(graph.label(p)));
+    let phrase = |p: Sym| ns::humanize(ns::local_name(graph.label(p)));
     let mut out = Vec::new();
     // symmetry: p(x,y) → p(y,x)
     for &p in &preds {
-        let triples = graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
-        let object_valued: Vec<&Triple> =
-            triples.iter().filter(|t| graph.resolve(t.o).is_iri()).collect();
+        let triples = graph.match_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        });
+        let object_valued: Vec<&Triple> = triples
+            .iter()
+            .filter(|t| graph.resolve(t.o).is_iri())
+            .collect();
         if object_valued.len() < min_support {
             continue;
         }
@@ -303,7 +315,11 @@ pub fn mine_rules(graph: &Graph, slm: &Slm, min_support: usize) -> Vec<MinedRule
     }
     // composition: p(x,y) ∧ p(y,z) → p(x,z) (transitivity as the common case)
     for &p in &preds {
-        let triples = graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None });
+        let triples = graph.match_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        });
         let mut bodies = 0usize;
         let mut heads = 0usize;
         for t in triples.iter().filter(|t| graph.resolve(t.o).is_iri()) {
@@ -346,11 +362,18 @@ pub fn mine_rules(graph: &Graph, slm: &Slm, min_support: usize) -> Vec<MinedRule
 /// inconsistencies (the ChatRule usage for error detection).
 pub fn apply_rules(graph: &Graph, rules: &[MinedRule], min_confidence: f64) -> Vec<Violation> {
     let mut out = Vec::new();
-    for rule in rules.iter().filter(|r| r.confidence >= min_confidence && r.confidence < 1.0) {
+    for rule in rules
+        .iter()
+        .filter(|r| r.confidence >= min_confidence && r.confidence < 1.0)
+    {
         let p = rule.predicates[0];
         match rule.kind {
             "symmetry" => {
-                for t in graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None }) {
+                for t in graph.match_pattern(TriplePattern {
+                    s: None,
+                    p: Some(p),
+                    o: None,
+                }) {
                     if graph.resolve(t.o).is_iri() && !graph.contains(t.o, p, t.s) {
                         out.push(Violation {
                             kind: ViolationKind::MinedRule,
@@ -366,7 +389,11 @@ pub fn apply_rules(graph: &Graph, rules: &[MinedRule], min_confidence: f64) -> V
                 }
             }
             "transitivity" => {
-                for t in graph.match_pattern(TriplePattern { s: None, p: Some(p), o: None }) {
+                for t in graph.match_pattern(TriplePattern {
+                    s: None,
+                    p: Some(p),
+                    o: None,
+                }) {
                     if !graph.resolve(t.o).is_iri() {
                         continue;
                     }
@@ -496,7 +523,11 @@ mod tests {
             .get_iri(&format!("{}borders", ns::SYNTH_VOCAB))
             .unwrap();
         let t = g
-            .match_pattern(TriplePattern { s: None, p: Some(borders), o: None })
+            .match_pattern(TriplePattern {
+                s: None,
+                p: Some(borders),
+                o: None,
+            })
             .into_iter()
             .next()
             .unwrap();
@@ -529,10 +560,16 @@ mod tests {
             .iter()
             .find(|r| r.kind == "transitivity")
             .expect("transitivity mined");
-        assert!(trans.confidence >= 0.5 && trans.confidence < 1.0, "{}", trans.confidence);
+        assert!(
+            trans.confidence >= 0.5 && trans.confidence < 1.0,
+            "{}",
+            trans.confidence
+        );
         let violations = apply_rules(&g, &rules, 0.5);
         assert!(
-            violations.iter().any(|v| v.message.contains("missing transitive edge")),
+            violations
+                .iter()
+                .any(|v| v.message.contains("missing transitive edge")),
             "{violations:?}"
         );
     }
@@ -542,14 +579,25 @@ mod tests {
         let kg = movies(93, Scale::tiny());
         let mut g = kg.graph.clone();
         // give one film 4 genres (restriction: max 3)
-        let film_class = g.pool().get_iri(&format!("{}Film", ns::SYNTH_VOCAB)).unwrap();
-        let has_genre = g.pool().get_iri(&format!("{}hasGenre", ns::SYNTH_VOCAB)).unwrap();
-        let genre_class = g.pool().get_iri(&format!("{}Genre", ns::SYNTH_VOCAB)).unwrap();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", ns::SYNTH_VOCAB))
+            .unwrap();
+        let has_genre = g
+            .pool()
+            .get_iri(&format!("{}hasGenre", ns::SYNTH_VOCAB))
+            .unwrap();
+        let genre_class = g
+            .pool()
+            .get_iri(&format!("{}Genre", ns::SYNTH_VOCAB))
+            .unwrap();
         let film = g.instances_of(film_class)[0];
         for genre in g.instances_of(genre_class) {
             g.insert(film, has_genre, genre);
         }
         let violations = detect_violations(&g, &kg.ontology);
-        assert!(violations.iter().any(|v| v.kind == ViolationKind::Cardinality));
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Cardinality));
     }
 }

@@ -19,6 +19,6 @@ pub mod factcheck;
 pub mod inconsistency;
 pub mod quality;
 
-pub use factcheck::{FactChecker, FactCheckMethod};
+pub use factcheck::{FactCheckMethod, FactChecker};
 pub use inconsistency::{detect_violations, mine_rules, MinedRule, Violation, ViolationKind};
 pub use quality::{accuracy, consistency, QualityReport};

@@ -135,7 +135,11 @@ mod tests {
         };
         corrupt(&mut g, &kg.ontology, &plan);
         let r = report(&g, &kg.graph, &kg.ontology);
-        assert!(r.consistency < 1.0, "consistency should drop: {}", r.consistency);
+        assert!(
+            r.consistency < 1.0,
+            "consistency should drop: {}",
+            r.consistency
+        );
         assert!(r.violations > 0);
     }
 }

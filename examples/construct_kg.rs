@@ -46,5 +46,8 @@ fn main() {
     let constructed = pipeline.build_graph(&input);
     println!("\nconstructed graph: {} triples", constructed.len());
     let violations = llmkg::kgvalidate::detect_violations(&constructed, &kg.ontology);
-    println!("constraint violations in the constructed graph: {}", violations.len());
+    println!(
+        "constraint violations in the constructed graph: {}",
+        violations.len()
+    );
 }

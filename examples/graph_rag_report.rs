@@ -33,5 +33,8 @@ fn main() {
     let film = g.instances_of(film_class)[0];
     let local_q = format!("Who is {} directed by?", g.display_name(film));
     let a = rag.answer_local(&local_q);
-    println!("\nLOCAL   {local_q}\n        → {} (confidence {:.2})", a.text, a.confidence);
+    println!(
+        "\nLOCAL   {local_q}\n        → {} (confidence {:.2})",
+        a.text, a.confidence
+    );
 }

@@ -40,7 +40,11 @@ fn main() {
         ])
         .build();
 
-    let questions = ["Where does Jordan work?", "What does Jordan prefer?", "Who is Jordan spouse?"];
+    let questions = [
+        "Where does Jordan work?",
+        "What does Jordan prefer?",
+        "Who is Jordan spouse?",
+    ];
     for q in questions {
         // without the personal KG: the LM cannot know
         let blank = slm.answer(q, &[]);
@@ -50,9 +54,16 @@ fn main() {
         println!("Q: {q}");
         println!(
             "   without personal KG: {}",
-            if blank.is_answered() { blank.text } else { "(unknown)".into() }
+            if blank.is_answered() {
+                blank.text
+            } else {
+                "(unknown)".into()
+            }
         );
-        println!("   with personal KG:    {} (evidence: {:?})\n", informed.text, informed.evidence);
+        println!(
+            "   with personal KG:    {} (evidence: {:?})\n",
+            informed.text, informed.evidence
+        );
     }
 
     // the separation the paper argues for: the LM stays small and generic,

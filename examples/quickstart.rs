@@ -49,5 +49,8 @@ fn main() {
     );
 
     // 6. Validate the KG against its ontology (RQ3).
-    println!("\nConstraint violations in the clean KG: {}", wb.validate().len());
+    println!(
+        "\nConstraint violations in the clean KG: {}",
+        wb.validate().len()
+    );
 }

@@ -45,9 +45,21 @@ fn construction_round_trip_preserves_schema() {
         if !p_iri.starts_with(llmkg::kg::namespace::SYNTH_VOCAB) {
             continue;
         }
-        let s = kg.graph.pool().get(constructed.resolve(t.s)).expect("linked subject");
-        let p = kg.graph.pool().get(constructed.resolve(t.p)).expect("known relation");
-        let o = kg.graph.pool().get(constructed.resolve(t.o)).expect("linked object");
+        let s = kg
+            .graph
+            .pool()
+            .get(constructed.resolve(t.s))
+            .expect("linked subject");
+        let p = kg
+            .graph
+            .pool()
+            .get(constructed.resolve(t.p))
+            .expect("known relation");
+        let o = kg
+            .graph
+            .pool()
+            .get(constructed.resolve(t.o))
+            .expect("linked object");
         assert!(kg.graph.contains(s, p, o), "extracted a non-fact");
         checked += 1;
     }
@@ -157,7 +169,11 @@ fn full_kg_survives_turtle_round_trip() {
         v.sort_unstable();
         v.join("\n")
     };
-    assert_eq!(sorted(&nt), sorted(&nt2), "triple sets must round-trip exactly");
+    assert_eq!(
+        sorted(&nt),
+        sorted(&nt2),
+        "triple sets must round-trip exactly"
+    );
 }
 
 /// Determinism across the stack: two identically-configured workbenches
@@ -174,7 +190,10 @@ fn workbench_is_fully_deterministic() {
     let q = "PREFIX v: <http://llmkg.dev/vocab/> SELECT ?f WHERE { ?f a v:Film } LIMIT 5";
     assert_eq!(a.sparql(q).unwrap(), b.sparql(q).unwrap());
     let film = a.graph().display_name(a.graph().entities()[3]);
-    assert_eq!(a.ask(&format!("What is {film} directed by?")), b.ask(&format!("What is {film} directed by?")));
+    assert_eq!(
+        a.ask(&format!("What is {film} directed by?")),
+        b.ask(&format!("What is {film} directed by?"))
+    );
 }
 
 /// Graph RAG's map-reduce aggregate agrees with a SPARQL COUNT/GROUP BY
@@ -199,8 +218,15 @@ fn graph_rag_agrees_with_sparql_aggregate() {
         .and_then(|t| t.as_literal())
         .and_then(|l| l.as_integer())
         .expect("count literal");
-    let sparql_genre_iri = rs.rows[0][0].as_ref().and_then(|t| t.as_iri()).expect("genre iri");
-    let genre_sym = wb.graph().pool().get_iri(sparql_genre_iri).expect("known genre");
+    let sparql_genre_iri = rs.rows[0][0]
+        .as_ref()
+        .and_then(|t| t.as_iri())
+        .expect("genre iri");
+    let genre_sym = wb
+        .graph()
+        .pool()
+        .get_iri(sparql_genre_iri)
+        .expect("known genre");
     assert_eq!(gr_count as i64, sparql_count);
     assert_eq!(gr_answer, wb.graph().display_name(genre_sym));
 }

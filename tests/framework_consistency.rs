@@ -11,8 +11,19 @@ use llmkg::corpus::taxonomy::{taxonomy, Family};
 #[test]
 fn every_taxonomy_node_maps_to_a_real_crate() {
     const CRATES: &[&str] = &[
-        "kg", "kgquery", "slm", "kgextract", "kgonto", "kgembed", "kgcomplete", "kgreason",
-        "kgvalidate", "kgtext", "kgrag", "kgqa", "corpus",
+        "kg",
+        "kgquery",
+        "slm",
+        "kgextract",
+        "kgonto",
+        "kgembed",
+        "kgcomplete",
+        "kgreason",
+        "kgvalidate",
+        "kgtext",
+        "kgrag",
+        "kgqa",
+        "corpus",
     ];
     for node in taxonomy() {
         let first = node
@@ -72,7 +83,10 @@ fn figure2_counts_only_approaches() {
     // upper bound: every approach mentions at most a handful of models
     assert!(total_llm_mentions <= stats.n_approaches * 3);
     // exact count check for one well-known entry
-    let kgbert = REFERENCES.iter().find(|r| r.name == "KG-BERT").expect("KG-BERT cited");
+    let kgbert = REFERENCES
+        .iter()
+        .find(|r| r.name == "KG-BERT")
+        .expect("KG-BERT cited");
     assert!(kgbert.llms.contains(&"BERT"));
     assert!(stats.llm_counts["BERT"] >= 10);
 }
@@ -112,7 +126,11 @@ fn stars_match_uncovered_rows() {
         }
     }
     // and the paper's flagship new categories are starred
-    for name in ["Fact Checking", "Inconsistency Detection", "Knowledge Graph Chatbots"] {
+    for name in [
+        "Fact Checking",
+        "Inconsistency Detection",
+        "Knowledge Graph Chatbots",
+    ] {
         assert!(
             t.iter().any(|n| n.name == name && n.new_in_survey),
             "{name} must be starred"
