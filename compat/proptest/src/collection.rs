@@ -4,7 +4,7 @@ use std::ops::{Range, RangeInclusive};
 
 use crate::{Strategy, TestRng};
 
-/// Admissible size specifications for [`vec`].
+/// Admissible size specifications for [`fn@vec`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,

@@ -108,8 +108,23 @@ impl Workbench {
     }
 
     /// Run a SPARQL query and return only the executor's work counters
-    /// (patterns scanned, index probes, intermediate bindings) — the
-    /// workbench's lightweight profiling surface.
+    /// (patterns scanned, index probes, intermediate bindings, path-cache
+    /// hits, parallel shards) — the workbench's lightweight profiling
+    /// surface.
+    ///
+    /// ```
+    /// use llmkg::{Workbench, WorkbenchConfig};
+    ///
+    /// let wb = Workbench::build(&WorkbenchConfig::default());
+    /// let stats = wb
+    ///     .profile_sparql(
+    ///         "PREFIX v: <http://llmkg.dev/vocab/>
+    ///          SELECT ?film ?who WHERE { ?film v:directedBy ?who }",
+    ///     )
+    ///     .unwrap();
+    /// assert!(stats.index_probes > 0);
+    /// assert!(stats.intermediate_bindings > 0);
+    /// ```
     pub fn profile_sparql(&self, query: &str) -> Result<kgquery::ExecStats, QueryError> {
         Ok(self.sparql(query)?.stats)
     }

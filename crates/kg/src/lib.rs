@@ -31,5 +31,5 @@ pub mod turtle;
 pub use dataset::Dataset;
 pub use error::KgError;
 pub use ontology::Ontology;
-pub use store::{Graph, Triple, TriplePattern};
+pub use store::{Graph, PredicateCard, Triple, TriplePattern};
 pub use term::{Sym, Term, TermPool};

@@ -54,6 +54,64 @@ impl TriplePattern {
     }
 }
 
+/// Entries of a ternary index whose first two components equal `(a, b)`.
+fn pair_range(
+    idx: &BTreeSet<(Sym, Sym, Sym)>,
+    a: Sym,
+    b: Sym,
+) -> impl Iterator<Item = &(Sym, Sym, Sym)> {
+    idx.range((a, b, Sym(0))..=(a, b, Sym(u32::MAX)))
+}
+
+/// Entries of a ternary index whose first component equals `a`.
+fn prefix_range(idx: &BTreeSet<(Sym, Sym, Sym)>, a: Sym) -> impl Iterator<Item = &(Sym, Sym, Sym)> {
+    idx.range((a, Sym(0), Sym(0))..=(a, Sym(u32::MAX), Sym(u32::MAX)))
+}
+
+/// Per-predicate cardinality statistics, maintained incrementally.
+///
+/// These are the histogram buckets the query optimizer's join ordering
+/// consumes: knowing how many triples a predicate has *and* over how many
+/// distinct subjects/objects they spread yields the average fan-out
+/// (`triples / distinct_subjects` matches per bound subject, and likewise
+/// for objects) without scanning any index at plan time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PredicateCard {
+    /// Total triples carrying this predicate.
+    pub triples: usize,
+    /// Distinct subjects appearing with this predicate.
+    pub distinct_subjects: usize,
+    /// Distinct objects appearing with this predicate.
+    pub distinct_objects: usize,
+}
+
+impl PredicateCard {
+    /// Expected matches of `(s, p, ?o)` for a known subject: the average
+    /// out-fan of this predicate (at least 1 while any triple exists).
+    pub fn subject_fanout(&self) -> usize {
+        ratio_ceil(self.triples, self.distinct_subjects)
+    }
+
+    /// Expected matches of `(?s, p, o)` for a known object: the average
+    /// in-fan of this predicate (at least 1 while any triple exists).
+    pub fn object_fanout(&self) -> usize {
+        ratio_ceil(self.triples, self.distinct_objects)
+    }
+}
+
+/// `ceil(n / d)` with `0` for an empty numerator and `n` for a zero
+/// denominator (a predicate with triples always has distinct terms, so
+/// the latter only guards against inconsistent inputs).
+fn ratio_ceil(n: usize, d: usize) -> usize {
+    if n == 0 {
+        0
+    } else if d == 0 {
+        n
+    } else {
+        n.div_ceil(d)
+    }
+}
+
 /// An indexed, interning triple store.
 ///
 /// Iteration order of all query methods is deterministic (sorted by id).
@@ -63,9 +121,13 @@ pub struct Graph {
     spo: BTreeSet<(Sym, Sym, Sym)>,
     pos: BTreeSet<(Sym, Sym, Sym)>,
     osp: BTreeSet<(Sym, Sym, Sym)>,
-    /// Count of triples per predicate, maintained incrementally for
-    /// selectivity estimation in the query optimizer.
-    pred_counts: BTreeMap<Sym, usize>,
+    /// Per-predicate cardinality histogram, maintained incrementally on
+    /// insert/remove for selectivity estimation in the query optimizer.
+    pred_stats: BTreeMap<Sym, PredicateCard>,
+    /// Distinct subjects across the whole graph (predicate-agnostic).
+    subject_card: usize,
+    /// Distinct objects across the whole graph (predicate-agnostic).
+    object_card: usize,
 }
 
 impl Graph {
@@ -106,15 +168,28 @@ impl Graph {
     }
 
     /// Insert a triple of already-interned ids. Returns `true` if new.
+    ///
+    /// Cardinality statistics ([`PredicateCard`] per predicate plus the
+    /// graph-wide distinct subject/object counts) are maintained here with
+    /// `O(log n)` range-emptiness probes, so planning never has to scan.
     pub fn insert(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
-        if self.spo.insert((s, p, o)) {
-            self.pos.insert((p, o, s));
-            self.osp.insert((o, s, p));
-            *self.pred_counts.entry(p).or_insert(0) += 1;
-            true
-        } else {
-            false
+        if self.spo.contains(&(s, p, o)) {
+            return false;
         }
+        let new_sp = pair_range(&self.spo, s, p).next().is_none();
+        let new_po = pair_range(&self.pos, p, o).next().is_none();
+        let new_subject = prefix_range(&self.spo, s).next().is_none();
+        let new_object = prefix_range(&self.osp, o).next().is_none();
+        self.spo.insert((s, p, o));
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+        let card = self.pred_stats.entry(p).or_default();
+        card.triples += 1;
+        card.distinct_subjects += usize::from(new_sp);
+        card.distinct_objects += usize::from(new_po);
+        self.subject_card += usize::from(new_subject);
+        self.object_card += usize::from(new_object);
+        true
     }
 
     /// Intern three terms and insert the triple.
@@ -134,20 +209,30 @@ impl Graph {
     }
 
     /// Remove a triple. Returns `true` if it was present.
+    ///
+    /// The inverse of [`Graph::insert`]: the same range-emptiness probes
+    /// decide whether a distinct subject/object count drops.
     pub fn remove(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
-        if self.spo.remove(&(s, p, o)) {
-            self.pos.remove(&(p, o, s));
-            self.osp.remove(&(o, s, p));
-            if let Some(c) = self.pred_counts.get_mut(&p) {
-                *c -= 1;
-                if *c == 0 {
-                    self.pred_counts.remove(&p);
-                }
-            }
-            true
-        } else {
-            false
+        if !self.spo.remove(&(s, p, o)) {
+            return false;
         }
+        self.pos.remove(&(p, o, s));
+        self.osp.remove(&(o, s, p));
+        let gone_sp = pair_range(&self.spo, s, p).next().is_none();
+        let gone_po = pair_range(&self.pos, p, o).next().is_none();
+        let gone_subject = prefix_range(&self.spo, s).next().is_none();
+        let gone_object = prefix_range(&self.osp, o).next().is_none();
+        if let Some(card) = self.pred_stats.get_mut(&p) {
+            card.triples -= 1;
+            card.distinct_subjects -= usize::from(gone_sp);
+            card.distinct_objects -= usize::from(gone_po);
+            if card.triples == 0 {
+                self.pred_stats.remove(&p);
+            }
+        }
+        self.subject_card -= usize::from(gone_subject);
+        self.object_card -= usize::from(gone_object);
+        true
     }
 
     /// Membership test.
@@ -220,16 +305,21 @@ impl Graph {
     /// Estimated number of matches for a pattern, used for join ordering.
     ///
     /// Exact for the fully-bound / fully-free / predicate-bound shapes;
-    /// a cheap heuristic elsewhere.
+    /// histogram-driven (average per-predicate fan-out from
+    /// [`PredicateCard`]) for half-bound predicate shapes; degree-based
+    /// elsewhere. Never scans an index.
     pub fn estimate(&self, pat: TriplePattern) -> usize {
         match (pat.s, pat.p, pat.o) {
             (Some(s), Some(p), Some(o)) => usize::from(self.contains(s, p, o)),
             (None, None, None) => self.len(),
-            (None, Some(p), None) => self.pred_counts.get(&p).copied().unwrap_or(0),
-            (Some(s), Some(p), None) | (None, Some(p), Some(s)) => {
-                // bounded by both the star size and the predicate count
-                let pc = self.pred_counts.get(&p).copied().unwrap_or(0);
-                pc.min(self.degree(s)).max(usize::from(pc > 0))
+            (None, Some(p), None) => self.predicate_card(p).triples,
+            (Some(s), Some(p), None) => {
+                let card = self.predicate_card(p);
+                card.subject_fanout().min(self.degree(s))
+            }
+            (None, Some(p), Some(o)) => {
+                let card = self.predicate_card(p);
+                card.object_fanout().min(self.degree(o))
             }
             (Some(s), None, None) => self.out_degree(s),
             (None, None, Some(o)) => self.in_degree(o),
@@ -237,50 +327,53 @@ impl Graph {
         }
     }
 
+    /// Cardinality histogram entry for a predicate (zeros when absent).
+    pub fn predicate_card(&self, p: Sym) -> PredicateCard {
+        self.pred_stats.get(&p).copied().unwrap_or_default()
+    }
+
+    /// Number of distinct subjects across the whole graph.
+    pub fn subject_cardinality(&self) -> usize {
+        self.subject_card
+    }
+
+    /// Number of distinct objects across the whole graph.
+    pub fn object_cardinality(&self) -> usize {
+        self.object_card
+    }
+
     /// Objects `o` such that `(s, p, o)` holds.
     pub fn objects(&self, s: Sym, p: Sym) -> Vec<Sym> {
-        self.spo
-            .range((s, p, Sym(0))..=(s, p, Sym(u32::MAX)))
-            .map(|&(_, _, o)| o)
-            .collect()
+        pair_range(&self.spo, s, p).map(|&(_, _, o)| o).collect()
     }
 
     /// Subjects `s` such that `(s, p, o)` holds.
     pub fn subjects(&self, p: Sym, o: Sym) -> Vec<Sym> {
-        self.pos
-            .range((p, o, Sym(0))..=(p, o, Sym(u32::MAX)))
-            .map(|&(_, _, s)| s)
-            .collect()
+        pair_range(&self.pos, p, o).map(|&(_, _, s)| s).collect()
     }
 
     /// All outgoing edges `(p, o)` of a subject.
     pub fn outgoing(&self, s: Sym) -> Vec<(Sym, Sym)> {
-        self.spo
-            .range((s, Sym(0), Sym(0))..=(s, Sym(u32::MAX), Sym(u32::MAX)))
+        prefix_range(&self.spo, s)
             .map(|&(_, p, o)| (p, o))
             .collect()
     }
 
     /// All incoming edges `(s, p)` of an object.
     pub fn incoming(&self, o: Sym) -> Vec<(Sym, Sym)> {
-        self.osp
-            .range((o, Sym(0), Sym(0))..=(o, Sym(u32::MAX), Sym(u32::MAX)))
+        prefix_range(&self.osp, o)
             .map(|&(_, s, p)| (s, p))
             .collect()
     }
 
     /// Out-degree of a node.
     pub fn out_degree(&self, s: Sym) -> usize {
-        self.spo
-            .range((s, Sym(0), Sym(0))..=(s, Sym(u32::MAX), Sym(u32::MAX)))
-            .count()
+        prefix_range(&self.spo, s).count()
     }
 
     /// In-degree of a node.
     pub fn in_degree(&self, o: Sym) -> usize {
-        self.osp
-            .range((o, Sym(0), Sym(0))..=(o, Sym(u32::MAX), Sym(u32::MAX)))
-            .count()
+        prefix_range(&self.osp, o).count()
     }
 
     /// Total degree (in + out) of a node.
@@ -288,9 +381,17 @@ impl Graph {
         self.out_degree(n) + self.in_degree(n)
     }
 
+    /// Number of distinct predicates present.
+    pub fn predicate_count(&self) -> usize {
+        self.pred_stats.len()
+    }
+
     /// Distinct predicates, sorted, with their triple counts.
     pub fn predicates(&self) -> Vec<(Sym, usize)> {
-        self.pred_counts.iter().map(|(&p, &c)| (p, c)).collect()
+        self.pred_stats
+            .iter()
+            .map(|(&p, c)| (p, c.triples))
+            .collect()
     }
 
     /// Distinct subjects and objects that are IRIs (entities), sorted.
@@ -474,6 +575,79 @@ mod tests {
                 o: None
             }),
             3
+        );
+    }
+
+    #[test]
+    fn predicate_card_tracks_distinct_terms_incrementally() {
+        let mut g = Graph::new();
+        g.insert_iri("http://e/a", "http://v/p", "http://e/x");
+        g.insert_iri("http://e/a", "http://v/p", "http://e/y");
+        g.insert_iri("http://e/b", "http://v/p", "http://e/x");
+        let p = g.pool().get_iri("http://v/p").unwrap();
+        let card = g.predicate_card(p);
+        assert_eq!(card.triples, 3);
+        assert_eq!(card.distinct_subjects, 2); // a, b
+        assert_eq!(card.distinct_objects, 2); // x, y
+        assert_eq!(card.subject_fanout(), 2); // ceil(3/2)
+        assert_eq!(card.object_fanout(), 2);
+        // removing (a p y) drops object y but keeps subject a (a p x stays)
+        let a = g.pool().get_iri("http://e/a").unwrap();
+        let y = g.pool().get_iri("http://e/y").unwrap();
+        assert!(g.remove(a, p, y));
+        let card = g.predicate_card(p);
+        assert_eq!(card.triples, 2);
+        assert_eq!(card.distinct_subjects, 2);
+        assert_eq!(card.distinct_objects, 1);
+        // draining the predicate drops its histogram entry entirely
+        let b = g.pool().get_iri("http://e/b").unwrap();
+        let x = g.pool().get_iri("http://e/x").unwrap();
+        g.remove(a, p, x);
+        g.remove(b, p, x);
+        assert_eq!(g.predicate_card(p), PredicateCard::default());
+        assert_eq!(g.subject_cardinality(), 0);
+        assert_eq!(g.object_cardinality(), 0);
+    }
+
+    #[test]
+    fn graph_wide_cardinalities_count_distinct_positions() {
+        let mut g = tiny();
+        // subjects: alice, bob; objects: bob, carol, unused
+        assert_eq!(g.subject_cardinality(), 2);
+        assert_eq!(g.object_cardinality(), 3);
+        // duplicate insert changes nothing
+        g.insert_iri("http://e/alice", "http://v/knows", "http://e/bob");
+        assert_eq!(g.subject_cardinality(), 2);
+        assert_eq!(g.object_cardinality(), 3);
+    }
+
+    #[test]
+    fn estimate_uses_histogram_fanout_for_half_bound_shapes() {
+        let mut g = Graph::new();
+        // a star predicate: one subject, many objects
+        for i in 0..10 {
+            g.insert_iri("http://e/hub", "http://v/spokes", &format!("http://e/o{i}"));
+        }
+        let hub = g.pool().get_iri("http://e/hub").unwrap();
+        let spokes = g.pool().get_iri("http://v/spokes").unwrap();
+        let o0 = g.pool().get_iri("http://e/o0").unwrap();
+        // bound subject: the full fan-out of the hub, not count/8
+        assert_eq!(
+            g.estimate(TriplePattern {
+                s: Some(hub),
+                p: Some(spokes),
+                o: None
+            }),
+            10
+        );
+        // bound object: each object has exactly one incoming edge
+        assert_eq!(
+            g.estimate(TriplePattern {
+                s: None,
+                p: Some(spokes),
+                o: Some(o0)
+            }),
+            1
         );
     }
 

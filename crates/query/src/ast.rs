@@ -35,7 +35,10 @@ impl NodeRef {
 }
 
 /// A property path over predicates.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq`/`Hash`/`Ord` are structural, so a path can key the executor's
+/// per-query closure memo table.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PropPath {
     /// A plain predicate IRI.
     Iri(String),

@@ -9,21 +9,39 @@
 //!   term pool up front (an unknown constant makes its pattern statically
 //!   impossible);
 //! * triple patterns inside each BGP are join-ordered **once**, greedily,
-//!   cheapest-first under [`kg::Graph::estimate`], propagating which
-//!   slots are bound statically — the seed executor re-derived the order
-//!   for every intermediate binding.
+//!   cheapest-first under the graph's per-predicate cardinality
+//!   histograms ([`kg::PredicateCard`]), propagating which slots are
+//!   bound statically — the seed executor re-derived the order for every
+//!   intermediate binding.
 //!
 //! Evaluation then threads a vector of slot bindings through the compiled
-//! plan. Extending a binding with the matches of a pattern clones it only
-//! for all but the last match; the last match takes ownership. Work
-//! counters ([`ExecStats`]) are threaded through evaluation and surface
-//! on the returned [`ResultSet`].
+//! plan, with three optimizations layered on top (see
+//! `docs/query-executor.md` for the full architecture):
+//!
+//! * **streaming** — `ORDER BY`-free `LIMIT k` queries (and `ASK`) carry
+//!   a row budget; BGPs switch to depth-first enumeration and stop after
+//!   producing exactly the first `k` solutions of the staged order;
+//! * **parallelism** — once a stage's binding vector crosses
+//!   [`ExecOptions::parallel_threshold`], the extension loop is sharded
+//!   across scoped threads and per-shard [`ExecStats`] are merged back
+//!   deterministically (shard order), so results are bit-identical to the
+//!   sequential run;
+//! * **path memoization** — property-path evaluations (including the BFS
+//!   closure frontiers of `p+`/`p*`) are memoized per `(path, endpoints)`
+//!   within one query; hits surface as [`ExecStats::path_cache_hits`].
+//!
+//! Extending a binding with the matches of a pattern clones it only for
+//! all but the last match; the last match takes ownership. Work counters
+//! ([`ExecStats`]) are threaded through evaluation and surface on the
+//! returned [`ResultSet`].
 //!
 //! The seed map-based evaluator is preserved as [`crate::reference`] and
 //! serves as the differential-testing oracle and benchmark baseline.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 use kg::store::TriplePattern;
 use kg::term::{Sym, Term};
@@ -37,14 +55,88 @@ use crate::results::{ExecStats, ResultSet};
 /// A solution mapping: one cell per compiled variable slot.
 pub type Binding = Vec<Option<Sym>>;
 
-/// Execute a parsed query against a graph.
+/// Default binding-vector size at which a BGP extension stage shards
+/// across threads. Below this, thread spawn/join overhead outweighs the
+/// per-binding index probes.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
+
+/// Knobs controlling how [`execute_with`] evaluates a query.
+///
+/// The defaults (streaming on, parallelism above
+/// [`DEFAULT_PARALLEL_THRESHOLD`] bindings) are what [`execute`] uses;
+/// benchmarks and differential tests pin individual knobs to isolate one
+/// evaluation mode.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Shard a BGP extension stage across scoped threads once its input
+    /// binding vector reaches this size; `None` disables parallelism.
+    pub parallel_threshold: Option<usize>,
+    /// Worker count for sharded stages; `None` uses
+    /// [`std::thread::available_parallelism`]. Pinning this lets tests and
+    /// benchmarks exercise the threaded path deterministically even on a
+    /// single-core host.
+    pub shard_count: Option<usize>,
+    /// Allow `ORDER BY`-free `LIMIT`/`ASK` queries to stop early under a
+    /// row budget instead of materializing every solution.
+    pub streaming: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            parallel_threshold: Some(DEFAULT_PARALLEL_THRESHOLD),
+            shard_count: None,
+            streaming: true,
+        }
+    }
+}
+
+/// Execute a parsed query against a graph with default [`ExecOptions`].
+///
+/// ```
+/// use kgquery::{exec, parser};
+///
+/// let graph = kg::turtle::parse_turtle(
+///     "@prefix e: <http://e/> . @prefix v: <http://v/> .
+///      e:a v:knows e:b . e:b v:knows e:c .",
+/// )?;
+/// let query = parser::parse(
+///     "PREFIX v: <http://v/> SELECT ?x ?z WHERE { ?x v:knows ?y . ?y v:knows ?z }",
+/// )?;
+/// let results = exec::execute(&graph, &query)?;
+/// assert_eq!(results.len(), 1); // a knows b knows c
+/// assert!(results.stats.index_probes > 0); // work counters come along
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub fn execute(graph: &Graph, query: &Query) -> Result<ResultSet, QueryError> {
+    execute_with(graph, query, &ExecOptions::default())
+}
+
+/// Execute a parsed query with explicit evaluation options.
+pub fn execute_with(
+    graph: &Graph,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<ResultSet, QueryError> {
     let plan = compile(&query.pattern);
     let mut vars = VarTable::default();
     let mut bound_slots = BTreeSet::new();
     let cplan = compile_plan(graph, &plan, &mut vars, &mut bound_slots);
     let mut stats = ExecStats::default();
-    let mut solutions = eval(graph, &cplan, vec![vec![None; vars.len()]], &mut stats);
+    let ctx = EvalCtx {
+        graph,
+        opts,
+        paths: PathCache::default(),
+    };
+    let budget = row_budget(query, opts);
+    let mut solutions = eval(
+        &ctx,
+        &cplan,
+        vec![vec![None; vars.len()]],
+        budget,
+        &mut stats,
+    );
+    stats.path_cache_hits = ctx.paths.hits();
 
     match &query.kind {
         QueryKind::Ask => Ok(ResultSet::ask(!solutions.is_empty()).with_stats(stats)),
@@ -526,6 +618,18 @@ fn pattern_slots(p: &SlotPattern) -> Vec<usize> {
 }
 
 /// Cardinality estimate of a compiled pattern given bound slots.
+/// Estimate the result cardinality of one pattern given the set of
+/// already-bound variable slots.
+///
+/// Estimates come from the per-predicate histograms that [`Graph`]
+/// maintains incrementally ([`kg::PredicateCard`]): for a known
+/// predicate, a half-bound pattern costs its average subject/object
+/// fanout (`triples / distinct subjects-or-objects`); for an unknown
+/// predicate or a composite path, the graph-wide distinct-subject /
+/// distinct-object counts play the same role. This replaces the old
+/// fixed `base / 8` guess, so join ordering now reacts to the actual
+/// shape of the data (e.g. a functional predicate with fanout 1 is
+/// ordered before a many-to-many one).
 fn estimate_pattern(graph: &Graph, t: &SlotPattern, bound: &BTreeSet<usize>) -> usize {
     let node_known = |n: SlotNode| match n {
         SlotNode::Const(_) => true,
@@ -533,22 +637,53 @@ fn estimate_pattern(graph: &Graph, t: &SlotPattern, bound: &BTreeSet<usize>) -> 
     };
     let s_known = node_known(t.s);
     let o_known = node_known(t.o);
-    let (p_known, p_sym) = match &t.p {
-        SlotPath::Pred(p) => (true, *p),
-        SlotPath::Var(i) => (bound.contains(i), None),
-        SlotPath::Path(_) => (true, None), // complex paths: predicate known
-    };
-    // use graph-wide statistics with a representative pattern
-    let pat = TriplePattern {
-        s: None,
-        p: if p_known { p_sym } else { None },
-        o: None,
-    };
-    let base = graph.estimate(pat).max(1);
-    match (s_known, o_known) {
-        (true, true) => 1,
-        (true, false) | (false, true) => (base / 8).max(1),
-        (false, false) => base,
+    if s_known && o_known {
+        return 1;
+    }
+    let total = graph.len().max(1);
+    match &t.p {
+        // Known predicate: use its histogram entry directly.
+        SlotPath::Pred(Some(p)) => {
+            let card = graph.predicate_card(*p);
+            if card.triples == 0 {
+                // Predicate absent from the graph (or literal not interned):
+                // the pattern matches nothing, so schedule it first.
+                return 0;
+            }
+            match (s_known, o_known) {
+                (true, false) => card.subject_fanout().max(1),
+                (false, true) => card.object_fanout().max(1),
+                (false, false) => card.triples,
+                (true, true) => unreachable!("handled above"),
+            }
+        }
+        // Constant predicate that is not in the term pool: matches nothing.
+        SlotPath::Pred(None) => 0,
+        // Predicate variable: fall back to graph-wide distinct-term counts.
+        SlotPath::Var(_) => match (s_known, o_known) {
+            (true, false) => avg_fanout(total, graph.subject_cardinality()),
+            (false, true) => avg_fanout(total, graph.object_cardinality()),
+            (false, false) => total,
+            (true, true) => unreachable!("handled above"),
+        },
+        // Composite path: can traverse any predicate, possibly repeatedly.
+        // Use the graph-wide fanout as a floor but never claim it is
+        // cheaper than a simple pattern with both endpoints free.
+        SlotPath::Path(_) => match (s_known, o_known) {
+            (true, false) => avg_fanout(total, graph.subject_cardinality()),
+            (false, true) => avg_fanout(total, graph.object_cardinality()),
+            (false, false) => total,
+            (true, true) => unreachable!("handled above"),
+        },
+    }
+}
+
+/// Average fanout: `total / distinct`, rounded up, at least 1.
+fn avg_fanout(total: usize, distinct: usize) -> usize {
+    if distinct == 0 {
+        total.max(1)
+    } else {
+        total.div_ceil(distinct).max(1)
     }
 }
 
@@ -556,14 +691,94 @@ fn estimate_pattern(graph: &Graph, t: &SlotPattern, bound: &BTreeSet<usize>) -> 
 // Evaluation over slot bindings
 // ---------------------------------------------------------------------------
 
-fn eval(graph: &Graph, plan: &CPlan, input: Vec<Binding>, stats: &mut ExecStats) -> Vec<Binding> {
+/// Shared, read-only evaluation state: the graph, the options, and the
+/// per-query path memo table (internally synchronized, so shards on
+/// worker threads share one cache).
+struct EvalCtx<'a> {
+    graph: &'a Graph,
+    opts: &'a ExecOptions,
+    paths: PathCache,
+}
+
+/// Memo key for one path evaluation: the path plus its fixed endpoints.
+type PathKey = (PropPath, Option<Sym>, Option<Sym>);
+
+/// Shared, immutable result of one path evaluation.
+type SharedPairs = Arc<Vec<(Sym, Sym)>>;
+
+/// Per-query memo table for property-path evaluation.
+///
+/// Keyed by the path itself plus the (optional) fixed endpoints, so both
+/// whole-path evaluations repeated across bindings and the per-node
+/// frontier expansions inside a transitive-closure BFS hit the cache.
+#[derive(Default)]
+struct PathCache {
+    map: Mutex<HashMap<PathKey, SharedPairs>>,
+    hits: AtomicUsize,
+}
+
+impl PathCache {
+    fn get(&self, key: &PathKey) -> Option<SharedPairs> {
+        let hit = self.map.lock().expect("path cache lock").get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        hit
+    }
+
+    fn put(&self, key: PathKey, value: SharedPairs) {
+        self.map.lock().expect("path cache lock").insert(key, value);
+    }
+
+    fn hits(&self) -> usize {
+        self.hits.load(AtomicOrdering::Relaxed)
+    }
+}
+
+/// The number of solutions the evaluator actually needs, when the query
+/// shape allows stopping early: `ASK` needs one, `ORDER BY`-free `LIMIT`
+/// needs `offset + limit`. `ORDER BY` must see every solution before
+/// sorting, an aggregate must see every solution before counting, and
+/// `DISTINCT` may collapse any number of solutions into one row, so all
+/// three disable the budget.
+fn row_budget(query: &Query, opts: &ExecOptions) -> Option<usize> {
+    if !opts.streaming || query.aggregate.is_some() || !query.order_by.is_empty() {
+        return None;
+    }
+    match &query.kind {
+        QueryKind::Ask => Some(1),
+        QueryKind::Select { distinct: true, .. } => None,
+        QueryKind::Select { .. } => query.limit.map(|l| l.saturating_add(query.offset)),
+    }
+}
+
+/// Evaluate a plan node. `budget` is an upper bound on how many output
+/// rows the caller will consume: when `Some(k)`, the node returns exactly
+/// the first `min(n, k)` rows of its unbudgeted output, in the same
+/// order — the invariant that makes streaming `LIMIT` slicing exact.
+fn eval(
+    ctx: &EvalCtx,
+    plan: &CPlan,
+    input: Vec<Binding>,
+    budget: Option<usize>,
+    stats: &mut ExecStats,
+) -> Vec<Binding> {
     match plan {
-        CPlan::Unit => input,
-        CPlan::Bgp(patterns) => eval_bgp(graph, patterns, input, stats),
+        CPlan::Unit => match budget {
+            Some(k) if input.len() > k => input.into_iter().take(k).collect(),
+            _ => input,
+        },
+        CPlan::Bgp(patterns) => match budget {
+            Some(k) => eval_bgp_streaming(ctx, patterns, input, k, stats),
+            None => eval_bgp(ctx, patterns, input, stats),
+        },
         CPlan::Sequence(parts) => {
             let mut acc = input;
-            for p in parts {
-                acc = eval(graph, p, acc, stats);
+            for (i, p) in parts.iter().enumerate() {
+                // only the last part's output is the node's output, so
+                // only it may stop early
+                let part_budget = if i + 1 == parts.len() { budget } else { None };
+                acc = eval(ctx, p, acc, part_budget, stats);
                 if acc.is_empty() {
                     break;
                 }
@@ -571,35 +786,59 @@ fn eval(graph: &Graph, plan: &CPlan, input: Vec<Binding>, stats: &mut ExecStats)
             acc
         }
         CPlan::LeftJoin(left, right) => {
-            let lefts = eval(graph, left, input, stats);
+            // every left solution yields at least one output row, so the
+            // budget caps the left side too
+            let lefts = eval(ctx, left, input, budget, stats);
             let mut out = Vec::new();
             for b in lefts {
-                let rs = eval(graph, right, vec![b.clone()], stats);
+                // remaining is ≥ 1 here: we break as soon as the budget
+                // fills, so a budgeted right side can never return an
+                // artificially empty (→ spurious unmatched-left) result
+                let remaining = budget.map(|k| k - out.len());
+                let rs = eval(ctx, right, vec![b.clone()], remaining, stats);
                 if rs.is_empty() {
                     out.push(b);
                 } else {
                     out.extend(rs);
                 }
+                if budget.is_some_and(|k| out.len() >= k) {
+                    break;
+                }
             }
             out
         }
         CPlan::Union(l, r) => {
-            let mut out = eval(graph, l, input.clone(), stats);
-            out.extend(eval(graph, r, input, stats));
+            let mut out = eval(ctx, l, input.clone(), budget, stats);
+            let remaining = budget.map(|k| k.saturating_sub(out.len()));
+            if remaining != Some(0) {
+                out.extend(eval(ctx, r, input, remaining, stats));
+            }
             out
         }
         CPlan::Filter(e, inner) => {
-            let sols = eval(graph, inner, input, stats);
-            sols.into_iter()
-                .filter(|b| eval_expr(graph, e, b).unwrap_or(false))
-                .collect()
+            // the filter may reject any row, so no budget can be pushed
+            // into the inner plan; it still bounds how much gets filtered
+            let sols = eval(ctx, inner, input, None, stats);
+            let mut out = Vec::new();
+            for b in sols {
+                if eval_expr(ctx.graph, e, &b).unwrap_or(false) {
+                    out.push(b);
+                    if budget.is_some_and(|k| out.len() >= k) {
+                        break;
+                    }
+                }
+            }
+            out
         }
     }
 }
 
-/// Nested-loop evaluation of a pre-ordered BGP.
+/// Staged nested-loop evaluation of a pre-ordered BGP: every binding is
+/// extended through pattern `i` before pattern `i + 1` runs. Stages whose
+/// binding vector crosses the parallel threshold are sharded across
+/// scoped threads.
 fn eval_bgp(
-    graph: &Graph,
+    ctx: &EvalCtx,
     patterns: &[SlotPattern],
     input: Vec<Binding>,
     stats: &mut ExecStats,
@@ -610,14 +849,158 @@ fn eval_bgp(
             break;
         }
         stats.patterns_scanned += 1;
-        let mut next = Vec::new();
-        for b in current {
-            extend_with_pattern(graph, pat, b, &mut next, stats);
-        }
+        let next = match ctx.opts.parallel_threshold {
+            Some(threshold) if current.len() >= threshold.max(1) => {
+                extend_stage_parallel(ctx, pat, current, stats)
+            }
+            _ => {
+                let mut next = Vec::new();
+                for b in current {
+                    extend_with_pattern(ctx, pat, b, &mut next, stats);
+                }
+                next
+            }
+        };
         stats.intermediate_bindings += next.len();
         current = next;
     }
     current
+}
+
+/// Shard one extension stage across scoped threads.
+///
+/// The binding vector is split into per-thread chunks *in order* and the
+/// shard outputs are concatenated back in shard order, so the result (and
+/// every work counter except [`ExecStats::parallel_shards`], which counts
+/// the shards themselves) is identical to the sequential loop.
+fn extend_stage_parallel(
+    ctx: &EvalCtx,
+    pat: &SlotPattern,
+    bindings: Vec<Binding>,
+    stats: &mut ExecStats,
+) -> Vec<Binding> {
+    let threads = ctx.opts.shard_count.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let shards = threads.min(bindings.len());
+    if shards <= 1 {
+        let mut next = Vec::new();
+        for b in bindings {
+            extend_with_pattern(ctx, pat, b, &mut next, stats);
+        }
+        return next;
+    }
+    let chunk_len = bindings.len().div_ceil(shards);
+    let mut chunks: Vec<Vec<Binding>> = Vec::with_capacity(shards);
+    let mut rest = bindings;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let results: Vec<(Vec<Binding>, ExecStats)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut local_stats = ExecStats::default();
+                    for b in chunk {
+                        extend_with_pattern(ctx, pat, b, &mut local, &mut local_stats);
+                    }
+                    (local, local_stats)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("extension worker panicked"))
+            .collect()
+    })
+    .expect("extension scope");
+    stats.parallel_shards += results.len();
+    let mut out = Vec::with_capacity(results.iter().map(|(rows, _)| rows.len()).sum());
+    for (rows, shard_stats) in results {
+        stats.merge(&shard_stats);
+        out.extend(rows);
+    }
+    out
+}
+
+/// Depth-first evaluation of a pre-ordered BGP under a row budget:
+/// enumerates solutions in exactly the staged order but one full solution
+/// at a time, stopping after `budget` rows instead of materializing the
+/// whole join frontier.
+fn eval_bgp_streaming(
+    ctx: &EvalCtx,
+    patterns: &[SlotPattern],
+    input: Vec<Binding>,
+    budget: usize,
+    stats: &mut ExecStats,
+) -> Vec<Binding> {
+    let mut out = Vec::new();
+    if budget == 0 || input.is_empty() {
+        return out;
+    }
+    // one stage per pattern, mirroring the staged evaluator's counter
+    stats.patterns_scanned += patterns.len();
+    for b in input {
+        dfs_extend(ctx, patterns, b, budget, &mut out, stats);
+        if out.len() >= budget {
+            break;
+        }
+    }
+    out
+}
+
+/// Recursive step of [`eval_bgp_streaming`]: extend `binding` through
+/// `patterns[0]`, recursing on the rest, appending completed solutions to
+/// `out` until the budget fills.
+fn dfs_extend(
+    ctx: &EvalCtx,
+    patterns: &[SlotPattern],
+    binding: Binding,
+    budget: usize,
+    out: &mut Vec<Binding>,
+    stats: &mut ExecStats,
+) {
+    let Some((pat, rest)) = patterns.split_first() else {
+        out.push(binding);
+        return;
+    };
+    let Some(m) = resolve_pattern(ctx, pat, &binding, stats) else {
+        return;
+    };
+    let total = m.rows.len();
+    let mut source = Some(binding);
+    for (i, (ms, mo, mp)) in m.rows.into_iter().enumerate() {
+        if out.len() >= budget {
+            return;
+        }
+        let mut b = if i + 1 == total {
+            source.take().expect("moved once, on the last match")
+        } else {
+            source
+                .as_ref()
+                .expect("still owned before the last match")
+                .clone()
+        };
+        if !bind_slot(&mut b, m.s, ms) {
+            continue;
+        }
+        if let (Some(slot), Some(p_val)) = (m.p_slot, mp) {
+            if !bind_slot(&mut b, Pos::Free(slot), p_val) {
+                continue;
+            }
+        }
+        if !bind_slot(&mut b, m.o, mo) {
+            continue;
+        }
+        stats.intermediate_bindings += 1;
+        dfs_extend(ctx, rest, b, budget, out, stats);
+    }
 }
 
 /// A pattern position resolved under one binding.
@@ -651,15 +1034,25 @@ fn bind_slot(b: &mut Binding, pos: Pos, value: Sym) -> bool {
     }
 }
 
-/// Extend one binding with all matches of a pattern. The binding is moved
-/// in: the last match receives it, earlier matches clone it.
-fn extend_with_pattern(
-    graph: &Graph,
+/// A pattern resolved under one binding: the endpoint positions, the slot
+/// an unbound predicate variable writes into, and the matching rows as
+/// `(subject, object, predicate-to-bind)` triples.
+struct PatternMatches {
+    s: Pos,
+    o: Pos,
+    p_slot: Option<usize>,
+    rows: Vec<(Sym, Sym, Option<Sym>)>,
+}
+
+/// Resolve a compiled pattern against one binding and probe the graph for
+/// its matches. `None` means the pattern is unsatisfiable under this
+/// binding (an un-interned constant) — not merely matchless.
+fn resolve_pattern(
+    ctx: &EvalCtx,
     t: &SlotPattern,
-    binding: Binding,
-    out: &mut Vec<Binding>,
+    binding: &Binding,
     stats: &mut ExecStats,
-) {
+) -> Option<PatternMatches> {
     let resolve = |n: SlotNode| -> Option<Pos> {
         match n {
             SlotNode::Var(i) => Some(match binding[i] {
@@ -670,24 +1063,21 @@ fn extend_with_pattern(
             SlotNode::Const(None) => None, // unknown constant: no match
         }
     };
-    let (Some(s), Some(o)) = (resolve(t.s), resolve(t.o)) else {
-        return;
-    };
+    let (s, o) = (resolve(t.s)?, resolve(t.o)?);
 
-    // (subject, object, predicate value to bind into a free p-slot)
-    let mut matches: Vec<(Sym, Sym, Option<Sym>)> = Vec::new();
+    let mut rows: Vec<(Sym, Sym, Option<Sym>)> = Vec::new();
     let mut p_slot = None;
     match &t.p {
         SlotPath::Pred(p) => {
-            let Some(p) = *p else { return };
+            let p = (*p)?;
             stats.index_probes += 1;
             let pat = TriplePattern {
                 s: s.known(),
                 p: Some(p),
                 o: o.known(),
             };
-            matches.extend(
-                graph
+            rows.extend(
+                ctx.graph
                     .match_pattern(pat)
                     .into_iter()
                     .map(|m| (m.s, m.o, None)),
@@ -704,8 +1094,8 @@ fn extend_with_pattern(
                 p: p_bound,
                 o: o.known(),
             };
-            matches.extend(
-                graph
+            rows.extend(
+                ctx.graph
                     .match_pattern(pat)
                     .into_iter()
                     .map(|m| (m.s, m.o, p_bound.is_none().then_some(m.p))),
@@ -713,17 +1103,28 @@ fn extend_with_pattern(
         }
         SlotPath::Path(path) => {
             stats.index_probes += 1;
-            matches.extend(
-                eval_path(graph, path, s.known(), o.known())
-                    .into_iter()
-                    .map(|(ms, mo)| (ms, mo, None)),
-            );
+            let pairs = eval_path_memo(ctx.graph, Some(&ctx.paths), path, s.known(), o.known());
+            rows.extend(pairs.iter().map(|&(ms, mo)| (ms, mo, None)));
         }
     }
+    Some(PatternMatches { s, o, p_slot, rows })
+}
 
-    let total = matches.len();
+/// Extend one binding with all matches of a pattern. The binding is moved
+/// in: the last match receives it, earlier matches clone it.
+fn extend_with_pattern(
+    ctx: &EvalCtx,
+    t: &SlotPattern,
+    binding: Binding,
+    out: &mut Vec<Binding>,
+    stats: &mut ExecStats,
+) {
+    let Some(m) = resolve_pattern(ctx, t, &binding, stats) else {
+        return;
+    };
+    let total = m.rows.len();
     let mut source = Some(binding);
-    for (i, (ms, mo, mp)) in matches.into_iter().enumerate() {
+    for (i, (ms, mo, mp)) in m.rows.into_iter().enumerate() {
         let mut b = if i + 1 == total {
             source.take().expect("moved once, on the last match")
         } else {
@@ -732,15 +1133,15 @@ fn extend_with_pattern(
                 .expect("still owned before the last match")
                 .clone()
         };
-        if !bind_slot(&mut b, s, ms) {
+        if !bind_slot(&mut b, m.s, ms) {
             continue;
         }
-        if let (Some(slot), Some(p_val)) = (p_slot, mp) {
+        if let (Some(slot), Some(p_val)) = (m.p_slot, mp) {
             if !bind_slot(&mut b, Pos::Free(slot), p_val) {
                 continue;
             }
         }
-        if !bind_slot(&mut b, o, mo) {
+        if !bind_slot(&mut b, m.o, mo) {
             continue;
         }
         out.push(b);
@@ -749,8 +1150,91 @@ fn extend_with_pattern(
 
 /// Evaluate a property path, returning `(start, end)` pairs consistent
 /// with the optional endpoint constraints. Deterministic (sorted) order.
+///
+/// This entry point is uncached — it is what [`crate::reference`] (the
+/// differential-testing oracle) uses, so the baseline's cost profile
+/// stays honest. The compiled executor routes through the same recursion
+/// with a per-query memo table instead (see [`ExecStats::path_cache_hits`]).
 pub fn eval_path(
     graph: &Graph,
+    path: &PropPath,
+    s: Option<Sym>,
+    o: Option<Sym>,
+) -> Vec<(Sym, Sym)> {
+    compute_path(graph, None, path, s, o)
+}
+
+/// Memoizing wrapper around [`compute_path`]: consult the per-query cache
+/// (when one is supplied) before recomputing, and share results via `Arc`
+/// so hits cost one pointer clone.
+///
+/// Simple paths (a bare IRI or predicate variable) bypass the cache: they
+/// cost one index probe, which is cheaper than the key clone + hash +
+/// lock a lookup would take. The cache pays off on composite paths —
+/// above all transitive closures, whose BFS is the expensive part.
+fn eval_path_memo(
+    graph: &Graph,
+    cache: Option<&PathCache>,
+    path: &PropPath,
+    s: Option<Sym>,
+    o: Option<Sym>,
+) -> Arc<Vec<(Sym, Sym)>> {
+    match cache {
+        Some(c) if !path.is_simple() => {
+            let key = (path.clone(), s, o);
+            if let Some(hit) = c.get(&key) {
+                return hit;
+            }
+            let computed = Arc::new(compute_path(graph, cache, path, s, o));
+            c.put(key, computed.clone());
+            computed
+        }
+        _ => Arc::new(compute_path(graph, cache, path, s, o)),
+    }
+}
+
+/// Pairs from a sub-path evaluation: owned when computed directly,
+/// shared when answered by the memo table. Lets cheap uncached legs skip
+/// the `Arc` allocation entirely.
+enum Pairs {
+    Owned(Vec<(Sym, Sym)>),
+    Shared(Arc<Vec<(Sym, Sym)>>),
+}
+
+impl std::ops::Deref for Pairs {
+    type Target = [(Sym, Sym)];
+    fn deref(&self) -> &[(Sym, Sym)] {
+        match self {
+            Pairs::Owned(v) => v,
+            Pairs::Shared(a) => a,
+        }
+    }
+}
+
+/// Evaluate one leg of a composite path: simple legs (and everything when
+/// no cache is in play) go straight to [`compute_path`] and return an
+/// owned `Vec`; composite legs route through the memo table.
+fn eval_leg(
+    graph: &Graph,
+    cache: Option<&PathCache>,
+    path: &PropPath,
+    s: Option<Sym>,
+    o: Option<Sym>,
+) -> Pairs {
+    if cache.is_none() || path.is_simple() {
+        Pairs::Owned(compute_path(graph, cache, path, s, o))
+    } else {
+        Pairs::Shared(eval_path_memo(graph, cache, path, s, o))
+    }
+}
+
+/// The recursive property-path evaluator shared by the cached and
+/// uncached entry points. Composite sub-paths route back through the memo
+/// table (via [`eval_leg`]), so every expensive level of a path can hit
+/// the cache.
+fn compute_path(
+    graph: &Graph,
+    cache: Option<&PathCache>,
     path: &PropPath,
     s: Option<Sym>,
     o: Option<Sym>,
@@ -769,13 +1253,13 @@ pub fn eval_path(
             // inside a composite path it is unsupported and matches nothing
             Vec::new()
         }
-        PropPath::Inverse(inner) => eval_path(graph, inner, o, s)
-            .into_iter()
-            .map(|(a, b)| (b, a))
+        PropPath::Inverse(inner) => eval_leg(graph, cache, inner, o, s)
+            .iter()
+            .map(|&(a, b)| (b, a))
             .collect(),
         PropPath::Alt(l, r) => {
-            let mut out = eval_path(graph, l, s, o);
-            out.extend(eval_path(graph, r, s, o));
+            let mut out: Vec<(Sym, Sym)> = eval_leg(graph, cache, l, s, o).to_vec();
+            out.extend(eval_leg(graph, cache, r, s, o).iter().copied());
             out.sort_unstable();
             out.dedup();
             out
@@ -784,14 +1268,14 @@ pub fn eval_path(
             let mut out = Vec::new();
             // drive from the more constrained side
             if s.is_some() || o.is_none() {
-                for (a, mid) in eval_path(graph, l, s, None) {
-                    for (_, b) in eval_path(graph, r, Some(mid), o) {
+                for &(a, mid) in eval_leg(graph, cache, l, s, None).iter() {
+                    for &(_, b) in eval_leg(graph, cache, r, Some(mid), o).iter() {
                         out.push((a, b));
                     }
                 }
             } else {
-                for (mid, b) in eval_path(graph, r, None, o) {
-                    for (a, _) in eval_path(graph, l, s, Some(mid)) {
+                for &(mid, b) in eval_leg(graph, cache, r, None, o).iter() {
+                    for &(a, _) in eval_leg(graph, cache, l, s, Some(mid)).iter() {
                         out.push((a, b));
                     }
                 }
@@ -800,14 +1284,21 @@ pub fn eval_path(
             out.dedup();
             out
         }
-        PropPath::OneOrMore(inner) => closure(graph, inner, s, o, false),
-        PropPath::ZeroOrMore(inner) => closure(graph, inner, s, o, true),
+        PropPath::OneOrMore(inner) => closure(graph, cache, inner, s, o, false),
+        PropPath::ZeroOrMore(inner) => closure(graph, cache, inner, s, o, true),
     }
 }
 
 /// Transitive closure of a path via BFS, optionally reflexive.
+///
+/// Whole-closure results are what the memo table caches (one entry per
+/// `(path, start)` — the repeated per-binding evaluations that made
+/// `property_path` queries gain the least from the compiled executor).
+/// Frontier expansions with a *composite* inner path also hit the cache
+/// via [`eval_leg`]; simple inners go straight to the index.
 fn closure(
     graph: &Graph,
+    cache: Option<&PathCache>,
     inner: &PropPath,
     s: Option<Sym>,
     o: Option<Sym>,
@@ -818,9 +1309,9 @@ fn closure(
         (None, _) => {
             // all nodes with any outgoing inner-path edge; for reflexive
             // paths additionally every node in the graph
-            let mut set: BTreeSet<Sym> = eval_path(graph, inner, None, None)
-                .into_iter()
-                .map(|(a, _)| a)
+            let mut set: BTreeSet<Sym> = eval_leg(graph, cache, inner, None, None)
+                .iter()
+                .map(|&(a, _)| a)
                 .collect();
             if reflexive {
                 for e in graph.entities() {
@@ -836,7 +1327,7 @@ fn closure(
         let mut queue = VecDeque::from([start]);
         let mut visited: BTreeSet<Sym> = BTreeSet::from([start]);
         while let Some(n) = queue.pop_front() {
-            for (_, next) in eval_path(graph, inner, Some(n), None) {
+            for &(_, next) in eval_leg(graph, cache, inner, Some(n), None).iter() {
                 if visited.insert(next) {
                     queue.push_back(next);
                 }

@@ -13,16 +13,22 @@
 //!   reordering of triple patterns (cheapest-first with bound-variable
 //!   propagation);
 //! * [`exec`] — the compiled slot-based executor: variables are interned
-//!   into slots, each BGP is join-ordered once, and evaluation threads
-//!   flat `Vec<Option<Sym>>` bindings over [`kg::Graph`], including BFS
-//!   evaluation of transitive path operators; work counters surface as
-//!   [`ExecStats`] on every result;
-//! * [`reference`] — the seed map-based evaluator, kept as the
+//!   into slots, each BGP is join-ordered once using the per-predicate
+//!   cardinality histograms [`kg::Graph`] maintains, and evaluation
+//!   threads flat `Vec<Option<Sym>>` bindings over the graph. ORDER-BY-free
+//!   `LIMIT` queries stream (stop after the budgeted number of rows), wide
+//!   join frontiers shard across threads, transitive path operators are
+//!   BFS-evaluated through a per-query memo table, and work counters
+//!   surface as [`ExecStats`] on every result. See `docs/query-executor.md`
+//!   for the architecture;
+//! * [`mod@reference`] — the seed map-based evaluator, kept as the
 //!   differential-testing oracle and benchmark baseline;
 //! * [`cypher`] — a Cypher-lite front-end (`MATCH … WHERE … RETURN`)
 //!   compiled onto the same algebra, covering the survey's "SPARQL or
 //!   Cypher" framing of query generation;
 //! * [`results`] — a tabular result set with deterministic ordering.
+
+#![warn(missing_docs)]
 
 pub mod algebra;
 pub mod ast;

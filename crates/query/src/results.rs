@@ -19,6 +19,28 @@ pub struct ExecStats {
     /// Intermediate bindings produced across all BGP stages — the size of
     /// the join frontier the executor actually materialized.
     pub intermediate_bindings: usize,
+    /// Property-path memo-table hits: evaluations of a `(path, endpoints)`
+    /// pair answered from the per-query cache instead of recomputed.
+    pub path_cache_hits: usize,
+    /// Worker shards spawned by parallel BGP stages. Zero for fully
+    /// sequential executions. Scheduling metadata, not work: two runs of
+    /// the same query may differ here while agreeing on every other
+    /// counter (see [`ExecStats::merge`]).
+    pub parallel_shards: usize,
+}
+
+impl ExecStats {
+    /// Accumulate another set of counters into `self` — used to fold the
+    /// per-shard statistics of a parallel BGP stage back into the query's
+    /// totals, so a parallel run reports the same work counters as the
+    /// sequential run it replaces.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.patterns_scanned += other.patterns_scanned;
+        self.index_probes += other.index_probes;
+        self.intermediate_bindings += other.intermediate_bindings;
+        self.path_cache_hits += other.path_cache_hits;
+        self.parallel_shards += other.parallel_shards;
+    }
 }
 
 /// The result of executing a query: either an ASK boolean or a table of
@@ -177,9 +199,39 @@ mod tests {
             patterns_scanned: 3,
             index_probes: 7,
             intermediate_bindings: 9,
+            path_cache_hits: 2,
+            parallel_shards: 4,
         });
         assert_eq!(a, b);
         assert_ne!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn stats_merge_sums_all_counters() {
+        let mut a = ExecStats {
+            patterns_scanned: 1,
+            index_probes: 2,
+            intermediate_bindings: 3,
+            path_cache_hits: 4,
+            parallel_shards: 5,
+        };
+        a.merge(&ExecStats {
+            patterns_scanned: 10,
+            index_probes: 20,
+            intermediate_bindings: 30,
+            path_cache_hits: 40,
+            parallel_shards: 50,
+        });
+        assert_eq!(
+            a,
+            ExecStats {
+                patterns_scanned: 11,
+                index_probes: 22,
+                intermediate_bindings: 33,
+                path_cache_hits: 44,
+                parallel_shards: 55,
+            }
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use llmkg::kg::{Graph, TriplePattern};
 use llmkg::kgquery::ast::{
     Expr, GroupPattern, NodeRef, PatternElem, PropPath, Query, QueryKind, TriplePatternAst,
 };
+use llmkg::kgquery::exec::ExecOptions;
 use llmkg::kgquery::{exec, reference, ResultSet};
 use llmkg::kgtext::metrics::{bleu4, rouge_l};
 use llmkg::slm::embedding::{cosine, Embedder};
@@ -99,6 +100,115 @@ proptest! {
         let slow = reference::execute(&g, &q).expect("reference executor runs");
         prop_assert_eq!(&fast.vars, &slow.vars);
         prop_assert_eq!(normalized_rows(&fast), normalized_rows(&slow));
+    }
+
+    /// Streaming evaluation of an `ORDER BY`-free `LIMIT`/`OFFSET` query
+    /// returns exactly the rows the fully-materializing evaluator would,
+    /// never does more join work, obeys the count law against the
+    /// unlimited query, and only ever emits rows the reference oracle
+    /// also produces.
+    #[test]
+    fn streaming_limit_agrees_with_full_evaluation(
+        triples in triples_strategy(),
+        patterns in proptest::collection::vec(bgp_pattern_strategy(), 1..4),
+        limit in 0usize..12,
+        offset in 0usize..6,
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_iri(s, p, o);
+        }
+        let elems: Vec<PatternElem> =
+            patterns.into_iter().map(PatternElem::Triple).collect();
+        let mut q = Query::select_all(GroupPattern { elems });
+        q.limit = Some(limit);
+        q.offset = offset;
+        let sequential = ExecOptions {
+            parallel_threshold: None,
+            shard_count: None,
+            streaming: false,
+        };
+        let streaming = ExecOptions {
+            parallel_threshold: None,
+            shard_count: None,
+            streaming: true,
+        };
+        let streamed = exec::execute_with(&g, &q, &streaming).expect("streamed run");
+        let full = exec::execute_with(&g, &q, &sequential).expect("materialized run");
+        // identical answer, row for row: the budgeted evaluator enumerates
+        // solutions in exactly the staged order, so the LIMIT slice matches
+        prop_assert_eq!(&streamed.vars, &full.vars);
+        prop_assert_eq!(&streamed.rows, &full.rows);
+        // streaming never does more join work than full materialization
+        prop_assert!(
+            streamed.stats.intermediate_bindings <= full.stats.intermediate_bindings,
+            "streamed {} > full {}",
+            streamed.stats.intermediate_bindings,
+            full.stats.intermediate_bindings,
+        );
+        // count law against the unlimited query
+        let mut unlimited = q.clone();
+        unlimited.limit = None;
+        unlimited.offset = 0;
+        let all = exec::execute_with(&g, &unlimited, &sequential).expect("unlimited run");
+        prop_assert_eq!(streamed.len(), all.len().saturating_sub(offset).min(limit));
+        // every streamed row exists in the reference oracle's full result
+        // (with multiplicity): LIMIT without ORDER BY may pick different
+        // rows per executor, but never rows that aren't real solutions
+        let oracle = reference::execute(&g, &unlimited).expect("oracle run");
+        let mut pool = normalized_rows(&oracle);
+        for row in &streamed.rows {
+            let i = pool.binary_search(row);
+            prop_assert!(i.is_ok(), "streamed row missing from oracle: {row:?}");
+            pool.remove(i.unwrap());
+        }
+    }
+
+    /// Sharding BGP stages across threads changes neither the rows (not
+    /// even their order) nor any work counter other than
+    /// `parallel_shards`, which is scheduling metadata.
+    #[test]
+    fn parallel_execution_matches_sequential(
+        triples in triples_strategy(),
+        patterns in proptest::collection::vec(bgp_pattern_strategy(), 1..4),
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_iri(s, p, o);
+        }
+        let elems: Vec<PatternElem> =
+            patterns.into_iter().map(PatternElem::Triple).collect();
+        let q = Query::select_all(GroupPattern { elems });
+        let seq = exec::execute_with(
+            &g,
+            &q,
+            &ExecOptions {
+                parallel_threshold: None,
+                shard_count: None,
+                streaming: false,
+            },
+        )
+        .expect("sequential run");
+        // force 3 workers so the threaded path really runs, even on a
+        // single-core host where available_parallelism() is 1
+        let par = exec::execute_with(
+            &g,
+            &q,
+            &ExecOptions {
+                parallel_threshold: Some(1),
+                shard_count: Some(3),
+                streaming: false,
+            },
+        )
+        .expect("parallel run");
+        prop_assert_eq!(&par.vars, &seq.vars);
+        prop_assert_eq!(&par.rows, &seq.rows);
+        let mut par_work = par.stats;
+        par_work.parallel_shards = 0;
+        let mut seq_work = seq.stats;
+        seq_work.parallel_shards = 0;
+        prop_assert_eq!(par_work, seq_work);
+        prop_assert_eq!(seq.stats.parallel_shards, 0);
     }
 }
 
@@ -239,6 +349,50 @@ proptest! {
             .count();
         prop_assert_eq!(alnum_in, alnum_out);
     }
+}
+
+/// On a frontier wide enough to cross the threshold, the parallel path
+/// actually engages (worker count pinned so this holds on any host),
+/// reports its shards, and still produces byte-identical rows and work
+/// counters.
+#[test]
+fn parallel_sharding_engages_and_preserves_results() {
+    let kg = llmkg::kg::synth::movies(7, llmkg::kg::synth::Scale::default());
+    let q = llmkg::kgquery::parser::parse(
+        "PREFIX v: <http://llmkg.dev/vocab/>
+         SELECT ?a ?f ?d WHERE { ?f v:starring ?a . ?f v:directedBy ?d }",
+    )
+    .unwrap();
+    let seq = exec::execute_with(
+        &kg.graph,
+        &q,
+        &ExecOptions {
+            parallel_threshold: None,
+            shard_count: None,
+            streaming: false,
+        },
+    )
+    .unwrap();
+    let par = exec::execute_with(
+        &kg.graph,
+        &q,
+        &ExecOptions {
+            parallel_threshold: Some(8),
+            shard_count: Some(4),
+            streaming: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(par.rows, seq.rows, "parallel run must be bit-identical");
+    assert_eq!(seq.stats.parallel_shards, 0);
+    assert!(
+        par.stats.parallel_shards > 0,
+        "frontier of {} rows should shard across 4 pinned workers",
+        seq.len(),
+    );
+    let mut par_work = par.stats;
+    par_work.parallel_shards = 0;
+    assert_eq!(par_work, seq.stats);
 }
 
 /// SPARQL LIMIT/OFFSET laws on a concrete graph (not fuzzed inputs — the
