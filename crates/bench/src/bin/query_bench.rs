@@ -9,6 +9,16 @@
 //! 2. `ORDER BY`-free `LIMIT k` queries: full materialization (the PR 1
 //!    compiled executor, `streaming: false`) vs row-budget streaming;
 //! 3. a wide join on a larger graph: sequential vs parallel BGP stages.
+//!
+//! Flags:
+//!
+//! * `--smoke` — CI mode: tiny graphs, single-iteration timings, report
+//!   written to `reports/query_bench_smoke.json`. Validates that the
+//!   harness runs and the JSON schema holds, not the numbers.
+//! * `--obs` — additionally answer seeded questions through the
+//!   workbench's chatbot and RAG paths under a tracer and embed the
+//!   per-answer [`llmkg::AnswerProfile`]s in the report's `profiles`
+//!   section.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -18,6 +28,8 @@ use kg::Graph;
 use kgquery::ast::Query;
 use kgquery::exec::ExecOptions;
 use kgquery::{exec, parser, reference};
+use kgrag::RagMode;
+use llmkg::{Workbench, WorkbenchConfig};
 use llmkg_bench::{header, write_report};
 use serde_json::{json, Value};
 
@@ -97,8 +109,12 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
 }
 
 /// Pick an iteration count so each measurement runs a comparable wall
-/// time regardless of how slow one call is.
-fn calibrate(mut f: impl FnMut()) -> u32 {
+/// time regardless of how slow one call is. In smoke mode everything
+/// runs exactly once — CI validates the harness, not the numbers.
+fn calibrate(smoke: bool, mut f: impl FnMut()) -> u32 {
+    if smoke {
+        return 1;
+    }
     let start = Instant::now();
     f();
     let once = start.elapsed().as_nanos().max(1);
@@ -106,13 +122,60 @@ fn calibrate(mut f: impl FnMut()) -> u32 {
 }
 
 /// Measure one evaluation mode of the compiled executor.
-fn time_exec(g: &Graph, q: &Query, opts: &ExecOptions) -> f64 {
-    let iters = calibrate(|| {
+fn time_exec(smoke: bool, g: &Graph, q: &Query, opts: &ExecOptions) -> f64 {
+    let iters = calibrate(smoke, || {
         black_box(exec::execute_with(g, q, opts).expect("compiled runs"));
     });
     time_ns(iters, || {
         black_box(exec::execute_with(g, q, opts).expect("compiled runs"));
     })
+}
+
+/// Answer seeded questions through the chatbot and RAG paths under a
+/// tracer; returns their `AnswerProfile`s as JSON for the report.
+fn answer_profiles(smoke: bool) -> Vec<Value> {
+    let wb = Workbench::build(&WorkbenchConfig {
+        entities_per_class: if smoke { 10 } else { 40 },
+        ..Default::default()
+    });
+    let g = wb.graph();
+    let film_class = g
+        .pool()
+        .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+        .expect("movies domain has films");
+    let film = g.display_name(g.instances_of(film_class)[0]);
+
+    let runs: Vec<(&str, llmkg::AnswerProfile)> = vec![
+        (
+            "chatbot",
+            wb.profile_answer(&format!("What is {film} directed by?")),
+        ),
+        (
+            "rag_naive",
+            wb.profile_rag_answer(RagMode::Naive, &format!("Who directed {film}?")),
+        ),
+        (
+            "rag_modular",
+            wb.profile_rag_answer(RagMode::Modular, &format!("Tell me about {film}")),
+        ),
+    ];
+    println!(
+        "{:<14} {:<10} {:>10} {:>12} {:>12} {:>14}",
+        "profile", "route", "rows", "candidates", "ctx chars", "index probes"
+    );
+    runs.iter()
+        .map(|(name, p)| {
+            println!(
+                "{name:<14} {:<10} {:>10} {:>12} {:>12} {:>14}",
+                p.route,
+                p.executor.rows,
+                p.retrieval.candidates,
+                p.retrieval.context_chars,
+                p.executor.stats.index_probes,
+            );
+            json!({"name": name, "profile": p.to_json()})
+        })
+        .collect()
 }
 
 fn stats_json(stats: &kgquery::ExecStats) -> Value {
@@ -135,10 +198,33 @@ fn materializing() -> ExecOptions {
 }
 
 fn main() {
-    header("Executor rewrite: reference (seed) vs compiled slot-based");
-    let kg = movies(11, Scale::medium());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let obs = args.iter().any(|a| a == "--obs");
+    if let Some(unknown) = args.iter().find(|a| *a != "--smoke" && *a != "--obs") {
+        eprintln!("unknown flag {unknown}; usage: query_bench [--smoke] [--obs]");
+        std::process::exit(2);
+    }
+
+    header(if smoke {
+        "Executor rewrite: reference vs compiled (SMOKE — schema only)"
+    } else {
+        "Executor rewrite: reference (seed) vs compiled slot-based"
+    });
+    let scale = if smoke {
+        Scale {
+            entities_per_class: 12,
+        }
+    } else {
+        Scale::medium()
+    };
+    let kg = movies(11, scale);
     let g = kg.graph;
-    println!("graph: movies(11, medium) — {} triples\n", g.len());
+    println!(
+        "graph: movies(11, n={}) — {} triples\n",
+        scale.entities_per_class,
+        g.len()
+    );
     println!(
         "{:<22} {:>14} {:>14} {:>9}",
         "query", "reference ns", "compiled ns", "speedup"
@@ -152,13 +238,13 @@ fn main() {
         let compiled = exec::execute(&g, &q).expect("compiled runs");
         assert_eq!(compiled, baseline, "executors diverge on {name}");
 
-        let ref_iters = calibrate(|| {
+        let ref_iters = calibrate(smoke, || {
             black_box(reference::execute(&g, &q).expect("reference runs"));
         });
         let ref_ns = time_ns(ref_iters, || {
             black_box(reference::execute(&g, &q).expect("reference runs"));
         });
-        let new_ns = time_exec(&g, &q, &ExecOptions::default());
+        let new_ns = time_exec(smoke, &g, &q, &ExecOptions::default());
         let speedup = ref_ns / new_ns;
         println!("{name:<22} {ref_ns:>14.0} {new_ns:>14.0} {speedup:>8.2}x");
         entries.push(json!({
@@ -189,8 +275,8 @@ fn main() {
         let streamed = exec::execute_with(&g, &q, &streaming_only).expect("streamed runs");
         assert_eq!(streamed, full, "streaming diverges on {name}");
 
-        let full_ns = time_exec(&g, &q, &materializing());
-        let stream_ns = time_exec(&g, &q, &streaming_only);
+        let full_ns = time_exec(smoke, &g, &q, &materializing());
+        let stream_ns = time_exec(smoke, &g, &q, &streaming_only);
         let speedup = full_ns / stream_ns;
         println!("{name:<22} {full_ns:>14.0} {stream_ns:>14.0} {speedup:>8.2}x");
         limit_entries.push(json!({
@@ -208,20 +294,24 @@ fn main() {
     // The join-ordered first stage binds one row per film, so the second
     // stage's input frontier equals the film count; n=6000 puts it well
     // past the sharding threshold.
-    const PARALLEL_N: usize = 6000;
+    // In smoke mode a 64-film graph with threshold 1 still exercises the
+    // sharding machinery (the second stage's frontier is one binding per
+    // film) without the multi-second graph build.
+    let parallel_n: usize = if smoke { 64 } else { 6000 };
+    let threshold: usize = if smoke { 1 } else { 2048 };
     let big = movies(
         11,
         Scale {
-            entities_per_class: PARALLEL_N,
+            entities_per_class: parallel_n,
         },
     );
     let bg = big.graph;
     let q = parser::parse(PARALLEL_QUERY).expect("query parses");
     let seq_rs = exec::execute_with(&bg, &q, &materializing()).expect("sequential runs");
-    let seq_ns = time_exec(&bg, &q, &materializing());
+    let seq_ns = time_exec(smoke, &bg, &q, &materializing());
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "\nparallel scaling: movies n={PARALLEL_N}, {} triples, {} rows, {cores} core(s), \
+        "\nparallel scaling: movies n={parallel_n}, {} triples, {} rows, {cores} core(s), \
          sequential {seq_ns:.0} ns",
         bg.len(),
         seq_rs.len(),
@@ -242,7 +332,7 @@ fn main() {
     ];
     for (label, shard_count) in modes {
         let opts = ExecOptions {
-            parallel_threshold: Some(2048),
+            parallel_threshold: Some(threshold),
             shard_count,
             streaming: false,
         };
@@ -251,7 +341,7 @@ fn main() {
             par_rs.rows, seq_rs.rows,
             "parallel evaluation must be bit-identical (workers {label})"
         );
-        let par_ns = time_exec(&bg, &q, &opts);
+        let par_ns = time_exec(smoke, &bg, &q, &opts);
         let speedup = seq_ns / par_ns;
         println!(
             "{label:<22} {par_ns:>14.0} {speedup:>8.2}x {:>7}",
@@ -266,19 +356,33 @@ fn main() {
     }
     let parallel_entry = json!({
         "query": "parallel_join",
-        "graph": {"generator": "movies", "seed": 11, "entities_per_class": PARALLEL_N, "triples": bg.len()},
+        "graph": {"generator": "movies", "seed": 11, "entities_per_class": parallel_n, "triples": bg.len()},
         "rows": seq_rs.len(),
         "host_cores": cores,
-        "threshold": 2048,
+        "threshold": threshold,
         "sequential_ns": seq_ns,
         "workers": sweep,
     });
 
+    // -- --obs: per-answer profiles through the workbench ----------------
+    let profiles: Vec<Value> = if obs {
+        header("Per-answer observability profiles (--obs)");
+        answer_profiles(smoke)
+    } else {
+        Vec::new()
+    };
+
+    let report_name = if smoke {
+        "query_bench_smoke"
+    } else {
+        "query_bench"
+    };
     write_report(
-        "query_bench",
+        report_name,
         &json!({
-            "experiment": "query_bench",
-            "graph": {"generator": "movies", "seed": 11, "scale": "medium", "triples": g.len()},
+            "experiment": report_name,
+            "mode": if smoke { "smoke" } else { "full" },
+            "graph": {"generator": "movies", "seed": 11, "entities_per_class": scale.entities_per_class, "triples": g.len()},
             "baseline": "reference executor (BTreeMap bindings, per-binding join ordering)",
             "candidate": "compiled executor (slot bindings, histogram join ordering, streaming LIMIT, parallel stages)",
             "queries": entries,
@@ -288,7 +392,8 @@ fn main() {
                 "queries": limit_entries,
             },
             "parallel": parallel_entry,
+            "profiles": Value::Array(profiles),
         }),
     );
-    println!("\nwrote reports/query_bench.json");
+    println!("\nwrote reports/{report_name}.json");
 }

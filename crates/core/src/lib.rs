@@ -41,8 +41,12 @@ pub use kgrag;
 pub use kgreason;
 pub use kgtext;
 pub use kgvalidate;
+pub use obs;
+pub use serde_json;
 pub use slm;
 
+pub mod profile;
 pub mod workbench;
 
+pub use profile::{AnswerProfile, ExecutorProfile, GenerationProfile, RetrievalProfile};
 pub use workbench::{Domain, Workbench, WorkbenchConfig};

@@ -1,12 +1,13 @@
 //! The [`Workbench`]: one object wiring a KG, a simulated LLM trained on
 //! its verbalization, and every interplay engine of the paper.
 
+use crate::profile::{AnswerProfile, ExecutorProfile, GenerationProfile, RetrievalProfile};
 use kg::synth::{academic, biomed, geo, movies, Scale, SynthKg};
 use kg::Graph;
-use kgqa::chatbot::ChatBot;
+use kgqa::chatbot::{ChatBot, RouterDecision};
 use kgqa::text2sparql::TextToSparql;
 use kgquery::{execute_sparql, QueryError, ResultSet};
-use kgrag::GraphRag;
+use kgrag::{GraphRag, RagMode, RagPipeline};
 use slm::Slm;
 
 /// Which synthetic domain to load.
@@ -190,6 +191,110 @@ impl Workbench {
     /// Start a chatbot session over this workbench.
     pub fn chatbot(&self) -> ChatBot<'_> {
         ChatBot::new(&self.kg.graph, &self.slm)
+    }
+
+    /// Build a RAG pipeline over this workbench's verbalized corpus,
+    /// with the KG attached for structured lookup.
+    pub fn rag(&self) -> RagPipeline<'_> {
+        let chunks = kgrag::chunk_sentences(&self.corpus.join(" "), 3, 1);
+        RagPipeline::new(&self.slm, chunks, Some(&self.kg.graph))
+    }
+
+    /// Answer a question through the chatbot path under a fresh tracer
+    /// and return the end-to-end [`AnswerProfile`]: route, rows, merged
+    /// executor counters, generation outcome, plus the raw span tree and
+    /// counter snapshot.
+    ///
+    /// ```
+    /// use llmkg::{Workbench, WorkbenchConfig};
+    ///
+    /// let wb = Workbench::build(&WorkbenchConfig::default());
+    /// let film = wb.graph().display_name(wb.graph().entities()[0]);
+    /// let profile = wb.profile_answer(&format!("Who directed {film}?"));
+    /// assert_eq!(profile.path, "chatbot");
+    /// assert!(profile.wall_ns > 0);
+    /// assert_eq!(profile.counters.counter("chatbot.turns"), 1);
+    /// ```
+    pub fn profile_answer(&self, question: &str) -> AnswerProfile {
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let reply = {
+            let root = tracer.span("answer.chatbot");
+            let mut bot = self.chatbot();
+            bot.handle_observed(question, &root)
+        };
+        let spans = recorder.take();
+        let counters = tracer.registry().snapshot();
+        let route = match reply.decision {
+            RouterDecision::KgQuery => "kg-query",
+            RouterDecision::LlmChat => "llm-chat",
+        };
+        let grounded = reply.decision == RouterDecision::KgQuery;
+        AnswerProfile {
+            question: question.to_string(),
+            path: "chatbot".to_string(),
+            route: route.to_string(),
+            wall_ns: spans.first().map(|s| s.elapsed_ns).unwrap_or(0),
+            retrieval: RetrievalProfile {
+                // On the KG route the graph is the retriever: the rows the
+                // query returned are both candidates and injected context.
+                module: route.to_string(),
+                candidates: reply.rows,
+                retrieved: reply.rows,
+                context_chars: if grounded { reply.text.len() } else { 0 },
+            },
+            executor: ExecutorProfile {
+                queries_issued: counters.counter("exec.queries") as usize,
+                rows: reply.rows,
+                stats: reply.exec,
+            },
+            generation: GenerationProfile {
+                answered: !reply.text.is_empty(),
+                hallucinated: false,
+                confidence: if grounded && reply.rows > 0 { 1.0 } else { 0.0 },
+                answer_chars: reply.text.len(),
+            },
+            answer: reply.text,
+            counters,
+            spans,
+        }
+    }
+
+    /// Answer a question through the RAG path (over the verbalized
+    /// corpus, KG attached) under a fresh tracer and return the
+    /// end-to-end [`AnswerProfile`]. The executor section is all-zero
+    /// here — RAG retrieval probes the vector index or the KG's fact
+    /// store directly, never the SPARQL executor.
+    pub fn profile_rag_answer(&self, mode: RagMode, question: &str) -> AnswerProfile {
+        let pipeline = self.rag();
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let answer = {
+            let root = tracer.span("answer.rag");
+            pipeline.answer_observed(mode, question, &root)
+        };
+        let spans = recorder.take();
+        let counters = tracer.registry().snapshot();
+        AnswerProfile {
+            question: question.to_string(),
+            path: "rag".to_string(),
+            route: answer.module.to_string(),
+            wall_ns: spans.first().map(|s| s.elapsed_ns).unwrap_or(0),
+            retrieval: RetrievalProfile {
+                module: answer.module.to_string(),
+                candidates: answer.candidates,
+                retrieved: answer.retrieved.len(),
+                context_chars: answer.context_chars,
+            },
+            executor: ExecutorProfile::default(),
+            generation: GenerationProfile {
+                answered: !answer.text.is_empty(),
+                hallucinated: answer.hallucinated,
+                confidence: answer.confidence,
+                answer_chars: answer.text.len(),
+            },
+            answer: answer.text,
+            counters,
+            spans,
+        }
     }
 
     /// Build the Graph RAG engine over this KG.

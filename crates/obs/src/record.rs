@@ -1,0 +1,157 @@
+//! Where finished spans go: the [`Recorder`] trait and its sinks.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use crate::span::SpanRecord;
+
+/// Receives every finished *root* span (children arrive inside it).
+pub trait Recorder: Send + Sync {
+    /// Deliver one finished span tree.
+    fn record(&self, span: &SpanRecord);
+}
+
+/// Keeps finished spans in memory — the sink behind tests and
+/// per-answer profiles.
+///
+/// ```
+/// let (tracer, recorder) = obs::Tracer::in_memory();
+/// tracer.span("unit").finish();
+/// assert_eq!(recorder.take()[0].name, "unit");
+/// assert!(recorder.take().is_empty()); // take drains
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder::default()
+    }
+
+    /// Drain and return every span recorded so far.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.lock().expect("recorder poisoned"))
+    }
+
+    /// Number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("recorder poisoned").len()
+    }
+
+    /// Whether no spans have been recorded (or all were taken).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, span: &SpanRecord) {
+        self.spans
+            .lock()
+            .expect("recorder poisoned")
+            .push(span.clone());
+    }
+}
+
+/// Writes each finished root span as one JSON object per line — the
+/// streaming-friendly format for files and pipes.
+///
+/// ```
+/// use obs::{JsonLinesSink, Recorder, Tracer};
+/// use std::sync::Arc;
+///
+/// let sink = Arc::new(JsonLinesSink::new(Vec::new()));
+/// let tracer = Tracer::new(sink.clone());
+/// tracer.span("a").finish();
+/// tracer.span("b").finish();
+/// let bytes = sink.with_writer(|w| w.clone());
+/// let text = String::from_utf8(bytes).unwrap();
+/// assert_eq!(text.lines().count(), 2);
+/// assert!(text.starts_with("{\"name\":\"a\""));
+/// ```
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> JsonLinesSink<W> {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Run `f` with exclusive access to the underlying writer (to flush,
+    /// inspect a buffer in tests, …).
+    pub fn with_writer<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
+        f(&mut self.writer.lock().expect("sink poisoned"))
+    }
+}
+
+impl<W: Write + Send> Recorder for JsonLinesSink<W> {
+    fn record(&self, span: &SpanRecord) {
+        let mut line = span.to_json();
+        line.push('\n');
+        let mut w = self.writer.lock().expect("sink poisoned");
+        // a full disk must not take the query path down with it
+        let _ = w.write_all(line.as_bytes());
+    }
+}
+
+/// Discards everything — for tracers whose only purpose is counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _span: &SpanRecord) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_recorder_accumulates_then_drains() {
+        let (tracer, recorder) = Tracer::in_memory();
+        tracer.span("one").finish();
+        tracer.span("two").finish();
+        assert_eq!(recorder.len(), 2);
+        let spans = recorder.take();
+        assert_eq!(spans[0].name, "one");
+        assert_eq!(spans[1].name, "two");
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn json_lines_sink_emits_one_valid_line_per_root() {
+        let sink = Arc::new(JsonLinesSink::new(Vec::new()));
+        let tracer = Tracer::new(sink.clone());
+        let root = tracer.span("root");
+        root.child("inner").finish();
+        root.finish();
+        tracer.span("next").finish();
+        let text = String::from_utf8(sink.with_writer(|w| w.clone())).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"inner\""));
+        assert!(lines[1].starts_with("{\"name\":\"next\""));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn null_recorder_still_counts() {
+        let tracer = Tracer::new(Arc::new(NullRecorder));
+        let span = tracer.span("s");
+        span.count("n", 2);
+        span.finish();
+        assert_eq!(tracer.registry().counter("n"), 2);
+    }
+}

@@ -9,7 +9,7 @@
 
 use kg::term::Sym;
 use kg::Graph;
-use kgquery::execute_sparql;
+use kgquery::{execute_sparql_observed, ExecStats};
 use slm::{ChatSession, GenParams, Message, Slm};
 
 use crate::text2sparql::{Text2SparqlMethod, TextToSparql};
@@ -32,6 +32,11 @@ pub struct BotReply {
     pub decision: RouterDecision,
     /// The SPARQL used, when applicable.
     pub sparql: Option<String>,
+    /// Rows the KG query returned (0 on the LLM route).
+    pub rows: usize,
+    /// Executor work counters of the KG query (all zero on the LLM
+    /// route) — the per-turn slice of the profiling surface.
+    pub exec: ExecStats,
 }
 
 /// A stateful KG chatbot.
@@ -62,11 +67,32 @@ impl<'a> ChatBot<'a> {
 
     /// Handle one user turn.
     pub fn handle(&mut self, utterance: &str) -> BotReply {
+        self.handle_observed(utterance, &obs::Span::disabled())
+    }
+
+    /// Handle one user turn under an observability span.
+    ///
+    /// A `chatbot.turn` child records per-turn work — whether a SPARQL
+    /// query was issued (and its executor counters, via the nested
+    /// `sparql.execute` span), rows scanned, pronoun resolution, and the
+    /// route taken — while `chatbot.*` counters accumulate across the
+    /// dialogue. With a disabled span this is exactly [`ChatBot::handle`].
+    pub fn handle_observed(&mut self, utterance: &str, parent: &obs::Span) -> BotReply {
+        let span = parent.child("chatbot.turn");
+        span.count("chatbot.turns", 1);
         self.session.push(Message::user(utterance));
         let resolved = self.resolve_pronouns(utterance);
+        if resolved != utterance {
+            span.set("pronoun_resolved", true);
+            span.count("chatbot.pronoun_resolutions", 1);
+        }
         // try the KGQA route
-        if let Some(sparql) = self.t2s.generate(Text2SparqlMethod::SgptSim, &resolved) {
-            if let Ok(rs) = execute_sparql(self.graph, &sparql) {
+        if let Some(sparql) =
+            self.t2s
+                .generate_observed(Text2SparqlMethod::SgptSim, &resolved, &span)
+        {
+            span.count("chatbot.sparql_issued", 1);
+            if let Ok(rs) = execute_sparql_observed(self.graph, &sparql, &span) {
                 if !rs.is_empty() {
                     let names: Vec<String> = rs
                         .values("answer")
@@ -88,10 +114,15 @@ impl<'a> ChatBot<'a> {
                     self.focus = self.find_entity(&resolved).or(self.focus);
                     let text = names.join(", ");
                     self.session.push(Message::assistant(text.clone()));
+                    span.set("route", "kg-query");
+                    span.set("rows", rs.len());
+                    span.count("chatbot.kg_answers", 1);
                     return BotReply {
                         text,
                         decision: RouterDecision::KgQuery,
                         sparql: Some(sparql),
+                        rows: rs.len(),
+                        exec: rs.stats,
                     };
                 }
             }
@@ -101,10 +132,14 @@ impl<'a> ChatBot<'a> {
         self.session.push(reply.clone());
         // a successful entity mention still updates focus
         self.focus = self.find_entity(&resolved).or(self.focus);
+        span.set("route", "llm-chat");
+        span.count("chatbot.llm_fallbacks", 1);
         BotReply {
             text: reply.content,
             decision: RouterDecision::LlmChat,
             sparql: None,
+            rows: 0,
+            exec: ExecStats::default(),
         }
     }
 
@@ -249,6 +284,55 @@ mod tests {
         let reply = bot.handle("It is produced by what?");
         assert_eq!(reply.decision, RouterDecision::KgQuery, "{reply:?}");
         assert!(reply.text.contains(&g.display_name(studio)), "{reply:?}");
+    }
+
+    #[test]
+    fn observed_turn_records_route_rows_and_executor_work() {
+        let (kg, slm) = fixture();
+        let g = &kg.graph;
+        let mut bot = ChatBot::new(g, &slm);
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let film = g.instances_of(film_class)[0];
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("dialogue");
+        let reply = bot.handle_observed(
+            &format!("What is {} directed by?", g.display_name(film)),
+            &root,
+        );
+        bot.handle_observed("nice weather today, is it not", &root);
+        root.finish();
+        assert_eq!(reply.decision, RouterDecision::KgQuery);
+        assert!(reply.rows > 0);
+        assert!(reply.exec.index_probes > 0, "{:?}", reply.exec);
+
+        let dialogue = recorder.take().pop().expect("root recorded");
+        assert_eq!(dialogue.children.len(), 2, "one span per turn");
+        let turn = &dialogue.children[0];
+        assert_eq!(turn.name, "chatbot.turn");
+        assert_eq!(
+            turn.attr("route").and_then(obs::AttrValue::as_str),
+            Some("kg-query")
+        );
+        assert_eq!(turn.attr_u64("rows"), Some(reply.rows as u64));
+        let exec = turn.find("sparql.execute").expect("nested executor span");
+        assert_eq!(
+            exec.attr_u64("index_probes"),
+            Some(reply.exec.index_probes as u64)
+        );
+        assert_eq!(
+            dialogue.children[1]
+                .attr("route")
+                .and_then(obs::AttrValue::as_str),
+            Some("llm-chat")
+        );
+        let reg = tracer.registry();
+        assert_eq!(reg.counter("chatbot.turns"), 2);
+        assert_eq!(reg.counter("chatbot.kg_answers"), 1);
+        assert_eq!(reg.counter("chatbot.llm_fallbacks"), 1);
+        assert!(reg.counter("exec.index_probes") >= reply.exec.index_probes as u64);
     }
 
     #[test]

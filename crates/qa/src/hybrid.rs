@@ -13,7 +13,7 @@ use std::collections::BTreeSet;
 use kg::term::Term;
 use kg::Graph;
 use kgquery::ast::{NodeRef, PatternElem, PropPath, Query};
-use kgquery::exec::execute;
+use kgquery::exec::{execute_observed, ExecOptions};
 use kgquery::results::ResultSet;
 use kgquery::QueryError;
 use slm::Slm;
@@ -50,9 +50,50 @@ impl<'a> HybridExecutor<'a> {
         self.execute_query(&query)
     }
 
+    /// Execute a SPARQL string under hybrid semantics and an
+    /// observability span (see [`HybridExecutor::execute_query_observed`]).
+    pub fn execute_observed(
+        &self,
+        sparql: &str,
+        parent: &obs::Span,
+    ) -> Result<(ResultSet, HybridStats), QueryError> {
+        let query = kgquery::parser::parse(sparql)?;
+        self.execute_query_observed(&query, parent)
+    }
+
     /// Execute a parsed query under hybrid semantics. Virtual patterns
     /// must be simple `(subject, <virtualPred>, ?var)` triples.
     pub fn execute_query(&self, query: &Query) -> Result<(ResultSet, HybridStats), QueryError> {
+        self.execute_query_observed(query, &obs::Span::disabled())
+    }
+
+    /// [`HybridExecutor::execute_query`] under an observability span: a
+    /// `hybrid.execute` child records virtual-pattern count, LLM calls
+    /// and misses (the cost accounting this executor exists for), and the
+    /// store part's executor counters via a nested `sparql.execute` span.
+    pub fn execute_query_observed(
+        &self,
+        query: &Query,
+        parent: &obs::Span,
+    ) -> Result<(ResultSet, HybridStats), QueryError> {
+        let span = parent.child("hybrid.execute");
+        let result = self.execute_query_inner(query, &span);
+        if let Ok((rs, stats)) = &result {
+            span.set("rows", rs.len());
+            span.set("llm_calls", stats.llm_calls);
+            span.set("llm_misses", stats.llm_misses);
+            span.count("hybrid.queries", 1);
+            span.count("hybrid.llm_calls", stats.llm_calls as u64);
+            span.count("hybrid.llm_misses", stats.llm_misses as u64);
+        }
+        result
+    }
+
+    fn execute_query_inner(
+        &self,
+        query: &Query,
+        span: &obs::Span,
+    ) -> Result<(ResultSet, HybridStats), QueryError> {
         // split the pattern into store-answered and LLM-answered parts
         let mut base = query.clone();
         // object spec of a virtual pattern: bind a variable, or check a constant
@@ -68,8 +109,12 @@ impl<'a> HybridExecutor<'a> {
             }
             true
         });
+        span.set("virtual_patterns", virtuals.len());
         if virtuals.is_empty() {
-            return Ok((execute(self.graph, query)?, HybridStats::default()));
+            return Ok((
+                execute_observed(self.graph, query, &ExecOptions::default(), span)?,
+                HybridStats::default(),
+            ));
         }
         // project everything from the base query so we can resolve subjects
         let mut inner = base.clone();
@@ -80,7 +125,7 @@ impl<'a> HybridExecutor<'a> {
         inner.limit = None;
         inner.offset = 0;
         inner.order_by = Vec::new();
-        let inner_rs = execute(self.graph, &inner)?;
+        let inner_rs = execute_observed(self.graph, &inner, &ExecOptions::default(), span)?;
 
         let mut stats = HybridStats::default();
         // output vars: inner vars + virtual object *variables* (constant
@@ -269,6 +314,31 @@ mod tests {
         );
         let (rs2, _) = exec.execute(&q2).expect("hybrid query runs");
         assert!(rs2.is_empty());
+    }
+
+    #[test]
+    fn observed_hybrid_query_reports_llm_cost_accounting() {
+        let (kg, slm, vpred) = fixture();
+        let exec = HybridExecutor::new(&kg.graph, &slm, BTreeSet::from([vpred.clone()]));
+        let q = format!(
+            "SELECT ?f ?y WHERE {{ ?f a <{}Film> . ?f <{vpred}> ?y }}",
+            kg::namespace::SYNTH_VOCAB
+        );
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("test");
+        let (rs, stats) = exec.execute_observed(&q, &root).expect("hybrid runs");
+        root.finish();
+        let span = recorder.take().pop().expect("root recorded");
+        let hybrid = span.find("hybrid.execute").expect("hybrid span");
+        assert_eq!(hybrid.attr_u64("llm_calls"), Some(stats.llm_calls as u64));
+        assert_eq!(hybrid.attr_u64("rows"), Some(rs.len() as u64));
+        assert_eq!(hybrid.attr_u64("virtual_patterns"), Some(1));
+        // the store part of the split query ran under the same span
+        assert!(hybrid.find("sparql.execute").is_some());
+        assert_eq!(
+            tracer.registry().counter("hybrid.llm_calls"),
+            stats.llm_calls as u64
+        );
     }
 
     #[test]

@@ -113,6 +113,30 @@ impl<'a> TextToSparql<'a> {
         ))
     }
 
+    /// [`TextToSparql::generate`] under an observability span: a
+    /// `t2s.generate` child records the method, whether a query came out,
+    /// and its size; `t2s.*` counters accumulate generation attempts.
+    pub fn generate_observed(
+        &self,
+        method: Text2SparqlMethod,
+        question: &str,
+        parent: &obs::Span,
+    ) -> Option<String> {
+        let span = parent.child("t2s.generate");
+        span.set("method", method.name());
+        span.count("t2s.calls", 1);
+        let query = self.generate(method, question);
+        span.set("generated", query.is_some());
+        match &query {
+            Some(q) => {
+                span.set("sparql_chars", q.len());
+                span.count("t2s.generated", 1);
+            }
+            None => span.count("t2s.misses", 1),
+        }
+        query
+    }
+
     fn link_anchor(&self, question: &str) -> Option<Sym> {
         // longest known entity name occurring verbatim wins; fall back to
         // fuzzy linking of capitalized spans

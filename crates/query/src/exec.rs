@@ -55,17 +55,51 @@ use crate::results::{ExecStats, ResultSet};
 /// A solution mapping: one cell per compiled variable slot.
 pub type Binding = Vec<Option<Sym>>;
 
-/// Default binding-vector size at which a BGP extension stage shards
-/// across threads. Below this, thread spawn/join overhead outweighs the
-/// per-binding index probes.
+/// Baseline binding-vector size at which a BGP extension stage shards
+/// across threads, calibrated for a two-core host. Below the (scaled)
+/// threshold, thread spawn/join overhead outweighs the per-binding index
+/// probes. [`default_parallel_threshold`] derives the actual default from
+/// the running host's core count.
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
+
+/// Never shard a frontier smaller than this, no matter how many cores
+/// exist: per-binding probes are tens of nanoseconds, so a smaller stage
+/// finishes before the spawned workers do.
+const MIN_PARALLEL_THRESHOLD: usize = 512;
+
+/// The sharding threshold for this host, derived at runtime from
+/// [`std::thread::available_parallelism`]:
+///
+/// * single core ⇒ `None` — sharding is pure overhead when no second
+///   core can pick the work up (the CI box that tuned the old constant);
+/// * `n > 1` cores ⇒ [`DEFAULT_PARALLEL_THRESHOLD`] scaled down as cores
+///   grow (`2·2048 / n`, floored at 512), since a wide frontier amortizes
+///   spawn cost faster when more workers share it.
+///
+/// ```
+/// let threshold = kgquery::exec::default_parallel_threshold();
+/// match std::thread::available_parallelism() {
+///     Ok(n) if n.get() > 1 => assert!(threshold.unwrap() >= 512),
+///     _ => assert_eq!(threshold, None),
+/// }
+/// ```
+pub fn default_parallel_threshold() -> Option<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores <= 1 {
+        None
+    } else {
+        Some((DEFAULT_PARALLEL_THRESHOLD * 2 / cores).max(MIN_PARALLEL_THRESHOLD))
+    }
+}
 
 /// Knobs controlling how [`execute_with`] evaluates a query.
 ///
-/// The defaults (streaming on, parallelism above
-/// [`DEFAULT_PARALLEL_THRESHOLD`] bindings) are what [`execute`] uses;
-/// benchmarks and differential tests pin individual knobs to isolate one
-/// evaluation mode.
+/// The defaults (streaming on, parallelism above the host-derived
+/// [`default_parallel_threshold`]) are what [`execute`] uses; benchmarks
+/// and differential tests pin individual knobs to isolate one evaluation
+/// mode.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Shard a BGP extension stage across scoped threads once its input
@@ -84,7 +118,7 @@ pub struct ExecOptions {
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
-            parallel_threshold: Some(DEFAULT_PARALLEL_THRESHOLD),
+            parallel_threshold: default_parallel_threshold(),
             shard_count: None,
             streaming: true,
         }
@@ -110,6 +144,61 @@ impl Default for ExecOptions {
 /// ```
 pub fn execute(graph: &Graph, query: &Query) -> Result<ResultSet, QueryError> {
     execute_with(graph, query, &ExecOptions::default())
+}
+
+/// Execute a parsed query under an observability span.
+///
+/// Opens a `sparql.execute` child of `parent`, runs [`execute_with`], and
+/// adapts the returned [`ExecStats`] into span attributes plus `exec.*`
+/// registry counters (see `docs/observability.md` for the catalogue).
+/// With a disabled span this is exactly [`execute_with`].
+///
+/// ```
+/// let graph = kg::turtle::parse_turtle(
+///     "@prefix e: <http://e/> . @prefix v: <http://v/> . e:a v:knows e:b .",
+/// )?;
+/// let query = kgquery::parser::parse("SELECT ?x WHERE { ?x <http://v/knows> ?y }")?;
+/// let (tracer, recorder) = obs::Tracer::in_memory();
+/// let root = tracer.span("answer");
+/// let rs = kgquery::exec::execute_observed(
+///     &graph,
+///     &query,
+///     &kgquery::exec::ExecOptions::default(),
+///     &root,
+/// )?;
+/// root.finish();
+/// assert_eq!(rs.len(), 1);
+/// let span = recorder.take().pop().unwrap();
+/// let exec = span.find("sparql.execute").unwrap();
+/// assert_eq!(exec.attr_u64("rows"), Some(1));
+/// assert!(exec.attr_u64("index_probes").unwrap() > 0);
+/// assert!(tracer.registry().counter("exec.queries") == 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn execute_observed(
+    graph: &Graph,
+    query: &Query,
+    opts: &ExecOptions,
+    parent: &obs::Span,
+) -> Result<ResultSet, QueryError> {
+    if !parent.enabled() {
+        return execute_with(graph, query, opts);
+    }
+    let span = parent.child("sparql.execute");
+    let result = execute_with(graph, query, opts);
+    match &result {
+        Ok(rs) => {
+            span.set("rows", rs.len());
+            span.count("exec.queries", 1);
+            span.count("exec.rows", rs.len() as u64);
+            rs.stats.record_into(&span);
+        }
+        Err(_) => {
+            span.set("error", true);
+            span.count("exec.errors", 1);
+        }
+    }
+    result
 }
 
 /// Execute a parsed query with explicit evaluation options.

@@ -51,6 +51,19 @@ pub fn execute_sparql(graph: &Graph, query: &str) -> Result<ResultSet, QueryErro
     exec::execute(graph, &q)
 }
 
+/// Parse and execute a SPARQL query under an observability span: like
+/// [`execute_sparql`], but executor work counters land on a
+/// `sparql.execute` child span and in the tracer's `exec.*` counters
+/// (see [`exec::execute_observed`]).
+pub fn execute_sparql_observed(
+    graph: &Graph,
+    query: &str,
+    span: &obs::Span,
+) -> Result<ResultSet, QueryError> {
+    let q = parser::parse(query)?;
+    exec::execute_observed(graph, &q, &exec::ExecOptions::default(), span)
+}
+
 /// Parse and execute a Cypher-lite query against a graph.
 pub fn execute_cypher(graph: &Graph, query: &str) -> Result<ResultSet, QueryError> {
     let q = cypher::parse(query)?;

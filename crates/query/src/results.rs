@@ -30,6 +30,30 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Record these work counters on an observability span and in its
+    /// tracer's counter registry — the adapter between the executor's
+    /// typed counters and the `obs` substrate.
+    ///
+    /// Span attributes accumulate ([`obs::Span::add`]), so several query
+    /// executions under one span report their combined work; the registry
+    /// counters use the `exec.*` names catalogued in
+    /// `docs/observability.md`. A disabled span makes this free.
+    pub fn record_into(&self, span: &obs::Span) {
+        if !span.enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("patterns_scanned", self.patterns_scanned),
+            ("index_probes", self.index_probes),
+            ("intermediate_bindings", self.intermediate_bindings),
+            ("path_cache_hits", self.path_cache_hits),
+            ("parallel_shards", self.parallel_shards),
+        ] {
+            span.add(name, value as u64);
+            span.count(&format!("exec.{name}"), value as u64);
+        }
+    }
+
     /// Accumulate another set of counters into `self` — used to fold the
     /// per-shard statistics of a parallel BGP stage back into the query's
     /// totals, so a parallel run reports the same work counters as the

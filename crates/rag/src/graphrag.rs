@@ -98,6 +98,20 @@ impl<'a> GraphRag<'a> {
     /// <relation phrase>?"`-style. Maps over community aggregates and
     /// reduces to the global winner. Returns `(answer, count)`.
     pub fn answer_global(&self, question: &str) -> Option<(String, usize)> {
+        self.answer_global_observed(question, &obs::Span::disabled())
+    }
+
+    /// [`GraphRag::answer_global`] under an observability span: a
+    /// `graphrag.global` child records the routed relation and how many
+    /// community aggregates the map-reduce merged.
+    pub fn answer_global_observed(
+        &self,
+        question: &str,
+        parent: &obs::Span,
+    ) -> Option<(String, usize)> {
+        let span = parent.child("graphrag.global");
+        span.set("communities", self.communities.len());
+        span.count("graphrag.global_questions", 1);
         // route: find the relation whose phrase occurs in the question
         let lower = question.to_lowercase();
         let mut target: Option<String> = None;
@@ -111,16 +125,25 @@ impl<'a> GraphRag<'a> {
                 break;
             }
         }
-        let target = target?;
+        let Some(target) = target else {
+            span.set("routed", false);
+            return None;
+        };
+        span.set("routed", true);
+        span.set("relation", target.as_str());
         // map-reduce over communities
         let mut merged: BTreeMap<String, usize> = BTreeMap::new();
+        let mut aggregates_merged = 0usize;
         for c in &self.communities {
             if let Some(counts) = c.relation_object_counts.get(&target) {
+                aggregates_merged += 1;
                 for (obj, n) in counts {
                     *merged.entry(obj.clone()).or_insert(0) += n;
                 }
             }
         }
+        span.set("aggregates_merged", aggregates_merged);
+        span.count("graphrag.aggregates_merged", aggregates_merged as u64);
         merged
             .into_iter()
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
@@ -129,6 +152,16 @@ impl<'a> GraphRag<'a> {
     /// Answer a *local* question using the best-matching community
     /// summary as context (the Graph RAG local mode).
     pub fn answer_local(&self, question: &str) -> slm::Answer {
+        self.answer_local_observed(question, &obs::Span::disabled())
+    }
+
+    /// [`GraphRag::answer_local`] under an observability span: a
+    /// `graphrag.local` child records communities scanned, the facts
+    /// injected as context, and whether the LM answered from them.
+    pub fn answer_local_observed(&self, question: &str, parent: &obs::Span) -> slm::Answer {
+        let span = parent.child("graphrag.local");
+        span.set("communities", self.communities.len());
+        span.count("graphrag.local_questions", 1);
         let mut best: Option<(f32, &Community)> = None;
         for c in &self.communities {
             let sim = self.slm.similarity(question, &c.summary);
@@ -138,10 +171,20 @@ impl<'a> GraphRag<'a> {
             }
         }
         match best {
-            Some((_, c)) => {
+            Some((sim, c)) => {
                 // context: the community's verbalized facts
                 let facts = community_facts(self.graph, &c.members);
-                self.slm.answer(question, &facts)
+                span.set("best_similarity", f64::from(sim));
+                span.set("community_size", c.members.len());
+                span.set("facts_injected", facts.len());
+                span.set(
+                    "context_chars",
+                    facts.iter().map(String::len).sum::<usize>(),
+                );
+                span.count("graphrag.facts_injected", facts.len() as u64);
+                let answer = self.slm.answer(question, &facts);
+                span.set("answered", answer.is_answered());
+                answer
             }
             None => slm::Answer::unknown(),
         }
@@ -326,6 +369,26 @@ mod tests {
             "{a:?} vs {}",
             g.display_name(director)
         );
+    }
+
+    #[test]
+    fn observed_local_and_global_record_spans() {
+        let (kg, slm) = fixture();
+        let gr = GraphRag::build(&kg.graph, &slm);
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("test");
+        gr.answer_global_observed("What is the most common has genre value?", &root)
+            .expect("routable aggregate");
+        gr.answer_local_observed("who directed anything?", &root);
+        root.finish();
+        let span = recorder.take().pop().expect("root recorded");
+        let global = span.find("graphrag.global").expect("global span");
+        assert_eq!(global.attr("routed"), Some(&obs::AttrValue::Bool(true)));
+        assert!(global.attr_u64("aggregates_merged").unwrap() > 0);
+        let local = span.find("graphrag.local").expect("local span");
+        assert!(local.attr_u64("facts_injected").unwrap() > 0);
+        assert!(tracer.registry().counter("graphrag.facts_injected") > 0);
+        assert_eq!(tracer.registry().counter("graphrag.global_questions"), 1);
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct RagAnswer {
     pub text: String,
     /// Chunk ids used as context.
     pub retrieved: Vec<usize>,
+    /// How many retrieval candidates were considered before selection
+    /// (≥ `retrieved.len()`; reranking modes consider more than they keep,
+    /// KG lookup counts the entity's facts).
+    pub candidates: usize,
+    /// Characters of retrieved context injected into the generation
+    /// prompt (0 for closed-book).
+    pub context_chars: usize,
     /// Whether the LM answered without evidence (measurable hallucination).
     pub hallucinated: bool,
     /// Evidence confidence.
@@ -89,12 +96,49 @@ impl<'a> RagPipeline<'a> {
 
     /// Answer a question under a mode.
     pub fn answer(&self, mode: RagMode, question: &str) -> RagAnswer {
+        self.answer_observed(mode, question, &obs::Span::disabled())
+    }
+
+    /// Answer a question under a mode, recording retrieval work on an
+    /// observability span: a `rag.answer` child carries the mode, chunk
+    /// counts, retrieval candidates, and injected-context size, and the
+    /// tracer's `rag.*` counters accumulate across answers (catalogue in
+    /// `docs/observability.md`). With a disabled span this is exactly
+    /// [`RagPipeline::answer`].
+    pub fn answer_observed(&self, mode: RagMode, question: &str, parent: &obs::Span) -> RagAnswer {
+        let span = parent.child("rag.answer");
+        span.set("mode", mode.name());
+        span.set("chunks_indexed", self.chunks.len());
+        span.set("k", self.k);
+        span.count("rag.answers", 1);
+        let answer = self.answer_inner(mode, question, &span);
+        span.set("module", answer.module);
+        span.set("candidates", answer.candidates);
+        span.set("retrieved", answer.retrieved.len());
+        span.set("context_chars", answer.context_chars);
+        span.set("hallucinated", answer.hallucinated);
+        span.set("confidence", answer.confidence);
+        span.count("rag.retrieval_candidates", answer.candidates as u64);
+        span.count("rag.chunks_injected", answer.retrieved.len() as u64);
+        span.count("rag.context_chars", answer.context_chars as u64);
+        if answer.hallucinated {
+            span.count("rag.hallucinations", 1);
+        }
+        if answer.module == "kg-lookup" {
+            span.count("rag.kg_lookups", 1);
+        }
+        answer
+    }
+
+    fn answer_inner(&self, mode: RagMode, question: &str, span: &obs::Span) -> RagAnswer {
         match mode {
             RagMode::ClosedBook => {
                 let a = self.slm.answer(question, &[]);
                 RagAnswer {
                     text: a.text,
                     retrieved: Vec::new(),
+                    candidates: 0,
+                    context_chars: 0,
                     hallucinated: a.hallucinated,
                     confidence: a.confidence,
                     module: "parametric",
@@ -103,20 +147,22 @@ impl<'a> RagPipeline<'a> {
             }
             RagMode::Naive => {
                 let hits = self.index.search_exact(&self.slm.embed(question), self.k);
-                self.answer_with_chunks(question, &hits, "vector", None)
+                let candidates = hits.len();
+                self.answer_with_chunks(question, &hits, candidates, "vector", None)
             }
             RagMode::Advanced => {
                 // round 1: retrieve, harvest expansion terms
                 let first = self.index.search_exact(&self.slm.embed(question), self.k);
                 let mut expanded = question.to_string();
                 for &(id, _) in first.iter().take(2) {
-                    for span in slm::task::capitalized_spans(&self.chunks[id].text) {
-                        if !expanded.contains(&span) {
+                    for term in slm::task::capitalized_spans(&self.chunks[id].text) {
+                        if !expanded.contains(&term) {
                             expanded.push(' ');
-                            expanded.push_str(&span);
+                            expanded.push_str(&term);
                         }
                     }
                 }
+                span.set("expanded_query_chars", expanded.len());
                 // round 2: retrieve with the expanded query, then rerank by
                 // blended semantic + lexical score against the ORIGINAL query
                 let candidates = self
@@ -145,8 +191,9 @@ impl<'a> RagPipeline<'a> {
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(a.0.cmp(&b.0))
                 });
+                let candidates = reranked.len();
                 reranked.truncate(self.k);
-                self.answer_with_chunks(question, &reranked, "vector", None)
+                self.answer_with_chunks(question, &reranked, candidates, "vector", None)
             }
             RagMode::Modular => {
                 // router: does the question mention a KG entity?
@@ -154,6 +201,7 @@ impl<'a> RagPipeline<'a> {
                     if let Some(entity) = self.find_mentioned_entity(graph, question) {
                         let name = graph.display_name(entity);
                         let program = format!("Search(\"{name}\")");
+                        span.set("search_program", program.as_str());
                         let mut context = Vec::new();
                         for (p, o) in graph.outgoing(entity) {
                             let Some(p_iri) = graph.resolve(p).as_iri() else {
@@ -173,10 +221,13 @@ impl<'a> RagPipeline<'a> {
                                 obj
                             ));
                         }
+                        let context_chars = context.iter().map(String::len).sum();
                         let a = self.slm.answer(question, &context);
                         return RagAnswer {
                             text: a.text,
                             retrieved: Vec::new(),
+                            candidates: context.len(),
+                            context_chars,
                             hallucinated: a.hallucinated,
                             confidence: a.confidence,
                             module: "kg-lookup",
@@ -185,7 +236,8 @@ impl<'a> RagPipeline<'a> {
                     }
                 }
                 let hits = self.index.search_exact(&self.slm.embed(question), self.k);
-                self.answer_with_chunks(question, &hits, "vector", None)
+                let candidates = hits.len();
+                self.answer_with_chunks(question, &hits, candidates, "vector", None)
             }
         }
     }
@@ -194,6 +246,7 @@ impl<'a> RagPipeline<'a> {
         &self,
         question: &str,
         hits: &[(usize, f32)],
+        candidates: usize,
         module: &'static str,
         search_program: Option<String>,
     ) -> RagAnswer {
@@ -201,10 +254,13 @@ impl<'a> RagPipeline<'a> {
             .iter()
             .map(|&(id, _)| self.chunks[id].text.clone())
             .collect();
+        let context_chars = context.iter().map(String::len).sum();
         let a = self.slm.answer(question, &context);
         RagAnswer {
             text: a.text,
             retrieved: hits.iter().map(|&(id, _)| id).collect(),
+            candidates,
+            context_chars,
             hallucinated: a.hallucinated,
             confidence: a.confidence,
             module,
@@ -330,6 +386,56 @@ mod tests {
         let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
         let a = rag.answer(RagMode::Modular, "what do directors do?");
         assert_eq!(a.module, "vector");
+    }
+
+    #[test]
+    fn observed_answer_records_retrieval_span_and_counters() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("test");
+        let a = rag.answer_observed(RagMode::Naive, &f.question, &root);
+        root.finish();
+        let span = recorder.take().pop().expect("root span recorded");
+        let rag_span = span.find("rag.answer").expect("rag.answer child");
+        assert_eq!(
+            rag_span.attr("mode").and_then(obs::AttrValue::as_str),
+            Some("naive-rag")
+        );
+        assert_eq!(
+            rag_span.attr_u64("retrieved"),
+            Some(a.retrieved.len() as u64)
+        );
+        assert!(rag_span.attr_u64("candidates").unwrap() >= a.retrieved.len() as u64);
+        assert!(rag_span.attr_u64("context_chars").unwrap() > 0);
+        assert_eq!(
+            a.context_chars,
+            rag_span.attr_u64("context_chars").unwrap() as usize
+        );
+        assert_eq!(tracer.registry().counter("rag.answers"), 1);
+        assert_eq!(
+            tracer.registry().counter("rag.chunks_injected"),
+            a.retrieved.len() as u64
+        );
+        assert!(tracer.registry().counter("rag.context_chars") > 0);
+    }
+
+    #[test]
+    fn candidates_and_context_sizes_are_populated_per_mode() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
+        let closed = rag.answer(RagMode::ClosedBook, &f.question);
+        assert_eq!((closed.candidates, closed.context_chars), (0, 0));
+        let advanced = rag.answer(RagMode::Advanced, &f.question);
+        // reranking considered up to 2k candidates, kept at most k
+        assert!(advanced.candidates >= advanced.retrieved.len());
+        assert!(advanced.context_chars > 0);
+        let modular = rag.answer(RagMode::Modular, &f.question);
+        assert_eq!(modular.module, "kg-lookup");
+        assert!(modular.candidates > 0, "KG facts count as candidates");
+        assert!(modular.context_chars > 0);
     }
 
     #[test]
