@@ -85,8 +85,8 @@ fn main() {
     for (utterance, gold) in &scripted {
         let reply = bot.handle(utterance);
         match reply.decision {
-            RouterDecision::KgQuery => kg_turns += 1,
-            RouterDecision::LlmChat => llm_turns += 1,
+            RouterDecision::KgQuery | RouterDecision::EntityLookup => kg_turns += 1,
+            RouterDecision::LlmChat | RouterDecision::Apology => llm_turns += 1,
         }
         if let Some(gold) = gold {
             if reply.text.contains(gold) {

@@ -132,8 +132,10 @@ fn time_exec(smoke: bool, g: &Graph, q: &Query, opts: &ExecOptions) -> f64 {
 }
 
 /// Answer seeded questions through the chatbot and RAG paths under a
-/// tracer; returns their `AnswerProfile`s as JSON for the report.
-fn answer_profiles(smoke: bool) -> Vec<Value> {
+/// tracer; returns their `AnswerProfile`s as JSON for the report, plus
+/// the summed (fallbacks, faults_injected) resilience counters — zeros
+/// on every healthy run.
+fn answer_profiles(smoke: bool) -> (Vec<Value>, u64, u64) {
     let wb = Workbench::build(&WorkbenchConfig {
         entities_per_class: if smoke { 10 } else { 40 },
         ..Default::default()
@@ -163,7 +165,13 @@ fn answer_profiles(smoke: bool) -> Vec<Value> {
         "{:<14} {:<10} {:>10} {:>12} {:>12} {:>14}",
         "profile", "route", "rows", "candidates", "ctx chars", "index probes"
     );
-    runs.iter()
+    let fallbacks = runs
+        .iter()
+        .map(|(_, p)| p.resilience.fallbacks as u64)
+        .sum();
+    let faults = runs.iter().map(|(_, p)| p.resilience.faults_injected).sum();
+    let values = runs
+        .iter()
         .map(|(name, p)| {
             println!(
                 "{name:<14} {:<10} {:>10} {:>12} {:>12} {:>14}",
@@ -175,7 +183,8 @@ fn answer_profiles(smoke: bool) -> Vec<Value> {
             );
             json!({"name": name, "profile": p.to_json()})
         })
-        .collect()
+        .collect();
+    (values, fallbacks, faults)
 }
 
 fn stats_json(stats: &kgquery::ExecStats) -> Value {
@@ -194,16 +203,34 @@ fn materializing() -> ExecOptions {
         parallel_threshold: None,
         shard_count: None,
         streaming: false,
+        ..ExecOptions::default()
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let obs = args.iter().any(|a| a == "--obs");
-    if let Some(unknown) = args.iter().find(|a| *a != "--smoke" && *a != "--obs") {
-        eprintln!("unknown flag {unknown}; usage: query_bench [--smoke] [--obs]");
-        std::process::exit(2);
+    let mut smoke = false;
+    let mut obs = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--obs" => obs = true,
+            "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => deadline_ms = Some(v),
+                None => {
+                    eprintln!("--deadline-ms requires an integer value (milliseconds)");
+                    std::process::exit(2);
+                }
+            },
+            unknown => {
+                eprintln!(
+                    "unknown flag {unknown}; usage: query_bench [--smoke] [--obs] [--deadline-ms <n>]"
+                );
+                std::process::exit(2);
+            }
+        }
     }
 
     header(if smoke {
@@ -266,6 +293,7 @@ fn main() {
         parallel_threshold: None,
         shard_count: None,
         streaming: true,
+        ..ExecOptions::default()
     };
     let mut limit_entries: Vec<Value> = Vec::new();
     for (name, text) in LIMIT_QUERIES {
@@ -335,6 +363,7 @@ fn main() {
             parallel_threshold: Some(threshold),
             shard_count,
             streaming: false,
+            ..ExecOptions::default()
         };
         let par_rs = exec::execute_with(&bg, &q, &opts).expect("parallel runs");
         assert_eq!(
@@ -365,12 +394,51 @@ fn main() {
     });
 
     // -- --obs: per-answer profiles through the workbench ----------------
-    let profiles: Vec<Value> = if obs {
+    let (profiles, fallbacks, faults_injected) = if obs {
         header("Per-answer observability profiles (--obs)");
         answer_profiles(smoke)
     } else {
-        Vec::new()
+        (Vec::new(), 0, 0)
     };
+
+    // -- resilience: rerun the workload once under a wall-clock budget ---
+    // With a generous deadline every query completes and all counters stay
+    // zero (the happy path CI asserts on); a tiny deadline demonstrates
+    // prompt LimitExceeded / truncated termination instead of a hang.
+    let mut budget_completed = 0u64;
+    let mut budget_limit_hits = 0u64;
+    let mut budget_truncated = 0u64;
+    if let Some(ms) = deadline_ms {
+        let opts = ExecOptions::with_limits(
+            resilience::ResourceLimits::unlimited().with_wall(std::time::Duration::from_millis(ms)),
+        );
+        for (name, text) in QUERIES.iter().chain(LIMIT_QUERIES.iter()) {
+            let q = parser::parse(text).expect("query parses");
+            match exec::execute_with(&g, &q, &opts) {
+                Ok(rs) if rs.truncated => {
+                    budget_truncated += 1;
+                    budget_limit_hits += 1;
+                }
+                Ok(_) => budget_completed += 1,
+                Err(kgquery::QueryError::LimitExceeded { .. }) => budget_limit_hits += 1,
+                Err(e) => panic!("unexpected error under deadline on {name}: {e}"),
+            }
+        }
+        println!(
+            "\ndeadline {ms} ms: {budget_completed} completed, \
+             {budget_limit_hits} limit hits ({budget_truncated} truncated)"
+        );
+    }
+    let resilience_entry = json!({
+        "deadline_ms": deadline_ms.map(Value::from).unwrap_or(Value::Null),
+        "budgeted_queries": {
+            "completed": budget_completed,
+            "limit_hits": budget_limit_hits,
+            "truncated": budget_truncated,
+        },
+        "fallbacks": fallbacks,
+        "faults_injected": faults_injected,
+    });
 
     let report_name = if smoke {
         "query_bench_smoke"
@@ -392,6 +460,7 @@ fn main() {
                 "queries": limit_entries,
             },
             "parallel": parallel_entry,
+            "resilience": resilience_entry,
             "profiles": Value::Array(profiles),
         }),
     );

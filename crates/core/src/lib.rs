@@ -42,11 +42,14 @@ pub use kgreason;
 pub use kgtext;
 pub use kgvalidate;
 pub use obs;
+pub use resilience;
 pub use serde_json;
 pub use slm;
 
 pub mod profile;
 pub mod workbench;
 
-pub use profile::{AnswerProfile, ExecutorProfile, GenerationProfile, RetrievalProfile};
+pub use profile::{
+    AnswerProfile, ExecutorProfile, GenerationProfile, ResilienceProfile, RetrievalProfile,
+};
 pub use workbench::{Domain, Workbench, WorkbenchConfig};

@@ -58,6 +58,22 @@ pub struct GenerationProfile {
     pub answer_chars: usize,
 }
 
+/// Resilience-stage summary of one answered question: whether the
+/// answer degraded off its primary route, and why (see
+/// `docs/resilience.md`).
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceProfile {
+    /// Whether any fallback rung was taken.
+    pub degraded: bool,
+    /// Rendered degradation trace (`"rung(reason) -> … => served_by"`),
+    /// empty when the primary route answered.
+    pub degradation: String,
+    /// Number of fallback steps taken.
+    pub fallbacks: usize,
+    /// Faults injected by a chaos schedule (always 0 in production).
+    pub faults_injected: u64,
+}
+
 /// An end-to-end profile of one answered question.
 #[derive(Debug, Clone)]
 pub struct AnswerProfile {
@@ -77,6 +93,9 @@ pub struct AnswerProfile {
     pub executor: ExecutorProfile,
     /// Generation-stage summary.
     pub generation: GenerationProfile,
+    /// Resilience-stage summary: degradation ladder steps and injected
+    /// faults.
+    pub resilience: ResilienceProfile,
     /// Every counter incremented while answering.
     pub counters: MetricsSnapshot,
     /// The recorded span trees (one root per answer).
@@ -116,6 +135,12 @@ impl AnswerProfile {
                 "hallucinated": self.generation.hallucinated,
                 "confidence": self.generation.confidence,
                 "answer_chars": self.generation.answer_chars,
+            },
+            "resilience": {
+                "degraded": self.resilience.degraded,
+                "degradation": self.resilience.degradation,
+                "fallbacks": self.resilience.fallbacks,
+                "faults_injected": self.resilience.faults_injected,
             },
             "counters": Value::Object(counters),
             "spans": Value::Array(self.spans.iter().map(span_to_value).collect()),
@@ -190,6 +215,7 @@ mod tests {
                 confidence: 1.0,
                 answer_chars: 7,
             },
+            resilience: ResilienceProfile::default(),
             counters: tracer.registry().snapshot(),
             spans: recorder.take(),
         };

@@ -1,7 +1,9 @@
 //! The [`Workbench`]: one object wiring a KG, a simulated LLM trained on
 //! its verbalization, and every interplay engine of the paper.
 
-use crate::profile::{AnswerProfile, ExecutorProfile, GenerationProfile, RetrievalProfile};
+use crate::profile::{
+    AnswerProfile, ExecutorProfile, GenerationProfile, ResilienceProfile, RetrievalProfile,
+};
 use kg::synth::{academic, biomed, geo, movies, Scale, SynthKg};
 use kg::Graph;
 use kgqa::chatbot::{ChatBot, RouterDecision};
@@ -224,11 +226,11 @@ impl Workbench {
         };
         let spans = recorder.take();
         let counters = tracer.registry().snapshot();
-        let route = match reply.decision {
-            RouterDecision::KgQuery => "kg-query",
-            RouterDecision::LlmChat => "llm-chat",
-        };
-        let grounded = reply.decision == RouterDecision::KgQuery;
+        let route = reply.decision.label();
+        let grounded = matches!(
+            reply.decision,
+            RouterDecision::KgQuery | RouterDecision::EntityLookup
+        );
         AnswerProfile {
             question: question.to_string(),
             path: "chatbot".to_string(),
@@ -252,6 +254,16 @@ impl Workbench {
                 hallucinated: false,
                 confidence: if grounded && reply.rows > 0 { 1.0 } else { 0.0 },
                 answer_chars: reply.text.len(),
+            },
+            resilience: ResilienceProfile {
+                degraded: reply.degradation.degraded(),
+                degradation: if reply.degradation.degraded() {
+                    reply.degradation.render()
+                } else {
+                    String::new()
+                },
+                fallbacks: reply.degradation.falls(),
+                faults_injected: counters.counter("resilience.faults_injected"),
             },
             answer: reply.text,
             counters,
@@ -290,6 +302,16 @@ impl Workbench {
                 hallucinated: answer.hallucinated,
                 confidence: answer.confidence,
                 answer_chars: answer.text.len(),
+            },
+            resilience: ResilienceProfile {
+                degraded: answer.degradation.degraded(),
+                degradation: if answer.degradation.degraded() {
+                    answer.degradation.render()
+                } else {
+                    String::new()
+                },
+                fallbacks: answer.degradation.falls(),
+                faults_injected: counters.counter("resilience.faults_injected"),
             },
             answer: answer.text,
             counters,

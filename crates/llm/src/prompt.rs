@@ -229,8 +229,10 @@ pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
 }
 
 fn strip_directive<'a>(line: &'a str, directive: &str) -> Option<&'a str> {
-    if line.len() >= directive.len() && line[..directive.len()].eq_ignore_ascii_case(directive) {
-        Some(line[directive.len()..].trim())
+    let n = directive.len();
+    // the boundary check matters: multi-byte input must not panic here
+    if line.len() >= n && line.is_char_boundary(n) && line[..n].eq_ignore_ascii_case(directive) {
+        Some(line[n..].trim())
     } else {
         None
     }

@@ -6,21 +6,51 @@
 //! execution) and everything else to the LLM, with dialogue state that
 //! tracks a *focus entity* so pronoun follow-ups ("who directed it?")
 //! resolve correctly.
+//!
+//! Every turn walks an explicit **degradation ladder** (see
+//! `docs/resilience.md`): text-to-SPARQL → direct entity lookup → LLM
+//! chat → diagnostic apology. Each rung that fails is recorded in the
+//! reply's [`resilience::DegradationTrace`] and as `resilience.*`
+//! counters, and a seeded [`resilience::FaultInjector`] can deterministically
+//! knock out individual rungs for chaos testing.
 
 use kg::term::Sym;
 use kg::Graph;
-use kgquery::{execute_sparql_observed, ExecStats};
+use kgquery::exec::ExecOptions;
+use kgquery::{execute_sparql_observed_with, ExecStats, QueryError};
+use resilience::{DegradationTrace, FaultInjector, FaultPoint, NoFaults, ResourceLimits};
 use slm::{ChatSession, GenParams, Message, Slm};
 
 use crate::text2sparql::{Text2SparqlMethod, TextToSparql};
 
-/// Where the router sent a turn.
+/// The production default injector: shared so `ChatBot::new` needs no
+/// lifetime gymnastics.
+static NO_FAULTS: NoFaults = NoFaults;
+
+/// Where the router (or the degradation ladder) sent a turn.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterDecision {
     /// Answered by text-to-SPARQL + KG execution.
     KgQuery,
-    /// Answered by the LLM (chitchat / no entity found).
+    /// Answered by a direct entity fact lookup (the template-QA rung the
+    /// ladder falls to when query generation or execution fails).
+    EntityLookup,
+    /// Answered by the LLM (chitchat / no entity found / KG rungs failed).
     LlmChat,
+    /// Every rung failed: a diagnostic apology naming what went wrong.
+    Apology,
+}
+
+impl RouterDecision {
+    /// Stable label used for span attributes and profiles.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouterDecision::KgQuery => "kg-query",
+            RouterDecision::EntityLookup => "entity-lookup",
+            RouterDecision::LlmChat => "llm-chat",
+            RouterDecision::Apology => "apology",
+        }
+    }
 }
 
 /// One bot reply.
@@ -37,6 +67,9 @@ pub struct BotReply {
     /// Executor work counters of the KG query (all zero on the LLM
     /// route) — the per-turn slice of the profiling surface.
     pub exec: ExecStats,
+    /// The fallback rungs this turn walked down, and why. Empty when the
+    /// primary text-to-SPARQL route answered.
+    pub degradation: DegradationTrace,
 }
 
 /// A stateful KG chatbot.
@@ -45,6 +78,8 @@ pub struct ChatBot<'a> {
     slm: &'a Slm,
     t2s: TextToSparql<'a>,
     session: ChatSession,
+    faults: &'a dyn FaultInjector,
+    limits: ResourceLimits,
     /// The entity the conversation is currently about.
     pub focus: Option<Sym>,
 }
@@ -61,8 +96,23 @@ impl<'a> ChatBot<'a> {
             session: ChatSession::with_system(
                 "You are a knowledge-graph assistant. Answer from the KG when possible.",
             ),
+            faults: &NO_FAULTS,
+            limits: ResourceLimits::unlimited(),
             focus: None,
         }
+    }
+
+    /// Inject a fault schedule (chaos testing). Production code keeps the
+    /// [`NoFaults`] default, which compiles to nothing.
+    pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Budget the KG queries this bot issues.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// Handle one user turn.
@@ -74,9 +124,10 @@ impl<'a> ChatBot<'a> {
     ///
     /// A `chatbot.turn` child records per-turn work — whether a SPARQL
     /// query was issued (and its executor counters, via the nested
-    /// `sparql.execute` span), rows scanned, pronoun resolution, and the
-    /// route taken — while `chatbot.*` counters accumulate across the
-    /// dialogue. With a disabled span this is exactly [`ChatBot::handle`].
+    /// `sparql.execute` span), rows scanned, pronoun resolution, the
+    /// route taken, and any degradation steps — while `chatbot.*` and
+    /// `resilience.*` counters accumulate across the dialogue. With a
+    /// disabled span this is exactly [`ChatBot::handle`].
     pub fn handle_observed(&mut self, utterance: &str, parent: &obs::Span) -> BotReply {
         let span = parent.child("chatbot.turn");
         span.count("chatbot.turns", 1);
@@ -86,61 +137,197 @@ impl<'a> ChatBot<'a> {
             span.set("pronoun_resolved", true);
             span.count("chatbot.pronoun_resolutions", 1);
         }
-        // try the KGQA route
-        if let Some(sparql) =
+        let mut trace = DegradationTrace::new();
+
+        // rung 1: text-to-SPARQL + KG execution
+        let mut sparql_used = None;
+        if self.fault(&span, FaultPoint::Parse) {
+            fall(&span, &mut trace, "text2sparql", "fault injected: parse");
+        } else if let Some(sparql) =
             self.t2s
                 .generate_observed(Text2SparqlMethod::SgptSim, &resolved, &span)
         {
             span.count("chatbot.sparql_issued", 1);
-            if let Ok(rs) = execute_sparql_observed(self.graph, &sparql, &span) {
-                if !rs.is_empty() {
-                    let names: Vec<String> = rs
-                        .values("answer")
-                        .iter()
-                        .map(|t| match t {
-                            kg::Term::Iri(iri) => self
-                                .graph
-                                .pool()
-                                .get_iri(iri)
-                                .map(|s| self.graph.display_name(s))
-                                .unwrap_or_else(|| {
-                                    kg::namespace::humanize(kg::namespace::local_name(iri))
-                                }),
-                            kg::Term::Literal(l) => l.lexical.clone(),
-                            kg::Term::Blank(b) => b.clone(),
-                        })
-                        .collect();
-                    // update focus to the mentioned entity
-                    self.focus = self.find_entity(&resolved).or(self.focus);
-                    let text = names.join(", ");
-                    self.session.push(Message::assistant(text.clone()));
-                    span.set("route", "kg-query");
-                    span.set("rows", rs.len());
-                    span.count("chatbot.kg_answers", 1);
-                    return BotReply {
-                        text,
-                        decision: RouterDecision::KgQuery,
-                        sparql: Some(sparql),
-                        rows: rs.len(),
-                        exec: rs.stats,
-                    };
+            if self.fault(&span, FaultPoint::Exec) {
+                fall(&span, &mut trace, "text2sparql", "fault injected: exec");
+            } else {
+                let opts = ExecOptions::with_limits(self.limits.clone());
+                match execute_sparql_observed_with(self.graph, &sparql, &opts, &span) {
+                    Ok(rs) if !rs.is_empty() => {
+                        let names: Vec<String> = rs
+                            .values("answer")
+                            .iter()
+                            .map(|t| self.term_name(t))
+                            .collect();
+                        // update focus to the mentioned entity
+                        self.focus = self.find_entity(&resolved).or(self.focus);
+                        let text = names.join(", ");
+                        self.session.push(Message::assistant(text.clone()));
+                        trace.serve("text2sparql");
+                        span.set("rows", rs.len());
+                        span.count("chatbot.kg_answers", 1);
+                        return self.finish(span, text, RouterDecision::KgQuery, trace, |r| {
+                            r.sparql = Some(sparql);
+                            r.rows = rs.len();
+                            r.exec = rs.stats;
+                        });
+                    }
+                    Ok(rs) if rs.truncated => {
+                        let why = rs
+                            .truncation
+                            .map(|v| v.to_string())
+                            .unwrap_or_else(|| "truncated".into());
+                        fall(&span, &mut trace, "text2sparql", why);
+                        sparql_used = Some(sparql);
+                    }
+                    Ok(_) => {
+                        fall(&span, &mut trace, "text2sparql", "no rows");
+                        sparql_used = Some(sparql);
+                    }
+                    Err(e @ QueryError::LimitExceeded { .. }) => {
+                        fall(&span, &mut trace, "text2sparql", e.to_string());
+                        sparql_used = Some(sparql);
+                    }
+                    Err(e) => {
+                        fall(
+                            &span,
+                            &mut trace,
+                            "text2sparql",
+                            format!("query error: {e}"),
+                        );
+                        sparql_used = Some(sparql);
+                    }
                 }
             }
+        } else {
+            fall(&span, &mut trace, "text2sparql", "no query generated");
         }
-        // LLM fallback
-        let reply = self.slm.chat(&self.session, &GenParams::default());
-        self.session.push(reply.clone());
-        // a successful entity mention still updates focus
+
+        // a mentioned entity still updates focus, whichever rung answers
         self.focus = self.find_entity(&resolved).or(self.focus);
-        span.set("route", "llm-chat");
-        span.count("chatbot.llm_fallbacks", 1);
-        BotReply {
-            text: reply.content,
-            decision: RouterDecision::LlmChat,
+
+        // rung 2: direct entity fact lookup (template QA)
+        if self.fault(&span, FaultPoint::Retrieval) {
+            fall(
+                &span,
+                &mut trace,
+                "entity-lookup",
+                "fault injected: retrieval",
+            );
+        } else if let Some(text) = self.entity_lookup(&resolved) {
+            self.session.push(Message::assistant(text.clone()));
+            trace.serve("entity-lookup");
+            span.count("chatbot.entity_lookups", 1);
+            return self.finish(span, text, RouterDecision::EntityLookup, trace, |r| {
+                r.sparql = sparql_used;
+            });
+        } else {
+            fall(&span, &mut trace, "entity-lookup", "no matching fact");
+        }
+
+        // rung 3: LLM chat
+        if self.fault(&span, FaultPoint::Generation) {
+            fall(&span, &mut trace, "llm-chat", "fault injected: generation");
+        } else {
+            let reply = self.slm.chat(&self.session, &GenParams::default());
+            // The corpus-trained LM can come back empty on non-question
+            // chitchat; the rung still owns the turn with a canned line.
+            let content = if reply.content.is_empty() {
+                "Happy to chat! Ask me anything about the knowledge graph.".to_string()
+            } else {
+                reply.content
+            };
+            self.session.push(Message::assistant(content.clone()));
+            trace.serve("llm-chat");
+            span.count("chatbot.llm_fallbacks", 1);
+            return self.finish(span, content, RouterDecision::LlmChat, trace, |r| {
+                r.sparql = sparql_used;
+            });
+        }
+
+        // rung 4: diagnostic apology — every rung failed
+        trace.serve("apology");
+        let text = format!(
+            "Sorry — I could not answer that. Attempts: {}.",
+            trace.render()
+        );
+        self.session.push(Message::assistant(text.clone()));
+        span.count("chatbot.apologies", 1);
+        self.finish(span, text, RouterDecision::Apology, trace, |r| {
+            r.sparql = sparql_used;
+        })
+    }
+
+    /// Close out a turn: stamp route + degradation onto the span and
+    /// build the reply.
+    fn finish(
+        &self,
+        span: obs::Span,
+        text: String,
+        decision: RouterDecision,
+        trace: DegradationTrace,
+        patch: impl FnOnce(&mut BotReply),
+    ) -> BotReply {
+        span.set("route", decision.label());
+        if trace.degraded() {
+            span.set("degraded", true);
+            span.set("degradation", trace.render());
+        }
+        let mut reply = BotReply {
+            text,
+            decision,
             sparql: None,
             rows: 0,
             exec: ExecStats::default(),
+            degradation: trace,
+        };
+        patch(&mut reply);
+        reply
+    }
+
+    /// Human-readable name of a term for reply text.
+    fn term_name(&self, t: &kg::Term) -> String {
+        match t {
+            kg::Term::Iri(iri) => self
+                .graph
+                .pool()
+                .get_iri(iri)
+                .map(|s| self.graph.display_name(s))
+                .unwrap_or_else(|| kg::namespace::humanize(kg::namespace::local_name(iri))),
+            kg::Term::Literal(l) => l.lexical.clone(),
+            kg::Term::Blank(b) => b.clone(),
         }
+    }
+
+    /// The template-QA rung: find an entity mention and a predicate whose
+    /// humanized name occurs in the utterance, and answer with the stored
+    /// objects directly — no query generation, no LLM.
+    fn entity_lookup(&self, resolved: &str) -> Option<String> {
+        let entity = self.find_entity(resolved)?;
+        let lower = resolved.to_lowercase();
+        let mut best: Option<(usize, Sym)> = None;
+        for (p, _) in self.graph.outgoing(entity) {
+            let Some(iri) = self.graph.resolve(p).as_iri() else {
+                continue;
+            };
+            let phrase = kg::namespace::humanize(kg::namespace::local_name(iri));
+            if phrase.len() >= 3 && lower.contains(&phrase.to_lowercase()) {
+                match best {
+                    Some((len, _)) if phrase.len() <= len => {}
+                    _ => best = Some((phrase.len(), p)),
+                }
+            }
+        }
+        let (_, pred) = best?;
+        let objects = self.graph.objects(entity, pred);
+        if objects.is_empty() {
+            return None;
+        }
+        let names: Vec<String> = objects
+            .iter()
+            .map(|&o| self.term_name(self.graph.resolve(o)))
+            .collect();
+        Some(names.join(", "))
     }
 
     /// Replace leading/contained pronouns with the focus entity's name.
@@ -160,10 +347,18 @@ impl<'a> ChatBot<'a> {
                 if out.starts_with(&leading) {
                     out = format!("{name} {}", &out[leading.len()..]);
                 }
-                if out.to_lowercase().ends_with(&format!(" {p}?")) {
-                    let cut = out.len() - p.len() - 1;
-                    out = format!("{}{name}?", &out[..cut]);
-                }
+            }
+            // trailing pronoun ("…directed by it?"): compare the raw byte
+            // suffix ASCII-case-insensitively — byte-length-changing case
+            // folds (e.g. 'İ') must never skew the cut offset.
+            let suffix = format!(" {p}?");
+            let n = suffix.len();
+            if out.len() >= n
+                && out.is_char_boundary(out.len() - n)
+                && out[out.len() - n..].eq_ignore_ascii_case(&suffix)
+            {
+                let cut = out.len() - n + 1; // keep the leading space
+                out = format!("{}{name}?", &out[..cut]);
             }
         }
         out
@@ -190,10 +385,33 @@ impl<'a> ChatBot<'a> {
         best.map(|(_, e)| e)
     }
 
+    /// Consult the fault injector, counting injected faults.
+    fn fault(&self, span: &obs::Span, point: FaultPoint) -> bool {
+        if self.faults.should_fail(point) {
+            span.count("resilience.faults_injected", 1);
+            true
+        } else {
+            false
+        }
+    }
+
     /// The transcript so far.
     pub fn session(&self) -> &ChatSession {
         &self.session
     }
+}
+
+/// Record one ladder fall: append it to the trace and bump the
+/// `resilience.*` fallback counters.
+fn fall(
+    span: &obs::Span,
+    trace: &mut DegradationTrace,
+    rung: &'static str,
+    reason: impl Into<String>,
+) {
+    span.count("resilience.fallbacks", 1);
+    span.count(&format!("resilience.fallback.{rung}"), 1);
+    trace.fall(rung, reason);
 }
 
 fn capitalize(s: &str) -> String {

@@ -16,7 +16,10 @@ use kgquery::ast::{NodeRef, PatternElem, PropPath, Query};
 use kgquery::exec::{execute_observed, ExecOptions};
 use kgquery::results::ResultSet;
 use kgquery::QueryError;
+use resilience::{FaultInjector, FaultPoint, NoFaults, ResourceLimits};
 use slm::Slm;
+
+static NO_FAULTS: NoFaults = NoFaults;
 
 /// Execution statistics for one hybrid query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +35,8 @@ pub struct HybridExecutor<'a> {
     graph: &'a Graph,
     slm: &'a Slm,
     virtual_preds: BTreeSet<String>,
+    faults: &'a dyn FaultInjector,
+    limits: ResourceLimits,
 }
 
 impl<'a> HybridExecutor<'a> {
@@ -41,7 +46,23 @@ impl<'a> HybridExecutor<'a> {
             graph,
             slm,
             virtual_preds,
+            faults: &NO_FAULTS,
+            limits: ResourceLimits::unlimited(),
         }
+    }
+
+    /// Inject a fault schedule (chaos testing). An injected generation
+    /// fault makes the LLM call for that virtual binding fail, which
+    /// degrades gracefully: the row is dropped and counted as a miss.
+    pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Budget the store-side query execution.
+    pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// Execute a SPARQL string under hybrid semantics.
@@ -110,9 +131,10 @@ impl<'a> HybridExecutor<'a> {
             true
         });
         span.set("virtual_patterns", virtuals.len());
+        let opts = ExecOptions::with_limits(self.limits.clone());
         if virtuals.is_empty() {
             return Ok((
-                execute_observed(self.graph, query, &ExecOptions::default(), span)?,
+                execute_observed(self.graph, query, &opts, span)?,
                 HybridStats::default(),
             ));
         }
@@ -125,7 +147,7 @@ impl<'a> HybridExecutor<'a> {
         inner.limit = None;
         inner.offset = 0;
         inner.order_by = Vec::new();
-        let inner_rs = execute_observed(self.graph, &inner, &ExecOptions::default(), span)?;
+        let inner_rs = execute_observed(self.graph, &inner, &opts, span)?;
 
         let mut stats = HybridStats::default();
         // output vars: inner vars + virtual object *variables* (constant
@@ -164,6 +186,14 @@ impl<'a> HybridExecutor<'a> {
                 let phrase = kg::namespace::humanize(kg::namespace::local_name(pred));
                 let question = format!("What is {subject_label} {phrase}?");
                 stats.llm_calls += 1;
+                // an injected generation fault degrades like an LLM that
+                // cannot answer: the row is dropped and counted as a miss
+                if self.faults.should_fail(FaultPoint::Generation) {
+                    span.count("resilience.faults_injected", 1);
+                    stats.llm_misses += 1;
+                    ok = false;
+                    break;
+                }
                 let answer = self.slm.answer(&question, &[]);
                 if !answer.is_answered() || answer.hallucinated {
                     stats.llm_misses += 1;
@@ -339,6 +369,40 @@ mod tests {
             tracer.registry().counter("hybrid.llm_calls"),
             stats.llm_calls as u64
         );
+    }
+
+    #[test]
+    fn injected_generation_faults_degrade_to_misses_not_errors() {
+        let (kg, slm, vpred) = fixture();
+        let plan = resilience::FaultPlan::always(&[resilience::FaultPoint::Generation]);
+        let exec = HybridExecutor::new(&kg.graph, &slm, BTreeSet::from([vpred.clone()]))
+            .with_faults(&plan);
+        let q = format!(
+            "SELECT ?f ?y WHERE {{ ?f a <{}Film> . ?f <{vpred}> ?y }}",
+            kg::namespace::SYNTH_VOCAB
+        );
+        let (rs, stats) = exec.execute(&q).expect("degrades, does not error");
+        assert!(rs.is_empty());
+        assert_eq!(stats.llm_misses, stats.llm_calls);
+        assert!(stats.llm_calls > 0);
+        assert!(plan.injected() > 0);
+    }
+
+    #[test]
+    fn store_side_honors_resource_limits() {
+        let (kg, slm, vpred) = fixture();
+        let exec = HybridExecutor::new(&kg.graph, &slm, BTreeSet::from([vpred.clone()]))
+            .with_limits(resilience::ResourceLimits::unlimited().with_max_rows(0));
+        let q = format!(
+            "SELECT ?f ?y WHERE {{ ?f a <{}Film> . ?f <{vpred}> ?y }}",
+            kg::namespace::SYNTH_VOCAB
+        );
+        match exec.execute(&q) {
+            Err(QueryError::LimitExceeded { limit, .. }) => {
+                assert_eq!(limit, resilience::Limit::Rows(0));
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
     }
 
     #[test]

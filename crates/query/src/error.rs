@@ -18,6 +18,28 @@ pub enum QueryError {
     UnboundVariable(String),
     /// A query feature outside the supported subset.
     Unsupported(String),
+    /// Execution tripped a [`resilience::ResourceLimits`] budget (or the
+    /// caller's cancel token) before the result could be produced.
+    ///
+    /// For `LIMIT`-style shapes the executor prefers returning a
+    /// [`crate::ResultSet`] with `truncated` set instead of this error; see
+    /// `docs/resilience.md` for the policy.
+    LimitExceeded {
+        /// The budget that tripped, carrying its configured value.
+        limit: resilience::Limit,
+        /// The observed value at the moment the check fired
+        /// (rows materialized, elapsed ms, path expansions).
+        observed: u64,
+    },
+}
+
+impl From<resilience::LimitViolation> for QueryError {
+    fn from(v: resilience::LimitViolation) -> Self {
+        QueryError::LimitExceeded {
+            limit: v.limit,
+            observed: v.observed,
+        }
+    }
 }
 
 impl fmt::Display for QueryError {
@@ -32,6 +54,14 @@ impl fmt::Display for QueryError {
             }
             QueryError::UnboundVariable(v) => write!(f, "unbound variable ?{v}"),
             QueryError::Unsupported(m) => write!(f, "unsupported query feature: {m}"),
+            QueryError::LimitExceeded { limit, observed } => write!(
+                f,
+                "{}",
+                resilience::LimitViolation {
+                    limit: *limit,
+                    observed: *observed
+                }
+            ),
         }
     }
 }
@@ -56,5 +86,26 @@ mod tests {
         assert!(QueryError::Unsupported("GRAPH".into())
             .to_string()
             .contains("GRAPH"));
+        let e = QueryError::LimitExceeded {
+            limit: resilience::Limit::Rows(100),
+            observed: 250,
+        };
+        assert!(e.to_string().contains("rows=100"));
+        assert!(e.to_string().contains("250"));
+    }
+
+    #[test]
+    fn from_violation_preserves_fields() {
+        let v = resilience::LimitViolation {
+            limit: resilience::Limit::WallMs(5),
+            observed: 9,
+        };
+        match QueryError::from(v) {
+            QueryError::LimitExceeded { limit, observed } => {
+                assert_eq!(limit, resilience::Limit::WallMs(5));
+                assert_eq!(observed, 9);
+            }
+            other => panic!("unexpected variant: {other:?}"),
+        }
     }
 }

@@ -47,6 +47,8 @@ use kg::store::TriplePattern;
 use kg::term::{Sym, Term};
 use kg::Graph;
 
+use resilience::{ExecContext, LimitViolation, ResourceLimits};
+
 use crate::algebra::{compile, Plan};
 use crate::ast::{Expr, NodeRef, Order, PropPath, Query, QueryKind, TriplePatternAst};
 use crate::error::QueryError;
@@ -113,6 +115,16 @@ pub struct ExecOptions {
     /// Allow `ORDER BY`-free `LIMIT`/`ASK` queries to stop early under a
     /// row budget instead of materializing every solution.
     pub streaming: bool,
+    /// Resource budgets (rows, wall-clock, path expansions) enforced
+    /// cooperatively during evaluation. Default: unlimited.
+    pub limits: ResourceLimits,
+    /// Caller-held cancellation token, polled at the same checkpoints as
+    /// the deadline. `None` means execution cannot be cancelled.
+    pub cancel: Option<resilience::CancelToken>,
+    /// Clock used for the wall-clock budget; `None` uses the real
+    /// monotonic clock. Tests inject a [`resilience::ManualClock`] here to
+    /// make deadline behavior deterministic.
+    pub clock: Option<resilience::Clock>,
 }
 
 impl Default for ExecOptions {
@@ -121,7 +133,48 @@ impl Default for ExecOptions {
             parallel_threshold: default_parallel_threshold(),
             shard_count: None,
             streaming: true,
+            limits: ResourceLimits::unlimited(),
+            cancel: None,
+            clock: None,
         }
+    }
+}
+
+impl ExecOptions {
+    /// Default options with the given resource budgets attached.
+    ///
+    /// Note that the defaults include the host-derived
+    /// [`default_parallel_threshold`]; determinism-sensitive tests should
+    /// pin `parallel_threshold` (and `shard_count`) explicitly — see
+    /// `docs/query-executor.md`.
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use kgquery::exec::ExecOptions;
+    /// use resilience::ResourceLimits;
+    ///
+    /// let opts = ExecOptions::with_limits(
+    ///     ResourceLimits::unlimited()
+    ///         .with_max_rows(10_000)
+    ///         .with_wall(Duration::from_millis(250)),
+    /// );
+    /// assert_eq!(opts.limits.max_rows, Some(10_000));
+    /// assert!(opts.streaming);
+    /// ```
+    pub fn with_limits(limits: ResourceLimits) -> Self {
+        ExecOptions {
+            limits,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Build the enforcement context these options describe.
+    fn exec_context(&self) -> ExecContext {
+        ExecContext::with_clock(
+            self.limits.clone(),
+            self.clock.clone().unwrap_or_default(),
+            self.cancel.clone().unwrap_or_default(),
+        )
     }
 }
 
@@ -191,17 +244,37 @@ pub fn execute_observed(
             span.set("rows", rs.len());
             span.count("exec.queries", 1);
             span.count("exec.rows", rs.len() as u64);
+            if rs.truncated {
+                span.set("truncated", true);
+                if let Some(v) = rs.truncation {
+                    span.set("truncated_by", v.limit.label());
+                }
+                span.count("resilience.limit_hits", 1);
+                span.count("resilience.truncated", 1);
+            }
             rs.stats.record_into(&span);
         }
-        Err(_) => {
+        Err(e) => {
             span.set("error", true);
             span.count("exec.errors", 1);
+            if let QueryError::LimitExceeded { limit, .. } = e {
+                span.set("limit_exceeded", limit.label());
+                span.count("resilience.limit_hits", 1);
+            }
         }
     }
     result
 }
 
 /// Execute a parsed query with explicit evaluation options.
+///
+/// When [`ExecOptions::limits`] carries budgets, evaluation checks them
+/// cooperatively at stage boundaries and inside the streaming DFS loop. A
+/// tripped budget surfaces as [`QueryError::LimitExceeded`] — except for
+/// query shapes whose prefix is meaningful (`ASK` and `ORDER BY`-free,
+/// non-`DISTINCT` `LIMIT` selects), which instead return the rows produced
+/// so far with [`ResultSet::truncated`] set and the violation recorded in
+/// [`ResultSet::truncation`].
 pub fn execute_with(
     graph: &Graph,
     query: &Query,
@@ -212,23 +285,45 @@ pub fn execute_with(
     let mut bound_slots = BTreeSet::new();
     let cplan = compile_plan(graph, &plan, &mut vars, &mut bound_slots);
     let mut stats = ExecStats::default();
+    let rc = opts.exec_context();
+    let budget = row_budget(query, opts);
     let ctx = EvalCtx {
         graph,
         opts,
         paths: PathCache::default(),
+        rc: &rc,
+        // only prefix-meaningful shapes may absorb a violation by truncating
+        truncate_ok: budget.is_some(),
     };
-    let budget = row_budget(query, opts);
-    let mut solutions = eval(
-        &ctx,
-        &cplan,
-        vec![vec![None; vars.len()]],
-        budget,
-        &mut stats,
-    );
+    let eval_result = match rc.check_now() {
+        Ok(()) => eval(
+            &ctx,
+            &cplan,
+            vec![vec![None; vars.len()]],
+            budget,
+            &mut stats,
+        ),
+        Err(v) => Err(v),
+    };
+    let mut solutions = match eval_result {
+        Ok(rows) => rows,
+        Err(v) if ctx.truncate_ok => {
+            rc.record_truncation(v);
+            Vec::new()
+        }
+        Err(v) => return Err(v.into()),
+    };
     stats.path_cache_hits = ctx.paths.hits();
+    let truncation = rc.take_truncation();
+    let finish = |rs: ResultSet| match truncation {
+        Some(v) => rs.with_truncation(v),
+        None => rs,
+    };
 
     match &query.kind {
-        QueryKind::Ask => Ok(ResultSet::ask(!solutions.is_empty()).with_stats(stats)),
+        QueryKind::Ask => Ok(finish(
+            ResultSet::ask(!solutions.is_empty()).with_stats(stats),
+        )),
         QueryKind::Select {
             vars: sel,
             distinct,
@@ -254,6 +349,8 @@ pub fn execute_with(
                 }
             }
             if !query.order_by.is_empty() {
+                // stage boundary: don't start a large sort past the deadline
+                rc.check_now()?;
                 let keys: Vec<(usize, Order)> = query
                     .order_by
                     .iter()
@@ -302,7 +399,7 @@ pub fn execute_with(
                         .collect()
                 })
                 .collect();
-            Ok(ResultSet::select(projected, rows).with_stats(stats))
+            Ok(finish(ResultSet::select(projected, rows).with_stats(stats)))
         }
     }
 }
@@ -780,13 +877,19 @@ fn avg_fanout(total: usize, distinct: usize) -> usize {
 // Evaluation over slot bindings
 // ---------------------------------------------------------------------------
 
-/// Shared, read-only evaluation state: the graph, the options, and the
+/// Shared, read-only evaluation state: the graph, the options, the
 /// per-query path memo table (internally synchronized, so shards on
-/// worker threads share one cache).
+/// worker threads share one cache), and the resource-governance context
+/// (also internally synchronized) that evaluation checks cooperatively.
 struct EvalCtx<'a> {
     graph: &'a Graph,
     opts: &'a ExecOptions,
     paths: PathCache,
+    rc: &'a ExecContext,
+    /// May a budget violation be absorbed by truncating the result instead
+    /// of failing the query? True exactly when the shape carries a row
+    /// budget (`ASK`, `ORDER BY`-free non-`DISTINCT` `LIMIT`).
+    truncate_ok: bool,
 }
 
 /// Memo key for one path evaluation: the path plus its fixed endpoints.
@@ -845,18 +948,23 @@ fn row_budget(query: &Query, opts: &ExecOptions) -> Option<usize> {
 /// rows the caller will consume: when `Some(k)`, the node returns exactly
 /// the first `min(n, k)` rows of its unbudgeted output, in the same
 /// order — the invariant that makes streaming `LIMIT` slicing exact.
+///
+/// `Err` means a resource budget tripped mid-evaluation; the partial rows
+/// are discarded and the violation propagates to [`execute_with`], except
+/// in the streaming BGP path, which can absorb it (see
+/// [`eval_bgp_streaming`]).
 fn eval(
     ctx: &EvalCtx,
     plan: &CPlan,
     input: Vec<Binding>,
     budget: Option<usize>,
     stats: &mut ExecStats,
-) -> Vec<Binding> {
+) -> Result<Vec<Binding>, LimitViolation> {
     match plan {
-        CPlan::Unit => match budget {
+        CPlan::Unit => Ok(match budget {
             Some(k) if input.len() > k => input.into_iter().take(k).collect(),
             _ => input,
-        },
+        }),
         CPlan::Bgp(patterns) => match budget {
             Some(k) => eval_bgp_streaming(ctx, patterns, input, k, stats),
             None => eval_bgp(ctx, patterns, input, stats),
@@ -864,52 +972,58 @@ fn eval(
         CPlan::Sequence(parts) => {
             let mut acc = input;
             for (i, p) in parts.iter().enumerate() {
+                // stage boundary between sequence parts
+                ctx.rc.check_now()?;
                 // only the last part's output is the node's output, so
                 // only it may stop early
                 let part_budget = if i + 1 == parts.len() { budget } else { None };
-                acc = eval(ctx, p, acc, part_budget, stats);
+                acc = eval(ctx, p, acc, part_budget, stats)?;
                 if acc.is_empty() {
                     break;
                 }
             }
-            acc
+            Ok(acc)
         }
         CPlan::LeftJoin(left, right) => {
             // every left solution yields at least one output row, so the
             // budget caps the left side too
-            let lefts = eval(ctx, left, input, budget, stats);
+            let lefts = eval(ctx, left, input, budget, stats)?;
             let mut out = Vec::new();
             for b in lefts {
+                ctx.rc.checkpoint()?;
                 // remaining is ≥ 1 here: we break as soon as the budget
                 // fills, so a budgeted right side can never return an
                 // artificially empty (→ spurious unmatched-left) result
                 let remaining = budget.map(|k| k - out.len());
-                let rs = eval(ctx, right, vec![b.clone()], remaining, stats);
+                let rs = eval(ctx, right, vec![b.clone()], remaining, stats)?;
                 if rs.is_empty() {
                     out.push(b);
                 } else {
                     out.extend(rs);
                 }
+                ctx.rc.check_rows(out.len())?;
                 if budget.is_some_and(|k| out.len() >= k) {
                     break;
                 }
             }
-            out
+            Ok(out)
         }
         CPlan::Union(l, r) => {
-            let mut out = eval(ctx, l, input.clone(), budget, stats);
+            let mut out = eval(ctx, l, input.clone(), budget, stats)?;
             let remaining = budget.map(|k| k.saturating_sub(out.len()));
             if remaining != Some(0) {
-                out.extend(eval(ctx, r, input, remaining, stats));
+                out.extend(eval(ctx, r, input, remaining, stats)?);
             }
-            out
+            ctx.rc.check_rows(out.len())?;
+            Ok(out)
         }
         CPlan::Filter(e, inner) => {
             // the filter may reject any row, so no budget can be pushed
             // into the inner plan; it still bounds how much gets filtered
-            let sols = eval(ctx, inner, input, None, stats);
+            let sols = eval(ctx, inner, input, None, stats)?;
             let mut out = Vec::new();
             for b in sols {
+                ctx.rc.checkpoint()?;
                 if eval_expr(ctx.graph, e, &b).unwrap_or(false) {
                     out.push(b);
                     if budget.is_some_and(|k| out.len() >= k) {
@@ -917,7 +1031,7 @@ fn eval(
                     }
                 }
             }
-            out
+            Ok(out)
         }
     }
 }
@@ -931,21 +1045,27 @@ fn eval_bgp(
     patterns: &[SlotPattern],
     input: Vec<Binding>,
     stats: &mut ExecStats,
-) -> Vec<Binding> {
+) -> Result<Vec<Binding>, LimitViolation> {
     let mut current = input;
     for pat in patterns {
         if current.is_empty() {
             break;
         }
+        // stage boundary: poll cancellation/deadline before each pass
+        ctx.rc.check_now()?;
         stats.patterns_scanned += 1;
         let next = match ctx.opts.parallel_threshold {
             Some(threshold) if current.len() >= threshold.max(1) => {
-                extend_stage_parallel(ctx, pat, current, stats)
+                extend_stage_parallel(ctx, pat, current, stats)?
             }
             _ => {
                 let mut next = Vec::new();
                 for b in current {
-                    extend_with_pattern(ctx, pat, b, &mut next, stats);
+                    ctx.rc.checkpoint()?;
+                    extend_with_pattern(ctx, pat, b, &mut next, stats)?;
+                    // exact row check per input binding, so a cross-product
+                    // stage trips the budget long before it materializes
+                    ctx.rc.check_rows(next.len())?;
                 }
                 next
             }
@@ -953,7 +1073,7 @@ fn eval_bgp(
         stats.intermediate_bindings += next.len();
         current = next;
     }
-    current
+    Ok(current)
 }
 
 /// Shard one extension stage across scoped threads.
@@ -967,7 +1087,7 @@ fn extend_stage_parallel(
     pat: &SlotPattern,
     bindings: Vec<Binding>,
     stats: &mut ExecStats,
-) -> Vec<Binding> {
+) -> Result<Vec<Binding>, LimitViolation> {
     let threads = ctx.opts.shard_count.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -977,9 +1097,11 @@ fn extend_stage_parallel(
     if shards <= 1 {
         let mut next = Vec::new();
         for b in bindings {
-            extend_with_pattern(ctx, pat, b, &mut next, stats);
+            ctx.rc.checkpoint()?;
+            extend_with_pattern(ctx, pat, b, &mut next, stats)?;
+            ctx.rc.check_rows(next.len())?;
         }
-        return next;
+        return Ok(next);
     }
     let chunk_len = bindings.len().div_ceil(shards);
     let mut chunks: Vec<Vec<Binding>> = Vec::with_capacity(shards);
@@ -989,17 +1111,25 @@ fn extend_stage_parallel(
         chunks.push(std::mem::replace(&mut rest, tail));
     }
     chunks.push(rest);
-    let results: Vec<(Vec<Binding>, ExecStats)> = crossbeam::thread::scope(|scope| {
+    type ShardResult = Result<(Vec<Binding>, ExecStats), LimitViolation>;
+    let results: Vec<ShardResult> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move |_| -> ShardResult {
                     let mut local = Vec::new();
                     let mut local_stats = ExecStats::default();
                     for b in chunk {
-                        extend_with_pattern(ctx, pat, b, &mut local, &mut local_stats);
+                        // the deadline/cancel state and the path-expansion
+                        // counter are shared atomics, so every shard
+                        // observes the same budgets; the row check is
+                        // per-shard (a stage stops within one shard's
+                        // share of the budget of overshoot)
+                        ctx.rc.checkpoint()?;
+                        extend_with_pattern(ctx, pat, b, &mut local, &mut local_stats)?;
+                        ctx.rc.check_rows(local.len())?;
                     }
-                    (local, local_stats)
+                    Ok((local, local_stats))
                 })
             })
             .collect();
@@ -1009,13 +1139,19 @@ fn extend_stage_parallel(
             .collect()
     })
     .expect("extension scope");
-    stats.parallel_shards += results.len();
-    let mut out = Vec::with_capacity(results.iter().map(|(rows, _)| rows.len()).sum());
-    for (rows, shard_stats) in results {
+    // fold in shard order so the first violation reported is deterministic
+    let mut shard_outputs = Vec::with_capacity(results.len());
+    for r in results {
+        shard_outputs.push(r?);
+    }
+    stats.parallel_shards += shard_outputs.len();
+    let mut out = Vec::with_capacity(shard_outputs.iter().map(|(rows, _)| rows.len()).sum());
+    for (rows, shard_stats) in shard_outputs {
         stats.merge(&shard_stats);
         out.extend(rows);
+        ctx.rc.check_rows(out.len())?;
     }
-    out
+    Ok(out)
 }
 
 /// Depth-first evaluation of a pre-ordered BGP under a row budget:
@@ -1028,20 +1164,30 @@ fn eval_bgp_streaming(
     input: Vec<Binding>,
     budget: usize,
     stats: &mut ExecStats,
-) -> Vec<Binding> {
+) -> Result<Vec<Binding>, LimitViolation> {
     let mut out = Vec::new();
     if budget == 0 || input.is_empty() {
-        return out;
+        return Ok(out);
     }
     // one stage per pattern, mirroring the staged evaluator's counter
     stats.patterns_scanned += patterns.len();
     for b in input {
-        dfs_extend(ctx, patterns, b, budget, &mut out, stats);
+        match dfs_extend(ctx, patterns, b, budget, &mut out, stats) {
+            Ok(()) => {}
+            // a prefix of the staged order is a correct answer for the
+            // budgeted shapes this evaluator serves, so a tripped budget
+            // truncates instead of failing
+            Err(v) if ctx.truncate_ok => {
+                ctx.rc.record_truncation(v);
+                return Ok(out);
+            }
+            Err(v) => return Err(v),
+        }
         if out.len() >= budget {
             break;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Recursive step of [`eval_bgp_streaming`]: extend `binding` through
@@ -1054,20 +1200,23 @@ fn dfs_extend(
     budget: usize,
     out: &mut Vec<Binding>,
     stats: &mut ExecStats,
-) {
+) -> Result<(), LimitViolation> {
     let Some((pat, rest)) = patterns.split_first() else {
         out.push(binding);
-        return;
+        return Ok(());
     };
-    let Some(m) = resolve_pattern(ctx, pat, &binding, stats) else {
-        return;
+    let Some(m) = resolve_pattern(ctx, pat, &binding, stats)? else {
+        return Ok(());
     };
     let total = m.rows.len();
     let mut source = Some(binding);
     for (i, (ms, mo, mp)) in m.rows.into_iter().enumerate() {
         if out.len() >= budget {
-            return;
+            return Ok(());
         }
+        // per-iteration checkpoint: the DFS can spin through many failed
+        // extensions without ever emitting a row
+        ctx.rc.checkpoint()?;
         let mut b = if i + 1 == total {
             source.take().expect("moved once, on the last match")
         } else {
@@ -1088,8 +1237,10 @@ fn dfs_extend(
             continue;
         }
         stats.intermediate_bindings += 1;
-        dfs_extend(ctx, rest, b, budget, out, stats);
+        ctx.rc.check_rows(stats.intermediate_bindings)?;
+        dfs_extend(ctx, rest, b, budget, out, stats)?;
     }
+    Ok(())
 }
 
 /// A pattern position resolved under one binding.
@@ -1134,14 +1285,15 @@ struct PatternMatches {
 }
 
 /// Resolve a compiled pattern against one binding and probe the graph for
-/// its matches. `None` means the pattern is unsatisfiable under this
-/// binding (an un-interned constant) — not merely matchless.
+/// its matches. `Ok(None)` means the pattern is unsatisfiable under this
+/// binding (an un-interned constant) — not merely matchless; `Err` means a
+/// resource budget tripped during property-path evaluation.
 fn resolve_pattern(
     ctx: &EvalCtx,
     t: &SlotPattern,
     binding: &Binding,
     stats: &mut ExecStats,
-) -> Option<PatternMatches> {
+) -> Result<Option<PatternMatches>, LimitViolation> {
     let resolve = |n: SlotNode| -> Option<Pos> {
         match n {
             SlotNode::Var(i) => Some(match binding[i] {
@@ -1152,13 +1304,17 @@ fn resolve_pattern(
             SlotNode::Const(None) => None, // unknown constant: no match
         }
     };
-    let (s, o) = (resolve(t.s)?, resolve(t.o)?);
+    let (Some(s), Some(o)) = (resolve(t.s), resolve(t.o)) else {
+        return Ok(None);
+    };
 
     let mut rows: Vec<(Sym, Sym, Option<Sym>)> = Vec::new();
     let mut p_slot = None;
     match &t.p {
         SlotPath::Pred(p) => {
-            let p = (*p)?;
+            let Some(p) = *p else {
+                return Ok(None);
+            };
             stats.index_probes += 1;
             let pat = TriplePattern {
                 s: s.known(),
@@ -1192,11 +1348,18 @@ fn resolve_pattern(
         }
         SlotPath::Path(path) => {
             stats.index_probes += 1;
-            let pairs = eval_path_memo(ctx.graph, Some(&ctx.paths), path, s.known(), o.known());
+            let pairs = eval_path_memo(
+                ctx.graph,
+                Some(&ctx.paths),
+                Some(ctx.rc),
+                path,
+                s.known(),
+                o.known(),
+            )?;
             rows.extend(pairs.iter().map(|&(ms, mo)| (ms, mo, None)));
         }
     }
-    Some(PatternMatches { s, o, p_slot, rows })
+    Ok(Some(PatternMatches { s, o, p_slot, rows }))
 }
 
 /// Extend one binding with all matches of a pattern. The binding is moved
@@ -1207,9 +1370,9 @@ fn extend_with_pattern(
     binding: Binding,
     out: &mut Vec<Binding>,
     stats: &mut ExecStats,
-) {
-    let Some(m) = resolve_pattern(ctx, t, &binding, stats) else {
-        return;
+) -> Result<(), LimitViolation> {
+    let Some(m) = resolve_pattern(ctx, t, &binding, stats)? else {
+        return Ok(());
     };
     let total = m.rows.len();
     let mut source = Some(binding);
@@ -1235,6 +1398,7 @@ fn extend_with_pattern(
         }
         out.push(b);
     }
+    Ok(())
 }
 
 /// Evaluate a property path, returning `(start, end)` pairs consistent
@@ -1250,7 +1414,8 @@ pub fn eval_path(
     s: Option<Sym>,
     o: Option<Sym>,
 ) -> Vec<(Sym, Sym)> {
-    compute_path(graph, None, path, s, o)
+    compute_path(graph, None, None, path, s, o)
+        .expect("unlimited path evaluation cannot trip a budget")
 }
 
 /// Memoizing wrapper around [`compute_path`]: consult the per-query cache
@@ -1264,21 +1429,22 @@ pub fn eval_path(
 fn eval_path_memo(
     graph: &Graph,
     cache: Option<&PathCache>,
+    rc: Option<&ExecContext>,
     path: &PropPath,
     s: Option<Sym>,
     o: Option<Sym>,
-) -> Arc<Vec<(Sym, Sym)>> {
+) -> Result<Arc<Vec<(Sym, Sym)>>, LimitViolation> {
     match cache {
         Some(c) if !path.is_simple() => {
             let key = (path.clone(), s, o);
             if let Some(hit) = c.get(&key) {
-                return hit;
+                return Ok(hit);
             }
-            let computed = Arc::new(compute_path(graph, cache, path, s, o));
+            let computed = Arc::new(compute_path(graph, cache, rc, path, s, o)?);
             c.put(key, computed.clone());
-            computed
+            Ok(computed)
         }
-        _ => Arc::new(compute_path(graph, cache, path, s, o)),
+        _ => Ok(Arc::new(compute_path(graph, cache, rc, path, s, o)?)),
     }
 }
 
@@ -1306,14 +1472,15 @@ impl std::ops::Deref for Pairs {
 fn eval_leg(
     graph: &Graph,
     cache: Option<&PathCache>,
+    rc: Option<&ExecContext>,
     path: &PropPath,
     s: Option<Sym>,
     o: Option<Sym>,
-) -> Pairs {
+) -> Result<Pairs, LimitViolation> {
     if cache.is_none() || path.is_simple() {
-        Pairs::Owned(compute_path(graph, cache, path, s, o))
+        Ok(Pairs::Owned(compute_path(graph, cache, rc, path, s, o)?))
     } else {
-        Pairs::Shared(eval_path_memo(graph, cache, path, s, o))
+        Ok(Pairs::Shared(eval_path_memo(graph, cache, rc, path, s, o)?))
     }
 }
 
@@ -1324,11 +1491,12 @@ fn eval_leg(
 fn compute_path(
     graph: &Graph,
     cache: Option<&PathCache>,
+    rc: Option<&ExecContext>,
     path: &PropPath,
     s: Option<Sym>,
     o: Option<Sym>,
-) -> Vec<(Sym, Sym)> {
-    match path {
+) -> Result<Vec<(Sym, Sym)>, LimitViolation> {
+    Ok(match path {
         PropPath::Iri(iri) => match graph.pool().get_iri(iri) {
             Some(p) => graph
                 .match_pattern(TriplePattern { s, p: Some(p), o })
@@ -1342,13 +1510,13 @@ fn compute_path(
             // inside a composite path it is unsupported and matches nothing
             Vec::new()
         }
-        PropPath::Inverse(inner) => eval_leg(graph, cache, inner, o, s)
+        PropPath::Inverse(inner) => eval_leg(graph, cache, rc, inner, o, s)?
             .iter()
             .map(|&(a, b)| (b, a))
             .collect(),
         PropPath::Alt(l, r) => {
-            let mut out: Vec<(Sym, Sym)> = eval_leg(graph, cache, l, s, o).to_vec();
-            out.extend(eval_leg(graph, cache, r, s, o).iter().copied());
+            let mut out: Vec<(Sym, Sym)> = eval_leg(graph, cache, rc, l, s, o)?.to_vec();
+            out.extend(eval_leg(graph, cache, rc, r, s, o)?.iter().copied());
             out.sort_unstable();
             out.dedup();
             out
@@ -1357,14 +1525,14 @@ fn compute_path(
             let mut out = Vec::new();
             // drive from the more constrained side
             if s.is_some() || o.is_none() {
-                for &(a, mid) in eval_leg(graph, cache, l, s, None).iter() {
-                    for &(_, b) in eval_leg(graph, cache, r, Some(mid), o).iter() {
+                for &(a, mid) in eval_leg(graph, cache, rc, l, s, None)?.iter() {
+                    for &(_, b) in eval_leg(graph, cache, rc, r, Some(mid), o)?.iter() {
                         out.push((a, b));
                     }
                 }
             } else {
-                for &(mid, b) in eval_leg(graph, cache, r, None, o).iter() {
-                    for &(a, _) in eval_leg(graph, cache, l, s, Some(mid)).iter() {
+                for &(mid, b) in eval_leg(graph, cache, rc, r, None, o)?.iter() {
+                    for &(a, _) in eval_leg(graph, cache, rc, l, s, Some(mid))?.iter() {
                         out.push((a, b));
                     }
                 }
@@ -1373,9 +1541,9 @@ fn compute_path(
             out.dedup();
             out
         }
-        PropPath::OneOrMore(inner) => closure(graph, cache, inner, s, o, false),
-        PropPath::ZeroOrMore(inner) => closure(graph, cache, inner, s, o, true),
-    }
+        PropPath::OneOrMore(inner) => closure(graph, cache, rc, inner, s, o, false)?,
+        PropPath::ZeroOrMore(inner) => closure(graph, cache, rc, inner, s, o, true)?,
+    })
 }
 
 /// Transitive closure of a path via BFS, optionally reflexive.
@@ -1388,17 +1556,18 @@ fn compute_path(
 fn closure(
     graph: &Graph,
     cache: Option<&PathCache>,
+    rc: Option<&ExecContext>,
     inner: &PropPath,
     s: Option<Sym>,
     o: Option<Sym>,
     reflexive: bool,
-) -> Vec<(Sym, Sym)> {
+) -> Result<Vec<(Sym, Sym)>, LimitViolation> {
     let starts: Vec<Sym> = match (s, o) {
         (Some(x), _) => vec![x],
         (None, _) => {
             // all nodes with any outgoing inner-path edge; for reflexive
             // paths additionally every node in the graph
-            let mut set: BTreeSet<Sym> = eval_leg(graph, cache, inner, None, None)
+            let mut set: BTreeSet<Sym> = eval_leg(graph, cache, rc, inner, None, None)?
                 .iter()
                 .map(|&(a, _)| a)
                 .collect();
@@ -1416,7 +1585,14 @@ fn closure(
         let mut queue = VecDeque::from([start]);
         let mut visited: BTreeSet<Sym> = BTreeSet::from([start]);
         while let Some(n) = queue.pop_front() {
-            for &(_, next) in eval_leg(graph, cache, inner, Some(n), None).iter() {
+            let edges = eval_leg(graph, cache, rc, inner, Some(n), None)?;
+            if let Some(rc) = rc {
+                // charge every frontier expansion, so a pathological
+                // closure trips the budget instead of flooding the BFS
+                rc.note_path_expansions(edges.len().max(1) as u64)?;
+                rc.checkpoint()?;
+            }
+            for &(_, next) in edges.iter() {
                 if visited.insert(next) {
                     queue.push_back(next);
                 }
@@ -1434,7 +1610,7 @@ fn closure(
     }
     out.sort_unstable();
     out.dedup();
-    out
+    Ok(out)
 }
 
 /// Three-valued filter evaluation: `None` = error (treated as false).
@@ -1822,6 +1998,122 @@ mod tests {
         let empty = run("PREFIX v: <http://v/> SELECT ?x WHERE { ?x v:never ?y }");
         assert_eq!(empty.stats.index_probes, 0);
         assert_eq!(empty.stats.intermediate_bindings, 0);
+    }
+
+    #[test]
+    fn row_limit_errors_on_materializing_shape() {
+        // ORDER BY disables the row budget, so the violation must surface
+        // as a typed error rather than a silently partial table
+        let g = graph();
+        let q = parse("SELECT ?x ?y WHERE { ?x ?p ?y } ORDER BY ?x").unwrap();
+        let opts = ExecOptions::with_limits(ResourceLimits::unlimited().with_max_rows(2));
+        match execute_with(&g, &q, &opts) {
+            Err(QueryError::LimitExceeded { limit, observed }) => {
+                assert_eq!(limit, resilience::Limit::Rows(2));
+                assert!(observed > 2);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_limit_truncates_limit_shape() {
+        // a LIMIT query's prefix is meaningful, so the budget trims the
+        // answer and flags it instead of failing
+        let g = graph();
+        let q = parse("SELECT ?x ?y WHERE { ?x ?p ?y . ?a ?q ?b } LIMIT 500").unwrap();
+        let opts = ExecOptions::with_limits(ResourceLimits::unlimited().with_max_rows(3));
+        let rs = execute_with(&g, &q, &opts).expect("truncated, not failed");
+        assert!(rs.truncated);
+        let v = rs.truncation.expect("reason recorded");
+        assert_eq!(v.limit, resilience::Limit::Rows(3));
+        assert!(rs.len() <= 4);
+    }
+
+    #[test]
+    fn zero_wall_budget_is_deterministic_with_manual_clock() {
+        // the deadline anchors at execution start, so a zero budget is the
+        // deterministic way to exercise the expiry path: it is already
+        // expired at the first check, regardless of host speed
+        let g = graph();
+        let clock = resilience::ManualClock::new();
+        let mut opts = ExecOptions::with_limits(
+            ResourceLimits::unlimited().with_wall(std::time::Duration::ZERO),
+        );
+        opts.clock = Some(resilience::Clock::Manual(clock.clone()));
+        let q = parse("SELECT ?x WHERE { ?x ?p ?y } ORDER BY ?x").unwrap();
+        match execute_with(&g, &q, &opts) {
+            Err(QueryError::LimitExceeded { limit, observed }) => {
+                assert_eq!(limit, resilience::Limit::WallMs(0));
+                assert_eq!(observed, 0);
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+        // a budgeted (ASK) shape degrades to a truncated result instead
+        let ask = parse("ASK { ?x ?p ?y }").unwrap();
+        let rs = execute_with(&g, &ask, &opts).expect("truncated, not failed");
+        assert!(rs.truncated);
+        assert_eq!(rs.truncation.unwrap().limit, resilience::Limit::WallMs(0));
+    }
+
+    #[test]
+    fn cancel_token_stops_execution() {
+        let g = graph();
+        let cancel = resilience::CancelToken::new();
+        let mut opts = ExecOptions::default();
+        opts.cancel = Some(cancel.clone());
+        cancel.cancel();
+        let q = parse("SELECT ?x WHERE { ?x ?p ?y } ORDER BY ?x").unwrap();
+        match execute_with(&g, &q, &opts) {
+            Err(QueryError::LimitExceeded { limit, .. }) => {
+                assert_eq!(limit, resilience::Limit::Cancelled);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn path_expansion_budget_trips_closure() {
+        let g = graph();
+        let q = parse("PREFIX v: <http://v/> SELECT ?x ?z WHERE { ?x v:knows+ ?z } ORDER BY ?x ?z")
+            .unwrap();
+        // the knows-chain closure needs several BFS expansions; budget 1
+        // cannot cover it
+        let opts =
+            ExecOptions::with_limits(ResourceLimits::unlimited().with_max_path_expansions(1));
+        match execute_with(&g, &q, &opts) {
+            Err(QueryError::LimitExceeded { limit, .. }) => {
+                assert_eq!(limit, resilience::Limit::PathExpansions(1));
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+        // a generous budget leaves the answer untouched
+        let opts =
+            ExecOptions::with_limits(ResourceLimits::unlimited().with_max_path_expansions(10_000));
+        let rs = execute_with(&g, &q, &opts).expect("within budget");
+        assert!(!rs.truncated);
+        assert_eq!(rs, execute(&g, &q).unwrap());
+    }
+
+    #[test]
+    fn limits_do_not_change_unconstrained_answers() {
+        let g = graph();
+        let generous = ExecOptions::with_limits(
+            ResourceLimits::unlimited()
+                .with_max_rows(1_000_000)
+                .with_wall(std::time::Duration::from_secs(60))
+                .with_max_path_expansions(1_000_000),
+        );
+        for q in [
+            "PREFIX v: <http://v/> SELECT ?x ?y WHERE { ?x v:knows ?y } ORDER BY ?x",
+            "PREFIX v: <http://v/> SELECT ?x WHERE { ?x a v:Person } LIMIT 1",
+            "PREFIX e: <http://e/> PREFIX v: <http://v/> ASK { e:a v:knows e:b }",
+        ] {
+            let parsed = parse(q).unwrap();
+            let limited = execute_with(&g, &parsed, &generous).expect("runs");
+            assert!(!limited.truncated, "spurious truncation on {q}");
+            assert_eq!(limited, execute(&g, &parsed).unwrap(), "divergence on {q}");
+        }
     }
 
     #[test]

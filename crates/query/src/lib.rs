@@ -64,6 +64,28 @@ pub fn execute_sparql_observed(
     exec::execute_observed(graph, &q, &exec::ExecOptions::default(), span)
 }
 
+/// Parse and execute a SPARQL query with explicit [`exec::ExecOptions`]
+/// (resource limits, cancellation, parallelism knobs).
+pub fn execute_sparql_with(
+    graph: &Graph,
+    query: &str,
+    opts: &exec::ExecOptions,
+) -> Result<ResultSet, QueryError> {
+    let q = parser::parse(query)?;
+    exec::execute_with(graph, &q, opts)
+}
+
+/// [`execute_sparql_with`] under an observability span.
+pub fn execute_sparql_observed_with(
+    graph: &Graph,
+    query: &str,
+    opts: &exec::ExecOptions,
+    span: &obs::Span,
+) -> Result<ResultSet, QueryError> {
+    let q = parser::parse(query)?;
+    exec::execute_observed(graph, &q, opts, span)
+}
+
 /// Parse and execute a Cypher-lite query against a graph.
 pub fn execute_cypher(graph: &Graph, query: &str) -> Result<ResultSet, QueryError> {
     let q = cypher::parse(query)?;

@@ -16,6 +16,7 @@ pub fn parse(input: &str) -> Result<Query> {
     let mut p = Parser {
         tokens,
         pos: 0,
+        depth: 0,
         prefixes: HashMap::new(),
     };
     let q = p.parse_query()?;
@@ -296,9 +297,15 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
     Ok(out)
 }
 
+/// Group patterns may nest (`{ { ... } }`, OPTIONAL, UNION), and the
+/// parser recurses per level; a hostile query must not overflow the
+/// stack, so nesting is bounded.
+const MAX_GROUP_DEPTH: usize = 128;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: usize,
     prefixes: HashMap<String, String>,
 }
 
@@ -527,6 +534,18 @@ impl Parser {
 
     fn parse_group(&mut self) -> Result<GroupPattern> {
         self.expect_punct("{")?;
+        self.depth += 1;
+        if self.depth > MAX_GROUP_DEPTH {
+            return Err(self.err(format!(
+                "group patterns nested deeper than {MAX_GROUP_DEPTH}"
+            )));
+        }
+        let out = self.parse_group_body();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_group_body(&mut self) -> Result<GroupPattern> {
         let mut elems = Vec::new();
         loop {
             match self.peek() {

@@ -80,14 +80,25 @@ pub struct ResultSet {
     pub ask: Option<bool>,
     /// Work counters from the execution that produced this result.
     pub stats: ExecStats,
+    /// True when a resource budget cut evaluation short and the rows are a
+    /// (deterministic-prefix) subset of the full answer. Only set for query
+    /// shapes where partial output is meaningful (`LIMIT`-style SELECTs and
+    /// ASK); other shapes fail with `QueryError::LimitExceeded` instead.
+    pub truncated: bool,
+    /// Which budget caused the truncation, when [`ResultSet::truncated`].
+    pub truncation: Option<resilience::LimitViolation>,
 }
 
 /// Equality ignores [`ResultSet::stats`]: two result sets are equal when
 /// they hold the same answer, regardless of how much work produced it
-/// (so differential tests can compare executors directly).
+/// (so differential tests can compare executors directly). Truncation *is*
+/// part of the answer, so it participates in equality.
 impl PartialEq for ResultSet {
     fn eq(&self, other: &Self) -> bool {
-        self.vars == other.vars && self.rows == other.rows && self.ask == other.ask
+        self.vars == other.vars
+            && self.rows == other.rows
+            && self.ask == other.ask
+            && self.truncated == other.truncated
     }
 }
 
@@ -99,6 +110,8 @@ impl ResultSet {
             rows: Vec::new(),
             ask: Some(value),
             stats: ExecStats::default(),
+            truncated: false,
+            truncation: None,
         }
     }
 
@@ -109,12 +122,21 @@ impl ResultSet {
             rows,
             ask: None,
             stats: ExecStats::default(),
+            truncated: false,
+            truncation: None,
         }
     }
 
     /// Attach execution statistics.
     pub fn with_stats(mut self, stats: ExecStats) -> Self {
         self.stats = stats;
+        self
+    }
+
+    /// Mark this result as truncated by the given budget violation.
+    pub fn with_truncation(mut self, violation: resilience::LimitViolation) -> Self {
+        self.truncated = true;
+        self.truncation = Some(violation);
         self
     }
 
@@ -256,6 +278,18 @@ mod tests {
                 parallel_shards: 55,
             }
         );
+    }
+
+    #[test]
+    fn truncation_participates_in_equality() {
+        let a = ResultSet::select(vec!["x".into()], vec![vec![Some(Term::int(1))]]);
+        let b = a.clone().with_truncation(resilience::LimitViolation {
+            limit: resilience::Limit::Rows(1),
+            observed: 2,
+        });
+        assert!(b.truncated);
+        assert_eq!(b.truncation.unwrap().limit, resilience::Limit::Rows(1));
+        assert_ne!(a, b);
     }
 
     #[test]

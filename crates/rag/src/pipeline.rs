@@ -1,11 +1,22 @@
 //! The RAG ladder: closed-book → Naive → Advanced → Modular (paper §3).
+//!
+//! Orthogonally to the *capability* ladder above, every answer walks a
+//! *degradation* ladder (see `docs/resilience.md`): KG lookup → vector
+//! retrieval → closed-book generation → diagnostic apology. Rungs knocked
+//! out by a seeded [`resilience::FaultInjector`] or returning nothing are
+//! recorded in the answer's [`resilience::DegradationTrace`] and as
+//! `resilience.*` counters.
 
 use kg::namespace as ns;
 use kg::Graph;
+use resilience::{DegradationTrace, FaultInjector, FaultPoint, NoFaults};
 use slm::Slm;
 
 use crate::chunk::Chunk;
 use crate::vector::VectorIndex;
+
+/// The production default injector.
+static NO_FAULTS: NoFaults = NoFaults;
 
 /// Which rung of the RAG ladder to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +79,9 @@ pub struct RagAnswer {
     /// For the modular mode: the generated search program (KnowledgeGPT's
     /// "search code"), for observability.
     pub search_program: Option<String>,
+    /// The fallback rungs this answer walked down, and why. Empty when
+    /// the mode's primary route answered.
+    pub degradation: DegradationTrace,
 }
 
 /// A configured RAG pipeline over a chunked corpus and (optionally) a KG.
@@ -76,6 +90,7 @@ pub struct RagPipeline<'a> {
     chunks: Vec<Chunk>,
     index: VectorIndex,
     graph: Option<&'a Graph>,
+    faults: &'a dyn FaultInjector,
     /// Top-k chunks to retrieve.
     pub k: usize,
 }
@@ -90,8 +105,16 @@ impl<'a> RagPipeline<'a> {
             chunks,
             index,
             graph,
+            faults: &NO_FAULTS,
             k: 4,
         }
+    }
+
+    /// Inject a fault schedule (chaos testing). Production code keeps the
+    /// [`NoFaults`] default.
+    pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Answer a question under a mode.
@@ -111,7 +134,13 @@ impl<'a> RagPipeline<'a> {
         span.set("chunks_indexed", self.chunks.len());
         span.set("k", self.k);
         span.count("rag.answers", 1);
-        let answer = self.answer_inner(mode, question, &span);
+        let mut trace = DegradationTrace::new();
+        let mut answer = self.answer_inner(mode, question, &span, &mut trace);
+        if trace.degraded() {
+            span.set("degraded", true);
+            span.set("degradation", trace.render());
+        }
+        answer.degradation = trace;
         span.set("module", answer.module);
         span.set("candidates", answer.candidates);
         span.set("retrieved", answer.retrieved.len());
@@ -130,27 +159,29 @@ impl<'a> RagPipeline<'a> {
         answer
     }
 
-    fn answer_inner(&self, mode: RagMode, question: &str, span: &obs::Span) -> RagAnswer {
+    fn answer_inner(
+        &self,
+        mode: RagMode,
+        question: &str,
+        span: &obs::Span,
+        trace: &mut DegradationTrace,
+    ) -> RagAnswer {
         match mode {
-            RagMode::ClosedBook => {
-                let a = self.slm.answer(question, &[]);
-                RagAnswer {
-                    text: a.text,
-                    retrieved: Vec::new(),
-                    candidates: 0,
-                    context_chars: 0,
-                    hallucinated: a.hallucinated,
-                    confidence: a.confidence,
-                    module: "parametric",
-                    search_program: None,
-                }
-            }
+            RagMode::ClosedBook => self.closed_book_rung(question, span, trace),
             RagMode::Naive => {
+                if self.fault(span, FaultPoint::Exec) {
+                    fall(span, trace, "vector", "fault injected: exec");
+                    return self.closed_book_rung(question, span, trace);
+                }
                 let hits = self.index.search_exact(&self.slm.embed(question), self.k);
                 let candidates = hits.len();
-                self.answer_with_chunks(question, &hits, candidates, "vector", None)
+                self.vector_rung(question, &hits, candidates, span, trace)
             }
             RagMode::Advanced => {
+                if self.fault(span, FaultPoint::Exec) {
+                    fall(span, trace, "vector", "fault injected: exec");
+                    return self.closed_book_rung(question, span, trace);
+                }
                 // round 1: retrieve, harvest expansion terms
                 let first = self.index.search_exact(&self.slm.embed(question), self.k);
                 let mut expanded = question.to_string();
@@ -193,11 +224,14 @@ impl<'a> RagPipeline<'a> {
                 });
                 let candidates = reranked.len();
                 reranked.truncate(self.k);
-                self.answer_with_chunks(question, &reranked, candidates, "vector", None)
+                self.vector_rung(question, &reranked, candidates, span, trace)
             }
             RagMode::Modular => {
-                // router: does the question mention a KG entity?
-                if let Some(graph) = self.graph {
+                // rung 1: structured KG lookup, when the question mentions
+                // a KG entity
+                if self.fault(span, FaultPoint::Retrieval) {
+                    fall(span, trace, "kg-lookup", "fault injected: retrieval");
+                } else if let Some(graph) = self.graph {
                     if let Some(entity) = self.find_mentioned_entity(graph, question) {
                         let name = graph.display_name(entity);
                         let program = format!("Search(\"{name}\")");
@@ -223,22 +257,125 @@ impl<'a> RagPipeline<'a> {
                         }
                         let context_chars = context.iter().map(String::len).sum();
                         let a = self.slm.answer(question, &context);
-                        return RagAnswer {
-                            text: a.text,
-                            retrieved: Vec::new(),
-                            candidates: context.len(),
-                            context_chars,
-                            hallucinated: a.hallucinated,
-                            confidence: a.confidence,
-                            module: "kg-lookup",
-                            search_program: Some(program),
+                        // When the LM abstains over non-empty facts, serve
+                        // the facts themselves (template QA) rather than
+                        // falling: the lookup did find structured knowledge.
+                        let text = if a.text.is_empty() {
+                            context.join(". ")
+                        } else {
+                            a.text
                         };
+                        if text.is_empty() {
+                            fall(span, trace, "kg-lookup", "no facts for entity");
+                        } else {
+                            trace.serve("kg-lookup");
+                            return RagAnswer {
+                                text,
+                                retrieved: Vec::new(),
+                                candidates: context.len(),
+                                context_chars,
+                                hallucinated: a.hallucinated,
+                                confidence: a.confidence,
+                                module: "kg-lookup",
+                                search_program: Some(program),
+                                degradation: DegradationTrace::new(),
+                            };
+                        }
+                    } else {
+                        fall(span, trace, "kg-lookup", "no KG entity mentioned");
                     }
+                } else {
+                    fall(span, trace, "kg-lookup", "no KG attached");
+                }
+                // rung 2: vector retrieval
+                if self.fault(span, FaultPoint::Exec) {
+                    fall(span, trace, "vector", "fault injected: exec");
+                    return self.closed_book_rung(question, span, trace);
                 }
                 let hits = self.index.search_exact(&self.slm.embed(question), self.k);
                 let candidates = hits.len();
-                self.answer_with_chunks(question, &hits, candidates, "vector", None)
+                self.vector_rung(question, &hits, candidates, span, trace)
             }
+        }
+    }
+
+    /// The vector-retrieval rung: generate over the retrieved chunks,
+    /// falling to closed-book if the LM abstains.
+    fn vector_rung(
+        &self,
+        question: &str,
+        hits: &[(usize, f32)],
+        candidates: usize,
+        span: &obs::Span,
+        trace: &mut DegradationTrace,
+    ) -> RagAnswer {
+        let a = self.answer_with_chunks(question, hits, candidates, "vector", None);
+        if a.text.is_empty() {
+            fall(span, trace, "vector", "abstained");
+            return self.closed_book_rung(question, span, trace);
+        }
+        trace.serve("vector");
+        a
+    }
+
+    /// Rungs 3 and 4 of the degradation ladder: closed-book generation,
+    /// then a diagnostic apology naming every failed rung.
+    fn closed_book_rung(
+        &self,
+        question: &str,
+        span: &obs::Span,
+        trace: &mut DegradationTrace,
+    ) -> RagAnswer {
+        if self.fault(span, FaultPoint::Generation) {
+            fall(span, trace, "closed-book", "fault injected: generation");
+            return self.apology_rung(span, trace);
+        }
+        let a = self.slm.answer(question, &[]);
+        if a.text.is_empty() {
+            fall(span, trace, "closed-book", "abstained");
+            return self.apology_rung(span, trace);
+        }
+        trace.serve("closed-book");
+        RagAnswer {
+            text: a.text,
+            retrieved: Vec::new(),
+            candidates: 0,
+            context_chars: 0,
+            hallucinated: a.hallucinated,
+            confidence: a.confidence,
+            module: "parametric",
+            search_program: None,
+            degradation: DegradationTrace::new(),
+        }
+    }
+
+    /// The bottom rung: a diagnostic apology naming every failed rung.
+    fn apology_rung(&self, span: &obs::Span, trace: &mut DegradationTrace) -> RagAnswer {
+        trace.serve("apology");
+        span.count("rag.apologies", 1);
+        RagAnswer {
+            text: format!(
+                "Sorry — I could not answer that. Attempts: {}.",
+                trace.render()
+            ),
+            retrieved: Vec::new(),
+            candidates: 0,
+            context_chars: 0,
+            hallucinated: false,
+            confidence: 0.0,
+            module: "apology",
+            search_program: None,
+            degradation: DegradationTrace::new(),
+        }
+    }
+
+    /// Consult the fault injector, counting injected faults.
+    fn fault(&self, span: &obs::Span, point: FaultPoint) -> bool {
+        if self.faults.should_fail(point) {
+            span.count("resilience.faults_injected", 1);
+            true
+        } else {
+            false
         }
     }
 
@@ -265,6 +402,7 @@ impl<'a> RagPipeline<'a> {
             confidence: a.confidence,
             module,
             search_program,
+            degradation: DegradationTrace::new(),
         }
     }
 
@@ -288,6 +426,19 @@ impl<'a> RagPipeline<'a> {
         }
         best.map(|(_, e)| e)
     }
+}
+
+/// Record one ladder fall: append it to the trace and bump the
+/// `resilience.*` fallback counters.
+fn fall(
+    span: &obs::Span,
+    trace: &mut DegradationTrace,
+    rung: &'static str,
+    reason: impl Into<String>,
+) {
+    span.count("resilience.fallbacks", 1);
+    span.count(&format!("resilience.fallback.{rung}"), 1);
+    trace.fall(rung, reason);
 }
 
 #[cfg(test)]

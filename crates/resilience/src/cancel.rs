@@ -1,0 +1,58 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag shared between a caller and the work it
+/// spawned.
+///
+/// Cancellation is *cooperative*: setting the token does not interrupt
+/// anything by itself — long-running loops poll it (via
+/// [`crate::ExecContext::checkpoint`]) and unwind with a typed violation.
+///
+/// ```
+/// use llmkg_resilience::CancelToken;
+/// let t = CancelToken::new();
+/// let handle = t.clone();
+/// assert!(!t.is_cancelled());
+/// handle.cancel();
+/// assert!(t.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        // idempotent
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+}

@@ -1,0 +1,115 @@
+//! Monotonic time source with a manually advanced variant for tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A manually advanced clock for deterministic deadline tests.
+///
+/// Cloning shares the underlying counter, so a test can hold one handle,
+/// hand another to an [`crate::ExecContext`], and advance time exactly when
+/// it wants the deadline to fire.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A clock frozen at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.now_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Release);
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Acquire)
+    }
+}
+
+/// A monotonic time source: either the real [`Instant`] clock or a
+/// [`ManualClock`] injected by a test.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// Real monotonic time, measured from the stored origin.
+    Monotonic(Instant),
+    /// Test-controlled time.
+    Manual(ManualClock),
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::Monotonic(Instant::now())
+    }
+}
+
+impl Clock {
+    /// Nanoseconds elapsed since this clock's origin.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Monotonic(origin) => origin.elapsed().as_nanos() as u64,
+            Clock::Manual(m) => m.now_ns(),
+        }
+    }
+}
+
+/// A wall-clock budget measured against a [`Clock`].
+///
+/// `Deadline::after(clock, Duration::ZERO)` is expired immediately, which is
+/// the deterministic way to exercise "deadline hit" paths in tests.
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    clock: Clock,
+    expires_at_ns: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget` from the clock's current reading.
+    pub fn after(clock: Clock, budget: Duration) -> Self {
+        let expires_at_ns = clock.now_ns().saturating_add(budget.as_nanos() as u64);
+        Self {
+            clock,
+            expires_at_ns,
+        }
+    }
+
+    /// Has the budget been consumed?
+    pub fn expired(&self) -> bool {
+        self.clock.now_ns() >= self.expires_at_ns
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        Duration::from_nanos(self.expires_at_ns.saturating_sub(self.clock.now_ns()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_drives_deadline() {
+        let clock = ManualClock::new();
+        let d = Deadline::after(Clock::Manual(clock.clone()), Duration::from_millis(5));
+        assert!(!d.expired());
+        clock.advance(Duration::from_millis(4));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::ZERO);
+        clock.advance(Duration::from_millis(1));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Deadline::after(Clock::default(), Duration::ZERO);
+        assert!(d.expired());
+        let d = Deadline::after(Clock::Manual(ManualClock::new()), Duration::ZERO);
+        assert!(d.expired());
+    }
+}

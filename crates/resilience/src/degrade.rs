@@ -1,0 +1,120 @@
+//! Degradation-ladder bookkeeping.
+//!
+//! A serving path (chatbot, hybrid QA, RAG) walks an explicit ladder of
+//! fallbacks: every time a rung fails it records a [`DegradationStep`] saying
+//! *which* rung failed and *why*, then tries the next one. The final trace is
+//! attached to the reply and surfaced through the obs layer, so an operator
+//! can see at a glance why an answer was served degraded.
+
+/// One recorded fallback: a rung that was attempted and abandoned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegradationStep {
+    /// The rung that failed (e.g. `"text2sparql"`, `"kg-lookup"`).
+    pub rung: &'static str,
+    /// Why it failed (fault injected, limit hit, no results, ...).
+    pub reason: String,
+}
+
+/// An ordered record of the fallback rungs a serving path walked down.
+///
+/// An empty trace means the primary path answered. `served_by` names the rung
+/// that finally produced the reply (set exactly once, by the winner).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationTrace {
+    steps: Vec<DegradationStep>,
+    served_by: Option<&'static str>,
+}
+
+impl DegradationTrace {
+    /// A fresh trace (primary path, nothing degraded yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `rung` failed with `reason` and the ladder moved on.
+    pub fn fall(&mut self, rung: &'static str, reason: impl Into<String>) {
+        self.steps.push(DegradationStep {
+            rung,
+            reason: reason.into(),
+        });
+    }
+
+    /// Record the rung that produced the final reply.
+    pub fn serve(&mut self, rung: &'static str) {
+        self.served_by.get_or_insert(rung);
+    }
+
+    /// Did any rung fail before the reply was produced?
+    pub fn degraded(&self) -> bool {
+        !self.steps.is_empty()
+    }
+
+    /// Number of rungs that failed.
+    pub fn falls(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The recorded fallback steps, in order.
+    pub fn steps(&self) -> &[DegradationStep] {
+        &self.steps
+    }
+
+    /// The rung that produced the final reply, if recorded.
+    pub fn served_by(&self) -> Option<&'static str> {
+        self.served_by
+    }
+
+    /// Compact single-line rendering, e.g.
+    /// `"text2sparql(fault injected) -> kg-lookup(no rows) => llm-chat"`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" -> ");
+            }
+            out.push_str(s.rung);
+            out.push('(');
+            out.push_str(&s.reason);
+            out.push(')');
+        }
+        if let Some(served) = self.served_by {
+            if !out.is_empty() {
+                out.push_str(" => ");
+            }
+            out.push_str(served);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace_is_primary() {
+        let mut t = DegradationTrace::new();
+        assert!(!t.degraded());
+        t.serve("text2sparql");
+        assert!(!t.degraded());
+        assert_eq!(t.served_by(), Some("text2sparql"));
+        assert_eq!(t.render(), "text2sparql");
+    }
+
+    #[test]
+    fn falls_accumulate_in_order() {
+        let mut t = DegradationTrace::new();
+        t.fall("text2sparql", "fault injected");
+        t.fall("kg-lookup", "no rows");
+        t.serve("llm-chat");
+        t.serve("apology"); // ignored: winner already recorded
+        assert!(t.degraded());
+        assert_eq!(t.falls(), 2);
+        assert_eq!(t.steps()[1].rung, "kg-lookup");
+        assert_eq!(t.served_by(), Some("llm-chat"));
+        assert_eq!(
+            t.render(),
+            "text2sparql(fault injected) -> kg-lookup(no rows) => llm-chat"
+        );
+    }
+}

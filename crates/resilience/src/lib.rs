@@ -1,0 +1,34 @@
+//! Resource governance, graceful degradation, and deterministic fault
+//! injection for the LLM+KG serving paths.
+//!
+//! This crate is intentionally **zero-dependency**: every primitive is built
+//! on `std` atomics and the monotonic clock so it can be threaded through the
+//! query executor's hot loops without pulling an async runtime or a metrics
+//! framework into the dependency graph.
+//!
+//! The pieces:
+//!
+//! * [`CancelToken`] — cloneable cooperative cancellation flag.
+//! * [`Clock`] / [`Deadline`] — monotonic wall-clock budget, with a manually
+//!   advanced clock for deterministic tests.
+//! * [`ResourceLimits`] + [`ExecContext`] — row / path-expansion / wall-clock
+//!   budgets checked cooperatively at stage boundaries and inside tight
+//!   evaluation loops; violations surface as a typed [`LimitViolation`].
+//! * [`FaultInjector`] / [`FaultPlan`] / [`NoFaults`] — deterministic seeded
+//!   fault schedules for chaos testing; `NoFaults` inlines to nothing.
+//! * [`DegradationTrace`] — an ordered record of the fallback rungs a serving
+//!   path walked down, so answer profiles can show *why* an answer degraded.
+
+#![warn(missing_docs)]
+
+mod cancel;
+mod clock;
+mod degrade;
+mod fault;
+mod limits;
+
+pub use cancel::CancelToken;
+pub use clock::{Clock, Deadline, ManualClock};
+pub use degrade::{DegradationStep, DegradationTrace};
+pub use fault::{FaultInjector, FaultPlan, FaultPoint, NoFaults};
+pub use limits::{ExecContext, Limit, LimitViolation, ResourceLimits};

@@ -31,11 +31,16 @@ fn main() {
         let reply = bot.handle(&user);
         let route = match reply.decision {
             RouterDecision::KgQuery => "KG",
+            RouterDecision::EntityLookup => "lookup",
             RouterDecision::LlmChat => "LLM",
+            RouterDecision::Apology => "apology",
         };
         println!("bot [{route}]: {}", reply.text);
         if let Some(sparql) = &reply.sparql {
             println!("      (via {sparql})");
+        }
+        if reply.degradation.degraded() {
+            println!("      (degraded: {})", reply.degradation.render());
         }
         println!();
     }

@@ -127,11 +127,13 @@ proptest! {
             parallel_threshold: None,
             shard_count: None,
             streaming: false,
+            ..ExecOptions::default()
         };
         let streaming = ExecOptions {
             parallel_threshold: None,
             shard_count: None,
             streaming: true,
+            ..ExecOptions::default()
         };
         let streamed = exec::execute_with(&g, &q, &streaming).expect("streamed run");
         let full = exec::execute_with(&g, &q, &sequential).expect("materialized run");
@@ -186,6 +188,7 @@ proptest! {
                 parallel_threshold: None,
                 shard_count: None,
                 streaming: false,
+            ..ExecOptions::default()
             },
         )
         .expect("sequential run");
@@ -198,6 +201,7 @@ proptest! {
                 parallel_threshold: Some(1),
                 shard_count: Some(3),
                 streaming: false,
+            ..ExecOptions::default()
             },
         )
         .expect("parallel run");
@@ -370,6 +374,7 @@ fn parallel_sharding_engages_and_preserves_results() {
             parallel_threshold: None,
             shard_count: None,
             streaming: false,
+            ..ExecOptions::default()
         },
     )
     .unwrap();
@@ -380,6 +385,7 @@ fn parallel_sharding_engages_and_preserves_results() {
             parallel_threshold: Some(8),
             shard_count: Some(4),
             streaming: false,
+            ..ExecOptions::default()
         },
     )
     .unwrap();
