@@ -160,6 +160,17 @@ fn answer_profiles(smoke: bool) -> (Vec<Value>, u64, u64) {
             "rag_modular",
             wb.profile_rag_answer(RagMode::Modular, &format!("Tell me about {film}")),
         ),
+        ("hybrid", {
+            let vpred = format!("{}directedBy", kg::namespace::SYNTH_VOCAB);
+            wb.profile_hybrid_answer(
+                &format!(
+                    "SELECT ?f ?y WHERE {{ ?f a <{}Film> . ?f <{vpred}> ?y }}",
+                    kg::namespace::SYNTH_VOCAB
+                ),
+                [vpred],
+            )
+            .expect("hybrid profile query runs")
+        }),
     ];
     println!(
         "{:<14} {:<10} {:>10} {:>12} {:>12} {:>14}",

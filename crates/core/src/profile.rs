@@ -30,6 +30,15 @@ pub struct RetrievalProfile {
     pub retrieved: usize,
     /// Characters of injected context.
     pub context_chars: usize,
+    /// Vectors scored by the arena index while answering
+    /// (`retrieval.vectors_scanned`; zero on non-vector routes).
+    pub vectors_scanned: u64,
+    /// Top-k heap insertions across those scans
+    /// (`retrieval.heap_pushes`).
+    pub heap_pushes: u64,
+    /// Worker shards spawned by parallel scans
+    /// (`retrieval.parallel_shards`; zero on sequential scans).
+    pub parallel_shards: u64,
 }
 
 /// Executor-stage counters of one answered question — the
@@ -120,6 +129,9 @@ impl AnswerProfile {
                 "candidates": self.retrieval.candidates,
                 "retrieved": self.retrieval.retrieved,
                 "context_chars": self.retrieval.context_chars,
+                "vectors_scanned": self.retrieval.vectors_scanned,
+                "heap_pushes": self.retrieval.heap_pushes,
+                "parallel_shards": self.retrieval.parallel_shards,
             },
             "executor": {
                 "queries_issued": self.executor.queries_issued,
@@ -197,6 +209,7 @@ mod tests {
                 candidates: 3,
                 retrieved: 3,
                 context_chars: 7,
+                ..Default::default()
             },
             executor: ExecutorProfile {
                 queries_issued: 1,

@@ -7,6 +7,7 @@ use crate::profile::{
 use kg::synth::{academic, biomed, geo, movies, Scale, SynthKg};
 use kg::Graph;
 use kgqa::chatbot::{ChatBot, RouterDecision};
+use kgqa::hybrid::HybridExecutor;
 use kgqa::text2sparql::TextToSparql;
 use kgquery::{execute_sparql, QueryError, ResultSet};
 use kgrag::{GraphRag, RagMode, RagPipeline};
@@ -198,7 +199,10 @@ impl Workbench {
     /// Build a RAG pipeline over this workbench's verbalized corpus,
     /// with the KG attached for structured lookup.
     pub fn rag(&self) -> RagPipeline<'_> {
-        let chunks = kgrag::chunk_sentences(&self.corpus.join(" "), 3, 1);
+        // The verbalizer emits sentences without terminal punctuation;
+        // join with ". " so the chunker sees sentence boundaries instead
+        // of one corpus-sized chunk (which made retrieval degenerate).
+        let chunks = kgrag::chunk_sentences(&self.corpus.join(". "), 3, 1);
         RagPipeline::new(&self.slm, chunks, Some(&self.kg.graph))
     }
 
@@ -243,6 +247,9 @@ impl Workbench {
                 candidates: reply.rows,
                 retrieved: reply.rows,
                 context_chars: if grounded { reply.text.len() } else { 0 },
+                vectors_scanned: counters.counter("retrieval.vectors_scanned"),
+                heap_pushes: counters.counter("retrieval.heap_pushes"),
+                parallel_shards: counters.counter("retrieval.parallel_shards"),
             },
             executor: ExecutorProfile {
                 queries_issued: counters.counter("exec.queries") as usize,
@@ -295,6 +302,9 @@ impl Workbench {
                 candidates: answer.candidates,
                 retrieved: answer.retrieved.len(),
                 context_chars: answer.context_chars,
+                vectors_scanned: counters.counter("retrieval.vectors_scanned"),
+                heap_pushes: counters.counter("retrieval.heap_pushes"),
+                parallel_shards: counters.counter("retrieval.parallel_shards"),
             },
             executor: ExecutorProfile::default(),
             generation: GenerationProfile {
@@ -317,6 +327,99 @@ impl Workbench {
             counters,
             spans,
         }
+    }
+
+    /// Run a SPARQL query through the hybrid executor (virtual predicates
+    /// answered by the LM, the rest by the store — see
+    /// [`kgqa::HybridExecutor`]) under a fresh tracer and return the
+    /// end-to-end [`AnswerProfile`]. The retrieval section accounts the
+    /// LM side (`candidates` = LLM calls, `retrieved` = surviving rows);
+    /// the executor section carries the store side's `exec.*` counters.
+    pub fn profile_hybrid_answer(
+        &self,
+        sparql: &str,
+        virtual_preds: impl IntoIterator<Item = String>,
+    ) -> Result<AnswerProfile, QueryError> {
+        let exec = HybridExecutor::new(
+            &self.kg.graph,
+            &self.slm,
+            virtual_preds.into_iter().collect(),
+        );
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let result = {
+            let root = tracer.span("answer.hybrid");
+            exec.execute_observed(sparql, &root)
+        };
+        let (rs, stats) = result?;
+        let spans = recorder.take();
+        let counters = tracer.registry().snapshot();
+        let answer = rs
+            .rows
+            .iter()
+            .flatten()
+            .flatten()
+            .map(|t| match t {
+                kg::Term::Literal(l) => l.lexical.clone(),
+                kg::Term::Iri(iri) => self
+                    .kg
+                    .graph
+                    .pool()
+                    .get_iri(iri)
+                    .map(|s| self.kg.graph.display_name(s))
+                    .unwrap_or_else(|| kg::namespace::humanize(kg::namespace::local_name(iri))),
+                kg::Term::Blank(b) => b.clone(),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        Ok(AnswerProfile {
+            question: sparql.to_string(),
+            path: "hybrid".to_string(),
+            route: if stats.llm_calls > 0 {
+                "store+llm".to_string()
+            } else {
+                "store".to_string()
+            },
+            wall_ns: spans.first().map(|s| s.elapsed_ns).unwrap_or(0),
+            retrieval: RetrievalProfile {
+                module: "hybrid".to_string(),
+                candidates: stats.llm_calls,
+                retrieved: rs.len(),
+                context_chars: answer.len(),
+                vectors_scanned: counters.counter("retrieval.vectors_scanned"),
+                heap_pushes: counters.counter("retrieval.heap_pushes"),
+                parallel_shards: counters.counter("retrieval.parallel_shards"),
+            },
+            executor: ExecutorProfile {
+                queries_issued: counters.counter("exec.queries") as usize,
+                rows: rs.len(),
+                stats: kgquery::ExecStats {
+                    patterns_scanned: counters.counter("exec.patterns_scanned") as usize,
+                    index_probes: counters.counter("exec.index_probes") as usize,
+                    intermediate_bindings: counters.counter("exec.intermediate_bindings") as usize,
+                    path_cache_hits: counters.counter("exec.path_cache_hits") as usize,
+                    parallel_shards: counters.counter("exec.parallel_shards") as usize,
+                },
+            },
+            generation: GenerationProfile {
+                answered: !rs.is_empty(),
+                hallucinated: false,
+                confidence: if stats.llm_misses == 0 { 1.0 } else { 0.0 },
+                answer_chars: answer.len(),
+            },
+            resilience: ResilienceProfile {
+                degraded: stats.llm_misses > 0,
+                degradation: if stats.llm_misses > 0 {
+                    format!("{} virtual bindings unanswered by the LM", stats.llm_misses)
+                } else {
+                    String::new()
+                },
+                fallbacks: stats.llm_misses,
+                faults_injected: counters.counter("resilience.faults_injected"),
+            },
+            answer,
+            counters,
+            spans,
+        })
     }
 
     /// Build the Graph RAG engine over this KG.

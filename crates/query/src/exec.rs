@@ -532,8 +532,24 @@ pub(crate) fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
     }
 }
 
-/// Total order on doubles: `NaN == NaN`, `NaN > ` any number.
-fn compare_f64_total(a: f64, b: f64) -> Ordering {
+/// Total order on doubles: `NaN == NaN`, `NaN >` any number.
+///
+/// Introduced for `ORDER BY` (where `partial_cmp(..).unwrap_or(Equal)`
+/// makes the comparator intransitive and the sort seed-dependent once a
+/// `NaN` appears) and shared with every other float ranking in the
+/// workspace — notably the retrieval layer's hit ordering, where a
+/// zero-vector or garbage embedding must not be able to perturb the
+/// relative order of the real hits.
+///
+/// ```
+/// use std::cmp::Ordering;
+/// use kgquery::exec::compare_f64_total;
+///
+/// assert_eq!(compare_f64_total(f64::NAN, f64::NAN), Ordering::Equal);
+/// assert_eq!(compare_f64_total(f64::NAN, f64::INFINITY), Ordering::Greater);
+/// assert_eq!(compare_f64_total(1.0, 2.0), Ordering::Less);
+/// ```
+pub fn compare_f64_total(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,

@@ -14,6 +14,8 @@ use kg::term::Sym;
 use kg::Graph;
 use slm::Slm;
 
+use crate::vector::VectorIndex;
+
 /// A community of entities with its generated summary.
 #[derive(Debug, Clone)]
 pub struct Community {
@@ -32,6 +34,10 @@ pub struct GraphRag<'a> {
     slm: &'a Slm,
     /// Detected communities with summaries.
     pub communities: Vec<Community>,
+    /// Arena index over the community summary embeddings (community i is
+    /// doc i), so local-mode routing is one top-1 retrieval instead of a
+    /// re-embedding linear scan per question.
+    summary_index: VectorIndex,
 }
 
 impl<'a> GraphRag<'a> {
@@ -83,14 +89,20 @@ impl<'a> GraphRag<'a> {
         for (&e, &l) in &label {
             groups.entry(l).or_default().push(e);
         }
-        let communities = groups
+        let communities: Vec<Community> = groups
             .into_values()
             .map(|members| summarize(graph, members))
             .collect();
+        let summary_index = VectorIndex::build(
+            communities.iter().map(|c| slm.embed(&c.summary)).collect(),
+            0,
+            0,
+        );
         GraphRag {
             graph,
             slm,
             communities,
+            summary_index,
         }
     }
 
@@ -162,14 +174,13 @@ impl<'a> GraphRag<'a> {
         let span = parent.child("graphrag.local");
         span.set("communities", self.communities.len());
         span.count("graphrag.local_questions", 1);
-        let mut best: Option<(f32, &Community)> = None;
-        for c in &self.communities {
-            let sim = self.slm.similarity(question, &c.summary);
-            match best {
-                Some((b, _)) if sim <= b => {}
-                _ => best = Some((sim, c)),
-            }
-        }
+        // top-1 retrieval over pre-embedded summaries; ties go to the
+        // lowest community id, matching the seed's first-wins scan
+        let best = self
+            .summary_index
+            .search_exact_observed(&self.slm.embed(question), 1, &span)
+            .first()
+            .map(|&(ci, sim)| (sim, &self.communities[ci]));
         match best {
             Some((sim, c)) => {
                 // context: the community's verbalized facts

@@ -6,8 +6,11 @@
 //! makes "does retrieval reduce hallucination?" a measurable question:
 //!
 //! * [`chunk`] — sentence-window chunking with overlap,
-//! * [`vector`] — a vector index: brute-force cosine plus an IVF-lite
-//!   variant (seeded k-means coarse quantizer with cluster probing),
+//! * [`vector`] — a vector index over a flat pre-normalized arena:
+//!   exact dot-product scan with bounded-heap top-k (optionally sharded
+//!   across threads) plus an IVF-lite variant (seeded k-means coarse
+//!   quantizer with cluster probing); the seed brute-force survives in
+//!   [`mod@reference`] as a differential oracle,
 //! * [`inject`] — K-BERT-sim \[60\] triple injection into prompts and
 //!   Dict-BERT-sim \[93\] rare-term definitions,
 //! * [`pipeline`] — the RAG ladder \[30\]: closed-book, Naive RAG
@@ -22,10 +25,11 @@ pub mod chunk;
 pub mod graphrag;
 pub mod inject;
 pub mod pipeline;
+pub mod reference;
 pub mod vector;
 
 pub use chunk::{chunk_sentences, Chunk};
 pub use graphrag::GraphRag;
 pub use inject::{inject_knowledge, rare_term_definitions};
 pub use pipeline::{RagAnswer, RagMode, RagPipeline};
-pub use vector::VectorIndex;
+pub use vector::{SearchOptions, SearchStats, VectorIndex};

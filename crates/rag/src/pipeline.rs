@@ -173,7 +173,9 @@ impl<'a> RagPipeline<'a> {
                     fall(span, trace, "vector", "fault injected: exec");
                     return self.closed_book_rung(question, span, trace);
                 }
-                let hits = self.index.search_exact(&self.slm.embed(question), self.k);
+                let hits =
+                    self.index
+                        .search_exact_observed(&self.slm.embed(question), self.k, span);
                 let candidates = hits.len();
                 self.vector_rung(question, &hits, candidates, span, trace)
             }
@@ -183,7 +185,9 @@ impl<'a> RagPipeline<'a> {
                     return self.closed_book_rung(question, span, trace);
                 }
                 // round 1: retrieve, harvest expansion terms
-                let first = self.index.search_exact(&self.slm.embed(question), self.k);
+                let first =
+                    self.index
+                        .search_exact_observed(&self.slm.embed(question), self.k, span);
                 let mut expanded = question.to_string();
                 for &(id, _) in first.iter().take(2) {
                     for term in slm::task::capitalized_spans(&self.chunks[id].text) {
@@ -196,9 +200,9 @@ impl<'a> RagPipeline<'a> {
                 span.set("expanded_query_chars", expanded.len());
                 // round 2: retrieve with the expanded query, then rerank by
                 // blended semantic + lexical score against the ORIGINAL query
-                let candidates = self
-                    .index
-                    .search_exact(&self.slm.embed(&expanded), self.k * 2);
+                let candidates =
+                    self.index
+                        .search_exact_observed(&self.slm.embed(&expanded), self.k * 2, span);
                 let lexical = slm::EvidenceIndex::from_sentences(
                     candidates
                         .iter()
@@ -217,11 +221,10 @@ impl<'a> RagPipeline<'a> {
                         (id, 0.5 * sem + 0.5 * lex)
                     })
                     .collect();
-                reranked.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                });
+                // total-order comparator: a NaN blended score (zero-vector
+                // embedding) ranks deterministically instead of leaking
+                // the candidate iteration order
+                reranked.sort_by(crate::vector::cmp_hits);
                 let candidates = reranked.len();
                 reranked.truncate(self.k);
                 self.vector_rung(question, &reranked, candidates, span, trace)
@@ -292,7 +295,9 @@ impl<'a> RagPipeline<'a> {
                     fall(span, trace, "vector", "fault injected: exec");
                     return self.closed_book_rung(question, span, trace);
                 }
-                let hits = self.index.search_exact(&self.slm.embed(question), self.k);
+                let hits =
+                    self.index
+                        .search_exact_observed(&self.slm.embed(question), self.k, span);
                 let candidates = hits.len();
                 self.vector_rung(question, &hits, candidates, span, trace)
             }

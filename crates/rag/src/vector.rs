@@ -1,129 +1,560 @@
-//! Vector index: exact brute-force search and an IVF-lite approximate
-//! variant (seeded k-means coarse quantizer, probe-nearest-clusters).
+//! Vector index over a flat arena: exact dot-product scan with a bounded
+//! heap top-k, optional crossbeam-sharded parallel search, and an
+//! IVF-lite approximate variant (seeded k-means coarse quantizer,
+//! probe-nearest-clusters) sharing the same arena and kernel.
+//!
+//! # Layout
+//!
+//! Document vectors live in **one contiguous `Vec<f32>`** (`n_docs × dim`,
+//! row-major), each row **unit-normalized at build time**. The seed
+//! implementation stored `Vec<Vec<f32>>` — one heap allocation per
+//! document, a pointer chase per scanned vector, and a cosine that
+//! recomputed both norms on every pair (O(3d)). On the arena, cosine
+//! degenerates to a plain dot product over a cache-linear slice
+//! (O(d), auto-vectorized — see [`slm::embedding::dot`]).
+//!
+//! # Top-k
+//!
+//! Instead of scoring all n documents and running a full O(n log n) sort,
+//! a bounded min-heap keeps the best k hits seen so far (O(n log k)).
+//! Ordering is **total**: score descending under the NaN-safe
+//! [`kgquery::exec::compare_f64_total`], ties broken by ascending doc id,
+//! so zero-vector or garbage embeddings can never make the hit order
+//! depend on scan order.
+//!
+//! # Parallelism
+//!
+//! Above [`SearchOptions::parallel_threshold`] documents, an exact scan
+//! shards the arena across crossbeam-scoped threads. Each shard keeps its
+//! own top-k heap; the ≤ `shards × k` survivors are merged with the same
+//! total-order comparator, so the parallel result is **bit-identical** to
+//! the sequential scan. The default threshold is derived from the host's
+//! core count exactly like `kgquery::exec::default_parallel_threshold`
+//! (`None` on a single core — sharding is pure overhead there).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use slm::embedding::cosine;
+use kgquery::exec::compare_f64_total;
+use slm::embedding::{dot, normalize};
 
 /// A (document id, score) search hit.
 pub type Hit = (usize, f32);
 
-/// A vector index over document embeddings.
+/// Baseline document count at which an exact scan shards across threads,
+/// calibrated for a two-core host. One document costs one `dim`-wide dot
+/// product (~tens of nanoseconds at `dim = 64`), so a scan below the
+/// (scaled) threshold finishes before spawned workers would.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 16_384;
+
+/// Never shard a scan smaller than this, no matter how many cores exist.
+const MIN_PARALLEL_THRESHOLD: usize = 4_096;
+
+/// The sharding threshold for this host, derived at runtime from
+/// [`std::thread::available_parallelism`] with the same shape as
+/// `kgquery::exec::default_parallel_threshold`:
+///
+/// * single core ⇒ `None` — no second core can pick the work up;
+/// * `n > 1` cores ⇒ [`DEFAULT_PARALLEL_THRESHOLD`] scaled down as cores
+///   grow (`2·16384 / n`, floored at 4096).
+pub fn default_parallel_threshold() -> Option<usize> {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores <= 1 {
+        None
+    } else {
+        Some((DEFAULT_PARALLEL_THRESHOLD * 2 / cores).max(MIN_PARALLEL_THRESHOLD))
+    }
+}
+
+/// Knobs controlling how searches run; mirrors the shape of
+/// `kgquery::exec::ExecOptions`' parallel knobs.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Shard an exact scan across scoped threads once the scanned
+    /// document count reaches this size; `None` disables parallelism.
+    pub parallel_threshold: Option<usize>,
+    /// Worker count for sharded scans; `None` uses
+    /// [`std::thread::available_parallelism`]. Pinning this lets tests
+    /// exercise the threaded path deterministically on any host.
+    pub shard_count: Option<usize>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            parallel_threshold: default_parallel_threshold(),
+            shard_count: None,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// Options that never shard — the deterministic single-thread scan.
+    pub fn sequential() -> Self {
+        SearchOptions {
+            parallel_threshold: None,
+            shard_count: None,
+        }
+    }
+}
+
+/// Work counters of one search, surfaced as `retrieval.*` observability
+/// counters by the `_observed` search variants (catalogue in
+/// `docs/observability.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Vectors scored (documents plus, for IVF, centroids).
+    pub vectors_scanned: usize,
+    /// Insertions into a top-k heap (pushes that displaced or grew the
+    /// candidate set). Scheduling-sensitive: a sharded scan keeps one
+    /// heap per shard, so this may exceed the sequential count while the
+    /// returned hits are bit-identical.
+    pub heap_pushes: usize,
+    /// Worker shards spawned; zero for sequential scans.
+    pub parallel_shards: usize,
+    /// Clusters probed by an IVF search; zero for exact scans.
+    pub ivf_probes: usize,
+}
+
+/// Ranking order of two hits, best first: score descending under the
+/// total-order float comparison (NaN ranks above every number, equal to
+/// itself), ties broken by ascending doc id. Never returns `Equal` for
+/// distinct ids, so the top-k set and its order are unique regardless of
+/// scan or merge order.
+pub(crate) fn cmp_hits(a: &Hit, b: &Hit) -> Ordering {
+    compare_f64_total(f64::from(b.1), f64::from(a.1)).then_with(|| a.0.cmp(&b.0))
+}
+
+fn sort_hits(hits: &mut [Hit]) {
+    hits.sort_unstable_by(cmp_hits);
+}
+
+/// Heap entry ordered so the binary max-heap surfaces the *worst* hit at
+/// the root — `Greater` under [`cmp_hits`] means "ranks later".
+struct Worst(Hit);
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        cmp_hits(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_hits(&self.0, &other.0)
+    }
+}
+
+/// A bounded top-k accumulator: O(log k) per displacing insert, O(1) per
+/// rejected candidate (one comparison against the current worst).
+struct TopK {
+    k: usize,
+    heap: BinaryHeap<Worst>,
+    pushes: usize,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k.min(1024) + 1),
+            pushes: 0,
+        }
+    }
+
+    fn offer(&mut self, hit: Hit) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Worst(hit));
+            self.pushes += 1;
+        } else if let Some(worst) = self.heap.peek() {
+            if cmp_hits(&hit, &worst.0) == Ordering::Less {
+                self.heap.pop();
+                self.heap.push(Worst(hit));
+                self.pushes += 1;
+            }
+        }
+    }
+
+    /// Drain into best-first order.
+    fn into_sorted(self) -> Vec<Hit> {
+        let mut hits: Vec<Hit> = self.heap.into_iter().map(|w| w.0).collect();
+        sort_hits(&mut hits);
+        hits
+    }
+}
+
+/// A vector index over document embeddings, stored as a flat arena of
+/// unit-normalized rows.
 #[derive(Debug, Clone)]
 pub struct VectorIndex {
-    vectors: Vec<Vec<f32>>,
-    /// IVF state: cluster centroids and per-cluster member lists.
-    centroids: Vec<Vec<f32>>,
+    /// Row-major `n_docs × dim` arena; every row unit-normalized (zero
+    /// rows stay zero).
+    data: Vec<f32>,
+    dim: usize,
+    n_docs: usize,
+    /// IVF state: flat `n_clusters × dim` centroid arena (unit rows) and
+    /// per-cluster member lists.
+    centroids: Vec<f32>,
     clusters: Vec<Vec<usize>>,
+    /// IVF was requested (`n_clusters > 0`) but the corpus was too small
+    /// to quantize; searches fall back to exact and say so via the
+    /// `retrieval.ivf_disabled` counter.
+    ivf_disabled: bool,
+    options: SearchOptions,
 }
 
 impl VectorIndex {
     /// Build from document vectors. `n_clusters = 0` disables IVF (exact
-    /// search only).
+    /// search only). Rows are copied into the arena and unit-normalized,
+    /// so later scans score cosine with a plain dot product. Vectors
+    /// shorter than the first row's dimensionality are zero-padded,
+    /// longer ones truncated (all real callers embed with one model, so
+    /// this is defensive only).
     pub fn build(vectors: Vec<Vec<f32>>, n_clusters: usize, seed: u64) -> Self {
-        let (centroids, clusters) = if n_clusters == 0 || vectors.len() < n_clusters * 2 {
-            (Vec::new(), Vec::new())
+        let n_docs = vectors.len();
+        let dim = vectors.first().map(Vec::len).unwrap_or(0);
+        let mut data = vec![0.0f32; n_docs * dim];
+        for (row, v) in data.chunks_exact_mut(dim.max(1)).zip(&vectors) {
+            let n = row.len().min(v.len());
+            row[..n].copy_from_slice(&v[..n]);
+            normalize(row);
+        }
+        let ivf_possible = n_clusters > 0 && n_docs >= n_clusters * 2;
+        let (centroids, clusters) = if ivf_possible {
+            kmeans(&data, dim, n_docs, n_clusters, seed)
         } else {
-            kmeans(&vectors, n_clusters, seed)
+            (Vec::new(), Vec::new())
         };
         VectorIndex {
-            vectors,
+            data,
+            dim,
+            n_docs,
             centroids,
             clusters,
+            ivf_disabled: n_clusters > 0 && !ivf_possible,
+            options: SearchOptions::default(),
         }
+    }
+
+    /// Replace the search options (parallelism knobs).
+    pub fn with_options(mut self, options: SearchOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Number of indexed documents.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        self.n_docs
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.n_docs == 0
+    }
+
+    /// Embedding dimensionality of the arena (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether IVF was requested at build time but silently impossible
+    /// (corpus smaller than `n_clusters * 2`).
+    pub fn ivf_disabled(&self) -> bool {
+        self.ivf_disabled
+    }
+
+    /// Whether IVF search is active.
+    pub fn ivf_enabled(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    /// The unit-normalized arena row of a document.
+    fn row(&self, doc: usize) -> &[f32] {
+        &self.data[doc * self.dim..(doc + 1) * self.dim]
+    }
+
+    /// Copy the query into a `dim`-sized unit-normalized buffer (done
+    /// once per search; every scanned document then costs one dot).
+    fn prepare_query(&self, query: &[f32]) -> Vec<f32> {
+        debug_assert!(
+            query.len() == self.dim || self.n_docs == 0,
+            "query dim {} != index dim {}",
+            query.len(),
+            self.dim
+        );
+        let mut q = vec![0.0f32; self.dim];
+        let n = self.dim.min(query.len());
+        q[..n].copy_from_slice(&query[..n]);
+        normalize(&mut q);
+        q
     }
 
     /// Exact top-k by cosine similarity.
     pub fn search_exact(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        let mut hits: Vec<Hit> = self
-            .vectors
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (i, cosine(query, v)))
-            .collect();
-        sort_hits(&mut hits);
-        hits.truncate(k);
+        self.search_exact_with_stats(query, k).0
+    }
+
+    /// Exact top-k, returning the scan's work counters.
+    pub fn search_exact_with_stats(&self, query: &[f32], k: usize) -> (Vec<Hit>, SearchStats) {
+        let mut stats = SearchStats::default();
+        if self.n_docs == 0 || k == 0 {
+            return (Vec::new(), stats);
+        }
+        let q = self.prepare_query(query);
+        let hits = self.scan_range(&q, 0, self.n_docs, k, &mut stats);
+        (hits, stats)
+    }
+
+    /// [`VectorIndex::search_exact`] under an observability span: a
+    /// `retrieval.search` child carries the scan shape and the
+    /// `retrieval.*` counters accumulate across searches.
+    pub fn search_exact_observed(&self, query: &[f32], k: usize, parent: &obs::Span) -> Vec<Hit> {
+        let (hits, stats) = self.search_exact_with_stats(query, k);
+        record_search(parent, "exact", self, k, &hits, &stats, false);
         hits
     }
 
-    /// Approximate top-k: probe the `n_probe` nearest clusters. Falls back
-    /// to exact search when IVF is disabled.
-    pub fn search_ivf(&self, query: &[f32], k: usize, n_probe: usize) -> Vec<Hit> {
-        if self.centroids.is_empty() {
-            return self.search_exact(query, k);
-        }
-        let mut cluster_scores: Vec<(usize, f32)> = self
-            .centroids
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, cosine(query, c)))
-            .collect();
-        sort_hits(&mut cluster_scores);
-        let mut hits: Vec<Hit> = Vec::new();
-        for &(ci, _) in cluster_scores.iter().take(n_probe.max(1)) {
-            for &doc in &self.clusters[ci] {
-                hits.push((doc, cosine(query, &self.vectors[doc])));
+    /// Scan `[start, end)` of the arena, sharding across threads when the
+    /// range crosses the parallel threshold.
+    fn scan_range(
+        &self,
+        q: &[f32],
+        start: usize,
+        end: usize,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Hit> {
+        let n = end - start;
+        let parallel = match self.options.parallel_threshold {
+            Some(threshold) => n >= threshold.max(1),
+            None => false,
+        };
+        if parallel {
+            if let Some(hits) = self.scan_range_parallel(q, start, end, k, stats) {
+                return hits;
             }
         }
-        sort_hits(&mut hits);
-        hits.truncate(k);
+        let mut top = TopK::new(k);
+        for doc in start..end {
+            top.offer((doc, dot(q, self.row(doc))));
+        }
+        stats.vectors_scanned += n;
+        stats.heap_pushes += top.pushes;
+        top.into_sorted()
+    }
+
+    /// Sharded scan. Each worker keeps a local top-k over a contiguous
+    /// arena slice; the survivors are merged under the same total-order
+    /// comparator, so the result is bit-identical to the sequential scan
+    /// (the global top-k is a subset of the union of shard top-ks).
+    /// Returns `None` when the effective worker count is 1.
+    fn scan_range_parallel(
+        &self,
+        q: &[f32],
+        start: usize,
+        end: usize,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Option<Vec<Hit>> {
+        let n = end - start;
+        let workers = self.options.shard_count.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        let shards = workers.min(n);
+        if shards <= 1 {
+            return None;
+        }
+        let chunk = n.div_ceil(shards);
+        let results: Vec<(Vec<Hit>, usize)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let lo = start + s * chunk;
+                    let hi = (lo + chunk).min(end);
+                    scope.spawn(move |_| {
+                        let mut top = TopK::new(k);
+                        for doc in lo..hi {
+                            top.offer((doc, dot(q, self.row(doc))));
+                        }
+                        let pushes = top.pushes;
+                        (top.into_sorted(), pushes)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        })
+        .expect("scan scope");
+        stats.vectors_scanned += n;
+        stats.parallel_shards += results.len();
+        let mut merged: Vec<Hit> = Vec::with_capacity(results.len() * k.min(n));
+        for (hits, pushes) in results {
+            stats.heap_pushes += pushes;
+            merged.extend(hits);
+        }
+        sort_hits(&mut merged);
+        merged.truncate(k);
+        Some(merged)
+    }
+
+    /// Approximate top-k: probe the `n_probe` nearest clusters. Falls
+    /// back to exact search when IVF is disabled.
+    pub fn search_ivf(&self, query: &[f32], k: usize, n_probe: usize) -> Vec<Hit> {
+        self.search_ivf_with_stats(query, k, n_probe).0
+    }
+
+    /// Approximate top-k, returning the search's work counters.
+    pub fn search_ivf_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        n_probe: usize,
+    ) -> (Vec<Hit>, SearchStats) {
+        if self.centroids.is_empty() {
+            return self.search_exact_with_stats(query, k);
+        }
+        let mut stats = SearchStats::default();
+        if self.n_docs == 0 || k == 0 {
+            return (Vec::new(), stats);
+        }
+        let q = self.prepare_query(query);
+        let n_clusters = self.clusters.len();
+        // coarse quantizer: nearest centroids under the same kernel
+        let mut nearest = TopK::new(n_probe.max(1));
+        for (ci, c) in self.centroids.chunks_exact(self.dim).enumerate() {
+            nearest.offer((ci, dot(&q, c)));
+        }
+        stats.vectors_scanned += n_clusters;
+        let probed = nearest.into_sorted();
+        stats.ivf_probes += probed.len();
+        // fine scan: members of the probed clusters through one heap
+        let mut top = TopK::new(k);
+        for &(ci, _) in &probed {
+            for &doc in &self.clusters[ci] {
+                top.offer((doc, dot(&q, self.row(doc))));
+            }
+            stats.vectors_scanned += self.clusters[ci].len();
+        }
+        stats.heap_pushes += top.pushes;
+        (top.into_sorted(), stats)
+    }
+
+    /// [`VectorIndex::search_ivf`] under an observability span; counts a
+    /// `retrieval.ivf_disabled` fallback when IVF was requested at build
+    /// time but silently impossible.
+    pub fn search_ivf_observed(
+        &self,
+        query: &[f32],
+        k: usize,
+        n_probe: usize,
+        parent: &obs::Span,
+    ) -> Vec<Hit> {
+        let (hits, stats) = self.search_ivf_with_stats(query, k, n_probe);
+        let kind = if self.ivf_enabled() { "ivf" } else { "exact" };
+        record_search(parent, kind, self, k, &hits, &stats, self.ivf_disabled);
         hits
     }
 }
 
-fn sort_hits(hits: &mut [Hit]) {
-    hits.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
-    });
+/// Record one search on a `retrieval.search` child span and bump the
+/// `retrieval.*` counters (catalogue in `docs/observability.md`).
+fn record_search(
+    parent: &obs::Span,
+    kind: &str,
+    index: &VectorIndex,
+    k: usize,
+    hits: &[Hit],
+    stats: &SearchStats,
+    ivf_disabled: bool,
+) {
+    let span = parent.child("retrieval.search");
+    span.set("kind", kind);
+    span.set("docs_indexed", index.len());
+    span.set("k", k);
+    span.set("hits", hits.len());
+    span.set("vectors_scanned", stats.vectors_scanned);
+    span.set("heap_pushes", stats.heap_pushes);
+    span.set("parallel_shards", stats.parallel_shards);
+    span.count("retrieval.searches", 1);
+    span.count("retrieval.vectors_scanned", stats.vectors_scanned as u64);
+    span.count("retrieval.heap_pushes", stats.heap_pushes as u64);
+    span.count("retrieval.parallel_shards", stats.parallel_shards as u64);
+    if stats.ivf_probes > 0 {
+        span.set("ivf_probes", stats.ivf_probes);
+        span.count("retrieval.ivf_probes", stats.ivf_probes as u64);
+    }
+    if ivf_disabled {
+        span.set("ivf_disabled", true);
+        span.count("retrieval.ivf_disabled", 1);
+    }
 }
 
-/// Seeded Lloyd's k-means (cosine space, 10 iterations).
-fn kmeans(vectors: &[Vec<f32>], k: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<Vec<usize>>) {
+/// Seeded Lloyd's k-means over the arena (cosine space, 10 iterations).
+///
+/// Rows are unit-normalized, so assignment is a plain dot against the
+/// centroid arena; centroids are normalized **once per update step**
+/// (cosine is scale-invariant, so ranking is unchanged while every
+/// assignment pass drops the per-pair norm recomputation the seed paid).
+fn kmeans(
+    data: &[f32],
+    dim: usize,
+    n_docs: usize,
+    k: usize,
+    seed: u64,
+) -> (Vec<f32>, Vec<Vec<usize>>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let dim = vectors[0].len();
-    let mut ids: Vec<usize> = (0..vectors.len()).collect();
+    let mut ids: Vec<usize> = (0..n_docs).collect();
     ids.shuffle(&mut rng);
-    let mut centroids: Vec<Vec<f32>> = ids.iter().take(k).map(|&i| vectors[i].clone()).collect();
-    let mut assignment = vec![0usize; vectors.len()];
+    let mut centroids = vec![0.0f32; k * dim];
+    for (c, &i) in centroids.chunks_exact_mut(dim).zip(ids.iter().take(k)) {
+        c.copy_from_slice(&data[i * dim..(i + 1) * dim]);
+    }
+    let mut assignment = vec![0usize; n_docs];
     for _ in 0..10 {
-        // assign
-        for (i, v) in vectors.iter().enumerate() {
+        // assign: argmax dot, first centroid wins ties (seed behavior)
+        for (i, v) in data.chunks_exact(dim).enumerate() {
             let mut best = (0usize, f32::NEG_INFINITY);
-            for (ci, c) in centroids.iter().enumerate() {
-                let s = cosine(v, c);
+            for (ci, c) in centroids.chunks_exact(dim).enumerate() {
+                let s = dot(v, c);
                 if s > best.1 {
                     best = (ci, s);
                 }
             }
             assignment[i] = best.0;
         }
-        // update
-        let mut sums = vec![vec![0.0f32; dim]; k];
+        // update: mean of members, normalized once; empty clusters keep
+        // their previous centroid
+        let mut sums = vec![0.0f32; k * dim];
         let mut counts = vec![0usize; k];
-        for (i, v) in vectors.iter().enumerate() {
+        for (i, v) in data.chunks_exact(dim).enumerate() {
             let c = assignment[i];
             counts[c] += 1;
-            for (s, x) in sums[c].iter_mut().zip(v) {
+            for (s, x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(v) {
                 *s += x;
             }
         }
-        for (ci, sum) in sums.into_iter().enumerate() {
+        for ci in 0..k {
             if counts[ci] > 0 {
-                centroids[ci] = sum.into_iter().map(|x| x / counts[ci] as f32).collect();
+                let c = &mut centroids[ci * dim..(ci + 1) * dim];
+                c.copy_from_slice(&sums[ci * dim..(ci + 1) * dim]);
+                normalize(c);
             }
         }
     }
@@ -219,5 +650,133 @@ mod tests {
         let (b, _, _) = corpus_index(4);
         let q = e.embed("drama");
         assert_eq!(a.search_ivf(&q, 3, 2), b.search_ivf(&q, 3, 2));
+    }
+
+    #[test]
+    fn heap_topk_equals_full_sort() {
+        let (idx, e, _) = corpus_index(0);
+        let q = idx.prepare_query(&e.embed("databases"));
+        // full sort over every score, seed-style
+        let mut all: Vec<Hit> = (0..idx.len()).map(|i| (i, dot(&q, idx.row(i)))).collect();
+        sort_hits(&mut all);
+        all.truncate(7);
+        let hits = idx.search_exact(&e.embed("databases"), 7);
+        assert_eq!(hits, all);
+    }
+
+    #[test]
+    fn k_larger_than_corpus_returns_everything_ranked() {
+        let (idx, e, _) = corpus_index(0);
+        let hits = idx.search_exact(&e.embed("anything"), 1000);
+        assert_eq!(hits.len(), idx.len());
+        for w in hits.windows(2) {
+            assert_eq!(cmp_hits(&w[0], &w[1]), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn zero_query_ranks_by_doc_id() {
+        let (idx, _, _) = corpus_index(0);
+        let hits = idx.search_exact(&vec![0.0; idx.dim()], 5);
+        let ids: Vec<usize> = hits.iter().map(|&(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(hits.iter().all(|&(_, s)| s == 0.0));
+    }
+
+    #[test]
+    fn nan_scores_order_deterministically() {
+        // doc 1 carries NaN components: its score against any query is
+        // NaN, which the total order ranks above every real score —
+        // deterministically, wherever the doc sits in the corpus.
+        let nan_row = vec![f32::NAN; 4];
+        let mk = |nan_at: usize| {
+            let mut vs = vec![
+                vec![1.0, 0.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0, 0.0],
+                vec![0.5, 0.5, 0.0, 0.0],
+            ];
+            vs.insert(nan_at, nan_row.clone());
+            VectorIndex::build(vs, 0, 0)
+        };
+        let q = [1.0, 0.2, 0.0, 0.0];
+        for nan_at in 0..4 {
+            let hits = mk(nan_at).search_exact(&q, 4);
+            assert!(hits[0].1.is_nan(), "NaN ranks first: {hits:?}");
+            assert_eq!(hits[0].0, nan_at);
+            // the real hits keep their relative order below it
+            let rest: Vec<f32> = hits[1..].iter().map(|&(_, s)| s).collect();
+            for w in rest.windows(2) {
+                assert!(w[0] >= w[1], "{hits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forced_sharding_is_bit_identical_to_sequential() {
+        let (idx, e, _) = corpus_index(0);
+        let q = e.embed("a drama about databases");
+        let seq = idx
+            .clone()
+            .with_options(SearchOptions::sequential())
+            .search_exact_with_stats(&q, 6);
+        let par = idx
+            .with_options(SearchOptions {
+                parallel_threshold: Some(1),
+                shard_count: Some(4),
+            })
+            .search_exact_with_stats(&q, 6);
+        let bits = |hits: &[Hit]| -> Vec<(usize, u32)> {
+            hits.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+        };
+        assert_eq!(bits(&seq.0), bits(&par.0));
+        assert_eq!(par.1.parallel_shards, 4);
+        assert_eq!(seq.1.parallel_shards, 0);
+        assert_eq!(seq.1.vectors_scanned, par.1.vectors_scanned);
+    }
+
+    #[test]
+    fn ivf_disabled_fallback_is_observable() {
+        // 6 docs < 4 clusters * 2: IVF silently impossible
+        let vectors: Vec<Vec<f32>> = (0..6)
+            .map(|i| slm::embedding::hash_vector(&format!("doc-{i}")))
+            .collect();
+        let idx = VectorIndex::build(vectors, 4, 7);
+        assert!(idx.ivf_disabled());
+        assert!(!idx.ivf_enabled());
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("test");
+        let q = slm::embedding::hash_vector("doc-0");
+        let hits = idx.search_ivf_observed(&q, 3, 2, &root);
+        root.finish();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(tracer.registry().counter("retrieval.ivf_disabled"), 1);
+        let span = recorder.take().pop().expect("root recorded");
+        let search = span.find("retrieval.search").expect("search span");
+        assert_eq!(
+            search.attr("ivf_disabled"),
+            Some(&obs::AttrValue::Bool(true))
+        );
+        assert_eq!(
+            search.attr("kind").and_then(obs::AttrValue::as_str),
+            Some("exact")
+        );
+    }
+
+    #[test]
+    fn observed_search_records_counters() {
+        let (idx, e, _) = corpus_index(4);
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("test");
+        idx.search_exact_observed(&e.embed("drama"), 5, &root);
+        idx.search_ivf_observed(&e.embed("papers"), 5, 2, &root);
+        root.finish();
+        assert_eq!(tracer.registry().counter("retrieval.searches"), 2);
+        assert!(tracer.registry().counter("retrieval.vectors_scanned") >= 40);
+        assert!(tracer.registry().counter("retrieval.heap_pushes") >= 5);
+        assert_eq!(tracer.registry().counter("retrieval.ivf_disabled"), 0);
+        assert!(tracer.registry().counter("retrieval.ivf_probes") >= 2);
+        let span = recorder.take().pop().expect("root recorded");
+        let search = span.find("retrieval.search").expect("search span");
+        assert!(search.attr_u64("vectors_scanned").unwrap() >= 40);
     }
 }

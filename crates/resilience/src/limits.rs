@@ -124,7 +124,7 @@ impl ResourceLimits {
 /// All state is atomic, so one `ExecContext` can be shared by reference
 /// across the executor's scoped worker threads. Checks are designed to be
 /// cheap enough for per-row call sites: counters are plain relaxed atomics
-/// and the clock is only read every [`CHECK_EVERY`] checkpoints.
+/// and the clock is only read every `CHECK_EVERY` (256) checkpoints.
 #[derive(Debug)]
 pub struct ExecContext {
     limits: ResourceLimits,
@@ -214,7 +214,7 @@ impl ExecContext {
 
     /// Amortized cancellation + deadline check for tight loops.
     ///
-    /// The first call always polls, then every [`CHECK_EVERY`]-th call does;
+    /// The first call always polls, then every `CHECK_EVERY`-th (256th) call does;
     /// the rest are a single relaxed `fetch_add`.
     pub fn checkpoint(&self) -> Result<(), LimitViolation> {
         let tick = self.ticks.fetch_add(1, Ordering::Relaxed);

@@ -98,6 +98,16 @@ fn rag_profile_reports_retrieval_and_generation_work() {
     assert_eq!(profile.executor.queries_issued, 0);
     assert_eq!(profile.executor.stats.index_probes, 0);
 
+    // Retrieval kernel: the arena scan's work counters reached the
+    // typed profile and mirror the registry.
+    assert!(profile.retrieval.vectors_scanned > 0, "{profile:?}");
+    assert!(profile.retrieval.heap_pushes > 0);
+    assert_eq!(
+        profile.retrieval.vectors_scanned,
+        profile.counters.counter("retrieval.vectors_scanned")
+    );
+    assert_eq!(profile.counters.counter("retrieval.ivf_disabled"), 0);
+
     // Counters and spans.
     assert_eq!(profile.counters.counter("rag.answers"), 1);
     assert!(profile.counters.counter("rag.retrieval_candidates") >= 1);
@@ -106,6 +116,43 @@ fn rag_profile_reports_retrieval_and_generation_work() {
     assert_eq!(root.name, "answer.rag");
     let answer = root.find("rag.answer").expect("rag span");
     assert!(answer.attr_u64("candidates").unwrap() >= 1);
+    let search = answer.find("retrieval.search").expect("retrieval span");
+    assert!(search.attr_u64("vectors_scanned").unwrap() > 0);
+}
+
+#[test]
+fn hybrid_profile_reports_llm_and_store_work() {
+    let w = wb();
+    let vpred = format!("{}directedBy", kg::namespace::SYNTH_VOCAB);
+    let profile = w
+        .profile_hybrid_answer(
+            &format!(
+                "SELECT ?f ?y WHERE {{ ?f a <{}Film> . ?f <{vpred}> ?y }}",
+                kg::namespace::SYNTH_VOCAB
+            ),
+            [vpred],
+        )
+        .expect("hybrid query runs");
+
+    assert_eq!(profile.path, "hybrid");
+    assert_eq!(profile.route, "store+llm");
+    assert!(profile.wall_ns > 0);
+
+    // The LM was consulted for the virtual predicate and the store ran
+    // the non-virtual part.
+    assert!(profile.retrieval.candidates >= 1, "{profile:?}");
+    assert!(profile.executor.queries_issued >= 1);
+    assert!(profile.executor.stats.index_probes > 0);
+    assert_eq!(
+        profile.counters.counter("hybrid.llm_calls"),
+        profile.retrieval.candidates as u64
+    );
+
+    // Span tree: root → hybrid.execute → sparql.execute.
+    let root = &profile.spans[0];
+    assert_eq!(root.name, "answer.hybrid");
+    let hybrid = root.find("hybrid.execute").expect("hybrid span");
+    assert!(hybrid.find("sparql.execute").is_some());
 }
 
 #[test]
@@ -129,6 +176,7 @@ fn profiles_export_valid_json() {
         let text = llmkg::serde_json::to_string_pretty(&profile.to_json()).unwrap();
         assert!(text.contains("\"index_probes\""), "{text}");
         assert!(text.contains("\"retrieval\""), "{text}");
+        assert!(text.contains("\"vectors_scanned\""), "{text}");
         assert!(text.contains("\"spans\""), "{text}");
         assert!(text.contains(&film), "{text}");
     }

@@ -422,3 +422,87 @@ fn sparql_limit_offset_laws() {
         }
     }
 }
+
+// --- retrieval: flat-arena index vs the seed brute-force ---------------
+
+const RETR_DIM: usize = 8;
+
+/// Random document sets including exact zero vectors (the embedder emits
+/// those for empty text), which is where the seed's `unwrap_or(Equal)`
+/// comparator used to make hit order scan-dependent.
+fn doc_vectors_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(vector_strategy(), 0..32)
+}
+
+fn vector_strategy() -> impl Strategy<Value = Vec<f32>> {
+    (proptest::collection::vec(-1.0f64..1.0, RETR_DIM), 0u8..8).prop_map(|(v, tag)| {
+        if tag == 0 {
+            vec![0.0; RETR_DIM]
+        } else {
+            v.into_iter().map(|x| x as f32).collect()
+        }
+    })
+}
+
+proptest! {
+    /// The arena index (pre-normalized rows, dot kernel, bounded-heap
+    /// top-k) returns the seed brute-force's hits in the seed's order.
+    /// The two pipelines round differently (sequential cosine vs chunked
+    /// dot over normalized rows), so where ids disagree at a position the
+    /// scores must be a floating-point near-tie — any larger divergence
+    /// is a real ranking bug.
+    #[test]
+    fn arena_search_matches_seed_brute_force(
+        vectors in doc_vectors_strategy(),
+        query in vector_strategy(),
+        k in 0usize..12,
+    ) {
+        use llmkg::kgrag::reference::seed_search_exact;
+        use llmkg::kgrag::{SearchOptions, VectorIndex};
+        let index = VectorIndex::build(vectors.clone(), 0, 0)
+            .with_options(SearchOptions::sequential());
+        let arena = index.search_exact(&query, k);
+        let seed = seed_search_exact(&vectors, &query, k);
+        prop_assert_eq!(arena.len(), seed.len());
+        for (pos, (a, s)) in arena.iter().zip(&seed).enumerate() {
+            if a.0 != s.0 {
+                prop_assert!(
+                    (a.1 - s.1).abs() < 1e-5,
+                    "rank {} diverged beyond rounding: arena {:?} vs seed {:?}",
+                    pos, a, s
+                );
+            }
+        }
+    }
+
+    /// A forced-shard parallel scan is bit-identical to the sequential
+    /// scan — same ids, same score bit patterns — for any worker count,
+    /// because per-shard top-k heaps merge under a total order that never
+    /// compares two distinct docs equal.
+    #[test]
+    fn forced_sharding_matches_sequential_bitwise(
+        vectors in doc_vectors_strategy(),
+        query in vector_strategy(),
+        workers in 2usize..5,
+        k in 1usize..8,
+    ) {
+        use llmkg::kgrag::{SearchOptions, VectorIndex};
+        let sequential = VectorIndex::build(vectors.clone(), 0, 0)
+            .with_options(SearchOptions::sequential());
+        let sharded = VectorIndex::build(vectors, 0, 0).with_options(SearchOptions {
+            parallel_threshold: Some(1),
+            shard_count: Some(workers),
+        });
+        let seq: Vec<(usize, u32)> = sequential
+            .search_exact(&query, k)
+            .into_iter()
+            .map(|(i, s)| (i, s.to_bits()))
+            .collect();
+        let par: Vec<(usize, u32)> = sharded
+            .search_exact(&query, k)
+            .into_iter()
+            .map(|(i, s)| (i, s.to_bits()))
+            .collect();
+        prop_assert_eq!(seq, par);
+    }
+}
