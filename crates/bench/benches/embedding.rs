@@ -14,6 +14,7 @@ fn bench_embedding(c: &mut Criterion) {
         n_relations: 10,
         n_triples: 2_000,
         zipf_exponent: 1.0,
+        with_labels: true,
     };
     let kg = freebase_like(3, &cfg).expect("valid config");
     let data = TripleSet::from_graph(&kg.graph, 1, TripleSet::default_keep);

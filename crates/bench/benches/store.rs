@@ -13,6 +13,7 @@ fn build_graph() -> Graph {
         n_relations: 20,
         n_triples: 10_000,
         zipf_exponent: 1.0,
+        with_labels: true,
     };
     freebase_like(7, &cfg).expect("valid config").graph
 }

@@ -101,6 +101,7 @@ fn main() {
         n_relations: 8,
         n_triples: 1_500,
         zipf_exponent: 1.0,
+        with_labels: true,
     };
     let fkg = freebase_like(EXP_SEED, &cfg).expect("valid config");
     let data = TripleSet::from_graph(&fkg.graph, EXP_SEED, TripleSet::default_keep);

@@ -17,6 +17,7 @@ fn main() {
         n_relations: 12,
         n_triples: 2_500,
         zipf_exponent: 1.0,
+        with_labels: true,
     };
     let kg = freebase_like(EXP_SEED, &cfg).expect("valid config");
     let data = TripleSet::from_graph(&kg.graph, EXP_SEED, TripleSet::default_keep);

@@ -1,6 +1,6 @@
 //! Before/after benchmark for the executor rewrite.
 //!
-//! Three comparisons, all correctness-gated, all written to
+//! Four comparisons, all correctness-gated, all written to
 //! `reports/query_bench.json`:
 //!
 //! 1. the seed's reference evaluator (map-based bindings, per-binding
@@ -8,7 +8,12 @@
 //!    slot-based executor on the standard query workload;
 //! 2. `ORDER BY`-free `LIMIT k` queries: full materialization (the PR 1
 //!    compiled executor, `streaming: false`) vs row-budget streaming;
-//! 3. a wide join on a larger graph: sequential vs parallel BGP stages.
+//! 3. a wide join on a larger graph: sequential vs parallel BGP stages;
+//! 4. `encoded_join` — the flat sorted-arena store vs the seed's
+//!    BTreeSet index graph at million-triple scale: bytes per triple
+//!    (live-heap deltas) and two-hop join throughput (per-binding
+//!    probes vs one sorted-merge pass), gated by an order-sensitive
+//!    checksum proving bit-identical output.
 //!
 //! Flags:
 //!
@@ -20,11 +25,13 @@
 //!   per-answer [`llmkg::AnswerProfile`]s in the report's `profiles`
 //!   section.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use kg::synth::{movies, Scale};
-use kg::Graph;
+use kg::synth::{movies, FreebaseLikeConfig, Scale};
+use kg::{BaselineGraph, Graph, Sym, TriplePattern};
 use kgquery::ast::Query;
 use kgquery::exec::ExecOptions;
 use kgquery::{exec, parser, reference};
@@ -32,6 +39,55 @@ use kgrag::RagMode;
 use llmkg::{Workbench, WorkbenchConfig};
 use llmkg_bench::{header, write_report};
 use serde_json::{json, Value};
+
+/// Live-heap meter for the `encoded_join` memory comparison: every
+/// allocation and free updates one relaxed counter, so the delta across
+/// an index build is the bytes that build retains. Transient allocations
+/// (sort scratch, growth slack) cancel out of the delta by the time the
+/// build returns.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: defers all allocation to `System`; only the bookkeeping is ours.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE.fetch_add(new_size, Ordering::Relaxed);
+            LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            LIVE.fetch_add(layout.size(), Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
 
 const QUERIES: [(&str, &str); 5] = [
     (
@@ -205,6 +261,197 @@ fn stats_json(stats: &kgquery::ExecStats) -> Value {
         "intermediate_bindings": stats.intermediate_bindings,
         "path_cache_hits": stats.path_cache_hits,
         "parallel_shards": stats.parallel_shards,
+        "merge_joins": stats.merge_joins,
+    })
+}
+
+/// Order-sensitive FNV-style fold over one joined `(a, c)` pair: equal
+/// checksums prove both join strategies emitted the same rows in the
+/// same order, not merely the same multiset.
+fn fold(h: u64, a: Sym, c: Sym) -> u64 {
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+        .wrapping_add((u64::from(a.0) << 32) | u64::from(c.0))
+}
+
+/// Two-hop join `?a p1 ?b . ?b p2 ?c` the seed engine's way: walk the
+/// `p1` frontier, then issue one SPO range probe per binding (a fresh
+/// BTree descent each time). Returns `(rows, checksum)`.
+fn probe_join(g: &BaselineGraph, p1: Sym, p2: Sym) -> (u64, u64) {
+    let mut rows = 0u64;
+    let mut checksum = 0u64;
+    let frontier = TriplePattern {
+        s: None,
+        p: Some(p1),
+        o: None,
+    };
+    for t in g.match_pattern(frontier) {
+        for c in g.objects(t.o, p2) {
+            rows += 1;
+            checksum = fold(checksum, t.s, c);
+        }
+    }
+    (rows, checksum)
+}
+
+/// The same join as a single sorted-merge pass over the flat arena: a
+/// bound-predicate [`Graph::scan_pattern`] walks the POS permutation, so
+/// the frontier arrives already sorted by the join key `?b` with zero
+/// sort work, and one monotone [`Graph::merge_probe`] seek per distinct
+/// key answers every duplicate from the cached matches.
+fn merge_join(g: &Graph, p1: Sym, p2: Sym) -> (u64, u64) {
+    let mut probe = g
+        .merge_probe(p2, true)
+        .expect("encoded_join graph is compacted");
+    let mut rows = 0u64;
+    let mut checksum = 0u64;
+    let mut cached: Option<(Sym, Vec<Sym>)> = None;
+    let frontier = TriplePattern {
+        s: None,
+        p: Some(p1),
+        o: None,
+    };
+    for t in g.scan_pattern(frontier) {
+        if cached.as_ref().map(|(k, _)| *k) != Some(t.o) {
+            let matches: Vec<Sym> = probe.seek(t.o).collect();
+            cached = Some((t.o, matches));
+        }
+        let (_, matches) = cached.as_ref().expect("seeded above");
+        for &c in matches {
+            rows += 1;
+            checksum = fold(checksum, t.s, c);
+        }
+    }
+    (rows, checksum)
+}
+
+/// The `encoded_join` series: the flat sorted-arena store against the
+/// seed's three-BTreeSet graph at scale. Two measurements, one gate:
+///
+/// * memory — live-heap deltas (via the counting allocator) of building
+///   each index structure from the same interned rows; neither side
+///   owns a term pool, so the deltas are triple/index storage only;
+/// * join throughput — the two-hop join above, per-binding probes vs
+///   one sorted-merge pass, after asserting both produce bit-identical
+///   output (count and order-sensitive checksum).
+fn encoded_join_series(smoke: bool) -> Value {
+    // zipf 0.6 keeps the scale-free shape but bounds hub fan-out, so the
+    // timed work is index lookups (what the arena changes) rather than
+    // emission of a hub×hub cross product (identical on both sides).
+    let config = FreebaseLikeConfig {
+        n_entities: if smoke { 3_000 } else { 120_000 },
+        n_relations: if smoke { 8 } else { 24 },
+        n_triples: if smoke { 30_000 } else { 1_200_000 },
+        zipf_exponent: 0.6,
+        with_labels: false,
+        ..FreebaseLikeConfig::default()
+    };
+    let fb = kg::synth::freebase_like(7, &config).expect("freebase_like generates");
+    let source = fb.graph;
+    let rows: Vec<(Sym, Sym, Sym)> = source.iter().map(|t| (t.s, t.p, t.o)).collect();
+    let n = rows.len() as f64;
+
+    let before = live_bytes();
+    let mut flat = Graph::new();
+    flat.bulk_load(rows.iter().copied());
+    let flat_bytes = live_bytes().saturating_sub(before);
+    assert!(
+        flat.is_compacted(),
+        "bulk_load must yield a compacted arena"
+    );
+
+    let before = live_bytes();
+    let mut btree = BaselineGraph::new();
+    for &(s, p, o) in &rows {
+        btree.insert(s, p, o);
+    }
+    let btree_bytes = live_bytes().saturating_sub(before);
+    assert_eq!(flat.len(), btree.len(), "stores disagree on triple count");
+
+    // Join predicates: the two busiest multi-object relations. rdf:type
+    // is excluded by the distinct-object filter — its single shared
+    // object would turn the hop into a cross product.
+    let mut preds: Vec<(Sym, usize)> = source
+        .predicates()
+        .into_iter()
+        .filter(|&(p, _)| source.predicate_card(p).distinct_objects > 1)
+        .collect();
+    preds.sort_by_key(|&(p, count)| (std::cmp::Reverse(count), p));
+    assert!(preds.len() >= 2, "need two relations for the two-hop join");
+    let (p1, p2) = (preds[0].0, preds[1].0);
+
+    // correctness gate: bit-identical rows in bit-identical order
+    let (probe_rows, probe_sum) = probe_join(&btree, p1, p2);
+    let (merge_rows, merge_sum) = merge_join(&flat, p1, p2);
+    assert_eq!(
+        (merge_rows, merge_sum),
+        (probe_rows, probe_sum),
+        "merge join must emit the probe join's rows in the probe join's order"
+    );
+
+    let probe_iters = calibrate(smoke, || {
+        black_box(probe_join(&btree, p1, p2));
+    });
+    let probe_ns = time_ns(probe_iters, || {
+        black_box(probe_join(&btree, p1, p2));
+    });
+    let merge_iters = calibrate(smoke, || {
+        black_box(merge_join(&flat, p1, p2));
+    });
+    let merge_ns = time_ns(merge_iters, || {
+        black_box(merge_join(&flat, p1, p2));
+    });
+
+    let mem_ratio = btree_bytes as f64 / flat_bytes.max(1) as f64;
+    let join_speedup = probe_ns / merge_ns;
+    println!(
+        "\nencoded join: freebase_like(7), {} triples, {} ⨝ {} = {} rows",
+        rows.len(),
+        source.pool().label(p1),
+        source.pool().label(p2),
+        probe_rows,
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "encoded_join", "btree", "flat", "ratio"
+    );
+    println!(
+        "{:<22} {:>14.1} {:>14.1} {:>8.2}x",
+        "bytes per triple",
+        btree_bytes as f64 / n,
+        flat_bytes as f64 / n,
+        mem_ratio,
+    );
+    println!(
+        "{:<22} {:>14.0} {:>14.0} {:>8.2}x",
+        "two-hop join ns", probe_ns, merge_ns, join_speedup,
+    );
+
+    json!({
+        "graph": {
+            "generator": "freebase_like",
+            "seed": 7,
+            "entities": config.n_entities,
+            "relations": config.n_relations,
+            "triples": rows.len(),
+        },
+        "note": "term pool excluded on both sides; byte deltas cover triple/index storage only",
+        "memory": {
+            "flat_bytes": flat_bytes,
+            "btree_bytes": btree_bytes,
+            "flat_bytes_per_triple": flat_bytes as f64 / n,
+            "btree_bytes_per_triple": btree_bytes as f64 / n,
+            "ratio": mem_ratio,
+        },
+        "join": {
+            "pattern": "?a p1 ?b . ?b p2 ?c",
+            "p1": source.pool().label(p1),
+            "p2": source.pool().label(p2),
+            "rows": probe_rows,
+            "checksum": format!("{merge_sum:016x}"),
+            "probe_ns": probe_ns,
+            "merge_ns": merge_ns,
+            "speedup": join_speedup,
+        },
     })
 }
 
@@ -404,6 +651,9 @@ fn main() {
         "workers": sweep,
     });
 
+    // -- encoded_join: flat arena vs BTree storage at scale --------------
+    let encoded_entry = encoded_join_series(smoke);
+
     // -- --obs: per-answer profiles through the workbench ----------------
     let (profiles, fallbacks, faults_injected) = if obs {
         header("Per-answer observability profiles (--obs)");
@@ -471,6 +721,7 @@ fn main() {
                 "queries": limit_entries,
             },
             "parallel": parallel_entry,
+            "encoded_join": encoded_entry,
             "resilience": resilience_entry,
             "profiles": Value::Array(profiles),
         }),

@@ -141,6 +141,7 @@ impl AnswerProfile {
                 "intermediate_bindings": self.executor.stats.intermediate_bindings,
                 "path_cache_hits": self.executor.stats.path_cache_hits,
                 "parallel_shards": self.executor.stats.parallel_shards,
+                "merge_joins": self.executor.stats.merge_joins,
             },
             "generation": {
                 "answered": self.generation.answered,
@@ -220,6 +221,7 @@ mod tests {
                     intermediate_bindings: 5,
                     path_cache_hits: 0,
                     parallel_shards: 0,
+                    merge_joins: 0,
                 },
             },
             generation: GenerationProfile {

@@ -398,6 +398,7 @@ impl Workbench {
                     intermediate_bindings: counters.counter("exec.intermediate_bindings") as usize,
                     path_cache_hits: counters.counter("exec.path_cache_hits") as usize,
                     parallel_shards: counters.counter("exec.parallel_shards") as usize,
+                    merge_joins: counters.counter("exec.merge_joins") as usize,
                 },
             },
             generation: GenerationProfile {

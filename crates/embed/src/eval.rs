@@ -189,6 +189,7 @@ mod tests {
             n_relations: 4,
             n_triples: 500,
             zipf_exponent: 0.8,
+            with_labels: true,
         };
         let kg = freebase_like(2, &cfg).expect("valid config");
         TripleSet::from_graph(&kg.graph, 5, TripleSet::default_keep)

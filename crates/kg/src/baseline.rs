@@ -1,0 +1,225 @@
+//! The seed's BTreeSet-backed triple engine, preserved as an oracle.
+//!
+//! [`BaselineGraph`] is the pre-flat-arena [`crate::Graph`] stripped of
+//! its term pool: three `BTreeSet<(Sym, Sym, Sym)>` permutations over raw
+//! ids with the same incrementally-maintained cardinality statistics.
+//! It exists for two jobs — the differential proptests that pin the
+//! flat-arena engine's `match_pattern`/statistics behaviour under
+//! arbitrary insert/remove/compact interleavings, and the `encoded_join`
+//! benchmark series that measures the arena's memory and join-throughput
+//! wins against it. It is deliberately not optimized further.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::store::{PredicateCard, Triple, TriplePattern};
+use crate::term::Sym;
+
+/// Entries of a ternary index whose first two components equal `(a, b)`.
+fn pair_range(
+    idx: &BTreeSet<(Sym, Sym, Sym)>,
+    a: Sym,
+    b: Sym,
+) -> impl Iterator<Item = &(Sym, Sym, Sym)> {
+    idx.range((a, b, Sym(0))..=(a, b, Sym(u32::MAX)))
+}
+
+/// Entries of a ternary index whose first component equals `a`.
+fn prefix_range(idx: &BTreeSet<(Sym, Sym, Sym)>, a: Sym) -> impl Iterator<Item = &(Sym, Sym, Sym)> {
+    idx.range((a, Sym(0), Sym(0))..=(a, Sym(u32::MAX), Sym(u32::MAX)))
+}
+
+/// A B-tree-indexed triple store over pre-interned ids.
+///
+/// Iteration order of all query methods is deterministic (sorted by id),
+/// matching [`crate::Graph`] shape for shape.
+#[derive(Debug, Default, Clone)]
+pub struct BaselineGraph {
+    spo: BTreeSet<(Sym, Sym, Sym)>,
+    pos: BTreeSet<(Sym, Sym, Sym)>,
+    osp: BTreeSet<(Sym, Sym, Sym)>,
+    pred_stats: BTreeMap<Sym, PredicateCard>,
+    subject_card: usize,
+    object_card: usize,
+}
+
+impl BaselineGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a triple of pre-interned ids. Returns `true` if new.
+    pub fn insert(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
+        if self.spo.contains(&(s, p, o)) {
+            return false;
+        }
+        let new_sp = pair_range(&self.spo, s, p).next().is_none();
+        let new_po = pair_range(&self.pos, p, o).next().is_none();
+        let new_subject = prefix_range(&self.spo, s).next().is_none();
+        let new_object = prefix_range(&self.osp, o).next().is_none();
+        self.spo.insert((s, p, o));
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+        let card = self.pred_stats.entry(p).or_default();
+        card.triples += 1;
+        card.distinct_subjects += usize::from(new_sp);
+        card.distinct_objects += usize::from(new_po);
+        self.subject_card += usize::from(new_subject);
+        self.object_card += usize::from(new_object);
+        true
+    }
+
+    /// Remove a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
+        if !self.spo.remove(&(s, p, o)) {
+            return false;
+        }
+        self.pos.remove(&(p, o, s));
+        self.osp.remove(&(o, s, p));
+        let gone_sp = pair_range(&self.spo, s, p).next().is_none();
+        let gone_po = pair_range(&self.pos, p, o).next().is_none();
+        let gone_subject = prefix_range(&self.spo, s).next().is_none();
+        let gone_object = prefix_range(&self.osp, o).next().is_none();
+        if let Some(card) = self.pred_stats.get_mut(&p) {
+            card.triples -= 1;
+            card.distinct_subjects -= usize::from(gone_sp);
+            card.distinct_objects -= usize::from(gone_po);
+            if card.triples == 0 {
+                self.pred_stats.remove(&p);
+            }
+        }
+        self.subject_card -= usize::from(gone_subject);
+        self.object_card -= usize::from(gone_object);
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: Sym, p: Sym, o: Sym) -> bool {
+        self.spo.contains(&(s, p, o))
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Iterate all triples in (s, p, o) order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })
+    }
+
+    /// Match a pattern, choosing the best index for the bound positions.
+    ///
+    /// Returned triples are sorted under the chosen index — the same
+    /// order as [`crate::Graph::match_pattern`] for every shape.
+    pub fn match_pattern(&self, pat: TriplePattern) -> Vec<Triple> {
+        match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.contains(s, p, o) {
+                    vec![Triple { s, p, o }]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => pair_range(&self.spo, s, p)
+                .map(|&(s, p, o)| Triple { s, p, o })
+                .collect(),
+            (Some(s), None, None) => prefix_range(&self.spo, s)
+                .map(|&(s, p, o)| Triple { s, p, o })
+                .collect(),
+            (None, Some(p), Some(o)) => pair_range(&self.pos, p, o)
+                .map(|&(p, o, s)| Triple { s, p, o })
+                .collect(),
+            (None, Some(p), None) => prefix_range(&self.pos, p)
+                .map(|&(p, o, s)| Triple { s, p, o })
+                .collect(),
+            (None, None, Some(o)) => prefix_range(&self.osp, o)
+                .map(|&(o, s, p)| Triple { s, p, o })
+                .collect(),
+            (Some(s), None, Some(o)) => pair_range(&self.osp, o, s)
+                .map(|&(o, s, p)| Triple { s, p, o })
+                .collect(),
+            (None, None, None) => self.iter().collect(),
+        }
+    }
+
+    /// Cardinality histogram entry for a predicate (zeros when absent).
+    pub fn predicate_card(&self, p: Sym) -> PredicateCard {
+        self.pred_stats.get(&p).copied().unwrap_or_default()
+    }
+
+    /// Number of distinct subjects across the whole graph.
+    pub fn subject_cardinality(&self) -> usize {
+        self.subject_card
+    }
+
+    /// Number of distinct objects across the whole graph.
+    pub fn object_cardinality(&self) -> usize {
+        self.object_card
+    }
+
+    /// Distinct predicates, sorted, with their triple counts.
+    pub fn predicates(&self) -> Vec<(Sym, usize)> {
+        self.pred_stats
+            .iter()
+            .map(|(&p, c)| (p, c.triples))
+            .collect()
+    }
+
+    /// Objects `o` such that `(s, p, o)` holds, ascending.
+    pub fn objects(&self, s: Sym, p: Sym) -> Vec<Sym> {
+        pair_range(&self.spo, s, p).map(|&(_, _, o)| o).collect()
+    }
+
+    /// Subjects `s` such that `(s, p, o)` holds, ascending.
+    pub fn subjects(&self, p: Sym, o: Sym) -> Vec<Sym> {
+        pair_range(&self.pos, p, o).map(|&(_, _, s)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_tracks_inserts_and_removes() {
+        let mut g = BaselineGraph::new();
+        assert!(g.insert(Sym(0), Sym(1), Sym(2)));
+        assert!(!g.insert(Sym(0), Sym(1), Sym(2)));
+        assert!(g.insert(Sym(0), Sym(1), Sym(3)));
+        assert_eq!(g.len(), 2);
+        let card = g.predicate_card(Sym(1));
+        assert_eq!(card.triples, 2);
+        assert_eq!(card.distinct_subjects, 1);
+        assert_eq!(card.distinct_objects, 2);
+        assert!(g.remove(Sym(0), Sym(1), Sym(2)));
+        assert!(!g.remove(Sym(0), Sym(1), Sym(2)));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.subject_cardinality(), 1);
+        assert_eq!(g.object_cardinality(), 1);
+    }
+
+    #[test]
+    fn baseline_pattern_shapes_are_sorted() {
+        let mut g = BaselineGraph::new();
+        for (s, p, o) in [(3, 1, 2), (0, 1, 2), (0, 1, 5), (4, 2, 0)] {
+            g.insert(Sym(s), Sym(p), Sym(o));
+        }
+        let by_p = g.match_pattern(TriplePattern {
+            s: None,
+            p: Some(Sym(1)),
+            o: None,
+        });
+        assert_eq!(by_p.len(), 3);
+        // POS order: sorted by (o, s) within the predicate
+        let keys: Vec<(Sym, Sym)> = by_p.iter().map(|t| (t.o, t.s)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

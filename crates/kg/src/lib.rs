@@ -18,6 +18,7 @@
 //! outputs iterate in stable (interning or sorted) order.
 
 pub mod analysis;
+pub mod baseline;
 pub mod corrupt;
 pub mod dataset;
 pub mod error;
@@ -28,8 +29,11 @@ pub mod synth;
 pub mod term;
 pub mod turtle;
 
+pub use baseline::BaselineGraph;
 pub use dataset::Dataset;
 pub use error::KgError;
 pub use ontology::Ontology;
-pub use store::{Graph, PredicateCard, Triple, TriplePattern};
+pub use store::{
+    Graph, MergeMatches, MergeProbe, PatternScan, PredicateCard, Triple, TriplePattern,
+};
 pub use term::{Sym, Term, TermPool};

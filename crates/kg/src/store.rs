@@ -1,14 +1,30 @@
 //! The indexed in-memory triple store.
 //!
-//! [`Graph`] owns a [`TermPool`] and three sorted indexes (SPO, POS, OSP) so
-//! that every binding shape of a triple pattern is answered by a range scan.
-//! All mutation goes through interning, keeping the hot representation at
-//! three `u32`s per triple.
+//! [`Graph`] owns a [`TermPool`] and a flat columnar index: one sorted
+//! arena `Vec<[Sym; 3]>` in SPO order plus two `u32` row-id permutation
+//! arrays (POS, OSP), so every binding shape of a triple pattern is
+//! answered by a `partition_point` binary-search range — 20 bytes per
+//! triple instead of three pointer-chasing B-trees. Mutations land in a
+//! small `BTreeSet` delta overlay (adds plus tombstones) merged into the
+//! base by [`Graph::compact`]; reads merge the base range with the delta
+//! range on the fly, so results are identical before and after
+//! compaction. See `docs/storage.md` for the full layout.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::namespace;
 use crate::term::{Sym, Term, TermPool};
+
+/// Smallest possible id, used as an inclusive range bound.
+const SYM_MIN: Sym = Sym(0);
+/// Largest possible id, used as an inclusive range bound.
+const SYM_MAX: Sym = Sym(u32::MAX);
+
+/// Extra delta entries tolerated before an automatic [`Graph::compact`]:
+/// the overlay may grow to `DELTA_SLACK + base/2` entries, making the
+/// amortized cost of incremental insertion `O(log n)` probes per triple
+/// plus a geometric series of merges.
+const DELTA_SLACK: usize = 1024;
 
 /// A triple of interned term ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,18 +70,47 @@ impl TriplePattern {
     }
 }
 
-/// Entries of a ternary index whose first two components equal `(a, b)`.
-fn pair_range(
-    idx: &BTreeSet<(Sym, Sym, Sym)>,
-    a: Sym,
-    b: Sym,
-) -> impl Iterator<Item = &(Sym, Sym, Sym)> {
-    idx.range((a, b, Sym(0))..=(a, b, Sym(u32::MAX)))
+/// Which permutation a scan runs under. Keys are the triple's components
+/// rotated so the permutation's sort order is plain tuple order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Perm {
+    Spo,
+    Pos,
+    Osp,
 }
 
-/// Entries of a ternary index whose first component equals `a`.
-fn prefix_range(idx: &BTreeSet<(Sym, Sym, Sym)>, a: Sym) -> impl Iterator<Item = &(Sym, Sym, Sym)> {
-    idx.range((a, Sym(0), Sym(0))..=(a, Sym(u32::MAX), Sym(u32::MAX)))
+impl Perm {
+    /// The permuted sort key of a base row.
+    #[inline]
+    fn key(self, r: [Sym; 3]) -> (Sym, Sym, Sym) {
+        match self {
+            Perm::Spo => (r[0], r[1], r[2]),
+            Perm::Pos => (r[1], r[2], r[0]),
+            Perm::Osp => (r[2], r[0], r[1]),
+        }
+    }
+
+    /// Invert a permuted key back into a triple.
+    #[inline]
+    fn triple(self, k: (Sym, Sym, Sym)) -> Triple {
+        match self {
+            Perm::Spo => Triple {
+                s: k.0,
+                p: k.1,
+                o: k.2,
+            },
+            Perm::Pos => Triple {
+                s: k.2,
+                p: k.0,
+                o: k.1,
+            },
+            Perm::Osp => Triple {
+                s: k.1,
+                p: k.2,
+                o: k.0,
+            },
+        }
+    }
 }
 
 /// Per-predicate cardinality statistics, maintained incrementally.
@@ -114,13 +159,27 @@ fn ratio_ceil(n: usize, d: usize) -> usize {
 
 /// An indexed, interning triple store.
 ///
-/// Iteration order of all query methods is deterministic (sorted by id).
+/// Iteration order of all query methods is deterministic (sorted by id
+/// under the permutation each method scans).
 #[derive(Debug, Default, Clone)]
 pub struct Graph {
     pool: TermPool,
-    spo: BTreeSet<(Sym, Sym, Sym)>,
-    pos: BTreeSet<(Sym, Sym, Sym)>,
-    osp: BTreeSet<(Sym, Sym, Sym)>,
+    /// The compacted arena: all base triples as `[s, p, o]`, sorted.
+    base: Vec<[Sym; 3]>,
+    /// Row ids into `base`, sorted by `(p, o, s)`.
+    pos_idx: Vec<u32>,
+    /// Row ids into `base`, sorted by `(o, s, p)`.
+    osp_idx: Vec<u32>,
+    /// Delta overlay: inserted triples not yet compacted, one set per
+    /// permutation so delta range scans share the base's sort orders.
+    /// Invariant: disjoint from the base rows.
+    d_spo: BTreeSet<(Sym, Sym, Sym)>,
+    d_pos: BTreeSet<(Sym, Sym, Sym)>,
+    d_osp: BTreeSet<(Sym, Sym, Sym)>,
+    /// Tombstones: base rows removed since the last compaction, stored as
+    /// `(s, p, o)`. Membership is permutation-agnostic, so one set filters
+    /// every scan. Invariant: a subset of the base rows.
+    dead: BTreeSet<(Sym, Sym, Sym)>,
     /// Per-predicate cardinality histogram, maintained incrementally on
     /// insert/remove for selectivity estimation in the query optimizer.
     pred_stats: BTreeMap<Sym, PredicateCard>,
@@ -167,28 +226,93 @@ impl Graph {
         self.pool.label(sym)
     }
 
+    /// Whether a base row exists (live or tombstoned).
+    #[inline]
+    fn base_contains(&self, r: [Sym; 3]) -> bool {
+        self.base.binary_search(&r).is_ok()
+    }
+
+    /// The half-open range of scan positions whose permuted key lies in
+    /// `lo..=hi`. Positions index `base` directly for SPO and the row-id
+    /// arrays for POS/OSP.
+    fn base_range(&self, perm: Perm, lo: (Sym, Sym, Sym), hi: (Sym, Sym, Sym)) -> (usize, usize) {
+        match perm {
+            Perm::Spo => {
+                let start = self.base.partition_point(|&r| perm.key(r) < lo);
+                let len = self.base[start..].partition_point(|&r| perm.key(r) <= hi);
+                (start, start + len)
+            }
+            Perm::Pos => idx_range(&self.base, &self.pos_idx, perm, lo, hi),
+            Perm::Osp => idx_range(&self.base, &self.osp_idx, perm, lo, hi),
+        }
+    }
+
+    /// The base row at a scan position under a permutation.
+    #[inline]
+    fn row_at(&self, perm: Perm, pos: usize) -> [Sym; 3] {
+        match perm {
+            Perm::Spo => self.base[pos],
+            Perm::Pos => self.base[self.pos_idx[pos] as usize],
+            Perm::Osp => self.base[self.osp_idx[pos] as usize],
+        }
+    }
+
+    /// The delta-add set sorted under a permutation.
+    #[inline]
+    fn delta_set(&self, perm: Perm) -> &BTreeSet<(Sym, Sym, Sym)> {
+        match perm {
+            Perm::Spo => &self.d_spo,
+            Perm::Pos => &self.d_pos,
+            Perm::Osp => &self.d_osp,
+        }
+    }
+
+    /// Whether any live triple has a permuted key in `lo..=hi`.
+    fn live_empty(&self, perm: Perm, lo: (Sym, Sym, Sym), hi: (Sym, Sym, Sym)) -> bool {
+        PatternScan::new(self, perm, lo, hi).next().is_none()
+    }
+
+    /// Number of live triples with a permuted key in `lo..=hi`.
+    fn live_count(&self, perm: Perm, lo: (Sym, Sym, Sym), hi: (Sym, Sym, Sym)) -> usize {
+        if self.dead.is_empty() {
+            let (start, end) = self.base_range(perm, lo, hi);
+            end - start + self.delta_set(perm).range(lo..=hi).count()
+        } else {
+            PatternScan::new(self, perm, lo, hi).count()
+        }
+    }
+
     /// Insert a triple of already-interned ids. Returns `true` if new.
     ///
-    /// Cardinality statistics ([`PredicateCard`] per predicate plus the
-    /// graph-wide distinct subject/object counts) are maintained here with
-    /// `O(log n)` range-emptiness probes, so planning never has to scan.
+    /// The triple lands in the delta overlay (or resurrects a tombstoned
+    /// base row); cardinality statistics ([`PredicateCard`] per predicate
+    /// plus the graph-wide distinct subject/object counts) are maintained
+    /// here with `O(log n)` range-emptiness probes, so planning never has
+    /// to scan. A large overlay triggers an automatic [`Graph::compact`].
     pub fn insert(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
-        if self.spo.contains(&(s, p, o)) {
+        let in_base = self.base_contains([s, p, o]);
+        let tombstoned = in_base && self.dead.contains(&(s, p, o));
+        if (in_base && !tombstoned) || self.d_spo.contains(&(s, p, o)) {
             return false;
         }
-        let new_sp = pair_range(&self.spo, s, p).next().is_none();
-        let new_po = pair_range(&self.pos, p, o).next().is_none();
-        let new_subject = prefix_range(&self.spo, s).next().is_none();
-        let new_object = prefix_range(&self.osp, o).next().is_none();
-        self.spo.insert((s, p, o));
-        self.pos.insert((p, o, s));
-        self.osp.insert((o, s, p));
+        let new_sp = self.live_empty(Perm::Spo, (s, p, SYM_MIN), (s, p, SYM_MAX));
+        let new_po = self.live_empty(Perm::Pos, (p, o, SYM_MIN), (p, o, SYM_MAX));
+        let new_subject = self.live_empty(Perm::Spo, (s, SYM_MIN, SYM_MIN), (s, SYM_MAX, SYM_MAX));
+        let new_object = self.live_empty(Perm::Osp, (o, SYM_MIN, SYM_MIN), (o, SYM_MAX, SYM_MAX));
+        if tombstoned {
+            self.dead.remove(&(s, p, o));
+        } else {
+            self.d_spo.insert((s, p, o));
+            self.d_pos.insert((p, o, s));
+            self.d_osp.insert((o, s, p));
+        }
         let card = self.pred_stats.entry(p).or_default();
         card.triples += 1;
         card.distinct_subjects += usize::from(new_sp);
         card.distinct_objects += usize::from(new_po);
         self.subject_card += usize::from(new_subject);
         self.object_card += usize::from(new_object);
+        self.maybe_compact();
         true
     }
 
@@ -210,18 +334,22 @@ impl Graph {
 
     /// Remove a triple. Returns `true` if it was present.
     ///
-    /// The inverse of [`Graph::insert`]: the same range-emptiness probes
+    /// The inverse of [`Graph::insert`]: a delta add is dropped outright,
+    /// a base row gains a tombstone, and the same range-emptiness probes
     /// decide whether a distinct subject/object count drops.
     pub fn remove(&mut self, s: Sym, p: Sym, o: Sym) -> bool {
-        if !self.spo.remove(&(s, p, o)) {
+        if self.d_spo.remove(&(s, p, o)) {
+            self.d_pos.remove(&(p, o, s));
+            self.d_osp.remove(&(o, s, p));
+        } else if self.base_contains([s, p, o]) && !self.dead.contains(&(s, p, o)) {
+            self.dead.insert((s, p, o));
+        } else {
             return false;
         }
-        self.pos.remove(&(p, o, s));
-        self.osp.remove(&(o, s, p));
-        let gone_sp = pair_range(&self.spo, s, p).next().is_none();
-        let gone_po = pair_range(&self.pos, p, o).next().is_none();
-        let gone_subject = prefix_range(&self.spo, s).next().is_none();
-        let gone_object = prefix_range(&self.osp, o).next().is_none();
+        let gone_sp = self.live_empty(Perm::Spo, (s, p, SYM_MIN), (s, p, SYM_MAX));
+        let gone_po = self.live_empty(Perm::Pos, (p, o, SYM_MIN), (p, o, SYM_MAX));
+        let gone_subject = self.live_empty(Perm::Spo, (s, SYM_MIN, SYM_MIN), (s, SYM_MAX, SYM_MAX));
+        let gone_object = self.live_empty(Perm::Osp, (o, SYM_MIN, SYM_MIN), (o, SYM_MAX, SYM_MAX));
         if let Some(card) = self.pred_stats.get_mut(&p) {
             card.triples -= 1;
             card.distinct_subjects -= usize::from(gone_sp);
@@ -232,82 +360,240 @@ impl Graph {
         }
         self.subject_card -= usize::from(gone_subject);
         self.object_card -= usize::from(gone_object);
+        self.maybe_compact();
         true
+    }
+
+    /// Bulk-load triples of already-interned ids, replacing the overlay
+    /// with a freshly sorted arena in one pass. Returns the number newly
+    /// inserted.
+    ///
+    /// `O((n + k) log (n + k))` total for `k` new triples over `n`
+    /// existing — the path for building million-triple graphs, where
+    /// per-insert incremental statistics probes would dominate. Statistics
+    /// are recounted from the sorted arena, which is also linear.
+    pub fn bulk_load(&mut self, triples: impl IntoIterator<Item = (Sym, Sym, Sym)>) -> usize {
+        let before = self.len();
+        let mut rows: Vec<[Sym; 3]> = self.iter().map(|t| [t.s, t.p, t.o]).collect();
+        rows.extend(triples.into_iter().map(|(s, p, o)| [s, p, o]));
+        rows.sort_unstable();
+        rows.dedup();
+        rows.shrink_to_fit();
+        self.base = rows;
+        self.d_spo.clear();
+        self.d_pos.clear();
+        self.d_osp.clear();
+        self.dead.clear();
+        self.rebuild_indexes();
+        self.rebuild_stats();
+        self.len() - before
+    }
+
+    /// Merge the delta overlay into the base arena.
+    ///
+    /// Linear in the live triple count; a no-op when already compacted.
+    /// Purely a representation change: every query answers identically
+    /// before and after, and statistics are untouched. Compacted graphs
+    /// answer scans from contiguous memory and enable the executor's
+    /// sorted-merge join path ([`Graph::merge_probe`]).
+    pub fn compact(&mut self) {
+        if self.is_compacted() {
+            return;
+        }
+        let mut merged: Vec<[Sym; 3]> = Vec::with_capacity(self.len());
+        let mut adds = self.d_spo.iter().peekable();
+        for &row in &self.base {
+            if !self.dead.is_empty() && self.dead.contains(&(row[0], row[1], row[2])) {
+                continue;
+            }
+            while let Some(&&(a, b, c)) = adds.peek() {
+                if [a, b, c] < row {
+                    merged.push([a, b, c]);
+                    adds.next();
+                } else {
+                    break;
+                }
+            }
+            merged.push(row);
+        }
+        merged.extend(adds.map(|&(a, b, c)| [a, b, c]));
+        self.base = merged;
+        self.d_spo.clear();
+        self.d_pos.clear();
+        self.d_osp.clear();
+        self.dead.clear();
+        self.rebuild_indexes();
+    }
+
+    /// Whether the delta overlay is empty (all triples live in the base
+    /// arena). Compacted graphs qualify for the merge-join fast path.
+    pub fn is_compacted(&self) -> bool {
+        self.d_spo.is_empty() && self.dead.is_empty()
+    }
+
+    /// Number of uncompacted overlay entries (delta adds plus tombstones).
+    pub fn delta_len(&self) -> usize {
+        self.d_spo.len() + self.dead.len()
+    }
+
+    /// Compact when the overlay outgrows its slack, keeping reads fast
+    /// and the total merge work amortized.
+    fn maybe_compact(&mut self) {
+        if self.delta_len() > DELTA_SLACK + self.base.len() / 2 {
+            self.compact();
+        }
+    }
+
+    /// Re-sort the POS/OSP row-id permutations after the arena changed.
+    fn rebuild_indexes(&mut self) {
+        let n = self.base.len() as u32;
+        let base = &self.base;
+        self.pos_idx = (0..n).collect();
+        self.pos_idx.sort_unstable_by_key(|&i| {
+            let r = base[i as usize];
+            (r[1], r[2], r[0])
+        });
+        self.osp_idx = (0..n).collect();
+        self.osp_idx.sort_unstable_by_key(|&i| {
+            let r = base[i as usize];
+            (r[2], r[0], r[1])
+        });
+    }
+
+    /// Recount all cardinality statistics from the sorted arena: distinct
+    /// `(s, p)` / `(p, o)` / subject / object runs are contiguous under
+    /// the matching permutation, so one linear pass per order suffices.
+    fn rebuild_stats(&mut self) {
+        let mut stats: BTreeMap<Sym, PredicateCard> = BTreeMap::new();
+        let mut subject_card = 0usize;
+        let mut prev_s = None;
+        let mut prev_sp = None;
+        for &r in &self.base {
+            let card = stats.entry(r[1]).or_default();
+            card.triples += 1;
+            if prev_sp != Some((r[0], r[1])) {
+                card.distinct_subjects += 1;
+                prev_sp = Some((r[0], r[1]));
+            }
+            if prev_s != Some(r[0]) {
+                subject_card += 1;
+                prev_s = Some(r[0]);
+            }
+        }
+        let mut prev_po = None;
+        for &i in &self.pos_idx {
+            let r = self.base[i as usize];
+            if prev_po != Some((r[1], r[2])) {
+                stats.entry(r[1]).or_default().distinct_objects += 1;
+                prev_po = Some((r[1], r[2]));
+            }
+        }
+        let mut object_card = 0usize;
+        let mut prev_o = None;
+        for &i in &self.osp_idx {
+            let r = self.base[i as usize];
+            if prev_o != Some(r[2]) {
+                object_card += 1;
+                prev_o = Some(r[2]);
+            }
+        }
+        self.pred_stats = stats;
+        self.subject_card = subject_card;
+        self.object_card = object_card;
     }
 
     /// Membership test.
     pub fn contains(&self, s: Sym, p: Sym, o: Sym) -> bool {
-        self.spo.contains(&(s, p, o))
+        if self.d_spo.contains(&(s, p, o)) {
+            return true;
+        }
+        self.base_contains([s, p, o]) && !self.dead.contains(&(s, p, o))
     }
 
     /// Number of triples.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.base.len() - self.dead.len() + self.d_spo.len()
     }
 
     /// Whether the graph holds no triples.
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.len() == 0
     }
 
     /// Iterate all triples in (s, p, o) order.
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(|&(s, p, o)| Triple { s, p, o })
+        self.scan_pattern(TriplePattern::any())
+    }
+
+    /// Zero-copy scan of a pattern: an iterator that merges the base
+    /// range (a binary-searched slice of the arena, or of a row-id
+    /// permutation) with the delta overlay's matching range, skipping
+    /// tombstones — no intermediate `Vec` is built.
+    ///
+    /// Triples stream in a deterministic order: sorted under the
+    /// permutation chosen for the pattern's bound positions (the same
+    /// order [`Graph::match_pattern`] returns).
+    pub fn scan_pattern(&self, pat: TriplePattern) -> PatternScan<'_> {
+        let (perm, lo, hi) = match (pat.s, pat.p, pat.o) {
+            (Some(s), Some(p), Some(o)) => (Perm::Spo, (s, p, o), (s, p, o)),
+            (Some(s), Some(p), None) => (Perm::Spo, (s, p, SYM_MIN), (s, p, SYM_MAX)),
+            (Some(s), None, None) => (Perm::Spo, (s, SYM_MIN, SYM_MIN), (s, SYM_MAX, SYM_MAX)),
+            (None, Some(p), Some(o)) => (Perm::Pos, (p, o, SYM_MIN), (p, o, SYM_MAX)),
+            (None, Some(p), None) => (Perm::Pos, (p, SYM_MIN, SYM_MIN), (p, SYM_MAX, SYM_MAX)),
+            (None, None, Some(o)) => (Perm::Osp, (o, SYM_MIN, SYM_MIN), (o, SYM_MAX, SYM_MAX)),
+            (Some(s), None, Some(o)) => (Perm::Osp, (o, s, SYM_MIN), (o, s, SYM_MAX)),
+            (None, None, None) => (
+                Perm::Spo,
+                (SYM_MIN, SYM_MIN, SYM_MIN),
+                (SYM_MAX, SYM_MAX, SYM_MAX),
+            ),
+        };
+        PatternScan::new(self, perm, lo, hi)
     }
 
     /// Match a pattern, choosing the best index for the bound positions.
     ///
     /// Returned triples are in a deterministic order (sorted under the
-    /// chosen index).
+    /// chosen index). Materializing convenience over
+    /// [`Graph::scan_pattern`].
     pub fn match_pattern(&self, pat: TriplePattern) -> Vec<Triple> {
-        match (pat.s, pat.p, pat.o) {
-            (Some(s), Some(p), Some(o)) => {
-                if self.contains(s, p, o) {
-                    vec![Triple { s, p, o }]
-                } else {
-                    Vec::new()
-                }
-            }
-            (Some(s), Some(p), None) => self
-                .spo
-                .range((s, p, Sym(0))..=(s, p, Sym(u32::MAX)))
-                .map(|&(s, p, o)| Triple { s, p, o })
-                .collect(),
-            (Some(s), None, None) => self
-                .spo
-                .range((s, Sym(0), Sym(0))..=(s, Sym(u32::MAX), Sym(u32::MAX)))
-                .map(|&(s, p, o)| Triple { s, p, o })
-                .collect(),
-            (None, Some(p), Some(o)) => self
-                .pos
-                .range((p, o, Sym(0))..=(p, o, Sym(u32::MAX)))
-                .map(|&(p, o, s)| Triple { s, p, o })
-                .collect(),
-            (None, Some(p), None) => self
-                .pos
-                .range((p, Sym(0), Sym(0))..=(p, Sym(u32::MAX), Sym(u32::MAX)))
-                .map(|&(p, o, s)| Triple { s, p, o })
-                .collect(),
-            (None, None, Some(o)) => self
-                .osp
-                .range((o, Sym(0), Sym(0))..=(o, Sym(u32::MAX), Sym(u32::MAX)))
-                .map(|&(o, s, p)| Triple { s, p, o })
-                .collect(),
-            (Some(s), None, Some(o)) => self
-                .osp
-                .range((o, s, Sym(0))..=(o, s, Sym(u32::MAX)))
-                .map(|&(o, s, p)| Triple { s, p, o })
-                .collect(),
-            (None, None, None) => self.iter().collect(),
+        self.scan_pattern(pat).collect()
+    }
+
+    /// A monotone probe cursor for sorted-merge joins over one predicate,
+    /// or `None` when the graph is not compacted (overlay scans would
+    /// break the cursor's contiguity) — callers fall back to per-binding
+    /// probes.
+    ///
+    /// With `key_on_subject`, [`MergeProbe::seek`] takes ascending
+    /// subjects and yields each one's objects; otherwise it takes
+    /// ascending objects and yields subjects. Each seek narrows the
+    /// remaining search window, so a full merge pass over `k` sorted keys
+    /// costs `O(k log n)` with strictly shrinking ranges.
+    pub fn merge_probe(&self, p: Sym, key_on_subject: bool) -> Option<MergeProbe<'_>> {
+        if !self.is_compacted() {
+            return None;
         }
+        let (cursor, end) = if key_on_subject {
+            (0, self.base.len())
+        } else {
+            self.base_range(Perm::Pos, (p, SYM_MIN, SYM_MIN), (p, SYM_MAX, SYM_MAX))
+        };
+        Some(MergeProbe {
+            graph: self,
+            p,
+            key_on_subject,
+            cursor,
+            end,
+        })
     }
 
     /// Estimated number of matches for a pattern, used for join ordering.
     ///
     /// Exact for the fully-bound / fully-free / predicate-bound shapes;
     /// histogram-driven (average per-predicate fan-out from
-    /// [`PredicateCard`]) for half-bound predicate shapes; degree-based
-    /// elsewhere. Never scans an index.
+    /// [`PredicateCard`], clamped by the bound node's directional degree)
+    /// for half-bound predicate shapes; degree-based elsewhere.
     pub fn estimate(&self, pat: TriplePattern) -> usize {
         match (pat.s, pat.p, pat.o) {
             (Some(s), Some(p), Some(o)) => usize::from(self.contains(s, p, o)),
@@ -315,11 +601,11 @@ impl Graph {
             (None, Some(p), None) => self.predicate_card(p).triples,
             (Some(s), Some(p), None) => {
                 let card = self.predicate_card(p);
-                card.subject_fanout().min(self.degree(s))
+                card.subject_fanout().min(self.out_degree(s))
             }
             (None, Some(p), Some(o)) => {
                 let card = self.predicate_card(p);
-                card.object_fanout().min(self.degree(o))
+                card.object_fanout().min(self.in_degree(o))
             }
             (Some(s), None, None) => self.out_degree(s),
             (None, None, Some(o)) => self.in_degree(o),
@@ -344,36 +630,56 @@ impl Graph {
 
     /// Objects `o` such that `(s, p, o)` holds.
     pub fn objects(&self, s: Sym, p: Sym) -> Vec<Sym> {
-        pair_range(&self.spo, s, p).map(|&(_, _, o)| o).collect()
+        self.scan_pattern(TriplePattern {
+            s: Some(s),
+            p: Some(p),
+            o: None,
+        })
+        .map(|t| t.o)
+        .collect()
     }
 
     /// Subjects `s` such that `(s, p, o)` holds.
     pub fn subjects(&self, p: Sym, o: Sym) -> Vec<Sym> {
-        pair_range(&self.pos, p, o).map(|&(_, _, s)| s).collect()
+        self.scan_pattern(TriplePattern {
+            s: None,
+            p: Some(p),
+            o: Some(o),
+        })
+        .map(|t| t.s)
+        .collect()
     }
 
     /// All outgoing edges `(p, o)` of a subject.
     pub fn outgoing(&self, s: Sym) -> Vec<(Sym, Sym)> {
-        prefix_range(&self.spo, s)
-            .map(|&(_, p, o)| (p, o))
-            .collect()
+        self.scan_pattern(TriplePattern {
+            s: Some(s),
+            p: None,
+            o: None,
+        })
+        .map(|t| (t.p, t.o))
+        .collect()
     }
 
     /// All incoming edges `(s, p)` of an object.
     pub fn incoming(&self, o: Sym) -> Vec<(Sym, Sym)> {
-        prefix_range(&self.osp, o)
-            .map(|&(_, s, p)| (s, p))
-            .collect()
+        self.scan_pattern(TriplePattern {
+            s: None,
+            p: None,
+            o: Some(o),
+        })
+        .map(|t| (t.s, t.p))
+        .collect()
     }
 
     /// Out-degree of a node.
     pub fn out_degree(&self, s: Sym) -> usize {
-        prefix_range(&self.spo, s).count()
+        self.live_count(Perm::Spo, (s, SYM_MIN, SYM_MIN), (s, SYM_MAX, SYM_MAX))
     }
 
     /// In-degree of a node.
     pub fn in_degree(&self, o: Sym) -> usize {
-        prefix_range(&self.osp, o).count()
+        self.live_count(Perm::Osp, (o, SYM_MIN, SYM_MIN), (o, SYM_MAX, SYM_MAX))
     }
 
     /// Total degree (in + out) of a node.
@@ -397,12 +703,12 @@ impl Graph {
     /// Distinct subjects and objects that are IRIs (entities), sorted.
     pub fn entities(&self) -> Vec<Sym> {
         let mut set = BTreeSet::new();
-        for &(s, _, o) in &self.spo {
-            if self.pool.resolve(s).is_iri() {
-                set.insert(s);
+        for t in self.iter() {
+            if self.pool.resolve(t.s).is_iri() {
+                set.insert(t.s);
             }
-            if self.pool.resolve(o).is_iri() {
-                set.insert(o);
+            if self.pool.resolve(t.o).is_iri() {
+                set.insert(t.o);
             }
         }
         set.into_iter().collect()
@@ -450,6 +756,188 @@ impl Graph {
             }
         }
         added
+    }
+}
+
+/// Half-open scan range over a row-id permutation array.
+fn idx_range(
+    base: &[[Sym; 3]],
+    idx: &[u32],
+    perm: Perm,
+    lo: (Sym, Sym, Sym),
+    hi: (Sym, Sym, Sym),
+) -> (usize, usize) {
+    let start = idx.partition_point(|&i| perm.key(base[i as usize]) < lo);
+    let len = idx[start..].partition_point(|&i| perm.key(base[i as usize]) <= hi);
+    (start, start + len)
+}
+
+/// Streaming pattern scan: merges a binary-searched base range with the
+/// delta overlay's matching range under one permutation, filtering
+/// tombstones. Created by [`Graph::scan_pattern`].
+pub struct PatternScan<'g> {
+    graph: &'g Graph,
+    perm: Perm,
+    pos: usize,
+    end: usize,
+    delta: std::collections::btree_set::Range<'g, (Sym, Sym, Sym)>,
+    /// Next live base row, as a permuted key.
+    base_next: Option<(Sym, Sym, Sym)>,
+    /// Next delta add, as a permuted key.
+    delta_next: Option<(Sym, Sym, Sym)>,
+}
+
+impl<'g> PatternScan<'g> {
+    fn new(graph: &'g Graph, perm: Perm, lo: (Sym, Sym, Sym), hi: (Sym, Sym, Sym)) -> Self {
+        let (pos, end) = graph.base_range(perm, lo, hi);
+        let mut delta = graph.delta_set(perm).range(lo..=hi);
+        let delta_next = delta.next().copied();
+        let mut scan = PatternScan {
+            graph,
+            perm,
+            pos,
+            end,
+            delta,
+            base_next: None,
+            delta_next,
+        };
+        scan.advance_base();
+        scan
+    }
+
+    /// Pull the next non-tombstoned base row into `base_next`.
+    fn advance_base(&mut self) {
+        self.base_next = None;
+        while self.pos < self.end {
+            let row = self.graph.row_at(self.perm, self.pos);
+            self.pos += 1;
+            if self.graph.dead.is_empty() || !self.graph.dead.contains(&(row[0], row[1], row[2])) {
+                self.base_next = Some(self.perm.key(row));
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for PatternScan<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        // The two streams are disjoint (delta adds never shadow base
+        // rows), so a strict key comparison fully orders the merge.
+        let take_base = match (self.base_next, self.delta_next) {
+            (Some(b), Some(d)) => b < d,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_base {
+            let k = self.base_next.take().expect("checked above");
+            self.advance_base();
+            Some(self.perm.triple(k))
+        } else {
+            let k = self.delta_next.take().expect("checked above");
+            self.delta_next = self.delta.next().copied();
+            Some(self.perm.triple(k))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // At least the live base rows already buffered; the delta side's
+        // remaining length is unknown without consuming it.
+        (usize::from(self.base_next.is_some()), None)
+    }
+}
+
+/// Monotone cursor for the executor's sorted-merge join: repeated
+/// [`MergeProbe::seek`] calls with ascending keys walk one predicate's
+/// rows in index order, never re-visiting an earlier range. Created by
+/// [`Graph::merge_probe`] on compacted graphs.
+pub struct MergeProbe<'g> {
+    graph: &'g Graph,
+    p: Sym,
+    key_on_subject: bool,
+    cursor: usize,
+    end: usize,
+}
+
+/// First index in `rows` where `below` stops holding, found by galloping
+/// from the front: double the probe distance until it overshoots, then
+/// binary-search the final bracket. `O(log gap)` per call for a gap-sized
+/// advance, so a merge pass whose successive keys land close together
+/// pays near-linear total cost instead of a full `O(log window)` binary
+/// search per key.
+fn gallop<T>(rows: &[T], below: impl Fn(&T) -> bool) -> usize {
+    match rows.first() {
+        Some(r) if below(r) => {}
+        _ => return 0,
+    }
+    let mut lo = 0;
+    let mut step = 1;
+    while lo + step < rows.len() && below(&rows[lo + step]) {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step).min(rows.len());
+    lo + 1 + rows[lo + 1..hi].partition_point(below)
+}
+
+impl<'g> MergeProbe<'g> {
+    /// The values matching `key` in the free position, ascending: objects
+    /// of `(key, p, ?)` in subject mode, subjects of `(?, p, key)` in
+    /// object mode. Keys must arrive in ascending order — each call
+    /// shrinks the remaining window, galloping forward from its front so
+    /// a dense key sequence costs one near-linear pass overall.
+    pub fn seek(&mut self, key: Sym) -> MergeMatches<'g> {
+        if self.key_on_subject {
+            let lo = (key, self.p, SYM_MIN);
+            let hi = (key, self.p, SYM_MAX);
+            let window = &self.graph.base[self.cursor..self.end];
+            let start = gallop(window, |&r| (r[0], r[1], r[2]) < lo);
+            let len = gallop(&window[start..], |&r| (r[0], r[1], r[2]) <= hi);
+            self.cursor += start + len;
+            MergeMatches::Objects(window[start..start + len].iter())
+        } else {
+            let base = self.graph.base.as_slice();
+            let window = &self.graph.pos_idx[self.cursor..self.end];
+            let start = gallop(window, |&i| base[i as usize][2] < key);
+            let len = gallop(&window[start..], |&i| base[i as usize][2] <= key);
+            self.cursor += start + len;
+            MergeMatches::Subjects {
+                base,
+                idx: window[start..start + len].iter(),
+            }
+        }
+    }
+}
+
+/// The free-position values one [`MergeProbe::seek`] matched, ascending.
+pub enum MergeMatches<'g> {
+    /// A contiguous `(key, p, ·)` arena span — yields objects.
+    Objects(std::slice::Iter<'g, [Sym; 3]>),
+    /// A `(·, p, key)` span of the POS row-id permutation — yields
+    /// subjects.
+    Subjects {
+        base: &'g [[Sym; 3]],
+        idx: std::slice::Iter<'g, u32>,
+    },
+}
+
+impl Iterator for MergeMatches<'_> {
+    type Item = Sym;
+
+    fn next(&mut self) -> Option<Sym> {
+        match self {
+            MergeMatches::Objects(rows) => rows.next().map(|r| r[2]),
+            MergeMatches::Subjects { base, idx } => idx.next().map(|&i| base[i as usize][0]),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            MergeMatches::Objects(rows) => rows.size_hint(),
+            MergeMatches::Subjects { idx, .. } => idx.size_hint(),
+        }
     }
 }
 
@@ -652,6 +1140,51 @@ mod tests {
     }
 
     #[test]
+    fn estimate_half_bound_clamps_to_directional_degree() {
+        let mut g = Graph::new();
+        // skewed predicate: `a` has 9 spokes, `b` has 1 → average fan-out 5
+        for i in 0..9 {
+            g.insert_iri("http://e/a", "http://v/spokes", &format!("http://e/o{i}"));
+        }
+        g.insert_iri("http://e/b", "http://v/spokes", "http://e/o0");
+        // pile reverse fan-in onto `b`: its *total* degree is large, but
+        // its out-degree (the only direction `(b, spokes, ?o)` can match)
+        // stays 1
+        for i in 0..20 {
+            g.insert_iri(&format!("http://e/c{i}"), "http://v/cites", "http://e/b");
+        }
+        let b = g.pool().get_iri("http://e/b").unwrap();
+        let spokes = g.pool().get_iri("http://v/spokes").unwrap();
+        assert_eq!(g.out_degree(b), 1);
+        assert!(g.degree(b) > 5, "reverse fan-in must exceed the fan-out");
+        // tight bound: out-degree clamps the histogram average (a stale
+        // degree() clamp would return the average, 5)
+        assert_eq!(
+            g.estimate(TriplePattern {
+                s: Some(b),
+                p: Some(spokes),
+                o: None
+            }),
+            1
+        );
+        // mirrored shape: `o0` has 2 incoming spokes but heavy *outgoing*
+        // fan-out must not inflate `(?s, spokes, o0)`
+        for i in 0..20 {
+            g.insert_iri("http://e/o0", "http://v/cites", &format!("http://e/d{i}"));
+        }
+        let o0 = g.pool().get_iri("http://e/o0").unwrap();
+        assert_eq!(g.in_degree(o0), 2);
+        assert_eq!(
+            g.estimate(TriplePattern {
+                s: None,
+                p: Some(spokes),
+                o: Some(o0)
+            }),
+            2
+        );
+    }
+
+    #[test]
     fn types_and_instances() {
         let mut g = Graph::new();
         g.insert_iri("http://e/alice", namespace::RDF_TYPE, "http://v/Person");
@@ -700,5 +1233,131 @@ mod tests {
         g.insert_iri("http://e/a", "http://v/knows", "http://e/b");
         // literals never count as entities; only IRI subjects/objects do
         assert_eq!(g.entities().len(), 2);
+    }
+
+    #[test]
+    fn compact_is_invisible_to_queries() {
+        let mut g = tiny();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        let bob = g.pool().get_iri("http://e/bob").unwrap();
+        assert!(!g.is_compacted());
+        let before: Vec<Triple> = g.iter().collect();
+        let knows_before = g.match_pattern(TriplePattern {
+            s: None,
+            p: Some(knows),
+            o: None,
+        });
+        g.compact();
+        assert!(g.is_compacted());
+        assert_eq!(g.delta_len(), 0);
+        assert_eq!(g.iter().collect::<Vec<_>>(), before);
+        assert_eq!(
+            g.match_pattern(TriplePattern {
+                s: None,
+                p: Some(knows),
+                o: None
+            }),
+            knows_before
+        );
+        // mutations after compaction land in a fresh overlay
+        assert!(g.remove(alice, knows, bob));
+        assert!(!g.is_compacted());
+        assert_eq!(g.len(), 3);
+        g.compact();
+        assert_eq!(g.len(), 3);
+        assert!(!g.contains(alice, knows, bob));
+    }
+
+    #[test]
+    fn tombstoned_row_resurrects_on_reinsert() {
+        let mut g = tiny();
+        g.compact();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        let bob = g.pool().get_iri("http://e/bob").unwrap();
+        assert!(g.remove(alice, knows, bob));
+        assert!(g.insert(alice, knows, bob));
+        assert!(g.is_compacted(), "re-insert cancels the tombstone");
+        assert!(g.contains(alice, knows, bob));
+        assert_eq!(g.len(), 4);
+        let knows_card = g.predicate_card(knows);
+        assert_eq!(knows_card.triples, 3);
+        assert_eq!(knows_card.distinct_subjects, 2);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_build() {
+        let mut a = Graph::new();
+        let mut triples = Vec::new();
+        for i in 0..30 {
+            let s = a.intern_iri(format!("http://e/s{}", i % 7));
+            let p = a.intern_iri(format!("http://v/p{}", i % 3));
+            let o = a.intern_iri(format!("http://e/o{}", i % 5));
+            triples.push((s, p, o));
+        }
+        let mut b = a.clone();
+        for &(s, p, o) in &triples {
+            a.insert(s, p, o);
+        }
+        let added = b.bulk_load(triples.iter().copied());
+        assert_eq!(added, b.len());
+        assert!(b.is_compacted());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.iter().collect::<Vec<_>>(),
+            b.iter().collect::<Vec<_>>(),
+            "bulk load and incremental insertion agree triple-for-triple"
+        );
+        for (p, _) in a.predicates() {
+            assert_eq!(a.predicate_card(p), b.predicate_card(p));
+        }
+        assert_eq!(a.subject_cardinality(), b.subject_cardinality());
+        assert_eq!(a.object_cardinality(), b.object_cardinality());
+    }
+
+    #[test]
+    fn scan_pattern_streams_without_materializing() {
+        let mut g = tiny();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        // half base, half delta: compact, then add more
+        g.compact();
+        g.insert_iri("http://e/alice", "http://v/knows", "http://e/dave");
+        let pat = TriplePattern {
+            s: Some(alice),
+            p: None,
+            o: None,
+        };
+        let streamed: Vec<Triple> = g.scan_pattern(pat).collect();
+        assert_eq!(streamed, g.match_pattern(pat));
+        assert_eq!(streamed.len(), 4);
+        // streams ascending under the chosen (SPO) permutation
+        let mut sorted = streamed.clone();
+        sorted.sort();
+        assert_eq!(streamed, sorted);
+    }
+
+    #[test]
+    fn merge_probe_walks_ascending_keys() {
+        let mut g = tiny();
+        let knows = g.pool().get_iri("http://v/knows").unwrap();
+        assert!(g.merge_probe(knows, true).is_none(), "uncompacted graph");
+        g.compact();
+        let alice = g.pool().get_iri("http://e/alice").unwrap();
+        let bob = g.pool().get_iri("http://e/bob").unwrap();
+        let carol = g.pool().get_iri("http://e/carol").unwrap();
+        let mut by_s = g.merge_probe(knows, true).unwrap();
+        let mut keys = [alice, bob];
+        keys.sort();
+        let mut all: Vec<Vec<Sym>> = Vec::new();
+        for k in keys {
+            all.push(by_s.seek(k).collect());
+        }
+        let expect: Vec<Vec<Sym>> = keys.iter().map(|&k| g.objects(k, knows)).collect();
+        assert_eq!(all, expect);
+        // object-keyed walk yields subjects
+        let mut by_o = g.merge_probe(knows, false).unwrap();
+        let got: Vec<Sym> = by_o.seek(carol).collect();
+        assert_eq!(got, g.subjects(knows, carol));
     }
 }

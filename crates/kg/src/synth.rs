@@ -154,6 +154,15 @@ impl Builder {
         let o = self.graph.intern(Term::int(v));
         self.graph.insert(s, p, o);
     }
+
+    /// Hand the finished graph over, compacted: generated KGs are
+    /// read-mostly, so they should start life on the flat arena (fast
+    /// scans, merge-join eligible) rather than in the delta overlay.
+    fn finish(self) -> Graph {
+        let mut graph = self.graph;
+        graph.compact();
+        graph
+    }
 }
 
 fn vocab(name: &str) -> String {
@@ -320,7 +329,7 @@ pub fn movies(seed: u64, scale: Scale) -> SynthKg {
     }
 
     SynthKg {
-        graph: b.graph,
+        graph: b.finish(),
         ontology: onto,
         domain: "movies",
     }
@@ -470,7 +479,7 @@ pub fn academic(seed: u64, scale: Scale) -> SynthKg {
     }
 
     SynthKg {
-        graph: b.graph,
+        graph: b.finish(),
         ontology: onto,
         domain: "academic",
     }
@@ -606,7 +615,7 @@ pub fn geo(seed: u64, scale: Scale) -> SynthKg {
     }
 
     SynthKg {
-        graph: b.graph,
+        graph: b.finish(),
         ontology: onto,
         domain: "geo",
     }
@@ -746,7 +755,7 @@ pub fn biomed(seed: u64, scale: Scale) -> SynthKg {
     }
 
     SynthKg {
-        graph: b.graph,
+        graph: b.finish(),
         ontology: onto,
         domain: "biomed",
     }
@@ -763,6 +772,10 @@ pub struct FreebaseLikeConfig {
     pub n_triples: usize,
     /// Zipf-like skew exponent for entity popularity (0 = uniform).
     pub zipf_exponent: f64,
+    /// Attach an `rdfs:label` literal to every entity. Disable for pure
+    /// join-stress graphs at millions of triples, where the label
+    /// strings would dominate the term pool.
+    pub with_labels: bool,
 }
 
 impl Default for FreebaseLikeConfig {
@@ -772,6 +785,7 @@ impl Default for FreebaseLikeConfig {
             n_relations: 20,
             n_triples: 3_000,
             zipf_exponent: 1.0,
+            with_labels: true,
         }
     }
 }
@@ -779,6 +793,12 @@ impl Default for FreebaseLikeConfig {
 /// Generate a generic scale-free multi-relational KG (the shape used by
 /// link-prediction benchmarks such as FB15k): entity popularity follows an
 /// approximate Zipf law, so a few hub entities participate in many triples.
+///
+/// Scales to millions of triples: relation ids are interned once up
+/// front, candidate edges stream into a flat id buffer that is
+/// sort-deduplicated in amortized batches (no per-attempt string
+/// allocation, no per-triple B-tree probing), and the result lands in the
+/// arena via [`Graph::bulk_load`] with statistics recounted linearly.
 pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> {
     if config.n_entities < 2 || config.n_relations == 0 || config.n_triples == 0 {
         return Err(KgError::InvalidConfig(format!(
@@ -791,8 +811,20 @@ pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> 
     let mut onto = Ontology::new();
     onto.add_labeled_class(class.clone(), "Entity");
 
+    let digits = config.n_entities.to_string().len().max(5);
     let entities: Vec<Sym> = (0..config.n_entities)
-        .map(|i| b.entity(&class, &format!("E{i:05}")))
+        .map(|i| {
+            let name = format!("E{i:0digits$}");
+            if config.with_labels {
+                b.entity(&class, &name)
+            } else {
+                let iri = format!("{}{}", ns::SYNTH_ENTITY, ns::slug(&name));
+                let e = b.graph.intern_iri(iri);
+                let c = b.graph.intern_iri(class.as_str());
+                b.graph.insert(e, b.ty, c);
+                e
+            }
+        })
         .collect();
     let relations: Vec<String> = (0..config.n_relations)
         .map(|i| vocab(&format!("rel{i:03}")))
@@ -808,6 +840,12 @@ pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> 
             },
         );
     }
+    // intern every relation once — the generation loop below touches only
+    // pre-interned ids
+    let rel_syms: Vec<Sym> = relations
+        .iter()
+        .map(|r| b.graph.intern_iri(r.as_str()))
+        .collect();
 
     // cumulative Zipf weights over entity ranks
     let weights: Vec<f64> = (1..=config.n_entities)
@@ -828,25 +866,40 @@ pub fn freebase_like(seed: u64, config: &FreebaseLikeConfig) -> Result<SynthKg> 
         entities[idx]
     };
 
-    let mut inserted = 0usize;
+    // Stream candidate edges into a flat buffer; sort-dedup whenever the
+    // buffer passes its flush mark, growing the mark by twice the
+    // remaining deficit so dedup work stays amortized-linear even on
+    // dense, collision-heavy configurations.
+    let target = config.n_triples;
+    let mut rows: Vec<(Sym, Sym, Sym)> = Vec::with_capacity(target + target / 8 + 16);
+    let mut flush_at = target + target / 8 + 16;
     let mut attempts = 0usize;
-    let max_attempts = config.n_triples * 20;
-    while inserted < config.n_triples && attempts < max_attempts {
+    let max_attempts = target.saturating_mul(20);
+    while attempts < max_attempts {
         attempts += 1;
         let s = pick(&mut rng);
         let o = pick(&mut rng);
         if s == o {
             continue;
         }
-        let r = relations.choose(&mut rng).expect("non-empty");
-        let p = b.graph.intern_iri(r.clone());
-        if b.graph.insert(s, p, o) {
-            inserted += 1;
+        let p = *rel_syms.choose(&mut rng).expect("non-empty");
+        rows.push((s, p, o));
+        if rows.len() >= flush_at {
+            rows.sort_unstable();
+            rows.dedup();
+            if rows.len() >= target {
+                break;
+            }
+            flush_at = rows.len() + (target - rows.len()) * 2 + 64;
         }
     }
+    rows.sort_unstable();
+    rows.dedup();
+    rows.truncate(target);
+    b.graph.bulk_load(rows);
 
     Ok(SynthKg {
-        graph: b.graph,
+        graph: b.finish(),
         ontology: onto,
         domain: "freebase-like",
     })
@@ -925,6 +978,7 @@ mod tests {
             n_relations: 5,
             n_triples: 400,
             zipf_exponent: 1.0,
+            with_labels: true,
         };
         let kg = freebase_like(3, &cfg).unwrap();
         // types+labels for 100 entities plus the requested relation triples
@@ -950,6 +1004,7 @@ mod tests {
             n_relations: 5,
             n_triples: 1_000,
             zipf_exponent: 1.2,
+            with_labels: true,
         };
         let kg = freebase_like(7, &cfg).unwrap();
         let g = &kg.graph;

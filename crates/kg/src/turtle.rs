@@ -368,8 +368,11 @@ impl<'a> Parser<'a> {
                 Some('\\') => match self.bump() {
                     Some('n') => s.push('\n'),
                     Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
                     Some('"') => s.push('"'),
                     Some('\\') => s.push('\\'),
+                    Some('u') => s.push(self.parse_unicode_escape(4)?),
+                    Some('U') => s.push(self.parse_unicode_escape(8)?),
                     Some(c) => return Err(self.err(format!("unknown escape '\\{c}'"))),
                     None => return Err(self.err("unterminated string")),
                 },
@@ -412,6 +415,24 @@ impl<'a> Parser<'a> {
             }
             _ => Ok(Term::Literal(Literal::string(s))),
         }
+    }
+
+    /// The code point of a `\uXXXX` / `\UXXXXXXXX` escape (the backslash
+    /// and marker already consumed). Rejects short digit runs, lone
+    /// surrogates, and out-of-range values with a positioned error.
+    fn parse_unicode_escape(&mut self, digits: u32) -> Result<char> {
+        let mut value: u32 = 0;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated unicode escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.err(format!("invalid hex digit '{c}' in unicode escape")))?;
+            value = value * 16 + d;
+        }
+        char::from_u32(value)
+            .ok_or_else(|| self.err(format!("invalid unicode scalar U+{value:04X} in escape")))
     }
 
     fn parse_number(&mut self) -> Result<Term> {
@@ -521,6 +542,52 @@ mod tests {
         let t = g.iter().next().unwrap();
         let l = g.resolve(t.o).as_literal().unwrap();
         assert_eq!(l.lexical, "line\nbreak \"q\"");
+    }
+
+    #[test]
+    fn parses_carriage_return_and_unicode_escapes() {
+        let g = parse_turtle(
+            r#"<http://e/a> <http://v/p> "cr\rlf\n tab\t A=\u0041 smile=\U0001F600" ."#,
+        )
+        .unwrap();
+        let t = g.iter().next().unwrap();
+        let l = g.resolve(t.o).as_literal().unwrap();
+        assert_eq!(l.lexical, "cr\rlf\n tab\t A=A smile=😀");
+    }
+
+    #[test]
+    fn escaped_literal_round_trips_through_ntriples() {
+        let mut g = Graph::new();
+        g.insert_terms(
+            Term::iri("http://e/a"),
+            Term::iri("http://v/p"),
+            Term::lit("cr\r lf\n tab\t quote\" back\\ é😀"),
+        );
+        let nt = to_ntriples(&g);
+        let g2 = parse_ntriples(&nt).unwrap();
+        assert_eq!(g2.len(), 1);
+        let t = g2.iter().next().unwrap();
+        let l = g2.resolve(t.o).as_literal().unwrap();
+        assert_eq!(l.lexical, "cr\r lf\n tab\t quote\" back\\ é😀");
+        // serialize → parse → serialize is a fixed point
+        assert_eq!(to_ntriples(&g2), nt);
+    }
+
+    #[test]
+    fn lone_surrogate_escape_is_a_positioned_error() {
+        let err = parse_turtle("<http://e/a> <http://v/p>\n \"bad \\uD800\" .").unwrap_err();
+        match err {
+            KgError::Parse {
+                line, ref message, ..
+            } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("U+D800"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // out-of-range scalars and short digit runs fail too
+        assert!(parse_turtle(r#"<http://e/a> <http://v/p> "\UFFFFFFFF" ."#).is_err());
+        assert!(parse_turtle(r#"<http://e/a> <http://v/p> "\u12" ."#).is_err());
     }
 
     #[test]

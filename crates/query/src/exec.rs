@@ -69,6 +69,14 @@ pub const DEFAULT_PARALLEL_THRESHOLD: usize = 2048;
 /// finishes before the spawned workers do.
 const MIN_PARALLEL_THRESHOLD: usize = 512;
 
+/// Default binding-vector size at which an eligible BGP extension stage
+/// switches from per-binding index probes to one sorted-merge pass over
+/// the predicate's index ([`ExecOptions::merge_threshold`]). Small on
+/// purpose: the merge costs one sort of the frontier keys plus a single
+/// monotone index walk, which already beats `n` independent binary
+/// searches at modest `n`.
+pub const DEFAULT_MERGE_THRESHOLD: usize = 16;
+
 /// The sharding threshold for this host, derived at runtime from
 /// [`std::thread::available_parallelism`]:
 ///
@@ -112,6 +120,14 @@ pub struct ExecOptions {
     /// benchmarks exercise the threaded path deterministically even on a
     /// single-core host.
     pub shard_count: Option<usize>,
+    /// Evaluate an eligible BGP extension stage (constant predicate, one
+    /// endpoint bound in every binding, the other free in every binding,
+    /// compacted graph) as one sorted-merge pass against the predicate
+    /// index once its input binding vector reaches this size; `None`
+    /// disables merge joins. Results are bit-identical to the per-binding
+    /// probe loop; only [`ExecStats::index_probes`] (counted per distinct
+    /// key) and [`ExecStats::merge_joins`] differ.
+    pub merge_threshold: Option<usize>,
     /// Allow `ORDER BY`-free `LIMIT`/`ASK` queries to stop early under a
     /// row budget instead of materializing every solution.
     pub streaming: bool,
@@ -132,6 +148,7 @@ impl Default for ExecOptions {
         ExecOptions {
             parallel_threshold: default_parallel_threshold(),
             shard_count: None,
+            merge_threshold: Some(DEFAULT_MERGE_THRESHOLD),
             streaming: true,
             limits: ResourceLimits::unlimited(),
             cancel: None,
@@ -509,25 +526,29 @@ fn aggregate(
 
 /// Numeric-aware term comparison for ORDER BY and filters.
 ///
-/// The order is total: `NaN` compares equal to itself and greater than
-/// every other number, so it sorts deterministically last under `ASC`
-/// (first under `DESC`) instead of making the comparator intransitive.
+/// The order is total. Terms compare by stratum — blanks < IRIs <
+/// numeric-typed literals < other literals — then within their stratum:
+/// numerically (under [`compare_f64_total`], so `NaN` has one
+/// deterministic position) for the numeric stratum, lexically elsewhere.
+///
+/// Ranking numeric literals as their own stratum is what keeps the
+/// comparator transitive when typed and plain literals mix: comparing
+/// `"5"^^xsd:integer` to a plain `"3"` numerically-when-possible but
+/// lexically-otherwise produced cycles (`10 > 5`, `"5" > "3"`,
+/// `"3" > "10"`), and a cyclic comparator makes `sort_by` output
+/// seed-dependent — or, under a future sort implementation, panic.
 pub(crate) fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
     match (a, b) {
         (None, None) => Ordering::Equal,
         (None, Some(_)) => Ordering::Less,
         (Some(_), None) => Ordering::Greater,
         (Some(x), Some(y)) => {
-            let nx = x.as_literal().and_then(|l| l.as_double());
-            let ny = y.as_literal().and_then(|l| l.as_double());
-            match (nx, ny) {
+            let (ra, na, ka) = term_rank(x);
+            let (rb, nb, kb) = term_rank(y);
+            ra.cmp(&rb).then_with(|| match (na, nb) {
                 (Some(a), Some(b)) => compare_f64_total(a, b),
-                _ => {
-                    let (ra, ka) = term_rank(x);
-                    let (rb, kb) = term_rank(y);
-                    ra.cmp(&rb).then_with(|| ka.cmp(kb))
-                }
-            }
+                _ => ka.cmp(kb),
+            })
         }
     }
 }
@@ -558,13 +579,20 @@ pub fn compare_f64_total(a: f64, b: f64) -> Ordering {
     }
 }
 
-/// Allocation-free sort key: blanks < IRIs < literals, then the inner
-/// string (the order the seed's `"b:" < "i:" < "l:"` prefix keys gave).
-fn term_rank(t: &Term) -> (u8, &str) {
+/// Allocation-free sort key: the stratum (blanks < IRIs < numeric
+/// literals < other literals), the parsed value for the numeric stratum,
+/// and the inner string for the rest. Numeric literals never fall back to
+/// the lexical string — two values in the numeric stratum are always
+/// comparable by value, and cross-stratum pairs are decided by the
+/// stratum alone.
+fn term_rank(t: &Term) -> (u8, Option<f64>, &str) {
     match t {
-        Term::Blank(b) => (0, b.as_str()),
-        Term::Iri(i) => (1, i.as_str()),
-        Term::Literal(l) => (2, l.lexical.as_str()),
+        Term::Blank(b) => (0, None, b.as_str()),
+        Term::Iri(i) => (1, None, i.as_str()),
+        Term::Literal(l) => match l.as_double() {
+            Some(v) => (2, Some(v), ""),
+            None => (3, None, l.lexical.as_str()),
+        },
     }
 }
 
@@ -1074,17 +1102,20 @@ fn eval_bgp(
             Some(threshold) if current.len() >= threshold.max(1) => {
                 extend_stage_parallel(ctx, pat, current, stats)?
             }
-            _ => {
-                let mut next = Vec::new();
-                for b in current {
-                    ctx.rc.checkpoint()?;
-                    extend_with_pattern(ctx, pat, b, &mut next, stats)?;
-                    // exact row check per input binding, so a cross-product
-                    // stage trips the budget long before it materializes
-                    ctx.rc.check_rows(next.len())?;
+            _ => match merge_plan(ctx, pat, &current) {
+                Some(plan) => extend_stage_merge(ctx, &plan, current, stats)?,
+                None => {
+                    let mut next = Vec::new();
+                    for b in current {
+                        ctx.rc.checkpoint()?;
+                        extend_with_pattern(ctx, pat, b, &mut next, stats)?;
+                        // exact row check per input binding, so a cross-product
+                        // stage trips the budget long before it materializes
+                        ctx.rc.check_rows(next.len())?;
+                    }
+                    next
                 }
-                next
-            }
+            },
         };
         stats.intermediate_bindings += next.len();
         current = next;
@@ -1168,6 +1199,121 @@ fn extend_stage_parallel(
         ctx.rc.check_rows(out.len())?;
     }
     Ok(out)
+}
+
+/// A BGP extension stage that qualifies for sorted-merge evaluation: a
+/// constant, interned predicate joining a key slot (bound in every input
+/// binding) to a free slot (unbound in every input binding).
+struct MergePlan {
+    p: Sym,
+    key_slot: usize,
+    free_slot: usize,
+    /// `true` when the key slot sits in subject position (objects are
+    /// enumerated), `false` when it sits in object position.
+    key_on_subject: bool,
+}
+
+/// Decide whether a stage can run as one sorted-merge pass (see
+/// `docs/storage.md` for the conditions and why each one is required).
+///
+/// The bound-in-all / free-in-all checks are per-stage `O(n)` scans over
+/// the frontier — noise next to the per-binding probes they stand in for.
+/// `OPTIONAL` and `UNION` branches can leave a slot bound in some rows
+/// and free in others; such mixed stages fall back to the probe loop.
+fn merge_plan(ctx: &EvalCtx, pat: &SlotPattern, bindings: &[Binding]) -> Option<MergePlan> {
+    let threshold = ctx.opts.merge_threshold?;
+    if bindings.len() < threshold.max(1) || !ctx.graph.is_compacted() {
+        return None;
+    }
+    let SlotPath::Pred(Some(p)) = &pat.p else {
+        return None;
+    };
+    let (SlotNode::Var(s_slot), SlotNode::Var(o_slot)) = (pat.s, pat.o) else {
+        return None;
+    };
+    if s_slot == o_slot {
+        return None;
+    }
+    let all = |slot: usize, bound: bool| bindings.iter().all(|b| b[slot].is_some() == bound);
+    let (key_slot, free_slot, key_on_subject) = if all(s_slot, true) && all(o_slot, false) {
+        (s_slot, o_slot, true)
+    } else if all(o_slot, true) && all(s_slot, false) {
+        (o_slot, s_slot, false)
+    } else {
+        return None;
+    };
+    Some(MergePlan {
+        p: *p,
+        key_slot,
+        free_slot,
+        key_on_subject,
+    })
+}
+
+/// Evaluate one eligible stage as a sorted-merge join: sort the frontier
+/// by its key symbol, walk the predicate's index once with a monotone
+/// [`kg::MergeProbe`] (one shrinking-window search per *distinct* key),
+/// then emit in the original frontier order so rows come out bit-identical
+/// to the per-binding probe loop.
+///
+/// Work accounting: [`ExecStats::index_probes`] counts distinct keys
+/// (duplicate keys reuse the previous seek's matches) and
+/// [`ExecStats::merge_joins`] counts the stage itself.
+fn extend_stage_merge(
+    ctx: &EvalCtx,
+    plan: &MergePlan,
+    bindings: Vec<Binding>,
+    stats: &mut ExecStats,
+) -> Result<Vec<Binding>, LimitViolation> {
+    let keys: Vec<Sym> = bindings
+        .iter()
+        .map(|b| b[plan.key_slot].expect("merge key bound in every row"))
+        .collect();
+    let mut order: Vec<u32> = (0..bindings.len() as u32).collect();
+    order.sort_unstable_by_key(|&i| keys[i as usize]);
+    let mut probe = ctx
+        .graph
+        .merge_probe(plan.p, plan.key_on_subject)
+        .expect("merge stage gated on a compacted graph");
+    // matches per original binding index; duplicate keys share one seek
+    let mut per: Vec<Vec<Sym>> = vec![Vec::new(); bindings.len()];
+    let mut prev: Option<(Sym, u32)> = None;
+    let mut distinct = 0usize;
+    for &oi in &order {
+        let i = oi as usize;
+        let key = keys[i];
+        match prev {
+            Some((pk, pi)) if pk == key => per[i] = per[pi as usize].clone(),
+            _ => {
+                distinct += 1;
+                per[i] = probe.seek(key).collect();
+                prev = Some((key, oi));
+            }
+        }
+    }
+    stats.index_probes += distinct;
+    stats.merge_joins += 1;
+    let mut next = Vec::new();
+    for (binding, matches) in bindings.into_iter().zip(per) {
+        ctx.rc.checkpoint()?;
+        let total = matches.len();
+        let mut source = Some(binding);
+        for (i, value) in matches.into_iter().enumerate() {
+            // same move-on-last discipline as extend_with_pattern
+            let mut b = if i + 1 == total {
+                source.take().expect("moved once, on the last match")
+            } else {
+                source
+                    .as_ref()
+                    .expect("still owned before the last match")
+                    .clone()
+            };
+            b[plan.free_slot] = Some(value);
+            next.push(b);
+        }
+        ctx.rc.check_rows(next.len())?;
+    }
+    Ok(next)
 }
 
 /// Depth-first evaluation of a pre-ordered BGP under a row budget:
@@ -1337,12 +1483,9 @@ fn resolve_pattern(
                 p: Some(p),
                 o: o.known(),
             };
-            rows.extend(
-                ctx.graph
-                    .match_pattern(pat)
-                    .into_iter()
-                    .map(|m| (m.s, m.o, None)),
-            );
+            // zero-copy: stream straight off the index scan instead of
+            // materializing an intermediate Vec<Triple>
+            rows.extend(ctx.graph.scan_pattern(pat).map(|m| (m.s, m.o, None)));
         }
         SlotPath::Var(pv) => {
             let p_bound = binding[*pv];
@@ -1357,8 +1500,7 @@ fn resolve_pattern(
             };
             rows.extend(
                 ctx.graph
-                    .match_pattern(pat)
-                    .into_iter()
+                    .scan_pattern(pat)
                     .map(|m| (m.s, m.o, p_bound.is_none().then_some(m.p))),
             );
         }
@@ -1515,8 +1657,7 @@ fn compute_path(
     Ok(match path {
         PropPath::Iri(iri) => match graph.pool().get_iri(iri) {
             Some(p) => graph
-                .match_pattern(TriplePattern { s, p: Some(p), o })
-                .into_iter()
+                .scan_pattern(TriplePattern { s, p: Some(p), o })
                 .map(|t| (t.s, t.o))
                 .collect(),
             None => Vec::new(),
@@ -2002,6 +2143,132 @@ mod tests {
         assert_eq!(compare_terms(Some(&nan), Some(&nan)), Ordering::Equal);
         assert_eq!(compare_terms(Some(&nan), Some(&one)), Ordering::Greater);
         assert_eq!(compare_terms(Some(&one), Some(&nan)), Ordering::Less);
+    }
+
+    #[test]
+    fn order_by_mixed_typed_and_plain_literals() {
+        // regression: "10"^^xsd:integer vs "5"^^xsd:integer compared
+        // numerically while either against plain "3" compared lexically,
+        // so 10 > 5, "5" > "3", "3" > "10" — a cycle. The stratified
+        // comparator puts the numeric literals first (by value), then the
+        // plain literal, deterministically.
+        let mut g = Graph::new();
+        let p = Term::iri("http://v/val");
+        g.insert_terms(
+            Term::iri("http://e/a"),
+            p.clone(),
+            Term::Literal(Literal::integer(10)),
+        );
+        g.insert_terms(
+            Term::iri("http://e/b"),
+            p.clone(),
+            Term::Literal(Literal::integer(5)),
+        );
+        g.insert_terms(
+            Term::iri("http://e/c"),
+            p,
+            Term::Literal(Literal::string("3")),
+        );
+        let q = parse("SELECT ?v WHERE { ?x <http://v/val> ?v } ORDER BY ?v").unwrap();
+        let sorted: Vec<String> = execute(&g, &q)
+            .unwrap()
+            .values("v")
+            .iter()
+            .filter_map(|t| t.as_literal())
+            .map(|l| l.lexical.clone())
+            .collect();
+        assert_eq!(sorted, vec!["5", "10", "3"]);
+        let qd = parse("SELECT ?v WHERE { ?x <http://v/val> ?v } ORDER BY DESC(?v)").unwrap();
+        let reversed: Vec<String> = execute(&g, &qd)
+            .unwrap()
+            .values("v")
+            .iter()
+            .filter_map(|t| t.as_literal())
+            .map(|l| l.lexical.clone())
+            .collect();
+        assert_eq!(reversed, vec!["3", "10", "5"]);
+    }
+
+    #[test]
+    fn compare_terms_is_transitive_across_strata() {
+        // exhaustive antisymmetry + transitivity over every mixed triple
+        let terms = [
+            Term::Blank("b1".into()),
+            Term::iri("http://e/a"),
+            Term::Literal(Literal::integer(10)),
+            Term::Literal(Literal::integer(5)),
+            Term::Literal(Literal::double(7.5)),
+            Term::Literal(Literal::double(f64::NAN)),
+            Term::Literal(Literal::string("3")),
+            Term::Literal(Literal::string("zebra")),
+        ];
+        for x in &terms {
+            for y in &terms {
+                let xy = compare_terms(Some(x), Some(y));
+                let yx = compare_terms(Some(y), Some(x));
+                assert_eq!(xy, yx.reverse(), "antisymmetry: {x} vs {y}");
+                for z in &terms {
+                    let yz = compare_terms(Some(y), Some(z));
+                    let xz = compare_terms(Some(x), Some(z));
+                    if xy != Ordering::Greater && yz != Ordering::Greater {
+                        assert_ne!(xz, Ordering::Greater, "transitivity: {x} {y} {z}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_join_matches_probe_loop() {
+        let mut g = graph();
+        g.compact();
+        let q = "PREFIX v: <http://v/> SELECT ?x ?z WHERE { ?x v:knows ?y . ?y v:knows ?z }";
+        let parsed = parse(q).unwrap();
+        let merged = execute_with(
+            &g,
+            &parsed,
+            &ExecOptions {
+                parallel_threshold: None,
+                merge_threshold: Some(1),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        let probed = execute_with(
+            &g,
+            &parsed,
+            &ExecOptions {
+                parallel_threshold: None,
+                merge_threshold: None,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(merged.stats.merge_joins > 0, "{:?}", merged.stats);
+        assert_eq!(probed.stats.merge_joins, 0, "{:?}", probed.stats);
+        assert_eq!(merged.vars, probed.vars);
+        assert_eq!(merged.rows, probed.rows);
+    }
+
+    #[test]
+    fn merge_join_requires_compacted_graph() {
+        // the turtle fixture builds through the delta overlay, so the
+        // graph is uncompacted and the stage must fall back to probes
+        let g = graph();
+        assert!(!g.is_compacted());
+        let q = "PREFIX v: <http://v/> SELECT ?x ?z WHERE { ?x v:knows ?y . ?y v:knows ?z }";
+        let rs = execute_with(
+            &g,
+            &parse(q).unwrap(),
+            &ExecOptions {
+                parallel_threshold: None,
+                merge_threshold: Some(1),
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rs.stats.merge_joins, 0, "{:?}", rs.stats);
+        assert_eq!(rs.len(), 2);
     }
 
     #[test]

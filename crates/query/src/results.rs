@@ -27,6 +27,13 @@ pub struct ExecStats {
     /// the same query may differ here while agreeing on every other
     /// counter (see [`ExecStats::merge`]).
     pub parallel_shards: usize,
+    /// BGP extension stages evaluated as sorted-merge joins against a
+    /// compacted graph's predicate index instead of per-binding probes
+    /// (see [`crate::exec::ExecOptions::merge_threshold`]). Each merged
+    /// stage counts its *distinct* join keys under
+    /// [`ExecStats::index_probes`], so probe counts can differ from a
+    /// merge-disabled run of the same query.
+    pub merge_joins: usize,
 }
 
 impl ExecStats {
@@ -48,6 +55,7 @@ impl ExecStats {
             ("intermediate_bindings", self.intermediate_bindings),
             ("path_cache_hits", self.path_cache_hits),
             ("parallel_shards", self.parallel_shards),
+            ("merge_joins", self.merge_joins),
         ] {
             span.add(name, value as u64);
             span.count(&format!("exec.{name}"), value as u64);
@@ -64,6 +72,7 @@ impl ExecStats {
         self.intermediate_bindings += other.intermediate_bindings;
         self.path_cache_hits += other.path_cache_hits;
         self.parallel_shards += other.parallel_shards;
+        self.merge_joins += other.merge_joins;
     }
 }
 
@@ -247,6 +256,7 @@ mod tests {
             intermediate_bindings: 9,
             path_cache_hits: 2,
             parallel_shards: 4,
+            merge_joins: 1,
         });
         assert_eq!(a, b);
         assert_ne!(a.stats, b.stats);
@@ -260,6 +270,7 @@ mod tests {
             intermediate_bindings: 3,
             path_cache_hits: 4,
             parallel_shards: 5,
+            merge_joins: 6,
         };
         a.merge(&ExecStats {
             patterns_scanned: 10,
@@ -267,6 +278,7 @@ mod tests {
             intermediate_bindings: 30,
             path_cache_hits: 40,
             parallel_shards: 50,
+            merge_joins: 60,
         });
         assert_eq!(
             a,
@@ -276,6 +288,7 @@ mod tests {
                 intermediate_bindings: 33,
                 path_cache_hits: 44,
                 parallel_shards: 55,
+                merge_joins: 66,
             }
         );
     }

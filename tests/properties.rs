@@ -367,12 +367,16 @@ fn parallel_sharding_engages_and_preserves_results() {
          SELECT ?a ?f ?d WHERE { ?f v:starring ?a . ?f v:directedBy ?d }",
     )
     .unwrap();
+    // merge joins are pinned off on both sides: the synth graph arrives
+    // compacted, and a merged stage counts index_probes per distinct key,
+    // which would break the exact work-counter comparison below
     let seq = exec::execute_with(
         &kg.graph,
         &q,
         &ExecOptions {
             parallel_threshold: None,
             shard_count: None,
+            merge_threshold: None,
             streaming: false,
             ..ExecOptions::default()
         },
@@ -384,6 +388,7 @@ fn parallel_sharding_engages_and_preserves_results() {
         &ExecOptions {
             parallel_threshold: Some(8),
             shard_count: Some(4),
+            merge_threshold: None,
             streaming: false,
             ..ExecOptions::default()
         },
@@ -399,6 +404,200 @@ fn parallel_sharding_engages_and_preserves_results() {
     let mut par_work = par.stats;
     par_work.parallel_shards = 0;
     assert_eq!(par_work, seq.stats);
+}
+
+/// On a compacted graph, the sorted-merge join path engages for an
+/// eligible stage and produces rows bit-identical to the per-binding
+/// probe loop it replaces.
+#[test]
+fn merge_join_engages_and_preserves_results() {
+    let kg = llmkg::kg::synth::movies(7, llmkg::kg::synth::Scale::default());
+    assert!(
+        kg.graph.is_compacted(),
+        "synth generators compact on finish"
+    );
+    let q = llmkg::kgquery::parser::parse(
+        "PREFIX v: <http://llmkg.dev/vocab/>
+         SELECT ?a ?f ?d WHERE { ?f v:starring ?a . ?f v:directedBy ?d }",
+    )
+    .unwrap();
+    let merged = exec::execute_with(
+        &kg.graph,
+        &q,
+        &ExecOptions {
+            parallel_threshold: None,
+            shard_count: None,
+            merge_threshold: Some(1),
+            streaming: false,
+            ..ExecOptions::default()
+        },
+    )
+    .unwrap();
+    let probed = exec::execute_with(
+        &kg.graph,
+        &q,
+        &ExecOptions {
+            parallel_threshold: None,
+            shard_count: None,
+            merge_threshold: None,
+            streaming: false,
+            ..ExecOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        merged.stats.merge_joins > 0,
+        "eligible stage should merge: {:?}",
+        merged.stats
+    );
+    assert_eq!(probed.stats.merge_joins, 0);
+    assert_eq!(merged.vars, probed.vars);
+    assert_eq!(merged.rows, probed.rows, "merge join must be bit-identical");
+}
+
+/// From-scratch statistics recount over a triple list, for comparing
+/// against the incrementally-maintained histograms.
+fn recount(
+    triples: &[llmkg::kg::Triple],
+) -> (
+    std::collections::BTreeMap<llmkg::kg::Sym, llmkg::kg::PredicateCard>,
+    usize,
+    usize,
+) {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut cards: BTreeMap<llmkg::kg::Sym, (usize, BTreeSet<_>, BTreeSet<_>)> = BTreeMap::new();
+    let mut subjects = BTreeSet::new();
+    let mut objects = BTreeSet::new();
+    for t in triples {
+        let e = cards.entry(t.p).or_default();
+        e.0 += 1;
+        e.1.insert(t.s);
+        e.2.insert(t.o);
+        subjects.insert(t.s);
+        objects.insert(t.o);
+    }
+    let cards = cards
+        .into_iter()
+        .map(|(p, (n, ss, os))| {
+            (
+                p,
+                llmkg::kg::PredicateCard {
+                    triples: n,
+                    distinct_subjects: ss.len(),
+                    distinct_objects: os.len(),
+                },
+            )
+        })
+        .collect();
+    (cards, subjects.len(), objects.len())
+}
+
+proptest! {
+    /// The flat-arena engine agrees with the seed's BTreeSet engine under
+    /// arbitrary insert/remove/compact interleavings: same membership,
+    /// same results for every pattern shape (in the same order), and
+    /// incremental statistics equal to both the oracle's and a
+    /// from-scratch recount.
+    #[test]
+    fn flat_arena_agrees_with_baseline_engine(
+        ops in proptest::collection::vec((0u8..5, 0u8..12, 0u8..4, 0u8..12), 1..80),
+    ) {
+        use llmkg::kg::BaselineGraph;
+        let mut g = Graph::new();
+        let mut bg = BaselineGraph::new();
+        for (kind, si, pi, oi) in ops {
+            let (s, p, o) = (
+                format!("http://e/n{si}"),
+                format!("http://p/r{pi}"),
+                format!("http://e/n{oi}"),
+            );
+            match kind {
+                0..=2 => {
+                    let t = g.insert_iri(&s, &p, &o);
+                    bg.insert(t.s, t.p, t.o);
+                }
+                3 => {
+                    let ids = (
+                        g.pool().get_iri(&s),
+                        g.pool().get_iri(&p),
+                        g.pool().get_iri(&o),
+                    );
+                    if let (Some(s), Some(p), Some(o)) = ids {
+                        prop_assert_eq!(g.remove(s, p, o), bg.remove(s, p, o));
+                    }
+                }
+                _ => g.compact(),
+            }
+        }
+        prop_assert_eq!(g.len(), bg.len());
+        let all: Vec<_> = bg.iter().collect();
+        prop_assert_eq!(g.iter().collect::<Vec<_>>(), all.clone());
+        // every pattern shape, seeded from a real triple when one exists
+        let mut shapes = vec![TriplePattern::any()];
+        if let Some(t) = all.first() {
+            for (s, p, o) in [
+                (Some(t.s), None, None),
+                (None, Some(t.p), None),
+                (None, None, Some(t.o)),
+                (Some(t.s), Some(t.p), None),
+                (None, Some(t.p), Some(t.o)),
+                (Some(t.s), None, Some(t.o)),
+                (Some(t.s), Some(t.p), Some(t.o)),
+            ] {
+                shapes.push(TriplePattern { s, p, o });
+            }
+        }
+        for pat in shapes {
+            prop_assert_eq!(g.match_pattern(pat), bg.match_pattern(pat));
+        }
+        // statistics: incremental == oracle == from-scratch recount
+        let (cards, subj, obj) = recount(&all);
+        prop_assert_eq!(g.subject_cardinality(), subj);
+        prop_assert_eq!(g.object_cardinality(), obj);
+        prop_assert_eq!(bg.subject_cardinality(), subj);
+        prop_assert_eq!(bg.object_cardinality(), obj);
+        prop_assert_eq!(
+            g.predicates(),
+            cards.iter().map(|(&p, c)| (p, c.triples)).collect::<Vec<_>>()
+        );
+        for (&p, card) in &cards {
+            prop_assert_eq!(g.predicate_card(p), *card);
+            prop_assert_eq!(bg.predicate_card(p), *card);
+        }
+    }
+
+    /// The merge-join evaluator agrees with the reference oracle on
+    /// arbitrary compacted graphs and BGP queries (merge forced on from
+    /// frontier size 1, so eligible stages always take the merged path).
+    #[test]
+    fn merge_join_agrees_with_reference(
+        triples in triples_strategy(),
+        patterns in proptest::collection::vec(bgp_pattern_strategy(), 1..4),
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_iri(s, p, o);
+        }
+        g.compact();
+        let elems: Vec<PatternElem> =
+            patterns.into_iter().map(PatternElem::Triple).collect();
+        let q = Query::select_all(GroupPattern { elems });
+        let merged = exec::execute_with(
+            &g,
+            &q,
+            &ExecOptions {
+                parallel_threshold: None,
+                shard_count: None,
+                merge_threshold: Some(1),
+                streaming: false,
+                ..ExecOptions::default()
+            },
+        )
+        .expect("merged run");
+        let slow = reference::execute(&g, &q).expect("reference executor runs");
+        prop_assert_eq!(&merged.vars, &slow.vars);
+        prop_assert_eq!(normalized_rows(&merged), normalized_rows(&slow));
+    }
 }
 
 /// SPARQL LIMIT/OFFSET laws on a concrete graph (not fuzzed inputs — the
