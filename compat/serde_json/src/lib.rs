@@ -1,6 +1,7 @@
 //! Offline stand-in for the `serde_json` surface this workspace uses:
-//! [`Value`], [`Map`], [`json!`], [`to_value`], [`to_string`] and
-//! [`to_string_pretty`]. Only serialization — no parser.
+//! [`Value`], [`Map`], [`json!`], [`to_value`], [`to_string`],
+//! [`to_string_pretty`], and a strict recursive-descent [`from_str`]
+//! parser (added for the `llmkg-serve` wire protocol).
 
 use serde::{Content, Serialize};
 use std::fmt;
@@ -151,6 +152,89 @@ impl Serialize for Value {
     }
 }
 
+impl Value {
+    /// Index into an object by key (`None` for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => match n.repr {
+                NumberRepr::U(v) => Some(v),
+                NumberRepr::I(v) => u64::try_from(v).ok(),
+                NumberRepr::F(_) => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => match n.repr {
+                NumberRepr::I(v) => Some(v),
+                NumberRepr::U(v) => i64::try_from(v).ok(),
+                NumberRepr::F(_) => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (any number).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => match n.repr {
+                NumberRepr::I(v) => Some(v as f64),
+                NumberRepr::U(v) => Some(v as f64),
+                NumberRepr::F(v) => Some(v),
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, when it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object map, when it is one.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// An insertion-ordered string-keyed map (the `serde_json::Map` shape).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Map<K = String, V = Value> {
@@ -200,6 +284,11 @@ impl<V> Map<String, V> {
     /// Iterate entries in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &V)> {
         self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
     }
 }
 
@@ -327,6 +416,271 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Parse JSON text into a [`Value`] tree.
+///
+/// A strict recursive-descent parser over the full JSON grammar
+/// (objects, arrays, strings with `\uXXXX` escapes incl. surrogate
+/// pairs, numbers, literals). Trailing non-whitespace input, trailing
+/// commas, and nesting deeper than an internal guard (128 levels) are
+/// errors — malformed network input must never panic or recurse
+/// unboundedly.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Maximum object/array nesting accepted by [`from_str`].
+const MAX_PARSE_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error {
+            message: format!("{message} at byte {}", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("invalid literal (expected '{word}')")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value(depth + 1)?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // surrogate pair: must be followed by \uDC00-\uDFFF
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // consume one UTF-8 scalar (input is &str, so boundaries
+                    // are valid; find the next char boundary)
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(self.err("invalid number"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("invalid number (empty fraction)"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("invalid number (empty exponent)"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::from(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::from(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::from)
+            .map_err(|_| self.err("invalid number"))
+    }
 }
 
 /// Build a [`Value`] from JSON-shaped syntax. Supports object/array
@@ -476,5 +830,91 @@ mod tests {
         assert_eq!(to_string(&json!(2u32)).unwrap(), "2");
         assert_eq!(to_string(&json!(-5i64)).unwrap(), "-5");
         assert_eq!(to_string(&json!(0.25)).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn parse_round_trips_serialized_values() {
+        let v = json!({
+            "id": 7,
+            "neg": -3,
+            "frac": 0.5,
+            "ok": true,
+            "none": null,
+            "text": "say \"hi\"\n\tdone",
+            "list": [1, [2.5, false], {"k": "v"}],
+        });
+        let parsed = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_accessors_read_fields() {
+        let v = from_str(r#"{"scenario":"chat","id":42,"deep":{"x":[1,2]}}"#).unwrap();
+        assert_eq!(v.get("scenario").and_then(Value::as_str), Some("chat"));
+        assert_eq!(v.get("id").and_then(Value::as_u64), Some(42));
+        assert_eq!(
+            v.get("deep")
+                .and_then(|d| d.get("x"))
+                .and_then(Value::as_array)
+                .map(Vec::len),
+            Some(2)
+        );
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_surrogates() {
+        let v = from_str(r#""aéb😀c""#).unwrap();
+        assert_eq!(v.as_str(), Some("aéb\u{1f600}c"));
+        assert!(from_str(r#""\ud83d""#).is_err(), "unpaired surrogate");
+        assert!(from_str(r#""\ud83dxx""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for junk in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "nul",
+            "01x",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "[1,]",
+            "{,}",
+            "\u{0007}",
+            "--1",
+            "+1",
+        ] {
+            assert!(from_str(junk).is_err(), "accepted junk: {junk:?}");
+        }
+    }
+
+    #[test]
+    fn parse_depth_guard_rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_numbers_preserve_integer_kinds() {
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-42").unwrap().as_i64(), Some(-42));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(from_str("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(from_str("1e3").unwrap().as_f64(), Some(1000.0));
+        assert!(from_str("2.5").unwrap().as_u64().is_none());
     }
 }

@@ -170,6 +170,39 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the power-of-two
+    /// buckets, interpolating linearly inside the bucket that contains
+    /// the target rank and clamping to the observed `[min, max]` range.
+    ///
+    /// The estimate is bounded by construction — bucket `i` spans
+    /// `[2^(i-1), 2^i)` — so it is accurate to within one octave, which
+    /// is what a serving `/stats` endpoint needs (a load generator that
+    /// wants exact percentiles keeps its own sample vector).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // rank in [1, count]
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // target falls inside bucket i: span [2^(i-1), 2^i)
+                let hi = f64::from(2u32).powi(i as i32);
+                let lo = if i == 0 { 0.0 } else { hi / 2.0 };
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo + frac * (hi - lo);
+                return est.clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
 }
 
 /// Point-in-time copy of a [`Registry`].
@@ -305,6 +338,32 @@ mod tests {
         right.merge(&a);
         right.merge(&bc.snapshot());
         assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    #[test]
+    fn quantile_estimates_are_octave_accurate_and_clamped() {
+        let reg = Registry::new();
+        for v in 1..=100 {
+            reg.observe("h", f64::from(v));
+        }
+        let h = &reg.snapshot().histograms["h"];
+        // within one power-of-two bucket of the true value
+        let p50 = h.quantile(0.5);
+        assert!((32.0..=64.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((64.0..=100.0).contains(&p99), "p99 {p99}");
+        // clamped to observed extremes
+        assert!(h.quantile(0.0) >= 1.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        // empty histogram
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: vec![0; 32],
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
     }
 
     #[test]

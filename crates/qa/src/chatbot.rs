@@ -18,7 +18,9 @@ use kg::term::Sym;
 use kg::Graph;
 use kgquery::exec::ExecOptions;
 use kgquery::{execute_sparql_observed_with, ExecStats, QueryError};
-use resilience::{DegradationTrace, FaultInjector, FaultPoint, NoFaults, ResourceLimits};
+use resilience::{
+    CancelToken, DegradationTrace, FaultInjector, FaultPoint, NoFaults, ResourceLimits,
+};
 use slm::{ChatSession, GenParams, Message, Slm};
 
 use crate::text2sparql::{Text2SparqlMethod, TextToSparql};
@@ -80,6 +82,7 @@ pub struct ChatBot<'a> {
     session: ChatSession,
     faults: &'a dyn FaultInjector,
     limits: ResourceLimits,
+    cancel: Option<CancelToken>,
     /// The entity the conversation is currently about.
     pub focus: Option<Sym>,
 }
@@ -98,6 +101,7 @@ impl<'a> ChatBot<'a> {
             ),
             faults: &NO_FAULTS,
             limits: ResourceLimits::unlimited(),
+            cancel: None,
             focus: None,
         }
     }
@@ -112,6 +116,15 @@ impl<'a> ChatBot<'a> {
     /// Budget the KG queries this bot issues.
     pub fn with_limits(mut self, limits: ResourceLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Attach a cancellation token, polled by the KG executor at the same
+    /// checkpoints as the deadline. A serving front end trips it when the
+    /// client disconnects mid-turn, so abandoned queries back out instead
+    /// of running to completion (see `docs/serving.md`).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -151,7 +164,8 @@ impl<'a> ChatBot<'a> {
             if self.fault(&span, FaultPoint::Exec) {
                 fall(&span, &mut trace, "text2sparql", "fault injected: exec");
             } else {
-                let opts = ExecOptions::with_limits(self.limits.clone());
+                let mut opts = ExecOptions::with_limits(self.limits.clone());
+                opts.cancel = self.cancel.clone();
                 match execute_sparql_observed_with(self.graph, &sparql, &opts, &span) {
                     Ok(rs) if !rs.is_empty() => {
                         let names: Vec<String> = rs

@@ -9,7 +9,7 @@
 
 use kg::namespace as ns;
 use kg::Graph;
-use resilience::{DegradationTrace, FaultInjector, FaultPoint, NoFaults};
+use resilience::{CancelToken, DegradationTrace, FaultInjector, FaultPoint, NoFaults};
 use slm::Slm;
 
 use crate::chunk::Chunk;
@@ -91,6 +91,7 @@ pub struct RagPipeline<'a> {
     index: VectorIndex,
     graph: Option<&'a Graph>,
     faults: &'a dyn FaultInjector,
+    cancel: Option<CancelToken>,
     /// Top-k chunks to retrieve.
     pub k: usize,
 }
@@ -106,6 +107,7 @@ impl<'a> RagPipeline<'a> {
             index,
             graph,
             faults: &NO_FAULTS,
+            cancel: None,
             k: 4,
         }
     }
@@ -114,6 +116,16 @@ impl<'a> RagPipeline<'a> {
     /// [`NoFaults`] default.
     pub fn with_faults(mut self, faults: &'a dyn FaultInjector) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a cancellation token, checked before each answer's ladder
+    /// runs. A serving front end trips it when the client disconnects, so
+    /// an abandoned question degrades straight to the apology rung
+    /// instead of paying for retrieval + generation (see
+    /// `docs/serving.md`).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -135,7 +147,12 @@ impl<'a> RagPipeline<'a> {
         span.set("k", self.k);
         span.count("rag.answers", 1);
         let mut trace = DegradationTrace::new();
-        let mut answer = self.answer_inner(mode, question, &span, &mut trace);
+        let mut answer = if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            fall(&span, &mut trace, mode.name(), "cancelled by caller");
+            self.apology_rung(&span, &mut trace)
+        } else {
+            self.answer_inner(mode, question, &span, &mut trace)
+        };
         if trace.degraded() {
             span.set("degraded", true);
             span.set("degradation", trace.render());

@@ -38,11 +38,59 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Acquire)
     }
+
+    /// A guard that cancels this token when dropped (unless disarmed).
+    ///
+    /// Serving paths hold one per in-flight request: if the handler
+    /// returns normally it calls [`CancelGuard::disarm`]; if it unwinds
+    /// (connection writer died, worker panicked) the drop trips the
+    /// token and the executor backs out at its next checkpoint.
+    pub fn drop_guard(&self) -> CancelGuard {
+        CancelGuard {
+            token: self.clone(),
+            armed: true,
+        }
+    }
+}
+
+/// Cancels a [`CancelToken`] on drop; see [`CancelToken::drop_guard`].
+#[derive(Debug)]
+pub struct CancelGuard {
+    token: CancelToken,
+    armed: bool,
+}
+
+impl CancelGuard {
+    /// Defuse the guard: dropping it no longer cancels the token.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.token.cancel();
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn drop_guard_cancels_unless_disarmed() {
+        let t = CancelToken::new();
+        {
+            let _g = t.drop_guard();
+        }
+        assert!(t.is_cancelled(), "dropping an armed guard cancels");
+
+        let t = CancelToken::new();
+        t.drop_guard().disarm();
+        assert!(!t.is_cancelled(), "a disarmed guard is inert");
+    }
 
     #[test]
     fn clones_share_state() {

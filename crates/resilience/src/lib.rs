@@ -27,7 +27,7 @@ mod degrade;
 mod fault;
 mod limits;
 
-pub use cancel::CancelToken;
+pub use cancel::{CancelGuard, CancelToken};
 pub use clock::{Clock, Deadline, ManualClock};
 pub use degrade::{DegradationStep, DegradationTrace};
 pub use fault::{FaultInjector, FaultPlan, FaultPoint, NoFaults};

@@ -1,0 +1,210 @@
+//! Bounded admission between connection handlers and the worker pool.
+//!
+//! The controller is the server's overload valve. Its policy is two
+//! watermarks over one queue:
+//!
+//! * depth < `degrade_depth` — admit at [`Grade::Normal`];
+//! * `degrade_depth` ≤ depth < `queue_capacity` — admit at
+//!   [`Grade::Degraded`] (the engine runs the request under the tenant's
+//!   [`crate::Tenant::degraded_limits`]);
+//! * depth = `queue_capacity` — **shed**: the job is handed straight back
+//!   to the caller, who must still write a well-formed apology reply.
+//!
+//! Shedding returns the job instead of an error so the caller cannot
+//! forget it holds a client that is owed an answer — under overload the
+//! protocol degrades, it never drops connections or emits protocol
+//! errors.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// The admission verdict attached to an accepted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grade {
+    /// Queue is shallow: run under the tenant's full budget preset.
+    Normal,
+    /// Queue is past the degrade watermark: run under the tenant's
+    /// degraded (tighter) budget preset.
+    Degraded,
+}
+
+impl Grade {
+    /// Stable label used in replies and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Grade::Normal => "normal",
+            Grade::Degraded => "degraded",
+        }
+    }
+}
+
+/// Watermarks for the bounded queue.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Hard queue bound; submissions at this depth are shed.
+    pub queue_capacity: usize,
+    /// Depth at and above which admitted work is [`Grade::Degraded`].
+    pub degrade_depth: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            queue_capacity: 64,
+            degrade_depth: 16,
+        }
+    }
+}
+
+struct Queue<T> {
+    jobs: VecDeque<(T, Grade)>,
+    closed: bool,
+}
+
+/// A bounded MPMC work queue with degrade/shed watermarks.
+///
+/// `submit` never blocks — backpressure is expressed as degradation and
+/// shedding, not as producer stalls (a stalled producer would hold a
+/// client connection hostage). `next` blocks until a job or close.
+pub struct AdmissionController<T> {
+    queue: Mutex<Queue<T>>,
+    wake: Condvar,
+    policy: AdmissionPolicy,
+}
+
+impl<T> AdmissionController<T> {
+    /// Build a controller with the given watermarks. `degrade_depth` is
+    /// clamped into `1..=queue_capacity` and `queue_capacity` to at
+    /// least 1, so every controller admits *some* normal-grade work.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        let capacity = policy.queue_capacity.max(1);
+        let policy = AdmissionPolicy {
+            queue_capacity: capacity,
+            degrade_depth: policy.degrade_depth.clamp(1, capacity),
+        };
+        AdmissionController {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            policy,
+        }
+    }
+
+    /// The active (clamped) policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Try to enqueue a job. Returns the admission grade, or the job
+    /// back when the queue is full (shed) or the controller is closed —
+    /// either way the caller still owes the client a reply.
+    pub fn submit(&self, job: T) -> Result<Grade, T> {
+        let mut q = self.queue.lock().unwrap();
+        if q.closed || q.jobs.len() >= self.policy.queue_capacity {
+            return Err(job);
+        }
+        let grade = if q.jobs.len() >= self.policy.degrade_depth {
+            Grade::Degraded
+        } else {
+            Grade::Normal
+        };
+        q.jobs.push_back((job, grade));
+        drop(q);
+        self.wake.notify_one();
+        Ok(grade)
+    }
+
+    /// Block until a job is available (FIFO) or the controller closes.
+    /// Jobs come back with the grade they were admitted at. `None` means
+    /// closed *and* drained: the worker should exit.
+    pub fn next(&self) -> Option<(T, Grade)> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = q.jobs.pop_front() {
+                return Some(job);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.wake.wait(q).unwrap();
+        }
+    }
+
+    /// Current queue depth (advisory; races with concurrent activity).
+    pub fn depth(&self) -> usize {
+        self.queue.lock().unwrap().jobs.len()
+    }
+
+    /// Close the controller: future submissions are rejected, queued
+    /// jobs still drain, and blocked workers wake to exit.
+    pub fn close(&self) {
+        self.queue.lock().unwrap().closed = true;
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(capacity: usize, degrade: usize) -> AdmissionController<u32> {
+        AdmissionController::new(AdmissionPolicy {
+            queue_capacity: capacity,
+            degrade_depth: degrade,
+        })
+    }
+
+    #[test]
+    fn grades_follow_the_watermarks_deterministically() {
+        let c = controller(4, 2);
+        assert_eq!(c.submit(0), Ok(Grade::Normal)); // depth 0
+        assert_eq!(c.submit(1), Ok(Grade::Normal)); // depth 1
+        assert_eq!(c.submit(2), Ok(Grade::Degraded)); // depth 2 == degrade
+        assert_eq!(c.submit(3), Ok(Grade::Degraded)); // depth 3
+        assert_eq!(c.submit(4), Err(4)); // depth 4 == capacity: shed
+        assert_eq!(c.depth(), 4);
+        // Draining one slot readmits — at degraded grade (depth 3).
+        assert_eq!(c.next(), Some((0, Grade::Normal)));
+        assert_eq!(c.submit(5), Ok(Grade::Degraded));
+    }
+
+    #[test]
+    fn queue_is_fifo_and_drains_after_close() {
+        let c = controller(8, 8);
+        for i in 0..3 {
+            c.submit(i).unwrap();
+        }
+        c.close();
+        assert!(c.submit(99).is_err(), "closed controller must shed");
+        assert_eq!(c.next(), Some((0, Grade::Normal)));
+        assert_eq!(c.next(), Some((1, Grade::Normal)));
+        assert_eq!(c.next(), Some((2, Grade::Normal)));
+        assert_eq!(c.next(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let c = std::sync::Arc::new(controller(2, 1));
+        let worker = {
+            let c = c.clone();
+            std::thread::spawn(move || c.next())
+        };
+        // Give the worker a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        c.close();
+        assert_eq!(worker.join().unwrap(), None);
+    }
+
+    #[test]
+    fn degenerate_policies_are_clamped() {
+        let c = controller(0, 0);
+        assert_eq!(c.policy().queue_capacity, 1);
+        assert_eq!(c.policy().degrade_depth, 1);
+        assert_eq!(c.submit(1), Ok(Grade::Normal));
+        assert_eq!(c.submit(2), Err(2));
+        let wide = controller(4, 100);
+        assert_eq!(wide.policy().degrade_depth, 4);
+    }
+}

@@ -1,0 +1,470 @@
+//! The scenario engine: one parsed [`Request`] in, one JSON reply out.
+//!
+//! The engine owns the shared read side — a borrowed
+//! [`llmkg::Workbench`] plus one RAG pipeline built over its corpus —
+//! and is shared (`&Engine`) by every worker thread. Each call runs the
+//! request's scenario under the tenant's budget preset (the degraded
+//! preset when admission said so), wires the caller's
+//! [`CancelToken`] into the executor, and accounts the request in the
+//! engine's [`obs::Registry`]:
+//!
+//! * `serve.requests`, `serve.requests.<scenario>`, `serve.tenant.<class>`
+//! * `serve.degraded` — requests run under degraded budgets
+//! * `serve.latency_us.<scenario>` — per-scenario latency histograms
+//!
+//! Replies are never errors for overload-shaped trouble: budget
+//! exhaustion and cancellation produce `ok: true` apology/degraded
+//! replies; only malformed client input (bad JSON, bad SPARQL) produces
+//! `ok: false`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use kgquery::exec::ExecOptions;
+use kgquery::{execute_sparql_observed_with, QueryError, ResultSet};
+use kgrag::{RagMode, RagPipeline};
+use llmkg::Workbench;
+use obs::{MetricsSnapshot, NullRecorder, Registry, Tracer};
+use resilience::CancelToken;
+use serde_json::{Map, Value};
+use slm::GenParams;
+
+use crate::admission::Grade;
+use crate::protocol::{Request, Scenario};
+use crate::tenant::Tenant;
+
+/// Token cap for degraded LM completions (normal runs use the
+/// [`GenParams::default`] cap).
+const DEGRADED_MAX_TOKENS: usize = 8;
+
+/// How many result rows a SPARQL reply renders inline.
+const RENDERED_ROWS: usize = 5;
+
+/// The apology text served when admission sheds a request.
+pub const SHED_APOLOGY: &str =
+    "I can't take this request right now — the service is over capacity. Please retry shortly.";
+
+/// The apology text served when the client went away mid-request.
+const CANCELLED_APOLOGY: &str = "Request cancelled by the caller before it could run.";
+
+/// The shared scenario engine. One per server; `&Engine` is handed to
+/// every worker thread (see the crate-level `Send + Sync` assertions).
+pub struct Engine<'a> {
+    wb: &'a Workbench,
+    rag: RagPipeline<'a>,
+    tracer: Tracer,
+}
+
+impl<'a> Engine<'a> {
+    /// Build the engine over a workbench. The RAG pipeline (chunking +
+    /// vector index over the verbalized corpus) is built once here, not
+    /// per request.
+    pub fn new(wb: &'a Workbench) -> Engine<'a> {
+        Engine {
+            wb,
+            rag: wb.rag(),
+            // Spans are discarded (a long-lived server cannot buffer
+            // every span in memory); the tracer's registry still
+            // accumulates every counter and histogram.
+            tracer: Tracer::new(Arc::new(NullRecorder)),
+        }
+    }
+
+    /// The engine's metrics registry (counters + latency histograms).
+    pub fn registry(&self) -> &Registry {
+        self.tracer.registry()
+    }
+
+    /// A consistent copy of the engine's metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry().snapshot()
+    }
+
+    /// Run one admitted request to a reply. Never panics on any input
+    /// and never returns a non-object value.
+    pub fn handle(&self, req: &Request, grade: Grade, cancel: &CancelToken) -> Value {
+        let start = Instant::now();
+        let tenant = Tenant::from_id(&req.tenant);
+        let limits = match grade {
+            Grade::Normal => tenant.limits(),
+            Grade::Degraded => tenant.degraded_limits(),
+        };
+        let reg = self.registry();
+        reg.incr("serve.requests", 1);
+        reg.incr(&format!("serve.requests.{}", req.scenario.label()), 1);
+        reg.incr(&format!("serve.tenant.{}", tenant.label()), 1);
+        if grade == Grade::Degraded {
+            reg.incr("serve.degraded", 1);
+        }
+
+        let span = self.tracer.span("serve.request");
+        span.set("scenario", req.scenario.label());
+        span.set("tenant", tenant.label());
+        span.set("grade", grade.label());
+
+        let mut reply = base_reply(req, tenant, grade.label());
+        reply.insert("shed".into(), Value::Bool(false));
+        let mut degraded = grade == Grade::Degraded;
+
+        if cancel.is_cancelled() && req.scenario != Scenario::Stats {
+            reg.incr("serve.cancelled", 1);
+            reply.insert("ok".into(), Value::Bool(true));
+            reply.insert("answer".into(), Value::String(CANCELLED_APOLOGY.into()));
+            reply.insert("route".into(), Value::String("cancelled".into()));
+            reply.insert("degraded".into(), Value::Bool(true));
+            return self.finish(reply, req.scenario, start);
+        }
+
+        match req.scenario {
+            Scenario::Chat => {
+                let mut bot = self
+                    .wb
+                    .chatbot()
+                    .with_limits(limits)
+                    .with_cancel(cancel.clone());
+                let r = bot.handle_observed(&req.input, &span);
+                degraded |= r.degradation.degraded();
+                reply.insert("ok".into(), Value::Bool(true));
+                reply.insert("answer".into(), Value::String(r.text));
+                reply.insert("route".into(), Value::String(r.decision.label().into()));
+                reply.insert("rows".into(), Value::from(r.rows as u64));
+            }
+            Scenario::Rag => {
+                // The pipeline is shared across workers, so per-request
+                // cancellation is checked up front (above) rather than
+                // threaded into it; degradation swaps the requested mode
+                // for closed-book generation — no retrieval work at all.
+                let mode = if grade == Grade::Degraded {
+                    RagMode::ClosedBook
+                } else {
+                    req.mode
+                };
+                let r = self.rag.answer_observed(mode, &req.input, &span);
+                degraded |= r.degradation.degraded();
+                reply.insert("ok".into(), Value::Bool(true));
+                reply.insert("answer".into(), Value::String(r.text));
+                reply.insert("route".into(), Value::String(r.module.into()));
+                reply.insert("rows".into(), Value::from(r.retrieved.len() as u64));
+            }
+            Scenario::Sparql => {
+                let mut opts = ExecOptions::with_limits(limits);
+                opts.cancel = Some(cancel.clone());
+                match execute_sparql_observed_with(self.wb.graph(), &req.input, &opts, &span) {
+                    Ok(rs) => {
+                        degraded |= rs.truncated;
+                        reply.insert("ok".into(), Value::Bool(true));
+                        reply.insert("answer".into(), Value::String(self.render_rows(&rs)));
+                        reply.insert("route".into(), Value::String("sparql".into()));
+                        reply.insert("rows".into(), Value::from(rs.len() as u64));
+                        reply.insert("truncated".into(), Value::Bool(rs.truncated));
+                    }
+                    Err(QueryError::LimitExceeded { .. }) => {
+                        // Budget exhaustion is overload, not client error:
+                        // apologize inside the protocol.
+                        degraded = true;
+                        reg.incr("serve.budget_exhausted", 1);
+                        reply.insert("ok".into(), Value::Bool(true));
+                        reply.insert(
+                            "answer".into(),
+                            Value::String(
+                                "The query exceeded its resource budget and was stopped."
+                                    .to_string(),
+                            ),
+                        );
+                        reply.insert("route".into(), Value::String("budget-exceeded".into()));
+                        reply.insert("rows".into(), Value::from(0u64));
+                    }
+                    Err(e) => {
+                        reg.incr("serve.client_errors", 1);
+                        reply.insert("ok".into(), Value::Bool(false));
+                        reply.insert("error".into(), Value::String(format!("query error: {e}")));
+                    }
+                }
+            }
+            Scenario::Complete => {
+                let params = GenParams {
+                    max_tokens: if grade == Grade::Degraded {
+                        DEGRADED_MAX_TOKENS
+                    } else {
+                        GenParams::default().max_tokens
+                    },
+                    ..GenParams::default()
+                };
+                let text = self.wb.slm.complete(&req.input, &params);
+                reply.insert("ok".into(), Value::Bool(true));
+                reply.insert("answer".into(), Value::String(text));
+                reply.insert("route".into(), Value::String("completion".into()));
+            }
+            Scenario::Stats => {
+                // Normally intercepted by the server (which knows queue
+                // depth and inflight); served standalone the live-state
+                // gauges read zero.
+                return self.stats_reply(req, 0, 0);
+            }
+        }
+
+        reply.insert("degraded".into(), Value::Bool(degraded));
+        self.finish(reply, req.scenario, start)
+    }
+
+    /// The introspection reply: every counter plus per-histogram
+    /// `count/mean/p50/p95/p99/max`, with the server's live gauges.
+    pub fn stats_reply(&self, req: &Request, inflight: u64, queue_depth: u64) -> Value {
+        let start = Instant::now();
+        let snap = self.snapshot();
+        let mut counters = Map::new();
+        for (name, v) in &snap.counters {
+            counters.insert(name.clone(), Value::from(*v));
+        }
+        counters.insert("serve.inflight".into(), Value::from(inflight));
+        counters.insert("serve.queue_depth".into(), Value::from(queue_depth));
+        let mut hists = Map::new();
+        for (name, h) in &snap.histograms {
+            let mut one = Map::new();
+            one.insert("count".into(), Value::from(h.count));
+            one.insert("mean".into(), Value::from(h.mean()));
+            one.insert("p50".into(), Value::from(h.quantile(0.50)));
+            one.insert("p95".into(), Value::from(h.quantile(0.95)));
+            one.insert("p99".into(), Value::from(h.quantile(0.99)));
+            one.insert("max".into(), Value::from(h.max));
+            hists.insert(name.clone(), Value::Object(one));
+        }
+        let mut reply = base_reply(req, Tenant::from_id(&req.tenant), "normal");
+        reply.insert("ok".into(), Value::Bool(true));
+        reply.insert("shed".into(), Value::Bool(false));
+        reply.insert("degraded".into(), Value::Bool(false));
+        reply.insert("counters".into(), Value::Object(counters));
+        reply.insert("histograms".into(), Value::Object(hists));
+        self.finish(reply, Scenario::Stats, start)
+    }
+
+    /// The well-formed apology reply for a shed request. The caller (the
+    /// connection handler) accounts `serve.shed` — this is a static
+    /// constructor so shedding does zero engine work.
+    pub fn shed_reply(req: &Request) -> Value {
+        let mut reply = base_reply(req, Tenant::from_id(&req.tenant), "shed");
+        reply.insert("ok".into(), Value::Bool(true));
+        reply.insert("shed".into(), Value::Bool(true));
+        reply.insert("degraded".into(), Value::Bool(true));
+        reply.insert("answer".into(), Value::String(SHED_APOLOGY.into()));
+        reply.insert("route".into(), Value::String("shed".into()));
+        Value::Object(reply)
+    }
+
+    /// The well-formed reply for a request that failed to parse.
+    pub fn error_reply(message: &str) -> Value {
+        let mut reply = Map::new();
+        reply.insert("ok".into(), Value::Bool(false));
+        reply.insert("shed".into(), Value::Bool(false));
+        reply.insert("degraded".into(), Value::Bool(false));
+        reply.insert("error".into(), Value::String(message.to_string()));
+        Value::Object(reply)
+    }
+
+    fn finish(&self, mut reply: Map<String, Value>, scenario: Scenario, start: Instant) -> Value {
+        let us = start.elapsed().as_micros() as u64;
+        self.registry()
+            .observe(&format!("serve.latency_us.{}", scenario.label()), us as f64);
+        reply.insert("latency_us".into(), Value::from(us));
+        Value::Object(reply)
+    }
+
+    /// Render the first [`RENDERED_ROWS`] rows of a result set as display
+    /// text (entity display names, literal lexical forms).
+    fn render_rows(&self, rs: &ResultSet) -> String {
+        if let Some(b) = rs.ask {
+            return b.to_string();
+        }
+        let g = self.wb.graph();
+        let rendered: Vec<String> = rs
+            .rows
+            .iter()
+            .take(RENDERED_ROWS)
+            .map(|row| {
+                row.iter()
+                    .map(|cell| match cell {
+                        None => "∅".to_string(),
+                        Some(kg::Term::Literal(l)) => l.lexical.clone(),
+                        Some(kg::Term::Blank(b)) => b.clone(),
+                        Some(kg::Term::Iri(iri)) => g
+                            .pool()
+                            .get_iri(iri)
+                            .map(|s| g.display_name(s))
+                            .unwrap_or_else(|| {
+                                kg::namespace::humanize(kg::namespace::local_name(iri))
+                            }),
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .collect();
+        let mut out = rendered.join("; ");
+        if rs.len() > RENDERED_ROWS {
+            out.push_str(&format!("; … ({} rows total)", rs.len()));
+        }
+        out
+    }
+}
+
+/// The fields every reply carries, whatever the scenario or outcome.
+fn base_reply(req: &Request, tenant: Tenant, grade: &str) -> Map<String, Value> {
+    let mut reply = Map::new();
+    if let Some(id) = req.id {
+        reply.insert("id".into(), Value::from(id));
+    }
+    reply.insert(
+        "scenario".into(),
+        Value::String(req.scenario.label().into()),
+    );
+    reply.insert("tenant".into(), Value::String(tenant.label().into()));
+    reply.insert("grade".into(), Value::String(grade.into()));
+    reply
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmkg::WorkbenchConfig;
+
+    fn wb() -> Workbench {
+        Workbench::build(&WorkbenchConfig {
+            entities_per_class: 8,
+            ..Default::default()
+        })
+    }
+
+    fn req(scenario: Scenario, input: &str) -> Request {
+        Request {
+            id: Some(1),
+            tenant: "pro:test".into(),
+            scenario,
+            input: input.into(),
+            mode: RagMode::Naive,
+        }
+    }
+
+    #[test]
+    fn all_four_scenarios_produce_ok_replies() {
+        let wb = wb();
+        let engine = Engine::new(&wb);
+        let film = wb.graph().display_name(wb.graph().entities()[0]);
+        let cancel = CancelToken::new();
+        let cases = [
+            req(Scenario::Chat, &format!("Who directed {film}?")),
+            req(Scenario::Rag, &format!("Who directed {film}?")),
+            req(
+                Scenario::Sparql,
+                "PREFIX v: <http://llmkg.dev/vocab/> SELECT ?f WHERE { ?f a v:Film }",
+            ),
+            req(Scenario::Complete, "the film"),
+        ];
+        for r in cases {
+            let v = engine.handle(&r, Grade::Normal, &cancel);
+            let obj = v.as_object().unwrap();
+            assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(true), "{r:?}");
+            assert_eq!(obj.get("id").and_then(Value::as_u64), Some(1));
+            assert_eq!(obj.get("grade").and_then(Value::as_str), Some("normal"));
+            assert!(obj.get("latency_us").is_some());
+        }
+        let snap = engine.snapshot();
+        assert_eq!(snap.counter("serve.requests"), 4);
+        assert_eq!(snap.counter("serve.tenant.pro"), 4);
+        assert_eq!(snap.histograms["serve.latency_us.chat"].count, 1);
+    }
+
+    #[test]
+    fn degraded_grade_is_marked_and_counted() {
+        let wb = wb();
+        let engine = Engine::new(&wb);
+        let cancel = CancelToken::new();
+        let v = engine.handle(
+            &req(Scenario::Complete, "the film"),
+            Grade::Degraded,
+            &cancel,
+        );
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("grade").and_then(Value::as_str), Some("degraded"));
+        assert_eq!(obj.get("degraded").and_then(Value::as_bool), Some(true));
+        assert_eq!(engine.snapshot().counter("serve.degraded"), 1);
+    }
+
+    #[test]
+    fn cancelled_requests_get_an_apology_not_work() {
+        let wb = wb();
+        let engine = Engine::new(&wb);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let v = engine.handle(
+            &req(Scenario::Sparql, "SELECT ?x WHERE { ?x a ?c }"),
+            Grade::Normal,
+            &cancel,
+        );
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(obj.get("route").and_then(Value::as_str), Some("cancelled"));
+        assert_eq!(engine.snapshot().counter("serve.cancelled"), 1);
+    }
+
+    #[test]
+    fn bad_sparql_is_a_client_error_but_well_formed() {
+        let wb = wb();
+        let engine = Engine::new(&wb);
+        let cancel = CancelToken::new();
+        let v = engine.handle(
+            &req(Scenario::Sparql, "SELEC nonsense"),
+            Grade::Normal,
+            &cancel,
+        );
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(obj.get("error").and_then(Value::as_str).is_some());
+    }
+
+    #[test]
+    fn shed_and_error_replies_are_static_and_well_formed() {
+        let r = req(Scenario::Chat, "hi");
+        let v = Engine::shed_reply(&r);
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("shed").and_then(Value::as_bool), Some(true));
+        assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            obj.get("answer").and_then(Value::as_str),
+            Some(SHED_APOLOGY)
+        );
+        let e = Engine::error_reply("nope");
+        assert_eq!(
+            e.as_object().unwrap().get("error").and_then(Value::as_str),
+            Some("nope")
+        );
+    }
+
+    #[test]
+    fn stats_reply_carries_counters_and_quantiles() {
+        let wb = wb();
+        let engine = Engine::new(&wb);
+        let cancel = CancelToken::new();
+        engine.handle(&req(Scenario::Complete, "the film"), Grade::Normal, &cancel);
+        let v = engine.stats_reply(&req(Scenario::Stats, ""), 3, 7);
+        let obj = v.as_object().unwrap();
+        let counters = obj.get("counters").and_then(Value::as_object).unwrap();
+        assert_eq!(
+            counters.get("serve.requests").and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            counters.get("serve.inflight").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            counters.get("serve.queue_depth").and_then(Value::as_u64),
+            Some(7)
+        );
+        let hists = obj.get("histograms").and_then(Value::as_object).unwrap();
+        let h = hists
+            .get("serve.latency_us.complete")
+            .and_then(Value::as_object)
+            .unwrap();
+        assert_eq!(h.get("count").and_then(Value::as_u64), Some(1));
+        assert!(h.get("p99").is_some());
+    }
+}

@@ -1,0 +1,52 @@
+//! # serve — the multi-tenant serving front end
+//!
+//! Everything below this crate answers questions; this crate answers
+//! *traffic*. A hand-rolled thread-pool TCP server speaks a minimal
+//! newline-delimited JSON protocol and multiplexes the workspace's four
+//! scenario types — KGQA chat, RAG answering, raw SPARQL, and LM
+//! completion — onto one shared [`llmkg::Workbench`], wiring the
+//! resilience primitives end-to-end (see `docs/serving.md`):
+//!
+//! * **per-tenant budgets** — each request's tenant id selects a
+//!   [`Tenant`] class whose [`resilience::ResourceLimits`] preset governs
+//!   its KG queries;
+//! * **admission control** — a bounded work queue between the connection
+//!   handlers and the worker pool degrades (tighter limits) and then
+//!   sheds (immediate apology reply) under overload, instead of erroring
+//!   or dropping connections;
+//! * **cancellation on disconnect** — a [`resilience::CancelToken`] per
+//!   request trips when the client's connection dies, so abandoned work
+//!   backs out at the executor's next checkpoint;
+//! * **introspection** — `serve.*` counters and per-scenario latency
+//!   histograms accumulate in an [`obs::Registry`] and are served back by
+//!   the `stats` scenario.
+//!
+//! The zero-dependency ethos holds: the server is `std::net` + a scoped
+//! thread pool; the protocol reuses the workspace's vendored
+//! `serde_json` (which grew a parser for this crate).
+//!
+//! ```no_run
+//! use serve::{Server, ServeConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let handle = Server::spawn(ServeConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+//! writeln!(conn, r#"{{"scenario":"chat","tenant":"pro:acme","input":"Who directed Heat?"}}"#).unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
+//! handle.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod tenant;
+
+pub use admission::{AdmissionController, AdmissionPolicy, Grade};
+pub use engine::Engine;
+pub use protocol::{parse_request, Request, Scenario};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use tenant::Tenant;

@@ -1,0 +1,206 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one reply line per request, in order. A request
+//! is a JSON object:
+//!
+//! ```json
+//! {"id": 7, "tenant": "pro:acme", "scenario": "chat", "input": "Who directed Heat?"}
+//! ```
+//!
+//! * `scenario` (required) — `"chat"`, `"rag"`, `"sparql"`, `"complete"`,
+//!   or `"stats"`;
+//! * `input` (required except for `stats`) — the utterance / question /
+//!   query / prompt;
+//! * `tenant` (optional) — free-form id classified by
+//!   [`crate::Tenant::from_id`]; absent means anonymous (free tier);
+//! * `id` (optional) — echoed verbatim in the reply for client-side
+//!   correlation;
+//! * `mode` (optional, `rag` only) — `"naive"` (default), `"closed-book"`,
+//!   `"advanced"`, or `"modular"`.
+//!
+//! Every reply is a well-formed JSON object with at least `ok`, `shed`,
+//! `degraded`, and `grade` fields; malformed input produces
+//! `{"ok": false, "error": ...}` on the same connection rather than a
+//! close (see `docs/serving.md` for the full reply schema).
+
+use kgrag::RagMode;
+use serde_json::Value;
+
+/// Longest accepted request line, in bytes. Longer lines are answered
+/// with a protocol error reply and skipped, never buffered unboundedly.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// The four servable scenario types, plus introspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// One KGQA chatbot turn (text-to-SPARQL ladder).
+    Chat,
+    /// One RAG answer over the verbalized corpus.
+    Rag,
+    /// A raw SPARQL query against the KG.
+    Sparql,
+    /// A raw LM completion.
+    Complete,
+    /// Introspection: the server's counters and latency histograms.
+    Stats,
+}
+
+impl Scenario {
+    /// Stable label used on the wire, in counters, and in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::Chat => "chat",
+            Scenario::Rag => "rag",
+            Scenario::Sparql => "sparql",
+            Scenario::Complete => "complete",
+            Scenario::Stats => "stats",
+        }
+    }
+
+    /// The four workload scenarios (excludes `stats`).
+    pub fn workloads() -> [Scenario; 4] {
+        [
+            Scenario::Chat,
+            Scenario::Rag,
+            Scenario::Sparql,
+            Scenario::Complete,
+        ]
+    }
+
+    fn parse(s: &str) -> Option<Scenario> {
+        Some(match s {
+            "chat" => Scenario::Chat,
+            "rag" => Scenario::Rag,
+            "sparql" => Scenario::Sparql,
+            "complete" => Scenario::Complete,
+            "stats" => Scenario::Stats,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client correlation id, echoed in the reply when present.
+    pub id: Option<u64>,
+    /// Raw tenant id (empty when absent).
+    pub tenant: String,
+    /// Which scenario to run.
+    pub scenario: Scenario,
+    /// The utterance / question / query / prompt.
+    pub input: String,
+    /// RAG mode (only meaningful for [`Scenario::Rag`]).
+    pub mode: RagMode,
+}
+
+/// Parse one request line. Errors are human-readable strings that go
+/// straight into the `error` field of a protocol-error reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(format!(
+            "request line exceeds {MAX_REQUEST_BYTES} bytes ({})",
+            line.len()
+        ));
+    }
+    let v = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| "request must be a JSON object".to_string())?;
+    let scenario_name = obj
+        .get("scenario")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing required string field \"scenario\"".to_string())?;
+    let scenario = Scenario::parse(scenario_name).ok_or_else(|| {
+        format!("unknown scenario {scenario_name:?} (expected chat|rag|sparql|complete|stats)")
+    })?;
+    let input = obj
+        .get("input")
+        .and_then(Value::as_str)
+        .unwrap_or("")
+        .to_string();
+    if input.is_empty() && scenario != Scenario::Stats {
+        return Err(format!(
+            "scenario {:?} requires a non-empty \"input\" field",
+            scenario.label()
+        ));
+    }
+    let mode = match obj.get("mode").and_then(Value::as_str) {
+        None => RagMode::Naive,
+        Some("naive") => RagMode::Naive,
+        Some("closed-book") => RagMode::ClosedBook,
+        Some("advanced") => RagMode::Advanced,
+        Some("modular") => RagMode::Modular,
+        Some(other) => {
+            return Err(format!(
+                "unknown rag mode {other:?} (expected naive|closed-book|advanced|modular)"
+            ))
+        }
+    };
+    Ok(Request {
+        id: obj.get("id").and_then(Value::as_u64),
+        tenant: obj
+            .get("tenant")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string(),
+        scenario,
+        input,
+        mode,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = parse_request(
+            r#"{"id": 9, "tenant": "pro:acme", "scenario": "rag", "mode": "modular", "input": "q"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(9));
+        assert_eq!(r.tenant, "pro:acme");
+        assert_eq!(r.scenario, Scenario::Rag);
+        assert_eq!(r.mode, RagMode::Modular);
+        assert_eq!(r.input, "q");
+    }
+
+    #[test]
+    fn defaults_are_sensible() {
+        let r = parse_request(r#"{"scenario": "chat", "input": "hello"}"#).unwrap();
+        assert_eq!(r.id, None);
+        assert_eq!(r.tenant, "");
+        assert_eq!(r.mode, RagMode::Naive);
+        let stats = parse_request(r#"{"scenario": "stats"}"#).unwrap();
+        assert_eq!(stats.scenario, Scenario::Stats);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"input": "x"}"#, "scenario"),
+            (r#"{"scenario": "warp", "input": "x"}"#, "unknown scenario"),
+            (r#"{"scenario": "chat"}"#, "non-empty"),
+            (
+                r#"{"scenario": "rag", "mode": "hyper", "input": "x"}"#,
+                "unknown rag mode",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_cheaply() {
+        let huge = format!(
+            r#"{{"scenario":"chat","input":"{}"}}"#,
+            "x".repeat(MAX_REQUEST_BYTES)
+        );
+        assert!(parse_request(&huge).unwrap_err().contains("exceeds"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Tenant classes and their [`ResourceLimits`] presets.
+//!
+//! A request names its tenant with a free-form id (`"free:alice"`,
+//! `"pro:acme"`); the id's class prefix selects the budget preset its KG
+//! work runs under. The presets are the per-tenant follow-on that
+//! `docs/resilience.md` deferred until a serving front end existed.
+
+use std::time::Duration;
+
+use resilience::ResourceLimits;
+
+/// A tenant's service class, parsed from the request's tenant id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tenant {
+    /// Anonymous / free tier: tight budgets, first to degrade.
+    Free,
+    /// The default tier for any unrecognized tenant id.
+    Standard,
+    /// Paid tier: the widest budgets, degraded only under real pressure.
+    Pro,
+}
+
+impl Tenant {
+    /// Classify a tenant id by its class prefix (`free:`/`pro:`, or the
+    /// bare class name). Unknown ids — including the empty id — are
+    /// [`Tenant::Standard`].
+    pub fn from_id(id: &str) -> Tenant {
+        let class = id.split(':').next().unwrap_or("");
+        match class.to_ascii_lowercase().as_str() {
+            "free" | "anon" | "anonymous" => Tenant::Free,
+            "pro" | "paid" => Tenant::Pro,
+            _ => Tenant::Standard,
+        }
+    }
+
+    /// Stable label used in replies, counters, and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tenant::Free => "free",
+            Tenant::Standard => "standard",
+            Tenant::Pro => "pro",
+        }
+    }
+
+    /// The tenant's normal-operation budget preset.
+    ///
+    /// Wall clocks are generous relative to the synthetic workloads (a
+    /// chat turn is ~1ms): the budgets exist to bound pathological
+    /// queries, not to shape healthy traffic.
+    pub fn limits(self) -> ResourceLimits {
+        match self {
+            Tenant::Free => ResourceLimits::unlimited()
+                .with_wall(Duration::from_millis(250))
+                .with_max_rows(20_000)
+                .with_max_path_expansions(20_000),
+            Tenant::Standard => ResourceLimits::unlimited()
+                .with_wall(Duration::from_millis(1_000))
+                .with_max_rows(200_000)
+                .with_max_path_expansions(200_000),
+            Tenant::Pro => ResourceLimits::unlimited()
+                .with_wall(Duration::from_millis(4_000))
+                .with_max_rows(2_000_000)
+                .with_max_path_expansions(2_000_000),
+        }
+    }
+
+    /// The tenant's budget preset under admission-controller degradation:
+    /// wall clock quartered, row/path budgets cut 8×. Degraded requests
+    /// still complete — with smaller answers and earlier truncation — and
+    /// carry `"grade": "degraded"` in their reply.
+    pub fn degraded_limits(self) -> ResourceLimits {
+        let full = self.limits();
+        let mut out = ResourceLimits::unlimited();
+        if let Some(wall) = full.wall {
+            out = out.with_wall(wall / 4);
+        }
+        if let Some(rows) = full.max_rows {
+            out = out.with_max_rows((rows / 8).max(1));
+        }
+        if let Some(px) = full.max_path_expansions {
+            out = out.with_max_path_expansions((px / 8).max(1));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_classify_by_prefix() {
+        assert_eq!(Tenant::from_id("free:alice"), Tenant::Free);
+        assert_eq!(Tenant::from_id("anonymous"), Tenant::Free);
+        assert_eq!(Tenant::from_id("pro:acme"), Tenant::Pro);
+        assert_eq!(Tenant::from_id("PAID:x"), Tenant::Pro);
+        assert_eq!(Tenant::from_id("team-42"), Tenant::Standard);
+        assert_eq!(Tenant::from_id(""), Tenant::Standard);
+    }
+
+    #[test]
+    fn presets_are_ordered_and_degradation_tightens() {
+        let free = Tenant::Free.limits();
+        let pro = Tenant::Pro.limits();
+        assert!(free.max_rows.unwrap() < pro.max_rows.unwrap());
+        assert!(free.wall.unwrap() < pro.wall.unwrap());
+        for t in [Tenant::Free, Tenant::Standard, Tenant::Pro] {
+            let full = t.limits();
+            let deg = t.degraded_limits();
+            assert!(deg.wall.unwrap() < full.wall.unwrap(), "{t:?}");
+            assert!(deg.max_rows.unwrap() < full.max_rows.unwrap(), "{t:?}");
+            assert!(
+                deg.max_path_expansions.unwrap() < full.max_path_expansions.unwrap(),
+                "{t:?}"
+            );
+        }
+    }
+}
