@@ -13,7 +13,13 @@
 //!    BTreeSet index graph at million-triple scale: bytes per triple
 //!    (live-heap deltas) and two-hop join throughput (per-binding
 //!    probes vs one sorted-merge pass), gated by an order-sensitive
-//!    checksum proving bit-identical output.
+//!    checksum proving bit-identical output;
+//! 5. `prepared_repeat` — plan-once-run-many through the
+//!    [`kgquery::PlanCache`]: per-iteration planning overhead of a
+//!    cache hit vs cold parse+compile (gated ≥5× in full mode), two
+//!    passes over one cache with per-pass hit/miss counts and the
+//!    second-pass hit rate, and bit-identical gates for cached-vs-fresh
+//!    results and parameter-bound vs `VALUES`-injected execution.
 //!
 //! Flags:
 //!
@@ -89,7 +95,7 @@ fn live_bytes() -> usize {
     LIVE.load(Ordering::Relaxed)
 }
 
-const QUERIES: [(&str, &str); 5] = [
+const QUERIES: [(&str, &str); 6] = [
     (
         "bgp_join",
         "PREFIX v: <http://llmkg.dev/vocab/> \
@@ -117,6 +123,14 @@ const QUERIES: [(&str, &str); 5] = [
         "distinct_group",
         "PREFIX v: <http://llmkg.dev/vocab/> \
          SELECT DISTINCT ?g WHERE { ?f v:hasGenre ?g . ?f v:starring ?a }",
+    ),
+    // non-DISTINCT twin of distinct_group: the second stage keeps a wide
+    // sorted frontier keyed on ?f, so it exercises the merge-join path
+    // that the DISTINCT short-circuit above deliberately skips
+    (
+        "genre_star_join",
+        "PREFIX v: <http://llmkg.dev/vocab/> \
+         SELECT ?g ?a WHERE { ?f v:hasGenre ?g . ?f v:starring ?a }",
     ),
 ];
 
@@ -202,6 +216,11 @@ fn answer_profiles(smoke: bool) -> (Vec<Value>, u64, u64) {
         .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
         .expect("movies domain has films");
     let film = g.display_name(g.instances_of(film_class)[0]);
+
+    // Warm the workbench's shared plan cache with the question shape the
+    // profiled turn will ask: the recorded chatbot profile then shows the
+    // steady-state serving path (`plan_cache.hits` ≥ 1), not a cold cache.
+    wb.chatbot().handle(&format!("What is {film} directed by?"));
 
     let runs: Vec<(&str, llmkg::AnswerProfile)> = vec![
         (
@@ -455,6 +474,154 @@ fn encoded_join_series(smoke: bool) -> Value {
     })
 }
 
+/// The `prepared_repeat` series: prepared queries + plan cache vs cold
+/// parse-and-plan every execution.
+///
+/// * planning overhead — nanoseconds to obtain an executable plan, cold
+///   (`parse` + `compile_query` each time) vs through a warm
+///   [`kgquery::PlanCache`] (one normalize + map lookup). Full runs gate
+///   the ratio at ≥5×; smoke runs record it only.
+/// * two passes — the whole workload prepared twice against one cache:
+///   pass 1 is all misses, pass 2 must be all hits (`hit_rate` = 1.0).
+/// * correctness gates — every cached plan's result must be bit-identical
+///   to a freshly parsed and planned execution, and running the
+///   parameterized template with bound anchors must be bit-identical to
+///   executing the textual `VALUES`-injected equivalent.
+fn prepared_repeat_series(smoke: bool, g: &Graph) -> Value {
+    use kgquery::{CacheOutcome, PlanCache};
+
+    let cache = PlanCache::default();
+
+    // pass 1: cold — every workload query misses and is compiled
+    for (name, text) in QUERIES {
+        let (_, outcome) = cache.prepare(g, text).expect("query prepares");
+        assert_eq!(outcome, CacheOutcome::Miss, "first pass must miss {name}");
+    }
+    let pass1 = cache.stats();
+
+    // pass 2: warm — every lookup hits, and cached plans reproduce the
+    // fresh-planned results bit for bit
+    for (name, text) in QUERIES {
+        let (prepared, outcome) = cache.prepare(g, text).expect("query prepares");
+        assert_eq!(outcome, CacheOutcome::Hit, "second pass must hit {name}");
+        let cached = prepared
+            .run(g, &ExecOptions::default())
+            .expect("cached plan runs");
+        let fresh =
+            exec::execute(g, &parser::parse(text).expect("query parses")).expect("fresh plan runs");
+        assert_eq!(cached, fresh, "cached plan diverges on {name}");
+    }
+    let pass2 = cache.stats();
+    let pass2_hits = pass2.hits - pass1.hits;
+    let hit_rate = pass2_hits as f64 / QUERIES.len() as f64;
+    assert!(
+        hit_rate > 0.0,
+        "second pass over an untouched graph must hit the cache"
+    );
+
+    // parameterized template ≡ VALUES-injected text, anchor by anchor
+    let directed = format!("{}directedBy", kg::namespace::SYNTH_VOCAB);
+    let template = format!("SELECT ?answer WHERE {{ ?anchor <{directed}> ?answer }}");
+    let (prepared, _) = cache
+        .prepare_with_params(g, &template, &["anchor"])
+        .expect("template prepares");
+    let directed_sym = g.pool().get_iri(&directed).expect("movies graph has it");
+    let anchors: Vec<String> = g
+        .scan_pattern(TriplePattern {
+            s: None,
+            p: Some(directed_sym),
+            o: None,
+        })
+        .take(3)
+        .filter_map(|t| g.resolve(t.s).as_iri().map(str::to_string))
+        .collect();
+    assert!(!anchors.is_empty(), "no anchors with the template relation");
+    for iri in &anchors {
+        let bound = prepared
+            .run_with(
+                g,
+                &[("anchor", kg::Term::iri(iri.clone()))],
+                &ExecOptions::default(),
+            )
+            .expect("bound template runs");
+        let injected = format!(
+            "SELECT ?answer WHERE {{ VALUES ?anchor {{ <{iri}> }} ?anchor <{directed}> ?answer }}"
+        );
+        let textual = exec::execute(g, &parser::parse(&injected).expect("injected text parses"))
+            .expect("injected text runs");
+        assert_eq!(
+            bound, textual,
+            "bound template diverges from VALUES-injected text for {iri}"
+        );
+    }
+
+    // planning overhead: cold parse+compile vs warm cache lookup
+    let (_, text0) = QUERIES[0];
+    let cold_iters = calibrate(smoke, || {
+        let q = parser::parse(text0).expect("query parses");
+        black_box(exec::compile_query(g, &q));
+    });
+    let cold_ns = time_ns(cold_iters, || {
+        let q = parser::parse(text0).expect("query parses");
+        black_box(exec::compile_query(g, &q));
+    });
+    let warm_iters = calibrate(smoke, || {
+        black_box(cache.prepare(g, text0).expect("query prepares"));
+    });
+    let warm_ns = time_ns(warm_iters, || {
+        black_box(cache.prepare(g, text0).expect("query prepares"));
+    });
+    let plan_speedup = cold_ns / warm_ns;
+    if !smoke {
+        assert!(
+            plan_speedup >= 5.0,
+            "plan cache must cut per-iteration planning overhead ≥5×, got {plan_speedup:.2}x \
+             (cold {cold_ns:.0} ns vs cached {warm_ns:.0} ns)"
+        );
+    }
+
+    println!("\nprepared queries: plan once, run many (plan cache, epoch-invalidated)");
+    println!(
+        "{:<22} {:>14} {:>14} {:>9}",
+        "prepared_repeat", "cold plan ns", "cached ns", "speedup"
+    );
+    println!(
+        "{:<22} {cold_ns:>14.0} {warm_ns:>14.0} {plan_speedup:>8.2}x",
+        "planning overhead"
+    );
+    println!(
+        "two passes over {} queries: pass1 {} misses, pass2 {} hits (hit rate {hit_rate:.2})",
+        QUERIES.len(),
+        pass1.misses,
+        pass2_hits,
+    );
+
+    json!({
+        "workload_queries": QUERIES.len(),
+        "planning": {
+            "cold_plan_ns": cold_ns,
+            "cached_plan_ns": warm_ns,
+            "speedup": plan_speedup,
+        },
+        "passes": [
+            {"pass": 1, "hits": pass1.hits, "misses": pass1.misses},
+            {"pass": 2, "hits": pass2_hits, "misses": pass2.misses - pass1.misses},
+        ],
+        "hit_rate": hit_rate,
+        "cache": {
+            "entries": pass2.entries,
+            "hits": pass2.hits,
+            "misses": pass2.misses,
+            "invalidations": pass2.invalidations,
+        },
+        "template": {
+            "text": template,
+            "anchors_checked": anchors.len(),
+            "gate": "bound-params result bit-identical to VALUES-injected text",
+        },
+    })
+}
+
 /// The PR 1 compiled executor: full materialization, no sharding.
 fn materializing() -> ExecOptions {
     ExecOptions {
@@ -654,6 +821,9 @@ fn main() {
     // -- encoded_join: flat arena vs BTree storage at scale --------------
     let encoded_entry = encoded_join_series(smoke);
 
+    // -- prepared_repeat: plan once through the cache, run many ----------
+    let prepared_entry = prepared_repeat_series(smoke, &g);
+
     // -- --obs: per-answer profiles through the workbench ----------------
     let (profiles, fallbacks, faults_injected) = if obs {
         header("Per-answer observability profiles (--obs)");
@@ -722,6 +892,7 @@ fn main() {
             },
             "parallel": parallel_entry,
             "encoded_join": encoded_entry,
+            "prepared_repeat": prepared_entry,
             "resilience": resilience_entry,
             "profiles": Value::Array(profiles),
         }),

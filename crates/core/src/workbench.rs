@@ -70,6 +70,10 @@ pub struct Workbench {
     pub slm: Slm,
     /// The verbalized corpus the LM was trained on.
     pub corpus: Vec<String>,
+    /// Shared prepared-query plan cache: every chatbot session this
+    /// workbench spawns prepares its templated queries through it, so
+    /// repeated question shapes are planned once across sessions.
+    pub plan_cache: std::sync::Arc<kgquery::PlanCache>,
 }
 
 impl Workbench {
@@ -93,7 +97,12 @@ impl Workbench {
             .hallucinate(config.hallucinate)
             .seed(config.seed)
             .build();
-        Workbench { kg, slm, corpus }
+        Workbench {
+            kg,
+            slm,
+            corpus,
+            plan_cache: std::sync::Arc::new(kgquery::PlanCache::default()),
+        }
     }
 
     /// The instance graph.
@@ -191,9 +200,12 @@ impl Workbench {
         ))
     }
 
-    /// Start a chatbot session over this workbench.
+    /// Start a chatbot session over this workbench. Sessions share the
+    /// workbench's [`kgquery::PlanCache`], so the second session asking a
+    /// question shape the first already asked skips planning entirely.
     pub fn chatbot(&self) -> ChatBot<'_> {
         ChatBot::new(&self.kg.graph, &self.slm)
+            .with_plan_cache(std::sync::Arc::clone(&self.plan_cache))
     }
 
     /// Build a RAG pipeline over this workbench's verbalized corpus,
@@ -510,6 +522,24 @@ mod tests {
         assert!(desc.contains("directed by"));
         assert!(w.validate().is_empty(), "clean KG validates clean");
         assert!(w.describe("no such entity zzz").is_none());
+    }
+
+    #[test]
+    fn chatbot_sessions_share_the_workbench_plan_cache() {
+        let w = wb();
+        let g = w.graph();
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let films = g.instances_of(film_class);
+        for film in films.iter().take(3) {
+            let mut bot = w.chatbot();
+            bot.handle(&format!("What is {} directed by?", g.display_name(*film)));
+        }
+        let stats = w.plan_cache.stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert!(stats.hits >= 2, "{stats:?}");
     }
 
     #[test]

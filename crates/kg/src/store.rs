@@ -26,6 +26,12 @@ const SYM_MAX: Sym = Sym(u32::MAX);
 /// plus a geometric series of merges.
 const DELTA_SLACK: usize = 1024;
 
+/// Minimum number of mutations between statistics-epoch bumps. Below
+/// this, [`PredicateCard`] drift cannot have moved any join-order
+/// decision enough to matter, so cached plans stay valid; see
+/// [`Graph::stats_epoch`].
+const EPOCH_MIN_DRIFT: usize = 64;
+
 /// A triple of interned term ids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Triple {
@@ -187,6 +193,15 @@ pub struct Graph {
     subject_card: usize,
     /// Distinct objects across the whole graph (predicate-agnostic).
     object_card: usize,
+    /// Statistics epoch: bumped whenever cumulative [`PredicateCard`]
+    /// drift since the last bump crosses a threshold. Plan caches key
+    /// their validity on this (see `kgquery::PlanCache`).
+    stats_epoch: u64,
+    /// Mutations (inserts + removes) since the last epoch bump.
+    stats_drift: usize,
+    /// Live triple count at the last epoch bump, the basis of the
+    /// relative drift threshold.
+    epoch_len: usize,
 }
 
 impl Graph {
@@ -312,6 +327,7 @@ impl Graph {
         card.distinct_objects += usize::from(new_po);
         self.subject_card += usize::from(new_subject);
         self.object_card += usize::from(new_object);
+        self.note_stats_drift(1);
         self.maybe_compact();
         true
     }
@@ -360,6 +376,7 @@ impl Graph {
         }
         self.subject_card -= usize::from(gone_subject);
         self.object_card -= usize::from(gone_object);
+        self.note_stats_drift(1);
         self.maybe_compact();
         true
     }
@@ -386,7 +403,43 @@ impl Graph {
         self.dead.clear();
         self.rebuild_indexes();
         self.rebuild_stats();
-        self.len() - before
+        let inserted = self.len() - before;
+        if inserted > 0 {
+            // the recount can move every histogram at once, so any plan
+            // compiled against the old statistics is stale
+            self.bump_stats_epoch();
+        }
+        inserted
+    }
+
+    /// The current statistics epoch.
+    ///
+    /// Monotone; bumped when cumulative mutation drift since the last
+    /// bump exceeds `max(64, live_len_at_last_bump / 8)` (or
+    /// unconditionally on [`Graph::bulk_load`], which recounts every
+    /// histogram). A cached query plan compiled at epoch `e` is still
+    /// honest while `stats_epoch() == e`: the [`PredicateCard`]s its join
+    /// order was derived from have drifted by less than the threshold.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
+
+    /// Force a statistics-epoch bump, invalidating all cached plans.
+    ///
+    /// For callers that mutate the graph out-of-band or want deterministic
+    /// invalidation in tests; normal mutation paths bump automatically.
+    pub fn bump_stats_epoch(&mut self) {
+        self.stats_epoch += 1;
+        self.stats_drift = 0;
+        self.epoch_len = self.len();
+    }
+
+    /// Account one mutation toward the epoch drift threshold.
+    fn note_stats_drift(&mut self, n: usize) {
+        self.stats_drift += n;
+        if self.stats_drift >= EPOCH_MIN_DRIFT.max(self.epoch_len / 8) {
+            self.bump_stats_epoch();
+        }
     }
 
     /// Merge the delta overlay into the base arena.
@@ -960,6 +1013,67 @@ mod tests {
         g.insert_iri("http://e/bob", "http://v/knows", "http://e/carol");
         g.insert_iri("http://e/alice", "http://v/age", "http://e/unused");
         g
+    }
+
+    #[test]
+    fn stats_epoch_bumps_on_drift_threshold() {
+        let mut g = Graph::new();
+        assert_eq!(g.stats_epoch(), 0);
+        // below the minimum drift: no bump
+        for i in 0..EPOCH_MIN_DRIFT - 1 {
+            g.insert_iri(&format!("http://e/s{i}"), "http://v/p", "http://e/o");
+        }
+        assert_eq!(g.stats_epoch(), 0);
+        // crossing it: exactly one bump, and the drift counter resets
+        g.insert_iri("http://e/last", "http://v/p", "http://e/o");
+        assert_eq!(g.stats_epoch(), 1);
+        g.insert_iri("http://e/extra", "http://v/p", "http://e/o");
+        assert_eq!(g.stats_epoch(), 1, "drift resets after a bump");
+    }
+
+    #[test]
+    fn stats_epoch_counts_removes_and_bulk_load() {
+        let mut g = Graph::new();
+        let mut triples = Vec::new();
+        for i in 0..40 {
+            triples.push(g.insert_iri(&format!("http://e/s{i}"), "http://v/p", "http://e/o"));
+        }
+        assert_eq!(g.stats_epoch(), 0);
+        // 40 inserts + 24 removes = 64 mutations: removes drift too
+        for t in triples.iter().take(24) {
+            g.remove(t.s, t.p, t.o);
+        }
+        assert_eq!(g.stats_epoch(), 1);
+        // bulk_load recounts all statistics: unconditional bump
+        let s = g.intern_iri("http://e/bulk");
+        let p = g.intern_iri("http://v/p");
+        let o = g.intern_iri("http://e/o");
+        assert_eq!(g.bulk_load([(s, p, o)]), 1);
+        assert_eq!(g.stats_epoch(), 2);
+        // a bulk_load that inserts nothing new leaves the epoch alone
+        assert_eq!(g.bulk_load([(s, p, o)]), 0);
+        assert_eq!(g.stats_epoch(), 2);
+    }
+
+    #[test]
+    fn stats_epoch_threshold_scales_with_graph_size() {
+        let mut g = Graph::new();
+        let p = g.intern_iri("http://v/p");
+        let o = g.intern_iri("http://e/o");
+        let rows: Vec<_> = (0..2000)
+            .map(|i| (g.intern_iri(format!("http://e/s{i}")), p, o))
+            .collect();
+        g.bulk_load(rows);
+        let epoch = g.stats_epoch();
+        // at 2000 live triples the threshold is len/8 = 250, not 64
+        for i in 0..100 {
+            g.insert_iri(&format!("http://e/x{i}"), "http://v/p", "http://e/o");
+        }
+        assert_eq!(g.stats_epoch(), epoch, "100 < 250: no bump yet");
+        for i in 100..250 {
+            g.insert_iri(&format!("http://e/x{i}"), "http://v/p", "http://e/o");
+        }
+        assert_eq!(g.stats_epoch(), epoch + 1);
     }
 
     #[test]

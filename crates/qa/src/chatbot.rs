@@ -14,16 +14,18 @@
 //! counters, and a seeded [`resilience::FaultInjector`] can deterministically
 //! knock out individual rungs for chaos testing.
 
+use std::sync::Arc;
+
 use kg::term::Sym;
 use kg::Graph;
 use kgquery::exec::ExecOptions;
-use kgquery::{execute_sparql_observed_with, ExecStats, QueryError};
+use kgquery::{execute_sparql_observed_with, CacheOutcome, ExecStats, PlanCache, QueryError};
 use resilience::{
     CancelToken, DegradationTrace, FaultInjector, FaultPoint, NoFaults, ResourceLimits,
 };
 use slm::{ChatSession, GenParams, Message, Slm};
 
-use crate::text2sparql::{Text2SparqlMethod, TextToSparql};
+use crate::text2sparql::{SparqlTemplate, Text2SparqlMethod, TextToSparql};
 
 /// The production default injector: shared so `ChatBot::new` needs no
 /// lifetime gymnastics.
@@ -83,6 +85,7 @@ pub struct ChatBot<'a> {
     faults: &'a dyn FaultInjector,
     limits: ResourceLimits,
     cancel: Option<CancelToken>,
+    plan_cache: Option<Arc<PlanCache>>,
     /// The entity the conversation is currently about.
     pub focus: Option<Sym>,
 }
@@ -102,8 +105,20 @@ impl<'a> ChatBot<'a> {
             faults: &NO_FAULTS,
             limits: ResourceLimits::unlimited(),
             cancel: None,
+            plan_cache: None,
             focus: None,
         }
+    }
+
+    /// Share a [`PlanCache`] with this bot: templated text-to-SPARQL
+    /// queries are prepared through it (parameterized on the anchor
+    /// entity) instead of being parsed and planned from scratch every
+    /// turn. Cache traffic lands on the `plan_cache.*` counters of the
+    /// turn span. Queries fall back to the textual path if preparation
+    /// fails, so behavior is unchanged — only planning work is saved.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
     }
 
     /// Inject a fault schedule (chaos testing). Production code keeps the
@@ -156,17 +171,18 @@ impl<'a> ChatBot<'a> {
         let mut sparql_used = None;
         if self.fault(&span, FaultPoint::Parse) {
             fall(&span, &mut trace, "text2sparql", "fault injected: parse");
-        } else if let Some(sparql) =
+        } else if let Some(template) =
             self.t2s
-                .generate_observed(Text2SparqlMethod::SgptSim, &resolved, &span)
+                .generate_template_observed(Text2SparqlMethod::SgptSim, &resolved, &span)
         {
+            let sparql = template.inline();
             span.count("chatbot.sparql_issued", 1);
             if self.fault(&span, FaultPoint::Exec) {
                 fall(&span, &mut trace, "text2sparql", "fault injected: exec");
             } else {
                 let mut opts = ExecOptions::with_limits(self.limits.clone());
                 opts.cancel = self.cancel.clone();
-                match execute_sparql_observed_with(self.graph, &sparql, &opts, &span) {
+                match self.execute_turn_query(&template, &sparql, &opts, &span) {
                     Ok(rs) if !rs.is_empty() => {
                         let names: Vec<String> = rs
                             .values("answer")
@@ -270,6 +286,45 @@ impl<'a> ChatBot<'a> {
         self.finish(span, text, RouterDecision::Apology, trace, |r| {
             r.sparql = sparql_used;
         })
+    }
+
+    /// Execute a turn's KG query: through the shared [`PlanCache`] when
+    /// one is attached (parameterized on the anchor, so every question
+    /// over the same relation chain reuses one compiled plan), otherwise
+    /// via the classic parse-plan-execute textual path. Preparation
+    /// failures fall back to the textual path — the cache is a planning
+    /// optimization, never a behavior change.
+    fn execute_turn_query(
+        &self,
+        template: &SparqlTemplate,
+        sparql: &str,
+        opts: &ExecOptions,
+        span: &obs::Span,
+    ) -> Result<kgquery::ResultSet, QueryError> {
+        if let Some(cache) = &self.plan_cache {
+            match cache.prepare_with_params(
+                self.graph,
+                &template.text(),
+                &[SparqlTemplate::ANCHOR_VAR],
+            ) {
+                Ok((prepared, outcome)) => {
+                    let counter = match outcome {
+                        CacheOutcome::Hit => "plan_cache.hits",
+                        CacheOutcome::Miss => "plan_cache.misses",
+                        CacheOutcome::Invalidated => "plan_cache.invalidations",
+                    };
+                    span.count(counter, 1);
+                    return prepared.run_with_observed(
+                        self.graph,
+                        &[(SparqlTemplate::ANCHOR_VAR, template.anchor_term())],
+                        opts,
+                        span,
+                    );
+                }
+                Err(_) => span.count("plan_cache.prepare_errors", 1),
+            }
+        }
+        execute_sparql_observed_with(self.graph, sparql, opts, span)
     }
 
     /// Close out a turn: stamp route + degradation onto the span and
@@ -565,6 +620,49 @@ mod tests {
         assert_eq!(reg.counter("chatbot.kg_answers"), 1);
         assert_eq!(reg.counter("chatbot.llm_fallbacks"), 1);
         assert!(reg.counter("exec.index_probes") >= reply.exec.index_probes as u64);
+    }
+
+    #[test]
+    fn shared_plan_cache_hits_across_anchors_and_turns() {
+        let (kg, slm) = fixture();
+        let g = &kg.graph;
+        let cache = Arc::new(PlanCache::default());
+        let film_class = g
+            .pool()
+            .get_iri(&format!("{}Film", kg::namespace::SYNTH_VOCAB))
+            .unwrap();
+        let films = g.instances_of(film_class);
+        let (tracer, _recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("dialogue");
+
+        // two bots (two "sessions") share one cache; different anchor
+        // entities, same relation chain → one compiled plan
+        let mut replies = Vec::new();
+        for film in films.iter().take(2) {
+            let mut bot = ChatBot::new(g, &slm).with_plan_cache(Arc::clone(&cache));
+            let q = format!("What is {} directed by?", g.display_name(*film));
+            replies.push(bot.handle_observed(&q, &root));
+        }
+        root.finish();
+        for r in &replies {
+            assert_eq!(r.decision, RouterDecision::KgQuery, "{r:?}");
+            // the reply still carries the classic inlined query text
+            let sparql = r.sparql.as_deref().unwrap();
+            assert!(sparql.contains("<http://"), "{sparql}");
+            assert!(!sparql.contains("?anchor"), "{sparql}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+        let reg = tracer.registry();
+        assert_eq!(reg.counter("plan_cache.hits"), 1);
+        assert_eq!(reg.counter("plan_cache.misses"), 1);
+
+        // cached answers match an uncached bot's answers
+        let mut plain = ChatBot::new(g, &slm);
+        let q = format!("What is {} directed by?", g.display_name(films[0]));
+        let uncached = plain.handle(&q);
+        assert_eq!(uncached.text, replies[0].text);
     }
 
     #[test]

@@ -43,6 +43,60 @@ impl Text2SparqlMethod {
     }
 }
 
+/// A generated query with the linked anchor factored out as a bindable
+/// parameter, so repeated questions over the same relation chain share
+/// one plan-cache entry instead of compiling a fresh query per anchor.
+///
+/// [`SparqlTemplate::text`] is the parameterized form (anchor as
+/// `?anchor`, suitable for [`kgquery::PlanCache::prepare_with_params`]),
+/// [`SparqlTemplate::inline`] is the classic fully-inlined query —
+/// byte-identical to what [`TextToSparql::generate`] returns — and
+/// [`SparqlTemplate::values_form`] is the textual `VALUES`-injected
+/// equivalent used by differential tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparqlTemplate {
+    /// Rendered property path (`<p1>/<p2>/…`) between anchor and answer.
+    path: String,
+    /// IRI of the linked anchor entity.
+    anchor_iri: String,
+}
+
+impl SparqlTemplate {
+    /// Name of the bindable anchor variable in [`SparqlTemplate::text`].
+    pub const ANCHOR_VAR: &'static str = "anchor";
+
+    /// Parameterized query text: `SELECT ?answer WHERE { ?anchor <p…> ?answer }`.
+    pub fn text(&self) -> String {
+        format!("SELECT ?answer WHERE {{ ?anchor {} ?answer }}", self.path)
+    }
+
+    /// Fully-inlined query text (anchor IRI substituted in place).
+    pub fn inline(&self) -> String {
+        format!(
+            "SELECT ?answer WHERE {{ <{}> {} ?answer }}",
+            self.anchor_iri, self.path
+        )
+    }
+
+    /// Textual `VALUES`-injection equivalent of binding the anchor.
+    pub fn values_form(&self) -> String {
+        format!(
+            "SELECT ?answer WHERE {{ VALUES ?anchor {{ <{}> }} ?anchor {} ?answer }}",
+            self.anchor_iri, self.path
+        )
+    }
+
+    /// The anchor as a bindable [`kg::Term`].
+    pub fn anchor_term(&self) -> kg::Term {
+        kg::Term::iri(self.anchor_iri.clone())
+    }
+
+    /// IRI of the linked anchor entity.
+    pub fn anchor_iri(&self) -> &str {
+        &self.anchor_iri
+    }
+}
+
 /// The NL → SPARQL generator.
 pub struct TextToSparql<'a> {
     graph: &'a Graph,
@@ -86,6 +140,17 @@ impl<'a> TextToSparql<'a> {
 
     /// Generate SPARQL for a question, or `None` when no anchor links.
     pub fn generate(&self, method: Text2SparqlMethod, question: &str) -> Option<String> {
+        self.generate_template(method, question).map(|t| t.inline())
+    }
+
+    /// Generate the parameterized form of a question's query, or `None`
+    /// when no anchor links. `template.inline()` reproduces exactly what
+    /// [`TextToSparql::generate`] returns for the same inputs.
+    pub fn generate_template(
+        &self,
+        method: Text2SparqlMethod,
+        question: &str,
+    ) -> Option<SparqlTemplate> {
         let anchor = self.link_anchor(question)?;
         let anchor_name = self.graph.display_name(anchor);
         let anchor_iri = self.graph.resolve(anchor).as_iri()?.to_string();
@@ -108,9 +173,7 @@ impl<'a> TextToSparql<'a> {
             .map(|&r| format!("<{}>", self.graph.resolve(r).as_iri().unwrap_or_default()))
             .collect::<Vec<_>>()
             .join("/");
-        Some(format!(
-            "SELECT ?answer WHERE {{ <{anchor_iri}> {path} ?answer }}"
-        ))
+        Some(SparqlTemplate { path, anchor_iri })
     }
 
     /// [`TextToSparql::generate`] under an observability span: a
@@ -122,19 +185,32 @@ impl<'a> TextToSparql<'a> {
         question: &str,
         parent: &obs::Span,
     ) -> Option<String> {
+        self.generate_template_observed(method, question, parent)
+            .map(|t| t.inline())
+    }
+
+    /// [`TextToSparql::generate_template`] under an observability span
+    /// (same span shape and `t2s.*` counters as
+    /// [`TextToSparql::generate_observed`]).
+    pub fn generate_template_observed(
+        &self,
+        method: Text2SparqlMethod,
+        question: &str,
+        parent: &obs::Span,
+    ) -> Option<SparqlTemplate> {
         let span = parent.child("t2s.generate");
         span.set("method", method.name());
         span.count("t2s.calls", 1);
-        let query = self.generate(method, question);
-        span.set("generated", query.is_some());
-        match &query {
-            Some(q) => {
-                span.set("sparql_chars", q.len());
+        let template = self.generate_template(method, question);
+        span.set("generated", template.is_some());
+        match &template {
+            Some(t) => {
+                span.set("sparql_chars", t.inline().len());
                 span.count("t2s.generated", 1);
             }
             None => span.count("t2s.misses", 1),
         }
-        query
+        template
     }
 
     fn link_anchor(&self, question: &str) -> Option<Sym> {
@@ -355,6 +431,50 @@ mod tests {
         assert!(t2s
             .generate(Text2SparqlMethod::SgptSim, "what is the meaning of zzz?")
             .is_none());
+    }
+
+    #[test]
+    fn template_forms_agree_with_inline_generation() {
+        let (kg, slm, items) = fixture();
+        let t2s = TextToSparql::new(&kg.graph, &slm);
+        let mut checked = 0;
+        for item in items.iter().take(8) {
+            let Some(tpl) = t2s.generate_template(Text2SparqlMethod::SgptSim, &item.question)
+            else {
+                continue;
+            };
+            // inline() is byte-identical to the classic generate() output
+            assert_eq!(
+                Some(tpl.inline()),
+                t2s.generate(Text2SparqlMethod::SgptSim, &item.question)
+            );
+            // all three textual forms return the same answers
+            let answers = |q: &str| {
+                let rs = execute_sparql(&kg.graph, q).unwrap();
+                let mut v: Vec<String> =
+                    rs.values("answer").iter().map(|t| format!("{t}")).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(answers(&tpl.inline()), answers(&tpl.values_form()));
+            // the parameterized form binds through the prepared-query API
+            let prepared =
+                kgquery::PreparedQuery::prepare_with_params(&kg.graph, &tpl.text(), &["anchor"])
+                    .unwrap();
+            let rs = prepared
+                .run_with(
+                    &kg.graph,
+                    &[(SparqlTemplate::ANCHOR_VAR, tpl.anchor_term())],
+                    &kgquery::exec::ExecOptions::default(),
+                )
+                .unwrap();
+            let mut bound: Vec<String> =
+                rs.values("answer").iter().map(|t| format!("{t}")).collect();
+            bound.sort();
+            assert_eq!(bound, answers(&tpl.inline()));
+            checked += 1;
+        }
+        assert!(checked > 0, "fixture produced no templatable questions");
     }
 
     #[test]

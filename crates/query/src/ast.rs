@@ -148,6 +148,12 @@ pub enum PatternElem {
     Optional(GroupPattern),
     /// `{ left } UNION { right }`.
     Union(GroupPattern, GroupPattern),
+    /// `VALUES ?v { term… }` — inline data, one solution per term.
+    ///
+    /// Single-variable form only (the shape parameter binding needs);
+    /// the multi-variable `VALUES (?a ?b) { (…) }` form is outside the
+    /// supported subset.
+    Values(Var, Vec<Term>),
 }
 
 /// A group graph pattern: a sequence of elements joined together.
@@ -192,6 +198,7 @@ impl GroupPattern {
                         push(&v);
                     }
                 }
+                PatternElem::Values(v, _) => push(v),
                 PatternElem::Filter(_) => {}
             }
         }

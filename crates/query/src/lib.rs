@@ -21,6 +21,9 @@
 //!   BFS-evaluated through a per-query memo table, and work counters
 //!   surface as [`ExecStats`] on every result. See `docs/query-executor.md`
 //!   for the architecture;
+//! * [`prepared`] — prepared queries (parse + compile + join-order once,
+//!   run many times with fresh bindings) and the [`PlanCache`] keyed on
+//!   normalized query text, invalidated on the graph's statistics epoch;
 //! * [`mod@reference`] — the seed map-based evaluator, kept as the
 //!   differential-testing oracle and benchmark baseline;
 //! * [`cypher`] — a Cypher-lite front-end (`MATCH … WHERE … RETURN`)
@@ -36,11 +39,13 @@ pub mod cypher;
 pub mod error;
 pub mod exec;
 pub mod parser;
+pub mod prepared;
 pub mod reference;
 pub mod results;
 
 pub use ast::{Query, QueryKind};
 pub use error::QueryError;
+pub use prepared::{CacheOutcome, PlanCache, PlanCacheStats, PreparedQuery};
 pub use results::{ExecStats, ResultSet};
 
 use kg::Graph;

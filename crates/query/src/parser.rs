@@ -49,8 +49,79 @@ struct Spanned {
 const KEYWORDS: &[&str] = &[
     "PREFIX", "SELECT", "DISTINCT", "WHERE", "ASK", "FILTER", "OPTIONAL", "UNION", "ORDER", "BY",
     "ASC", "DESC", "LIMIT", "OFFSET", "BOUND", "CONTAINS", "STR", "TRUE", "FALSE", "COUNT", "AS",
-    "GROUP",
+    "GROUP", "VALUES",
 ];
+
+/// Canonicalize query text for plan-cache keying.
+///
+/// Lexes the input (so whitespace and comments vanish), renames
+/// variables positionally in first-occurrence order (`?v0`, `?v1`, …),
+/// drops `.` separators (the parser treats them as optional between
+/// pattern elements, so they never change the parse), and re-renders
+/// one token per space with keywords uppercased. Queries that differ
+/// only in layout, comments, separator dots, or variable naming
+/// therefore map to the same key, while every constant — IRIs,
+/// prefixed names, string/numeric literals — stays significant. Fails
+/// exactly where [`parse`] would fail to lex.
+pub fn normalize(input: &str) -> Result<String> {
+    let tokens = lex(input)?;
+    let mut names: HashMap<String, usize> = HashMap::new();
+    let mut out = String::new();
+    for t in &tokens {
+        if matches!(&t.tok, Tok::Punct(".")) {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &t.tok {
+            Tok::Keyword(k) => out.push_str(k),
+            Tok::Var(v) => {
+                let next = names.len();
+                let id = *names.entry(v.clone()).or_insert(next);
+                out.push_str("?v");
+                out.push_str(&id.to_string());
+            }
+            Tok::Iri(i) => {
+                out.push('<');
+                out.push_str(i);
+                out.push('>');
+            }
+            Tok::PrefixedName(p, l) => {
+                out.push_str(p);
+                out.push(':');
+                out.push_str(l);
+            }
+            Tok::PrefixDecl(p) => {
+                out.push_str(p);
+                out.push(':');
+            }
+            // escape the delimiters back out so a string can never
+            // collide with surrounding tokens in the rendered key
+            Tok::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        other => out.push(other),
+                    }
+                }
+                out.push('"');
+            }
+            Tok::Int(n) => out.push_str(&n.to_string()),
+            // {:?} is shortest-roundtrip, so distinct doubles render
+            // distinctly
+            Tok::Double(d) => out.push_str(&format!("{d:?}")),
+            Tok::Punct(p) => out.push_str(p),
+            Tok::A => out.push('a'),
+            Tok::Star => out.push('*'),
+        }
+    }
+    Ok(out)
+}
 
 fn lex(input: &str) -> Result<Vec<Spanned>> {
     let chars: Vec<char> = input.chars().collect();
@@ -567,6 +638,34 @@ impl Parser {
                     elems.push(PatternElem::Optional(g));
                     self.eat_punct(".");
                 }
+                Some(Tok::Keyword(k)) if k == "VALUES" => {
+                    self.bump();
+                    let var = match self.bump() {
+                        Some(Tok::Var(v)) => v,
+                        _ => {
+                            return Err(self.err("VALUES expects a single ?variable (subset form)"))
+                        }
+                    };
+                    self.expect_punct("{")?;
+                    let mut terms = Vec::new();
+                    loop {
+                        match self.peek() {
+                            Some(Tok::Punct("}")) => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => match self.parse_node()? {
+                                NodeRef::Const(t) => terms.push(t),
+                                NodeRef::Var(_) => {
+                                    return Err(self.err("VALUES data must be constant terms"))
+                                }
+                            },
+                            None => return Err(self.err("unterminated VALUES block")),
+                        }
+                    }
+                    elems.push(PatternElem::Values(var, terms));
+                    self.eat_punct(".");
+                }
                 Some(Tok::Punct("{")) => {
                     let left = self.parse_group()?;
                     if self.eat_keyword("UNION") {
@@ -838,6 +937,7 @@ mod tests {
                 PatternElem::Filter(_) => "f",
                 PatternElem::Optional(_) => "o",
                 PatternElem::Union(_, _) => "u",
+                PatternElem::Values(_, _) => "v",
             })
             .collect();
         assert_eq!(kinds, vec!["u", "o", "f"]);
@@ -911,6 +1011,85 @@ mod tests {
     #[test]
     fn error_on_trailing_tokens() {
         assert!(parse("ASK { ?s ?p ?o } garbage-trailing <x>").is_err());
+    }
+
+    #[test]
+    fn parses_values_block() {
+        let q = parse(
+            r#"PREFIX v: <http://v/>
+            SELECT ?y WHERE { VALUES ?x { <http://e/a> "lit" 3 } ?x v:p ?y }"#,
+        )
+        .unwrap();
+        match &q.pattern.elems[0] {
+            PatternElem::Values(var, terms) => {
+                assert_eq!(var, "x");
+                assert_eq!(terms.len(), 3);
+                assert_eq!(terms[0], Term::iri("http://e/a"));
+                assert_eq!(terms[1], Term::lit("lit"));
+                assert_eq!(terms[2], Term::int(3));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(q.pattern.bound_vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn values_rejects_variables_and_multi_var_form() {
+        assert!(parse("SELECT * WHERE { VALUES ?x { ?y } }").is_err());
+        assert!(
+            parse("SELECT * WHERE { VALUES (?a ?b) { (<http://e/a> <http://e/b>) } }").is_err()
+        );
+        assert!(parse("SELECT * WHERE { VALUES ?x { <http://e/a> ").is_err());
+    }
+
+    #[test]
+    fn normalize_canonicalizes_whitespace_and_var_names() {
+        let a = normalize(
+            "PREFIX v: <http://v/>  SELECT ?film WHERE { ?film   v:directedBy ?who . # c\n }",
+        )
+        .unwrap();
+        // separator dots are optional in the grammar, so they drop out
+        // of the key too
+        let b =
+            normalize("PREFIX v: <http://v/> SELECT ?x\nWHERE\n{ ?x v:directedBy ?y }").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            "PREFIX v: <http://v/> SELECT ?v0 WHERE { ?v0 v:directedBy ?v1 }"
+        );
+    }
+
+    #[test]
+    fn normalize_keeps_constants_and_structure_significant() {
+        let base = normalize("SELECT ?x WHERE { ?x <http://v/p> \"a\" }").unwrap();
+        // a different literal is a different key
+        assert_ne!(
+            base,
+            normalize("SELECT ?x WHERE { ?x <http://v/p> \"b\" }").unwrap()
+        );
+        // a different IRI is a different key
+        assert_ne!(
+            base,
+            normalize("SELECT ?x WHERE { ?x <http://v/q> \"a\" }").unwrap()
+        );
+        // string escapes cannot smuggle in token boundaries
+        let tricky = normalize(r#"SELECT ?x WHERE { ?x <http://v/p> "a\" b" }"#).unwrap();
+        assert_ne!(base, tricky);
+        assert!(tricky.contains(r#""a\" b""#), "{tricky}");
+        // $x and ?x are the same variable syntax: same key
+        assert_eq!(
+            normalize("SELECT ?x WHERE { ?x <http://v/p> ?y }").unwrap(),
+            normalize("SELECT $a WHERE { $a <http://v/p> $b }").unwrap()
+        );
+    }
+
+    #[test]
+    fn normalize_distinguishes_variable_sharing_shapes() {
+        // ?x p ?x (self-join) vs ?x p ?y (two vars) must not collide
+        assert_ne!(
+            normalize("SELECT * WHERE { ?x <http://v/p> ?x }").unwrap(),
+            normalize("SELECT * WHERE { ?x <http://v/p> ?y }").unwrap()
+        );
     }
 
     #[test]

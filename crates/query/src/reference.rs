@@ -229,6 +229,30 @@ fn eval(graph: &Graph, plan: &Plan, input: Vec<Binding>) -> Result<Vec<Binding>,
             }
             Ok(out)
         }
+        Plan::Values(var, terms) => {
+            // Subset semantics (mirrored by the compiled executor, which
+            // cannot represent un-interned terms as Syms): only terms
+            // present in the graph's pool contribute solutions.
+            let syms: Vec<Sym> = terms.iter().filter_map(|t| graph.pool().get(t)).collect();
+            let mut out = Vec::new();
+            for b in input {
+                match b.get(var) {
+                    Some(existing) => {
+                        if syms.contains(existing) {
+                            out.push(b);
+                        }
+                    }
+                    None => {
+                        for &s in &syms {
+                            let mut nb = b.clone();
+                            nb.insert(var.clone(), s);
+                            out.push(nb);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
     }
 }
 

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use kgquery::exec::ExecOptions;
-use kgquery::{execute_sparql_observed_with, QueryError, ResultSet};
+use kgquery::{CacheOutcome, PlanCache, QueryError, ResultSet};
 use kgrag::{RagMode, RagPipeline};
 use llmkg::Workbench;
 use obs::{MetricsSnapshot, NullRecorder, Registry, Tracer};
@@ -53,6 +53,11 @@ pub struct Engine<'a> {
     wb: &'a Workbench,
     rag: RagPipeline<'a>,
     tracer: Tracer,
+    /// One prepared-query plan cache per tenant class (free / standard /
+    /// pro), so a noisy free tenant's query churn can never evict a paid
+    /// tenant's hot plans. Cache traffic lands on the `plan_cache.*`
+    /// counters and therefore in every stats reply.
+    plan_caches: [Arc<PlanCache>; 3],
 }
 
 impl<'a> Engine<'a> {
@@ -67,7 +72,18 @@ impl<'a> Engine<'a> {
             // every span in memory); the tracer's registry still
             // accumulates every counter and histogram.
             tracer: Tracer::new(Arc::new(NullRecorder)),
+            plan_caches: std::array::from_fn(|_| Arc::new(PlanCache::default())),
         }
+    }
+
+    /// The plan cache serving a tenant class.
+    pub fn plan_cache(&self, tenant: Tenant) -> &Arc<PlanCache> {
+        let idx = match tenant {
+            Tenant::Free => 0,
+            Tenant::Standard => 1,
+            Tenant::Pro => 2,
+        };
+        &self.plan_caches[idx]
     }
 
     /// The engine's metrics registry (counters + latency histograms).
@@ -149,7 +165,25 @@ impl<'a> Engine<'a> {
             Scenario::Sparql => {
                 let mut opts = ExecOptions::with_limits(limits);
                 opts.cancel = Some(cancel.clone());
-                match execute_sparql_observed_with(self.wb.graph(), &req.input, &opts, &span) {
+                // Prepare through the tenant class's plan cache: repeated
+                // query shapes (templated clients, dashboards, retries)
+                // skip parse + planning. A parse/compile failure surfaces
+                // below exactly as the old parse-execute path did.
+                let result = self
+                    .plan_cache(tenant)
+                    .prepare(self.wb.graph(), &req.input)
+                    .and_then(|(prepared, outcome)| {
+                        reg.incr(
+                            match outcome {
+                                CacheOutcome::Hit => "plan_cache.hits",
+                                CacheOutcome::Miss => "plan_cache.misses",
+                                CacheOutcome::Invalidated => "plan_cache.invalidations",
+                            },
+                            1,
+                        );
+                        prepared.run_observed(self.wb.graph(), &opts, &span)
+                    });
+                match result {
                     Ok(rs) => {
                         degraded |= rs.truncated;
                         reply.insert("ok".into(), Value::Bool(true));
@@ -418,6 +452,44 @@ mod tests {
         let obj = v.as_object().unwrap();
         assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(false));
         assert!(obj.get("error").and_then(Value::as_str).is_some());
+    }
+
+    #[test]
+    fn repeated_sparql_hits_the_tenant_class_plan_cache() {
+        let wb = wb();
+        let engine = Engine::new(&wb);
+        let cancel = CancelToken::new();
+        let q = "PREFIX v: <http://llmkg.dev/vocab/> SELECT ?f WHERE { ?f a v:Film }";
+        let first = engine.handle(&req(Scenario::Sparql, q), Grade::Normal, &cancel);
+        // same query, different whitespace: still one cache entry
+        let q2 = "PREFIX v: <http://llmkg.dev/vocab/>  SELECT ?film\nWHERE { ?film a v:Film }";
+        let second = engine.handle(&req(Scenario::Sparql, q2), Grade::Normal, &cancel);
+        assert_eq!(
+            first.as_object().unwrap().get("rows"),
+            second.as_object().unwrap().get("rows")
+        );
+        let snap = engine.snapshot();
+        assert_eq!(snap.counter("plan_cache.misses"), 1);
+        assert_eq!(snap.counter("plan_cache.hits"), 1);
+        // a free tenant running the same query goes to its own cache
+        let mut free = req(Scenario::Sparql, q);
+        free.tenant = "free:guest".into();
+        engine.handle(&free, Grade::Normal, &cancel);
+        assert_eq!(engine.snapshot().counter("plan_cache.misses"), 2);
+        assert_eq!(engine.plan_cache(Tenant::Pro).stats().entries, 1);
+        assert_eq!(engine.plan_cache(Tenant::Free).stats().entries, 1);
+        // the stats reply surfaces the counters to clients
+        let stats = engine.stats_reply(&req(Scenario::Stats, ""), 0, 0);
+        let counters = stats
+            .as_object()
+            .unwrap()
+            .get("counters")
+            .and_then(Value::as_object)
+            .unwrap();
+        assert_eq!(
+            counters.get("plan_cache.hits").and_then(Value::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

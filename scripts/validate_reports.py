@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validate the JSON reports the bench harnesses emit.
+
+One entrypoint for every CI report gate (the checks used to live as
+inline python blocks in .github/workflows/ci.yml):
+
+    validate_reports.py query-smoke      [reports/query_bench_smoke.json]
+    validate_reports.py retrieval-smoke  [reports/retrieval_bench_smoke.json]
+    validate_reports.py serve-smoke      [reports/serve_bench_smoke.json]
+    validate_reports.py plan-cache       [reports/query_bench_smoke.json]
+
+Each subcommand loads one report, asserts its schema and invariants, and
+prints a one-line OK summary. Any assertion failure exits non-zero with
+the offending value in the message. The vendored serde_json stub has no
+parser, so these checks run under the system python instead of Rust.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def validate_query_smoke(path):
+    r = load(path)
+    assert r["mode"] == "smoke", r["mode"]
+    assert r["queries"], "no query entries"
+    assert r["limit_streaming"]["queries"], "no limit entries"
+    assert r["parallel"]["workers"], "no parallel sweep"
+    # the synthetic graphs arrive compacted, so at least one BGP
+    # stage of the standard workload must take the merge-join path
+    assert any(q["stats"]["merge_joins"] > 0 for q in r["queries"]), \
+        [q["stats"] for q in r["queries"]]
+    ej = r["encoded_join"]
+    assert ej["graph"]["triples"] > 0, ej["graph"]
+    mem = ej["memory"]
+    assert mem["flat_bytes"] > 0 and mem["btree_bytes"] > 0, mem
+    assert mem["ratio"] > 1.0, mem  # flat arena must be smaller
+    join = ej["join"]
+    assert join["rows"] > 0 and join["checksum"], join
+    assert join["probe_ns"] > 0 and join["merge_ns"] > 0, join
+    validate_plan_cache_series(r)
+    profiles = {p["name"]: p["profile"] for p in r["profiles"]}
+    assert set(profiles) == {"chatbot", "rag_naive", "rag_modular", "hybrid"}, set(profiles)
+    chat = profiles["chatbot"]
+    assert chat["route"] == "kg-query", chat["route"]
+    assert chat["executor"]["index_probes"] > 0, chat["executor"]
+    assert chat["counters"]["exec.queries"] == 1, chat["counters"]
+    assert chat["counters"]["chatbot.turns"] == 1, chat["counters"]
+    # the profiled turn runs after a warmup turn over the workbench's
+    # shared plan cache: steady-state serving must hit, never compile
+    assert chat["counters"].get("plan_cache.hits", 0) >= 1, chat["counters"]
+    assert chat["counters"].get("plan_cache.misses", 0) == 0, chat["counters"]
+    naive = profiles["rag_naive"]
+    assert naive["retrieval"]["vectors_scanned"] > 0, naive["retrieval"]
+    assert naive["retrieval"]["heap_pushes"] > 0, naive["retrieval"]
+    hybrid = profiles["hybrid"]
+    assert hybrid["route"] == "store+llm", hybrid["route"]
+    assert hybrid["counters"]["hybrid.llm_calls"] > 0, hybrid["counters"]
+    assert hybrid["executor"]["index_probes"] > 0, hybrid["executor"]
+    for name, p in profiles.items():
+        assert p["wall_ns"] > 0, name
+        assert p["spans"], name
+        assert p["retrieval"]["candidates"] > 0, (name, p["retrieval"])
+        # healthy serving paths: present but all-zero resilience block
+        assert not p["resilience"]["degraded"], (name, p["resilience"])
+        assert p["resilience"]["fallbacks"] == 0, (name, p["resilience"])
+    res = r["resilience"]
+    assert res["deadline_ms"] == 10000, res
+    assert res["budgeted_queries"]["completed"] > 0, res
+    assert res["budgeted_queries"]["limit_hits"] == 0, res
+    assert res["fallbacks"] == 0 and res["faults_injected"] == 0, res
+    print("profile JSON OK:", ", ".join(sorted(profiles)))
+
+
+def validate_plan_cache_series(r):
+    """The prepared_repeat invariants, shared by query-smoke and plan-cache."""
+    pr = r["prepared_repeat"]
+    n = pr["workload_queries"]
+    assert n > 0, pr
+    planning = pr["planning"]
+    assert planning["cold_plan_ns"] > 0, planning
+    assert planning["cached_plan_ns"] > 0, planning
+    assert planning["speedup"] > 0, planning
+    passes = {p["pass"]: p for p in pr["passes"]}
+    assert set(passes) == {1, 2}, passes
+    # pass 1 compiles the whole workload cold; pass 2 must hit
+    assert passes[1]["misses"] == n and passes[1]["hits"] == 0, passes
+    assert passes[2]["hits"] > 0, passes
+    assert pr["hit_rate"] > 0.0, pr["hit_rate"]
+    cache = pr["cache"]
+    assert cache["entries"] > 0, cache
+    assert cache["hits"] > 0, cache
+    tpl = pr["template"]
+    assert tpl["anchors_checked"] > 0, tpl
+    assert "VALUES" in tpl["gate"], tpl
+
+
+def validate_plan_cache(path):
+    r = load(path)
+    validate_plan_cache_series(r)
+    pr = r["prepared_repeat"]
+    print("plan cache OK: hit rate %.2f over %d queries, cached plan %.0f ns (cold %.0f ns)"
+          % (pr["hit_rate"], pr["workload_queries"],
+             pr["planning"]["cached_plan_ns"], pr["planning"]["cold_plan_ns"]))
+
+
+def validate_retrieval_smoke(path):
+    r = load(path)
+    assert r["mode"] == "smoke", r["mode"]
+    assert r["exact"], "no exact series"
+    for e in r["exact"]:
+        assert e["hits_identical"], e
+        assert e["vectors_scanned"] > 0, e
+    for w in r["parallel"]["workers"]:
+        assert w["bit_identical"], w
+        assert w["parallel_shards"] == w["workers"], w
+    for p in r["ivf"]["probes"]:
+        if p["n_probe"] >= 2:
+            assert p["recall_at_10"] >= 0.9, p
+    print("retrieval JSON OK:", len(r["exact"]), "sizes,",
+          len(r["ivf"]["probes"]), "probe points")
+
+
+def validate_serve_smoke(path):
+    r = load(path)
+    assert r["mode"] == "smoke", r["mode"]
+    assert "never errors" in r["contract"], r["contract"]
+    assert r["closed_loop"] and r["open_loop"], "missing series"
+    for rung in r["closed_loop"] + r["open_loop"]:
+        classes = rung["classes"]
+        total = sum(c["count"] for c in classes.values())
+        answered = sum(c["ok"] for c in classes.values())
+        assert total == rung["requests"], rung
+        # the contract: every request answered, even at 10x overload
+        assert answered == total, rung
+        for c in classes.values():
+            assert c["p99_us"] >= c["p50_us"] >= 0, c
+    first, last = r["closed_loop"][0], r["closed_loop"][-1]
+    # an unloaded single closed-loop client never sheds...
+    assert sum(c["shed"] for c in first["classes"].values()) == 0, first
+    # ...and the overload rung must actually trip admission
+    assert last["overload_factor"] >= 10, last
+    pressure = sum(c["shed"] + c["degraded"] for c in last["classes"].values())
+    assert pressure > 0, last
+    counters = r["server_stats"]["counters"]
+    # the server's own ledger must balance: every accepted request
+    # line either ran, was shed, or was the final stats probe
+    assert counters["serve.accepted"] == (
+        counters["serve.requests"] + counters.get("serve.shed", 0) + 1
+    ), counters
+    assert counters.get("serve.protocol_errors", 0) == 0, counters
+    assert counters.get("serve.client_errors", 0) == 0, counters
+    assert counters["serve.inflight"] == 0, counters
+    assert counters["serve.queue_depth"] == 0, counters
+    hists = r["server_stats"]["histograms"]
+    for s in ("chat", "rag", "sparql", "complete"):
+        assert hists["serve.latency_us." + s]["count"] > 0, s
+    print("serve JSON OK:", len(r["closed_loop"]), "closed rungs,",
+          "shed", counters.get("serve.shed", 0),
+          "degraded", counters.get("serve.degraded", 0))
+
+
+COMMANDS = {
+    "query-smoke": (validate_query_smoke, "reports/query_bench_smoke.json"),
+    "retrieval-smoke": (validate_retrieval_smoke, "reports/retrieval_bench_smoke.json"),
+    "serve-smoke": (validate_serve_smoke, "reports/serve_bench_smoke.json"),
+    "plan-cache": (validate_plan_cache, "reports/query_bench_smoke.json"),
+}
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] not in COMMANDS:
+        names = " | ".join(sorted(COMMANDS))
+        print(f"usage: validate_reports.py <{names}> [report.json]", file=sys.stderr)
+        return 2
+    fn, default_path = COMMANDS[argv[1]]
+    path = argv[2] if len(argv) > 2 else default_path
+    try:
+        fn(path)
+    except AssertionError as e:
+        print(f"{argv[1]}: report invariant violated: {e!r}", file=sys.stderr)
+        return 1
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"{argv[1]}: cannot validate {path}: {e!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

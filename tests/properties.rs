@@ -598,6 +598,86 @@ proptest! {
         prop_assert_eq!(&merged.vars, &slow.vars);
         prop_assert_eq!(normalized_rows(&merged), normalized_rows(&slow));
     }
+
+    /// A plan prepared through the cache returns exactly what a fresh
+    /// parse + plan of the same text returns — before and after graph
+    /// mutations that may bump the statistics epoch. The query goes in
+    /// as *text* so the whole prepared path (normalize → cache → compile
+    /// at the recorded epoch) is under test, and the cache outcome must
+    /// agree with whether the epoch actually moved.
+    #[test]
+    fn prepared_query_agrees_with_fresh_planning_across_epochs(
+        triples in triples_strategy(),
+        patterns in proptest::collection::vec(bgp_pattern_strategy(), 1..4),
+        extra in triples_strategy(),
+    ) {
+        use llmkg::kgquery::{parser, CacheOutcome, PlanCache};
+
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_iri(s, p, o);
+        }
+        let text = render_select_all(&patterns);
+        let opts = ExecOptions {
+            parallel_threshold: None,
+            shard_count: None,
+            ..ExecOptions::default()
+        };
+        let cache = PlanCache::default();
+
+        let (prepared, outcome) = cache.prepare(&g, &text).expect("prepare");
+        prop_assert_eq!(outcome, CacheOutcome::Miss);
+        let fresh =
+            exec::execute_with(&g, &parser::parse(&text).expect("parse"), &opts)
+                .expect("fresh run");
+        prop_assert_eq!(&prepared.run(&g, &opts).expect("prepared run"), &fresh);
+
+        // mutate, then re-prepare from the same cache: the entry must be
+        // revalidated (Hit) or recompiled (Invalidated) to match exactly
+        // what cold planning sees now — a constant the first compile
+        // found un-interned may have just been inserted, which must
+        // invalidate even when the epoch has not drifted
+        for (s, p, o) in &extra {
+            g.insert_iri(s, p, o);
+        }
+        let still_valid = prepared.is_current(&g);
+        let (prepared2, outcome2) = cache.prepare(&g, &text).expect("re-prepare");
+        prop_assert_eq!(
+            outcome2,
+            if still_valid { CacheOutcome::Hit } else { CacheOutcome::Invalidated }
+        );
+        // compare as multisets: a Hit legitimately keeps a join order
+        // planned under sub-threshold statistics drift, which enumerates
+        // the same solutions in a different order
+        let fresh2 =
+            exec::execute_with(&g, &parser::parse(&text).expect("parse"), &opts)
+                .expect("fresh run after mutation");
+        let rerun = prepared2.run(&g, &opts).expect("prepared rerun");
+        prop_assert_eq!(&rerun.vars, &fresh2.vars);
+        prop_assert_eq!(normalized_rows(&rerun), normalized_rows(&fresh2));
+    }
+}
+
+/// Render fuzzed BGP patterns as `SELECT *` query text (full IRIs, no
+/// prefixes) for the prepared-query differential.
+fn render_select_all(patterns: &[TriplePatternAst]) -> String {
+    let node = |n: &NodeRef| match n {
+        NodeRef::Var(v) => format!("?{v}"),
+        NodeRef::Const(Term::Iri(i)) => format!("<{i}>"),
+        NodeRef::Const(other) => unreachable!("strategy only emits IRIs: {other:?}"),
+    };
+    let pats: Vec<String> = patterns
+        .iter()
+        .map(|t| {
+            let p = match &t.p {
+                PropPath::Iri(i) => format!("<{i}>"),
+                PropPath::Var(v) => format!("?{v}"),
+                other => unreachable!("strategy only emits iri/var predicates: {other:?}"),
+            };
+            format!("{} {} {}", node(&t.s), p, node(&t.o))
+        })
+        .collect();
+    format!("SELECT * WHERE {{ {} }}", pats.join(" . "))
 }
 
 /// SPARQL LIMIT/OFFSET laws on a concrete graph (not fuzzed inputs — the
