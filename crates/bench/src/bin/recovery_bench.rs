@@ -1,0 +1,294 @@
+//! Durability microbenchmarks for `durable::DurableGraph`, writing
+//! `reports/recovery_bench.json`:
+//!
+//! 1. **group commit** — append throughput by fsync window (1, 4, 16,
+//!    64 batches per sync) over [`MemStorage`], with the fsync count
+//!    from the store's own `wal.*` registry as the explanation.
+//! 2. **recovery vs WAL length** — reopen time as the un-checkpointed
+//!    log grows; replay cost is linear in surviving bytes.
+//! 3. **checkpoint speedup** — the same workload reopened twice: once
+//!    from the raw WAL, once after a checkpoint collapsed the log into
+//!    a snapshot; the ratio is the case for checkpointing at all.
+//! 4. **torn-tail sweep** — the WAL cut at descending byte fractions;
+//!    recovery must land on a whole-batch prefix each time.
+//!
+//! The harness is **self-gating**: every recovery in every series is
+//! compared against an oracle replay of the same batches into a fresh
+//! [`kg::Graph`] (same `Sym` assignment, same triples) and the process
+//! panics on any mismatch — the report existing at all is the
+//! acceptance evidence, in the same spirit as `serve_bench`.
+//!
+//! Flags: `--smoke` — CI mode: tiny sizes, report to
+//! `reports/recovery_bench_smoke.json`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use durable::{DurableGraph, DurableOptions, GroupCommit, MemStorage, Op, Storage};
+use kg::{Graph, Term};
+use llmkg_bench::{header, write_report, EXP_SEED};
+use serde_json::{json, Value};
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic insert-heavy mutation batches (see `tests/crash_recovery.rs`
+/// for the adversarial variant with removes and duplicates — here the
+/// point is steady measurable write volume).
+fn batches(seed: u64, n: usize, ops_per_batch: usize) -> Vec<Vec<Op>> {
+    (0..n as u64)
+        .map(|b| {
+            (0..ops_per_batch as u64)
+                .map(|i| {
+                    let r = splitmix64(seed ^ (b * 131) ^ (i * 7919));
+                    Op::Insert(
+                        Term::iri(format!("http://bench/s{}", r % 2048)),
+                        Term::iri(format!("http://bench/p{}", r % 17)),
+                        Term::lit(format!("v{b}-{i}")),
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn oracle(all: &[Vec<Op>], k: usize) -> Graph {
+    let mut g = Graph::new();
+    for batch in &all[..k] {
+        for op in batch {
+            op.apply(&mut g);
+        }
+    }
+    g
+}
+
+/// The self-gate: recovered state must be bit-identical to an oracle
+/// replay of some whole-batch prefix in `lo..=hi`; returns that prefix.
+fn assert_matches_prefix(d: &DurableGraph, all: &[Vec<Op>], lo: usize, hi: usize) -> usize {
+    let pool: Vec<(u32, Term)> = d
+        .graph()
+        .pool()
+        .iter()
+        .map(|(sym, t)| (sym.0, t.clone()))
+        .collect();
+    let mut triples: Vec<_> = d.graph().iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+    triples.sort_unstable();
+    for k in lo..=hi {
+        let g = oracle(all, k);
+        let opool: Vec<(u32, Term)> = g.pool().iter().map(|(sym, t)| (sym.0, t.clone())).collect();
+        let mut otriples: Vec<_> = g.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+        otriples.sort_unstable();
+        if pool == opool && triples == otriples {
+            return k;
+        }
+    }
+    panic!("recovered graph matches no oracle prefix in {lo}..={hi}");
+}
+
+fn open_mem(files: HashMap<String, Vec<u8>>) -> DurableGraph {
+    let mem: Arc<dyn Storage> = Arc::new(MemStorage::from_map(files));
+    DurableGraph::open(mem, DurableOptions::default()).expect("recovery")
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let report_name = if smoke {
+        "recovery_bench_smoke"
+    } else {
+        "recovery_bench"
+    };
+    let ops_per_batch = 8;
+
+    // --- 1. append throughput by group-commit window ---
+    header("Group commit: append throughput by fsync window");
+    let n_commit = if smoke { 200 } else { 5_000 };
+    let all = batches(EXP_SEED, n_commit, ops_per_batch);
+    let mut commit_series = Vec::new();
+    for window in [1usize, 4, 16, 64] {
+        let storage = Arc::new(MemStorage::new());
+        let mut d = DurableGraph::open(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            DurableOptions {
+                group_commit: GroupCommit::every(window),
+                ..DurableOptions::default()
+            },
+        )
+        .expect("open");
+        let t0 = Instant::now();
+        for batch in &all {
+            d.append(batch).expect("append");
+        }
+        d.sync().expect("final sync");
+        let wall = t0.elapsed();
+        let m = d.metrics();
+        let fsyncs = m.counters.get("wal.fsyncs").copied().unwrap_or(0);
+        let wal_bytes = d.wal_bytes();
+        drop(d);
+        let recovered = open_mem(storage.snapshot());
+        let k = assert_matches_prefix(&recovered, &all, all.len(), all.len());
+        let rate = all.len() as f64 / wall.as_secs_f64();
+        println!(
+            "window={window:<3} {:>8.0} batches/s  fsyncs {fsyncs:>6}  wal {wal_bytes:>9} B  recovered {k} batches",
+            rate
+        );
+        commit_series.push(json!({
+            "window": window,
+            "batches": all.len(),
+            "wall_us": wall.as_micros() as u64,
+            "batches_per_sec": rate,
+            "fsyncs": fsyncs,
+            "wal_bytes": wal_bytes,
+            "recovered_batches": k,
+        }));
+    }
+
+    // --- 2. recovery time vs WAL length ---
+    header("Recovery: reopen time vs WAL length (no checkpoint)");
+    let lengths: Vec<usize> = if smoke {
+        vec![50, 200]
+    } else {
+        vec![1_000, 4_000, 16_000]
+    };
+    let mut recovery_series = Vec::new();
+    for &n in &lengths {
+        let all = batches(EXP_SEED ^ n as u64, n, ops_per_batch);
+        let storage = Arc::new(MemStorage::new());
+        let mut d = DurableGraph::open(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            DurableOptions::default(),
+        )
+        .expect("open");
+        for batch in &all {
+            d.append(batch).expect("append");
+        }
+        let wal_bytes = d.wal_bytes();
+        drop(d);
+        let files = storage.snapshot();
+        let t0 = Instant::now();
+        let recovered = open_mem(files);
+        let wall = t0.elapsed();
+        assert_matches_prefix(&recovered, &all, n, n);
+        let report = recovered.recovery();
+        println!(
+            "batches={n:<6} wal {wal_bytes:>9} B  reopen {:>8} µs  replayed {} batches",
+            wall.as_micros(),
+            report.batches_replayed
+        );
+        recovery_series.push(json!({
+            "batches": n,
+            "wal_bytes": wal_bytes,
+            "reopen_us": wall.as_micros() as u64,
+            "batches_replayed": report.batches_replayed,
+            "triples": recovered.len(),
+        }));
+    }
+
+    // --- 3. checkpoint vs replay ---
+    header("Checkpoint: reopen from snapshot vs full WAL replay");
+    let n_ckpt = if smoke { 300 } else { 16_000 };
+    let all = batches(EXP_SEED ^ 0xc4a7, n_ckpt, ops_per_batch);
+    let storage = Arc::new(MemStorage::new());
+    let mut d = DurableGraph::open(
+        Arc::clone(&storage) as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .expect("open");
+    for batch in &all {
+        d.append(batch).expect("append");
+    }
+    let replay_files = storage.snapshot();
+    let t0 = Instant::now();
+    let ckpt_wall = {
+        d.checkpoint().expect("checkpoint");
+        t0.elapsed()
+    };
+    drop(d);
+    let ckpt_files = storage.snapshot();
+
+    let t0 = Instant::now();
+    let via_replay = open_mem(replay_files);
+    let replay_us = t0.elapsed().as_micros() as u64;
+    assert_matches_prefix(&via_replay, &all, n_ckpt, n_ckpt);
+
+    let t0 = Instant::now();
+    let via_ckpt = open_mem(ckpt_files);
+    let ckpt_us = t0.elapsed().as_micros() as u64;
+    assert_matches_prefix(&via_ckpt, &all, n_ckpt, n_ckpt);
+    assert_eq!(via_ckpt.recovery().batches_replayed, 0);
+
+    let speedup = replay_us as f64 / ckpt_us.max(1) as f64;
+    println!(
+        "replay {replay_us:>8} µs  checkpoint-load {ckpt_us:>8} µs  speedup {speedup:.1}×  (snapshot write {} µs)",
+        ckpt_wall.as_micros()
+    );
+    let checkpoint_section = json!({
+        "batches": n_ckpt,
+        "checkpoint_write_us": ckpt_wall.as_micros() as u64,
+        "reopen_via_replay_us": replay_us,
+        "reopen_via_checkpoint_us": ckpt_us,
+        "speedup": speedup,
+        "checkpoint_triples": via_ckpt.recovery().checkpoint_triples,
+    });
+
+    // --- 4. torn-tail sweep ---
+    header("Torn tail: recovery from descending WAL prefixes");
+    let n_torn = if smoke { 100 } else { 2_000 };
+    let all = batches(EXP_SEED ^ 0x7041, n_torn, ops_per_batch);
+    let storage = Arc::new(MemStorage::new());
+    let mut d = DurableGraph::open(
+        Arc::clone(&storage) as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .expect("open");
+    for batch in &all {
+        d.append(batch).expect("append");
+    }
+    drop(d);
+    let files = storage.snapshot();
+    let (name, bytes) = files.into_iter().next().expect("one WAL segment");
+    let mut torn_series = Vec::new();
+    for keep_pct in [100u64, 75, 50, 25, 5, 1] {
+        let cut = (bytes.len() as u64 * keep_pct / 100) as usize;
+        let image = HashMap::from([(name.clone(), bytes[..cut].to_vec())]);
+        let t0 = Instant::now();
+        let recovered = open_mem(image);
+        let wall = t0.elapsed();
+        // No checkpoint in this series, so the replay count names the
+        // exact whole-batch prefix the cut must land on.
+        let k = recovered.recovery().batches_replayed as usize;
+        assert!(k <= n_torn, "replayed more batches than were written");
+        assert_matches_prefix(&recovered, &all, k, k);
+        println!(
+            "keep {keep_pct:>3}%  {cut:>9} B  reopen {:>7} µs  recovered {k:>6} whole batches",
+            wall.as_micros()
+        );
+        torn_series.push(json!({
+            "keep_pct": keep_pct,
+            "bytes": cut,
+            "reopen_us": wall.as_micros() as u64,
+            "recovered_batches": k,
+            "truncated_segments": recovered.recovery().truncated_segments,
+        }));
+    }
+
+    write_report(
+        report_name,
+        &json!({
+            "experiment": "recovery_bench",
+            "mode": if smoke { "smoke" } else { "full" },
+            "seed": EXP_SEED,
+            "ops_per_batch": ops_per_batch,
+            "contract": "every recovery is bit-identical to an oracle replay of a whole-batch prefix; the harness panics on mismatch",
+            "group_commit": Value::Array(commit_series),
+            "recovery_vs_wal_length": Value::Array(recovery_series),
+            "checkpoint": checkpoint_section,
+            "torn_tail": Value::Array(torn_series),
+        }),
+    );
+    println!("\nwrote reports/{report_name}.json");
+}

@@ -328,11 +328,13 @@ fn main() {
         AdmissionPolicy {
             queue_capacity: 2,
             degrade_depth: 1,
+            ..AdmissionPolicy::default()
         }
     } else {
         AdmissionPolicy {
             queue_capacity: 8,
             degrade_depth: 2,
+            ..AdmissionPolicy::default()
         }
     };
     let workbench = WorkbenchConfig {

@@ -1,0 +1,45 @@
+//! Crash-safe durability for [`kg::Graph`]: a checksummed write-ahead log,
+//! periodic checkpoint snapshots of the compacted arena, and recovery that
+//! truncates at the first torn record instead of panicking.
+//!
+//! This crate is intentionally **zero-dependency** beyond `kg` and `obs`:
+//! framing, CRC-32, and the storage abstraction are all hand-rolled on `std`
+//! so the durability path stays auditable end to end.
+//!
+//! The pieces:
+//!
+//! * [`Storage`] — the injectable byte-level backend: [`DiskStorage`] for
+//!   production, [`MemStorage`] for tests and benchmarks, and
+//!   [`FaultyStorage`] for seeded I/O fault injection (short writes, torn
+//!   records, fsync failures, kill-at-offset, crash simulation) in the
+//!   spirit of `resilience::FaultPlan`.
+//! * [`wal`] — CRC-framed, length-prefixed mutation batches ([`Op`]) with a
+//!   configurable [`GroupCommit`] window; replay truncates at the first
+//!   invalid frame.
+//! * [`checkpoint`] — sequential snapshots of the term pool + compacted
+//!   triple arena, written temp-then-rename, loaded newest-valid-first.
+//! * [`DurableGraph`] — the wrapper tying it together: WAL-ahead apply,
+//!   fsync-acknowledged batches, checkpoint rotation with a keep-last-two
+//!   purge policy, and a [`RecoveryReport`] describing what reopening found.
+//!
+//! The invariants the crash tests (`tests/crash_recovery.rs` at the
+//! workspace root) hold over every seeded kill point:
+//!
+//! 1. **Acked writes are never lost** — a batch acknowledged after a
+//!    successful fsync is present after recovery (absent silent corruption
+//!    of already-synced bytes).
+//! 2. **Unacked batches never half-apply** — recovery applies a prefix of
+//!    whole batches; a torn frame truncates the log at the tear.
+//! 3. **Recovered state is bit-identical to an oracle replay** of the same
+//!    batch prefix into a fresh graph: same `Sym` assignment, same triples.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod graph;
+mod storage;
+pub mod wal;
+
+pub use graph::{DurableGraph, DurableOptions, RecoveryReport};
+pub use storage::{CrashKind, DiskStorage, FaultyStorage, IoFaultConfig, MemStorage, Storage};
+pub use wal::{GroupCommit, Op};

@@ -1,0 +1,651 @@
+//! The injectable byte-level storage backend.
+//!
+//! Everything the durability layer does — WAL appends, fsyncs, checkpoint
+//! temp-then-rename — goes through the [`Storage`] trait, so the same
+//! recovery code runs against a real directory ([`DiskStorage`]), an
+//! in-memory map ([`MemStorage`]), or a seeded fault injector
+//! ([`FaultyStorage`]) that models short writes, fsync failures, kill
+//! points, and the two crash semantics that matter for WAL design:
+//! process kill (appended bytes survive) and power loss (only synced
+//! bytes are guaranteed; the unsynced tail survives partially, possibly
+//! corrupted).
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read as _, Write as _};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A flat namespace of append-only-ish byte files.
+///
+/// Names are flat strings (no directories). All methods take `&self`;
+/// implementations are internally synchronized so one storage can be
+/// shared across threads behind an `Arc`.
+pub trait Storage: Send + Sync {
+    /// Full contents of `name`, or `None` if it does not exist.
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Append `bytes` to `name`, creating it if absent. A failed append
+    /// may leave a prefix of `bytes` behind (a short write) — callers
+    /// must tolerate or truncate the tear.
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Force `name`'s bytes to stable media. Only after a successful
+    /// sync may previously appended bytes be considered durable.
+    fn sync(&self, name: &str) -> io::Result<()>;
+
+    /// Shrink `name` to `len` bytes (no-op if already shorter).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Delete `name` (ok if absent).
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// All existing names, sorted.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+// ---------------------------------------------------------------------------
+// Disk
+// ---------------------------------------------------------------------------
+
+/// [`Storage`] over one real directory.
+///
+/// `sync` maps to `File::sync_all`; `rename` is `fs::rename` followed by a
+/// best-effort directory fsync so the new name itself is durable.
+#[derive(Debug)]
+pub struct DiskStorage {
+    root: PathBuf,
+}
+
+impl DiskStorage {
+    /// Open (creating if needed) the directory at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<DiskStorage> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DiskStorage { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn sync_dir(&self) {
+        // Directory fsync is what makes a rename durable on POSIX; other
+        // platforms may refuse to open a directory, so this is best-effort.
+        if let Ok(dir) = fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+impl Storage for DiskStorage {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match fs::File::open(self.path(name)) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(Some(buf))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.path(name))?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.path(name))?
+            .sync_all()
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(self.path(name))?;
+        if f.metadata()?.len() > len {
+            f.set_len(len)?;
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        fs::rename(self.path(from), self.path(to))?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+/// Fault-free in-memory [`Storage`] for tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    files: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemStorage {
+    /// An empty in-memory storage.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// Storage pre-seeded with the given files (e.g. a crash image
+    /// taken from [`FaultyStorage::crash`]).
+    pub fn from_map(files: HashMap<String, Vec<u8>>) -> MemStorage {
+        MemStorage {
+            files: Mutex::new(files),
+        }
+    }
+
+    /// A copy of every file's current bytes.
+    pub fn snapshot(&self) -> HashMap<String, Vec<u8>> {
+        self.files.lock().expect("mem storage poisoned").clone()
+    }
+}
+
+impl Storage for MemStorage {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .files
+            .lock()
+            .expect("mem storage poisoned")
+            .get(name)
+            .cloned())
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem storage poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem storage poisoned");
+        match files.get_mut(name) {
+            Some(data) => {
+                data.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem storage poisoned");
+        match files.remove(from) {
+            Some(data) => {
+                files.insert(to.to_string(), data);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, from.to_string())),
+        }
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem storage poisoned")
+            .remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names: Vec<String> = self
+            .files
+            .lock()
+            .expect("mem storage poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Faults
+// ---------------------------------------------------------------------------
+
+/// Seeded I/O fault schedule for [`FaultyStorage`].
+///
+/// Like `resilience::FaultPlan`, every decision is a pure function of the
+/// seed and the call index, so a failing matrix cell replays exactly from
+/// its seed. Rates are `(numerator, denominator)` per-call probabilities.
+#[derive(Debug, Clone)]
+pub struct IoFaultConfig {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Total appended bytes (across files) after which every append and
+    /// sync fails — models a process killed mid-write, with the partial
+    /// final write left behind as a torn record.
+    pub kill_at_byte: Option<u64>,
+    /// Per-sync failure probability.
+    pub fsync_fail_rate: (u32, u32),
+    /// Per-append probability of writing only a seeded prefix of the
+    /// buffer and then failing (a short write / torn record).
+    pub short_write_rate: (u32, u32),
+    /// Fail every rename — starves checkpoints while leaving the WAL
+    /// usable, forcing recovery down the replay-everything path.
+    pub fail_renames: bool,
+    /// On a [`CrashKind::PowerLoss`] crash, flip one bit inside the
+    /// surviving unsynced tail — models silent corruption of data that
+    /// was never acknowledged.
+    pub flip_bit_in_torn_tail: bool,
+}
+
+impl Default for IoFaultConfig {
+    fn default() -> Self {
+        IoFaultConfig {
+            seed: 0,
+            kill_at_byte: None,
+            fsync_fail_rate: (0, 1),
+            short_write_rate: (0, 1),
+            fail_renames: false,
+            flip_bit_in_torn_tail: false,
+        }
+    }
+}
+
+/// What kind of crash to simulate when taking a surviving-bytes image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashKind {
+    /// The process died but the OS lived: every appended byte survives
+    /// (the page cache is flushed eventually), including torn tails.
+    ProcessKill,
+    /// The machine lost power: synced prefixes are guaranteed; of the
+    /// unsynced tail, a seeded prefix survives, possibly with a flipped
+    /// bit when [`IoFaultConfig::flip_bit_in_torn_tail`] is set.
+    PowerLoss,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FaultyFile {
+    data: Vec<u8>,
+    synced_len: usize,
+}
+
+#[derive(Debug, Default)]
+struct FaultyInner {
+    files: HashMap<String, FaultyFile>,
+    appended_total: u64,
+    append_calls: u64,
+    sync_calls: u64,
+}
+
+/// [`Storage`] wrapper injecting seeded I/O faults.
+///
+/// The test harness drives a workload against it until writes start
+/// failing (or the workload ends), then calls [`FaultyStorage::crash`] to
+/// obtain the bytes a real disk would hold, reopens from that image, and
+/// checks the recovery invariants.
+#[derive(Debug, Default)]
+pub struct FaultyStorage {
+    cfg: IoFaultConfig,
+    inner: Mutex<FaultyInner>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn name_hash(name: &str) -> u64 {
+    // FNV-1a, enough to decorrelate per-file decisions.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn trips(seed: u64, stream: u64, call: u64, rate: (u32, u32)) -> bool {
+    let (num, den) = rate;
+    num > 0
+        && den > 0
+        && splitmix64(seed ^ stream.rotate_left(17) ^ call) % u64::from(den) < u64::from(num)
+}
+
+fn kill_err() -> io::Error {
+    io::Error::other("injected kill point reached")
+}
+
+impl FaultyStorage {
+    /// Empty storage with the given fault schedule.
+    pub fn new(cfg: IoFaultConfig) -> FaultyStorage {
+        FaultyStorage {
+            cfg,
+            inner: Mutex::new(FaultyInner::default()),
+        }
+    }
+
+    /// Storage pre-seeded with files (all considered synced), e.g. the
+    /// survivors of a previous crash.
+    pub fn from_map(files: HashMap<String, Vec<u8>>, cfg: IoFaultConfig) -> FaultyStorage {
+        let files = files
+            .into_iter()
+            .map(|(name, data)| {
+                let synced_len = data.len();
+                (name, FaultyFile { data, synced_len })
+            })
+            .collect();
+        FaultyStorage {
+            cfg,
+            inner: Mutex::new(FaultyInner {
+                files,
+                ..FaultyInner::default()
+            }),
+        }
+    }
+
+    /// The bytes a real disk would hold after a crash of the given kind.
+    /// Feed the image to [`MemStorage::from_map`] or
+    /// [`FaultyStorage::from_map`] and reopen to test recovery.
+    pub fn crash(&self, kind: CrashKind) -> HashMap<String, Vec<u8>> {
+        let inner = self.inner.lock().expect("faulty storage poisoned");
+        inner
+            .files
+            .iter()
+            .map(|(name, f)| {
+                let data = match kind {
+                    CrashKind::ProcessKill => f.data.clone(),
+                    CrashKind::PowerLoss => {
+                        let tail = f.data.len() - f.synced_len;
+                        let keep = if tail == 0 {
+                            0
+                        } else {
+                            (splitmix64(self.cfg.seed ^ name_hash(name)) % (tail as u64 + 1))
+                                as usize
+                        };
+                        let mut data = f.data[..f.synced_len + keep].to_vec();
+                        if self.cfg.flip_bit_in_torn_tail && keep > 0 {
+                            let at = f.synced_len
+                                + (splitmix64(self.cfg.seed ^ name_hash(name) ^ 0x51) as usize
+                                    % keep);
+                            let bit = splitmix64(self.cfg.seed ^ at as u64) % 8;
+                            data[at] ^= 1 << bit;
+                        }
+                        data
+                    }
+                };
+                (name.clone(), data)
+            })
+            .collect()
+    }
+
+    /// Flip one bit of `name` at `byte` in place — targeted silent
+    /// corruption for CRC tests.
+    pub fn corrupt(&self, name: &str, byte: usize) {
+        let mut inner = self.inner.lock().expect("faulty storage poisoned");
+        if let Some(f) = inner.files.get_mut(name) {
+            if byte < f.data.len() {
+                f.data[byte] ^= 1;
+            }
+        }
+    }
+
+    /// Total bytes appended so far (including torn prefixes).
+    pub fn appended_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("faulty storage poisoned")
+            .appended_total
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn read(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        let inner = self.inner.lock().expect("faulty storage poisoned");
+        Ok(inner.files.get(name).map(|f| f.data.clone()))
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("faulty storage poisoned");
+        let call = inner.append_calls;
+        inner.append_calls += 1;
+
+        // Kill point: writes at or past the byte budget fail; a write
+        // straddling it lands a torn prefix first, like a real kill -9.
+        if let Some(kill) = self.cfg.kill_at_byte {
+            if inner.appended_total >= kill {
+                return Err(kill_err());
+            }
+            let room = (kill - inner.appended_total) as usize;
+            if bytes.len() > room {
+                let file = inner.files.entry(name.to_string()).or_default();
+                file.data.extend_from_slice(&bytes[..room]);
+                inner.appended_total += room as u64;
+                return Err(kill_err());
+            }
+        }
+
+        if trips(
+            self.cfg.seed,
+            name_hash(name),
+            call,
+            self.cfg.short_write_rate,
+        ) {
+            let cut = if bytes.is_empty() {
+                0
+            } else {
+                (splitmix64(self.cfg.seed ^ call ^ 0xA5) as usize) % bytes.len()
+            };
+            let file = inner.files.entry(name.to_string()).or_default();
+            file.data.extend_from_slice(&bytes[..cut]);
+            inner.appended_total += cut as u64;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("injected short write ({cut} of {} bytes)", bytes.len()),
+            ));
+        }
+
+        let file = inner.files.entry(name.to_string()).or_default();
+        file.data.extend_from_slice(bytes);
+        inner.appended_total += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("faulty storage poisoned");
+        let call = inner.sync_calls;
+        inner.sync_calls += 1;
+        if let Some(kill) = self.cfg.kill_at_byte {
+            if inner.appended_total >= kill {
+                return Err(kill_err());
+            }
+        }
+        if trips(
+            self.cfg.seed ^ 0xF5,
+            name_hash(name),
+            call,
+            self.cfg.fsync_fail_rate,
+        ) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        if let Some(f) = inner.files.get_mut(name) {
+            f.synced_len = f.data.len();
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("faulty storage poisoned");
+        match inner.files.get_mut(name) {
+            Some(f) => {
+                f.data.truncate(len as usize);
+                f.synced_len = f.synced_len.min(f.data.len());
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, name.to_string())),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        if self.cfg.fail_renames {
+            return Err(io::Error::other("injected rename failure"));
+        }
+        let mut inner = self.inner.lock().expect("faulty storage poisoned");
+        match inner.files.remove(from) {
+            Some(f) => {
+                inner.files.insert(to.to_string(), f);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, from.to_string())),
+        }
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        let mut inner = self.inner.lock().expect("faulty storage poisoned");
+        inner.files.remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let inner = self.inner.lock().expect("faulty storage poisoned");
+        let mut names: Vec<String> = inner.files.keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trips() {
+        let s = MemStorage::new();
+        s.append("a", b"hel").unwrap();
+        s.append("a", b"lo").unwrap();
+        assert_eq!(s.read("a").unwrap().unwrap(), b"hello");
+        assert_eq!(s.read("missing").unwrap(), None);
+        s.truncate("a", 2).unwrap();
+        assert_eq!(s.read("a").unwrap().unwrap(), b"he");
+        s.rename("a", "b").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["b".to_string()]);
+        s.remove("b").unwrap();
+        assert!(s.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn disk_storage_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "llmkg-durable-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let s = DiskStorage::new(&dir).unwrap();
+        s.append("wal-0.log", b"abc").unwrap();
+        s.sync("wal-0.log").unwrap();
+        s.append("wal-0.log", b"def").unwrap();
+        assert_eq!(s.read("wal-0.log").unwrap().unwrap(), b"abcdef");
+        s.truncate("wal-0.log", 4).unwrap();
+        assert_eq!(s.read("wal-0.log").unwrap().unwrap(), b"abcd");
+        s.rename("wal-0.log", "wal-1.log").unwrap();
+        assert_eq!(s.list().unwrap(), vec!["wal-1.log".to_string()]);
+        s.remove("wal-1.log").unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_point_tears_the_straddling_write() {
+        let s = FaultyStorage::new(IoFaultConfig {
+            kill_at_byte: Some(5),
+            ..IoFaultConfig::default()
+        });
+        s.append("f", b"abc").unwrap();
+        // straddles the kill byte: 2 of 4 bytes land, then the error
+        assert!(s.append("f", b"defg").is_err());
+        assert_eq!(s.read("f").unwrap().unwrap(), b"abcde");
+        // everything after the kill point fails outright
+        assert!(s.append("f", b"x").is_err());
+        assert!(s.sync("f").is_err());
+    }
+
+    #[test]
+    fn power_loss_keeps_synced_prefix() {
+        let s = FaultyStorage::new(IoFaultConfig {
+            seed: 7,
+            ..IoFaultConfig::default()
+        });
+        s.append("f", b"durable!").unwrap();
+        s.sync("f").unwrap();
+        s.append("f", b"maybe-lost").unwrap();
+        let image = s.crash(CrashKind::PowerLoss);
+        let survived = &image["f"];
+        assert!(survived.len() >= 8, "synced prefix must survive");
+        assert_eq!(&survived[..8], b"durable!");
+        // process kill keeps everything
+        let full = s.crash(CrashKind::ProcessKill);
+        assert_eq!(full["f"], b"durable!maybe-lost");
+    }
+
+    #[test]
+    fn short_writes_are_seeded_and_deterministic() {
+        let run = |seed| {
+            let s = FaultyStorage::new(IoFaultConfig {
+                seed,
+                short_write_rate: (1, 3),
+                ..IoFaultConfig::default()
+            });
+            let mut errors = Vec::new();
+            for i in 0..30u8 {
+                errors.push(s.append("f", &[i; 16]).is_err());
+            }
+            (errors, s.read("f").unwrap().unwrap())
+        };
+        let (e1, d1) = run(42);
+        let (e2, d2) = run(42);
+        assert_eq!(e1, e2);
+        assert_eq!(d1, d2);
+        assert!(e1.iter().any(|&e| e), "rate 1/3 over 30 calls must trip");
+        assert!(e1.iter().any(|&e| !e));
+        let (e3, _) = run(43);
+        assert_ne!(e1, e3, "different seeds, different schedules");
+    }
+}

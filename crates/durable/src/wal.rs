@@ -1,0 +1,665 @@
+//! CRC-framed, length-prefixed write-ahead log of graph mutation batches.
+//!
+//! ## Record framing
+//!
+//! Every record is one mutation batch, framed as:
+//!
+//! ```text
+//! +-------------+-------------+-------------+------------------+
+//! | magic  u32  | len    u32  | crc32  u32  | payload (len B)  |
+//! +-------------+-------------+-------------+------------------+
+//! ```
+//!
+//! all little-endian. `crc32` covers the payload only; `magic`
+//! ([`RECORD_MAGIC`]) guards against replaying mid-record garbage after a
+//! tear. The payload is `op_count: u32` followed by that many [`Op`]s;
+//! terms are tag-prefixed, strings length-prefixed (see `encode_term`).
+//!
+//! ## Replay contract
+//!
+//! [`read_wal`] scans records in order and stops at the first frame that
+//! is incomplete, has a bad magic, an oversized length, a CRC mismatch,
+//! or an undecodable payload — everything before the bad frame is
+//! returned, everything after is reported as truncated. Replay therefore
+//! applies a **prefix of whole batches**: a torn batch never half-applies.
+//!
+//! ## Group commit
+//!
+//! [`WalWriter`] appends frames and defers fsync until the
+//! [`GroupCommit`] window fills (N batches or B bytes, whichever first).
+//! Only batches covered by a successful fsync are *acknowledged*; the
+//! caller treats everything since the last sync as in flight.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Instant;
+
+use kg::term::Literal;
+use kg::{Graph, Term};
+use obs::Registry;
+
+use crate::storage::Storage;
+
+/// Frame prefix guarding record boundaries ("WALR").
+pub const RECORD_MAGIC: u32 = 0x5741_4C52;
+
+/// Upper bound on a single record payload; anything larger in a header is
+/// treated as corruption, not an allocation request.
+pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+const FRAME_HEADER_BYTES: usize = 12;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected) — table built at compile time.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Ops and their codec
+// ---------------------------------------------------------------------------
+
+/// One logged graph mutation. Batches of these are the unit of
+/// atomicity: recovery applies whole batches or nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the triple (no-op if present).
+    Insert(Term, Term, Term),
+    /// Remove the triple (no-op if absent).
+    Remove(Term, Term, Term),
+}
+
+impl Op {
+    /// Apply to a graph, returning whether it changed anything. Inserts
+    /// intern their terms in op order, which is what makes replay
+    /// reproduce the original `Sym` assignment bit-for-bit.
+    pub fn apply(&self, g: &mut Graph) -> bool {
+        match self {
+            Op::Insert(s, p, o) => {
+                let (s, p, o) = (
+                    g.intern(s.clone()),
+                    g.intern(p.clone()),
+                    g.intern(o.clone()),
+                );
+                g.insert(s, p, o)
+            }
+            Op::Remove(s, p, o) => {
+                let syms = {
+                    let pool = g.pool();
+                    (pool.get(s), pool.get(p), pool.get(o))
+                };
+                match syms {
+                    (Some(s), Some(p), Some(o)) => g.remove(s, p, o),
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode one term (tag byte + length-prefixed strings). Shared with the
+/// checkpoint body encoder so both formats speak the same term codec.
+pub(crate) fn encode_term_into(out: &mut Vec<u8>, t: &Term) {
+    match t {
+        Term::Iri(s) => {
+            out.push(0);
+            put_str(out, s);
+        }
+        Term::Literal(l) => match (&l.datatype, &l.language) {
+            (None, None) => {
+                out.push(1);
+                put_str(out, &l.lexical);
+            }
+            (Some(dt), _) => {
+                out.push(2);
+                put_str(out, &l.lexical);
+                put_str(out, dt);
+            }
+            (None, Some(tag)) => {
+                out.push(3);
+                put_str(out, &l.lexical);
+                put_str(out, tag);
+            }
+        },
+        Term::Blank(b) => {
+            out.push(4);
+            put_str(out, b);
+        }
+    }
+}
+
+/// Byte-slice reader; every accessor returns `None` past the end, which
+/// the replay loop treats as corruption. Shared with the checkpoint
+/// decoder.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, at: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.buf.get(self.at..self.at + len)?;
+        self.at += len;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    pub(crate) fn term(&mut self) -> Option<Term> {
+        Some(match self.u8()? {
+            0 => Term::Iri(self.str()?),
+            1 => Term::Literal(Literal::string(self.str()?)),
+            2 => {
+                let lexical = self.str()?;
+                let dt = self.str()?;
+                Term::Literal(Literal {
+                    lexical,
+                    datatype: Some(dt),
+                    language: None,
+                })
+            }
+            3 => {
+                let lexical = self.str()?;
+                let tag = self.str()?;
+                Term::Literal(Literal::lang(lexical, tag))
+            }
+            4 => Term::Blank(self.str()?),
+            _ => return None,
+        })
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+/// Encode a batch payload (no frame).
+pub fn encode_batch(ops: &[Op]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + ops.len() * 48);
+    put_u32(&mut out, ops.len() as u32);
+    for op in ops {
+        let (tag, s, p, o) = match op {
+            Op::Insert(s, p, o) => (0u8, s, p, o),
+            Op::Remove(s, p, o) => (1u8, s, p, o),
+        };
+        out.push(tag);
+        encode_term_into(&mut out, s);
+        encode_term_into(&mut out, p);
+        encode_term_into(&mut out, o);
+    }
+    out
+}
+
+/// Decode a batch payload; `None` on any malformation (trailing bytes
+/// included — a payload must parse exactly).
+pub fn decode_batch(payload: &[u8]) -> Option<Vec<Op>> {
+    let mut r = ByteReader::new(payload);
+    let count = r.u32()? as usize;
+    if count > payload.len() {
+        // each op needs well over one byte; cheap sanity bound
+        return None;
+    }
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = r.u8()?;
+        let s = r.term()?;
+        let p = r.term()?;
+        let o = r.term()?;
+        ops.push(match tag {
+            0 => Op::Insert(s, p, o),
+            1 => Op::Remove(s, p, o),
+            _ => return None,
+        });
+    }
+    r.done().then_some(ops)
+}
+
+/// Wrap a payload in the `magic | len | crc | payload` frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    put_u32(&mut out, RECORD_MAGIC);
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// Result of scanning one WAL file.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Whole, CRC-valid batches in append order.
+    pub batches: Vec<Vec<Op>>,
+    /// Byte length of the valid prefix; the caller truncates the file
+    /// here before appending again.
+    pub bytes_valid: u64,
+    /// Whether anything invalid followed the valid prefix.
+    pub truncated: bool,
+}
+
+/// Scan the WAL file `name`, returning every whole valid batch and the
+/// length of the valid prefix. A missing file is an empty, untruncated
+/// replay. Never panics on any byte sequence.
+pub fn read_wal(storage: &dyn Storage, name: &str) -> io::Result<WalReplay> {
+    let Some(buf) = storage.read(name)? else {
+        return Ok(WalReplay::default());
+    };
+    Ok(scan(&buf))
+}
+
+/// Scan an in-memory WAL image (the pure core of [`read_wal`]).
+pub fn scan(buf: &[u8]) -> WalReplay {
+    let mut replay = WalReplay::default();
+    let mut at = 0usize;
+    loop {
+        let Some(header) = buf.get(at..at + FRAME_HEADER_BYTES) else {
+            replay.truncated = at < buf.len();
+            break;
+        };
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if magic != RECORD_MAGIC || len > MAX_RECORD_BYTES {
+            replay.truncated = true;
+            break;
+        }
+        let start = at + FRAME_HEADER_BYTES;
+        let Some(payload) = buf.get(start..start + len as usize) else {
+            replay.truncated = true;
+            break;
+        };
+        if crc32(payload) != crc {
+            replay.truncated = true;
+            break;
+        }
+        let Some(ops) = decode_batch(payload) else {
+            replay.truncated = true;
+            break;
+        };
+        replay.batches.push(ops);
+        at = start + len as usize;
+        replay.bytes_valid = at as u64;
+    }
+    replay
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Fsync batching policy: sync when either threshold is reached. The
+/// default (`max_batches: 1`) syncs every append — ack == durable, the
+/// policy the serve ingest path uses.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommit {
+    /// Sync after this many unsynced batches (0 behaves as 1).
+    pub max_batches: usize,
+    /// Sync once this many unsynced bytes accumulate (0 = no byte
+    /// threshold).
+    pub max_bytes: u64,
+}
+
+impl Default for GroupCommit {
+    fn default() -> Self {
+        GroupCommit {
+            max_batches: 1,
+            max_bytes: 0,
+        }
+    }
+}
+
+impl GroupCommit {
+    /// Sync every `n` batches.
+    pub fn every(n: usize) -> GroupCommit {
+        GroupCommit {
+            max_batches: n.max(1),
+            max_bytes: 0,
+        }
+    }
+}
+
+/// Appends framed batches to one WAL file with group commit.
+///
+/// Tracks the length of the last known-good record boundary; if an append
+/// fails midway (short write), the writer truncates the file back to that
+/// boundary so the log never carries an interior tear. If even the
+/// truncation fails, the writer poisons itself and every later append
+/// reports the storage as broken.
+pub struct WalWriter {
+    storage: Arc<dyn Storage>,
+    name: String,
+    commit: GroupCommit,
+    /// Bytes of whole records successfully appended.
+    len: u64,
+    appended_batches: u64,
+    acked_batches: u64,
+    pending_batches: usize,
+    pending_bytes: u64,
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("name", &self.name)
+            .field("len", &self.len)
+            .field("appended_batches", &self.appended_batches)
+            .field("acked_batches", &self.acked_batches)
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl WalWriter {
+    /// Writer over `name`, resuming at `len` bytes / `batches` records
+    /// already in the file (both 0 for a fresh segment). The resumed
+    /// bytes are treated as synced.
+    pub fn resume(
+        storage: Arc<dyn Storage>,
+        name: impl Into<String>,
+        commit: GroupCommit,
+        len: u64,
+        batches: u64,
+    ) -> WalWriter {
+        WalWriter {
+            storage,
+            name: name.into(),
+            commit,
+            len,
+            appended_batches: batches,
+            acked_batches: batches,
+            pending_batches: 0,
+            pending_bytes: 0,
+            poisoned: false,
+        }
+    }
+
+    /// The WAL file name this writer appends to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bytes of whole records in the file.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Batches known durable (covered by a successful sync).
+    pub fn acked_batches(&self) -> u64 {
+        self.acked_batches
+    }
+
+    /// Batches appended, acked or not.
+    pub fn appended_batches(&self) -> u64 {
+        self.appended_batches
+    }
+
+    /// Whether a failed tear-repair has made this writer unusable.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Switch to a fresh (empty) segment file after a checkpoint.
+    pub fn rotate(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+        self.len = 0;
+        self.appended_batches = 0;
+        self.acked_batches = 0;
+        self.pending_batches = 0;
+        self.pending_bytes = 0;
+    }
+
+    /// Append one batch as a whole record, without syncing. On error the
+    /// record did **not** land (any torn prefix was truncated away); on
+    /// success it is in the file but not yet durable — check
+    /// [`WalWriter::window_full`] and call [`WalWriter::sync`] to close
+    /// the group-commit window.
+    pub fn append(&mut self, ops: &[Op], reg: &Registry) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "wal writer poisoned by an unrepairable torn append",
+            ));
+        }
+        let bytes = frame(&encode_batch(ops));
+        if let Err(e) = self.storage.append(&self.name, &bytes) {
+            reg.incr("wal.io_errors", 1);
+            // Repair the tear so the next append starts on a record
+            // boundary; failure to repair poisons the writer.
+            if self.storage.truncate(&self.name, self.len).is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.len += bytes.len() as u64;
+        self.appended_batches += 1;
+        self.pending_batches += 1;
+        self.pending_bytes += bytes.len() as u64;
+        reg.incr("wal.appends", 1);
+        reg.incr("wal.bytes", bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Whether the group-commit window is full and a sync is due.
+    pub fn window_full(&self) -> bool {
+        self.pending_batches >= self.commit.max_batches.max(1)
+            || (self.commit.max_bytes > 0 && self.pending_bytes >= self.commit.max_bytes)
+    }
+
+    /// Fsync the file, acknowledging every appended batch.
+    pub fn sync(&mut self, reg: &Registry) -> io::Result<()> {
+        if self.pending_batches == 0 {
+            return Ok(());
+        }
+        let start = Instant::now();
+        match self.storage.sync(&self.name) {
+            Ok(()) => {
+                reg.incr("wal.fsyncs", 1);
+                reg.observe("wal.fsync_us", start.elapsed().as_micros() as f64);
+                self.acked_batches = self.appended_batches;
+                self.pending_batches = 0;
+                self.pending_bytes = 0;
+                Ok(())
+            }
+            Err(e) => {
+                reg.incr("wal.io_errors", 1);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+
+    fn t(i: u32) -> Term {
+        Term::iri(format!("http://ex.org/{i}"))
+    }
+
+    fn batch(n: u32) -> Vec<Op> {
+        (0..n)
+            .map(|i| Op::Insert(t(i), t(100 + i), t(200 + i)))
+            .collect()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check value for "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn batch_codec_round_trips_every_term_shape() {
+        let ops = vec![
+            Op::Insert(
+                Term::iri("http://ex.org/s"),
+                Term::iri("http://ex.org/p"),
+                Term::lit("plain"),
+            ),
+            Op::Insert(
+                Term::Blank("b0".into()),
+                Term::iri("http://ex.org/p"),
+                Term::Literal(Literal::integer(42)),
+            ),
+            Op::Remove(
+                Term::iri("http://ex.org/s"),
+                Term::iri("http://ex.org/p"),
+                Term::Literal(Literal::lang("hallo", "de")),
+            ),
+        ];
+        let payload = encode_batch(&ops);
+        assert_eq!(decode_batch(&payload).unwrap(), ops);
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_and_bad_tags() {
+        let mut payload = encode_batch(&batch(2));
+        payload.push(0);
+        assert!(decode_batch(&payload).is_none());
+        let mut bad_tag = encode_batch(&batch(1));
+        bad_tag[4] = 9; // op tag byte
+        assert!(decode_batch(&bad_tag).is_none());
+    }
+
+    #[test]
+    fn writer_groups_fsyncs_and_replay_returns_batches() {
+        let storage = Arc::new(MemStorage::new());
+        let reg = Registry::new();
+        let mut w = WalWriter::resume(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            "wal-0.log",
+            GroupCommit::every(3),
+            0,
+            0,
+        );
+        w.append(&batch(2), &reg).unwrap();
+        assert!(!w.window_full());
+        w.append(&batch(1), &reg).unwrap();
+        assert_eq!(w.acked_batches(), 0);
+        w.append(&batch(3), &reg).unwrap();
+        assert!(w.window_full());
+        w.sync(&reg).unwrap();
+        assert_eq!(w.acked_batches(), 3);
+        assert_eq!(reg.counter("wal.fsyncs"), 1);
+        assert_eq!(reg.counter("wal.appends"), 3);
+
+        let replay = read_wal(storage.as_ref(), "wal-0.log").unwrap();
+        assert!(!replay.truncated);
+        assert_eq!(replay.batches.len(), 3);
+        assert_eq!(replay.batches[0], batch(2));
+        assert_eq!(replay.bytes_valid, w.len());
+    }
+
+    #[test]
+    fn replay_truncates_at_torn_tail_and_flipped_bits() {
+        let storage = MemStorage::new();
+        // build two valid frames + a torn third by hand
+        let f1 = frame(&encode_batch(&batch(2)));
+        let f2 = frame(&encode_batch(&batch(4)));
+        let f3 = frame(&encode_batch(&batch(1)));
+        storage.append("w", &f1).unwrap();
+        storage.append("w", &f2).unwrap();
+        storage.append("w", &f3[..f3.len() - 3]).unwrap();
+        let replay = read_wal(&storage, "w").unwrap();
+        assert!(replay.truncated);
+        assert_eq!(replay.batches.len(), 2);
+        assert_eq!(replay.bytes_valid, (f1.len() + f2.len()) as u64);
+
+        // a flipped payload bit in frame 2 truncates after frame 1
+        let mut buf = storage.read("w").unwrap().unwrap();
+        buf[f1.len() + FRAME_HEADER_BYTES + 2] ^= 0x10;
+        let replay = scan(&buf);
+        assert!(replay.truncated);
+        assert_eq!(replay.batches.len(), 1);
+        assert_eq!(replay.bytes_valid, f1.len() as u64);
+    }
+
+    #[test]
+    fn scan_never_panics_on_garbage() {
+        for seed in 0..50u8 {
+            let buf: Vec<u8> = (0..97)
+                .map(|i| seed.wrapping_mul(31).wrapping_add(i))
+                .collect();
+            let _ = scan(&buf);
+        }
+        assert_eq!(scan(&[]).batches.len(), 0);
+        assert!(!scan(&[]).truncated);
+    }
+
+    #[test]
+    fn apply_insert_then_remove_round_trips() {
+        let mut g = Graph::new();
+        assert!(Op::Insert(t(1), t(2), t(3)).apply(&mut g));
+        assert!(!Op::Insert(t(1), t(2), t(3)).apply(&mut g));
+        assert_eq!(g.len(), 1);
+        assert!(Op::Remove(t(1), t(2), t(3)).apply(&mut g));
+        assert!(!Op::Remove(t(1), t(2), t(3)).apply(&mut g));
+        // removing terms the pool has never seen must not intern them
+        let pool_before = g.pool().len();
+        assert!(!Op::Remove(t(9), t(9), t(9)).apply(&mut g));
+        assert_eq!(g.pool().len(), pool_before);
+    }
+}

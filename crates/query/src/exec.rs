@@ -2661,8 +2661,10 @@ mod tests {
     fn cancel_token_stops_execution() {
         let g = graph();
         let cancel = resilience::CancelToken::new();
-        let mut opts = ExecOptions::default();
-        opts.cancel = Some(cancel.clone());
+        let opts = ExecOptions {
+            cancel: Some(cancel.clone()),
+            ..Default::default()
+        };
         cancel.cancel();
         let q = parse("SELECT ?x WHERE { ?x ?p ?y } ORDER BY ?x").unwrap();
         match execute_with(&g, &q, &opts) {

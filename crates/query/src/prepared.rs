@@ -278,9 +278,34 @@ pub struct PlanCacheStats {
     pub entries: usize,
 }
 
+impl PlanCacheStats {
+    /// Hit rate over every lookup that consulted the cache — the
+    /// "warmth" gauge the serve `stats` reply surfaces. `0.0` before any
+    /// traffic; invalidations count against warmth (a stale plan did
+    /// not save the compile).
+    pub fn warmth(&self) -> f64 {
+        let total = self.hits + self.misses + self.invalidations;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One resident plan plus its second-chance bit.
+struct CacheEntry {
+    plan: Arc<PreparedQuery>,
+    /// Set on every hit; the eviction hand clears it and grants one more
+    /// round instead of evicting, so hot templates survive cold churn.
+    referenced: bool,
+}
+
 struct CacheInner {
-    map: HashMap<String, Arc<PreparedQuery>>,
-    /// Insertion order for FIFO eviction.
+    map: HashMap<String, CacheEntry>,
+    /// Clock queue for second-chance eviction: candidates pop from the
+    /// front; a referenced candidate is unmarked and requeued, an
+    /// unreferenced one is evicted.
     order: VecDeque<String>,
     /// Raw-text memo: exact request text (plus parameter signature) →
     /// canonical normalized key. Serving workloads repeat byte-identical
@@ -325,7 +350,8 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    /// An empty cache holding at most `capacity` entries (FIFO eviction).
+    /// An empty cache holding at most `capacity` entries (second-chance
+    /// eviction: hot entries survive cold-query churn).
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
             inner: Mutex::new(CacheInner {
@@ -371,12 +397,13 @@ impl PlanCache {
         // resend the exact same text.
         let raw_key = raw_memo_key(text, params);
         {
-            let inner = self.inner.lock().expect("plan cache lock");
-            if let Some(key) = inner.raw.get(raw_key.as_ref()) {
-                if let Some(entry) = inner.map.get(key) {
-                    if entry.is_current(graph) {
+            let mut inner = self.inner.lock().expect("plan cache lock");
+            if let Some(key) = inner.raw.get(raw_key.as_ref()).cloned() {
+                if let Some(entry) = inner.map.get_mut(&key) {
+                    if entry.plan.is_current(graph) {
+                        entry.referenced = true;
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok((Arc::clone(entry), CacheOutcome::Hit));
+                        return Ok((Arc::clone(&entry.plan), CacheOutcome::Hit));
                     }
                 }
             }
@@ -385,10 +412,11 @@ impl PlanCache {
         let stale = {
             let mut inner = self.inner.lock().expect("plan cache lock");
             self.memoize_raw(&mut inner, raw_key.as_ref(), &key);
-            match inner.map.get(&key) {
-                Some(entry) if entry.is_current(graph) => {
+            match inner.map.get_mut(&key) {
+                Some(entry) if entry.plan.is_current(graph) => {
+                    entry.referenced = true;
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((Arc::clone(entry), CacheOutcome::Hit));
+                    return Ok((Arc::clone(&entry.plan), CacheOutcome::Hit));
                 }
                 Some(_) => true,
                 None => false,
@@ -407,14 +435,37 @@ impl PlanCache {
             CacheOutcome::Miss
         };
         if !inner.map.contains_key(&key) {
-            while inner.order.len() >= self.capacity {
-                if let Some(evicted) = inner.order.pop_front() {
-                    inner.map.remove(&evicted);
+            // Second-chance eviction: a candidate whose referenced bit is
+            // set since it was last considered gets the bit cleared and
+            // one more lap instead of eviction. Bounded: each lap clears
+            // bits, so after at most one full cycle a victim exists.
+            while inner.map.len() >= self.capacity {
+                let Some(victim) = inner.order.pop_front() else {
+                    break;
+                };
+                match inner.map.get_mut(&victim) {
+                    Some(entry) if entry.referenced => {
+                        entry.referenced = false;
+                        inner.order.push_back(victim);
+                    }
+                    Some(_) => {
+                        inner.map.remove(&victim);
+                    }
+                    // dangling queue entry for an already-removed key
+                    None => {}
                 }
             }
             inner.order.push_back(key.clone());
         }
-        inner.map.insert(key, Arc::clone(&prepared));
+        // new and recompiled entries start cold: they must be hit again
+        // to earn a second chance
+        inner.map.insert(
+            key,
+            CacheEntry {
+                plan: Arc::clone(&prepared),
+                referenced: false,
+            },
+        );
         Ok((prepared, outcome))
     }
 
@@ -687,21 +738,58 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction_respects_capacity() {
+    fn second_chance_eviction_spares_hot_entries() {
         let g = movie_graph();
         let cache = PlanCache::new(2);
-        let qs = [
-            "SELECT ?x WHERE { ?x <http://v/a> ?y }",
-            "SELECT ?x WHERE { ?x <http://v/b> ?y }",
-            "SELECT ?x WHERE { ?x <http://v/c> ?y }",
-        ];
-        for q in &qs {
-            cache.prepare(&g, q).unwrap();
+        let qa = "SELECT ?x WHERE { ?x <http://v/a> ?y }";
+        let qb = "SELECT ?x WHERE { ?x <http://v/b> ?y }";
+        let qc = "SELECT ?x WHERE { ?x <http://v/c> ?y }";
+        cache.prepare(&g, qa).unwrap();
+        cache.prepare(&g, qb).unwrap();
+        // hit A: its referenced bit now grants one second chance
+        let (_, o) = cache.prepare(&g, qa).unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+        // inserting C must evict B (A is oldest but referenced: the hand
+        // clears its bit and requeues it; B, unreferenced, is the victim)
+        cache.prepare(&g, qc).unwrap();
+        assert_eq!(cache.len(), 2);
+        let (_, oa) = cache.prepare(&g, qa).unwrap();
+        assert_eq!(oa, CacheOutcome::Hit, "hot entry survived the churn");
+        let (_, ob) = cache.prepare(&g, qb).unwrap();
+        assert_eq!(ob, CacheOutcome::Miss, "cold entry was evicted");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn eviction_respects_capacity_under_cold_churn() {
+        let g = movie_graph();
+        let cache = PlanCache::new(2);
+        // never-rehit entries degrade to FIFO: oldest goes first
+        for p in ["a", "b", "c", "d"] {
+            cache
+                .prepare(&g, &format!("SELECT ?x WHERE {{ ?x <http://v/{p}> ?y }}"))
+                .unwrap();
+            assert!(cache.len() <= 2);
         }
         assert_eq!(cache.len(), 2);
-        // the oldest entry was evicted: preparing it again is a miss
-        let (_, o) = cache.prepare(&g, qs[0]).unwrap();
+        let (_, o) = cache
+            .prepare(&g, "SELECT ?x WHERE { ?x <http://v/a> ?y }")
+            .unwrap();
         assert_eq!(o, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn warmth_tracks_hit_rate() {
+        let g = movie_graph();
+        let cache = PlanCache::default();
+        assert_eq!(cache.stats().warmth(), 0.0);
+        let q = "SELECT ?x WHERE { ?x <http://v/directedBy> ?y }";
+        cache.prepare(&g, q).unwrap(); // miss
+        cache.prepare(&g, q).unwrap(); // hit
+        cache.prepare(&g, q).unwrap(); // hit
+        cache.prepare(&g, q).unwrap(); // hit
+        let w = cache.stats().warmth();
+        assert!((w - 0.75).abs() < 1e-9, "warmth {w}");
     }
 
     #[test]

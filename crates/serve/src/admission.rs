@@ -10,12 +10,22 @@
 //! * depth = `queue_capacity` — **shed**: the job is handed straight back
 //!   to the caller, who must still write a well-formed apology reply.
 //!
+//! On top of the global watermarks, [`submit_keyed`] enforces a
+//! **per-key occupancy cap** (`per_tenant_cap`): one tenant class may
+//! hold at most that many queued slots at once, so a free-tier flood
+//! fills its own allowance and is shed with
+//! [`ShedReason::TenantCap`] while the rest of the queue stays
+//! available to other tenants. The cap counts *queued* jobs — a slot is
+//! released the moment a worker dequeues the job.
+//!
 //! Shedding returns the job instead of an error so the caller cannot
 //! forget it holds a client that is owed an answer — under overload the
 //! protocol degrades, it never drops connections or emits protocol
 //! errors.
+//!
+//! [`submit_keyed`]: AdmissionController::submit_keyed
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
 /// The admission verdict attached to an accepted job.
@@ -38,6 +48,28 @@ impl Grade {
     }
 }
 
+/// Why a submission was handed back instead of queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The global queue is at capacity.
+    QueueFull,
+    /// The submitting key already holds `per_tenant_cap` queued slots.
+    TenantCap,
+    /// The controller has been closed (shutdown in progress).
+    Closed,
+}
+
+impl ShedReason {
+    /// Stable label used in replies and counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::TenantCap => "tenant_cap",
+            ShedReason::Closed => "closed",
+        }
+    }
+}
+
 /// Watermarks for the bounded queue.
 #[derive(Debug, Clone, Copy)]
 pub struct AdmissionPolicy {
@@ -45,6 +77,10 @@ pub struct AdmissionPolicy {
     pub queue_capacity: usize,
     /// Depth at and above which admitted work is [`Grade::Degraded`].
     pub degrade_depth: usize,
+    /// Most queued slots one key may hold at once
+    /// ([`AdmissionController::submit_keyed`]); unkeyed submissions are
+    /// exempt. Clamped into `1..=queue_capacity`.
+    pub per_tenant_cap: usize,
 }
 
 impl Default for AdmissionPolicy {
@@ -52,12 +88,17 @@ impl Default for AdmissionPolicy {
         AdmissionPolicy {
             queue_capacity: 64,
             degrade_depth: 16,
+            // a quarter of the queue: one tenant class can saturate its
+            // own allowance without starving the other three quarters
+            per_tenant_cap: 16,
         }
     }
 }
 
 struct Queue<T> {
-    jobs: VecDeque<(T, Grade)>,
+    jobs: VecDeque<(T, Grade, Option<String>)>,
+    /// Queued-slot count per submission key; entries are removed at zero.
+    held: HashMap<String, usize>,
     closed: bool,
 }
 
@@ -81,10 +122,12 @@ impl<T> AdmissionController<T> {
         let policy = AdmissionPolicy {
             queue_capacity: capacity,
             degrade_depth: policy.degrade_depth.clamp(1, capacity),
+            per_tenant_cap: policy.per_tenant_cap.clamp(1, capacity),
         };
         AdmissionController {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
+                held: HashMap::new(),
                 closed: false,
             }),
             wake: Condvar::new(),
@@ -97,20 +140,43 @@ impl<T> AdmissionController<T> {
         self.policy
     }
 
-    /// Try to enqueue a job. Returns the admission grade, or the job
-    /// back when the queue is full (shed) or the controller is closed —
-    /// either way the caller still owes the client a reply.
+    /// Try to enqueue a job with no per-tenant accounting. Returns the
+    /// admission grade, or the job back when the queue is full (shed) or
+    /// the controller is closed — either way the caller still owes the
+    /// client a reply.
     pub fn submit(&self, job: T) -> Result<Grade, T> {
+        self.submit_inner(job, None).map_err(|(job, _)| job)
+    }
+
+    /// Try to enqueue a job charged against `key`'s queued-slot
+    /// allowance (`per_tenant_cap`). On shed the job comes back with the
+    /// [`ShedReason`], so the apology reply can say *why* — a
+    /// `tenant_cap` shed under a half-empty queue is the fairness valve
+    /// working, not overload.
+    pub fn submit_keyed(&self, job: T, key: &str) -> Result<Grade, (T, ShedReason)> {
+        self.submit_inner(job, Some(key))
+    }
+
+    fn submit_inner(&self, job: T, key: Option<&str>) -> Result<Grade, (T, ShedReason)> {
         let mut q = self.queue.lock().unwrap();
-        if q.closed || q.jobs.len() >= self.policy.queue_capacity {
-            return Err(job);
+        if q.closed {
+            return Err((job, ShedReason::Closed));
+        }
+        if q.jobs.len() >= self.policy.queue_capacity {
+            return Err((job, ShedReason::QueueFull));
+        }
+        if let Some(key) = key {
+            if q.held.get(key).copied().unwrap_or(0) >= self.policy.per_tenant_cap {
+                return Err((job, ShedReason::TenantCap));
+            }
+            *q.held.entry(key.to_string()).or_insert(0) += 1;
         }
         let grade = if q.jobs.len() >= self.policy.degrade_depth {
             Grade::Degraded
         } else {
             Grade::Normal
         };
-        q.jobs.push_back((job, grade));
+        q.jobs.push_back((job, grade, key.map(str::to_string)));
         drop(q);
         self.wake.notify_one();
         Ok(grade)
@@ -118,12 +184,21 @@ impl<T> AdmissionController<T> {
 
     /// Block until a job is available (FIFO) or the controller closes.
     /// Jobs come back with the grade they were admitted at. `None` means
-    /// closed *and* drained: the worker should exit.
+    /// closed *and* drained: the worker should exit. Dequeuing releases
+    /// the job's per-tenant queued slot.
     pub fn next(&self) -> Option<(T, Grade)> {
         let mut q = self.queue.lock().unwrap();
         loop {
-            if let Some(job) = q.jobs.pop_front() {
-                return Some(job);
+            if let Some((job, grade, key)) = q.jobs.pop_front() {
+                if let Some(key) = key {
+                    if let Some(held) = q.held.get_mut(&key) {
+                        *held -= 1;
+                        if *held == 0 {
+                            q.held.remove(&key);
+                        }
+                    }
+                }
+                return Some((job, grade));
             }
             if q.closed {
                 return None;
@@ -153,6 +228,7 @@ mod tests {
         AdmissionController::new(AdmissionPolicy {
             queue_capacity: capacity,
             degrade_depth: degrade,
+            ..AdmissionPolicy::default()
         })
     }
 
@@ -202,9 +278,47 @@ mod tests {
         let c = controller(0, 0);
         assert_eq!(c.policy().queue_capacity, 1);
         assert_eq!(c.policy().degrade_depth, 1);
+        assert_eq!(c.policy().per_tenant_cap, 1);
         assert_eq!(c.submit(1), Ok(Grade::Normal));
         assert_eq!(c.submit(2), Err(2));
         let wide = controller(4, 100);
         assert_eq!(wide.policy().degrade_depth, 4);
+        assert_eq!(wide.policy().per_tenant_cap, 4, "cap clamped to capacity");
+    }
+
+    #[test]
+    fn tenant_cap_sheds_the_flooder_not_the_queue() {
+        let c = AdmissionController::new(AdmissionPolicy {
+            queue_capacity: 8,
+            degrade_depth: 8,
+            per_tenant_cap: 2,
+        });
+        // "free" fills its allowance, then is shed with TenantCap while
+        // the global queue still has six slots free
+        assert_eq!(c.submit_keyed(0, "free"), Ok(Grade::Normal));
+        assert_eq!(c.submit_keyed(1, "free"), Ok(Grade::Normal));
+        assert_eq!(c.submit_keyed(2, "free"), Err((2, ShedReason::TenantCap)));
+        assert_eq!(c.depth(), 2);
+        // another key is unaffected
+        assert_eq!(c.submit_keyed(3, "pro"), Ok(Grade::Normal));
+        // dequeuing a "free" job releases one slot for that key
+        assert_eq!(c.next(), Some((0, Grade::Normal)));
+        assert_eq!(c.submit_keyed(4, "free"), Ok(Grade::Normal));
+        assert_eq!(c.submit_keyed(5, "free"), Err((5, ShedReason::TenantCap)));
+    }
+
+    #[test]
+    fn keyed_sheds_report_queue_full_and_closed() {
+        let c = AdmissionController::new(AdmissionPolicy {
+            queue_capacity: 2,
+            degrade_depth: 2,
+            per_tenant_cap: 2,
+        });
+        assert_eq!(c.submit_keyed(0, "a"), Ok(Grade::Normal));
+        assert_eq!(c.submit_keyed(1, "b"), Ok(Grade::Normal));
+        // capacity, not the per-key cap, is the binding constraint here
+        assert_eq!(c.submit_keyed(2, "c"), Err((2, ShedReason::QueueFull)));
+        c.close();
+        assert_eq!(c.submit_keyed(3, "a"), Err((3, ShedReason::Closed)));
     }
 }

@@ -17,9 +17,11 @@
 //! replies; only malformed client input (bad JSON, bad SPARQL) produces
 //! `ok: false`.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use durable::{DurableGraph, Op};
 use kgquery::exec::ExecOptions;
 use kgquery::{CacheOutcome, PlanCache, QueryError, ResultSet};
 use kgrag::{RagMode, RagPipeline};
@@ -47,6 +49,21 @@ pub const SHED_APOLOGY: &str =
 /// The apology text served when the client went away mid-request.
 const CANCELLED_APOLOGY: &str = "Request cancelled by the caller before it could run.";
 
+/// The reply text for ingest requests while the durable store is in
+/// read-only degrade (a persistent I/O error was observed).
+pub const READ_ONLY_APOLOGY: &str =
+    "The durable store hit a persistent I/O error and is read-only; \
+     queries still work, writes are refused until the operator intervenes.";
+
+/// The server's durable write side: the WAL-backed graph behind a lock
+/// (ingest is rare next to reads; one writer at a time keeps ack
+/// ordering trivial) plus the sticky read-only latch that trips on the
+/// first persistent I/O error.
+struct DurableState {
+    store: Mutex<DurableGraph>,
+    read_only: AtomicBool,
+}
+
 /// The shared scenario engine. One per server; `&Engine` is handed to
 /// every worker thread (see the crate-level `Send + Sync` assertions).
 pub struct Engine<'a> {
@@ -58,6 +75,8 @@ pub struct Engine<'a> {
     /// tenant's hot plans. Cache traffic lands on the `plan_cache.*`
     /// counters and therefore in every stats reply.
     plan_caches: [Arc<PlanCache>; 3],
+    /// The durable write side, when the server was configured with one.
+    durable: Option<DurableState>,
 }
 
 impl<'a> Engine<'a> {
@@ -73,7 +92,37 @@ impl<'a> Engine<'a> {
             // accumulates every counter and histogram.
             tracer: Tracer::new(Arc::new(NullRecorder)),
             plan_caches: std::array::from_fn(|_| Arc::new(PlanCache::default())),
+            durable: None,
         }
+    }
+
+    /// Attach an opened durable store; `ingest` requests append to it.
+    pub fn with_durable(mut self, store: DurableGraph) -> Engine<'a> {
+        self.durable = Some(DurableState {
+            store: Mutex::new(store),
+            read_only: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Whether the durable store has latched into read-only degrade.
+    pub fn durable_read_only(&self) -> bool {
+        self.durable
+            .as_ref()
+            .is_some_and(|d| d.read_only.load(Ordering::SeqCst))
+    }
+
+    /// Checkpoint the durable store (shutdown path): fsync the WAL,
+    /// snapshot the graph, rotate to a fresh segment. Best-effort —
+    /// `Ok(false)` when no store is attached; an `Err` leaves the WAL as
+    /// the source of truth for the next recovery.
+    pub fn checkpoint_durable(&self) -> std::io::Result<bool> {
+        let Some(ds) = &self.durable else {
+            return Ok(false);
+        };
+        let mut store = ds.store.lock().expect("durable store lock");
+        store.checkpoint()?;
+        Ok(true)
     }
 
     /// The plan cache serving a tenant class.
@@ -229,6 +278,9 @@ impl<'a> Engine<'a> {
                 reply.insert("answer".into(), Value::String(text));
                 reply.insert("route".into(), Value::String("completion".into()));
             }
+            Scenario::Ingest => {
+                degraded |= self.handle_ingest(req, &mut reply, reg);
+            }
             Scenario::Stats => {
                 // Normally intercepted by the server (which knows queue
                 // depth and inflight); served standalone the live-state
@@ -239,6 +291,87 @@ impl<'a> Engine<'a> {
 
         reply.insert("degraded".into(), Value::Bool(degraded));
         self.finish(reply, req.scenario, start)
+    }
+
+    /// Run one `ingest` request against the durable store, filling in
+    /// the reply fields; returns whether the outcome counts as degraded.
+    ///
+    /// The failure ladder never drops the connection:
+    /// * no durable store configured → `ok: false` client error;
+    /// * unparseable N-Triples → `ok: false` client error;
+    /// * store already read-only → `ok: true`, `route: "read-only"`,
+    ///   `durable: false` (the write was NOT accepted);
+    /// * I/O error on append/fsync → same read-only reply, and the
+    ///   read-only latch trips so later writes are refused up front.
+    ///   The batch is unacknowledged: recovery is free to drop it.
+    fn handle_ingest(&self, req: &Request, reply: &mut Map<String, Value>, reg: &Registry) -> bool {
+        let Some(ds) = &self.durable else {
+            reg.incr("serve.client_errors", 1);
+            reply.insert("ok".into(), Value::Bool(false));
+            reply.insert(
+                "error".into(),
+                Value::String("this server has no durable store configured".into()),
+            );
+            return false;
+        };
+        if ds.read_only.load(Ordering::SeqCst) {
+            reg.incr("serve.read_only_rejects", 1);
+            reply.insert("ok".into(), Value::Bool(true));
+            reply.insert("durable".into(), Value::Bool(false));
+            reply.insert("route".into(), Value::String("read-only".into()));
+            reply.insert("answer".into(), Value::String(READ_ONLY_APOLOGY.into()));
+            reply.insert("rows".into(), Value::from(0u64));
+            return true;
+        }
+        let parsed = match kg::turtle::parse_ntriples(&req.input) {
+            Ok(g) => g,
+            Err(e) => {
+                reg.incr("serve.client_errors", 1);
+                reply.insert("ok".into(), Value::Bool(false));
+                reply.insert("error".into(), Value::String(format!("bad N-Triples: {e}")));
+                return false;
+            }
+        };
+        let ops: Vec<Op> = parsed
+            .iter()
+            .map(|t| {
+                let pool = parsed.pool();
+                Op::Insert(
+                    pool.resolve(t.s).clone(),
+                    pool.resolve(t.p).clone(),
+                    pool.resolve(t.o).clone(),
+                )
+            })
+            .collect();
+        let mut store = ds.store.lock().expect("durable store lock");
+        let result = match store.append(&ops) {
+            Ok(true) => Ok(()),
+            Ok(false) => store.sync(), // group-commit window still open
+            Err(e) => Err(e),
+        };
+        match result {
+            Ok(()) => {
+                reply.insert("ok".into(), Value::Bool(true));
+                reply.insert("durable".into(), Value::Bool(true));
+                reply.insert("route".into(), Value::String("ingest".into()));
+                reply.insert("rows".into(), Value::from(ops.len() as u64));
+                false
+            }
+            Err(e) => {
+                drop(store);
+                ds.read_only.store(true, Ordering::SeqCst);
+                reg.incr("serve.durable_io_errors", 1);
+                reply.insert("ok".into(), Value::Bool(true));
+                reply.insert("durable".into(), Value::Bool(false));
+                reply.insert("route".into(), Value::String("read-only".into()));
+                reply.insert(
+                    "answer".into(),
+                    Value::String(format!("{READ_ONLY_APOLOGY} ({e})")),
+                );
+                reply.insert("rows".into(), Value::from(0u64));
+                true
+            }
+        }
     }
 
     /// The introspection reply: every counter plus per-histogram
@@ -252,33 +385,65 @@ impl<'a> Engine<'a> {
         }
         counters.insert("serve.inflight".into(), Value::from(inflight));
         counters.insert("serve.queue_depth".into(), Value::from(queue_depth));
+        // The durable store accumulates its wal.* metrics in its own
+        // registry (it outlives any one tracer); splice them in so one
+        // stats call sees the whole server.
+        let durable_snap = self.durable.as_ref().map(|ds| {
+            counters.insert(
+                "serve.durable_read_only".into(),
+                Value::from(ds.read_only.load(Ordering::SeqCst) as u64),
+            );
+            ds.store.lock().expect("durable store lock").metrics()
+        });
+        if let Some(dsnap) = &durable_snap {
+            for (name, v) in &dsnap.counters {
+                counters.insert(name.clone(), Value::from(*v));
+            }
+        }
+        // Gauges are ratios (f64), kept apart from the monotone counters.
+        let mut gauges = Map::new();
+        let mut agg = kgquery::PlanCacheStats::default();
+        for tenant in [Tenant::Free, Tenant::Standard, Tenant::Pro] {
+            let s = self.plan_cache(tenant).stats();
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+            agg.invalidations += s.invalidations;
+            gauges.insert(
+                format!("plan_cache.warmth.{}", tenant.label()),
+                Value::from(s.warmth()),
+            );
+        }
+        gauges.insert("plan_cache.warmth".into(), Value::from(agg.warmth()));
         let mut hists = Map::new();
+        if let Some(dsnap) = &durable_snap {
+            for (name, h) in &dsnap.histograms {
+                hists.insert(name.clone(), histogram_json(h));
+            }
+        }
         for (name, h) in &snap.histograms {
-            let mut one = Map::new();
-            one.insert("count".into(), Value::from(h.count));
-            one.insert("mean".into(), Value::from(h.mean()));
-            one.insert("p50".into(), Value::from(h.quantile(0.50)));
-            one.insert("p95".into(), Value::from(h.quantile(0.95)));
-            one.insert("p99".into(), Value::from(h.quantile(0.99)));
-            one.insert("max".into(), Value::from(h.max));
-            hists.insert(name.clone(), Value::Object(one));
+            hists.insert(name.clone(), histogram_json(h));
         }
         let mut reply = base_reply(req, Tenant::from_id(&req.tenant), "normal");
         reply.insert("ok".into(), Value::Bool(true));
         reply.insert("shed".into(), Value::Bool(false));
         reply.insert("degraded".into(), Value::Bool(false));
         reply.insert("counters".into(), Value::Object(counters));
+        reply.insert("gauges".into(), Value::Object(gauges));
         reply.insert("histograms".into(), Value::Object(hists));
         self.finish(reply, Scenario::Stats, start)
     }
 
-    /// The well-formed apology reply for a shed request. The caller (the
-    /// connection handler) accounts `serve.shed` — this is a static
-    /// constructor so shedding does zero engine work.
-    pub fn shed_reply(req: &Request) -> Value {
+    /// The well-formed apology reply for a shed request, carrying the
+    /// [`crate::admission::ShedReason`] label so clients can tell a
+    /// per-tenant cap (`tenant_cap` — back off *your* traffic) from
+    /// global overload (`queue_full`). The caller (the connection
+    /// handler) accounts `serve.shed.*` — this is a static constructor
+    /// so shedding does zero engine work.
+    pub fn shed_reply(req: &Request, reason: &str) -> Value {
         let mut reply = base_reply(req, Tenant::from_id(&req.tenant), "shed");
         reply.insert("ok".into(), Value::Bool(true));
         reply.insert("shed".into(), Value::Bool(true));
+        reply.insert("shed_reason".into(), Value::String(reason.into()));
         reply.insert("degraded".into(), Value::Bool(true));
         reply.insert("answer".into(), Value::String(SHED_APOLOGY.into()));
         reply.insert("route".into(), Value::String("shed".into()));
@@ -338,6 +503,18 @@ impl<'a> Engine<'a> {
         }
         out
     }
+}
+
+/// Render one histogram snapshot as the stats reply's summary object.
+fn histogram_json(h: &obs::HistogramSnapshot) -> Value {
+    let mut one = Map::new();
+    one.insert("count".into(), Value::from(h.count));
+    one.insert("mean".into(), Value::from(h.mean()));
+    one.insert("p50".into(), Value::from(h.quantile(0.50)));
+    one.insert("p95".into(), Value::from(h.quantile(0.95)));
+    one.insert("p99".into(), Value::from(h.quantile(0.99)));
+    one.insert("max".into(), Value::from(h.max));
+    Value::Object(one)
 }
 
 /// The fields every reply carries, whatever the scenario or outcome.
@@ -495,9 +672,13 @@ mod tests {
     #[test]
     fn shed_and_error_replies_are_static_and_well_formed() {
         let r = req(Scenario::Chat, "hi");
-        let v = Engine::shed_reply(&r);
+        let v = Engine::shed_reply(&r, "queue_full");
         let obj = v.as_object().unwrap();
         assert_eq!(obj.get("shed").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            obj.get("shed_reason").and_then(Value::as_str),
+            Some("queue_full")
+        );
         assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(true));
         assert_eq!(
             obj.get("answer").and_then(Value::as_str),
@@ -508,6 +689,117 @@ mod tests {
             e.as_object().unwrap().get("error").and_then(Value::as_str),
             Some("nope")
         );
+    }
+
+    #[test]
+    fn ingest_without_a_durable_store_is_a_client_error() {
+        let wb = wb();
+        let engine = Engine::new(&wb);
+        let cancel = CancelToken::new();
+        let v = engine.handle(
+            &req(Scenario::Ingest, "<http://a> <http://b> <http://c> ."),
+            Grade::Normal,
+            &cancel,
+        );
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(obj
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("durable"));
+    }
+
+    #[test]
+    fn ingest_appends_durably_and_surfaces_wal_metrics() {
+        let wb = wb();
+        let storage = Arc::new(durable::MemStorage::new());
+        let store = DurableGraph::open(storage, durable::DurableOptions::default()).unwrap();
+        let engine = Engine::new(&wb).with_durable(store);
+        let cancel = CancelToken::new();
+        let v = engine.handle(
+            &req(
+                Scenario::Ingest,
+                "<http://e/x> <http://v/p> <http://e/y> .\n<http://e/y> <http://v/p> <http://e/z> .",
+            ),
+            Grade::Normal,
+            &cancel,
+        );
+        let obj = v.as_object().unwrap();
+        assert_eq!(
+            obj.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{obj:?}"
+        );
+        assert_eq!(obj.get("durable").and_then(Value::as_bool), Some(true));
+        assert_eq!(obj.get("rows").and_then(Value::as_u64), Some(2));
+        // bad N-Triples is a client error, not an I/O event
+        let bad = engine.handle(
+            &req(Scenario::Ingest, "this is not ntriples"),
+            Grade::Normal,
+            &cancel,
+        );
+        assert_eq!(
+            bad.as_object().unwrap().get("ok").and_then(Value::as_bool),
+            Some(false)
+        );
+        assert!(!engine.durable_read_only());
+        // wal.* counters and the warmth gauges ride the stats reply
+        let stats = engine.stats_reply(&req(Scenario::Stats, ""), 0, 0);
+        let obj = stats.as_object().unwrap();
+        let counters = obj.get("counters").and_then(Value::as_object).unwrap();
+        assert_eq!(counters.get("wal.appends").and_then(Value::as_u64), Some(1));
+        assert_eq!(counters.get("wal.fsyncs").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            counters
+                .get("serve.durable_read_only")
+                .and_then(Value::as_u64),
+            Some(0)
+        );
+        let gauges = obj.get("gauges").and_then(Value::as_object).unwrap();
+        assert!(gauges.contains_key("plan_cache.warmth"));
+        assert!(gauges.contains_key("plan_cache.warmth.pro"));
+        let hists = obj.get("histograms").and_then(Value::as_object).unwrap();
+        assert!(hists.contains_key("wal.fsync_us"));
+        // shutdown checkpoint succeeds
+        assert!(engine.checkpoint_durable().unwrap());
+    }
+
+    #[test]
+    fn durable_io_error_degrades_to_read_only_not_a_dropped_reply() {
+        let wb = wb();
+        // Kill the backing store after ~1KiB: the first big append tears.
+        let storage = Arc::new(durable::FaultyStorage::new(durable::IoFaultConfig {
+            kill_at_byte: Some(1024),
+            ..Default::default()
+        }));
+        let store = DurableGraph::open(storage, durable::DurableOptions::default()).unwrap();
+        let engine = Engine::new(&wb).with_durable(store);
+        let cancel = CancelToken::new();
+        let mut nt = String::new();
+        for i in 0..100 {
+            nt.push_str(&format!("<http://e/s{i}> <http://v/p> <http://e/o{i}> .\n"));
+        }
+        let v = engine.handle(&req(Scenario::Ingest, &nt), Grade::Normal, &cancel);
+        let obj = v.as_object().unwrap();
+        // well-formed in-protocol reply, not an error or a hang
+        assert_eq!(
+            obj.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{obj:?}"
+        );
+        assert_eq!(obj.get("durable").and_then(Value::as_bool), Some(false));
+        assert_eq!(obj.get("route").and_then(Value::as_str), Some("read-only"));
+        assert!(engine.durable_read_only());
+        // subsequent writes are refused up front, still in-protocol
+        let again = engine.handle(
+            &req(Scenario::Ingest, "<http://a> <http://b> <http://c> ."),
+            Grade::Normal,
+            &cancel,
+        );
+        let obj = again.as_object().unwrap();
+        assert_eq!(obj.get("route").and_then(Value::as_str), Some("read-only"));
+        assert_eq!(engine.snapshot().counter("serve.read_only_rejects"), 1);
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod protocol;
 pub mod server;
 pub mod tenant;
 
-pub use admission::{AdmissionController, AdmissionPolicy, Grade};
+pub use admission::{AdmissionController, AdmissionPolicy, Grade, ShedReason};
 pub use engine::Engine;
 pub use protocol::{parse_request, Request, Scenario};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{DurableStore, ServeConfig, Server, ServerHandle};
 pub use tenant::Tenant;

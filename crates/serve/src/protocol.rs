@@ -8,9 +8,10 @@
 //! ```
 //!
 //! * `scenario` (required) — `"chat"`, `"rag"`, `"sparql"`, `"complete"`,
-//!   or `"stats"`;
+//!   `"ingest"`, or `"stats"`;
 //! * `input` (required except for `stats`) — the utterance / question /
-//!   query / prompt;
+//!   query / prompt, or (for `ingest`) N-Triples text to append to the
+//!   server's durable store;
 //! * `tenant` (optional) — free-form id classified by
 //!   [`crate::Tenant::from_id`]; absent means anonymous (free tier);
 //! * `id` (optional) — echoed verbatim in the reply for client-side
@@ -41,6 +42,9 @@ pub enum Scenario {
     Sparql,
     /// A raw LM completion.
     Complete,
+    /// Append N-Triples to the server's durable (WAL-backed) store;
+    /// `ok` + `durable: true` means the write survived an fsync.
+    Ingest,
     /// Introspection: the server's counters and latency histograms.
     Stats,
 }
@@ -53,6 +57,7 @@ impl Scenario {
             Scenario::Rag => "rag",
             Scenario::Sparql => "sparql",
             Scenario::Complete => "complete",
+            Scenario::Ingest => "ingest",
             Scenario::Stats => "stats",
         }
     }
@@ -73,6 +78,7 @@ impl Scenario {
             "rag" => Scenario::Rag,
             "sparql" => Scenario::Sparql,
             "complete" => Scenario::Complete,
+            "ingest" => Scenario::Ingest,
             "stats" => Scenario::Stats,
             _ => return None,
         })
@@ -112,7 +118,9 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .and_then(Value::as_str)
         .ok_or_else(|| "missing required string field \"scenario\"".to_string())?;
     let scenario = Scenario::parse(scenario_name).ok_or_else(|| {
-        format!("unknown scenario {scenario_name:?} (expected chat|rag|sparql|complete|stats)")
+        format!(
+            "unknown scenario {scenario_name:?} (expected chat|rag|sparql|complete|ingest|stats)"
+        )
     })?;
     let input = obj
         .get("input")
@@ -175,6 +183,11 @@ mod tests {
         assert_eq!(r.mode, RagMode::Naive);
         let stats = parse_request(r#"{"scenario": "stats"}"#).unwrap();
         assert_eq!(stats.scenario, Scenario::Stats);
+        let ingest = parse_request(
+            r#"{"scenario": "ingest", "input": "<http://a> <http://b> <http://c> ."}"#,
+        )
+        .unwrap();
+        assert_eq!(ingest.scenario, Scenario::Ingest);
     }
 
     #[test]

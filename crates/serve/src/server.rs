@@ -25,6 +25,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
 
+use durable::{DiskStorage, DurableGraph, DurableOptions, Storage};
 use llmkg::{Workbench, WorkbenchConfig};
 use resilience::CancelToken;
 use serde_json::Value;
@@ -32,6 +33,27 @@ use serde_json::Value;
 use crate::admission::{AdmissionController, AdmissionPolicy};
 use crate::engine::Engine;
 use crate::protocol::{parse_request, Scenario, MAX_REQUEST_BYTES};
+use crate::tenant::Tenant;
+
+/// Where the server's durable (`ingest`) store lives.
+#[derive(Clone)]
+pub enum DurableStore {
+    /// A directory on disk ([`DiskStorage`]).
+    Dir(String),
+    /// An injected storage backend — tests hand in a
+    /// [`durable::MemStorage`] or [`durable::FaultyStorage`] here to
+    /// exercise restart and fault paths without touching disk.
+    Custom(Arc<dyn Storage>),
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableStore::Dir(p) => f.debug_tuple("Dir").field(p).finish(),
+            DurableStore::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +70,12 @@ pub struct ServeConfig {
     /// Socket read timeout; bounds how fast handlers notice shutdown and
     /// client disconnects.
     pub poll_interval: Duration,
+    /// Optional durable store backing the `ingest` scenario. Recovery
+    /// runs inside [`Server::spawn`] (so corruption surfaces as an error
+    /// there, not a half-started server); recovered triples are merged
+    /// into the served graph before the first connection is accepted,
+    /// and a checkpoint is written on clean shutdown.
+    pub durable: Option<DurableStore>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +86,7 @@ impl Default for ServeConfig {
             admission: AdmissionPolicy::default(),
             workbench: WorkbenchConfig::default(),
             poll_interval: Duration::from_millis(50),
+            durable: None,
         }
     }
 }
@@ -87,12 +116,25 @@ impl Server {
     pub fn spawn(config: ServeConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // Open (and recover) the durable store synchronously: an
+        // unreadable store is a spawn error the operator sees, never a
+        // server that silently serves less data than it accepted.
+        let durable = match &config.durable {
+            None => None,
+            Some(store) => {
+                let storage: Arc<dyn Storage> = match store {
+                    DurableStore::Dir(path) => Arc::new(DiskStorage::new(path.clone())?),
+                    DurableStore::Custom(s) => Arc::clone(s),
+                };
+                Some(DurableGraph::open(storage, DurableOptions::default())?)
+            }
+        };
         let stop = Arc::new(AtomicBool::new(false));
         let root = {
             let stop = Arc::clone(&stop);
             thread::Builder::new()
                 .name("serve-root".to_string())
-                .spawn(move || run(listener, config, &stop))?
+                .spawn(move || run(listener, config, durable, &stop))?
         };
         Ok(ServerHandle {
             addr,
@@ -134,9 +176,22 @@ impl Drop for ServerHandle {
 
 /// The root thread: build the workbench, then host workers, the accept
 /// loop, and one handler thread per connection under a single scope.
-fn run(listener: TcpListener, config: ServeConfig, stop: &AtomicBool) {
-    let wb = Workbench::build(&config.workbench);
-    let engine = Engine::new(&wb);
+fn run(
+    listener: TcpListener,
+    config: ServeConfig,
+    durable: Option<DurableGraph>,
+    stop: &AtomicBool,
+) {
+    let mut wb = Workbench::build(&config.workbench);
+    if let Some(d) = &durable {
+        // Triples recovered from the WAL/checkpoint are served alongside
+        // the synthetic graph from the first request.
+        wb.kg.graph.merge(d.graph());
+    }
+    let engine = match durable {
+        Some(d) => Engine::new(&wb).with_durable(d),
+        None => Engine::new(&wb),
+    };
     let admission = AdmissionController::<Job>::new(config.admission);
     let inflight = AtomicU64::new(0);
 
@@ -173,6 +228,13 @@ fn run(listener: TcpListener, config: ServeConfig, stop: &AtomicBool) {
         }
         admission.close();
     });
+    // Workers have drained: snapshot the durable store so the next start
+    // recovers from a checkpoint instead of replaying the whole WAL. An
+    // error here is fine — the synced WAL already holds every acked
+    // write; it just means a longer replay next time.
+    if engine.checkpoint_durable().is_err() {
+        engine.registry().incr("serve.checkpoint_errors", 1);
+    }
 }
 
 /// Worker: pull admitted jobs, run them, send replies back.
@@ -306,10 +368,16 @@ fn handle_connection(
             cancel: cancel.clone(),
             reply: tx,
         };
-        let reply = match admission.submit(job) {
-            Err(job) => {
+        // Admission is keyed by tenant class, so one class's flood fills
+        // its own per-tenant allowance instead of the whole queue.
+        let tenant_class = Tenant::from_id(&job.req.tenant).label();
+        let reply = match admission.submit_keyed(job, tenant_class) {
+            Err((job, reason)) => {
                 engine.registry().incr("serve.shed", 1);
-                Engine::shed_reply(&job.req)
+                engine
+                    .registry()
+                    .incr(&format!("serve.shed.{}", reason.label()), 1);
+                Engine::shed_reply(&job.req, reason.label())
             }
             Ok(_grade) => await_reply(&rx, &sock, &cancel, poll),
         };

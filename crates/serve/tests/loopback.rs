@@ -183,6 +183,7 @@ fn overload_degrades_and_sheds_but_every_request_is_answered() {
         admission: AdmissionPolicy {
             queue_capacity: 1,
             degrade_depth: 1,
+            ..AdmissionPolicy::default()
         },
         ..small_config()
     })
@@ -252,6 +253,85 @@ fn overload_degrades_and_sheds_but_every_request_is_answered() {
         shed + degraded > 0,
         "12 concurrent clients against a 1-worker/1-slot server must trip admission \
          (shed={shed} degraded={degraded})"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn per_tenant_cap_keeps_a_pro_tenant_served_under_a_free_flood() {
+    // One worker; the queue is deep enough that global capacity never
+    // binds, so the only shedding force is the per-tenant cap: the free
+    // class may hold at most 2 queued slots, however many free
+    // connections pile in. A pro client submitting sequentially holds at
+    // most 1 slot and must therefore never be shed.
+    let handle = Server::spawn(ServeConfig {
+        workers: 1,
+        admission: AdmissionPolicy {
+            queue_capacity: 16,
+            degrade_depth: 16,
+            per_tenant_cap: 2,
+        },
+        ..small_config()
+    })
+    .unwrap();
+
+    let flooders = 6;
+    let per_flooder = 15;
+    let barrier = Arc::new(Barrier::new(flooders + 1));
+    let mut joins = Vec::new();
+    for t in 0..flooders {
+        let barrier = Arc::clone(&barrier);
+        let addr = handle.addr();
+        joins.push(std::thread::spawn(move || {
+            let sock = TcpStream::connect(addr).expect("connect");
+            sock.set_nodelay(true).unwrap();
+            let mut reader = BufReader::new(sock.try_clone().unwrap());
+            let mut sock = sock;
+            barrier.wait();
+            let mut shed = 0u64;
+            for i in 0..per_flooder {
+                let line = format!(
+                    r#"{{"id":{i},"tenant":"free:{t}","scenario":"rag","input":"Who directed the film?"}}"#
+                );
+                sock.write_all(format!("{line}\n").as_bytes()).expect("send");
+                let mut reply = String::new();
+                reader.read_line(&mut reply).expect("recv");
+                let v: Value = serde_json::from_str(reply.trim()).expect("well-formed");
+                assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{v:?}");
+                if v.get("shed") == Some(&Value::Bool(true)) {
+                    shed += 1;
+                    assert_eq!(
+                        v.get("shed_reason").and_then(Value::as_str),
+                        Some("tenant_cap"),
+                        "global capacity can never bind in this setup: {v:?}"
+                    );
+                }
+            }
+            shed
+        }));
+    }
+
+    let mut pro = Client::connect(&handle);
+    barrier.wait();
+    for i in 0..10 {
+        let reply = pro.roundtrip(&format!(
+            r#"{{"id":{i},"tenant":"pro:acme","scenario":"rag","input":"Who directed the film?"}}"#
+        ));
+        assert_eq!(
+            reply.get("shed").and_then(Value::as_bool),
+            Some(false),
+            "a pro request was shed during a free flood: {reply:?}"
+        );
+        assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    let free_shed: u64 = joins.into_iter().map(|j| j.join().expect("flooder")).sum();
+    let stats = pro.stats();
+    assert_eq!(counter(&stats, "serve.shed.tenant_cap"), free_shed);
+    assert_eq!(counter(&stats, "serve.shed"), free_shed);
+    assert!(
+        free_shed > 0,
+        "six flooders against a cap of 2 queued slots must shed some free traffic"
     );
     handle.shutdown();
 }

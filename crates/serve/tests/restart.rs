@@ -1,0 +1,192 @@
+//! Restart tests for the durable ingest path: a server is fed triples
+//! over loopback, killed, and restarted on the same storage — acked
+//! writes must be answerable after the restart, whether recovery comes
+//! from a clean checkpoint, from WAL replay (checkpoints starved by
+//! rename failures), or not at all (read-only degrade after persistent
+//! I/O errors — in-protocol replies, never a dropped connection).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use durable::{FaultyStorage, IoFaultConfig, MemStorage, Storage};
+use llmkg::WorkbenchConfig;
+use serde_json::Value;
+use serve::{DurableStore, ServeConfig, Server, ServerHandle};
+
+fn config_with(storage: Arc<dyn Storage>) -> ServeConfig {
+    ServeConfig {
+        workbench: WorkbenchConfig {
+            entities_per_class: 8,
+            ..Default::default()
+        },
+        workers: 2,
+        durable: Some(DurableStore::Custom(storage)),
+        ..Default::default()
+    }
+}
+
+struct Client {
+    sock: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let sock = TcpStream::connect(handle.addr()).expect("connect");
+        sock.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(sock.try_clone().expect("clone"));
+        Client { sock, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Value {
+        self.sock
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("recv");
+        serde_json::from_str(reply.trim()).expect("reply must be valid JSON")
+    }
+}
+
+fn ingest_line(n: usize) -> String {
+    let nt: String = (0..n)
+        .map(|i| format!("<http://restart/s{i}> <http://restart/p> <http://restart/o{i}> .\\n"))
+        .collect();
+    format!(r#"{{"scenario":"ingest","tenant":"pro:t","input":"{nt}"}}"#)
+}
+
+/// Count the rows the server returns for the ingested pattern.
+fn ingested_rows(c: &mut Client) -> u64 {
+    let reply = c.roundtrip(
+        r#"{"scenario":"sparql","input":"SELECT ?s ?o WHERE { ?s <http://restart/p> ?o }"}"#,
+    );
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{reply:?}"
+    );
+    reply.get("rows").and_then(Value::as_u64).unwrap()
+}
+
+#[test]
+fn acked_ingest_survives_a_checkpointed_restart() {
+    let storage = Arc::new(MemStorage::new());
+
+    let handle = Server::spawn(config_with(storage.clone())).unwrap();
+    let mut c = Client::connect(&handle);
+    let reply = c.roundtrip(&ingest_line(5));
+    assert_eq!(reply.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        reply.get("durable").and_then(Value::as_bool),
+        Some(true),
+        "{reply:?}"
+    );
+    // Ingested triples become query-visible at the next start (the serve
+    // graph is immutable while running); not before.
+    assert_eq!(ingested_rows(&mut c), 0);
+    drop(c);
+    handle.shutdown(); // writes a checkpoint
+
+    let files = storage.snapshot();
+    assert!(
+        files.keys().any(|k| k.starts_with("ckpt-")),
+        "clean shutdown checkpoints: {:?}",
+        files.keys().collect::<Vec<_>>()
+    );
+
+    let handle = Server::spawn(config_with(storage.clone())).unwrap();
+    let mut c = Client::connect(&handle);
+    assert_eq!(
+        ingested_rows(&mut c),
+        5,
+        "acked writes answered after restart"
+    );
+    // stats surfaces the recovery
+    let stats = c.roundtrip(r#"{"scenario":"stats"}"#);
+    let counters = stats.get("counters").and_then(Value::as_object).unwrap();
+    assert_eq!(
+        counters.get("wal.recoveries").and_then(Value::as_u64),
+        Some(1)
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn acked_ingest_survives_via_wal_replay_when_checkpoints_fail() {
+    // Renames always fail: every checkpoint attempt dies at the final
+    // rename, so restart recovery has only the WAL to work from.
+    let storage = Arc::new(FaultyStorage::new(IoFaultConfig {
+        fail_renames: true,
+        ..Default::default()
+    }));
+
+    let handle = Server::spawn(config_with(storage.clone())).unwrap();
+    let mut c = Client::connect(&handle);
+    let reply = c.roundtrip(&ingest_line(7));
+    assert_eq!(
+        reply.get("durable").and_then(Value::as_bool),
+        Some(true),
+        "{reply:?}"
+    );
+    drop(c);
+    handle.shutdown(); // checkpoint attempt fails; the WAL is the truth
+
+    let handle = Server::spawn(config_with(storage.clone())).unwrap();
+    let mut c = Client::connect(&handle);
+    assert_eq!(ingested_rows(&mut c), 7, "WAL replay recovers acked writes");
+    handle.shutdown();
+}
+
+#[test]
+fn persistent_io_errors_degrade_ingest_to_read_only_in_protocol() {
+    // The store dies after 512 appended bytes: the first sizeable ingest
+    // tears mid-record and every later write fails.
+    let storage = Arc::new(FaultyStorage::new(IoFaultConfig {
+        kill_at_byte: Some(512),
+        ..Default::default()
+    }));
+
+    let handle = Server::spawn(config_with(storage)).unwrap();
+    let mut c = Client::connect(&handle);
+    let reply = c.roundtrip(&ingest_line(50));
+    // A well-formed in-protocol reply — ok, but explicitly not durable.
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "{reply:?}"
+    );
+    assert_eq!(reply.get("durable").and_then(Value::as_bool), Some(false));
+    assert_eq!(
+        reply.get("route").and_then(Value::as_str),
+        Some("read-only")
+    );
+
+    // The connection survives; reads still work; later writes are
+    // refused up front with the same shape.
+    let again = c.roundtrip(&ingest_line(1));
+    assert_eq!(
+        again.get("route").and_then(Value::as_str),
+        Some("read-only")
+    );
+    assert_eq!(again.get("durable").and_then(Value::as_bool), Some(false));
+    let query =
+        c.roundtrip(r#"{"scenario":"sparql","input":"SELECT ?s WHERE { ?s ?p ?o } LIMIT 1"}"#);
+    assert_eq!(query.get("ok").and_then(Value::as_bool), Some(true));
+
+    let stats = c.roundtrip(r#"{"scenario":"stats"}"#);
+    let counters = stats.get("counters").and_then(Value::as_object).unwrap();
+    assert_eq!(
+        counters
+            .get("serve.durable_read_only")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        counters
+            .get("serve.durable_io_errors")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    handle.shutdown();
+}

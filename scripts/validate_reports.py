@@ -8,6 +8,7 @@ inline python blocks in .github/workflows/ci.yml):
     validate_reports.py retrieval-smoke  [reports/retrieval_bench_smoke.json]
     validate_reports.py serve-smoke      [reports/serve_bench_smoke.json]
     validate_reports.py plan-cache       [reports/query_bench_smoke.json]
+    validate_reports.py recovery         [reports/recovery_bench.json]
 
 Each subcommand loads one report, asserts its schema and invariants, and
 prints a one-line OK summary. Any assertion failure exits non-zero with
@@ -164,11 +165,49 @@ def validate_serve_smoke(path):
           "degraded", counters.get("serve.degraded", 0))
 
 
+def validate_recovery(path):
+    r = load(path)
+    assert r["mode"] in ("smoke", "full"), r["mode"]
+    assert "bit-identical to an oracle replay" in r["contract"], r["contract"]
+    commit = r["group_commit"]
+    assert len(commit) >= 2, "need at least two group-commit windows"
+    for row in commit:
+        # every batch recovered in every window configuration
+        assert row["recovered_batches"] == row["batches"], row
+        assert row["fsyncs"] > 0, row
+        assert row["batches_per_sec"] > 0, row
+    # wider windows must not fsync more often
+    by_window = sorted(commit, key=lambda row: row["window"])
+    fsyncs = [row["fsyncs"] for row in by_window]
+    assert fsyncs == sorted(fsyncs, reverse=True), fsyncs
+    series = r["recovery_vs_wal_length"]
+    assert series, "no recovery series"
+    for row in series:
+        assert row["batches_replayed"] == row["batches"], row
+        assert row["reopen_us"] > 0 and row["wal_bytes"] > 0, row
+    ckpt = r["checkpoint"]
+    assert ckpt["reopen_via_checkpoint_us"] > 0, ckpt
+    # loading the snapshot must beat replaying the whole log
+    assert ckpt["speedup"] > 1.0, ckpt
+    assert ckpt["checkpoint_triples"] > 0, ckpt
+    torn = r["torn_tail"]
+    assert torn, "no torn-tail sweep"
+    assert torn[0]["keep_pct"] == 100 and torn[0]["recovered_batches"] > 0, torn[0]
+    # shorter surviving prefixes recover monotonically fewer batches,
+    # and a tear inside the log shows up as a truncated segment
+    kept = [row["recovered_batches"] for row in torn]
+    assert kept == sorted(kept, reverse=True), kept
+    assert any(row["truncated_segments"] > 0 for row in torn[1:]), torn
+    print("recovery JSON OK: %d windows, %d WAL lengths, checkpoint speedup %.1fx"
+          % (len(commit), len(series), ckpt["speedup"]))
+
+
 COMMANDS = {
     "query-smoke": (validate_query_smoke, "reports/query_bench_smoke.json"),
     "retrieval-smoke": (validate_retrieval_smoke, "reports/retrieval_bench_smoke.json"),
     "serve-smoke": (validate_serve_smoke, "reports/serve_bench_smoke.json"),
     "plan-cache": (validate_plan_cache, "reports/query_bench_smoke.json"),
+    "recovery": (validate_recovery, "reports/recovery_bench.json"),
 }
 
 

@@ -1,0 +1,442 @@
+//! Crash-recovery matrix for `durable::DurableGraph`.
+//!
+//! Every cell runs a seeded mutation workload against a
+//! [`FaultyStorage`] with an injected kill point, takes the crash image a
+//! real disk would hold ([`CrashKind::ProcessKill`] keeps every appended
+//! byte, [`CrashKind::PowerLoss`] keeps the synced prefix plus a seeded —
+//! possibly bit-flipped — torn tail), reopens from the image, and holds
+//! the three recovery invariants:
+//!
+//! 1. **acked writes are never lost** — every batch acknowledged by a
+//!    successful fsync is present after recovery;
+//! 2. **unacked batches never half-apply** — the recovered state is a
+//!    prefix of *whole* batches, with the log truncated at the first tear;
+//! 3. **recovered state is bit-identical to an oracle replay** of that
+//!    batch prefix into a fresh [`kg::Graph`]: same `Sym` assignment,
+//!    same triples.
+//!
+//! Run a specific cell with `RECOVERY_SEEDS=<seed> cargo test --test
+//! crash_recovery` (comma-separated list; same convention as the chaos
+//! suite's `CHAOS_SEEDS`). CI fans the default seeds out as a matrix.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use durable::{
+    wal, CrashKind, DurableGraph, DurableOptions, FaultyStorage, GroupCommit, IoFaultConfig,
+    MemStorage, Op, Storage,
+};
+use kg::{Graph, Term};
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("RECOVERY_SEEDS") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => vec![1, 7, 42, 2024],
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic mutation batches: a few fresh inserts per batch (so a
+/// half-applied batch can never masquerade as a whole one), salted with
+/// duplicate inserts and removals of earlier triples to exercise the
+/// no-op and delete paths of replay.
+fn batches(seed: u64, n: usize) -> Vec<Vec<Op>> {
+    let mut out = Vec::with_capacity(n);
+    let mut inserted: Vec<(Term, Term, Term)> = Vec::new();
+    for b in 0..n as u64 {
+        let mut ops = Vec::new();
+        let fresh = 2 + (splitmix64(seed ^ (b << 8)) % 4) as usize;
+        for i in 0..fresh as u64 {
+            let r = splitmix64(seed ^ (b * 131) ^ (i * 7919));
+            let s = Term::iri(format!("http://crash/s{}", r % 97));
+            let p = Term::iri(format!("http://crash/p{}", r % 7));
+            let o = Term::lit(format!("v{b}-{i}"));
+            inserted.push((s.clone(), p.clone(), o.clone()));
+            ops.push(Op::Insert(s, p, o));
+        }
+        if b % 3 == 1 && !inserted.is_empty() {
+            let r = splitmix64(seed ^ 0xdead ^ b) as usize % inserted.len();
+            let (s, p, o) = inserted[r].clone();
+            ops.push(Op::Insert(s.clone(), p.clone(), o.clone())); // duplicate
+            if b % 6 == 4 {
+                ops.push(Op::Remove(s, p, o));
+            }
+        }
+        if b % 5 == 3 && inserted.len() > 2 {
+            let r = splitmix64(seed ^ 0xbeef ^ b) as usize % inserted.len();
+            let (s, p, o) = inserted[r].clone();
+            ops.push(Op::Remove(s, p, o));
+        }
+        out.push(ops);
+    }
+    out
+}
+
+/// Replay the first `k` batches into a fresh graph — the ground truth
+/// recovery is measured against.
+fn oracle(all: &[Vec<Op>], k: usize) -> Graph {
+    let mut g = Graph::new();
+    for batch in &all[..k] {
+        for op in batch {
+            op.apply(&mut g);
+        }
+    }
+    g
+}
+
+/// Bit-level identity: the exact `Sym -> Term` assignment plus the triple
+/// set as raw symbol rows. Two graphs with equal fingerprints are
+/// indistinguishable to every query path.
+type Fingerprint = (Vec<(u32, Term)>, Vec<(u32, u32, u32)>);
+
+fn fingerprint(g: &Graph) -> Fingerprint {
+    let pool = g.pool().iter().map(|(sym, t)| (sym.0, t.clone())).collect();
+    let mut triples: Vec<_> = g.iter().map(|t| (t.s.0, t.p.0, t.o.0)).collect();
+    triples.sort_unstable();
+    (pool, triples)
+}
+
+/// What the workload managed before the storage died.
+struct Outcome {
+    /// Batches handed to `append` (the last one may have torn).
+    attempted: usize,
+    /// Batches covered by a successful fsync — the durability promise.
+    acked: usize,
+}
+
+/// Drive `all` through a `DurableGraph` on `storage` until the first I/O
+/// error, checkpointing after batch `checkpoint_after` (failure
+/// tolerated: a dead store can't snapshot, but must stay recoverable).
+fn run_until_dead(
+    storage: &Arc<FaultyStorage>,
+    opts: DurableOptions,
+    all: &[Vec<Op>],
+    checkpoint_after: Option<usize>,
+) -> Outcome {
+    let mut d = DurableGraph::open(Arc::clone(storage) as Arc<dyn Storage>, opts)
+        .expect("fresh storage opens");
+    let mut out = Outcome {
+        attempted: 0,
+        acked: 0,
+    };
+    for (i, batch) in all.iter().enumerate() {
+        out.attempted += 1;
+        match d.append(batch) {
+            Ok(true) => out.acked = out.attempted,
+            Ok(false) => {}
+            // The record may or may not have landed whole — exactly what
+            // "unacknowledged" means. Stop writing, like a dying process.
+            Err(_) => return out,
+        }
+        if checkpoint_after == Some(i) && d.checkpoint().is_ok() {
+            out.acked = out.attempted;
+        }
+    }
+    if d.sync().is_ok() {
+        out.acked = out.attempted;
+    }
+    out
+}
+
+/// Reopen from a crash image and hold the three invariants.
+fn check_recovery(image: HashMap<String, Vec<u8>>, all: &[Vec<Op>], out: &Outcome, ctx: &str) {
+    let mem: Arc<dyn Storage> = Arc::new(MemStorage::from_map(image));
+    let d = DurableGraph::open(mem, DurableOptions::default())
+        .unwrap_or_else(|e| panic!("recovery must never fail [{ctx}]: {e}"));
+    let got = fingerprint(d.graph());
+    let matched = (out.acked..=out.attempted).any(|k| fingerprint(&oracle(all, k)) == got);
+    assert!(
+        matched,
+        "recovered state must be an oracle replay of a whole-batch prefix \
+         covering every acked batch [{ctx}; acked {}, attempted {}, \
+         recovered {} triples]",
+        out.acked,
+        out.attempted,
+        d.len(),
+    );
+}
+
+#[test]
+fn kill_point_matrix_recovers_an_acked_whole_batch_prefix() {
+    for seed in seeds() {
+        let all = batches(seed, 40);
+
+        // Dry run on healthy storage to learn the workload's byte
+        // footprint, so kill points sweep the whole log (including the
+        // mid-workload checkpoint's snapshot write).
+        let clean = Arc::new(FaultyStorage::new(IoFaultConfig {
+            seed,
+            ..Default::default()
+        }));
+        let full = run_until_dead(&clean, DurableOptions::default(), &all, Some(20));
+        assert_eq!(full.attempted, all.len());
+        assert_eq!(full.acked, all.len());
+        let total = clean.appended_bytes();
+
+        for step in 0..14u64 {
+            let kill = total * step / 14 + splitmix64(seed ^ step) % 11;
+            for kind in [CrashKind::ProcessKill, CrashKind::PowerLoss] {
+                let storage = Arc::new(FaultyStorage::new(IoFaultConfig {
+                    seed,
+                    kill_at_byte: Some(kill),
+                    flip_bit_in_torn_tail: kind == CrashKind::PowerLoss,
+                    ..Default::default()
+                }));
+                let out = run_until_dead(&storage, DurableOptions::default(), &all, Some(20));
+                let image = storage.crash(kind);
+                check_recovery(
+                    image,
+                    &all,
+                    &out,
+                    &format!("seed {seed}, kill at byte {kill}, {kind:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn group_commit_ack_boundary_survives_power_loss() {
+    for seed in seeds() {
+        let all = batches(seed, 10);
+        let storage = Arc::new(FaultyStorage::new(IoFaultConfig {
+            seed,
+            ..Default::default()
+        }));
+        let opts = DurableOptions {
+            group_commit: GroupCommit::every(4),
+            ..Default::default()
+        };
+        let mut d = DurableGraph::open(Arc::clone(&storage) as Arc<dyn Storage>, opts)
+            .expect("fresh storage opens");
+        let mut acked = 0;
+        for (i, batch) in all.iter().enumerate() {
+            if d.append(batch).expect("healthy append") {
+                acked = i + 1;
+            }
+        }
+        // Window of 4 over 10 batches: two ride the open window unacked.
+        assert_eq!(acked, 8);
+        assert_eq!(d.acked_batches(), 8);
+        drop(d);
+
+        // Power loss: the synced 8 are guaranteed; the torn tail may
+        // contribute 0, 1, or 2 more whole batches — never half of one.
+        let out = Outcome {
+            attempted: all.len(),
+            acked,
+        };
+        check_recovery(
+            storage.crash(CrashKind::PowerLoss),
+            &all,
+            &out,
+            &format!("seed {seed}, group commit window 4, power loss"),
+        );
+
+        // Process kill flushes the page cache eventually: every appended
+        // byte survives, so recovery is exactly the full replay.
+        let mem: Arc<dyn Storage> =
+            Arc::new(MemStorage::from_map(storage.crash(CrashKind::ProcessKill)));
+        let d = DurableGraph::open(mem, DurableOptions::default()).expect("recovers");
+        assert_eq!(
+            fingerprint(d.graph()),
+            fingerprint(&oracle(&all, all.len()))
+        );
+    }
+}
+
+#[test]
+fn fsync_failures_starve_acks_but_never_recovery() {
+    for seed in seeds() {
+        let all = batches(seed, 24);
+        let storage = Arc::new(FaultyStorage::new(IoFaultConfig {
+            seed,
+            fsync_fail_rate: (1, 3),
+            ..Default::default()
+        }));
+        let out = run_until_dead(&storage, DurableOptions::default(), &all, None);
+        // append errors out the first time its window-closing fsync
+        // trips, so the run usually stops early — the crash image must
+        // still recover to a whole-batch prefix covering every ack.
+        for kind in [CrashKind::ProcessKill, CrashKind::PowerLoss] {
+            check_recovery(
+                storage.crash(kind),
+                &all,
+                &out,
+                &format!("seed {seed}, fsync faults, {kind:?}"),
+            );
+        }
+    }
+}
+
+/// Satellite: the torn-write corpus. Every byte-length prefix of a valid
+/// WAL must recover — without panicking — to a graph equal to some
+/// whole-batch prefix of the workload.
+#[test]
+fn every_byte_prefix_of_a_wal_recovers_to_a_batch_prefix() {
+    let all = batches(2024, 8);
+    let mem = Arc::new(MemStorage::new());
+    let mut d = DurableGraph::open(
+        Arc::clone(&mem) as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .expect("fresh storage opens");
+    for batch in &all {
+        d.append(batch).expect("healthy append");
+    }
+    drop(d);
+
+    let files = mem.snapshot();
+    assert_eq!(files.len(), 1, "one WAL segment, no checkpoint yet");
+    let (name, bytes) = files.into_iter().next().unwrap();
+
+    // Frame boundaries, for the exact-prefix assertion below.
+    let mut bounds = vec![0usize];
+    for batch in &all {
+        let frame_len = wal::frame(&wal::encode_batch(batch)).len();
+        bounds.push(bounds.last().unwrap() + frame_len);
+    }
+    assert_eq!(*bounds.last().unwrap(), bytes.len());
+    let oracles: Vec<_> = (0..=all.len())
+        .map(|k| fingerprint(&oracle(&all, k)))
+        .collect();
+
+    for cut in 0..=bytes.len() {
+        let image = HashMap::from([(name.clone(), bytes[..cut].to_vec())]);
+        let mem: Arc<dyn Storage> = Arc::new(MemStorage::from_map(image));
+        let d = DurableGraph::open(mem, DurableOptions::default())
+            .unwrap_or_else(|e| panic!("prefix of {cut} bytes must recover: {e}"));
+        // The whole frames before the cut replay; the torn one truncates.
+        let whole = bounds.partition_point(|&b| b <= cut) - 1;
+        assert_eq!(
+            fingerprint(d.graph()),
+            oracles[whole],
+            "prefix of {cut} bytes must replay exactly {whole} whole batches"
+        );
+        assert_eq!(d.recovery().batches_replayed, whole as u64);
+    }
+}
+
+/// Satellite: a flipped bit anywhere in a record — magic, length, CRC, or
+/// payload — truncates replay at that record, keeping everything before
+/// it and dropping everything after the tear.
+#[test]
+fn a_corrupted_record_truncates_replay_at_the_flip() {
+    let all = batches(7, 6);
+    let mem = Arc::new(MemStorage::new());
+    let mut d = DurableGraph::open(
+        Arc::clone(&mem) as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .expect("fresh storage opens");
+    for batch in &all {
+        d.append(batch).expect("healthy append");
+    }
+    drop(d);
+    let (name, bytes) = mem.snapshot().into_iter().next().unwrap();
+
+    let mut bounds = vec![0usize];
+    for batch in &all {
+        bounds.push(bounds.last().unwrap() + wal::frame(&wal::encode_batch(batch)).len());
+    }
+
+    for at in (0..bytes.len()).step_by(13) {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x10;
+        let image = HashMap::from([(name.clone(), bad)]);
+        let mem: Arc<dyn Storage> = Arc::new(MemStorage::from_map(image));
+        let d = DurableGraph::open(mem, DurableOptions::default())
+            .unwrap_or_else(|e| panic!("bit flip at {at} must still recover: {e}"));
+        let frame_of_flip = bounds.partition_point(|&b| b <= at) - 1;
+        assert_eq!(
+            fingerprint(d.graph()),
+            fingerprint(&oracle(&all, frame_of_flip)),
+            "flip at byte {at} (frame {frame_of_flip}) must truncate there"
+        );
+    }
+}
+
+/// Satellite: a truncated newest checkpoint is rejected and recovery
+/// falls back to the previous generation plus a longer WAL replay,
+/// landing on the same full state.
+#[test]
+fn a_truncated_checkpoint_falls_back_to_the_previous_generation() {
+    let all = batches(42, 30);
+    let mem = Arc::new(MemStorage::new());
+    let mut d = DurableGraph::open(
+        Arc::clone(&mem) as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .expect("fresh storage opens");
+    for (i, batch) in all.iter().enumerate() {
+        d.append(batch).expect("healthy append");
+        if i == 9 || i == 19 {
+            d.checkpoint().expect("healthy checkpoint");
+        }
+    }
+    drop(d);
+
+    let mut files = mem.snapshot();
+    let newest = files
+        .keys()
+        .filter(|k| k.starts_with("ckpt-"))
+        .max()
+        .cloned()
+        .expect("two checkpoint generations on disk");
+    let blob = files.get_mut(&newest).unwrap();
+    blob.truncate(blob.len() / 2);
+
+    let mem: Arc<dyn Storage> = Arc::new(MemStorage::from_map(files));
+    let d = DurableGraph::open(mem, DurableOptions::default()).expect("falls back and recovers");
+    assert_eq!(d.recovery().checkpoints_rejected, 1);
+    assert_eq!(
+        d.recovery().checkpoint_seq,
+        Some(1),
+        "generation 1 loads after generation 2 is rejected"
+    );
+    assert_eq!(
+        fingerprint(d.graph()),
+        fingerprint(&oracle(&all, all.len())),
+        "the older checkpoint plus a longer replay reaches the same state"
+    );
+}
+
+/// Satellite: with both retained checkpoints unreadable but the op
+/// history incomplete (old WAL segments purged), recovery must fail
+/// loudly instead of silently serving a partial graph.
+#[test]
+fn losing_every_checkpoint_with_a_purged_log_fails_loudly() {
+    let all = batches(1, 30);
+    let mem = Arc::new(MemStorage::new());
+    let mut d = DurableGraph::open(
+        Arc::clone(&mem) as Arc<dyn Storage>,
+        DurableOptions::default(),
+    )
+    .expect("fresh storage opens");
+    for (i, batch) in all.iter().enumerate() {
+        d.append(batch).expect("healthy append");
+        if i % 10 == 9 {
+            d.checkpoint().expect("healthy checkpoint");
+        }
+    }
+    drop(d);
+
+    let mut files = mem.snapshot();
+    for blob in files
+        .iter_mut()
+        .filter(|(k, _)| k.starts_with("ckpt-"))
+        .map(|(_, v)| v)
+    {
+        blob.truncate(4);
+    }
+    let mem: Arc<dyn Storage> = Arc::new(MemStorage::from_map(files));
+    let err = DurableGraph::open(mem, DurableOptions::default())
+        .expect_err("incomplete history must not recover silently");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
