@@ -2,16 +2,19 @@
 //!
 //! ## Format
 //!
-//! A checkpoint is a single frame — `magic | len | crc32 | body`, like a
-//! WAL record but with its own magic — whose body is a straight
-//! sequential dump:
+//! A checkpoint is a single frame — `magic u32 | len u64 | crc32 u32 |
+//! body`, like a WAL record but with its own magic and a 64-bit length,
+//! because a snapshot of the whole graph is not bounded by the WAL's
+//! per-record cap ([`MAX_CHECKPOINT_BYTES`] is the sanity limit instead,
+//! enforced at write time by [`write_checkpoint`]). The body is a
+//! straight sequential dump:
 //!
 //! ```text
 //! version      u32
-//! term_count   u32
+//! term_count   u64
 //! term[0..n]           (same tag-prefixed encoding as WAL terms,
 //!                       in interning order, so Sym ids round-trip)
-//! triple_count u32
+//! triple_count u64
 //! (s, p, o)[0..m]      3 × u32 row ids, in SPO order
 //! ```
 //!
@@ -36,13 +39,29 @@ use std::io;
 use kg::Graph;
 
 use crate::storage::Storage;
-use crate::wal::{crc32, MAX_RECORD_BYTES};
+use crate::wal::crc32;
 
 /// Frame prefix for checkpoint files ("CKPT").
 pub const CKPT_MAGIC: u32 = 0x434B_5054;
 
-/// Checkpoint body format version.
-pub const CKPT_VERSION: u32 = 1;
+/// Checkpoint body format version. v2 widened the frame length and the
+/// term/triple counts to u64 so snapshots are not bound by the WAL's
+/// 64 MiB per-record cap.
+pub const CKPT_VERSION: u32 = 2;
+
+/// Sanity ceiling on a checkpoint body (1 TiB). [`write_checkpoint`]
+/// refuses to write anything larger — failing the checkpoint loudly
+/// instead of persisting a snapshot that decode would reject — and
+/// [`decode_checkpoint`] treats a larger header length as corruption.
+pub const MAX_CHECKPOINT_BYTES: u64 = 1 << 40;
+
+const CKPT_HEADER_BYTES: usize = 16;
+
+/// Smallest possible encoded term: a tag byte plus a u32 string length.
+const MIN_TERM_BYTES: u64 = 5;
+
+/// Encoded size of one (s, p, o) row: three u32 ids.
+const ROW_BYTES: u64 = 12;
 
 /// File name of checkpoint generation `seq`.
 pub fn ckpt_name(seq: u64) -> String {
@@ -75,7 +94,7 @@ pub fn parse_wal_seq(name: &str) -> Option<u64> {
 pub fn encode_checkpoint(g: &Graph) -> Vec<u8> {
     let mut body = Vec::with_capacity(64 + g.pool().len() * 32 + g.len() * 12);
     body.extend_from_slice(&CKPT_VERSION.to_le_bytes());
-    body.extend_from_slice(&(g.pool().len() as u32).to_le_bytes());
+    body.extend_from_slice(&(g.pool().len() as u64).to_le_bytes());
     {
         let mut term_bytes = Vec::new();
         for (_, term) in g.pool().iter() {
@@ -83,15 +102,15 @@ pub fn encode_checkpoint(g: &Graph) -> Vec<u8> {
         }
         body.extend_from_slice(&term_bytes);
     }
-    body.extend_from_slice(&(g.len() as u32).to_le_bytes());
+    body.extend_from_slice(&(g.len() as u64).to_le_bytes());
     for t in g.iter() {
         body.extend_from_slice(&t.s.0.to_le_bytes());
         body.extend_from_slice(&t.p.0.to_le_bytes());
         body.extend_from_slice(&t.o.0.to_le_bytes());
     }
-    let mut out = Vec::with_capacity(12 + body.len());
+    let mut out = Vec::with_capacity(CKPT_HEADER_BYTES + body.len());
     out.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
-    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
     out.extend_from_slice(&crc32(&body).to_le_bytes());
     out.extend_from_slice(&body);
     out
@@ -101,27 +120,29 @@ pub fn encode_checkpoint(g: &Graph) -> Vec<u8> {
 /// malformation — truncation, CRC mismatch, version skew, dangling row
 /// ids, trailing bytes. Never panics.
 pub fn decode_checkpoint(buf: &[u8]) -> Option<Graph> {
-    if buf.len() < 12 {
+    if buf.len() < CKPT_HEADER_BYTES {
         return None;
     }
     let magic = u32::from_le_bytes(buf[0..4].try_into().ok()?);
-    let len = u32::from_le_bytes(buf[4..8].try_into().ok()?);
-    let crc = u32::from_le_bytes(buf[8..12].try_into().ok()?);
-    if magic != CKPT_MAGIC || len > MAX_RECORD_BYTES {
+    let len = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+    let crc = u32::from_le_bytes(buf[12..16].try_into().ok()?);
+    if magic != CKPT_MAGIC || len > MAX_CHECKPOINT_BYTES {
         return None;
     }
-    let body = buf.get(12..12 + len as usize)?;
-    if 12 + len as usize != buf.len() || crc32(body) != crc {
+    let body = buf.get(CKPT_HEADER_BYTES..CKPT_HEADER_BYTES + len as usize)?;
+    if CKPT_HEADER_BYTES + len as usize != buf.len() || crc32(body) != crc {
         return None;
     }
     let mut r = crate::wal::ByteReader::new(body);
     if r.u32()? != CKPT_VERSION {
         return None;
     }
-    let term_count = r.u32()? as usize;
-    if term_count > body.len() {
+    let term_count = r.u64()?;
+    if term_count > body.len() as u64 / MIN_TERM_BYTES {
+        // a valid body carries at least MIN_TERM_BYTES per claimed term
         return None;
     }
+    let term_count = term_count as usize;
     let mut g = Graph::new();
     for i in 0..term_count {
         let term = r.term()?;
@@ -131,11 +152,13 @@ pub fn decode_checkpoint(buf: &[u8]) -> Option<Graph> {
             return None;
         }
     }
-    let triple_count = r.u32()? as usize;
-    if triple_count > body.len() {
+    let triple_count = r.u64()?;
+    if triple_count > body.len() as u64 / ROW_BYTES {
+        // likewise: every row is exactly ROW_BYTES in the dump
         return None;
     }
-    let mut rows = Vec::with_capacity(triple_count);
+    let triple_count = triple_count as usize;
+    let mut rows = Vec::with_capacity(triple_count.min(65_536));
     for _ in 0..triple_count {
         let (s, p, o) = (r.u32()?, r.u32()?, r.u32()?);
         if s as usize >= term_count || p as usize >= term_count || o as usize >= term_count {
@@ -151,11 +174,28 @@ pub fn decode_checkpoint(buf: &[u8]) -> Option<Graph> {
 }
 
 /// Write checkpoint generation `seq` atomically (temp, sync, rename).
+///
+/// Fails with `InvalidInput` — before touching storage — if the encoded
+/// body exceeds [`MAX_CHECKPOINT_BYTES`]: persisting a snapshot that
+/// [`decode_checkpoint`] would reject as corrupt must surface as an
+/// error to the caller (which then keeps the WAL instead of rotating),
+/// never as a checkpoint that silently cannot be loaded.
 pub fn write_checkpoint(storage: &dyn Storage, seq: u64, g: &Graph) -> io::Result<()> {
+    let image = encode_checkpoint(g);
+    let body_len = (image.len() - CKPT_HEADER_BYTES) as u64;
+    if body_len > MAX_CHECKPOINT_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "checkpoint body of {body_len} bytes exceeds MAX_CHECKPOINT_BYTES \
+                 ({MAX_CHECKPOINT_BYTES})"
+            ),
+        ));
+    }
     let name = ckpt_name(seq);
     let tmp = format!("{name}.tmp");
     storage.remove(&tmp)?;
-    storage.append(&tmp, &encode_checkpoint(g))?;
+    storage.append(&tmp, &image)?;
     storage.sync(&tmp)?;
     storage.rename(&tmp, &name)
 }
@@ -247,6 +287,56 @@ mod tests {
         for cut in 0..buf.len() {
             assert!(decode_checkpoint(&buf[..cut]).is_none(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn checkpoint_larger_than_a_wal_record_round_trips() {
+        // Regression: snapshots are not bounded by the WAL's 64 MiB
+        // per-record cap — a graph whose dump exceeds MAX_RECORD_BYTES
+        // must still write and load.
+        let mut g = Graph::new();
+        let p = g.intern(Term::iri("http://ex.org/p"));
+        let filler = "x".repeat(4096);
+        for i in 0..17_000u32 {
+            let s = g.intern(Term::iri(format!("http://ex.org/s{}", i % 100)));
+            let o = g.intern(Term::lit(format!("{filler}{i}")));
+            g.insert(s, p, o);
+        }
+        g.compact();
+        let image = encode_checkpoint(&g);
+        assert!(
+            image.len() > crate::wal::MAX_RECORD_BYTES as usize,
+            "test graph must dump past the WAL record cap, got {} bytes",
+            image.len()
+        );
+        let storage = MemStorage::new();
+        write_checkpoint(&storage, 1, &g).unwrap();
+        let loaded = load_latest_checkpoint(&storage).unwrap().expect("some");
+        assert_eq!(loaded.graph.len(), g.len());
+        assert_eq!(loaded.graph.pool().len(), g.pool().len());
+    }
+
+    #[test]
+    fn decode_rejects_oversized_length_and_inflated_counts() {
+        // a header claiming a body past MAX_CHECKPOINT_BYTES is
+        // corruption, not an allocation request
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        bad.extend_from_slice(&(MAX_CHECKPOINT_BYTES + 1).to_le_bytes());
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_checkpoint(&bad).is_none());
+
+        // a CRC-valid body whose term count outruns its bytes is rejected
+        // before the term loop allocates anything
+        let mut body = Vec::new();
+        body.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        body.extend_from_slice(&u64::MAX.to_le_bytes());
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        framed.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&crc32(&body).to_le_bytes());
+        framed.extend_from_slice(&body);
+        assert!(decode_checkpoint(&framed).is_none());
     }
 
     #[test]

@@ -43,9 +43,16 @@ use crate::storage::Storage;
 /// Frame prefix guarding record boundaries ("WALR").
 pub const RECORD_MAGIC: u32 = 0x5741_4C52;
 
-/// Upper bound on a single record payload; anything larger in a header is
-/// treated as corruption, not an allocation request.
+/// Upper bound on a single record payload. Enforced symmetrically:
+/// [`WalWriter::append`] rejects larger batches before touching storage,
+/// and [`scan`] treats anything larger in a header as corruption, not an
+/// allocation request — so an acked record can always be replayed.
 pub const MAX_RECORD_BYTES: u32 = 64 << 20;
+
+/// Smallest possible encoded [`Op`]: one tag byte plus three terms, each
+/// at least a tag byte and a u32 string length. Bounds `op_count` claims
+/// against the payload size before any allocation.
+const MIN_OP_BYTES: usize = 1 + 3 * 5;
 
 const FRAME_HEADER_BYTES: usize = 12;
 
@@ -191,6 +198,12 @@ impl<'a> ByteReader<'a> {
         Some(u32::from_le_bytes(bytes.try_into().ok()?))
     }
 
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+
     fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.buf.get(self.at..self.at + len)?;
@@ -248,11 +261,12 @@ pub fn encode_batch(ops: &[Op]) -> Vec<u8> {
 pub fn decode_batch(payload: &[u8]) -> Option<Vec<Op>> {
     let mut r = ByteReader::new(payload);
     let count = r.u32()? as usize;
-    if count > payload.len() {
-        // each op needs well over one byte; cheap sanity bound
+    if count > payload.len().saturating_sub(4) / MIN_OP_BYTES {
+        // a valid payload carries at least MIN_OP_BYTES per claimed op,
+        // so an inflated count is malformation, not an allocation request
         return None;
     }
-    let mut ops = Vec::with_capacity(count);
+    let mut ops = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
         let tag = r.u8()?;
         let s = r.term()?;
@@ -268,7 +282,16 @@ pub fn decode_batch(payload: &[u8]) -> Option<Vec<Op>> {
 }
 
 /// Wrap a payload in the `magic | len | crc | payload` frame.
+///
+/// Panics if the payload exceeds [`MAX_RECORD_BYTES`] — such a frame
+/// could never be replayed, and [`WalWriter::append`] rejects oversize
+/// batches with an error before framing.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_RECORD_BYTES as usize,
+        "payload of {} bytes exceeds MAX_RECORD_BYTES",
+        payload.len()
+    );
     let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
     put_u32(&mut out, RECORD_MAGIC);
     put_u32(&mut out, payload.len() as u32);
@@ -481,13 +504,31 @@ impl WalWriter {
                 "wal writer poisoned by an unrepairable torn append",
             ));
         }
-        let bytes = frame(&encode_batch(ops));
+        let payload = encode_batch(ops);
+        if payload.len() > MAX_RECORD_BYTES as usize {
+            // A frame this large would be read back as corruption and
+            // truncate the log at recovery — refuse it before storage is
+            // touched so the caller gets an error, never a durably-acked
+            // write that cannot be replayed.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "batch payload of {} bytes exceeds MAX_RECORD_BYTES ({MAX_RECORD_BYTES})",
+                    payload.len()
+                ),
+            ));
+        }
+        let bytes = frame(&payload);
         if let Err(e) = self.storage.append(&self.name, &bytes) {
             reg.incr("wal.io_errors", 1);
             // Repair the tear so the next append starts on a record
-            // boundary; failure to repair poisons the writer.
-            if self.storage.truncate(&self.name, self.len).is_err() {
-                self.poisoned = true;
+            // boundary; failure to repair poisons the writer. A missing
+            // file at offset 0 needs no repair: the failed append was the
+            // segment's first and never created it.
+            if let Err(te) = self.storage.truncate(&self.name, self.len) {
+                if !(self.len == 0 && te.kind() == io::ErrorKind::NotFound) {
+                    self.poisoned = true;
+                }
             }
             return Err(e);
         }
@@ -582,6 +623,14 @@ mod tests {
         let mut bad_tag = encode_batch(&batch(1));
         bad_tag[4] = 9; // op tag byte
         assert!(decode_batch(&bad_tag).is_none());
+        // an op count the payload cannot possibly hold is rejected
+        // before any allocation
+        let mut inflated = Vec::new();
+        put_u32(&mut inflated, u32::MAX);
+        assert!(decode_batch(&inflated).is_none());
+        let mut one_op_claiming_two = encode_batch(&batch(1));
+        one_op_claiming_two[0] = 2;
+        assert!(decode_batch(&one_op_claiming_two).is_none());
     }
 
     #[test]
@@ -611,6 +660,64 @@ mod tests {
         assert_eq!(replay.batches.len(), 3);
         assert_eq!(replay.batches[0], batch(2));
         assert_eq!(replay.bytes_valid, w.len());
+    }
+
+    #[test]
+    fn append_rejects_oversize_batch_before_touching_storage() {
+        let storage = Arc::new(MemStorage::new());
+        let reg = Registry::new();
+        let mut w = WalWriter::resume(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            "wal-0.log",
+            GroupCommit::default(),
+            0,
+            0,
+        );
+        // one op whose lexical alone exceeds the record cap
+        let big = vec![Op::Insert(
+            t(0),
+            t(1),
+            Term::lit("y".repeat(MAX_RECORD_BYTES as usize + 1)),
+        )];
+        let err = w.append(&big, &reg).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // nothing landed, nothing acked, writer still healthy
+        assert_eq!(storage.read("wal-0.log").unwrap(), None);
+        assert!(!w.is_poisoned());
+        assert_eq!(w.appended_batches(), 0);
+        assert_eq!(reg.counter("wal.appends"), 0);
+        // and a normal batch still goes through afterwards
+        w.append(&batch(2), &reg).unwrap();
+        w.sync(&reg).unwrap();
+        assert_eq!(w.acked_batches(), 1);
+    }
+
+    #[test]
+    fn failed_first_append_on_fresh_segment_does_not_poison() {
+        use crate::storage::{FaultyStorage, IoFaultConfig};
+        // every append fails from byte 0, so the segment file is never
+        // created; the tear-repair truncate hits NotFound, which at
+        // offset 0 is no tear at all
+        let storage = Arc::new(FaultyStorage::new(IoFaultConfig {
+            kill_at_byte: Some(0),
+            ..IoFaultConfig::default()
+        }));
+        let reg = Registry::new();
+        let mut w = WalWriter::resume(
+            Arc::clone(&storage) as Arc<dyn Storage>,
+            "wal-0.log",
+            GroupCommit::default(),
+            0,
+            0,
+        );
+        assert!(w.append(&batch(1), &reg).is_err());
+        assert!(
+            !w.is_poisoned(),
+            "a transient first-append failure must stay transient"
+        );
+        // a later retry is an ordinary append error, not a poison error
+        let err = w.append(&batch(1), &reg).unwrap_err();
+        assert!(!err.to_string().contains("poisoned"), "{err}");
     }
 
     #[test]
