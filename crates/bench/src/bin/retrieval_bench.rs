@@ -14,6 +14,13 @@
 //!    auto threshold disables it there (see `docs/retrieval.md`).
 //! 3. **IVF probe sweep**: recall@k of the k-means-quantized search
 //!    against exact, per probe count, with the scanned-vector fraction.
+//! 4. **batched query-matrix retrieval**: QPS of `search_batch` (the
+//!    register-blocked `matmul_tile` kernel with runtime SIMD dispatch)
+//!    vs the single-query loop, across batch sizes. Recall is fixed by
+//!    construction — the series gates on bit-identical hits — and the
+//!    full run gates batch ≥ 3× single-query throughput at batch 16+.
+//! 5. **IVF seeding**: shuffle vs k-means++ recall at fixed probes
+//!    (regression-gated), plus the elbow heuristic's `build_auto` pick.
 //!
 //! Flags:
 //!
@@ -26,7 +33,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use kgrag::reference::seed_search_exact;
-use kgrag::{SearchOptions, VectorIndex};
+use kgrag::{IvfSeeding, SearchOptions, VectorIndex};
 use llmkg_bench::{header, write_report, EXP_SEED};
 use serde_json::{json, Value};
 use slm::embedding::{hash_vector, normalize, DIM};
@@ -332,6 +339,159 @@ fn ivf_series(n: usize, n_queries: usize, smoke: bool) -> Value {
     })
 }
 
+/// Series 4: batched query-matrix retrieval vs the single-query loop,
+/// across batch sizes, bit-identical and therefore at *fixed* recall.
+fn batch_series(n: usize, smoke: bool) -> Value {
+    header("Batched query-matrix kernel (QPS at fixed recall@10)");
+    let vectors = make_corpus(n, "batch");
+    let index = VectorIndex::build(vectors, 0, EXP_SEED).with_options(SearchOptions::sequential());
+    let dispatch = slm::dispatch_path().label();
+    println!("n_docs: {n}, dispatch path: {dispatch}");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12} {:>9}",
+        "batch", "single ns/q", "batch ns/q", "single QPS", "batch QPS", "speedup"
+    );
+    let mut entries = Vec::new();
+    for &batch in &[1usize, 4, 16, 64] {
+        let queries = make_queries(batch, "batch");
+        // correctness gate: bit-identical to the per-query exact scan,
+        // so recall@10 is equal by construction at every batch size
+        let batched = index.search_batch(&queries, K);
+        for (q, hits) in queries.iter().zip(&batched) {
+            assert_eq!(
+                bits(hits),
+                bits(&index.search_exact(q, K)),
+                "search_batch diverged from search_exact at batch={batch}"
+            );
+        }
+        let single_iters = calibrate(smoke, || {
+            for q in &queries {
+                black_box(index.search_exact(q, K));
+            }
+        });
+        let single_ns = time_ns(single_iters, || {
+            for q in &queries {
+                black_box(index.search_exact(q, K));
+            }
+        }) / batch as f64;
+        let batch_iters = calibrate(smoke, || {
+            black_box(index.search_batch(&queries, K));
+        });
+        let batch_ns = time_ns(batch_iters, || {
+            black_box(index.search_batch(&queries, K));
+        }) / batch as f64;
+        let speedup = single_ns / batch_ns;
+        let single_qps = 1e9 / single_ns;
+        let batch_qps = 1e9 / batch_ns;
+        println!(
+            "{batch:<8} {single_ns:>14.0} {batch_ns:>14.0} {single_qps:>12.0} {batch_qps:>12.0} {speedup:>8.2}x"
+        );
+        // acceptance gate (full mode only — smoke validates the harness,
+        // not single-iteration timings): once the per-call overhead
+        // amortizes, the blocked kernel must clear 3× the single-query
+        // loop at identical recall
+        if !smoke && batch >= 16 {
+            assert!(
+                speedup >= 3.0,
+                "batch throughput gate failed: {speedup:.2}x < 3.0x at batch={batch}"
+            );
+        }
+        entries.push(json!({
+            "batch": batch,
+            "single_ns_per_query": single_ns,
+            "batch_ns_per_query": batch_ns,
+            "single_qps": single_qps,
+            "batch_qps": batch_qps,
+            "speedup": speedup,
+            "bit_identical": true,
+            "recall_vs_single_at_10": 1.0,
+        }));
+    }
+    json!({
+        "n_docs": n,
+        "dim": DIM,
+        "k": K,
+        "dispatch": dispatch,
+        "gate": "batch >= 3x single-query throughput at batch >= 16, bit-identical hits",
+        "batches": entries,
+    })
+}
+
+/// Series 5: IVF seeding quality — shuffle vs k-means++ at fixed probe
+/// count (recall regression gate) and the elbow heuristic's pick.
+fn seeding_series(n: usize, n_queries: usize) -> Value {
+    header("IVF seeding: shuffle vs k-means++ (recall regression gate)");
+    const N_PROBE: usize = 2;
+    let vectors = make_corpus(n, "seeding");
+    let queries = make_queries(n_queries, "seeding");
+    let exact = VectorIndex::build(vectors.clone(), 0, EXP_SEED);
+    let golds: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| ids(&exact.search_exact(q, K)))
+        .collect();
+    println!("n_docs: {n}, clusters: {TOPICS}, n_probe: {N_PROBE}");
+    println!(
+        "{:<10} {:>10} {:>16}",
+        "seeding", "recall@10", "scanned/query"
+    );
+    let mut seedings = Vec::new();
+    let mut recalls = [0.0f64; 2];
+    for (slot, (label, seeding)) in [
+        ("shuffle", IvfSeeding::Shuffle),
+        ("kmeanspp", IvfSeeding::KmeansPP),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let ivf = VectorIndex::build_with_seeding(vectors.clone(), TOPICS, EXP_SEED, seeding);
+        assert!(ivf.ivf_enabled(), "seeding corpus must quantize");
+        let mut overlap = 0usize;
+        let mut scanned = 0usize;
+        for (q, gold) in queries.iter().zip(&golds) {
+            let (hits, stats) = ivf.search_ivf_with_stats(q, K, N_PROBE);
+            overlap += ids(&hits).iter().filter(|i| gold.contains(i)).count();
+            scanned += stats.vectors_scanned;
+        }
+        let recall = overlap as f64 / (K * queries.len()) as f64;
+        recalls[slot] = recall;
+        let per_query = scanned / queries.len();
+        println!("{label:<10} {recall:>10.3} {per_query:>16}");
+        seedings.push(json!({
+            "seeding": label,
+            "recall_at_10": recall,
+            "vectors_scanned_per_query": per_query,
+        }));
+    }
+    // regression gate: the k-means++ default must not lose recall against
+    // the old shuffle seeding (within noise)
+    assert!(
+        recalls[1] + 0.02 >= recalls[0],
+        "k-means++ recall regression: {:.3} vs shuffle {:.3}",
+        recalls[1],
+        recalls[0]
+    );
+    // the elbow heuristic must land a working quantizer at a cluster
+    // count in the neighborhood of the planted topic structure
+    let auto = VectorIndex::build_auto(vectors, EXP_SEED);
+    assert!(auto.ivf_enabled(), "build_auto must quantize this corpus");
+    let chosen = auto.n_clusters();
+    println!("elbow pick: {chosen} clusters ({TOPICS} topics planted)");
+    let cap = (n as f64).sqrt() as usize;
+    assert!(
+        (2..=cap).contains(&chosen),
+        "elbow pick {chosen} outside [2, √n = {cap}]"
+    );
+    json!({
+        "n_docs": n,
+        "queries": n_queries,
+        "n_clusters": TOPICS,
+        "n_probe": N_PROBE,
+        "gate": "kmeanspp recall@10 >= shuffle recall@10 - 0.02",
+        "seedings": seedings,
+        "elbow_n_clusters": chosen,
+    })
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (sizes, n_queries): (Vec<usize>, usize) = if smoke {
@@ -348,6 +508,8 @@ fn main() {
     let exact = exact_series(&sizes, n_queries, smoke);
     let parallel = parallel_series(*sizes.last().expect("sizes"), n_queries, smoke);
     let ivf = ivf_series(*sizes.last().expect("sizes"), n_queries, smoke);
+    let batch = batch_series(*sizes.last().expect("sizes"), smoke);
+    let seeding = seeding_series(*sizes.last().expect("sizes"), n_queries);
 
     write_report(
         report_name,
@@ -357,11 +519,14 @@ fn main() {
             "seed": EXP_SEED,
             "dim": DIM,
             "k": K,
+            "dispatch": slm::dispatch_path().label(),
             "baseline": "seed VectorIndex (Vec<Vec<f32>> rows, full cosine per pair, full sort)",
             "candidate": "flat arena (unit-normalized rows, chunked dot kernel, bounded-heap top-k)",
             "exact": Value::Array(exact),
             "parallel": parallel,
             "ivf": ivf,
+            "batch": batch,
+            "seeding": seeding,
         }),
     );
     println!("\nwrote reports/{report_name}.json");

@@ -76,38 +76,25 @@ pub fn normalize(v: &mut [f32]) {
     }
 }
 
-/// Number of independent accumulator lanes in [`dot`]. Eight `f32` lanes
-/// fill one 256-bit vector register, and the lane independence is what
-/// lets the compiler keep the loop as pure SIMD mul-adds instead of a
-/// serial dependency chain.
-const DOT_LANES: usize = 8;
-
-/// Dot product over equal-length slices, chunked into `DOT_LANES` (8)
-/// independent accumulators so the loop auto-vectorizes.
+/// Dot product over equal-length slices: the portable 8-lane kernel
+/// ([`crate::kernel::dot_scalar`]), which auto-vectorizes and stays the
+/// fastest option for a *single* 64-dim pair — the explicit SIMD paths
+/// in [`crate::kernel`] only win once their call overhead amortizes
+/// over a batch, which is why the batched entry points
+/// ([`crate::kernel::matmul_tile`] / [`crate::kernel::dot_batch`])
+/// dispatch and this one does not.
 ///
 /// This is the retrieval kernel: over unit-normalized vectors the dot
 /// product *is* the cosine, at a third of [`cosine`]'s arithmetic and
 /// with no per-pair norm recomputation. The accumulators are reduced
 /// pairwise at the end, so the result is deterministic for a given
-/// input (independent of call site), though not bit-identical to a
-/// strictly sequential summation.
+/// input (independent of call site), and bit-identical to every SIMD
+/// dispatch path — though not to a strictly sequential summation.
+#[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     let n = a.len().min(b.len());
-    let (a, b) = (&a[..n], &b[..n]);
-    let mut acc = [0.0f32; DOT_LANES];
-    let mut ca = a.chunks_exact(DOT_LANES);
-    let mut cb = b.chunks_exact(DOT_LANES);
-    for (xs, ys) in (&mut ca).zip(&mut cb) {
-        for lane in 0..DOT_LANES {
-            acc[lane] += xs[lane] * ys[lane];
-        }
-    }
-    let mut tail = 0.0f32;
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        tail += x * y;
-    }
-    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7])) + tail
+    crate::kernel::dot_scalar(&a[..n], &b[..n])
 }
 
 /// Cosine similarity between two equal-length vectors.

@@ -29,6 +29,7 @@ pub mod chat;
 pub mod embedding;
 pub mod evidence;
 pub mod generate;
+pub mod kernel;
 pub mod model;
 pub mod ngram;
 pub mod prompt;
@@ -39,6 +40,7 @@ pub use chat::{ChatSession, Message, Role};
 pub use embedding::Embedder;
 pub use evidence::{EvidenceIndex, Retrieved};
 pub use generate::GenParams;
+pub use kernel::{dispatch_path, DispatchPath};
 pub use model::{Slm, SlmBuilder};
 pub use prompt::PromptTemplate;
 pub use task::{Answer, Verdict, VerdictLabel};

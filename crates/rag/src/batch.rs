@@ -1,0 +1,265 @@
+//! Request coalescing for the retrieval kernel: group-commit for
+//! vector searches.
+//!
+//! The serve engine runs one [`crate::VectorIndex`] under many worker
+//! threads, each issuing independent single-query searches. Every such
+//! search pays a full arena pass, but the batched kernel
+//! ([`crate::VectorIndex::search_batch`]) amortizes that pass across
+//! queries. The [`Coalescer`] bridges the two: concurrent callers that
+//! arrive within one **time/size window** are collected by the first
+//! arrival (the *leader*), serviced by a single batched kernel
+//! invocation, and handed their per-query slice back.
+//!
+//! The protocol mirrors the WAL's group commit: the first thread into an
+//! empty window becomes leader and waits up to [`BatchWindow::max_wait`]
+//! for companions (leaving early the moment [`BatchWindow::max_batch`]
+//! queries are pending — latency is bounded by construction); followers
+//! park on a per-request slot until the leader fills it. A window with a
+//! single member degenerates to a batch of one, whose cost equals the
+//! plain exact scan, so the worst case under no concurrency is one
+//! `max_wait` of added latency and nothing else.
+//!
+//! Results are **bit-identical** to per-query
+//! [`crate::VectorIndex::search_exact`]: the batch runs at the window's
+//! maximum `k` and each caller's hits are the first `k` of that list —
+//! a prefix, because the total-order comparator makes every top-k′ for
+//! `k′ < k` a prefix of the top-k.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::vector::{Hit, VectorIndex};
+
+/// Size/time bounds of one coalescing window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchWindow {
+    /// Flush as soon as this many queries are pending.
+    pub max_batch: usize,
+    /// Flush after this long even if the window is not full — the upper
+    /// bound on latency added to an uncontended request.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchWindow {
+    /// 8 queries / 200 µs: wide enough to catch genuinely concurrent
+    /// traffic, short enough to be invisible next to a millisecond-scale
+    /// arena scan.
+    fn default() -> Self {
+        BatchWindow {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+        }
+    }
+}
+
+/// How a caller's request was serviced within its window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowRole {
+    /// This caller collected the window and ran the batched kernel for
+    /// `window` queries (its own included).
+    Leader {
+        /// Number of queries serviced by the one kernel invocation.
+        window: usize,
+    },
+    /// Another caller's kernel invocation serviced this request.
+    Follower,
+}
+
+/// One caller's parked request: filled by the leader, consumed by the
+/// follower.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<Vec<Hit>>>,
+    ready: Condvar,
+}
+
+struct Entry {
+    query: Vec<f32>,
+    k: usize,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct State {
+    pending: Vec<Entry>,
+    /// A leader is currently collecting the window.
+    leader_active: bool,
+}
+
+/// The shared window state: [`VectorIndex::with_coalescing`] attaches
+/// one of these behind an `Arc` so index clones coalesce together.
+///
+/// [`VectorIndex::with_coalescing`]: crate::VectorIndex::with_coalescing
+pub struct Coalescer {
+    window: BatchWindow,
+    state: Mutex<State>,
+    /// Signalled when the pending window fills, releasing the leader
+    /// before its timer runs out.
+    arrived: Condvar,
+}
+
+impl std::fmt::Debug for Coalescer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coalescer")
+            .field("window", &self.window)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Coalescer {
+    /// A coalescer with the given window bounds (`max_batch` is clamped
+    /// to at least 1).
+    pub fn new(window: BatchWindow) -> Self {
+        Coalescer {
+            window: BatchWindow {
+                max_batch: window.max_batch.max(1),
+                max_wait: window.max_wait,
+            },
+            state: Mutex::new(State::default()),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// The configured window bounds.
+    pub fn window(&self) -> BatchWindow {
+        self.window
+    }
+
+    /// Service one query through the current window. Blocks the calling
+    /// thread for at most `max_wait` plus one batched kernel invocation.
+    pub fn run(&self, index: &VectorIndex, query: &[f32], k: usize) -> (Vec<Hit>, WindowRole) {
+        let slot = Arc::new(Slot::default());
+        let mut st = self.state.lock().expect("coalescer state poisoned");
+        st.pending.push(Entry {
+            query: query.to_vec(),
+            k,
+            slot: Arc::clone(&slot),
+        });
+        if !st.leader_active {
+            // leader: collect companions until the window fills or the
+            // timer expires, then run one batched search for everyone
+            st.leader_active = true;
+            let deadline = Instant::now() + self.window.max_wait;
+            while st.pending.len() < self.window.max_batch {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .arrived
+                    .wait_timeout(st, deadline - now)
+                    .expect("coalescer state poisoned");
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let batch = std::mem::take(&mut st.pending);
+            st.leader_active = false;
+            drop(st);
+            let window = batch.len();
+            let k_max = batch.iter().map(|e| e.k).max().unwrap_or(0);
+            let queries: Vec<Vec<f32>> = batch.iter().map(|e| e.query.clone()).collect();
+            let results = index.search_batch(&queries, k_max);
+            let mut own = Vec::new();
+            for (entry, mut hits) in batch.into_iter().zip(results) {
+                hits.truncate(entry.k);
+                if Arc::ptr_eq(&entry.slot, &slot) {
+                    own = hits;
+                } else {
+                    *entry.slot.result.lock().expect("slot poisoned") = Some(hits);
+                    entry.slot.ready.notify_one();
+                }
+            }
+            (own, WindowRole::Leader { window })
+        } else {
+            // follower: wake the leader if we just filled the window,
+            // then park until it delivers
+            if st.pending.len() >= self.window.max_batch {
+                self.arrived.notify_one();
+            }
+            drop(st);
+            let mut result = slot.result.lock().expect("slot poisoned");
+            while result.is_none() {
+                result = slot.ready.wait(result).expect("slot poisoned");
+            }
+            (result.take().expect("checked above"), WindowRole::Follower)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(n: usize) -> VectorIndex {
+        let vectors: Vec<Vec<f32>> = (0..n)
+            .map(|i| slm::embedding::hash_vector(&format!("doc-{i}")))
+            .collect();
+        VectorIndex::build(vectors, 0, 0)
+    }
+
+    #[test]
+    fn solo_window_matches_exact_bitwise() {
+        let idx = index(200).with_coalescing(BatchWindow {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+        });
+        let q = slm::embedding::hash_vector("doc-3");
+        let exact = idx.search_exact(&q, 5);
+        let coalesced = idx.search_coalesced(&q, 5);
+        let bits = |hits: &[Hit]| -> Vec<(usize, u32)> {
+            hits.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+        };
+        assert_eq!(bits(&exact), bits(&coalesced));
+    }
+
+    #[test]
+    fn concurrent_searches_coalesce_and_match_exact() {
+        let idx = std::sync::Arc::new(index(400).with_coalescing(BatchWindow {
+            max_batch: 4,
+            max_wait: Duration::from_millis(200),
+        }));
+        let threads = 8;
+        let results: Vec<(usize, Vec<Hit>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let idx = std::sync::Arc::clone(&idx);
+                    scope.spawn(move |_| {
+                        let q = slm::embedding::hash_vector(&format!("doc-{t}"));
+                        // heterogeneous k exercises the truncation path
+                        let k = 3 + t % 3;
+                        (t, idx.search_coalesced(&q, k))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        for (t, hits) in results {
+            let q = slm::embedding::hash_vector(&format!("doc-{t}"));
+            let exact = idx.search_exact(&q, 3 + t % 3);
+            let bits = |hits: &[Hit]| -> Vec<(usize, u32)> {
+                hits.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+            };
+            assert_eq!(bits(&exact), bits(&hits), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn coalesced_observed_records_batch_counters() {
+        let idx = index(64).with_coalescing(BatchWindow {
+            max_batch: 2,
+            max_wait: Duration::from_micros(50),
+        });
+        let (tracer, _recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("test");
+        let q = slm::embedding::hash_vector("doc-1");
+        let hits = idx.search_coalesced_observed(&q, 4, &root);
+        root.finish();
+        assert_eq!(hits.len(), 4);
+        assert_eq!(tracer.registry().counter("retrieval.batch.coalesced"), 1);
+        assert_eq!(tracer.registry().counter("retrieval.batch.windows"), 1);
+        assert_eq!(tracer.registry().counter("retrieval.batch.queries"), 1);
+    }
+}

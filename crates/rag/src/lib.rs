@@ -21,6 +21,7 @@
 //!   (label propagation) → community summaries → map-reduce answering of
 //!   *global* questions that pointwise retrieval cannot serve.
 
+pub mod batch;
 pub mod chunk;
 pub mod graphrag;
 pub mod inject;
@@ -28,8 +29,9 @@ pub mod pipeline;
 pub mod reference;
 pub mod vector;
 
+pub use batch::{BatchWindow, Coalescer, WindowRole};
 pub use chunk::{chunk_sentences, Chunk};
 pub use graphrag::GraphRag;
 pub use inject::{inject_knowledge, rare_term_definitions};
 pub use pipeline::{RagAnswer, RagMode, RagPipeline};
-pub use vector::{SearchOptions, SearchStats, VectorIndex};
+pub use vector::{IvfFallback, IvfSeeding, SearchOptions, SearchStats, VectorIndex};

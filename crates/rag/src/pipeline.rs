@@ -119,6 +119,23 @@ impl<'a> RagPipeline<'a> {
         self
     }
 
+    /// Enable request coalescing on the vector index: concurrent answers
+    /// (e.g. serve workers sharing one pipeline) that retrieve within one
+    /// time/size window are serviced by a single batched kernel pass.
+    /// Results stay bit-identical to uncoalesced retrieval (see
+    /// [`crate::batch`]); a solo caller pays at most the window's
+    /// `max_wait` in extra latency.
+    pub fn with_coalescing(mut self, window: crate::batch::BatchWindow) -> Self {
+        self.index = self.index.with_coalescing(window);
+        self
+    }
+
+    /// The pipeline's vector index — serve surfaces its IVF fallback
+    /// reason and coalescing window in `stats` replies.
+    pub fn vector_index(&self) -> &VectorIndex {
+        &self.index
+    }
+
     /// Attach a cancellation token, checked before each answer's ladder
     /// runs. A serving front end trips it when the client disconnects, so
     /// an abandoned question degrades straight to the apology rung
@@ -192,7 +209,7 @@ impl<'a> RagPipeline<'a> {
                 }
                 let hits =
                     self.index
-                        .search_exact_observed(&self.slm.embed(question), self.k, span);
+                        .search_coalesced_observed(&self.slm.embed(question), self.k, span);
                 let candidates = hits.len();
                 self.vector_rung(question, &hits, candidates, span, trace)
             }
@@ -201,10 +218,10 @@ impl<'a> RagPipeline<'a> {
                     fall(span, trace, "vector", "fault injected: exec");
                     return self.closed_book_rung(question, span, trace);
                 }
-                // round 1: retrieve, harvest expansion terms
-                let first =
-                    self.index
-                        .search_exact_observed(&self.slm.embed(question), self.k, span);
+                // round 1: retrieve, harvest expansion terms (the question
+                // embedding is reused for the semantic rerank leg below)
+                let q_vec = self.slm.embed(question);
+                let first = self.index.search_coalesced_observed(&q_vec, self.k, span);
                 let mut expanded = question.to_string();
                 for &(id, _) in first.iter().take(2) {
                     for term in slm::task::capitalized_spans(&self.chunks[id].text) {
@@ -217,26 +234,33 @@ impl<'a> RagPipeline<'a> {
                 span.set("expanded_query_chars", expanded.len());
                 // round 2: retrieve with the expanded query, then rerank by
                 // blended semantic + lexical score against the ORIGINAL query
-                let candidates =
-                    self.index
-                        .search_exact_observed(&self.slm.embed(&expanded), self.k * 2, span);
+                let candidates = self.index.search_coalesced_observed(
+                    &self.slm.embed(&expanded),
+                    self.k * 2,
+                    span,
+                );
                 let lexical = slm::EvidenceIndex::from_sentences(
                     candidates
                         .iter()
                         .map(|&(id, _)| self.chunks[id].text.as_str()),
                 );
-                let mut reranked: Vec<(usize, f32)> = candidates
+                // lexical pass once for the whole pool (it was previously
+                // re-run per candidate, an O(N²) inner loop) …
+                let mut lex = vec![0.0f32; candidates.len()];
+                for r in lexical.retrieve(question, candidates.len()) {
+                    lex[r.id] = r.score as f32;
+                }
+                // … and the semantic leg against the ORIGINAL question in
+                // one gathered-row batched kernel call (the round-2 scores
+                // measure similarity to the expanded query, not the one
+                // the user asked)
+                let ids: Vec<usize> = candidates.iter().map(|&(id, _)| id).collect();
+                let sem = self.index.score_docs(&q_vec, &ids);
+                let mut reranked: Vec<(usize, f32)> = ids
                     .iter()
-                    .enumerate()
-                    .map(|(pos, &(id, sem))| {
-                        let lex = lexical
-                            .retrieve(question, candidates.len())
-                            .into_iter()
-                            .find(|r| r.id == pos)
-                            .map(|r| r.score as f32)
-                            .unwrap_or(0.0);
-                        (id, 0.5 * sem + 0.5 * lex)
-                    })
+                    .zip(&sem)
+                    .zip(&lex)
+                    .map(|((&id, &s), &l)| (id, 0.5 * s + 0.5 * l))
                     .collect();
                 // total-order comparator: a NaN blended score (zero-vector
                 // embedding) ranks deterministically instead of leaking
@@ -314,7 +338,7 @@ impl<'a> RagPipeline<'a> {
                 }
                 let hits =
                     self.index
-                        .search_exact_observed(&self.slm.embed(question), self.k, span);
+                        .search_coalesced_observed(&self.slm.embed(question), self.k, span);
                 let candidates = hits.len();
                 self.vector_rung(question, &hits, candidates, span, trace)
             }
@@ -609,6 +633,37 @@ mod tests {
         assert_eq!(modular.module, "kg-lookup");
         assert!(modular.candidates > 0, "KG facts count as candidates");
         assert!(modular.context_chars > 0);
+    }
+
+    #[test]
+    fn coalesced_pipeline_answers_match_uncoalesced() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let plain = RagPipeline::new(&f.slm, chunks.clone(), Some(&f.kg.graph));
+        let coalesced = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph))
+            .with_coalescing(crate::batch::BatchWindow::default());
+        assert!(coalesced.vector_index().coalescing_window().is_some());
+        assert!(plain.vector_index().coalescing_window().is_none());
+        for mode in RagMode::all() {
+            let a = plain.answer(mode, &f.question);
+            let b = coalesced.answer(mode, &f.question);
+            assert_eq!(a.text, b.text, "{}", mode.name());
+            assert_eq!(a.retrieved, b.retrieved, "{}", mode.name());
+            assert_eq!(a.candidates, b.candidates, "{}", mode.name());
+        }
+    }
+
+    #[test]
+    fn advanced_rerank_orders_by_blend_against_original_question() {
+        let f = fixture();
+        let chunks = chunk_sentences(&f.corpus_text, 2, 0);
+        let rag = RagPipeline::new(&f.slm, chunks, Some(&f.kg.graph));
+        let a = rag.answer(RagMode::Advanced, &f.question);
+        assert_eq!(a.module, "vector");
+        assert!(a.text.contains(&f.gold), "{a:?}");
+        // the kept set is a subset of the candidate pool, ranked
+        assert!(a.retrieved.len() <= rag.k);
+        assert!(a.candidates >= a.retrieved.len());
     }
 
     #[test]

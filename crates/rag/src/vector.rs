@@ -31,6 +31,22 @@
 //! the sequential scan. The default threshold is derived from the host's
 //! core count exactly like `kgquery::exec::default_parallel_threshold`
 //! (`None` on a single core — sharding is pure overhead there).
+//!
+//! # Batched search
+//!
+//! [`VectorIndex::search_batch`] services Q queries in one arena pass:
+//! queries are packed into a flat Q×dim matrix and scored tile-by-tile
+//! through the register-blocked, SIMD-dispatched
+//! [`slm::kernel::matmul_tile`], so each arena cache line is touched once
+//! per query *group* instead of once per query. Every per-query result
+//! is **bit-identical** to [`VectorIndex::search_exact`] on the same
+//! query: the kernel preserves the scalar accumulation order and the
+//! total-order heap makes the top-k set unique regardless of offer
+//! order. Parallel batch scans shard by **arena tiles, not by query**
+//! (all queries visit every shard), merged per query under the same
+//! comparator. [`VectorIndex::search_batch_ivf`] batches the coarse
+//! quantizer the same way, then scores each probed cluster's members
+//! once for every query probing it via [`slm::kernel::dot_batch`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -41,6 +57,12 @@ use rand::SeedableRng;
 
 use kgquery::exec::compare_f64_total;
 use slm::embedding::{dot, normalize};
+use slm::kernel::{dot_batch, matmul_tile};
+
+/// Arena rows scored per [`slm::kernel::matmul_tile`] call in batched
+/// scans: the per-tile score buffer stays small (`Q × 1024` floats)
+/// while each call still amortizes dispatch overhead over many rows.
+const BATCH_TILE: usize = 1024;
 
 /// A (document id, score) search hit.
 pub type Hit = (usize, f32);
@@ -104,12 +126,49 @@ impl SearchOptions {
     }
 }
 
+/// Why an IVF search fell back to an exact scan. Carried on
+/// [`SearchStats`] (and queryable via [`VectorIndex::ivf_fallback`]) so
+/// the condition is diagnosable from serve `stats` replies instead of
+/// only visible as the anonymous `retrieval.ivf_disabled` counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvfFallback {
+    /// IVF was requested at build time but the corpus held fewer than
+    /// `min_docs` (= `n_clusters × 2`) documents, so quantization was
+    /// skipped and every search scans exactly.
+    CorpusTooSmall {
+        /// Documents actually indexed.
+        n_docs: usize,
+        /// Minimum corpus size that would have enabled IVF.
+        min_docs: usize,
+    },
+}
+
+impl IvfFallback {
+    /// Stable machine-readable reason tag.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            IvfFallback::CorpusTooSmall { .. } => "corpus_too_small",
+        }
+    }
+
+    /// Human-readable description with the concrete sizes.
+    pub fn describe(&self) -> String {
+        match self {
+            IvfFallback::CorpusTooSmall { n_docs, min_docs } => {
+                format!("corpus_too_small: {n_docs} docs < {min_docs} required")
+            }
+        }
+    }
+}
+
 /// Work counters of one search, surfaced as `retrieval.*` observability
 /// counters by the `_observed` search variants (catalogue in
 /// `docs/observability.md`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
-    /// Vectors scored (documents plus, for IVF, centroids).
+    /// Vectors scored (documents plus, for IVF, centroids). A batched
+    /// search counts each document once **per query** so the totals stay
+    /// comparable with the single-query path it replaces.
     pub vectors_scanned: usize,
     /// Insertions into a top-k heap (pushes that displaced or grew the
     /// candidate set). Scheduling-sensitive: a sharded scan keeps one
@@ -120,6 +179,12 @@ pub struct SearchStats {
     pub parallel_shards: usize,
     /// Clusters probed by an IVF search; zero for exact scans.
     pub ivf_probes: usize,
+    /// Queries serviced by one batched kernel invocation; zero for the
+    /// single-query paths.
+    pub batch_queries: usize,
+    /// Structured reason when an IVF search fell back to exact;
+    /// `None` for exact searches and healthy IVF searches.
+    pub ivf_fallback: Option<IvfFallback>,
 }
 
 /// Ranking order of two hits, best first: score descending under the
@@ -189,6 +254,20 @@ impl TopK {
         }
     }
 
+    /// The worst retained score once the heap is full (`None` before
+    /// that). Backs the batch scan's IEEE fast-reject: any candidate
+    /// `<=` this value under plain f32 comparison is guaranteed to be
+    /// rejected by [`TopK::offer`], while NaN (incomparable, ranked
+    /// best by the total order) never satisfies `<=` and so always
+    /// reaches the full comparison.
+    fn worst_score_if_full(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|w| w.0 .1)
+        }
+    }
+
     /// Drain into best-first order.
     fn into_sorted(self) -> Vec<Hit> {
         let mut hits: Vec<Hit> = self.heap.into_iter().map(|w| w.0).collect();
@@ -210,11 +289,16 @@ pub struct VectorIndex {
     /// per-cluster member lists.
     centroids: Vec<f32>,
     clusters: Vec<Vec<usize>>,
-    /// IVF was requested (`n_clusters > 0`) but the corpus was too small
-    /// to quantize; searches fall back to exact and say so via the
-    /// `retrieval.ivf_disabled` counter.
-    ivf_disabled: bool,
+    /// IVF was requested (`n_clusters > 0`) but impossible; searches fall
+    /// back to exact and say so via the `retrieval.ivf_disabled` counter
+    /// plus this structured reason.
+    ivf_fallback: Option<IvfFallback>,
     options: SearchOptions,
+    /// Optional request coalescer shared by clones of this index (see
+    /// [`crate::batch::Coalescer`]): concurrent single-query searches
+    /// inside one time/size window collapse into one batched kernel
+    /// invocation.
+    coalescer: Option<std::sync::Arc<crate::batch::Coalescer>>,
 }
 
 impl VectorIndex {
@@ -223,8 +307,20 @@ impl VectorIndex {
     /// so later scans score cosine with a plain dot product. Vectors
     /// shorter than the first row's dimensionality are zero-padded,
     /// longer ones truncated (all real callers embed with one model, so
-    /// this is defensive only).
+    /// this is defensive only). IVF centroids are seeded with k-means++
+    /// ([`IvfSeeding::KmeansPP`]); use [`VectorIndex::build_with_seeding`]
+    /// to pin the baseline shuffle seeding.
     pub fn build(vectors: Vec<Vec<f32>>, n_clusters: usize, seed: u64) -> Self {
+        Self::build_with_seeding(vectors, n_clusters, seed, IvfSeeding::KmeansPP)
+    }
+
+    /// [`VectorIndex::build`] with an explicit centroid-seeding strategy.
+    pub fn build_with_seeding(
+        vectors: Vec<Vec<f32>>,
+        n_clusters: usize,
+        seed: u64,
+        seeding: IvfSeeding,
+    ) -> Self {
         let n_docs = vectors.len();
         let dim = vectors.first().map(Vec::len).unwrap_or(0);
         let mut data = vec![0.0f32; n_docs * dim];
@@ -235,9 +331,17 @@ impl VectorIndex {
         }
         let ivf_possible = n_clusters > 0 && n_docs >= n_clusters * 2;
         let (centroids, clusters) = if ivf_possible {
-            kmeans(&data, dim, n_docs, n_clusters, seed)
+            kmeans(&data, dim, n_docs, n_clusters, seed, seeding)
         } else {
             (Vec::new(), Vec::new())
+        };
+        let ivf_fallback = if n_clusters > 0 && !ivf_possible {
+            Some(IvfFallback::CorpusTooSmall {
+                n_docs,
+                min_docs: n_clusters * 2,
+            })
+        } else {
+            None
         };
         VectorIndex {
             data,
@@ -245,9 +349,40 @@ impl VectorIndex {
             n_docs,
             centroids,
             clusters,
-            ivf_disabled: n_clusters > 0 && !ivf_possible,
+            ivf_fallback,
             options: SearchOptions::default(),
+            coalescer: None,
         }
+    }
+
+    /// Build with `n_clusters` chosen by an elbow heuristic: sweep `k`
+    /// over powers of two (while `k × 2 ≤ n_docs`, capped at 256), run a
+    /// short quantization pass per candidate, and keep the largest `k`
+    /// whose doubling still cut inertia by at least 10% relative —
+    /// diminishing returns past the corpus's natural cluster count. A
+    /// corpus with no exploitable structure (every doubling below the
+    /// threshold) gets the smallest candidate rather than a large `k`
+    /// that would only fragment recall. Falls back to exact-only when
+    /// the corpus is too small for any candidate.
+    pub fn build_auto(vectors: Vec<Vec<f32>>, seed: u64) -> Self {
+        let n_docs = vectors.len();
+        let dim = vectors.first().map(Vec::len).unwrap_or(0);
+        if n_docs < 4 || dim == 0 {
+            return Self::build(vectors, 0, seed);
+        }
+        let mut data = vec![0.0f32; n_docs * dim];
+        for (row, v) in data.chunks_exact_mut(dim).zip(&vectors) {
+            let n = row.len().min(v.len());
+            row[..n].copy_from_slice(&v[..n]);
+            normalize(row);
+        }
+        let chosen = elbow_n_clusters(&data, dim, n_docs, seed);
+        Self::build(vectors, chosen, seed)
+    }
+
+    /// Number of IVF clusters in use (0 when IVF is disabled).
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
     }
 
     /// Replace the search options (parallelism knobs).
@@ -274,7 +409,26 @@ impl VectorIndex {
     /// Whether IVF was requested at build time but silently impossible
     /// (corpus smaller than `n_clusters * 2`).
     pub fn ivf_disabled(&self) -> bool {
-        self.ivf_disabled
+        self.ivf_fallback.is_some()
+    }
+
+    /// The structured reason IVF is falling back to exact scans, if it
+    /// is (surfaced in serve `stats` replies).
+    pub fn ivf_fallback(&self) -> Option<IvfFallback> {
+        self.ivf_fallback
+    }
+
+    /// Attach a request coalescer: concurrent [`VectorIndex::search_coalesced`]
+    /// calls inside one `window` collapse into a single batched kernel
+    /// invocation. Clones of the index share the same window.
+    pub fn with_coalescing(mut self, window: crate::batch::BatchWindow) -> Self {
+        self.coalescer = Some(std::sync::Arc::new(crate::batch::Coalescer::new(window)));
+        self
+    }
+
+    /// The coalescing window, when one is attached.
+    pub fn coalescing_window(&self) -> Option<crate::batch::BatchWindow> {
+        self.coalescer.as_ref().map(|c| c.window())
     }
 
     /// Whether IVF search is active.
@@ -324,7 +478,7 @@ impl VectorIndex {
     /// `retrieval.*` counters accumulate across searches.
     pub fn search_exact_observed(&self, query: &[f32], k: usize, parent: &obs::Span) -> Vec<Hit> {
         let (hits, stats) = self.search_exact_with_stats(query, k);
-        record_search(parent, "exact", self, k, &hits, &stats, false);
+        record_search(parent, "exact", self, k, hits.len(), &stats);
         hits
     }
 
@@ -414,6 +568,398 @@ impl VectorIndex {
         Some(merged)
     }
 
+    /// Exact top-k for a batch of queries in **one arena pass**: the
+    /// blocked [`slm::kernel::matmul_tile`] streams each arena tile
+    /// through all queries, so memory traffic is amortized across the
+    /// batch. Per-query results are bit-identical to
+    /// [`VectorIndex::search_exact`] on the same query.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+        self.search_batch_with_stats(queries, k).0
+    }
+
+    /// Batched exact top-k, returning aggregated work counters.
+    pub fn search_batch_with_stats(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> (Vec<Vec<Hit>>, SearchStats) {
+        let mut stats = SearchStats {
+            batch_queries: queries.len(),
+            ..SearchStats::default()
+        };
+        if self.n_docs == 0 || k == 0 || queries.is_empty() {
+            return (vec![Vec::new(); queries.len()], stats);
+        }
+        let qmat = self.prepare_batch(queries);
+        let hits = self.batch_scan(&qmat, queries.len(), k, &mut stats);
+        (hits, stats)
+    }
+
+    /// [`VectorIndex::search_batch`] under an observability span: one
+    /// `retrieval.search` child of kind `batch` carrying the window size,
+    /// with `retrieval.batch.*` counters alongside the usual totals.
+    pub fn search_batch_observed(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        parent: &obs::Span,
+    ) -> Vec<Vec<Hit>> {
+        let (hits, stats) = self.search_batch_with_stats(queries, k);
+        let returned: usize = hits.iter().map(Vec::len).sum();
+        record_search(parent, "batch", self, k, returned, &stats);
+        hits
+    }
+
+    /// Score a gathered set of stored rows against one query in a single
+    /// batched kernel invocation: the rows are packed into one contiguous
+    /// panel and handed to [`matmul_tile`], so the dispatch overhead
+    /// amortizes over the whole candidate set instead of being paid per
+    /// dot. Scores are bit-identical to `dot(prepared_query, row)` — the
+    /// reranking consumer in [`crate::pipeline`] relies on that to stay
+    /// comparable with first-round retrieval scores.
+    ///
+    /// Out-of-range ids score `0.0` (nothing stored to compare against),
+    /// mirroring how zero vectors are "similar to nothing".
+    pub fn score_docs(&self, query: &[f32], docs: &[usize]) -> Vec<f32> {
+        if docs.is_empty() || self.n_docs == 0 || self.dim == 0 {
+            return vec![0.0; docs.len()];
+        }
+        let q = self.prepare_query(query);
+        let mut rows = vec![0.0f32; docs.len() * self.dim];
+        for (panel, &doc) in rows.chunks_exact_mut(self.dim).zip(docs) {
+            if doc < self.n_docs {
+                panel.copy_from_slice(self.row(doc));
+            }
+        }
+        let mut out = vec![0.0f32; docs.len()];
+        matmul_tile(&q, 1, &rows, docs.len(), self.dim, &mut out);
+        out
+    }
+
+    /// Pack queries into a flat row-major `Q × dim` matrix, each row
+    /// prepared exactly like [`VectorIndex::prepare_query`] (zero-pad /
+    /// truncate to `dim`, unit-normalize).
+    fn prepare_batch(&self, queries: &[Vec<f32>]) -> Vec<f32> {
+        let mut qmat = vec![0.0f32; queries.len() * self.dim];
+        for (row, q) in qmat.chunks_exact_mut(self.dim.max(1)).zip(queries) {
+            let n = row.len().min(q.len());
+            row[..n].copy_from_slice(&q[..n]);
+            normalize(row);
+        }
+        qmat
+    }
+
+    /// Batched scan over the whole arena: tile-sharded across threads
+    /// when past the parallel threshold, otherwise one sequential tile
+    /// walk.
+    fn batch_scan(
+        &self,
+        qmat: &[f32],
+        n_q: usize,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Vec<Hit>> {
+        let parallel = match self.options.parallel_threshold {
+            Some(threshold) => self.n_docs >= threshold.max(1),
+            None => false,
+        };
+        if parallel {
+            if let Some(hits) = self.batch_scan_parallel(qmat, n_q, k, stats) {
+                return hits;
+            }
+        }
+        let tops = self.batch_scan_range(qmat, n_q, 0, self.n_docs, k);
+        stats.vectors_scanned += self.n_docs * n_q;
+        tops.into_iter()
+            .map(|top| {
+                stats.heap_pushes += top.pushes;
+                top.into_sorted()
+            })
+            .collect()
+    }
+
+    /// Score arena rows `[start, end)` against all `n_q` queries,
+    /// tile-by-tile through the blocked kernel, maintaining one bounded
+    /// top-k heap per query.
+    fn batch_scan_range(
+        &self,
+        qmat: &[f32],
+        n_q: usize,
+        start: usize,
+        end: usize,
+        k: usize,
+    ) -> Vec<TopK> {
+        let mut tops: Vec<TopK> = (0..n_q).map(|_| TopK::new(k)).collect();
+        let mut scores = vec![0.0f32; n_q * BATCH_TILE.min(end - start)];
+        let mut t0 = start;
+        while t0 < end {
+            let t1 = (t0 + BATCH_TILE).min(end);
+            let n_rows = t1 - t0;
+            let rows = &self.data[t0 * self.dim..t1 * self.dim];
+            matmul_tile(
+                qmat,
+                n_q,
+                rows,
+                n_rows,
+                self.dim,
+                &mut scores[..n_q * n_rows],
+            );
+            for (qi, top) in tops.iter_mut().enumerate() {
+                // IEEE fast-reject against the cached worst: once the heap
+                // is full, a score `<=` the current worst loses under
+                // `cmp_hits` too (equal scores tie-break toward the heap's
+                // smaller doc id — rows arrive in ascending id order), so
+                // the O(1) f32 compare skips the f64 total-order compare
+                // without changing which offers succeed. NaN falls through
+                // (`NaN <= w` is false) and takes the slow path, where the
+                // total order ranks it.
+                let mut worst = top.worst_score_if_full();
+                for (r, &score) in scores[qi * n_rows..(qi + 1) * n_rows].iter().enumerate() {
+                    if let Some(w) = worst {
+                        if score <= w {
+                            continue;
+                        }
+                    }
+                    top.offer((t0 + r, score));
+                    worst = top.worst_score_if_full();
+                }
+            }
+            t0 = t1;
+        }
+        tops
+    }
+
+    /// Tile-sharded batched scan: the **arena** is split into contiguous
+    /// row ranges across workers (every query visits every shard — the
+    /// dual of sharding by query, which would forfeit the amortized
+    /// arena pass). Per-shard, per-query top-k survivors merge under the
+    /// total-order comparator, so results are bit-identical to the
+    /// sequential batch scan. Returns `None` when the effective worker
+    /// count is 1.
+    fn batch_scan_parallel(
+        &self,
+        qmat: &[f32],
+        n_q: usize,
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Option<Vec<Vec<Hit>>> {
+        let n = self.n_docs;
+        let workers = self.options.shard_count.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        let shards = workers.min(n);
+        if shards <= 1 {
+            return None;
+        }
+        let chunk = n.div_ceil(shards);
+        let results: Vec<Vec<(Vec<Hit>, usize)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let lo = s * chunk;
+                    let hi = (lo + chunk).min(n);
+                    scope.spawn(move |_| {
+                        self.batch_scan_range(qmat, n_q, lo, hi, k)
+                            .into_iter()
+                            .map(|top| {
+                                let pushes = top.pushes;
+                                (top.into_sorted(), pushes)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch scan worker panicked"))
+                .collect()
+        })
+        .expect("batch scan scope");
+        stats.vectors_scanned += n * n_q;
+        stats.parallel_shards += results.len();
+        let mut merged: Vec<Vec<Hit>> = (0..n_q).map(|_| Vec::with_capacity(shards * k)).collect();
+        for shard in results {
+            for (qi, (hits, pushes)) in shard.into_iter().enumerate() {
+                stats.heap_pushes += pushes;
+                merged[qi].extend(hits);
+            }
+        }
+        for hits in &mut merged {
+            sort_hits(hits);
+            hits.truncate(k);
+        }
+        Some(merged)
+    }
+
+    /// Approximate batched top-k: one batched coarse-quantizer pass, then
+    /// each probed cluster's members are scored once for **all** queries
+    /// probing that cluster ([`slm::kernel::dot_batch`] — each member row
+    /// is loaded once per cluster, not once per query). Per-query results
+    /// are bit-identical to [`VectorIndex::search_ivf`]. Falls back to
+    /// the batched exact scan when IVF is disabled.
+    pub fn search_batch_ivf(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        n_probe: usize,
+    ) -> Vec<Vec<Hit>> {
+        self.search_batch_ivf_with_stats(queries, k, n_probe).0
+    }
+
+    /// Batched IVF top-k, returning aggregated work counters.
+    pub fn search_batch_ivf_with_stats(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        n_probe: usize,
+    ) -> (Vec<Vec<Hit>>, SearchStats) {
+        if self.centroids.is_empty() {
+            let (hits, mut stats) = self.search_batch_with_stats(queries, k);
+            stats.ivf_fallback = self.ivf_fallback;
+            return (hits, stats);
+        }
+        let mut stats = SearchStats {
+            batch_queries: queries.len(),
+            ..SearchStats::default()
+        };
+        let n_q = queries.len();
+        if self.n_docs == 0 || k == 0 || n_q == 0 {
+            return (vec![Vec::new(); n_q], stats);
+        }
+        let qmat = self.prepare_batch(queries);
+        let n_clusters = self.clusters.len();
+        // batched coarse quantizer: Q × C scores in one kernel call
+        let mut cscores = vec![0.0f32; n_q * n_clusters];
+        matmul_tile(
+            &qmat,
+            n_q,
+            &self.centroids,
+            n_clusters,
+            self.dim,
+            &mut cscores,
+        );
+        stats.vectors_scanned += n_clusters * n_q;
+        // per query: nearest n_probe clusters (same heap as search_ivf,
+        // so the probed set is identical); then invert to cluster →
+        // probing queries
+        let mut probers: Vec<Vec<usize>> = vec![Vec::new(); n_clusters];
+        for qi in 0..n_q {
+            let mut nearest = TopK::new(n_probe.max(1));
+            for (ci, &s) in cscores[qi * n_clusters..(qi + 1) * n_clusters]
+                .iter()
+                .enumerate()
+            {
+                nearest.offer((ci, s));
+            }
+            let probed = nearest.into_sorted();
+            stats.ivf_probes += probed.len();
+            for (ci, _) in probed {
+                probers[ci].push(qi);
+            }
+        }
+        // fine scan: per cluster, gather the probing queries into a
+        // contiguous sub-matrix and score every member row once for all
+        // of them
+        let mut tops: Vec<TopK> = (0..n_q).map(|_| TopK::new(k)).collect();
+        let mut qsub: Vec<f32> = Vec::new();
+        let mut out: Vec<f32> = Vec::new();
+        for (ci, qis) in probers.iter().enumerate() {
+            if qis.is_empty() {
+                continue;
+            }
+            qsub.clear();
+            for &qi in qis {
+                qsub.extend_from_slice(&qmat[qi * self.dim..(qi + 1) * self.dim]);
+            }
+            out.resize(qis.len(), 0.0);
+            for &doc in &self.clusters[ci] {
+                dot_batch(&qsub, self.dim, self.row(doc), &mut out);
+                for (slot, &qi) in out.iter().zip(qis) {
+                    tops[qi].offer((doc, *slot));
+                }
+            }
+            stats.vectors_scanned += self.clusters[ci].len() * qis.len();
+        }
+        let hits = tops
+            .into_iter()
+            .map(|top| {
+                stats.heap_pushes += top.pushes;
+                top.into_sorted()
+            })
+            .collect();
+        (hits, stats)
+    }
+
+    /// [`VectorIndex::search_batch_ivf`] under an observability span.
+    pub fn search_batch_ivf_observed(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        n_probe: usize,
+        parent: &obs::Span,
+    ) -> Vec<Vec<Hit>> {
+        let (hits, stats) = self.search_batch_ivf_with_stats(queries, k, n_probe);
+        let kind = if self.ivf_enabled() {
+            "batch_ivf"
+        } else {
+            "batch"
+        };
+        let returned: usize = hits.iter().map(Vec::len).sum();
+        record_search(parent, kind, self, k, returned, &stats);
+        hits
+    }
+
+    /// Single-query search that opportunistically rides a batched kernel
+    /// invocation: when a coalescer is attached
+    /// ([`VectorIndex::with_coalescing`]) and other threads search within
+    /// the same window, all window members are serviced by **one**
+    /// [`VectorIndex::search_batch`] call. Results are bit-identical to
+    /// [`VectorIndex::search_exact`] either way (a batched top-k at the
+    /// window's max k truncates to each caller's k — a prefix under the
+    /// total order).
+    pub fn search_coalesced(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        match &self.coalescer {
+            Some(c) => c.run(self, query, k).0,
+            None => self.search_exact(query, k),
+        }
+    }
+
+    /// [`VectorIndex::search_coalesced`] under an observability span:
+    /// the `retrieval.search` child carries the caller's window role
+    /// (`leader`/`follower`) and window size, and `retrieval.batch.*`
+    /// counters track coalescing behaviour.
+    pub fn search_coalesced_observed(
+        &self,
+        query: &[f32],
+        k: usize,
+        parent: &obs::Span,
+    ) -> Vec<Hit> {
+        let coalescer = match &self.coalescer {
+            Some(c) => c,
+            None => return self.search_exact_observed(query, k, parent),
+        };
+        let (hits, role) = coalescer.run(self, query, k);
+        let span = parent.child("retrieval.search");
+        span.set("kind", "coalesced");
+        span.set("docs_indexed", self.len());
+        span.set("k", k);
+        span.set("hits", hits.len());
+        span.count("retrieval.batch.coalesced", 1);
+        match role {
+            crate::batch::WindowRole::Leader { window } => {
+                span.set("batch_role", "leader");
+                span.set("window", window);
+                span.count("retrieval.batch.windows", 1);
+                span.count("retrieval.batch.queries", window as u64);
+            }
+            crate::batch::WindowRole::Follower => {
+                span.set("batch_role", "follower");
+            }
+        }
+        hits
+    }
+
     /// Approximate top-k: probe the `n_probe` nearest clusters. Falls
     /// back to exact search when IVF is disabled.
     pub fn search_ivf(&self, query: &[f32], k: usize, n_probe: usize) -> Vec<Hit> {
@@ -428,7 +974,9 @@ impl VectorIndex {
         n_probe: usize,
     ) -> (Vec<Hit>, SearchStats) {
         if self.centroids.is_empty() {
-            return self.search_exact_with_stats(query, k);
+            let (hits, mut stats) = self.search_exact_with_stats(query, k);
+            stats.ivf_fallback = self.ivf_fallback;
+            return (hits, stats);
         }
         let mut stats = SearchStats::default();
         if self.n_docs == 0 || k == 0 {
@@ -468,27 +1016,29 @@ impl VectorIndex {
     ) -> Vec<Hit> {
         let (hits, stats) = self.search_ivf_with_stats(query, k, n_probe);
         let kind = if self.ivf_enabled() { "ivf" } else { "exact" };
-        record_search(parent, kind, self, k, &hits, &stats, self.ivf_disabled);
+        record_search(parent, kind, self, k, hits.len(), &stats);
         hits
     }
 }
 
 /// Record one search on a `retrieval.search` child span and bump the
 /// `retrieval.*` counters (catalogue in `docs/observability.md`).
+/// Batched searches additionally bump `retrieval.batch.searches` /
+/// `retrieval.batch.queries`; IVF fallbacks carry their structured
+/// reason as the `ivf_fallback` attribute.
 fn record_search(
     parent: &obs::Span,
     kind: &str,
     index: &VectorIndex,
     k: usize,
-    hits: &[Hit],
+    hits_returned: usize,
     stats: &SearchStats,
-    ivf_disabled: bool,
 ) {
     let span = parent.child("retrieval.search");
     span.set("kind", kind);
     span.set("docs_indexed", index.len());
     span.set("k", k);
-    span.set("hits", hits.len());
+    span.set("hits", hits_returned);
     span.set("vectors_scanned", stats.vectors_scanned);
     span.set("heap_pushes", stats.heap_pushes);
     span.set("parallel_shards", stats.parallel_shards);
@@ -500,35 +1050,82 @@ fn record_search(
         span.set("ivf_probes", stats.ivf_probes);
         span.count("retrieval.ivf_probes", stats.ivf_probes as u64);
     }
-    if ivf_disabled {
+    if stats.batch_queries > 0 {
+        span.set("batch_queries", stats.batch_queries);
+        span.count("retrieval.batch.searches", 1);
+        span.count("retrieval.batch.queries", stats.batch_queries as u64);
+    }
+    if let Some(fallback) = stats.ivf_fallback {
         span.set("ivf_disabled", true);
+        span.set("ivf_fallback", fallback.reason());
         span.count("retrieval.ivf_disabled", 1);
     }
 }
 
-/// Seeded Lloyd's k-means over the arena (cosine space, 10 iterations).
+/// How the initial IVF centroids are chosen before Lloyd iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IvfSeeding {
+    /// First `k` documents of a seeded shuffle (the previous default;
+    /// kept as the regression baseline the bench gates against).
+    Shuffle,
+    /// k-means++: each next seed is drawn with probability proportional
+    /// to its squared distance from the already-chosen set, spreading
+    /// seeds across the corpus instead of landing several in one dense
+    /// region. This is what rescues recall on corpora without clean
+    /// cluster structure (the verbalized-KG case).
+    KmeansPP,
+}
+
+/// Lloyd iterations for a full k-means build.
+const KMEANS_ITERS: usize = 10;
+
+/// Lloyd iterations per candidate `k` during the elbow sweep — enough
+/// for inertia to be comparable across `k`, cheap enough to sweep.
+const ELBOW_ITERS: usize = 4;
+
+/// Minimum relative inertia improvement a doubling of `k` must deliver
+/// for the elbow sweep to keep it.
+const ELBOW_MIN_GAIN: f64 = 0.10;
+
+/// Seeded Lloyd's k-means over the arena (cosine space).
 ///
 /// Rows are unit-normalized, so assignment is a plain dot against the
 /// centroid arena; centroids are normalized **once per update step**
 /// (cosine is scale-invariant, so ranking is unchanged while every
 /// assignment pass drops the per-pair norm recomputation the seed paid).
-fn kmeans(
+/// Returns the final inertia (summed cosine distance of every document
+/// to its centroid) alongside the clustering, for the elbow sweep.
+fn kmeans_with(
     data: &[f32],
     dim: usize,
     n_docs: usize,
     k: usize,
     seed: u64,
-) -> (Vec<f32>, Vec<Vec<usize>>) {
+    seeding: IvfSeeding,
+    iters: usize,
+) -> (Vec<f32>, Vec<Vec<usize>>, f64) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut ids: Vec<usize> = (0..n_docs).collect();
-    ids.shuffle(&mut rng);
     let mut centroids = vec![0.0f32; k * dim];
-    for (c, &i) in centroids.chunks_exact_mut(dim).zip(ids.iter().take(k)) {
-        c.copy_from_slice(&data[i * dim..(i + 1) * dim]);
+    match seeding {
+        IvfSeeding::Shuffle => {
+            let mut ids: Vec<usize> = (0..n_docs).collect();
+            ids.shuffle(&mut rng);
+            for (c, &i) in centroids.chunks_exact_mut(dim).zip(ids.iter().take(k)) {
+                c.copy_from_slice(&data[i * dim..(i + 1) * dim]);
+            }
+        }
+        IvfSeeding::KmeansPP => {
+            let chosen = kmeanspp_seeds(data, dim, n_docs, k, &mut rng);
+            for (c, &i) in centroids.chunks_exact_mut(dim).zip(&chosen) {
+                c.copy_from_slice(&data[i * dim..(i + 1) * dim]);
+            }
+        }
     }
     let mut assignment = vec![0usize; n_docs];
-    for _ in 0..10 {
+    let mut inertia = 0.0f64;
+    for _ in 0..iters {
         // assign: argmax dot, first centroid wins ties (seed behavior)
+        inertia = 0.0;
         for (i, v) in data.chunks_exact(dim).enumerate() {
             let mut best = (0usize, f32::NEG_INFINITY);
             for (ci, c) in centroids.chunks_exact(dim).enumerate() {
@@ -538,6 +1135,7 @@ fn kmeans(
                 }
             }
             assignment[i] = best.0;
+            inertia += f64::from(1.0 - best.1.clamp(-1.0, 1.0));
         }
         // update: mean of members, normalized once; empty clusters keep
         // their previous centroid
@@ -562,7 +1160,112 @@ fn kmeans(
     for (i, &c) in assignment.iter().enumerate() {
         clusters[c].push(i);
     }
+    (centroids, clusters, inertia)
+}
+
+/// The elbow sweep behind [`VectorIndex::build_auto`]: candidate `k`
+/// doubles from 2; a candidate is kept while it cuts inertia at least
+/// [`ELBOW_MIN_GAIN`] relative to the previous kept candidate. `k` is
+/// capped at `√n_docs` (and 256): on noisy corpora the inertia keeps
+/// dropping ≥ 10% per doubling essentially until `k ≈ n` — every pair
+/// of documents becomes its own "cluster" — so without the cap the
+/// sweep degenerates into memorization instead of structure discovery.
+fn elbow_n_clusters(data: &[f32], dim: usize, n_docs: usize, seed: u64) -> usize {
+    let sqrt_cap = (n_docs as f64).sqrt() as usize;
+    let mut chosen = 2;
+    let mut prev_inertia: Option<f64> = None;
+    let mut k = 2;
+    while k * 2 <= n_docs && k <= sqrt_cap.min(256) {
+        let (_, _, inertia) = kmeans_with(
+            data,
+            dim,
+            n_docs,
+            k,
+            seed,
+            IvfSeeding::KmeansPP,
+            ELBOW_ITERS,
+        );
+        match prev_inertia {
+            None => {
+                chosen = k;
+                prev_inertia = Some(inertia);
+            }
+            Some(prev) if prev <= 0.0 => break,
+            Some(prev) => {
+                if (prev - inertia) / prev >= ELBOW_MIN_GAIN {
+                    chosen = k;
+                    prev_inertia = Some(inertia);
+                } else {
+                    break;
+                }
+            }
+        }
+        k *= 2;
+    }
+    chosen
+}
+
+/// Backwards-shaped entry point: full iterations, chosen seeding.
+fn kmeans(
+    data: &[f32],
+    dim: usize,
+    n_docs: usize,
+    k: usize,
+    seed: u64,
+    seeding: IvfSeeding,
+) -> (Vec<f32>, Vec<Vec<usize>>) {
+    let (centroids, clusters, _) = kmeans_with(data, dim, n_docs, k, seed, seeding, KMEANS_ITERS);
     (centroids, clusters)
+}
+
+/// k-means++ seed selection: the first seed is drawn uniformly; each
+/// subsequent seed with probability proportional to its distance from
+/// the nearest already-chosen seed (`‖a−b‖² = 2(1−a·b)` on unit rows, so
+/// `1 − dot` is the proportional weight). Deterministic for a given rng
+/// state.
+fn kmeanspp_seeds(
+    data: &[f32],
+    dim: usize,
+    n_docs: usize,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    use rand::Rng;
+    let row = |i: usize| &data[i * dim..(i + 1) * dim];
+    let mut chosen = Vec::with_capacity(k);
+    let first = rng.gen_range(0..n_docs);
+    chosen.push(first);
+    // weight[i]: cosine distance to the nearest chosen seed so far
+    let mut weight: Vec<f64> = (0..n_docs)
+        .map(|i| f64::from((1.0 - dot(row(i), row(first))).max(0.0)))
+        .collect();
+    while chosen.len() < k {
+        let total: f64 = weight.iter().sum();
+        let next = if total > 0.0 {
+            // walk the cumulative weights to the sampled mass point
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n_docs - 1;
+            for (i, w) in weight.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        } else {
+            // all remaining mass is zero (duplicate rows): uniform
+            rng.gen_range(0..n_docs)
+        };
+        chosen.push(next);
+        for (i, w) in weight.iter_mut().enumerate() {
+            let d = f64::from((1.0 - dot(row(i), row(next))).max(0.0));
+            if d < *w {
+                *w = d;
+            }
+        }
+    }
+    chosen
 }
 
 #[cfg(test)]
@@ -732,6 +1435,196 @@ mod tests {
         assert_eq!(par.1.parallel_shards, 4);
         assert_eq!(seq.1.parallel_shards, 0);
         assert_eq!(seq.1.vectors_scanned, par.1.vectors_scanned);
+    }
+
+    fn hit_bits(hits: &[Hit]) -> Vec<(usize, u32)> {
+        hits.iter().map(|&(i, s)| (i, s.to_bits())).collect()
+    }
+
+    #[test]
+    fn batch_search_is_bit_identical_to_per_query_exact() {
+        let (idx, e, _) = corpus_index(0);
+        let queries: Vec<Vec<f32>> = [
+            "a drama about love",
+            "databases and queries",
+            "",
+            "quantum flux reactor",
+        ]
+        .iter()
+        .map(|q| e.embed(q))
+        .collect();
+        let batch = idx.search_batch(&queries, 6);
+        assert_eq!(batch.len(), queries.len());
+        for (q, hits) in queries.iter().zip(&batch) {
+            assert_eq!(hit_bits(hits), hit_bits(&idx.search_exact(q, 6)));
+        }
+    }
+
+    #[test]
+    fn batch_tile_sharding_is_bit_identical() {
+        let (idx, e, _) = corpus_index(0);
+        let queries: Vec<Vec<f32>> = (0..5).map(|i| e.embed(&format!("topic {i}"))).collect();
+        let seq = idx
+            .clone()
+            .with_options(SearchOptions::sequential())
+            .search_batch_with_stats(&queries, 4);
+        let par = idx
+            .with_options(SearchOptions {
+                parallel_threshold: Some(1),
+                shard_count: Some(3),
+            })
+            .search_batch_with_stats(&queries, 4);
+        for (s, p) in seq.0.iter().zip(&par.0) {
+            assert_eq!(hit_bits(s), hit_bits(p));
+        }
+        assert_eq!(par.1.parallel_shards, 3);
+        assert_eq!(seq.1.parallel_shards, 0);
+        assert_eq!(seq.1.vectors_scanned, par.1.vectors_scanned);
+        assert_eq!(seq.1.batch_queries, 5);
+    }
+
+    #[test]
+    fn batch_ivf_is_bit_identical_to_per_query_ivf() {
+        let (idx, e, _) = corpus_index(4);
+        let queries: Vec<Vec<f32>> = [
+            "drama about love",
+            "database query papers",
+            "paper number nine",
+        ]
+        .iter()
+        .map(|q| e.embed(q))
+        .collect();
+        for n_probe in [1, 2, 4] {
+            let batch = idx.search_batch_ivf(&queries, 5, n_probe);
+            for (q, hits) in queries.iter().zip(&batch) {
+                assert_eq!(
+                    hit_bits(hits),
+                    hit_bits(&idx.search_ivf(q, 5, n_probe)),
+                    "n_probe {n_probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_search_handles_empty_batch_and_empty_index() {
+        let (idx, e, _) = corpus_index(0);
+        assert!(idx.search_batch(&[], 5).is_empty());
+        let empty = VectorIndex::build(Vec::new(), 0, 0);
+        let out = empty.search_batch(&[e.embed("x")], 5);
+        assert_eq!(out, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn batch_with_nan_query_matches_exact() {
+        let (idx, e, _) = corpus_index(0);
+        let mut nan_q = e.embed("drama");
+        nan_q[3] = f32::NAN;
+        let queries = vec![nan_q.clone(), e.embed("databases")];
+        let batch = idx.search_batch(&queries, 5);
+        assert_eq!(hit_bits(&batch[0]), hit_bits(&idx.search_exact(&nan_q, 5)));
+    }
+
+    #[test]
+    fn score_docs_is_bit_identical_to_exact_scores() {
+        let (idx, e, _) = corpus_index(0);
+        let q = e.embed("a drama about love");
+        let exact = idx.search_exact(&q, 8);
+        let docs: Vec<usize> = exact.iter().map(|&(id, _)| id).collect();
+        let scores = idx.score_docs(&q, &docs);
+        for ((_, s), batched) in exact.iter().zip(&scores) {
+            assert_eq!(s.to_bits(), batched.to_bits());
+        }
+        // out-of-range ids score zero; empty set is empty
+        assert_eq!(idx.score_docs(&q, &[9999]), vec![0.0]);
+        assert!(idx.score_docs(&q, &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_observed_records_batch_counters() {
+        let (idx, e, _) = corpus_index(0);
+        let (tracer, recorder) = obs::Tracer::in_memory();
+        let root = tracer.span("test");
+        let queries = vec![e.embed("drama"), e.embed("papers")];
+        idx.search_batch_observed(&queries, 5, &root);
+        root.finish();
+        assert_eq!(tracer.registry().counter("retrieval.batch.searches"), 1);
+        assert_eq!(tracer.registry().counter("retrieval.batch.queries"), 2);
+        assert_eq!(tracer.registry().counter("retrieval.searches"), 1);
+        assert_eq!(tracer.registry().counter("retrieval.vectors_scanned"), 80);
+        let span = recorder.take().pop().expect("root recorded");
+        let search = span.find("retrieval.search").expect("search span");
+        assert_eq!(
+            search.attr("kind").and_then(obs::AttrValue::as_str),
+            Some("batch")
+        );
+        assert_eq!(search.attr_u64("batch_queries"), Some(2));
+    }
+
+    #[test]
+    fn kmeanspp_seeding_spreads_and_stays_deterministic() {
+        let (a, e, _) = corpus_index(4);
+        let q = e.embed("drama");
+        // deterministic: same seed, same clustering
+        let (b, _, _) = corpus_index(4);
+        assert_eq!(a.search_ivf(&q, 3, 2), b.search_ivf(&q, 3, 2));
+        // both seedings produce a working quantizer on this corpus
+        let docs: Vec<String> = (0..40).map(|i| format!("doc number {i}")).collect();
+        let vectors: Vec<Vec<f32>> = docs.iter().map(|d| e.embed(d)).collect();
+        for seeding in [IvfSeeding::Shuffle, IvfSeeding::KmeansPP] {
+            let idx = VectorIndex::build_with_seeding(vectors.clone(), 4, 7, seeding);
+            assert!(idx.ivf_enabled(), "{seeding:?}");
+        }
+    }
+
+    #[test]
+    fn build_auto_picks_topic_count_scale() {
+        // two clean topics: the elbow should stop early, not fragment
+        let e = Embedder::new();
+        let vectors: Vec<Vec<f32>> = (0..64)
+            .map(|i| {
+                if i % 2 == 0 {
+                    e.embed(&format!("films drama love cinema movie {}", i % 4))
+                } else {
+                    e.embed(&format!("databases queries tables index {}", i % 4))
+                }
+            })
+            .collect();
+        let idx = VectorIndex::build_auto(vectors, 7);
+        assert!(idx.ivf_enabled());
+        assert!(
+            (2..=16).contains(&idx.n_clusters()),
+            "chose {}",
+            idx.n_clusters()
+        );
+        // tiny corpora degrade to exact-only
+        let tiny = VectorIndex::build_auto(vec![vec![1.0, 0.0]; 3], 7);
+        assert!(!tiny.ivf_enabled());
+    }
+
+    #[test]
+    fn ivf_fallback_reason_is_structured() {
+        let vectors: Vec<Vec<f32>> = (0..6)
+            .map(|i| slm::embedding::hash_vector(&format!("doc-{i}")))
+            .collect();
+        let idx = VectorIndex::build(vectors, 4, 7);
+        let fallback = idx.ivf_fallback().expect("fallback recorded");
+        assert_eq!(
+            fallback,
+            IvfFallback::CorpusTooSmall {
+                n_docs: 6,
+                min_docs: 8
+            }
+        );
+        assert_eq!(fallback.reason(), "corpus_too_small");
+        assert!(fallback.describe().contains("6 docs < 8"));
+        let (_, stats) = idx.search_ivf_with_stats(&slm::embedding::hash_vector("q"), 3, 2);
+        assert_eq!(stats.ivf_fallback, Some(fallback));
+        // healthy IVF and plain exact searches carry no reason
+        let (healthy, _, _) = corpus_index(4);
+        assert_eq!(healthy.ivf_fallback(), None);
+        let (_, stats) = healthy.search_ivf_with_stats(&slm::embedding::hash_vector("q"), 3, 2);
+        assert_eq!(stats.ivf_fallback, None);
     }
 
     #[test]

@@ -96,6 +96,15 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Enable retrieval request coalescing on the shared RAG pipeline:
+    /// concurrent `rag` requests whose vector searches land within one
+    /// time/size window run as a single batched kernel pass, bit-identical
+    /// to uncoalesced retrieval (see [`kgrag::batch`]).
+    pub fn with_coalescing(mut self, window: kgrag::BatchWindow) -> Engine<'a> {
+        self.rag = self.rag.with_coalescing(window);
+        self
+    }
+
     /// Attach an opened durable store; `ingest` requests append to it.
     pub fn with_durable(mut self, store: DurableGraph) -> Engine<'a> {
         self.durable = Some(DurableState {
@@ -423,6 +432,35 @@ impl<'a> Engine<'a> {
         for (name, h) in &snap.histograms {
             hists.insert(name.clone(), histogram_json(h));
         }
+        // The retrieval block: serving-relevant facts about the shared
+        // vector index that counters alone can't carry — which SIMD path
+        // the batch kernel dispatched to, whether (and why) IVF silently
+        // fell back to exact scans, and the coalescing window knobs.
+        let mut retrieval = Map::new();
+        let vidx = self.rag.vector_index();
+        retrieval.insert("docs_indexed".into(), Value::from(vidx.len() as u64));
+        retrieval.insert(
+            "dispatch".into(),
+            Value::String(slm::dispatch_path().label().into()),
+        );
+        retrieval.insert("ivf_enabled".into(), Value::Bool(vidx.ivf_enabled()));
+        if let Some(fb) = vidx.ivf_fallback() {
+            retrieval.insert("ivf_fallback".into(), Value::String(fb.reason().into()));
+            retrieval.insert("ivf_fallback_detail".into(), Value::String(fb.describe()));
+        }
+        match vidx.coalescing_window() {
+            Some(w) => {
+                retrieval.insert("coalescing".into(), Value::Bool(true));
+                retrieval.insert("batch_max".into(), Value::from(w.max_batch as u64));
+                retrieval.insert(
+                    "batch_max_wait_us".into(),
+                    Value::from(w.max_wait.as_micros() as u64),
+                );
+            }
+            None => {
+                retrieval.insert("coalescing".into(), Value::Bool(false));
+            }
+        }
         let mut reply = base_reply(req, Tenant::from_id(&req.tenant), "normal");
         reply.insert("ok".into(), Value::Bool(true));
         reply.insert("shed".into(), Value::Bool(false));
@@ -430,6 +468,7 @@ impl<'a> Engine<'a> {
         reply.insert("counters".into(), Value::Object(counters));
         reply.insert("gauges".into(), Value::Object(gauges));
         reply.insert("histograms".into(), Value::Object(hists));
+        reply.insert("retrieval".into(), Value::Object(retrieval));
         self.finish(reply, Scenario::Stats, start)
     }
 
@@ -800,6 +839,63 @@ mod tests {
         let obj = again.as_object().unwrap();
         assert_eq!(obj.get("route").and_then(Value::as_str), Some("read-only"));
         assert_eq!(engine.snapshot().counter("serve.read_only_rejects"), 1);
+    }
+
+    #[test]
+    fn stats_reply_surfaces_retrieval_block_and_coalesced_rag_path() {
+        let wb = wb();
+        let engine = Engine::new(&wb).with_coalescing(kgrag::BatchWindow::default());
+        let v = engine.stats_reply(&req(Scenario::Stats, ""), 0, 0);
+        let retrieval = v
+            .as_object()
+            .unwrap()
+            .get("retrieval")
+            .and_then(Value::as_object)
+            .unwrap();
+        assert!(
+            retrieval
+                .get("docs_indexed")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0
+        );
+        let dispatch = retrieval.get("dispatch").and_then(Value::as_str).unwrap();
+        assert!(["scalar", "avx2", "neon"].contains(&dispatch), "{dispatch}");
+        assert_eq!(
+            retrieval.get("coalescing").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(retrieval.get("batch_max").and_then(Value::as_u64), Some(8));
+        assert_eq!(
+            retrieval.get("batch_max_wait_us").and_then(Value::as_u64),
+            Some(200)
+        );
+        // rag requests now retrieve through the coalesced entry point
+        let cancel = CancelToken::new();
+        let film = wb.graph().display_name(wb.graph().entities()[0]);
+        let r = engine.handle(
+            &req(Scenario::Rag, &format!("Who directed {film}?")),
+            Grade::Normal,
+            &cancel,
+        );
+        assert_eq!(
+            r.as_object().unwrap().get("ok").and_then(Value::as_bool),
+            Some(true)
+        );
+        assert!(engine.snapshot().counter("retrieval.batch.coalesced") >= 1);
+        // without the builder, the block reports coalescing off
+        let plain = Engine::new(&wb);
+        let v = plain.stats_reply(&req(Scenario::Stats, ""), 0, 0);
+        let retrieval = v
+            .as_object()
+            .unwrap()
+            .get("retrieval")
+            .and_then(Value::as_object)
+            .unwrap();
+        assert_eq!(
+            retrieval.get("coalescing").and_then(Value::as_bool),
+            Some(false)
+        );
     }
 
     #[test]

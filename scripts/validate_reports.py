@@ -17,6 +17,7 @@ parser, so these checks run under the system python instead of Rust.
 """
 
 import json
+import os
 import sys
 
 
@@ -111,7 +112,10 @@ def validate_plan_cache(path):
 
 def validate_retrieval_smoke(path):
     r = load(path)
-    assert r["mode"] == "smoke", r["mode"]
+    # the same schema ships in smoke (CI) and full (committed) reports;
+    # timing gates only bind in full mode, where iterations are real
+    assert r["mode"] in ("smoke", "full"), r["mode"]
+    full = r["mode"] == "full"
     assert r["exact"], "no exact series"
     for e in r["exact"]:
         assert e["hits_identical"], e
@@ -122,8 +126,33 @@ def validate_retrieval_smoke(path):
     for p in r["ivf"]["probes"]:
         if p["n_probe"] >= 2:
             assert p["recall_at_10"] >= 0.9, p
+    # SIMD dispatch: a known path, consistent across the report, and —
+    # when the runner pins EXPECT_DISPATCH — exactly the expected one
+    assert r["dispatch"] in ("scalar", "avx2", "neon"), r["dispatch"]
+    assert r["batch"]["dispatch"] == r["dispatch"], r["batch"]["dispatch"]
+    expected = os.environ.get("EXPECT_DISPATCH")
+    if expected:
+        assert r["dispatch"] == expected, \
+            f"dispatch {r['dispatch']!r} != EXPECT_DISPATCH {expected!r}"
+    # batch series: fixed recall by construction (bit-identical hits),
+    # and in full mode the 3x throughput gate at batch >= 16
+    batches = r["batch"]["batches"]
+    assert {b["batch"] for b in batches} >= {1, 4, 16, 64}, batches
+    for b in batches:
+        assert b["bit_identical"], b
+        assert b["recall_vs_single_at_10"] == 1.0, b
+        assert b["single_qps"] > 0 and b["batch_qps"] > 0, b
+        if full and b["batch"] >= 16:
+            assert b["speedup"] >= 3.0, b
+    # seeding series: k-means++ must not regress recall vs shuffle
+    seedings = {s["seeding"]: s for s in r["seeding"]["seedings"]}
+    assert set(seedings) == {"shuffle", "kmeanspp"}, set(seedings)
+    assert seedings["kmeanspp"]["recall_at_10"] + 0.02 >= \
+        seedings["shuffle"]["recall_at_10"], seedings
+    assert r["seeding"]["elbow_n_clusters"] >= 2, r["seeding"]
     print("retrieval JSON OK:", len(r["exact"]), "sizes,",
-          len(r["ivf"]["probes"]), "probe points")
+          len(r["ivf"]["probes"]), "probe points,",
+          len(batches), "batch points, dispatch", r["dispatch"])
 
 
 def validate_serve_smoke(path):

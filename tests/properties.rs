@@ -784,4 +784,162 @@ proptest! {
             .collect();
         prop_assert_eq!(seq, par);
     }
+
+    /// The Q×D batched kernel path is bit-identical to running each query
+    /// through `search_exact` one at a time — same ids, same score bit
+    /// patterns — over corpora that include exact zero vectors and
+    /// queries that include NaN components. The batch path tiles queries
+    /// through `matmul_tile` and fast-rejects against a cached heap
+    /// floor, so any rounding or comparator drift shows up here as a bit
+    /// mismatch rather than a near-tie.
+    #[test]
+    fn search_batch_matches_per_query_exact_bitwise(
+        vectors in doc_vectors_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 0..6),
+        k in 0usize..10,
+    ) {
+        use llmkg::kgrag::{SearchOptions, VectorIndex};
+        let index = VectorIndex::build(vectors, 0, 0)
+            .with_options(SearchOptions::sequential());
+        let batch = index.search_batch(&queries, k);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (qi, (q, hits)) in queries.iter().zip(&batch).enumerate() {
+            let single: Vec<(usize, u32)> = index
+                .search_exact(q, k)
+                .into_iter()
+                .map(|(i, s)| (i, s.to_bits()))
+                .collect();
+            let batched: Vec<(usize, u32)> =
+                hits.iter().map(|&(i, s)| (i, s.to_bits())).collect();
+            prop_assert!(
+                single == batched,
+                "query {} diverged: single {:?} vs batched {:?}",
+                qi, single, batched
+            );
+        }
+    }
+
+    /// Batched search under a forced shard count merges per-tile heaps
+    /// into exactly the sequential batch result for every query — the
+    /// shard merge and the fast-reject floor commute bitwise.
+    #[test]
+    fn batch_forced_sharding_matches_sequential_batch_bitwise(
+        vectors in doc_vectors_strategy(),
+        queries in proptest::collection::vec(query_strategy(), 1..5),
+        workers in 2usize..5,
+        k in 1usize..8,
+    ) {
+        use llmkg::kgrag::{SearchOptions, VectorIndex};
+        let sequential = VectorIndex::build(vectors.clone(), 0, 0)
+            .with_options(SearchOptions::sequential());
+        let sharded = VectorIndex::build(vectors, 0, 0).with_options(SearchOptions {
+            parallel_threshold: Some(1),
+            shard_count: Some(workers),
+        });
+        let seq = sequential.search_batch(&queries, k);
+        let par = sharded.search_batch(&queries, k);
+        for (qi, (s, p)) in seq.iter().zip(&par).enumerate() {
+            let s: Vec<(usize, u32)> = s.iter().map(|&(i, x)| (i, x.to_bits())).collect();
+            let p: Vec<(usize, u32)> = p.iter().map(|&(i, x)| (i, x.to_bits())).collect();
+            prop_assert!(
+                s == p,
+                "query {} diverged under {} shards: {:?} vs {:?}",
+                qi, workers, s, p
+            );
+        }
+    }
+
+    /// Every SIMD path the host can run produces the scalar kernel's
+    /// exact bit pattern for the single-pair dot product, across vector
+    /// lengths that exercise full 8-lane blocks, the scalar tail, and
+    /// length 0, with NaN and zero inputs included.
+    #[test]
+    fn simd_dot_paths_match_scalar_bitwise(
+        pair in kernel_pair_strategy(),
+    ) {
+        use llmkg::slm::kernel::{dot_scalar, dot_with_path, DispatchPath};
+        let (a, b) = pair;
+        let want = dot_scalar(&a, &b).to_bits();
+        for path in DispatchPath::available() {
+            let got = dot_with_path(path, &a, &b).to_bits();
+            prop_assert!(
+                want == got,
+                "path {} diverged from scalar on len {}: {:#010x} vs {:#010x}",
+                path.label(), a.len(), want, got
+            );
+        }
+    }
+
+    /// Every SIMD path computes the full Q×D score tile bit-identically
+    /// to the scalar kernel — same mul/add order, same reduction tree —
+    /// for arbitrary query/row counts and dims (including 0).
+    #[test]
+    fn simd_matmul_paths_match_scalar_bitwise(
+        n_q in 0usize..5,
+        n_rows in 0usize..7,
+        dim in 0usize..20,
+        seed_cells in proptest::collection::vec(kernel_cell_strategy(), 0..140),
+    ) {
+        use llmkg::slm::kernel::{matmul_tile_with_path, DispatchPath};
+        let fill = |len: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| seed_cells.get(i % seed_cells.len().max(1)).copied().unwrap_or(0.0))
+                .collect()
+        };
+        let queries = fill(n_q * dim);
+        let rows = fill(n_rows * dim);
+        let mut want = vec![0.0f32; n_q * n_rows];
+        matmul_tile_with_path(DispatchPath::Scalar, &queries, n_q, &rows, n_rows, dim, &mut want);
+        for path in DispatchPath::available() {
+            let mut got = vec![0.0f32; n_q * n_rows];
+            matmul_tile_with_path(path, &queries, n_q, &rows, n_rows, dim, &mut got);
+            let want_bits: Vec<u32> = want.iter().map(|x| x.to_bits()).collect();
+            let got_bits: Vec<u32> = got.iter().map(|x| x.to_bits()).collect();
+            prop_assert!(
+                want_bits == got_bits,
+                "path {} diverged on {}x{}x{}",
+                path.label(), n_q, n_rows, dim
+            );
+        }
+    }
+}
+
+/// Queries for the batch differential tests: the document distribution
+/// plus an occasional NaN component, which must flow through the batch
+/// fast-reject without reordering hits (NaN fails `<=`, so poisoned
+/// scores always take the slow comparator path).
+fn query_strategy() -> impl Strategy<Value = Vec<f32>> {
+    (vector_strategy(), 0u8..6).prop_map(|(mut v, tag)| {
+        if tag == 1 {
+            v[0] = f32::NAN;
+        }
+        v
+    })
+}
+
+/// Scalar cells for the raw-kernel differential tests: finite values
+/// plus exact zero and NaN.
+fn kernel_cell_strategy() -> impl Strategy<Value = f32> {
+    (-1.0f64..1.0, 0u8..8).prop_map(|(x, tag)| match tag {
+        0 => 0.0,
+        1 => f32::NAN,
+        _ => x as f32,
+    })
+}
+
+/// Slice pairs for the dot-product differential test: equal lengths
+/// spanning sub-lane tails, exact 8-lane blocks, and multi-block spans
+/// (generated at max length and truncated, since the vendored proptest
+/// has no `prop_flat_map`).
+fn kernel_pair_strategy() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (
+        proptest::collection::vec(kernel_cell_strategy(), 40),
+        proptest::collection::vec(kernel_cell_strategy(), 40),
+        0usize..=40,
+    )
+        .prop_map(|(mut a, mut b, len)| {
+            a.truncate(len);
+            b.truncate(len);
+            (a, b)
+        })
 }
